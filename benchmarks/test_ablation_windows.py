@@ -1,0 +1,62 @@
+"""Ablation: rolling-window features for large lookahead windows.
+
+The paper's closing future-work item: better use of pre-swap activity to
+improve prediction at large N.  This bench compares the standard feature
+set against the window-extended one (`repro.core.windows`) at N=1 and N=14.
+"""
+
+import numpy as np
+
+from repro.core import build_windowed_features
+from repro.core.labeling import label_dataset
+from repro.core.pipeline import ModelSpec, PredictionDataset
+from repro.ml import RandomForestClassifier, cross_validate_auc
+
+LIGHT_RF = ModelSpec(
+    "RF-light",
+    lambda: RandomForestClassifier(
+        n_estimators=60, max_depth=10, min_samples_leaf=2, random_state=0
+    ),
+    scale=False,
+    log1p=False,
+)
+
+
+def _dataset_with_frame(trace, frame, lookahead):
+    y, keep = label_dataset(trace.records, trace.swaps, lookahead)
+    kept = frame.select_rows(keep)
+    return PredictionDataset(
+        X=kept.X,
+        y=y[keep],
+        groups=kept.drive_id,
+        age_days=kept.age_days,
+        model=kept.model,
+        feature_names=kept.names,
+        lookahead=lookahead,
+    )
+
+
+def test_ablation_windowed_features(benchmark, ml_trace):
+    def run():
+        from repro.core import build_features
+
+        base_frame = build_features(ml_trace.records)
+        win_frame = build_windowed_features(ml_trace.records, window=7)
+        out = {}
+        for n in (1, 14):
+            for label, frame in (("base", base_frame), ("windowed", win_frame)):
+                ds = _dataset_with_frame(ml_trace, frame, n)
+                res = cross_validate_auc(
+                    LIGHT_RF.factory, ds.X, ds.y, ds.groups, n_splits=3, seed=0
+                )
+                out[(n, label)] = res.mean_auc
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("--- Ablation: trailing-window features (RF) ---")
+    for (n, label), auc in sorted(out.items()):
+        print(f"  N={n:<3d} {label:<9s} AUC {auc:.3f}")
+    # Windowed features must not hurt at N=1 and should help (or at least
+    # match) at the large window where the paper expects gains.
+    assert out[(14, "windowed")] >= out[(14, "base")] - 0.03

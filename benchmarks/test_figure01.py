@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 1: max-age and data-count CDFs.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure1
+
+
+def test_figure01(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure1, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 1: max-age and data-count CDFs (simulated fleet) ---")
+    print(res.render())
+    assert res.data_count.quantile(0.5) <= res.max_age.quantile(0.5)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 3: operational-period CDF with censoring.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure3
+
+
+def test_figure03(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure3, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 3: operational-period CDF with censoring (simulated fleet) ---")
+    print(res.render())
+    assert res.never_failing_fraction > 0.5

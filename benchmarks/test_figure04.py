@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 4: pre-swap non-operational period CDF.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure4
+
+
+def test_figure04(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure4, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 4: pre-swap non-operational period CDF (simulated fleet) ---")
+    print(res.render())
+    assert res.cdf(7.0) > 0.5

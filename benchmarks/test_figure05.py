@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 5: time-to-repair CDF with censoring.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure5
+
+
+def test_figure05(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure5, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 5: time-to-repair CDF with censoring (simulated fleet) ---")
+    print(res.render())
+    assert 0.0 < res.cdf.censored_mass < 1.0

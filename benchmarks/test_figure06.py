@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 6: failure-age CDF and monthly hazard.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure6
+
+
+def test_figure06(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure6, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 6: failure-age CDF and monthly hazard (simulated fleet) ---")
+    print(res.render())
+    assert res.infant_share_90d > res.infant_share_30d

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 7: write-intensity quartiles by age month.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure7
+
+
+def test_figure07(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure7, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 7: write-intensity quartiles by age month (simulated fleet) ---")
+    print(res.render())
+    assert res.bands.level(0.5).shape[0] == 72

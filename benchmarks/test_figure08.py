@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 8: P/E-at-failure CDF and rate.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure8
+
+
+def test_figure08(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure8, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 8: P/E-at-failure CDF and rate (simulated fleet) ---")
+    print(res.render())
+    assert res.share_below_half_limit > 0.5

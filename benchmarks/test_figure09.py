@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 9: P/E-at-failure CDF, young vs old.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure9
+
+
+def test_figure09(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure9, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 9: P/E-at-failure CDF, young vs old (simulated fleet) ---")
+    print(res.render())
+    assert res.young.quantile(0.5) < res.old.quantile(0.5)

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 10: bad-block and UE CDFs by failure group.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure10
+
+
+def test_figure10(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure10, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 10: bad-block and UE CDFs by failure group (simulated fleet) ---")
+    print(res.render())
+    assert res.zero_ue_fraction("not_failed") > 0.5

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Figure 11: pre-failure UE probability and magnitude.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import figure11
+
+
+def test_figure11(benchmark, char_trace):
+    res = benchmark.pedantic(
+        figure11, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 11: pre-failure UE probability and magnitude (simulated fleet) ---")
+    print(res.render())
+    assert res.window == 7

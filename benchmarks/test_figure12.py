@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the paper's Figure 12.
+
+Random-forest AUC as a function of the lookahead window N (the paper
+sweeps 1..30 and reports decay from 0.90 to 0.77).
+"""
+
+from repro.analysis import figure12
+
+
+def test_figure12(benchmark, ml_trace):
+    res = benchmark.pedantic(
+        figure12,
+        args=(ml_trace,),
+        kwargs={"lookaheads": (1, 2, 3, 5, 7, 14, 30), "n_splits": 4, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("--- Figure 12: forest AUC vs lookahead N (simulated fleet) ---")
+    print(res.render())
+    # Paper shape: monotone-ish decay; clear gap between N=1 and N=30.
+    assert res.auc_mean[0] == max(res.auc_mean)
+    assert res.auc_mean[0] - res.auc_mean[-1] > 0.04

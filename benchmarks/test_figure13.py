@@ -1,0 +1,25 @@
+"""Benchmark: regenerate the paper's Figure 13.
+
+Out-of-fold ROC curves of the random forest per drive model (N=1).  The
+paper finds near-identical performance across MLC-A/B/D.
+"""
+
+import numpy as np
+
+from repro.analysis import figure13
+
+
+def test_figure13(benchmark, ml_trace):
+    res = benchmark.pedantic(
+        figure13, args=(ml_trace,), kwargs={"n_splits": 4, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print("--- Figure 13: per-drive-model ROC (simulated fleet) ---")
+    print(res.render())
+    aucs = np.array(list(res.auc.values()))
+    assert (aucs > 0.75).all()
+    # Near-identical across models (paper: 0.900-0.918).
+    assert aucs.max() - aucs.min() < 0.15
+    for fpr, tpr in res.curves.values():
+        assert fpr[0] == 0.0 and tpr[-1] == 1.0

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate the paper's Figure 14.
+
+Recall (TPR) of the thresholded forest as a function of drive age, for
+three conservative probability thresholds.  The paper shows markedly higher
+recall inside the 90-day infancy window.
+"""
+
+import numpy as np
+
+from repro.analysis import figure14
+
+
+def test_figure14(benchmark, ml_trace):
+    res = benchmark.pedantic(
+        figure14,
+        args=(ml_trace,),
+        kwargs={"thresholds": (0.85, 0.90, 0.95), "n_splits": 4, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("--- Figure 14: TPR vs drive age at 3 thresholds (simulated) ---")
+    print(res.render())
+    # Paper shape: young recall above mature recall for every threshold
+    # that produced measurable bins.
+    for thr, tpr in res.tpr_by_threshold.items():
+        young = np.nanmean(tpr[:3])
+        old = np.nanmean(tpr[3:])
+        if np.isfinite(young) and np.isfinite(old):
+            assert young >= old - 0.1, thr

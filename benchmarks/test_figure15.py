@@ -1,0 +1,21 @@
+"""Benchmark: regenerate the paper's Figure 15 and the Section 5.3 result.
+
+Young vs old ROC of the pooled model, plus separately trained infant and
+mature models (the paper: 0.961/0.894 pooled, 0.970/0.890 partitioned).
+"""
+
+from repro.analysis import figure15
+
+
+def test_figure15(benchmark, ml_trace):
+    res = benchmark.pedantic(
+        figure15, args=(ml_trace,), kwargs={"n_splits": 4, "seed": 0},
+        rounds=1, iterations=1,
+    )
+    print()
+    print("--- Figure 15: young vs old predictability (simulated fleet) ---")
+    print(res.render())
+    assert res.pooled_auc["young"] > res.pooled_auc["old"]
+    young_m, _ = res.partitioned_auc["young"]
+    old_m, _ = res.partitioned_auc["old"]
+    assert young_m > old_m

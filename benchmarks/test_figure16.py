@@ -1,0 +1,29 @@
+"""Benchmark: regenerate the paper's Figure 16.
+
+Feature-importance rankings of separately trained infant and mature
+forests.  The paper's headline: drive age and non-transparent errors
+dominate the young model; wear-and-tear counters dominate the mature one.
+"""
+
+from repro.analysis import figure16
+
+
+def test_figure16(benchmark, ml_trace):
+    res = benchmark.pedantic(
+        figure16, args=(ml_trace,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    print()
+    print("--- Figure 16: feature importances, young vs old (simulated) ---")
+    print(res.render(k=10))
+    young_top = [n for n, _ in res.young.top(12)]
+    old_top = [n for n, _ in res.old.top(10)]
+    # Age carries real signal for infant failures (paper ranks it first; at
+    # benchmark fleet sizes it lands in the young top tier).
+    assert "drive_age" in young_top
+    # Mature model leans on workload/wear counters.
+    assert any(
+        f in old_top
+        for f in ("read_count", "write_count", "cum_read_count", "cum_write_count", "corr_err_rate")
+    )
+    # The two rankings must genuinely differ (the paper's headline).
+    assert [n for n, _ in res.young.top(10)] != old_top

@@ -1,0 +1,24 @@
+"""Top-level audit benchmark: the paper's Observations 1-13 on one fleet.
+
+This is the reproduction's summary experiment — a single run that checks
+every qualitative claim of the paper against the simulated fleet (ML
+observations included).
+"""
+
+from repro.analysis import check_observations
+
+
+def test_observations_audit(benchmark, char_trace):
+    report = benchmark.pedantic(
+        check_observations,
+        args=(char_trace,),
+        kwargs={"include_ml": True, "n_splits": 3, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("--- Observations 1-13 audit (simulated fleet) ---")
+    print(report.render())
+    # The calibrated simulator must exhibit the paper's phenomenology;
+    # allow one marginal miss at benchmark fleet size.
+    assert len(report.failing()) <= 1, report.render()

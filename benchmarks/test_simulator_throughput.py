@@ -1,0 +1,38 @@
+"""Performance benchmarks for the substrate itself.
+
+Unlike the experiment benches (one-shot pedantic runs), these measure
+steady-state throughput of the hot paths: fleet simulation, feature
+extraction, and forest scoring.
+"""
+
+import numpy as np
+
+from repro.core import build_features, build_prediction_dataset
+from repro.data import downsample_majority
+from repro.ml import RandomForestClassifier
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+def test_simulate_fleet_throughput(benchmark):
+    cfg = FleetConfig(
+        n_drives_per_model=60, horizon_days=730, deploy_spread_days=300, seed=3
+    )
+    trace = benchmark(simulate_fleet, cfg)
+    assert len(trace.records) > 10_000
+
+
+def test_feature_extraction_throughput(benchmark, ml_trace):
+    frame = benchmark(build_features, ml_trace.records)
+    assert frame.X.shape[0] == len(ml_trace.records)
+
+
+def test_forest_scoring_throughput(benchmark, ml_trace):
+    ds = build_prediction_dataset(ml_trace, lookahead=1)
+    rng = np.random.default_rng(0)
+    keep = downsample_majority(ds.y, 1.0, rng)
+    rf = RandomForestClassifier(
+        n_estimators=40, max_depth=10, random_state=0
+    ).fit(ds.X[keep], ds.y[keep])
+    sample = ds.X[:200_000]
+    scores = benchmark(rf.predict_proba, sample)
+    assert scores.shape == (sample.shape[0],)

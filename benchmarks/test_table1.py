@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Table 1: per-model error-type incidence.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import table1
+
+
+def test_table1(benchmark, char_trace):
+    res = benchmark.pedantic(
+        table1, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Table 1: per-model error-type incidence (simulated fleet) ---")
+    print(res.render())
+    assert 0.5 < res.proportions["correctable_error"]["MLC-A"] <= 1.0

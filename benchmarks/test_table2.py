@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Table 2: Spearman correlation matrix.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import table2
+
+
+def test_table2(benchmark, char_trace):
+    res = benchmark.pedantic(
+        table2, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Table 2: Spearman correlation matrix (simulated fleet) ---")
+    print(res.render())
+    assert res.value("uncorrectable_error", "final_read_error") > 0.5

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Table 3: failure incidence per model.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import table3
+
+
+def test_table3(benchmark, char_trace):
+    res = benchmark.pedantic(
+        table3, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Table 3: failure incidence per model (simulated fleet) ---")
+    print(res.render())
+    assert res.n_failures["All"] > 0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Table 4: lifetime failure-count distribution.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import table4
+
+
+def test_table4(benchmark, char_trace):
+    res = benchmark.pedantic(
+        table4, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Table 4: lifetime failure-count distribution (simulated fleet) ---")
+    print(res.render())
+    assert res.counts.sum() == 1500

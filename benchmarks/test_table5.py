@@ -1,0 +1,17 @@
+"""Benchmark: regenerate the paper's Table 5: repair completion within n days.
+
+Runs the analysis once on the shared six-year characterization fleet and
+prints the reproduced numbers for comparison with EXPERIMENTS.md.
+"""
+
+from repro.analysis import table5
+
+
+def test_table5(benchmark, char_trace):
+    res = benchmark.pedantic(
+        table5, args=(char_trace,), rounds=1, iterations=1
+    )
+    print()
+    print("--- Table 5: repair completion within n days (simulated fleet) ---")
+    print(res.render())
+    assert res.horizons[-1] == "ever"

@@ -1,0 +1,57 @@
+"""Benchmark: regenerate the paper's Table 8.
+
+Random-forest prediction of each individual error type (plus bad-block
+growth) with a 2-day lookahead, evaluated combined and per age group.
+Error events are far more frequent than failures, so this uses a dedicated
+smaller fleet and a lighter forest to keep wall-clock in minutes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import table8
+from repro.core.pipeline import ModelSpec
+from repro.ml import RandomForestClassifier
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+@pytest.fixture(scope="module")
+def error_trace():
+    return simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=200,
+            horizon_days=1000,
+            deploy_spread_days=600,
+            seed=7,
+        )
+    )
+
+
+def test_table8(benchmark, error_trace):
+    spec = ModelSpec(
+        "Random Forest (light)",
+        lambda: RandomForestClassifier(
+            n_estimators=60, max_depth=10, min_samples_leaf=2, random_state=0
+        ),
+        scale=False,
+        log1p=False,
+    )
+    res = benchmark.pedantic(
+        table8,
+        args=(error_trace,),
+        kwargs={"spec": spec, "lookahead": 2, "n_splits": 3, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("--- Table 8: error-type prediction AUC, N=2 (simulated fleet) ---")
+    print(res.render())
+    # Paper shape: the frequent targets (UE, bad block) predict well.
+    assert res.auc["uncorrectable_error"]["combined"] > 0.7
+    assert res.auc["bad_block"]["combined"] > 0.6
+    # Rare targets may be unpredictable at this fleet size (the paper
+    # itself marks response errors as too rare per age group).
+    finite = [
+        v["combined"] for v in res.auc.values() if not np.isnan(v["combined"])
+    ]
+    assert len(finite) >= 5

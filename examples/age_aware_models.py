@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Age-aware modelling: reproduce the Section 5.3 improvement end to end.
+
+The paper's most actionable modelling insight is that infant (< 90 days)
+and mature drive failures are different phenomena: they differ in
+predictability AND in which telemetry features carry the signal.  This
+example demonstrates all three findings on one fleet:
+
+1. a pooled model is much better on young inputs than old ones (Fig 15);
+2. training separate young/old models improves both (0.970/0.890 in the
+   paper);
+3. the two models rank features completely differently (Fig 16): age and
+   non-transparent errors for infants, wear-and-tear for mature drives.
+
+Run:  python examples/age_aware_models.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import figure15, figure16
+from repro.core import INFANCY_DAYS
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+def main() -> None:
+    print("Simulating fleet ...")
+    trace = simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=400,
+            horizon_days=1460,
+            deploy_spread_days=900,
+            seed=31,
+        )
+    )
+    print(" ", trace.summary())
+    print(f"\nInfancy boundary: {INFANCY_DAYS} days (paper Section 4.1)")
+
+    print("\n[1+2] Predictability by age group (Figure 15 / Section 5.3) ...")
+    f15 = figure15(trace, n_splits=4, seed=0)
+    print("  pooled model, scored per age group:")
+    for grp, auc in f15.pooled_auc.items():
+        print(f"    {grp:<6s} AUC = {auc:.3f}")
+    print("  separately trained models:")
+    for grp, (mean, std) in f15.partitioned_auc.items():
+        print(f"    {grp:<6s} AUC = {mean:.3f} ± {std:.3f}")
+
+    print("\n[3] What each model looks at (Figure 16) ...")
+    f16 = figure16(trace, seed=0)
+    print(f16.render(k=10))
+
+    young_rank = [n for n, _ in f16.young.top(10)]
+    print(
+        "\nReading: 'drive_age' ranks "
+        f"#{young_rank.index('drive_age') + 1 if 'drive_age' in young_rank else '>10'}"
+        " for infant failures; the mature model leans on workload and"
+        " correctable-error-rate counters instead — train one model per age"
+        " regime when deploying this in production."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Cost-aware alerting: pick the operating threshold like an operator would.
+
+Section 5.3 of the paper argues for conservative thresholds because false
+positives cost real money.  How conservative is a business decision: it
+depends on the ratio between the cost of a missed failure (data loss,
+emergency migration, downtime) and the cost of a needless replacement (a
+spare drive plus a technician visit).  This example:
+
+1. cross-validates the forest to obtain honest out-of-fold scores;
+2. sweeps several miss/false-alarm cost ratios and picks the
+   cost-minimizing threshold for each (`repro.core.select_threshold`);
+3. shows the same choice under a hard false-positive-rate budget.
+
+Run:  python examples/cost_aware_thresholds.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    build_prediction_dataset,
+    default_model_zoo,
+    evaluate_model,
+    select_threshold,
+)
+from repro.simulator import FleetConfig, simulate_fleet
+
+COST_RATIOS = (5.0, 50.0, 500.0)  # missed-failure cost / false-alarm cost
+
+
+def main() -> None:
+    print("Simulating fleet ...")
+    trace = simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=300,
+            horizon_days=1460,
+            deploy_spread_days=700,
+            seed=99,
+        )
+    )
+    print(" ", trace.summary())
+
+    print("\nCross-validating the forest (N = 3 days) for honest scores ...")
+    dataset = build_prediction_dataset(trace, lookahead=3)
+    spec = default_model_zoo(seed=0)[-1]
+    result = evaluate_model(dataset, spec, n_splits=4, seed=0)
+    print(f"  out-of-fold AUC: {result.mean_auc:.3f} ± {result.std_auc:.3f}")
+
+    print("\nCost-minimizing thresholds per cost ratio:")
+    print(f"  {'miss:false':>12s} {'threshold':>10s} {'TPR':>6s} {'FPR':>9s}")
+    for ratio in COST_RATIOS:
+        choice = select_threshold(
+            result.oof_true,
+            result.oof_score,
+            miss_cost=ratio,
+            false_alarm_cost=1.0,
+        )
+        print(
+            f"  {ratio:>10.0f}:1 {choice.threshold:>10.3f} "
+            f"{choice.tpr:>6.2f} {choice.fpr:>9.5f}"
+        )
+
+    print("\nWith a hard FPR budget of 0.1% (replacement quota):")
+    choice = select_threshold(
+        result.oof_true,
+        result.oof_score,
+        miss_cost=500.0,
+        false_alarm_cost=1.0,
+        max_fpr=0.001,
+    )
+    print(f"  {choice}")
+
+    print(
+        "\nReading: cheap spares push the threshold down (catch everything);"
+        "\nexpensive field service pushes it toward the paper's conservative"
+        "\nalpha ~ 0.9+ regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fleet reliability report: the paper's characterization study in one run.
+
+Generates the full Section 2-4 characterization of a simulated fleet — the
+same analyses a reliability engineer would run on real telemetry:
+
+- error-type incidence per drive model (Table 1);
+- failure incidence and repeat-failure distribution (Tables 3-4);
+- the swap -> repair -> re-entry pipeline (Table 5, Figures 4-5);
+- infant mortality and the age/wear (non-)relationship (Figures 6, 8);
+- error visibility of failed vs healthy drives (Figure 10).
+
+Run:  python examples/fleet_reliability_report.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    figure4,
+    figure5,
+    figure6,
+    figure8,
+    figure10,
+    table1,
+    table3,
+    table4,
+    table5,
+)
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+def main() -> None:
+    config = FleetConfig(
+        n_drives_per_model=400,
+        horizon_days=2190,  # the paper's six-year window
+        deploy_spread_days=1400,
+        seed=42,
+    )
+    print("Simulating six-year fleet ...")
+    trace = simulate_fleet(config)
+    print(" ", trace.summary())
+
+    print("\n=== Error incidence (Table 1) ===")
+    print(table1(trace).render())
+
+    print("\n=== Failure incidence (Table 3) ===")
+    print(table3(trace).render())
+
+    print("\n=== Repeat failures (Table 4) ===")
+    print(table4(trace).render())
+
+    print("\n=== Repair pipeline (Table 5) ===")
+    print(table5(trace).render())
+
+    print("\n=== Swap latency (Figure 4) ===")
+    print(figure4(trace).render())
+
+    print("\n=== Repair duration (Figure 5) ===")
+    print(figure5(trace).render())
+
+    print("\n=== Infant mortality (Figure 6) ===")
+    f6 = figure6(trace)
+    print(f6.render())
+    rate = f6.monthly_rate
+    print("  monthly failure rate, first year:", np.round(rate[:12], 4).tolist())
+
+    print("\n=== Wear at failure (Figure 8) ===")
+    print(figure8(trace).render())
+
+    print("\n=== Error visibility of failed drives (Figure 10) ===")
+    print(figure10(trace).render())
+
+    print(
+        "\nHeadline: failures cluster in the first 90 days, strike far below"
+        "\nthe P/E endurance limit, and a large share of failed drives never"
+        "\nshowed a single uncorrectable error — exactly the paper's story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Proactive replacement: turn predictions into an operating policy.
+
+The paper's motivation for prediction (Section 5) is operational: if a
+failure can be flagged a few days ahead, the operator can migrate data and
+stage a spare instead of losing the drive cold.  This example quantifies
+that benefit on a held-out part of the fleet:
+
+1. train the predictor on one (drive-grouped) split of the fleet;
+2. replay the held-out drives day by day: each day, drives whose failure
+   probability crosses a conservative threshold are "proactively replaced";
+3. score the policy: how many real failures were caught with enough lead
+   time, at the cost of how many false replacements.
+
+Run:  python examples/proactive_replacement.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import FailurePredictor, build_prediction_dataset
+from repro.data import grouped_train_test_split
+from repro.simulator import FleetConfig, simulate_fleet
+
+LOOKAHEAD = 3  # days of warning we ask the model for
+THRESHOLDS = (0.80, 0.90, 0.97)
+
+
+def main() -> None:
+    print("Simulating fleet ...")
+    trace = simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=400,
+            horizon_days=1460,
+            deploy_spread_days=700,
+            seed=123,
+        )
+    )
+    print(" ", trace.summary())
+
+    dataset = build_prediction_dataset(trace, lookahead=LOOKAHEAD)
+    train_idx, test_idx = grouped_train_test_split(
+        dataset.groups, test_fraction=0.3, seed=0
+    )
+    train, test = dataset.select(train_idx), dataset.select(test_idx)
+    print(
+        f"\nTrain: {len(train):,} drive-days ({train.n_positive} failure-window rows)"
+        f"\nTest:  {len(test):,} drive-days ({test.n_positive} failure-window rows)"
+    )
+
+    predictor = FailurePredictor(lookahead=LOOKAHEAD, seed=0)
+    predictor.fit_dataset(train)
+    scores = predictor.predict_proba_dataset(test)
+
+    # Replay: the operator replaces a drive the first time its score
+    # crosses the threshold.  Per drive we then classify the outcome:
+    #   timely  — flagged on a day inside the failure's lookahead window
+    #             (the warning arrived in time to migrate data);
+    #   early   — the drive was flagged ahead of the window but does fail
+    #             later (replacement still prevented the failure);
+    #   false   — flagged, but the drive never fails;
+    #   missed  — the drive fails without ever being flagged.
+    failed_drives = set(np.unique(test.groups[test.y == 1]).tolist())
+    print(f"\nHeld-out drives with an upcoming failure: {len(failed_drives)}")
+    header = f"{'threshold':>10s} {'timely':>7s} {'early':>6s} {'missed':>7s} {'false repl.':>12s}"
+    print(header)
+    for thr in THRESHOLDS:
+        flagged = scores >= thr
+        timely_drives: set[int] = set()
+        flagged_any: set[int] = set()
+        for drive, is_flagged, label in zip(test.groups, flagged, test.y):
+            if is_flagged:
+                flagged_any.add(int(drive))
+                if label:
+                    timely_drives.add(int(drive))
+        early = len((flagged_any - timely_drives) & failed_drives)
+        false_repl = len(flagged_any - failed_drives)
+        missed = len(failed_drives - flagged_any)
+        print(
+            f"{thr:>10.2f} {len(timely_drives):>7d} {early:>6d} "
+            f"{missed:>7d} {false_repl:>12d}"
+        )
+
+    print(
+        "\nReading: raising the threshold trades missed failures for fewer"
+        "\nunnecessary replacements — the paper's argument for conservative"
+        "\nthresholds in production (Section 5.3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

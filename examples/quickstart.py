@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate a fleet, train a failure predictor, rank the fleet.
+
+This walks the three core steps of the library in under a minute:
+
+1. generate a synthetic SSD fleet trace (the stand-in for the paper's
+   proprietary Google telemetry);
+2. fit the paper's best model — a random forest predicting "swap-inducing
+   failure within the next N days" — with the full protocol (failure-day
+   pinpointing, daily+cumulative features, 1:1 downsampling);
+3. score the live fleet and print the highest-risk drives plus the model's
+   own explanation of what it looks at.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import FailurePredictor
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+def main() -> None:
+    # A small three-model fleet observed for two years.  Scale up
+    # n_drives_per_model / horizon_days for paper-sized experiments.
+    config = FleetConfig(
+        n_drives_per_model=150,
+        horizon_days=730,
+        deploy_spread_days=300,
+        seed=7,
+    )
+    print("Simulating fleet ...")
+    trace = simulate_fleet(config)
+    print(" ", trace.summary())
+
+    print("\nTraining the failure predictor (random forest, N = 3 days) ...")
+    predictor = FailurePredictor(lookahead=3, seed=0).fit(trace)
+
+    print("\nCross-validating with the paper's protocol (grouped 4-fold) ...")
+    result = predictor.cross_validate(trace, n_splits=4)
+    print(f"  ROC AUC: {result.mean_auc:.3f} ± {result.std_auc:.3f}")
+
+    print("\nTop-10 highest-risk drives right now:")
+    report = predictor.risk_report(trace.records).top(10)
+    print(f"  {'drive':>8s} {'age (d)':>8s} {'P(fail <= 3d)':>14s}")
+    for did, age, p in zip(report.drive_id, report.age_days, report.probability):
+        print(f"  {did:>8d} {age:>8d} {p:>14.3f}")
+
+    print("\nWhat the model looks at (top feature importances):")
+    for name, weight in predictor.feature_importances()[:8]:
+        print(f"  {name:<28s} {weight:.4f}")
+
+
+if __name__ == "__main__":
+    main()

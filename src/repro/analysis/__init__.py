@@ -1,0 +1,72 @@
+"""Experiment harness: one function per table/figure of the paper.
+
+``tables.tableN(trace, ...)`` and ``figures.figureN(trace, ...)`` return
+structured results with ``render()`` text output; ``paper_targets`` holds
+the published values each result is compared against in EXPERIMENTS.md.
+"""
+
+from . import paper_targets
+from .figures import (
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    figure12,
+    figure13,
+    figure14,
+    figure15,
+    figure16,
+)
+from .observations import ObservationReport, ObservationResult, check_observations
+from .reentry import ReentryAnalysis, analyze_reentry
+from .support import operational_periods, value_at_failure
+from .tables import (
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+__all__ = [
+    "paper_targets",
+    "figure1",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+    "ObservationReport",
+    "ObservationResult",
+    "check_observations",
+    "ReentryAnalysis",
+    "analyze_reentry",
+    "operational_periods",
+    "value_at_failure",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+]

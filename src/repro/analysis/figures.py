@@ -1,0 +1,684 @@
+"""Reproduction of the paper's Figures 1 and 3-16.
+
+Each ``figureN`` function computes the data series behind the corresponding
+figure (CDFs, rates, quantile bands, ROC curves, importance rankings) and
+returns a structured result.  Figure 2 is a schematic timeline with no data
+and is documented in DESIGN.md instead.
+
+No plotting library is required: results carry plain arrays plus a
+``render()`` text summary used by the benchmark harness and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import (
+    INFANCY_DAYS,
+    ImportanceReport,
+    ModelSpec,
+    build_prediction_dataset,
+    default_model_zoo,
+    evaluate_model,
+    importance_report,
+)
+from ..data import MODEL_NAMES, downsample_majority
+from ..ml import roc_auc_score, roc_curve
+from ..simulator import FleetTrace
+from ..stats import (
+    CensoredECDF,
+    ECDF,
+    QuantileBands,
+    binned_failure_rate,
+    binned_quantiles,
+    censored_ecdf,
+    ecdf,
+)
+from .support import operational_periods, value_at_failure
+
+__all__ = [
+    "figure1",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "figure15",
+    "figure16",
+]
+
+
+# ------------------------------------------------------------------- Figure 1
+@dataclass
+class Figure1Result:
+    """CDFs of max observed drive age and of per-drive data volume."""
+
+    max_age: ECDF
+    data_count: ECDF
+
+    def render(self) -> str:
+        qs = (0.25, 0.5, 0.75)
+        ma = ", ".join(f"q{int(q*100)}={self.max_age.quantile(q)/365.25:.1f}y" for q in qs)
+        dc = ", ".join(
+            f"q{int(q*100)}={self.data_count.quantile(q)/365.25:.1f}y" for q in qs
+        )
+        return f"Max age: {ma}\nData count: {dc}"
+
+
+def figure1(trace: FleetTrace) -> Figure1Result:
+    """Figure 1: per-drive max observed age and recorded-day count CDFs."""
+    records = trace.records
+    return Figure1Result(
+        max_age=ecdf(records.grouped_max("age_days").astype(np.float64)),
+        data_count=ecdf(records.grouped_count().astype(np.float64)),
+    )
+
+
+# ------------------------------------------------------------------- Figure 3
+@dataclass
+class Figure3Result:
+    """CDF of operational-period length, with the censored "∞" bar."""
+
+    cdf: CensoredECDF
+
+    @property
+    def never_failing_fraction(self) -> float:
+        return self.cdf.censored_mass
+
+    def render(self) -> str:
+        return (
+            f"operational periods: {self.cdf.n_finite + self.cdf.n_censored} "
+            f"({100 * self.cdf.censored_mass:.1f}% censored); "
+            f"P(len <= 1y) = {self.cdf(365.0):.3f}, P(len <= 3y) = {self.cdf(1095.0):.3f}"
+        )
+
+
+def figure3(trace: FleetTrace) -> Figure3Result:
+    """Figure 3: time-to-failure CDF over all operational periods."""
+    periods = operational_periods(trace.drives, trace.swaps)
+    return Figure3Result(cdf=censored_ecdf(periods.length))
+
+
+# ------------------------------------------------------------------- Figure 4
+@dataclass
+class Figure4Result:
+    """CDF of the pre-swap non-operational period."""
+
+    cdf: ECDF
+
+    def render(self) -> str:
+        return (
+            f"non-op period: P(<=1d) = {self.cdf(1.0):.2f}, "
+            f"P(<=7d) = {self.cdf(7.0):.2f}, P(>100d) = {1 - self.cdf(100.0):.3f}"
+        )
+
+
+def figure4(trace: FleetTrace) -> Figure4Result:
+    """Figure 4: days between the failure and the physical swap."""
+    return Figure4Result(cdf=ecdf(trace.swaps.non_operational_days()))
+
+
+# ------------------------------------------------------------------- Figure 5
+@dataclass
+class Figure5Result:
+    """CDF of time-to-repair with never-repaired mass."""
+
+    cdf: CensoredECDF
+
+    def render(self) -> str:
+        return (
+            f"repairs: {100 * self.cdf.censored_mass:.1f}% never return; "
+            f"P(<=10d) = {self.cdf(10.0):.3f}, P(<=1y) = {self.cdf(365.0):.3f}"
+        )
+
+
+def figure5(trace: FleetTrace) -> Figure5Result:
+    """Figure 5: repair duration CDF (nan = never observed to return)."""
+    return Figure5Result(cdf=censored_ecdf(trace.swaps.time_to_repair()))
+
+
+# ------------------------------------------------------------------- Figure 6
+@dataclass
+class Figure6Result:
+    """Failure-age CDF plus exposure-normalized monthly failure rate."""
+
+    age_cdf: ECDF
+    monthly_rate: np.ndarray
+    month_edges: np.ndarray
+
+    @property
+    def infant_share_30d(self) -> float:
+        """Fraction of failures within the first 30 days."""
+        return float(self.age_cdf(30.0))
+
+    @property
+    def infant_share_90d(self) -> float:
+        """Fraction of failures within the first 90 days."""
+        return float(self.age_cdf(90.0))
+
+    def render(self) -> str:
+        r = self.monthly_rate
+        first3 = np.nanmean(r[:3])
+        later = np.nanmean(r[3:24]) if len(r) > 3 else float("nan")
+        return (
+            f"failures <30d: {100 * self.infant_share_30d:.1f}%, "
+            f"<90d: {100 * self.infant_share_90d:.1f}%; monthly rate "
+            f"months 0-2: {first3:.4f}, months 3-24: {later:.4f}"
+        )
+
+
+def figure6(trace: FleetTrace, n_months: int = 72) -> Figure6Result:
+    """Figure 6: failure-age CDF and the per-month hazard estimate."""
+    edges = np.arange(n_months + 1) * 30.0
+    rate = binned_failure_rate(
+        trace.swaps.failure_age,
+        exposure_start=np.zeros(len(trace.drives)),
+        exposure_stop=trace.drives.end_of_observation_age.astype(np.float64),
+        edges=edges,
+    )
+    return Figure6Result(
+        age_cdf=ecdf(trace.swaps.failure_age),
+        monthly_rate=rate.rate,
+        month_edges=edges,
+    )
+
+
+# ------------------------------------------------------------------- Figure 7
+@dataclass
+class Figure7Result:
+    """Quartile bands of daily write intensity per month of age."""
+
+    bands: QuantileBands
+
+    def render(self) -> str:
+        med = self.bands.level(0.5)
+        pick = [m for m in (0, 5, 11, 23, 47) if m < len(med)]
+        cells = ", ".join(f"m{m}={med[m]:.2e}" for m in pick)
+        return f"median daily writes by age month: {cells}"
+
+
+def figure7(trace: FleetTrace, n_months: int = 72) -> Figure7Result:
+    """Figure 7: write-intensity quartiles as a function of drive age."""
+    records = trace.records
+    edges = np.arange(n_months + 1) * 30.0
+    bands = binned_quantiles(
+        records["age_days"].astype(np.float64),
+        records["write_count"].astype(np.float64),
+        edges=edges,
+        levels=(0.25, 0.5, 0.75),
+    )
+    return Figure7Result(bands=bands)
+
+
+# ------------------------------------------------------------------- Figure 8
+@dataclass
+class Figure8Result:
+    """P/E-at-failure CDF plus failure rate per P/E bin."""
+
+    pe_cdf: ECDF
+    rate: np.ndarray
+    pe_edges: np.ndarray
+
+    @property
+    def share_below_half_limit(self) -> float:
+        """Fraction of failures before 1500 cycles (half the rated limit)."""
+        return float(self.pe_cdf(1500.0))
+
+    def render(self) -> str:
+        return (
+            f"failures below 1500 P/E: {100 * self.share_below_half_limit:.1f}%; "
+            f"median P/E at failure: {self.pe_cdf.quantile(0.5):.0f}"
+        )
+
+
+def figure8(trace: FleetTrace, bin_width: float = 250.0, max_pe: float = 6000.0) -> Figure8Result:
+    """Figure 8: wear (P/E) at failure, CDF and binned failure rate."""
+    records = trace.records
+    pe_at_fail = value_at_failure(records, trace.swaps, records["pe_cycles"])
+    pe_at_fail = pe_at_fail[~np.isnan(pe_at_fail)]
+    edges = np.arange(0.0, max_pe + bin_width, bin_width)
+    final_pe = records.grouped_last("pe_cycles").astype(np.float64)
+    rate = binned_failure_rate(
+        pe_at_fail,
+        exposure_start=np.zeros(len(final_pe)),
+        exposure_stop=final_pe,
+        edges=edges,
+    )
+    return Figure8Result(pe_cdf=ecdf(pe_at_fail), rate=rate.rate, pe_edges=edges)
+
+
+# ------------------------------------------------------------------- Figure 9
+@dataclass
+class Figure9Result:
+    """P/E-at-failure CDFs split by infant vs. mature failures."""
+
+    young: ECDF
+    old: ECDF
+
+    def render(self) -> str:
+        return (
+            f"median P/E at failure: young {self.young.quantile(0.5):.0f}, "
+            f"old {self.old.quantile(0.5):.0f}"
+        )
+
+
+def figure9(trace: FleetTrace, infancy_days: int = INFANCY_DAYS) -> Figure9Result:
+    """Figure 9: the Figure 8 CDF split at the 90-day infancy boundary."""
+    records = trace.records
+    pe_at_fail = value_at_failure(records, trace.swaps, records["pe_cycles"])
+    ok = ~np.isnan(pe_at_fail)
+    young_mask = ok & (trace.swaps.failure_age <= infancy_days)
+    old_mask = ok & (trace.swaps.failure_age > infancy_days)
+    return Figure9Result(
+        young=ecdf(pe_at_fail[young_mask]), old=ecdf(pe_at_fail[old_mask])
+    )
+
+
+# ------------------------------------------------------------------ Figure 10
+@dataclass
+class Figure10Result:
+    """Cumulative bad-block and UE count CDFs: young / old / not failed."""
+
+    bad_blocks: dict[str, ECDF]
+    uncorrectable: dict[str, ECDF]
+
+    def zero_ue_fraction(self, group: str) -> float:
+        """P(cumulative UE count == 0) for a group."""
+        return float(self.uncorrectable[group](0.0))
+
+    def render(self) -> str:
+        z = {g: self.zero_ue_fraction(g) for g in ("young", "old", "not_failed")}
+        return (
+            "zero-UE share: young {young:.2f}, old {old:.2f}, "
+            "not-failed {not_failed:.2f}".format(**z)
+        )
+
+
+def figure10(trace: FleetTrace, infancy_days: int = INFANCY_DAYS) -> Figure10Result:
+    """Figure 10: error/bad-block accumulation of failed vs. healthy drives.
+
+    Failed drives are measured *at their first failure* (cumulative counts
+    up to the failure day); healthy drives at their last record.
+    """
+    records = trace.records
+    swaps = trace.swaps
+    cum_ue = records.grouped_cumsum("uncorrectable_error")
+    cum_bb = (
+        records["grown_bad_blocks"].astype(np.float64)
+        + records["factory_bad_blocks"].astype(np.float64)
+    )
+    # First failure per drive.
+    order = np.lexsort((swaps.failure_age, swaps.drive_id))
+    first_mask = np.zeros(len(swaps), dtype=bool)
+    seen: set[int] = set()
+    for j in order:
+        d = int(swaps.drive_id[j])
+        if d not in seen:
+            seen.add(d)
+            first_mask[j] = True
+    firsts = swaps.select(first_mask)
+    ue_at_fail = value_at_failure(records, firsts, cum_ue)
+    bb_at_fail = value_at_failure(records, firsts, cum_bb)
+    young = firsts.failure_age <= infancy_days
+
+    ids, offsets = records.drive_groups()
+    failed_ids = np.unique(swaps.drive_id)
+    not_failed = ~np.isin(ids, failed_ids)
+    # Final cumulative values per drive: last row of the per-drive cumsum.
+    ue_last = cum_ue[offsets[1:] - 1]
+    bb_last = cum_bb[offsets[1:] - 1]
+
+    def _safe(x: np.ndarray) -> np.ndarray:
+        x = x[~np.isnan(x)]
+        return x if x.size else np.zeros(1)
+
+    return Figure10Result(
+        bad_blocks={
+            "young": ecdf(_safe(bb_at_fail[young])),
+            "old": ecdf(_safe(bb_at_fail[~young])),
+            "not_failed": ecdf(bb_last[not_failed]),
+        },
+        uncorrectable={
+            "young": ecdf(_safe(ue_at_fail[young])),
+            "old": ecdf(_safe(ue_at_fail[~young])),
+            "not_failed": ecdf(ue_last[not_failed]),
+        },
+    )
+
+
+# ------------------------------------------------------------------ Figure 11
+@dataclass
+class Figure11Result:
+    """Pre-failure UE behaviour.
+
+    ``prob_within`` maps group -> array over n = 1..window of
+    P(any UE within the last n days before the failure); ``baseline`` is
+    the same probability over arbitrary n-day stretches of healthy drives.
+    ``count_percentiles`` maps group -> (levels, days, values) for nonzero
+    UE-count upper percentiles per day-before-failure.
+    """
+
+    prob_within: dict[str, np.ndarray]
+    baseline: np.ndarray
+    count_percentiles: dict[str, np.ndarray]
+    percentile_levels: tuple[float, ...]
+    window: int
+
+    def render(self) -> str:
+        y = self.prob_within["young"]
+        o = self.prob_within["old"]
+        return (
+            f"P(UE within last 2d): young {y[1]:.2f}, old {o[1]:.2f}, "
+            f"baseline {self.baseline[1]:.3f}; within 7d: young "
+            f"{y[min(6, len(y)-1)]:.2f}, old {o[min(6, len(o)-1)]:.2f}"
+        )
+
+
+def figure11(
+    trace: FleetTrace,
+    window: int = 7,
+    infancy_days: int = INFANCY_DAYS,
+    percentile_levels: tuple[float, ...] = (0.75, 0.85, 0.95),
+    seed: int = 0,
+) -> Figure11Result:
+    """Figure 11: UE probability and magnitude in the days before failure."""
+    records = trace.records
+    swaps = trace.swaps
+    ages = records["age_days"]
+    ue = records["uncorrectable_error"]
+    from .support import drive_slices
+
+    slices = drive_slices(records)
+    young_sel = swaps.failure_age <= infancy_days
+
+    # Per failure: UE count on each day-offset before the failure.
+    per_day: dict[str, list[np.ndarray]] = {"young": [], "old": []}
+    for i in range(len(swaps)):
+        span = slices.get(int(swaps.drive_id[i]))
+        if span is None:
+            continue
+        s, e = span
+        a = ages[s:e]
+        f = swaps.failure_age[i]
+        counts = np.zeros(window, dtype=np.float64)
+        lo = int(np.searchsorted(a, f - window + 1, side="left"))
+        hi = int(np.searchsorted(a, f, side="right"))
+        for pos in range(lo, hi):
+            off = int(f - a[pos])
+            if 0 <= off < window:
+                counts[off] = ue[s + pos]
+        per_day["young" if young_sel[i] else "old"].append(counts)
+
+    prob_within: dict[str, np.ndarray] = {}
+    count_pct: dict[str, np.ndarray] = {}
+    for grp, rows in per_day.items():
+        if rows:
+            mat = np.vstack(rows)
+            any_within = np.cumsum(mat > 0, axis=1) > 0  # over offsets 0..n-1
+            prob_within[grp] = any_within.mean(axis=0)
+            pct = np.full((len(percentile_levels), window), np.nan)
+            for d in range(window):
+                nz = mat[:, d][mat[:, d] > 0]
+                if nz.size:
+                    pct[:, d] = np.quantile(nz, percentile_levels)
+            count_pct[grp] = pct
+        else:
+            prob_within[grp] = np.full(window, np.nan)
+            count_pct[grp] = np.full((len(percentile_levels), window), np.nan)
+
+    # Baseline: P(any UE within an arbitrary n-day window) estimated from
+    # random healthy windows.
+    rng = np.random.default_rng(seed)
+    failed_ids = set(np.unique(swaps.drive_id).tolist())
+    ue_day = ue > 0
+    ids, offsets = records.drive_groups()
+    healthy = [i for i in range(len(ids)) if int(ids[i]) not in failed_ids]
+    baseline = np.zeros(window)
+    n_samples = 4000
+    hits = np.zeros(window)
+    draws = 0
+    while draws < n_samples and healthy:
+        i = healthy[int(rng.integers(0, len(healthy)))]
+        s, e = int(offsets[i]), int(offsets[i + 1])
+        if e - s < window:
+            draws += 1
+            continue
+        start = int(rng.integers(s, e - window + 1))
+        seg = ue_day[start : start + window]
+        hits += np.cumsum(seg) > 0
+        draws += 1
+    baseline = hits / max(draws, 1)
+
+    return Figure11Result(
+        prob_within=prob_within,
+        baseline=baseline,
+        count_percentiles=count_pct,
+        percentile_levels=percentile_levels,
+        window=window,
+    )
+
+
+# ------------------------------------------------------------------ Figure 12
+@dataclass
+class Figure12Result:
+    """Random-forest AUC as a function of the lookahead window N."""
+
+    lookaheads: tuple[int, ...]
+    auc_mean: np.ndarray
+    auc_std: np.ndarray
+
+    def render(self) -> str:
+        return ", ".join(
+            f"N={n}: {m:.3f}±{s:.3f}"
+            for n, m, s in zip(self.lookaheads, self.auc_mean, self.auc_std)
+        )
+
+
+def figure12(
+    trace: FleetTrace,
+    lookaheads: Sequence[int] = (1, 2, 3, 5, 7, 14, 30),
+    spec: ModelSpec | None = None,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> Figure12Result:
+    """Figure 12: forest AUC vs. N (the paper sweeps 1..30)."""
+    spec = spec or default_model_zoo(seed)[-1]
+    means, stds = [], []
+    for n in lookaheads:
+        ds = build_prediction_dataset(trace, lookahead=n)
+        res = evaluate_model(ds, spec, n_splits=n_splits, seed=seed)
+        means.append(res.mean_auc)
+        stds.append(res.std_auc)
+    return Figure12Result(
+        lookaheads=tuple(lookaheads),
+        auc_mean=np.asarray(means),
+        auc_std=np.asarray(stds),
+    )
+
+
+# ------------------------------------------------------------------ Figure 13
+@dataclass
+class Figure13Result:
+    """Per-drive-model ROC curves (random forest, N=1)."""
+
+    curves: dict[str, tuple[np.ndarray, np.ndarray]]  # name -> (fpr, tpr)
+    auc: dict[str, float]
+
+    def render(self) -> str:
+        return ", ".join(f"{m}: AUC={a:.3f}" for m, a in self.auc.items())
+
+
+def figure13(
+    trace: FleetTrace,
+    spec: ModelSpec | None = None,
+    lookahead: int = 1,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> Figure13Result:
+    """Figure 13: ROC per drive model from out-of-fold predictions."""
+    spec = spec or default_model_zoo(seed)[-1]
+    dataset = build_prediction_dataset(trace, lookahead=lookahead)
+    curves: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    auc: dict[str, float] = {}
+    for i, name in enumerate(MODEL_NAMES):
+        sub = dataset.for_model(i)
+        res = evaluate_model(sub, spec, n_splits=n_splits, seed=seed)
+        fpr, tpr, _ = roc_curve(res.oof_true, res.oof_score)
+        curves[name] = (fpr, tpr)
+        auc[name] = roc_auc_score(res.oof_true, res.oof_score)
+    return Figure13Result(curves=curves, auc=auc)
+
+
+# ------------------------------------------------------------------ Figure 14
+@dataclass
+class Figure14Result:
+    """Recall (TPR) as a function of drive age for several thresholds."""
+
+    month_edges: np.ndarray
+    tpr_by_threshold: dict[float, np.ndarray]
+
+    def render(self) -> str:
+        parts = []
+        for thr, tpr in self.tpr_by_threshold.items():
+            young = np.nanmean(tpr[:3])
+            old = np.nanmean(tpr[3:])
+            parts.append(f"alpha={thr}: TPR months 0-2 = {young:.2f}, 3+ = {old:.2f}")
+        return "; ".join(parts)
+
+
+def figure14(
+    trace: FleetTrace,
+    thresholds: Sequence[float] = (0.85, 0.90, 0.95),
+    spec: ModelSpec | None = None,
+    lookahead: int = 1,
+    n_months: int = 30,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> Figure14Result:
+    """Figure 14: per-age recall of the thresholded forest (out-of-fold)."""
+    spec = spec or default_model_zoo(seed)[-1]
+    dataset = build_prediction_dataset(trace, lookahead=lookahead)
+    res = evaluate_model(dataset, spec, n_splits=n_splits, seed=seed)
+    pos = res.oof_true == 1
+    ages = dataset.age_days[res.oof_index][pos]
+    scores = res.oof_score[pos]
+    edges = np.arange(n_months + 1) * 30.0
+    bin_id = np.clip(np.searchsorted(edges, ages, side="right") - 1, 0, n_months - 1)
+    out: dict[float, np.ndarray] = {}
+    for thr in thresholds:
+        tpr = np.full(n_months, np.nan)
+        for b in range(n_months):
+            sel = bin_id == b
+            if np.any(sel):
+                tpr[b] = float((scores[sel] >= thr).mean())
+        out[thr] = tpr
+    return Figure14Result(month_edges=edges, tpr_by_threshold=out)
+
+
+# ------------------------------------------------------------------ Figure 15
+@dataclass
+class Figure15Result:
+    """Young/old ROC comparison plus separately-trained AUCs (§5.3)."""
+
+    curves: dict[str, tuple[np.ndarray, np.ndarray]]
+    pooled_auc: dict[str, float]
+    partitioned_auc: dict[str, tuple[float, float]]  # group -> (mean, std)
+
+    def render(self) -> str:
+        pooled = ", ".join(f"{g}: {a:.3f}" for g, a in self.pooled_auc.items())
+        part = ", ".join(
+            f"{g}: {m:.3f}±{s:.3f}" for g, (m, s) in self.partitioned_auc.items()
+        )
+        return f"pooled model AUC by age group [{pooled}]; separately trained [{part}]"
+
+
+def figure15(
+    trace: FleetTrace,
+    spec: ModelSpec | None = None,
+    lookahead: int = 1,
+    infancy_days: int = INFANCY_DAYS,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> Figure15Result:
+    """Figure 15 + §5.3: young vs old predictability.
+
+    The pooled model is trained on all ages and its out-of-fold scores are
+    split by the age of the input row (the figure); separately trained
+    young/old models quantify the partitioning gain the paper reports
+    (0.970 / 0.890).
+    """
+    spec = spec or default_model_zoo(seed)[-1]
+    dataset = build_prediction_dataset(trace, lookahead=lookahead)
+    res = evaluate_model(dataset, spec, n_splits=n_splits, seed=seed)
+    ages = dataset.age_days[res.oof_index]
+    curves: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    pooled: dict[str, float] = {}
+    for grp, mask in (
+        ("young", ages <= infancy_days),
+        ("old", ages > infancy_days),
+    ):
+        yt, ys = res.oof_true[mask], res.oof_score[mask]
+        if yt.sum() and yt.sum() < len(yt):
+            fpr, tpr, _ = roc_curve(yt, ys)
+            curves[grp] = (fpr, tpr)
+            pooled[grp] = roc_auc_score(yt, ys)
+        else:
+            pooled[grp] = float("nan")
+
+    partitioned: dict[str, tuple[float, float]] = {}
+    for grp, sub in (("young", dataset.young(infancy_days)), ("old", dataset.old(infancy_days))):
+        try:
+            r = evaluate_model(sub, spec, n_splits=n_splits, seed=seed)
+            partitioned[grp] = (r.mean_auc, r.std_auc)
+        except ValueError:
+            partitioned[grp] = (float("nan"), float("nan"))
+    return Figure15Result(
+        curves=curves, pooled_auc=pooled, partitioned_auc=partitioned
+    )
+
+
+# ------------------------------------------------------------------ Figure 16
+@dataclass
+class Figure16Result:
+    """Feature importances of separately trained young/old forests."""
+
+    young: ImportanceReport
+    old: ImportanceReport
+
+    def render(self, k: int = 10) -> str:
+        from ..core import compare_importances
+
+        return compare_importances(self.young, self.old, k=k)
+
+
+def figure16(
+    trace: FleetTrace,
+    spec: ModelSpec | None = None,
+    lookahead: int = 1,
+    infancy_days: int = INFANCY_DAYS,
+    seed: int = 0,
+) -> Figure16Result:
+    """Figure 16: importance rankings of the infant and mature models."""
+    spec = spec or default_model_zoo(seed)[-1]
+    dataset = build_prediction_dataset(trace, lookahead=lookahead)
+    rng = np.random.default_rng(seed)
+    reports: dict[str, ImportanceReport] = {}
+    for grp, sub in (("young", dataset.young(infancy_days)), ("old", dataset.old(infancy_days))):
+        keep = downsample_majority(sub.y, ratio=1.0, rng=rng)
+        model = spec.factory()
+        model.fit(sub.X[keep], sub.y[keep])
+        imp = getattr(model, "feature_importances_", None)
+        if imp is None:
+            raise AttributeError("figure16 requires a model with importances")
+        reports[grp] = importance_report(list(sub.feature_names), imp)
+    return Figure16Result(young=reports["young"], old=reports["old"])

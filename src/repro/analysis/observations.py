@@ -1,0 +1,299 @@
+"""Programmatic checks of the paper's thirteen Observations.
+
+The paper distils its findings into Observations 1-13.  Each function here
+evaluates one observation on a trace and returns an :class:`ObservationResult`
+with the measured evidence, so a single call audits whether a fleet —
+simulated or real — exhibits the paper's phenomenology.  This doubles as
+the top-level validation that the simulator substitution is faithful
+(DESIGN.md §2) and as a template for running the same audit on real
+telemetry.
+
+Observations that require the ML pipeline (12, 13) accept a model spec and
+are substantially more expensive; :func:`check_observations` lets callers
+include or exclude them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import build_prediction_dataset, default_model_zoo, evaluate_model
+from ..core.pipeline import INFANCY_DAYS, ModelSpec
+from ..data.fields import NON_TRANSPARENT_ERRORS
+from ..ml import roc_auc_score
+from ..simulator import FleetTrace
+from .figures import figure6, figure10, figure11, figure16
+from .tables import table2
+
+__all__ = ["ObservationResult", "ObservationReport", "check_observations"]
+
+
+@dataclass(frozen=True)
+class ObservationResult:
+    """Outcome of checking one paper observation on a trace."""
+
+    number: int
+    claim: str
+    holds: bool
+    evidence: str
+
+
+@dataclass
+class ObservationReport:
+    """All checked observations, with a render for human review."""
+
+    results: list[ObservationResult] = field(default_factory=list)
+
+    @property
+    def all_hold(self) -> bool:
+        return all(r.holds for r in self.results)
+
+    def failing(self) -> list[ObservationResult]:
+        return [r for r in self.results if not r.holds]
+
+    def render(self) -> str:
+        lines = []
+        for r in self.results:
+            mark = "PASS" if r.holds else "FAIL"
+            lines.append(f"[{mark}] Obs {r.number:>2d}: {r.claim}")
+            lines.append(f"        {r.evidence}")
+        return "\n".join(lines)
+
+
+def _obs1_2_correlations(trace: FleetTrace) -> list[ObservationResult]:
+    """Obs 1-2: P/E and age correlate weakly with non-transparent errors;
+    some error pairs correlate mildly (usable for prediction)."""
+    t2 = table2(trace)
+    pe_ue = abs(t2.value("pe_cycles", "uncorrectable_error"))
+    pe_erase = t2.value("pe_cycles", "erase_error")
+    mild_pairs = 0
+    for a in ("final_write_error", "meta_error", "read_error"):
+        for b in ("uncorrectable_error", "final_read_error", "final_write_error"):
+            if a != b and abs(t2.value(a, b)) >= 0.15:
+                mild_pairs += 1
+    r1 = ObservationResult(
+        1,
+        "P/E wear barely correlates with uncorrectable errors; erase errors "
+        "are the exception",
+        holds=(pe_ue < 0.3) and (pe_erase > 0.15),
+        evidence=f"rho(PE, UE) = {pe_ue:.2f}; rho(PE, erase) = {pe_erase:.2f}",
+    )
+    r2 = ObservationResult(
+        2,
+        "some transparent/non-transparent error pairs are mildly correlated",
+        holds=mild_pairs >= 1,
+        evidence=f"{mild_pairs} pairs with |rho| >= 0.15",
+    )
+    return [r1, r2]
+
+
+def _obs3_swap_latency(trace: FleetTrace) -> ObservationResult:
+    nonop = trace.swaps.non_operational_days()
+    within_week = float((nonop <= 7).mean()) if len(nonop) else float("nan")
+    long_tail = float((nonop > 365).mean()) if len(nonop) else float("nan")
+    return ObservationResult(
+        3,
+        "failed drives are usually swapped within a week; a small share "
+        "lingers beyond a year",
+        holds=within_week > 0.5 and long_tail < 0.2,
+        evidence=f"P(swap <= 7d) = {within_week:.2f}; P(> 1y) = {long_tail:.3f}",
+    )
+
+
+def _obs4_5_repairs(trace: FleetTrace) -> list[ObservationResult]:
+    ttr = trace.swaps.time_to_repair()
+    n = len(ttr)
+    completed = float(np.mean(~np.isnan(ttr))) if n else float("nan")
+    fast = float(np.mean(ttr <= 10)) if n else float("nan")
+    r4 = ObservationResult(
+        4,
+        "only about half of swapped drives complete repair and re-enter",
+        holds=0.25 < completed < 0.75,
+        evidence=f"completed repairs: {100 * completed:.1f}% of swaps",
+    )
+    r5 = ObservationResult(
+        5,
+        "few completed repairs finish within 10 days",
+        holds=fast < 0.2,
+        evidence=f"repaired within 10 days: {100 * fast:.1f}% of swaps",
+    )
+    return [r4, r5]
+
+
+def _safe_nanmean(x: np.ndarray) -> float:
+    """nanmean that returns nan (without warning) for empty/all-nan input."""
+    x = np.asarray(x, dtype=np.float64)
+    finite = x[np.isfinite(x)]
+    return float(finite.mean()) if finite.size else float("nan")
+
+
+def _obs6_7_infant_mortality(trace: FleetTrace) -> list[ObservationResult]:
+    f6 = figure6(trace)
+    infant_rate = _safe_nanmean(f6.monthly_rate[:3])
+    plateau = _safe_nanmean(f6.monthly_rate[3:36])
+    old = _safe_nanmean(f6.monthly_rate[36:60])
+    r6 = ObservationResult(
+        6,
+        "drives younger than 90 days fail at a markedly higher rate",
+        holds=infant_rate > 2 * plateau,
+        evidence=(
+            f"monthly hazard months 0-2: {infant_rate:.4f} vs months 3-35: "
+            f"{plateau:.4f}"
+        ),
+    )
+    r7 = ObservationResult(
+        7,
+        "beyond infancy, age does not raise the failure rate",
+        holds=(not np.isfinite(old)) or old < 2.5 * max(plateau, 1e-6),
+        evidence=f"monthly hazard months 36-59: {old:.4f}",
+    )
+    return [r6, r7]
+
+
+def _obs8_pe_limit(trace: FleetTrace) -> ObservationResult:
+    from .figures import figure8
+
+    f8 = figure8(trace)
+    below = f8.share_below_half_limit
+    beyond_rate = f8.rate[f8.pe_edges[:-1] >= 3000]
+    beyond = _safe_nanmean(beyond_rate) if np.isfinite(beyond_rate).any() else 0.0
+    within = _safe_nanmean(f8.rate[: len(f8.rate) // 2])
+    return ObservationResult(
+        8,
+        "the vast majority of failures happen well before the P/E limit; "
+        "drives beyond the limit fail rarely",
+        holds=below > 0.8 and (beyond <= within * 3 + 1e-9),
+        evidence=(
+            f"failures below 1500 P/E: {100 * below:.1f}%; mean rate beyond "
+            f"limit {beyond:.4f} vs early bins {within:.4f}"
+        ),
+    )
+
+
+def _obs9_10_error_visibility(trace: FleetTrace) -> list[ObservationResult]:
+    f10 = figure10(trace)
+    # Silent share: no non-transparent errors and no grown bad blocks.
+    records = trace.records
+    ids, _ = records.drive_groups()
+    nt_total = np.zeros(len(ids))
+    for err in NON_TRANSPARENT_ERRORS:
+        nt_total = nt_total + records.grouped_sum(err)
+    grown = records.grouped_last("grown_bad_blocks")
+    failed_ids = np.unique(trace.swaps.drive_id)
+    failed_mask = np.isin(ids, failed_ids)
+    silent = float(
+        ((nt_total[failed_mask] == 0) & (grown[failed_mask] == 0)).mean()
+    ) if failed_mask.any() else float("nan")
+    r9 = ObservationResult(
+        9,
+        "a substantial share of failures shows no serious error at all",
+        holds=silent > 0.1,
+        evidence=f"silent failures: {100 * silent:.1f}% (paper: 26%)",
+    )
+    young_zero = f10.zero_ue_fraction("young")
+    old_zero = f10.zero_ue_fraction("old")
+    # Obs 10: young failures that DO see errors see far more of them.
+    young_cdf = f10.uncorrectable["young"]
+    old_cdf = f10.uncorrectable["old"]
+    young_p90 = young_cdf.quantile(0.9)
+    old_p90 = old_cdf.quantile(0.9)
+    r10 = ObservationResult(
+        10,
+        "young failures, when symptomatic, see far higher error counts",
+        holds=young_p90 >= old_p90,
+        evidence=(
+            f"90th pct cumulative UEs: young {young_p90:.0f} vs old {old_p90:.0f}; "
+            f"zero-UE shares {young_zero:.2f}/{old_zero:.2f}"
+        ),
+    )
+    return [r9, r10]
+
+
+def _obs11_error_ramp(trace: FleetTrace) -> ObservationResult:
+    f11 = figure11(trace)
+    young = f11.prob_within["young"]
+    old = f11.prob_within["old"]
+    p2 = np.nanmax([young[1], old[1]])
+    base = max(float(f11.baseline[1]), 1e-5)
+    return ObservationResult(
+        11,
+        "error incidence rises dramatically in the last two days before a "
+        "failure",
+        holds=p2 > 5 * base,
+        evidence=f"P(UE within last 2d) up to {p2:.2f} vs baseline {base:.3f}",
+    )
+
+
+def _obs12_13_prediction(
+    trace: FleetTrace, spec: ModelSpec, n_splits: int, seed: int
+) -> list[ObservationResult]:
+    dataset = build_prediction_dataset(trace, lookahead=1)
+    res = evaluate_model(dataset, spec, n_splits=n_splits, seed=seed)
+    ages = dataset.age_days[res.oof_index]
+    young_mask = ages <= INFANCY_DAYS
+    try:
+        auc_young = roc_auc_score(
+            res.oof_true[young_mask], res.oof_score[young_mask]
+        )
+        auc_old = roc_auc_score(
+            res.oof_true[~young_mask], res.oof_score[~young_mask]
+        )
+    except ValueError:
+        auc_young = auc_old = float("nan")
+    f16 = figure16(trace, spec=spec, seed=seed)
+    young_top = [n for n, _ in f16.young.top(10)]
+    old_top = [n for n, _ in f16.old.top(10)]
+    r12 = ObservationResult(
+        12,
+        "the important features differ between young and old failures",
+        holds=young_top != old_top,
+        evidence=(
+            "unique to young top-10: "
+            f"{sorted(set(young_top) - set(old_top)) or '(ordering only)'}; "
+            "unique to old top-10: "
+            f"{sorted(set(old_top) - set(young_top)) or '(ordering only)'}"
+        ),
+    )
+    r13 = ObservationResult(
+        13,
+        "infant failures are more predictable than mature ones",
+        holds=bool(np.isnan(auc_young)) or auc_young > auc_old,
+        evidence=f"AUC young {auc_young:.3f} vs old {auc_old:.3f}",
+    )
+    return [r12, r13]
+
+
+def check_observations(
+    trace: FleetTrace,
+    include_ml: bool = True,
+    spec: ModelSpec | None = None,
+    n_splits: int = 4,
+    seed: int = 0,
+) -> ObservationReport:
+    """Audit a trace against the paper's Observations 1-13.
+
+    Parameters
+    ----------
+    trace:
+        The fleet to audit.
+    include_ml:
+        Include Observations 12-13 (requires cross-validated training —
+        minutes, not seconds).
+    spec:
+        Model used for the ML observations (default: the forest).
+    """
+    report = ObservationReport()
+    report.results.extend(_obs1_2_correlations(trace))
+    report.results.append(_obs3_swap_latency(trace))
+    report.results.extend(_obs4_5_repairs(trace))
+    report.results.extend(_obs6_7_infant_mortality(trace))
+    report.results.append(_obs8_pe_limit(trace))
+    report.results.extend(_obs9_10_error_visibility(trace))
+    report.results.append(_obs11_error_ramp(trace))
+    if include_ml:
+        spec = spec or default_model_zoo(seed)[-1]
+        report.results.extend(_obs12_13_prediction(trace, spec, n_splits, seed))
+    report.results.sort(key=lambda r: r.number)
+    return report

@@ -1,0 +1,133 @@
+"""Published values from the paper, used as comparison targets.
+
+These constants transcribe the numbers reported in the paper's tables and
+the headline statistics quoted in its prose.  EXPERIMENTS.md compares each
+against the value measured on the simulated fleet; the integration tests in
+``tests/analysis`` check the *shape* claims (orderings, crossovers, rough
+magnitudes), not exact equality — the substrate is a simulator, not the
+original testbed (DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_INCIDENCE",
+    "TABLE3_PCT_FAILED",
+    "TABLE4_PCT_OF_DRIVES",
+    "TABLE5_PCT_REPAIRED",
+    "TABLE6_AUC",
+    "TABLE7_AUC",
+    "TABLE8_AUC_COMBINED",
+    "FIG4_WITHIN_1D",
+    "FIG4_WITHIN_7D",
+    "FIG5_NEVER_REPAIRED",
+    "FIG6_FAILURES_UNDER_30D",
+    "FIG6_FAILURES_UNDER_90D",
+    "FIG8_FAILURES_UNDER_1500_PE",
+    "FIG10_ZERO_UE",
+    "FIG15_POOLED_AUC",
+    "FIG15_PARTITIONED_AUC",
+    "SILENT_FAILURE_FRACTION",
+    "PE_CYCLE_LIMIT",
+]
+
+#: Table 1 — proportion of drive days exhibiting each error type.
+TABLE1_INCIDENCE: dict[str, dict[str, float]] = {
+    "correctable_error": {"MLC-A": 0.828895, "MLC-B": 0.776308, "MLC-D": 0.767593},
+    "final_read_error": {"MLC-A": 0.001077, "MLC-B": 0.001805, "MLC-D": 0.001552},
+    "final_write_error": {"MLC-A": 0.000026, "MLC-B": 0.000027, "MLC-D": 0.000034},
+    "meta_error": {"MLC-A": 0.000014, "MLC-B": 0.000016, "MLC-D": 0.000028},
+    "read_error": {"MLC-A": 0.000090, "MLC-B": 0.000103, "MLC-D": 0.000133},
+    "response_error": {"MLC-A": 0.000001, "MLC-B": 0.000004, "MLC-D": 0.000002},
+    "timeout_error": {"MLC-A": 0.000009, "MLC-B": 0.000010, "MLC-D": 0.000014},
+    "uncorrectable_error": {"MLC-A": 0.002176, "MLC-B": 0.002349, "MLC-D": 0.002583},
+    "write_error": {"MLC-A": 0.000117, "MLC-B": 0.001309, "MLC-D": 0.000162},
+}
+
+#: Table 3 — % of drives that fail at least once.
+TABLE3_PCT_FAILED: dict[str, float] = {
+    "MLC-A": 6.95,
+    "MLC-B": 14.3,
+    "MLC-D": 12.5,
+    "All": 11.29,
+}
+
+#: Table 4 — lifetime failure-count distribution (% of all drives).
+TABLE4_PCT_OF_DRIVES: dict[int, float] = {
+    0: 88.71,
+    1: 10.10,
+    2: 1.038,
+    3: 0.133,
+    4: 0.001,
+}
+
+#: Table 5 — % of swapped drives re-entering within n days (per model).
+TABLE5_PCT_REPAIRED: dict[str, dict[str, float]] = {
+    "MLC-A": {"10d": 3.4, "30d": 5.0, "100d": 6.1, "365d": 17.4, "730d": 37.6, "1095d": 43.6, "ever": 53.4},
+    "MLC-B": {"10d": 6.8, "30d": 9.4, "100d": 12.7, "365d": 25.3, "730d": 36.1, "1095d": 42.7, "ever": 43.9},
+    "MLC-D": {"10d": 4.9, "30d": 8.1, "100d": 15.8, "365d": 28.1, "730d": 43.5, "1095d": 50.2, "ever": 57.6},
+}
+
+#: Table 6 — ROC AUC per classifier and lookahead N.
+TABLE6_AUC: dict[str, dict[int, float]] = {
+    "Logistic Reg.": {1: 0.796, 2: 0.765, 3: 0.745, 7: 0.713},
+    "k-NN": {1: 0.816, 2: 0.791, 3: 0.772, 7: 0.716},
+    "SVM": {1: 0.821, 2: 0.795, 3: 0.778, 7: 0.728},
+    "Neural Network": {1: 0.857, 2: 0.828, 3: 0.803, 7: 0.770},
+    "Decision Tree": {1: 0.872, 2: 0.840, 3: 0.819, 7: 0.780},
+    "Random Forest": {1: 0.905, 2: 0.859, 3: 0.839, 7: 0.803},
+}
+
+#: Table 7 — cross-model transfer AUC (rows: test, cols: train).
+TABLE7_AUC: dict[str, dict[str, float]] = {
+    "MLC-A": {"MLC-A": 0.891, "MLC-B": 0.871, "MLC-D": 0.887, "All": 0.901},
+    "MLC-B": {"MLC-A": 0.832, "MLC-B": 0.892, "MLC-D": 0.849, "All": 0.893},
+    "MLC-D": {"MLC-A": 0.868, "MLC-B": 0.857, "MLC-D": 0.897, "All": 0.901},
+}
+
+#: Table 8 — error-type prediction AUC (combined column, N=2).
+TABLE8_AUC_COMBINED: dict[str, float] = {
+    "bad_block": 0.877,
+    "erase_error": 0.889,
+    "final_read_error": 0.906,
+    "final_write_error": 0.841,
+    "meta_error": 0.854,
+    "read_error": 0.971,
+    "response_error": 0.806,
+    "timeout_error": 0.755,
+    "uncorrectable_error": 0.933,
+    "write_error": 0.916,
+}
+
+#: Figure 4 — non-operational period landmarks.
+FIG4_WITHIN_1D: float = 0.20
+FIG4_WITHIN_7D: float = 0.80
+
+#: Figure 5 — repairs never observed to complete.
+FIG5_NEVER_REPAIRED: float = 0.50
+
+#: Figure 6 — infant-mortality shares.
+FIG6_FAILURES_UNDER_30D: float = 0.15
+FIG6_FAILURES_UNDER_90D: float = 0.25
+
+#: Figure 8 — share of failures below half the rated P/E limit.
+FIG8_FAILURES_UNDER_1500_PE: float = 0.98
+
+#: Figure 10 — share of drives with zero cumulative uncorrectable errors.
+FIG10_ZERO_UE: dict[str, float] = {
+    "young": 0.68,
+    "old": 0.45,
+    "not_failed": 0.80,
+}
+
+#: Figure 15 — pooled-model AUC evaluated per age group.
+FIG15_POOLED_AUC: dict[str, float] = {"young": 0.961, "old": 0.894}
+
+#: Section 5.3 — separately trained young/old model AUC.
+FIG15_PARTITIONED_AUC: dict[str, float] = {"young": 0.970, "old": 0.890}
+
+#: Section 4.2 — failures with no non-transparent errors and no bad blocks.
+SILENT_FAILURE_FRACTION: float = 0.26
+
+#: Section 2 — manufacturer P/E endurance rating of all three models.
+PE_CYCLE_LIMIT: int = 3000

@@ -1,0 +1,167 @@
+"""Post-re-entry behaviour — the paper's stated next step.
+
+The conclusion of the paper announces work on "disk activity prior to a
+swap and directly following re-entry".  This module provides that analysis
+over the (simulated) trace:
+
+- how quickly re-entered drives fail again, against the first-failure
+  baseline (Kaplan-Meier, handling censoring properly);
+- the share of returned drives that fail again within fixed horizons;
+- workload placed on re-entered drives relative to their pre-failure level
+  (are operators cautious with repaired drives?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulator import FleetTrace
+from ..stats.survival import KaplanMeier, kaplan_meier
+from .support import drive_slices
+
+__all__ = ["ReentryAnalysis", "analyze_reentry"]
+
+
+@dataclass
+class ReentryAnalysis:
+    """Comparison of first operational periods vs post-re-entry periods.
+
+    Attributes
+    ----------
+    first_km, reentry_km:
+        Kaplan-Meier curves of time-to-failure for first periods and for
+        periods following a re-entry.
+    n_reentries:
+        Number of observed re-entries.
+    refail_within:
+        Mapping horizon (days) -> share of re-entered drives observed to
+        fail again within it.
+    activity_ratio_median:
+        Median of (mean daily writes after re-entry) / (mean daily writes
+        before the failure) per re-entered drive; ``nan`` if unavailable.
+    """
+
+    first_km: KaplanMeier
+    reentry_km: KaplanMeier
+    n_reentries: int
+    refail_within: dict[int, float]
+    activity_ratio_median: float
+
+    def render(self) -> str:
+        lines = [
+            f"re-entries observed: {self.n_reentries}",
+            "P(fail again within): "
+            + ", ".join(
+                f"{h}d = {v:.2f}" for h, v in sorted(self.refail_within.items())
+            ),
+            f"1-year failure probability: first period "
+            f"{self.first_km.cdf(365.0):.3f}, post-re-entry "
+            f"{self.reentry_km.cdf(365.0):.3f}",
+            f"median post/pre activity ratio: {self.activity_ratio_median:.2f}",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_reentry(
+    trace: FleetTrace, horizons: tuple[int, ...] = (90, 365, 730)
+) -> ReentryAnalysis:
+    """Characterize the life of drives after they return from repair."""
+    swaps = trace.swaps
+    drives = trace.drives
+    end_age = dict(
+        zip(drives.drive_id.tolist(), drives.end_of_observation_age.tolist())
+    )
+
+    # Organize each drive's swap events chronologically.
+    order = np.lexsort((swaps.failure_age, swaps.drive_id))
+    events_by_drive: dict[int, list[int]] = {}
+    for j in order:
+        events_by_drive.setdefault(int(swaps.drive_id[j]), []).append(int(j))
+
+    first_dur: list[float] = []
+    first_obs: list[bool] = []
+    re_dur: list[float] = []
+    re_obs: list[bool] = []
+    n_reentries = 0
+
+    for i in range(len(drives)):
+        did = int(drives.drive_id[i])
+        horizon = float(end_age[did])
+        events = events_by_drive.get(did, [])
+        if events:
+            j0 = events[0]
+            first_dur.append(float(swaps.failure_age[j0] - swaps.operational_start_age[j0]))
+            first_obs.append(True)
+        else:
+            first_dur.append(horizon)
+            first_obs.append(False)
+        # Post-re-entry periods: each event whose drive returned.
+        for k, j in enumerate(events):
+            reentry = swaps.reentry_age[j]
+            if np.isnan(reentry):
+                continue
+            n_reentries += 1
+            nxt = events[k + 1] if k + 1 < len(events) else None
+            if nxt is not None:
+                re_dur.append(float(swaps.failure_age[nxt] - reentry))
+                re_obs.append(True)
+            else:
+                re_dur.append(max(horizon - float(reentry), 0.0))
+                re_obs.append(False)
+
+    refail_within: dict[int, float] = {}
+    if re_dur:
+        re_dur_arr = np.asarray(re_dur)
+        re_obs_arr = np.asarray(re_obs)
+        for h in horizons:
+            refail_within[h] = float(
+                np.mean(re_obs_arr & (re_dur_arr <= h))
+            )
+        reentry_km = kaplan_meier(re_dur_arr, re_obs_arr)
+    else:
+        for h in horizons:
+            refail_within[h] = float("nan")
+        reentry_km = kaplan_meier(np.array([1.0]), np.array([False]))
+
+    first_km = kaplan_meier(np.asarray(first_dur), np.asarray(first_obs))
+
+    activity_ratio = _activity_ratio(trace, events_by_drive)
+    return ReentryAnalysis(
+        first_km=first_km,
+        reentry_km=reentry_km,
+        n_reentries=n_reentries,
+        refail_within=refail_within,
+        activity_ratio_median=activity_ratio,
+    )
+
+
+def _activity_ratio(
+    trace: FleetTrace, events_by_drive: dict[int, list[int]]
+) -> float:
+    """Median post-re-entry / pre-failure mean daily writes per drive."""
+    records = trace.records
+    slices = drive_slices(records)
+    ages = records["age_days"]
+    writes = records["write_count"]
+    ratios: list[float] = []
+    for did, events in events_by_drive.items():
+        span = slices.get(did)
+        if span is None:
+            continue
+        s, e = span
+        a = ages[s:e]
+        w = writes[s:e]
+        for j in events:
+            reentry = trace.swaps.reentry_age[j]
+            if np.isnan(reentry):
+                continue
+            fail = trace.swaps.failure_age[j]
+            before = w[(a <= fail) & (a > fail - 60)]
+            after = w[(a >= reentry) & (a < reentry + 60)]
+            before = before[before > 0]
+            after = after[after > 0]
+            if before.size and after.size:
+                ratios.append(float(after.mean() / before.mean()))
+    return float(np.median(ratios)) if ratios else float("nan")

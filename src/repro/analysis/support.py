@@ -1,0 +1,142 @@
+"""Shared helpers for the per-table/figure analysis functions.
+
+The characterization figures repeatedly need two joins that the paper
+performs between its two logs:
+
+- the telemetry state of a drive *at the moment of a failure* (cumulative
+  error counts, P/E cycles — Figures 8, 9, 10);
+- the sequence of operational periods of each drive, including censored
+  ones (Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import DriveDayDataset, DriveTable, SwapLog
+
+__all__ = [
+    "value_at_failure",
+    "operational_periods",
+    "OperationalPeriods",
+    "drive_slices",
+]
+
+
+def drive_slices(records: DriveDayDataset) -> dict[int, tuple[int, int]]:
+    """Map drive_id -> (row_start, row_stop) in the sorted dataset."""
+    ids, offsets = records.drive_groups()
+    return {int(ids[i]): (int(offsets[i]), int(offsets[i + 1])) for i in range(len(ids))}
+
+
+def value_at_failure(
+    records: DriveDayDataset,
+    swaps: SwapLog,
+    values: np.ndarray,
+    cumulative: bool = True,
+) -> np.ndarray:
+    """Per swap event: a per-row quantity evaluated at the failure day.
+
+    Parameters
+    ----------
+    records:
+        Telemetry dataset (sorted by drive, age).
+    swaps:
+        Swap log; one output value per event.
+    values:
+        Per-row quantity aligned with ``records`` (e.g. a cumulative error
+        count from :meth:`DriveDayDataset.grouped_cumsum`).
+    cumulative:
+        If True, the *last recorded row at or before* the failure age is
+        used (right for cumulative counters).  If False, only a row exactly
+        on the failure day qualifies, else ``nan``.
+
+    Returns
+    -------
+    Array of length ``len(swaps)``; ``nan`` where no qualifying record
+    exists (e.g. the failure day was never logged).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] != len(records):
+        raise ValueError("values must align with records rows")
+    out = np.full(len(swaps), np.nan)
+    slices = drive_slices(records)
+    ages = records["age_days"]
+    for i in range(len(swaps)):
+        span = slices.get(int(swaps.drive_id[i]))
+        if span is None:
+            continue
+        s, e = span
+        a = ages[s:e]
+        pos = int(np.searchsorted(a, swaps.failure_age[i], side="right")) - 1
+        if pos < 0:
+            continue
+        if not cumulative and a[pos] != swaps.failure_age[i]:
+            continue
+        out[i] = values[s + pos]
+    return out
+
+
+@dataclass(frozen=True)
+class OperationalPeriods:
+    """All operational periods of the fleet (Figure 3's unit of analysis).
+
+    ``length`` is ``nan`` for censored periods (those not observed to end
+    in a failure before the trace horizon).
+    """
+
+    drive_id: np.ndarray
+    start_age: np.ndarray
+    length: np.ndarray
+
+    @property
+    def censored_fraction(self) -> float:
+        """Share of periods that never end within the trace."""
+        return float(np.isnan(self.length).mean()) if len(self.length) else 0.0
+
+    def __len__(self) -> int:
+        return len(self.drive_id)
+
+
+def operational_periods(drives: DriveTable, swaps: SwapLog) -> OperationalPeriods:
+    """Reconstruct every operational period from the two event tables.
+
+    A drive contributes one period per swap event (``start -> failure``)
+    plus, if its last event re-entered the field (or it never failed), one
+    censored period running to the end of its observation window.
+    """
+    ids: list[int] = []
+    starts: list[float] = []
+    lengths: list[float] = []
+    # Group swap events per drive, ordered by failure age.
+    order = np.lexsort((swaps.failure_age, swaps.drive_id))
+    by_drive: dict[int, list[int]] = {}
+    for j in order:
+        by_drive.setdefault(int(swaps.drive_id[j]), []).append(int(j))
+
+    for i in range(len(drives)):
+        did = int(drives.drive_id[i])
+        end_age = float(drives.end_of_observation_age[i])
+        events = by_drive.get(did, [])
+        cursor = 0.0
+        for j in events:
+            ids.append(did)
+            starts.append(float(swaps.operational_start_age[j]))
+            lengths.append(float(swaps.failure_age[j] - swaps.operational_start_age[j]))
+            cursor = swaps.reentry_age[j]
+        if not events:
+            ids.append(did)
+            starts.append(0.0)
+            lengths.append(np.nan)
+        elif not np.isnan(cursor) and cursor < end_age:
+            # The drive returned from its last repair and ran censored.
+            ids.append(did)
+            starts.append(float(cursor))
+            lengths.append(np.nan)
+    return OperationalPeriods(
+        drive_id=np.asarray(ids, dtype=np.int32),
+        start_age=np.asarray(starts),
+        length=np.asarray(lengths),
+    )

@@ -1,0 +1,495 @@
+"""Reproduction of the paper's Tables 1-8.
+
+Each ``tableN`` function computes the same statistic the paper reports,
+over a (simulated) trace, and returns a structured result with a ``render``
+method producing a plain-text table shaped like the paper's.  The ML tables
+(6-8) run the full cross-validated prediction protocol and are accordingly
+expensive; their fleet/CV sizes are parameters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data import MODEL_NAMES, downsample_majority
+from ..data.fields import ERROR_TYPES
+from ..ml import roc_auc_score
+from ..core import (
+    INFANCY_DAYS,
+    ModelSpec,
+    build_prediction_dataset,
+    default_model_zoo,
+    error_event_labels,
+    evaluate_model,
+    evaluate_model_zoo,
+)
+from ..core.features import build_features
+from ..core.labeling import label_dataset
+from ..core.pipeline import PredictionDataset
+from ..simulator import FleetTrace
+from ..stats import spearman_matrix
+
+__all__ = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "Table1Result",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "Table5Result",
+    "Table6Result",
+    "Table7Result",
+    "Table8Result",
+]
+
+
+# --------------------------------------------------------------------- Table 1
+#: Error types listed in the paper's Table 1 (erase errors are omitted
+#: there; Table 2 covers them).
+TABLE1_ERRORS: tuple[str, ...] = tuple(
+    e for e in ERROR_TYPES if e != "erase_error"
+)
+
+
+@dataclass
+class Table1Result:
+    """Proportion of drive days that exhibit each error type."""
+
+    proportions: dict[str, dict[str, float]]  # error -> model name -> frac
+
+    def render(self) -> str:
+        header = f"{'Error type':<22s}" + "".join(f"{m:>12s}" for m in MODEL_NAMES)
+        lines = [header]
+        for err in TABLE1_ERRORS:
+            row = f"{err.replace('_', ' '):<22s}"
+            for m in MODEL_NAMES:
+                row += f"{self.proportions[err][m]:>12.6f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def table1(trace: FleetTrace) -> Table1Result:
+    """Table 1: fraction of drive-days carrying each error type, per model."""
+    records = trace.records
+    model_col = records["model"]
+    out: dict[str, dict[str, float]] = {}
+    masks = {name: model_col == i for i, name in enumerate(MODEL_NAMES)}
+    for err in TABLE1_ERRORS:
+        positive = records[err] > 0
+        out[err] = {
+            name: float(positive[mask].mean()) if np.any(mask) else float("nan")
+            for name, mask in masks.items()
+        }
+    return Table1Result(proportions=out)
+
+
+# --------------------------------------------------------------------- Table 2
+#: Measure order of the paper's Table 2 correlation matrix.
+TABLE2_MEASURES: tuple[str, ...] = (
+    "erase_error",
+    "final_read_error",
+    "final_write_error",
+    "meta_error",
+    "read_error",
+    "response_error",
+    "timeout_error",
+    "uncorrectable_error",
+    "write_error",
+    "pe_cycles",
+    "bad_block_count",
+    "drive_age",
+)
+
+
+@dataclass
+class Table2Result:
+    """Spearman correlations among per-drive cumulative measures."""
+
+    names: list[str]
+    rho: np.ndarray
+
+    def value(self, a: str, b: str) -> float:
+        return float(self.rho[self.names.index(a), self.names.index(b)])
+
+    def render(self) -> str:
+        short = [n.replace("_error", "").replace("_", " ")[:10] for n in self.names]
+        lines = [f"{'':<12s}" + "".join(f"{s:>11s}" for s in short)]
+        for i, name in enumerate(short):
+            row = f"{name:<12s}"
+            for j in range(len(short)):
+                if j > i:
+                    row += f"{'':>11s}"
+                else:
+                    row += f"{self.rho[i, j]:>11.2f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def table2(trace: FleetTrace, units: str = "drive-days") -> Table2Result:
+    """Table 2: Spearman matrix over cumulative error measures.
+
+    Parameters
+    ----------
+    units:
+        ``"drive-days"`` (default) ranks the cumulative counters across all
+        daily observations — the paper's 40M-row setting, where within-drive
+        growth produces the strong age/PE couplings of its Table 2.
+        ``"drives"`` ranks one final cumulative value per drive instead.
+    """
+    records = trace.records
+    cols: dict[str, np.ndarray] = {}
+    if units == "drive-days":
+        for err in TABLE2_MEASURES[:9]:
+            cols[err] = records.grouped_cumsum(err)
+        cols["pe_cycles"] = np.asarray(records["pe_cycles"], dtype=np.float64)
+        cols["bad_block_count"] = (
+            records["grown_bad_blocks"].astype(np.float64)
+            + records["factory_bad_blocks"].astype(np.float64)
+        )
+        cols["drive_age"] = records["age_days"].astype(np.float64)
+    elif units == "drives":
+        for err in TABLE2_MEASURES[:9]:
+            cols[err] = records.grouped_sum(err)
+        cols["pe_cycles"] = records.grouped_last("pe_cycles")
+        cols["bad_block_count"] = (
+            records.grouped_last("grown_bad_blocks").astype(np.float64)
+            + records.grouped_last("factory_bad_blocks").astype(np.float64)
+        )
+        cols["drive_age"] = records.grouped_last("age_days").astype(np.float64)
+    else:
+        raise ValueError("units must be 'drive-days' or 'drives'")
+    names, rho = spearman_matrix(cols)
+    return Table2Result(names=names, rho=rho)
+
+
+# --------------------------------------------------------------------- Table 3
+@dataclass
+class Table3Result:
+    """High-level failure incidence per model."""
+
+    n_failures: dict[str, int]
+    pct_failed: dict[str, float]
+
+    def render(self) -> str:
+        lines = [f"{'Model':<8s}{'#Failures':>10s}{'%Failed':>9s}"]
+        for name in (*MODEL_NAMES, "All"):
+            lines.append(
+                f"{name:<8s}{self.n_failures[name]:>10d}{self.pct_failed[name]:>9.2f}"
+            )
+        return "\n".join(lines)
+
+
+def table3(trace: FleetTrace) -> Table3Result:
+    """Table 3: number of failures and % of drives failing at least once."""
+    n_failures: dict[str, int] = {}
+    pct: dict[str, float] = {}
+    for i, name in enumerate(MODEL_NAMES):
+        sw = trace.swaps.for_model(i)
+        n_drives = trace.drives.n_drives(i)
+        n_failures[name] = len(sw)
+        failed = len(np.unique(sw.drive_id))
+        pct[name] = 100.0 * failed / n_drives if n_drives else float("nan")
+    n_failures["All"] = len(trace.swaps)
+    total_failed = len(np.unique(trace.swaps.drive_id))
+    pct["All"] = 100.0 * total_failed / max(len(trace.drives), 1)
+    return Table3Result(n_failures=n_failures, pct_failed=pct)
+
+
+# --------------------------------------------------------------------- Table 4
+@dataclass
+class Table4Result:
+    """Distribution of lifetime failure counts."""
+
+    counts: np.ndarray  # index k: number of drives with exactly k failures
+    pct_of_drives: np.ndarray
+    pct_of_failed: np.ndarray
+
+    def render(self) -> str:
+        lines = [f"{'#Failures':>10s}{'% of drives':>14s}{'% of failed':>14s}"]
+        for k in range(len(self.counts)):
+            failed = f"{self.pct_of_failed[k]:>14.3f}" if k > 0 else f"{'—':>14s}"
+            lines.append(f"{k:>10d}{self.pct_of_drives[k]:>14.3f}{failed}")
+        return "\n".join(lines)
+
+
+def table4(trace: FleetTrace) -> Table4Result:
+    """Table 4: lifetime failure-count distribution (0, 1, 2, ...)."""
+    per_drive = trace.swaps.failures_per_drive()
+    n_drives = len(trace.drives)
+    max_k = max(per_drive.values(), default=0)
+    counts = np.zeros(max_k + 1, dtype=np.int64)
+    for c in per_drive.values():
+        counts[c] += 1
+    counts[0] = n_drives - len(per_drive)
+    n_failed = counts[1:].sum()
+    pct_drives = 100.0 * counts / max(n_drives, 1)
+    pct_failed = np.zeros_like(pct_drives)
+    if n_failed:
+        pct_failed[1:] = 100.0 * counts[1:] / n_failed
+    return Table4Result(
+        counts=counts, pct_of_drives=pct_drives, pct_of_failed=pct_failed
+    )
+
+
+# --------------------------------------------------------------------- Table 5
+#: Repair horizons of Table 5, in days.
+TABLE5_HORIZONS: tuple[int, ...] = (10, 30, 100, 365, 730, 1095)
+
+
+@dataclass
+class Table5Result:
+    """% of swapped drives re-entering within n days (per model)."""
+
+    pct_of_swapped: dict[str, dict[str, float]]  # model -> horizon label -> %
+    pct_of_all: dict[str, dict[str, float]]
+    horizons: tuple[str, ...]
+
+    def render(self) -> str:
+        lines = [f"{'Model':<8s}" + "".join(f"{h:>16s}" for h in self.horizons)]
+        for name in MODEL_NAMES:
+            row = f"{name:<8s}"
+            for h in self.horizons:
+                row += (
+                    f"{self.pct_of_swapped[name][h]:>9.1f}"
+                    f" ({self.pct_of_all[name][h]:>4.2f})"
+                )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def table5(trace: FleetTrace) -> Table5Result:
+    """Table 5: repair completion within n days, per drive model."""
+    horizons = tuple(f"{h}d" for h in TABLE5_HORIZONS) + ("ever",)
+    pct_sw: dict[str, dict[str, float]] = {}
+    pct_all: dict[str, dict[str, float]] = {}
+    for i, name in enumerate(MODEL_NAMES):
+        sw = trace.swaps.for_model(i)
+        n_drives = trace.drives.n_drives(i)
+        ttr = sw.time_to_repair()
+        n_swapped_drives = len(np.unique(sw.drive_id))
+        row_sw: dict[str, float] = {}
+        row_all: dict[str, float] = {}
+        n_swaps = len(sw)
+        for h, label in zip(TABLE5_HORIZONS, horizons):
+            done = float(np.count_nonzero(ttr <= h))
+            row_sw[label] = 100.0 * done / n_swaps if n_swaps else float("nan")
+            row_all[label] = 100.0 * done / n_drives if n_drives else float("nan")
+        done_ever = float(np.count_nonzero(~np.isnan(ttr)))
+        row_sw["ever"] = 100.0 * done_ever / n_swaps if n_swaps else float("nan")
+        row_all["ever"] = 100.0 * done_ever / n_drives if n_drives else float("nan")
+        pct_sw[name] = row_sw
+        pct_all[name] = row_all
+    return Table5Result(pct_of_swapped=pct_sw, pct_of_all=pct_all, horizons=horizons)
+
+
+# --------------------------------------------------------------------- Table 6
+@dataclass
+class Table6Result:
+    """ROC AUC of every classifier across lookahead windows."""
+
+    lookaheads: tuple[int, ...]
+    auc_mean: dict[str, dict[int, float]]  # model name -> N -> mean AUC
+    auc_std: dict[str, dict[int, float]]
+
+    def render(self) -> str:
+        lines = [
+            f"{'N (lookahead days)':<20s}"
+            + "".join(f"{n:>16d}" for n in self.lookaheads)
+        ]
+        for name in self.auc_mean:
+            row = f"{name:<20s}"
+            for n in self.lookaheads:
+                row += f"  {self.auc_mean[name][n]:.3f} ± {self.auc_std[name][n]:.3f}"
+            lines.append(row)
+        return "\n".join(lines)
+
+    def best_model(self, lookahead: int) -> str:
+        """Name of the best classifier at one lookahead."""
+        return max(self.auc_mean, key=lambda m: self.auc_mean[m][lookahead])
+
+
+def table6(
+    trace: FleetTrace,
+    lookaheads: Sequence[int] = (1, 2, 3, 7),
+    specs: tuple[ModelSpec, ...] | None = None,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> Table6Result:
+    """Table 6: cross-validated AUC of the six classifiers for each N."""
+    specs = specs or default_model_zoo(seed)
+    auc_mean: dict[str, dict[int, float]] = {s.name: {} for s in specs}
+    auc_std: dict[str, dict[int, float]] = {s.name: {} for s in specs}
+    for n in lookaheads:
+        dataset = build_prediction_dataset(trace, lookahead=n)
+        results = evaluate_model_zoo(dataset, specs, n_splits=n_splits, seed=seed)
+        for name, res in results.items():
+            auc_mean[name][n] = res.mean_auc
+            auc_std[name][n] = res.std_auc
+    return Table6Result(
+        lookaheads=tuple(lookaheads), auc_mean=auc_mean, auc_std=auc_std
+    )
+
+
+# --------------------------------------------------------------------- Table 7
+@dataclass
+class Table7Result:
+    """Cross-model transfer AUC matrix (random forest, N=1)."""
+
+    train_labels: tuple[str, ...]
+    test_labels: tuple[str, ...]
+    auc: np.ndarray  # (test, train)
+
+    def render(self) -> str:
+        head = "Test / Train"
+        lines = [f"{head:<14s}" + "".join(f"{t:>10s}" for t in self.train_labels)]
+        for i, name in enumerate(self.test_labels):
+            lines.append(
+                f"{name:<14s}" + "".join(f"{self.auc[i, j]:>10.3f}" for j in range(len(self.train_labels)))
+            )
+        return "\n".join(lines)
+
+
+def table7(
+    trace: FleetTrace,
+    spec: ModelSpec | None = None,
+    lookahead: int = 1,
+    n_splits: int = 5,
+    seed: int = 0,
+) -> Table7Result:
+    """Table 7: train the forest on one drive model, test on another.
+
+    Diagonal cells are cross-validated (as the paper's italics indicate);
+    off-diagonal cells train on all rows of the training model (downsampled)
+    and test on the full data of the test model.  The last column trains on
+    all three models jointly (cross-validated).
+    """
+    spec = spec or default_model_zoo(seed)[-1]
+    dataset = build_prediction_dataset(trace, lookahead=lookahead)
+    per_model = {i: dataset.for_model(i) for i in range(len(MODEL_NAMES))}
+    rng = np.random.default_rng(seed)
+    train_labels = (*MODEL_NAMES, "All")
+    auc = np.full((len(MODEL_NAMES), len(train_labels)), np.nan)
+
+    # Off-diagonal transfer cells.
+    fitted = {}
+    for j in range(len(MODEL_NAMES)):
+        src = per_model[j]
+        keep = downsample_majority(src.y, ratio=1.0, rng=rng)
+        model = spec.factory()
+        model.fit(src.X[keep], src.y[keep])
+        fitted[j] = model
+    for i in range(len(MODEL_NAMES)):
+        tgt = per_model[i]
+        for j in range(len(MODEL_NAMES)):
+            if i == j:
+                res = evaluate_model(tgt, spec, n_splits=n_splits, seed=seed)
+                auc[i, j] = res.mean_auc
+            else:
+                scores = fitted[j].predict_proba(tgt.X)
+                auc[i, j] = roc_auc_score(tgt.y, scores)
+        # "All" column: CV over the pooled dataset, scored on this model's
+        # rows only (out-of-fold).
+        res_all = evaluate_model(dataset, spec, n_splits=n_splits, seed=seed)
+        mask = dataset.model[res_all.oof_index] == i
+        auc[i, len(MODEL_NAMES)] = roc_auc_score(
+            res_all.oof_true[mask], res_all.oof_score[mask]
+        )
+    return Table7Result(
+        train_labels=train_labels, test_labels=MODEL_NAMES, auc=auc
+    )
+
+
+# --------------------------------------------------------------------- Table 8
+#: Error targets of the paper's Table 8, in its row order.
+TABLE8_TARGETS: tuple[str, ...] = (
+    "bad_block",
+    "erase_error",
+    "final_read_error",
+    "final_write_error",
+    "meta_error",
+    "read_error",
+    "response_error",
+    "timeout_error",
+    "uncorrectable_error",
+    "write_error",
+)
+
+
+@dataclass
+class Table8Result:
+    """AUC of error-type prediction, combined / young / old (N=2)."""
+
+    auc: dict[str, dict[str, float]]  # target -> partition -> AUC (nan = n/a)
+
+    def render(self) -> str:
+        parts = ("combined", "young", "old")
+        lines = [f"{'Error':<16s}" + "".join(f"{p:>10s}" for p in parts)]
+        for target, row in self.auc.items():
+            cells = "".join(
+                f"{row[p]:>10.3f}" if not np.isnan(row[p]) else f"{'—':>10s}"
+                for p in parts
+            )
+            lines.append(f"{target.replace('_error', ''):<16s}{cells}")
+        return "\n".join(lines)
+
+
+def table8(
+    trace: FleetTrace,
+    spec: ModelSpec | None = None,
+    lookahead: int = 2,
+    targets: Sequence[str] = TABLE8_TARGETS,
+    n_splits: int = 5,
+    seed: int = 0,
+    min_positives: int = 12,
+) -> Table8Result:
+    """Table 8: random-forest AUC predicting each error type, N=2.
+
+    Targets whose partition holds fewer than ``min_positives`` positive
+    rows are reported as ``nan`` (the paper likewise marks response errors
+    "too rare to predict" per age group).
+    """
+    spec = spec or default_model_zoo(seed)[-1]
+    records = trace.records
+    frame = build_features(records)
+    _, keep = label_dataset(records, trace.swaps, 1)
+    out: dict[str, dict[str, float]] = {}
+    age = frame.age_days
+    for target in targets:
+        y_all = error_event_labels(records, target, lookahead)
+        row: dict[str, float] = {}
+        for part, mask in (
+            ("combined", np.ones(len(frame), dtype=bool)),
+            ("young", age <= INFANCY_DAYS),
+            ("old", age > INFANCY_DAYS),
+        ):
+            m = mask & keep
+            y = y_all[m]
+            if y.sum() < min_positives or y.sum() == y.shape[0]:
+                row[part] = float("nan")
+                continue
+            ds = PredictionDataset(
+                X=frame.X[m],
+                y=y,
+                groups=frame.drive_id[m],
+                age_days=age[m],
+                model=frame.model[m],
+                feature_names=frame.names,
+                lookahead=lookahead,
+            )
+            try:
+                res = evaluate_model(ds, spec, n_splits=n_splits, seed=seed)
+            except ValueError:
+                row[part] = float("nan")
+                continue
+            row[part] = res.mean_auc
+        out[target] = row
+    return Table8Result(auc=out)

@@ -1,0 +1,189 @@
+"""Command-line interface: simulate, report, train, score, audit.
+
+Wraps the library's main workflows for shell use::
+
+    repro-ssd simulate --out fleet/ --drives 300 --days 1460 --seed 7
+    repro-ssd report   --trace fleet/
+    repro-ssd audit    --trace fleet/
+    repro-ssd train    --trace fleet/ --model model.pkl --lookahead 3
+    repro-ssd score    --trace fleet/ --model model.pkl --top 10
+
+A "trace directory" holds the three NPZ files written by ``simulate``:
+``records.npz``, ``drives.npz``, ``swaps.npz``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .analysis import check_observations, figure6, table1, table3, table4, table5
+from .core import FailurePredictor
+from .data import (
+    load_dataset_npz,
+    load_drivetable_npz,
+    load_swaplog_npz,
+    save_dataset_npz,
+    save_drivetable_npz,
+    save_swaplog_npz,
+)
+from .simulator import FleetConfig, FleetTrace, simulate_fleet
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_trace(path: Path) -> FleetTrace:
+    records = load_dataset_npz(path / "records.npz")
+    drives = load_drivetable_npz(path / "drives.npz")
+    swaps = load_swaplog_npz(path / "swaps.npz")
+    horizon = int((drives.deploy_day + drives.end_of_observation_age).max())
+    config = FleetConfig(
+        n_drives_per_model=max(len(drives) // 3, 1),
+        horizon_days=max(horizon, 30),
+        deploy_spread_days=min(int(drives.deploy_day.max()), max(horizon, 30) - 1),
+    )
+    return FleetTrace(records=records, drives=drives, swaps=swaps, config=config)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = FleetConfig(
+        n_drives_per_model=args.drives,
+        horizon_days=args.days,
+        deploy_spread_days=args.deploy_spread,
+        seed=args.seed,
+    )
+    print(f"Simulating fleet: {config} ...")
+    trace = simulate_fleet(config)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    save_dataset_npz(trace.records, out / "records.npz")
+    save_drivetable_npz(trace.drives, out / "drives.npz")
+    save_swaplog_npz(trace.swaps, out / "swaps.npz")
+    print(trace.summary())
+    print(f"Wrote {out}/records.npz, drives.npz, swaps.npz")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    trace = _load_trace(Path(args.trace))
+    print(trace.summary())
+    print("\n=== Error incidence (Table 1) ===")
+    print(table1(trace).render())
+    print("\n=== Failure incidence (Table 3) ===")
+    print(table3(trace).render())
+    print("\n=== Repeat failures (Table 4) ===")
+    print(table4(trace).render())
+    print("\n=== Repair pipeline (Table 5) ===")
+    print(table5(trace).render())
+    print("\n=== Infant mortality (Figure 6) ===")
+    print(figure6(trace).render())
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    trace = _load_trace(Path(args.trace))
+    report = check_observations(trace, include_ml=args.ml, seed=args.seed)
+    print(report.render())
+    return 0 if report.all_hold else 1
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    trace = _load_trace(Path(args.trace))
+    predictor = FailurePredictor(
+        lookahead=args.lookahead,
+        age_partitioned=args.age_partitioned,
+        seed=args.seed,
+    )
+    print(f"Training (lookahead={args.lookahead}d"
+          f"{', age-partitioned' if args.age_partitioned else ''}) ...")
+    if args.cv:
+        result = predictor.cross_validate(trace, n_splits=args.cv)
+        print(f"Cross-validated ROC AUC: {result.mean_auc:.3f} ± {result.std_auc:.3f}")
+    predictor.fit(trace)
+    with open(args.model, "wb") as fh:
+        pickle.dump(predictor, fh)
+    print(f"Wrote model to {args.model}")
+    return 0
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    with open(args.model, "rb") as fh:
+        predictor: FailurePredictor = pickle.load(fh)
+    records = load_dataset_npz(Path(args.trace) / "records.npz")
+    report = predictor.risk_report(records).top(args.top)
+    print(f"{'drive':>8s} {'age (d)':>8s} {'P(fail <= %dd)' % predictor.lookahead:>16s}")
+    for did, age, p in zip(report.drive_id, report.age_days, report.probability):
+        print(f"{did:>8d} {age:>8d} {p:>16.3f}")
+    if args.threshold is not None:
+        flagged = predictor.risk_report(records).flagged(args.threshold)
+        print(f"\n{len(flagged)} drive(s) above alpha={args.threshold}: "
+              f"{np.sort(flagged).tolist()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ssd",
+        description="SSD failure study reproduction: simulate fleets, "
+        "reproduce the paper's analyses, train and run failure predictors.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sim = sub.add_parser("simulate", help="simulate a fleet and write NPZ files")
+    p_sim.add_argument("--out", required=True, help="output directory")
+    p_sim.add_argument("--drives", type=int, default=200, help="drives per model")
+    p_sim.add_argument("--days", type=int, default=1460, help="trace horizon (days)")
+    p_sim.add_argument("--deploy-spread", type=int, default=700)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_rep = sub.add_parser("report", help="characterization report of a trace")
+    p_rep.add_argument("--trace", required=True, help="trace directory")
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_aud = sub.add_parser("audit", help="check the paper's Observations 1-13")
+    p_aud.add_argument("--trace", required=True)
+    p_aud.add_argument("--ml", action="store_true", help="include Obs 12-13 (slow)")
+    p_aud.add_argument("--seed", type=int, default=0)
+    p_aud.set_defaults(func=_cmd_audit)
+
+    p_tr = sub.add_parser("train", help="train and save a failure predictor")
+    p_tr.add_argument("--trace", required=True)
+    p_tr.add_argument("--model", required=True, help="output pickle path")
+    p_tr.add_argument("--lookahead", type=int, default=3)
+    p_tr.add_argument("--age-partitioned", action="store_true")
+    p_tr.add_argument("--cv", type=int, default=0, help="also report k-fold AUC")
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.set_defaults(func=_cmd_train)
+
+    p_sc = sub.add_parser("score", help="rank a fleet by failure risk")
+    p_sc.add_argument("--trace", required=True)
+    p_sc.add_argument("--model", required=True, help="trained model pickle")
+    p_sc.add_argument("--top", type=int, default=10)
+    p_sc.add_argument("--threshold", type=float, default=None)
+    p_sc.set_defaults(func=_cmd_score)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): exit quietly.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""The paper's primary contribution: SSD failure prediction & interpretation.
+
+- :mod:`repro.core.features` — daily + cumulative feature extraction;
+- :mod:`repro.core.labeling` — failure pinpointing and lookahead labels;
+- :mod:`repro.core.pipeline` — dataset building, model zoo, CV evaluation;
+- :mod:`repro.core.predictor` — high-level :class:`FailurePredictor` API
+  with optional infant/mature age partitioning (Section 5.3);
+- :mod:`repro.core.error_prediction` — per-error-type prediction (Table 8);
+- :mod:`repro.core.interpret` — feature-importance reporting (Figure 16).
+"""
+
+from .baselines import (
+    DEFAULT_HEURISTIC_WEIGHTS,
+    HeuristicRiskScore,
+    SingleFeatureThreshold,
+)
+from .drift import DriftReport, FeatureDrift, feature_drift_report
+from .error_prediction import ERROR_PREDICTION_TARGETS, error_event_labels
+from .features import DAILY_FEATURE_SOURCES, FeatureFrame, build_features, feature_names
+from .interpret import ImportanceReport, compare_importances, importance_report
+from .labeling import label_dataset, lookahead_labels, operational_mask
+from .pipeline import (
+    INFANCY_DAYS,
+    ModelSpec,
+    PredictionDataset,
+    build_prediction_dataset,
+    default_model_zoo,
+    evaluate_model,
+    extended_model_zoo,
+    evaluate_model_zoo,
+)
+from .policy import ThresholdChoice, expected_cost_curve, select_threshold
+from .predictor import DriveRiskReport, FailurePredictor
+from .windows import build_windowed_features, rolling_window_sums
+
+__all__ = [
+    "DEFAULT_HEURISTIC_WEIGHTS",
+    "HeuristicRiskScore",
+    "SingleFeatureThreshold",
+    "DriftReport",
+    "FeatureDrift",
+    "feature_drift_report",
+    "ERROR_PREDICTION_TARGETS",
+    "error_event_labels",
+    "DAILY_FEATURE_SOURCES",
+    "FeatureFrame",
+    "build_features",
+    "feature_names",
+    "ImportanceReport",
+    "compare_importances",
+    "importance_report",
+    "label_dataset",
+    "lookahead_labels",
+    "operational_mask",
+    "INFANCY_DAYS",
+    "ModelSpec",
+    "PredictionDataset",
+    "build_prediction_dataset",
+    "default_model_zoo",
+    "extended_model_zoo",
+    "evaluate_model",
+    "evaluate_model_zoo",
+    "DriveRiskReport",
+    "FailurePredictor",
+    "ThresholdChoice",
+    "expected_cost_curve",
+    "select_threshold",
+    "build_windowed_features",
+    "rolling_window_sums",
+]

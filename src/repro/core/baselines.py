@@ -1,0 +1,134 @@
+"""Non-ML baselines: threshold rules and heuristic scoring.
+
+The paper's Section 1 observes that "statistical methods are not able to
+achieve highly accurate predictions: we find no evidence that the repair
+process is triggered by any deterministic decision rule", and its related
+work cites threshold-based predictors (Ma et al., RAIDShield).  These
+baselines make that comparison concrete:
+
+- :class:`SingleFeatureThreshold` — flag when one counter crosses a cut
+  (the best cut is chosen on the training data); its AUC is simply how far
+  one metric alone can go.
+- :class:`HeuristicRiskScore` — a hand-tuned additive score over the
+  "usual suspect" counters (UEs, bad blocks, read-only flag), mimicking
+  what an operator dashboard would alert on.
+
+Both implement the :class:`~repro.ml.BinaryClassifier` interface, so they
+drop into the same cross-validation harness as the six ML models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml import BinaryClassifier, check_X, check_Xy, roc_auc_score
+
+__all__ = ["SingleFeatureThreshold", "HeuristicRiskScore", "DEFAULT_HEURISTIC_WEIGHTS"]
+
+
+class SingleFeatureThreshold(BinaryClassifier):
+    """Best single-feature threshold rule.
+
+    Fitting scans every feature (optionally a user-fixed one) and keeps the
+    feature whose raw value ranks the training labels best (AUC), flipping
+    its sign if the association is negative.  Prediction returns the
+    feature's empirical quantile, a monotone score in [0, 1].
+
+    Parameters
+    ----------
+    feature_index:
+        Fix the rule to one feature; ``None`` scans all.
+    """
+
+    def __init__(self, feature_index: int | None = None):
+        self.feature_index = feature_index
+        self.chosen_index_: int | None = None
+        self.sign_: float = 1.0
+        self._sorted_values: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SingleFeatureThreshold":
+        X, y = check_Xy(X, y)
+        candidates = (
+            [self.feature_index]
+            if self.feature_index is not None
+            else list(range(X.shape[1]))
+        )
+        best_auc, best_j, best_sign = -1.0, candidates[0], 1.0
+        for j in candidates:
+            col = X[:, j]
+            if col.min() == col.max():
+                continue
+            auc = roc_auc_score(y, col)
+            for auc_signed, sign in ((auc, 1.0), (1.0 - auc, -1.0)):
+                if auc_signed > best_auc:
+                    best_auc, best_j, best_sign = auc_signed, j, sign
+        self.chosen_index_ = int(best_j)
+        self.sign_ = best_sign
+        self._sorted_values = np.sort(self.sign_ * X[:, best_j])
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.chosen_index_ is None or self._sorted_values is None:
+            raise RuntimeError("SingleFeatureThreshold used before fit")
+        X = check_X(X)
+        vals = self.sign_ * X[:, self.chosen_index_]
+        ranks = np.searchsorted(self._sorted_values, vals, side="right")
+        return ranks / len(self._sorted_values)
+
+
+#: Default additive weights of the operator-dashboard heuristic, keyed by
+#: feature name (see :func:`repro.core.features.feature_names`).
+DEFAULT_HEURISTIC_WEIGHTS: dict[str, float] = {
+    "uncorrectable_error": 2.0,
+    "cum_uncorrectable_error": 1.0,
+    "final_read_error": 1.5,
+    "cum_bad_block_count": 1.0,
+    "status_read_only": 3.0,
+}
+
+
+class HeuristicRiskScore(BinaryClassifier):
+    """Fixed additive risk score over log-compressed suspect counters.
+
+    ``score = sigma( sum_f w_f * log1p(x_f) - b )`` with hand-set weights.
+    ``fit`` only calibrates the offset ``b`` so scores centre sensibly; no
+    learning of weights happens — that is the point of the baseline.
+
+    Parameters
+    ----------
+    feature_names:
+        Names aligned with the columns of ``X``.
+    weights:
+        Feature-name -> weight mapping (defaults to
+        :data:`DEFAULT_HEURISTIC_WEIGHTS`; unknown names are ignored).
+    """
+
+    def __init__(
+        self,
+        feature_names: tuple[str, ...],
+        weights: dict[str, float] | None = None,
+    ):
+        self.feature_names = tuple(feature_names)
+        self.weights = dict(weights or DEFAULT_HEURISTIC_WEIGHTS)
+        self._w: np.ndarray | None = None
+        self._offset: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "HeuristicRiskScore":
+        X, y = check_Xy(X, y)
+        if X.shape[1] != len(self.feature_names):
+            raise ValueError("feature_names must align with X columns")
+        w = np.zeros(X.shape[1])
+        for name, weight in self.weights.items():
+            if name in self.feature_names:
+                w[self.feature_names.index(name)] = weight
+        self._w = w
+        raw = np.log1p(np.maximum(X, 0.0)) @ w
+        self._offset = float(np.median(raw))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._w is None:
+            raise RuntimeError("HeuristicRiskScore used before fit")
+        X = check_X(X)
+        raw = np.log1p(np.maximum(X, 0.0)) @ self._w - self._offset
+        return 1.0 / (1.0 + np.exp(-np.clip(raw, -50, 50)))

@@ -1,0 +1,113 @@
+"""Telemetry drift monitoring for deployed predictors.
+
+Section 5.3's lesson generalizes: a model trained on one drive population
+degrades on another (young vs old drives, MLC-A vs MLC-B).  In production
+the population shifts continuously — new drive batches, changed
+provisioning, firmware updates — so a deployed predictor needs a tripwire.
+:func:`feature_drift_report` compares the feature distributions the model
+was trained on against a current telemetry window, feature by feature
+(two-sample KS), and flags the shifted ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..stats.ks import KSResult, ks_two_sample
+
+__all__ = ["FeatureDrift", "DriftReport", "feature_drift_report"]
+
+
+@dataclass(frozen=True)
+class FeatureDrift:
+    """Drift verdict for one feature."""
+
+    name: str
+    ks: KSResult
+    drifted: bool
+
+
+@dataclass
+class DriftReport:
+    """Per-feature drift results plus an overall verdict."""
+
+    features: list[FeatureDrift]
+    alpha: float
+
+    @property
+    def drifted_features(self) -> list[str]:
+        return [f.name for f in self.features if f.drifted]
+
+    @property
+    def any_drift(self) -> bool:
+        return bool(self.drifted_features)
+
+    def render(self, k: int = 10) -> str:
+        ranked = sorted(self.features, key=lambda f: -f.ks.statistic)
+        lines = [
+            f"drifted features ({len(self.drifted_features)} of "
+            f"{len(self.features)} at alpha={self.alpha}):"
+        ]
+        for f in ranked[:k]:
+            mark = "DRIFT" if f.drifted else "  ok "
+            lines.append(
+                f"  [{mark}] {f.name:<28s} KS={f.ks.statistic:.3f} "
+                f"p={f.ks.pvalue:.2e}"
+            )
+        return "\n".join(lines)
+
+
+def feature_drift_report(
+    X_train: np.ndarray,
+    X_current: np.ndarray,
+    feature_names: tuple[str, ...] | list[str],
+    alpha: float = 1e-3,
+    min_effect: float = 0.1,
+    max_rows: int = 20_000,
+    seed: int | None = 0,
+) -> DriftReport:
+    """Compare training vs current feature distributions.
+
+    A feature counts as drifted when the KS test is significant at
+    ``alpha`` AND the KS statistic exceeds ``min_effect`` — with telemetry
+    row counts, statistical significance alone fires on negligible shifts.
+
+    Parameters
+    ----------
+    X_train, X_current:
+        Feature matrices with identical column layout.
+    feature_names:
+        Column names (for the report).
+    max_rows:
+        Per-matrix row subsample cap (KS is O(n log n) per feature).
+    """
+    X_train = np.asarray(X_train, dtype=np.float64)
+    X_current = np.asarray(X_current, dtype=np.float64)
+    if X_train.ndim != 2 or X_current.ndim != 2:
+        raise ValueError("feature matrices must be 2-D")
+    if X_train.shape[1] != X_current.shape[1]:
+        raise ValueError("feature-count mismatch between matrices")
+    if len(feature_names) != X_train.shape[1]:
+        raise ValueError("feature_names must align with matrix columns")
+    rng = np.random.default_rng(seed)
+
+    def _cap(X: np.ndarray) -> np.ndarray:
+        if X.shape[0] > max_rows:
+            return X[rng.choice(X.shape[0], size=max_rows, replace=False)]
+        return X
+
+    A = _cap(X_train)
+    B = _cap(X_current)
+    out: list[FeatureDrift] = []
+    for j, name in enumerate(feature_names):
+        ks = ks_two_sample(A[:, j], B[:, j])
+        out.append(
+            FeatureDrift(
+                name=name,
+                ks=ks,
+                drifted=bool(ks.pvalue < alpha and ks.statistic >= min_effect),
+            )
+        )
+    return DriftReport(features=out, alpha=alpha)

@@ -1,0 +1,75 @@
+"""Model interpretation utilities (Section 5.4 / Figure 16).
+
+The paper leans on random-forest impurity importances to explain *why* the
+model predicts failures — and finds the story differs sharply between
+infant and mature drives.  This module packages that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ImportanceReport", "importance_report", "compare_importances"]
+
+
+@dataclass(frozen=True)
+class ImportanceReport:
+    """Sorted feature-importance listing for one model."""
+
+    names: tuple[str, ...]
+    importances: np.ndarray
+
+    def top(self, k: int = 10) -> list[tuple[str, float]]:
+        """The ``k`` most important features, descending."""
+        return [(self.names[i], float(self.importances[i])) for i in range(min(k, len(self.names)))]
+
+    def rank_of(self, feature: str) -> int:
+        """0-based importance rank of a feature (raises if unknown)."""
+        try:
+            return self.names.index(feature)
+        except ValueError:
+            raise KeyError(f"feature {feature!r} not in report") from None
+
+    def render(self, k: int = 10, title: str = "") -> str:
+        """Plain-text bar chart of the top-k importances."""
+        lines = [title] if title else []
+        top = self.top(k)
+        peak = max((v for _, v in top), default=1.0) or 1.0
+        for name, val in top:
+            bar = "#" * max(1, int(round(40 * val / peak)))
+            lines.append(f"  {name:<28s} {val:7.4f} {bar}")
+        return "\n".join(lines)
+
+
+def importance_report(
+    names: tuple[str, ...] | list[str], importances: np.ndarray
+) -> ImportanceReport:
+    """Build a sorted report from raw (name, importance) arrays."""
+    importances = np.asarray(importances, dtype=np.float64)
+    if len(names) != importances.shape[0]:
+        raise ValueError("names and importances must align")
+    order = np.argsort(-importances)
+    return ImportanceReport(
+        names=tuple(names[i] for i in order), importances=importances[order]
+    )
+
+
+def compare_importances(
+    young: ImportanceReport, old: ImportanceReport, k: int = 10
+) -> str:
+    """Side-by-side text rendering of young vs. mature importances.
+
+    Mirrors Figure 16's two panels: the paper's headline is that the two
+    rankings barely overlap (age/non-transparent errors dominate young
+    failures; wear-and-tear counters dominate mature ones).
+    """
+    ytop = young.top(k)
+    otop = old.top(k)
+    lines = [f"{'Young drives':<42s} | Old drives"]
+    for i in range(k):
+        left = f"{ytop[i][0]:<28s} {ytop[i][1]:7.4f}" if i < len(ytop) else ""
+        right = f"{otop[i][0]:<28s} {otop[i][1]:7.4f}" if i < len(otop) else ""
+        lines.append(f"{left:<42s} | {right}")
+    return "\n".join(lines)

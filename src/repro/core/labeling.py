@@ -1,0 +1,97 @@
+"""Failure pinpointing and lookahead labelling (Sections 3 and 5).
+
+The swap log gives, for every swap, the *failure age*: the drive's last day
+of operational activity before the pre-swap non-operational period
+(Section 3's failure definition).  From it this module derives:
+
+- the **operational mask** — rows belonging to the post-failure limbo
+  (zero-activity reports between failure and swap) are excluded from the
+  prediction dataset: the drive has already failed there;
+- the **lookahead labels** — row at age ``t`` is positive iff a failure
+  occurs within ``[t, t + N - 1]``, i.e. "the drive fails within the next
+  N days" counting the current day.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import DriveDayDataset, SwapLog
+
+__all__ = ["lookahead_labels", "operational_mask", "label_dataset"]
+
+
+def _drive_slices(records: DriveDayDataset) -> dict[int, tuple[int, int]]:
+    """Map drive_id -> (row_start, row_stop) in the sorted dataset."""
+    ids, offsets = records.drive_groups()
+    return {
+        int(ids[i]): (int(offsets[i]), int(offsets[i + 1]))
+        for i in range(len(ids))
+    }
+
+
+def operational_mask(records: DriveDayDataset, swaps: SwapLog) -> np.ndarray:
+    """Boolean mask of rows *not* inside a post-failure limbo period.
+
+    A row of drive ``d`` at age ``t`` is masked out iff some swap event of
+    ``d`` has ``failure_age < t <= swap_age``.
+    """
+    mask = np.ones(len(records), dtype=bool)
+    if len(swaps) == 0 or len(records) == 0:
+        return mask
+    slices = _drive_slices(records)
+    ages = records["age_days"]
+    for i in range(len(swaps)):
+        span = slices.get(int(swaps.drive_id[i]))
+        if span is None:
+            continue
+        s, e = span
+        a = ages[s:e]
+        lo = s + int(np.searchsorted(a, swaps.failure_age[i], side="right"))
+        hi = s + int(np.searchsorted(a, swaps.swap_age[i], side="right"))
+        if hi > lo:
+            mask[lo:hi] = False
+    return mask
+
+
+def lookahead_labels(
+    records: DriveDayDataset, swaps: SwapLog, n_days: int
+) -> np.ndarray:
+    """Binary labels: failure within the next ``n_days`` (current day incl.).
+
+    Row at age ``t`` is positive iff some failure of the same drive has
+    ``t <= failure_age <= t + n_days - 1``.
+    """
+    if n_days < 1:
+        raise ValueError("n_days must be >= 1")
+    y = np.zeros(len(records), dtype=np.int64)
+    if len(swaps) == 0 or len(records) == 0:
+        return y
+    slices = _drive_slices(records)
+    ages = records["age_days"]
+    for i in range(len(swaps)):
+        span = slices.get(int(swaps.drive_id[i]))
+        if span is None:
+            continue
+        s, e = span
+        a = ages[s:e]
+        f = swaps.failure_age[i]
+        lo = s + int(np.searchsorted(a, f - n_days + 1, side="left"))
+        hi = s + int(np.searchsorted(a, f, side="right"))
+        if hi > lo:
+            y[lo:hi] = 1
+    return y
+
+
+def label_dataset(
+    records: DriveDayDataset, swaps: SwapLog, n_days: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Convenience: ``(labels, keep_mask)`` for a lookahead of ``n_days``.
+
+    ``keep_mask`` removes post-failure limbo rows; apply it to both the
+    feature matrix and the labels before training.
+    """
+    return (
+        lookahead_labels(records, swaps, n_days),
+        operational_mask(records, swaps),
+    )

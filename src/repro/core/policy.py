@@ -1,0 +1,103 @@
+"""Cost-aware threshold selection for deployed predictors.
+
+Section 5.3 of the paper argues for conservative thresholds because false
+positives (needless replacements) carry real cost; how conservative depends
+on the ratio between the cost of a missed failure (data loss, downtime) and
+the cost of a false replacement (a spare drive plus a technician visit).
+:func:`select_threshold` turns out-of-fold validation scores into that
+decision explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml import roc_curve
+
+__all__ = ["ThresholdChoice", "select_threshold", "expected_cost_curve"]
+
+
+@dataclass(frozen=True)
+class ThresholdChoice:
+    """A selected operating point on the ROC curve."""
+
+    threshold: float
+    tpr: float
+    fpr: float
+    expected_cost_per_unit: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"alpha={self.threshold:.3f} (TPR={self.tpr:.2f}, "
+            f"FPR={self.fpr:.4f}, cost={self.expected_cost_per_unit:.4g})"
+        )
+
+
+def expected_cost_curve(
+    y_true: np.ndarray,
+    y_score: np.ndarray,
+    miss_cost: float,
+    false_alarm_cost: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Expected per-sample cost at every candidate threshold.
+
+    Cost model: each positive that is not flagged costs ``miss_cost``; each
+    negative that is flagged costs ``false_alarm_cost``.
+
+    Returns ``(thresholds, costs)`` aligned with the ROC sweep.
+    """
+    if miss_cost <= 0 or false_alarm_cost <= 0:
+        raise ValueError("costs must be positive")
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    fpr, tpr, thresholds = roc_curve(y_true, y_score)
+    pi = y_true.mean()  # positive prevalence
+    costs = miss_cost * pi * (1.0 - tpr) + false_alarm_cost * (1.0 - pi) * fpr
+    return thresholds, costs
+
+
+def select_threshold(
+    y_true: np.ndarray,
+    y_score: np.ndarray,
+    miss_cost: float,
+    false_alarm_cost: float,
+    max_fpr: float | None = None,
+) -> ThresholdChoice:
+    """Pick the cost-minimizing threshold from validation scores.
+
+    Parameters
+    ----------
+    y_true, y_score:
+        Out-of-fold labels and scores (e.g. from
+        :class:`repro.ml.CVResult`); using training scores would pick an
+        overconfident threshold.
+    miss_cost, false_alarm_cost:
+        Cost of a missed failure vs a needless replacement, in any common
+        unit (only the ratio matters).
+    max_fpr:
+        Optional hard cap on the false positive rate (operators often have
+        a replacement budget regardless of cost ratios).
+    """
+    fpr, tpr, thresholds = roc_curve(y_true, y_score)
+    _, costs = expected_cost_curve(y_true, y_score, miss_cost, false_alarm_cost)
+    feasible = np.ones_like(costs, dtype=bool)
+    if max_fpr is not None:
+        if not 0.0 < max_fpr <= 1.0:
+            raise ValueError("max_fpr must lie in (0, 1]")
+        feasible = fpr <= max_fpr
+        if not np.any(feasible):
+            raise ValueError("no operating point satisfies max_fpr")
+    masked = np.where(feasible, costs, np.inf)
+    best = int(np.argmin(masked))
+    thr = float(thresholds[best])
+    if not np.isfinite(thr):
+        # The "flag nothing" end of the sweep: use a threshold above every
+        # observed score.
+        thr = float(np.max(y_score)) + 1.0
+    return ThresholdChoice(
+        threshold=thr,
+        tpr=float(tpr[best]),
+        fpr=float(fpr[best]),
+        expected_cost_per_unit=float(costs[best]),
+    )

@@ -1,0 +1,105 @@
+"""Rolling-window feature extraction — the paper's future-work direction.
+
+The paper closes by noting it is "advancing our understanding of disk
+activity prior to a swap ... in order to improve our prediction models for
+large N".  The mechanism implemented here: besides the day-of-prediction
+value and the lifetime cumulative, summarize each counter over a trailing
+window of the last ``k`` *recorded* days (sum, plus a recent/lifetime
+ratio for activity drift).  Windowed sums let the model see an error burst
+or workload drain that started a few days ago even when the current day is
+quiet — exactly what large lookahead windows need.
+
+``benchmarks/test_ablation_windows.py`` measures the gain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import DriveDayDataset
+from .features import DAILY_FEATURE_SOURCES, FeatureFrame, build_features
+
+__all__ = ["rolling_window_sums", "build_windowed_features", "WINDOWED_SOURCES"]
+
+#: Counters that get trailing-window features (activity + the error types
+#: whose bursts matter; the ultra-rare errors add nothing but noise).
+WINDOWED_SOURCES: tuple[str, ...] = (
+    "read_count",
+    "write_count",
+    "correctable_error",
+    "uncorrectable_error",
+    "final_read_error",
+)
+
+
+def rolling_window_sums(
+    records: DriveDayDataset, name: str, window: int
+) -> np.ndarray:
+    """Trailing sum of ``name`` over the last ``window`` recorded rows.
+
+    Windows restart at drive boundaries and include the current row, so the
+    result for row ``i`` is the sum over rows ``max(start, i-window+1)..i``
+    of the same drive.  Computed from the per-drive prefix sums — no
+    Python loop over rows.
+    """
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    cum = records.grouped_cumsum(name)
+    n = len(records)
+    if n == 0:
+        return np.zeros(0)
+    _, offsets = records.drive_groups()
+    starts = offsets[:-1]
+    lengths = np.diff(offsets)
+    seg_start = np.repeat(starts, lengths)  # first row index of own drive
+    row = np.arange(n)
+    prev = np.maximum(row - window, seg_start - 1)  # row before window start
+    # Prefix-sum difference; rows whose window reaches the segment start
+    # subtract zero.
+    base = np.where(prev >= seg_start, cum[np.maximum(prev, 0)], 0.0)
+    return cum - base
+
+
+def build_windowed_features(
+    records: DriveDayDataset,
+    window: int = 7,
+    sources: tuple[str, ...] = WINDOWED_SOURCES,
+) -> FeatureFrame:
+    """The standard feature frame extended with trailing-window features.
+
+    Adds, for each source counter, ``w{window}_<name>`` (trailing sum) and,
+    for the activity counters, ``w{window}_<name>_ratio`` — the trailing
+    mean relative to the drive's lifetime mean, which isolates *drift*
+    (a drive being drained ahead of a swap) from the drive's absolute
+    activity level.
+    """
+    frame = build_features(records)
+    extra_names: list[str] = []
+    extra_cols: list[np.ndarray] = []
+    n = len(records)
+    _, offsets = records.drive_groups()
+    lengths = np.diff(offsets)
+    row_in_seg = np.arange(n) - np.repeat(offsets[:-1], lengths) + 1.0
+
+    for src in sources:
+        if src not in DAILY_FEATURE_SOURCES:
+            raise KeyError(f"{src!r} is not a windowed-feature source")
+        wsum = rolling_window_sums(records, src, window)
+        extra_names.append(f"w{window}_{src}")
+        extra_cols.append(wsum)
+        if src in ("read_count", "write_count"):
+            cum = records.grouped_cumsum(src)
+            lifetime_mean = cum / row_in_seg
+            recent_mean = wsum / np.minimum(row_in_seg, window)
+            ratio = recent_mean / np.maximum(lifetime_mean, 1e-9)
+            extra_names.append(f"w{window}_{src}_ratio")
+            extra_cols.append(ratio)
+
+    X = np.column_stack([frame.X, *extra_cols]) if extra_cols else frame.X
+    return FeatureFrame(
+        X=X,
+        names=(*frame.names, *extra_names),
+        drive_id=frame.drive_id,
+        age_days=frame.age_days,
+        model=frame.model,
+    )

@@ -1,0 +1,65 @@
+"""Telemetry data model: columnar drive-day records, event tables, splits.
+
+This package is the substrate every other layer builds on:
+
+- :mod:`repro.data.fields` — the drive-day schema (Section 2 of the paper);
+- :mod:`repro.data.dataset` — struct-of-arrays record container;
+- :mod:`repro.data.tables` — drive metadata and the swap/repair event log;
+- :mod:`repro.data.split` — drive-grouped cross-validation splits;
+- :mod:`repro.data.sampling` — majority-class downsampling;
+- :mod:`repro.data.io` — NPZ/CSV persistence.
+"""
+
+from .dataset import DriveDayDataset, concat_datasets
+from .fields import (
+    DAILY_FIELDS,
+    ERROR_TYPES,
+    FIELD_DOC,
+    FIELD_DTYPES,
+    NON_TRANSPARENT_ERRORS,
+    TRANSPARENT_ERRORS,
+    WORKLOAD_FIELDS,
+)
+from .io import (
+    export_dataset_csv,
+    load_dataset_npz,
+    load_drivetable_npz,
+    load_swaplog_npz,
+    save_dataset_npz,
+    save_drivetable_npz,
+    save_swaplog_npz,
+)
+from .sampling import class_balance, downsample_majority
+from .smart import SMART_COLUMNS, export_smart_csv, to_smart_table
+from .split import GroupKFold, grouped_train_test_split
+from .tables import MODEL_NAMES, DriveTable, SwapLog, model_index
+
+__all__ = [
+    "DriveDayDataset",
+    "concat_datasets",
+    "DAILY_FIELDS",
+    "ERROR_TYPES",
+    "FIELD_DOC",
+    "FIELD_DTYPES",
+    "NON_TRANSPARENT_ERRORS",
+    "TRANSPARENT_ERRORS",
+    "WORKLOAD_FIELDS",
+    "MODEL_NAMES",
+    "DriveTable",
+    "SwapLog",
+    "model_index",
+    "GroupKFold",
+    "grouped_train_test_split",
+    "class_balance",
+    "downsample_majority",
+    "SMART_COLUMNS",
+    "export_smart_csv",
+    "to_smart_table",
+    "save_dataset_npz",
+    "load_dataset_npz",
+    "export_dataset_csv",
+    "save_swaplog_npz",
+    "load_swaplog_npz",
+    "save_drivetable_npz",
+    "load_drivetable_npz",
+]

@@ -1,0 +1,233 @@
+"""Columnar container for drive-day telemetry records.
+
+The paper's analyses operate over tens of millions of drive-day rows, so the
+container is a struct-of-arrays: one contiguous NumPy array per column, all
+of equal length.  Rows are kept sorted by ``(drive_id, age_days)`` which
+allows per-drive group operations (cumulative sums, last-row extraction,
+windowed lookbacks) to be expressed as vectorized segment reductions instead
+of Python-level loops — the idiom recommended by the HPC guides bundled with
+this repository.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from .fields import DAILY_FIELDS, FIELD_DTYPES
+
+__all__ = ["DriveDayDataset", "concat_datasets"]
+
+
+class DriveDayDataset:
+    """An immutable-ish table of drive-day records stored column-wise.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to 1-D array.  All arrays must share the same
+        length.  Unknown columns are allowed (derived features are stored
+        alongside raw telemetry), but known columns are cast to their
+        registered dtype.
+    check_sorted:
+        If ``True`` (default), verify that rows are sorted by
+        ``(drive_id, age_days)`` when both columns are present, and sort
+        them if they are not.
+    """
+
+    def __init__(self, columns: Mapping[str, np.ndarray], check_sorted: bool = True):
+        cols: dict[str, np.ndarray] = {}
+        n = None
+        for name, arr in columns.items():
+            a = np.asarray(arr)
+            if a.ndim != 1:
+                raise ValueError(f"column {name!r} must be 1-D, got shape {a.shape}")
+            if name in FIELD_DTYPES:
+                a = a.astype(FIELD_DTYPES[name], copy=False)
+            if n is None:
+                n = a.shape[0]
+            elif a.shape[0] != n:
+                raise ValueError(
+                    f"column {name!r} has length {a.shape[0]}, expected {n}"
+                )
+            cols[name] = a
+        self._columns = cols
+        self._n = 0 if n is None else n
+        self._group_cache: tuple[np.ndarray, np.ndarray] | None = None
+        if check_sorted and "drive_id" in cols and "age_days" in cols and self._n:
+            ids = cols["drive_id"]
+            age = cols["age_days"]
+            same = ids[1:] == ids[:-1]
+            ordered = (ids[1:] > ids[:-1]) | (same & (age[1:] >= age[:-1]))
+            if not bool(np.all(ordered)):
+                order = np.lexsort((age, ids))
+                self._columns = {k: v[order] for k, v in cols.items()}
+
+    # ------------------------------------------------------------------ dict-like
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._columns[name]
+
+    def keys(self) -> Iterable[str]:
+        return self._columns.keys()
+
+    def items(self) -> Iterable[tuple[str, np.ndarray]]:
+        return self._columns.items()
+
+    @property
+    def n_rows(self) -> int:
+        return self._n
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(self._columns)
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def empty(cls, extra: Iterable[str] = ()) -> "DriveDayDataset":
+        """An empty dataset with the full registered schema."""
+        cols = {f.name: np.empty(0, dtype=f.dtype) for f in DAILY_FIELDS}
+        for name in extra:
+            cols[name] = np.empty(0, dtype=np.float64)
+        return cls(cols, check_sorted=False)
+
+    def with_columns(self, new: Mapping[str, np.ndarray]) -> "DriveDayDataset":
+        """Return a new dataset with additional/replaced columns."""
+        cols = dict(self._columns)
+        for name, arr in new.items():
+            a = np.asarray(arr)
+            if a.shape[0] != self._n:
+                raise ValueError(
+                    f"column {name!r} has length {a.shape[0]}, expected {self._n}"
+                )
+            cols[name] = a
+        return DriveDayDataset(cols, check_sorted=False)
+
+    def select(self, mask_or_index: np.ndarray) -> "DriveDayDataset":
+        """Row subset by boolean mask or integer index array.
+
+        The subset preserves row order, so a monotone index keeps the
+        ``(drive_id, age_days)`` sort invariant.
+        """
+        idx = np.asarray(mask_or_index)
+        return DriveDayDataset(
+            {k: v[idx] for k, v in self._columns.items()}, check_sorted=False
+        )
+
+    # ------------------------------------------------------------------ grouping
+    def drive_groups(self) -> tuple[np.ndarray, np.ndarray]:
+        """Group rows by drive.
+
+        Returns
+        -------
+        unique_ids:
+            Sorted array of distinct drive ids.
+        offsets:
+            Array of length ``len(unique_ids) + 1``; rows of drive ``i`` are
+            ``slice(offsets[i], offsets[i + 1])``.
+        """
+        if self._group_cache is None:
+            ids = self._columns["drive_id"]
+            if self._n == 0:
+                self._group_cache = (
+                    np.empty(0, dtype=ids.dtype),
+                    np.zeros(1, dtype=np.int64),
+                )
+            else:
+                change = np.flatnonzero(ids[1:] != ids[:-1]) + 1
+                starts = np.concatenate(([0], change))
+                offsets = np.concatenate((starts, [self._n])).astype(np.int64)
+                self._group_cache = (ids[starts], offsets)
+        return self._group_cache
+
+    def iter_drives(self) -> Iterator[tuple[int, "DriveDayDataset"]]:
+        """Iterate ``(drive_id, per-drive sub-dataset)`` pairs."""
+        ids, offsets = self.drive_groups()
+        for i, did in enumerate(ids):
+            sl = slice(int(offsets[i]), int(offsets[i + 1]))
+            yield int(did), DriveDayDataset(
+                {k: v[sl] for k, v in self._columns.items()}, check_sorted=False
+            )
+
+    def n_drives(self) -> int:
+        return len(self.drive_groups()[0])
+
+    # ------------------------------------------------------------------ segment ops
+    def grouped_cumsum(self, name: str) -> np.ndarray:
+        """Cumulative sum of ``name`` restarted at each drive boundary.
+
+        This converts a daily counter into the lifetime-cumulative counter
+        used as a model feature (Section 5.1 of the paper) without a Python
+        loop: a global cumsum is corrected by subtracting the running total
+        attained just before each segment start.
+        """
+        x = self._columns[name].astype(np.float64, copy=False)
+        if self._n == 0:
+            return np.zeros(0)
+        _, offsets = self.drive_groups()
+        total = np.cumsum(x)
+        starts = offsets[:-1]
+        # Baseline to subtract within each segment: cumulative total just
+        # before the segment start (0 for the first segment).
+        base_vals = np.where(starts > 0, total[np.maximum(starts - 1, 0)], 0.0)
+        lengths = np.diff(offsets)
+        baseline = np.repeat(base_vals, lengths)
+        return total - baseline
+
+    def grouped_last(self, name: str) -> np.ndarray:
+        """Last value of ``name`` per drive (e.g. final cumulative count)."""
+        _, offsets = self.drive_groups()
+        if self._n == 0:
+            return np.empty(0, dtype=self._columns[name].dtype)
+        return self._columns[name][offsets[1:] - 1]
+
+    def grouped_sum(self, name: str) -> np.ndarray:
+        """Sum of ``name`` per drive."""
+        x = self._columns[name].astype(np.float64, copy=False)
+        _, offsets = self.drive_groups()
+        return np.add.reduceat(x, offsets[:-1]) if self._n else np.zeros(0)
+
+    def grouped_max(self, name: str) -> np.ndarray:
+        """Maximum of ``name`` per drive."""
+        x = self._columns[name]
+        _, offsets = self.drive_groups()
+        return np.maximum.reduceat(x, offsets[:-1]) if self._n else np.zeros(0)
+
+    def grouped_count(self) -> np.ndarray:
+        """Number of recorded drive-days per drive."""
+        _, offsets = self.drive_groups()
+        return np.diff(offsets)
+
+    # ------------------------------------------------------------------ misc
+    def feature_matrix(self, names: Iterable[str]) -> np.ndarray:
+        """Stack the requested columns into a dense ``(n_rows, k)`` matrix."""
+        names = list(names)
+        out = np.empty((self._n, len(names)), dtype=np.float64)
+        for j, name in enumerate(names):
+            out[:, j] = self._columns[name]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DriveDayDataset(n_rows={self._n}, n_drives={self.n_drives()}, "
+            f"columns={len(self._columns)})"
+        )
+
+
+def concat_datasets(parts: Iterable[DriveDayDataset]) -> DriveDayDataset:
+    """Concatenate datasets row-wise (columns must match exactly)."""
+    parts = [p for p in parts if len(p)]
+    if not parts:
+        return DriveDayDataset.empty()
+    names = parts[0].column_names
+    for p in parts[1:]:
+        if p.column_names != names:
+            raise ValueError("cannot concat datasets with differing columns")
+    cols = {k: np.concatenate([p[k] for p in parts]) for k in names}
+    return DriveDayDataset(cols)

@@ -1,0 +1,145 @@
+"""Field registry for the daily SSD telemetry schema.
+
+The schema mirrors the daily performance log described in Section 2 of the
+paper: per-day workload counters, cumulative wear counters, status flags,
+bad-block counts, and ten distinct error-type counters.  Each record is one
+*drive-day*.
+
+The registry is the single source of truth for field names, dtypes and
+semantics; :class:`repro.data.dataset.DriveDayDataset` and the simulator
+both derive their layouts from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Field",
+    "DAILY_FIELDS",
+    "ERROR_TYPES",
+    "TRANSPARENT_ERRORS",
+    "NON_TRANSPARENT_ERRORS",
+    "WORKLOAD_FIELDS",
+    "FIELD_DTYPES",
+    "FIELD_DOC",
+    "index_fields",
+]
+
+
+@dataclass(frozen=True)
+class Field:
+    """A single column of the drive-day schema.
+
+    Attributes
+    ----------
+    name:
+        Column name as it appears in :class:`DriveDayDataset`.
+    dtype:
+        NumPy dtype used for storage.
+    doc:
+        One-line description of the column's semantics.
+    cumulative:
+        ``True`` if the column is a lifetime-cumulative counter (e.g. P/E
+        cycles), ``False`` if it is a daily quantity.
+    """
+
+    name: str
+    dtype: np.dtype
+    doc: str
+    cumulative: bool = False
+
+
+#: The ten error types reported by the drive firmware, in the order used
+#: throughout the paper (Tables 1 and 2).  All counts are per-day.
+ERROR_TYPES: tuple[str, ...] = (
+    "correctable_error",
+    "erase_error",
+    "final_read_error",
+    "final_write_error",
+    "meta_error",
+    "read_error",
+    "response_error",
+    "timeout_error",
+    "uncorrectable_error",
+    "write_error",
+)
+
+#: Errors that may be hidden from the user (Section 2).
+TRANSPARENT_ERRORS: tuple[str, ...] = (
+    "correctable_error",
+    "read_error",
+    "write_error",
+    "erase_error",
+)
+
+#: Errors that are visible to the user and indicate aberrant behaviour.
+NON_TRANSPARENT_ERRORS: tuple[str, ...] = (
+    "final_read_error",
+    "final_write_error",
+    "meta_error",
+    "response_error",
+    "timeout_error",
+    "uncorrectable_error",
+)
+
+#: Daily workload counters.
+WORKLOAD_FIELDS: tuple[str, ...] = ("read_count", "write_count", "erase_count")
+
+
+def _fields() -> tuple[Field, ...]:
+    f: list[Field] = [
+        Field("drive_id", np.dtype(np.int32), "Unique drive identifier."),
+        Field("model", np.dtype(np.int8), "Drive model index (0=MLC-A, 1=MLC-B, 2=MLC-D)."),
+        Field("age_days", np.dtype(np.int32), "Drive age in days at report time."),
+        Field("calendar_day", np.dtype(np.int32), "Data-center calendar day of the report."),
+        Field("read_count", np.dtype(np.float64), "Read operations performed this day."),
+        Field("write_count", np.dtype(np.float64), "Write operations performed this day."),
+        Field("erase_count", np.dtype(np.float64), "Erase operations performed this day."),
+        Field(
+            "pe_cycles",
+            np.dtype(np.float64),
+            "Cumulative program-erase cycles over the drive lifetime.",
+            cumulative=True,
+        ),
+        Field("status_dead", np.dtype(np.int8), "1 if the drive reports itself dead."),
+        Field("status_read_only", np.dtype(np.int8), "1 if the drive is in read-only mode."),
+        Field(
+            "factory_bad_blocks",
+            np.dtype(np.int32),
+            "Blocks non-operational at purchase (constant per drive).",
+            cumulative=True,
+        ),
+        Field(
+            "grown_bad_blocks",
+            np.dtype(np.int32),
+            "Cumulative blocks retired after non-transparent errors.",
+            cumulative=True,
+        ),
+    ]
+    for err in ERROR_TYPES:
+        f.append(
+            Field(
+                err,
+                np.dtype(np.int64),
+                f"Count of '{err.replace('_', ' ')}' events this day.",
+            )
+        )
+    return tuple(f)
+
+
+#: Full drive-day schema in storage order.
+DAILY_FIELDS: tuple[Field, ...] = _fields()
+
+#: Mapping ``name -> dtype`` for every column.
+FIELD_DTYPES: dict[str, np.dtype] = {f.name: f.dtype for f in DAILY_FIELDS}
+
+#: Mapping ``name -> docstring`` for every column.
+FIELD_DOC: dict[str, str] = {f.name: f.doc for f in DAILY_FIELDS}
+
+
+def index_fields() -> tuple[str, ...]:
+    """Names of the identity/index columns of the schema."""
+    return ("drive_id", "model", "age_days", "calendar_day")

@@ -1,0 +1,92 @@
+"""Persistence for telemetry datasets and event tables.
+
+NPZ is the native format (one compressed array per column — fast and exact).
+CSV export is provided for interoperability with external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import DriveDayDataset
+from .tables import DriveTable, SwapLog
+
+__all__ = [
+    "save_dataset_npz",
+    "load_dataset_npz",
+    "export_dataset_csv",
+    "save_swaplog_npz",
+    "load_swaplog_npz",
+    "save_drivetable_npz",
+    "load_drivetable_npz",
+]
+
+
+def save_dataset_npz(dataset: DriveDayDataset, path: str | Path) -> None:
+    """Write a :class:`DriveDayDataset` to a compressed ``.npz`` file."""
+    np.savez_compressed(Path(path), **{k: v for k, v in dataset.items()})
+
+
+def load_dataset_npz(path: str | Path) -> DriveDayDataset:
+    """Load a dataset previously written by :func:`save_dataset_npz`."""
+    with np.load(Path(path)) as payload:
+        cols = {k: payload[k] for k in payload.files}
+    return DriveDayDataset(cols)
+
+
+def export_dataset_csv(
+    dataset: DriveDayDataset, path: str | Path, max_rows: int | None = None
+) -> int:
+    """Export a dataset to CSV; returns the number of rows written.
+
+    ``max_rows`` caps output size (the full trace can be tens of millions of
+    rows; CSV export is intended for samples and debugging).
+    """
+    names = dataset.column_names
+    n = len(dataset) if max_rows is None else min(len(dataset), max_rows)
+    with open(Path(path), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        cols = [dataset[name] for name in names]
+        for i in range(n):
+            writer.writerow([col[i] for col in cols])
+    return n
+
+
+_SWAP_COLS = (
+    "drive_id",
+    "model",
+    "failure_age",
+    "swap_age",
+    "reentry_age",
+    "operational_start_age",
+    "failure_mode",
+)
+
+
+def save_swaplog_npz(log: SwapLog, path: str | Path) -> None:
+    """Write a :class:`SwapLog` to a compressed ``.npz`` file."""
+    np.savez_compressed(Path(path), **{c: getattr(log, c) for c in _SWAP_COLS})
+
+
+def load_swaplog_npz(path: str | Path) -> SwapLog:
+    """Load a swap log previously written by :func:`save_swaplog_npz`."""
+    with np.load(Path(path)) as payload:
+        return SwapLog(*(payload[c] for c in _SWAP_COLS))
+
+
+_DRIVE_COLS = ("drive_id", "model", "deploy_day", "end_of_observation_age")
+
+
+def save_drivetable_npz(table: DriveTable, path: str | Path) -> None:
+    """Write a :class:`DriveTable` to a compressed ``.npz`` file."""
+    np.savez_compressed(Path(path), **{c: getattr(table, c) for c in _DRIVE_COLS})
+
+
+def load_drivetable_npz(path: str | Path) -> DriveTable:
+    """Load a drive table previously written by :func:`save_drivetable_npz`."""
+    with np.load(Path(path)) as payload:
+        return DriveTable(*(payload[c] for c in _DRIVE_COLS))

@@ -1,0 +1,68 @@
+"""Class-imbalance handling for training sets.
+
+The trace contains roughly one failure per 10,000 drive-days.  Following
+Section 5.1 of the paper, the majority (non-failure) class of the *training*
+set is randomly downsampled to a configurable positive:negative ratio
+(1:1 by default) before fitting; evaluation always uses the untouched,
+imbalanced test set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["downsample_majority", "class_balance"]
+
+
+def downsample_majority(
+    y: np.ndarray,
+    ratio: float = 1.0,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Indices of a training subset with ``neg ≈ ratio * pos``.
+
+    Parameters
+    ----------
+    y:
+        Binary labels (0/1) for the candidate training rows.
+    ratio:
+        Number of negatives to keep per positive.  ``ratio=1.0`` is the 1:1
+        scheme the paper found best.
+    rng:
+        Source of randomness; a fresh default generator when omitted.
+
+    Returns
+    -------
+    Sorted row indices containing every positive and the sampled negatives.
+
+    Notes
+    -----
+    If the requested number of negatives exceeds availability, all negatives
+    are kept (the split is already balanced enough).  At least one positive
+    is required — a training fold with no failures cannot be learned from.
+    """
+    y = np.asarray(y)
+    if rng is None:
+        rng = np.random.default_rng()
+    if ratio <= 0:
+        raise ValueError("ratio must be positive")
+    pos = np.flatnonzero(y == 1)
+    neg = np.flatnonzero(y == 0)
+    if len(pos) == 0:
+        raise ValueError("downsample_majority requires at least one positive sample")
+    n_keep = min(len(neg), int(round(ratio * len(pos))))
+    kept_neg = rng.choice(neg, size=n_keep, replace=False) if n_keep else neg[:0]
+    idx = np.concatenate((pos, kept_neg))
+    idx.sort()
+    return idx
+
+
+def class_balance(y: np.ndarray) -> tuple[int, int, float]:
+    """Return ``(n_positive, n_negative, imbalance_ratio)``.
+
+    ``imbalance_ratio`` is negatives per positive (``inf`` with no positives).
+    """
+    y = np.asarray(y)
+    n_pos = int(np.count_nonzero(y == 1))
+    n_neg = int(np.count_nonzero(y == 0))
+    return n_pos, n_neg, (n_neg / n_pos if n_pos else float("inf"))

@@ -1,0 +1,121 @@
+"""SMART-attribute export adapter.
+
+The paper's drives report through a proprietary firmware format rather
+than standard SMART (Section 2), while most public tooling — and the
+related-work predictors it cites (Botezatu et al., Narayanan et al., Xu et
+al.) — consume SMART attribute tables (e.g. the Backblaze dataset layout).
+This adapter maps the trace schema onto the closest standard SMART
+attributes so those external pipelines can run on simulated fleets:
+
+====================  =======================================================
+SMART attribute       Source column
+====================  =======================================================
+smart_5   (raw)       reallocated sectors      <- grown + factory bad blocks
+smart_9   (raw)       power-on hours           <- drive age in days * 24
+smart_187 (raw)       reported uncorrectable   <- cumulative UE count
+smart_197 (raw)       pending sectors          <- daily UE count (proxy)
+smart_199 (raw)       interface CRC errors     <- timeout + response errors
+smart_241 (raw)       total LBAs written       <- cumulative writes * 8
+smart_242 (raw)       total LBAs read          <- cumulative reads * 8
+====================  =======================================================
+
+The mapping loses information (that is inherent to SMART) but preserves the
+signals those external models use.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import DriveDayDataset
+
+__all__ = ["SMART_COLUMNS", "to_smart_table", "export_smart_csv"]
+
+#: Column order of the exported SMART table.
+SMART_COLUMNS: tuple[str, ...] = (
+    "date",
+    "serial_number",
+    "model",
+    "failure",
+    "smart_5_raw",
+    "smart_9_raw",
+    "smart_187_raw",
+    "smart_197_raw",
+    "smart_199_raw",
+    "smart_241_raw",
+    "smart_242_raw",
+)
+
+#: 4 KiB operations expressed in 512-byte LBAs.
+_LBAS_PER_OP = 8
+
+
+def to_smart_table(
+    records: DriveDayDataset, failure_labels: np.ndarray | None = None
+) -> dict[str, np.ndarray]:
+    """Convert a telemetry dataset to a SMART-style columnar table.
+
+    Parameters
+    ----------
+    records:
+        Drive-day telemetry (sorted by drive, age).
+    failure_labels:
+        Optional per-row 0/1 column for the Backblaze-style ``failure``
+        field (e.g. from :func:`repro.core.lookahead_labels` with N=1);
+        zeros when omitted.
+
+    Returns
+    -------
+    Mapping of SMART column name to array, aligned with ``records`` rows.
+    """
+    n = len(records)
+    if failure_labels is None:
+        failure_labels = np.zeros(n, dtype=np.int64)
+    failure_labels = np.asarray(failure_labels)
+    if failure_labels.shape[0] != n:
+        raise ValueError("failure_labels must align with records")
+
+    cum_ue = records.grouped_cumsum("uncorrectable_error")
+    cum_writes = records.grouped_cumsum("write_count")
+    cum_reads = records.grouped_cumsum("read_count")
+    crc = (
+        records["timeout_error"].astype(np.int64)
+        + records["response_error"].astype(np.int64)
+    )
+    return {
+        "date": np.asarray(records["calendar_day"], dtype=np.int64),
+        "serial_number": np.asarray(records["drive_id"], dtype=np.int64),
+        "model": np.asarray(records["model"], dtype=np.int64),
+        "failure": failure_labels.astype(np.int64),
+        "smart_5_raw": (
+            records["grown_bad_blocks"].astype(np.int64)
+            + records["factory_bad_blocks"].astype(np.int64)
+        ),
+        "smart_9_raw": records["age_days"].astype(np.int64) * 24,
+        "smart_187_raw": cum_ue.astype(np.int64),
+        "smart_197_raw": np.asarray(records["uncorrectable_error"], dtype=np.int64),
+        "smart_199_raw": crc,
+        "smart_241_raw": (cum_writes * _LBAS_PER_OP).astype(np.int64),
+        "smart_242_raw": (cum_reads * _LBAS_PER_OP).astype(np.int64),
+    }
+
+
+def export_smart_csv(
+    records: DriveDayDataset,
+    path: str | Path,
+    failure_labels: np.ndarray | None = None,
+    max_rows: int | None = None,
+) -> int:
+    """Write the SMART-style table as CSV; returns rows written."""
+    table = to_smart_table(records, failure_labels)
+    n = len(records) if max_rows is None else min(len(records), max_rows)
+    with open(Path(path), "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(SMART_COLUMNS)
+        cols = [table[c] for c in SMART_COLUMNS]
+        for i in range(n):
+            writer.writerow([col[i] for col in cols])
+    return n

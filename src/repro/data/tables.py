@@ -1,0 +1,184 @@
+"""Per-drive and per-failure event tables.
+
+Alongside the daily performance log, the paper uses a second data source: a
+log of *swap events* marking when failed drives were extracted for repair
+(Section 3).  :class:`SwapLog` represents that log, one row per
+swap-inducing failure.  :class:`DriveTable` summarizes drive-level metadata
+(deployment time, observation horizon) needed to normalize failure rates by
+population exposure (Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DriveTable", "SwapLog", "MODEL_NAMES", "model_index"]
+
+#: Canonical drive model names in index order.
+MODEL_NAMES: tuple[str, ...] = ("MLC-A", "MLC-B", "MLC-D")
+
+
+def model_index(name: str) -> int:
+    """Map a model name ('MLC-A'/'MLC-B'/'MLC-D') to its integer index."""
+    try:
+        return MODEL_NAMES.index(name)
+    except ValueError:
+        raise KeyError(f"unknown drive model {name!r}") from None
+
+
+@dataclass
+class DriveTable:
+    """Drive-level metadata, one entry per physical drive.
+
+    All arrays are aligned and indexed by drive position (not drive id);
+    ``drive_id`` gives the id of each position.
+
+    Attributes
+    ----------
+    drive_id:
+        Unique integer id per drive.
+    model:
+        Model index per drive (see :data:`MODEL_NAMES`).
+    deploy_day:
+        Calendar day the drive entered production.
+    end_of_observation_age:
+        Drive age (days) at the end of the observation window — either the
+        trace horizon or the drive's permanent retirement, whichever came
+        first.  Used as the exposure denominator for hazard estimates.
+    """
+
+    drive_id: np.ndarray
+    model: np.ndarray
+    deploy_day: np.ndarray
+    end_of_observation_age: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.drive_id = np.asarray(self.drive_id, dtype=np.int32)
+        self.model = np.asarray(self.model, dtype=np.int8)
+        self.deploy_day = np.asarray(self.deploy_day, dtype=np.int32)
+        self.end_of_observation_age = np.asarray(
+            self.end_of_observation_age, dtype=np.int32
+        )
+        n = len(self.drive_id)
+        for name in ("model", "deploy_day", "end_of_observation_age"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"DriveTable column {name!r} misaligned")
+
+    def __len__(self) -> int:
+        return len(self.drive_id)
+
+    def n_drives(self, model: int | None = None) -> int:
+        """Number of drives, optionally restricted to one model."""
+        if model is None:
+            return len(self.drive_id)
+        return int(np.count_nonzero(self.model == model))
+
+
+@dataclass
+class SwapLog:
+    """The swap/repair event log, one row per swap-inducing failure.
+
+    Every swap in the log corresponds to exactly one catastrophic failure
+    (Section 3).  Ages are in days since the start of the drive's lifetime;
+    ``np.nan`` marks right-censored (never-observed) events.
+
+    Attributes
+    ----------
+    drive_id, model:
+        Identity of the failed drive.
+    failure_age:
+        Drive age on its last day of operational activity before the swap.
+    swap_age:
+        Drive age on the day the physical swap occurred.
+    reentry_age:
+        Drive age on the day the repaired drive re-entered production, or
+        ``nan`` if it was never observed to return.
+    operational_start_age:
+        Age at which the failed operational period began (0 for the first
+        period, the previous re-entry age otherwise).
+    failure_mode:
+        Latent generator mode (simulator ground truth; ``-1`` when unknown).
+        Used only for validation, never as a model feature.
+    """
+
+    drive_id: np.ndarray
+    model: np.ndarray
+    failure_age: np.ndarray
+    swap_age: np.ndarray
+    reentry_age: np.ndarray
+    operational_start_age: np.ndarray
+    failure_mode: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.drive_id = np.asarray(self.drive_id, dtype=np.int32)
+        self.model = np.asarray(self.model, dtype=np.int8)
+        self.failure_age = np.asarray(self.failure_age, dtype=np.float64)
+        self.swap_age = np.asarray(self.swap_age, dtype=np.float64)
+        self.reentry_age = np.asarray(self.reentry_age, dtype=np.float64)
+        self.operational_start_age = np.asarray(
+            self.operational_start_age, dtype=np.float64
+        )
+        if self.failure_mode is None:
+            self.failure_mode = np.full(len(self.drive_id), -1, dtype=np.int8)
+        else:
+            self.failure_mode = np.asarray(self.failure_mode, dtype=np.int8)
+        n = len(self.drive_id)
+        for name in (
+            "model",
+            "failure_age",
+            "swap_age",
+            "reentry_age",
+            "operational_start_age",
+            "failure_mode",
+        ):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"SwapLog column {name!r} misaligned")
+        if n:
+            bad = self.swap_age < self.failure_age
+            if bool(np.any(bad)):
+                raise ValueError("swap_age must be >= failure_age for every event")
+
+    def __len__(self) -> int:
+        return len(self.drive_id)
+
+    # ------------------------------------------------------------------ views
+    def for_model(self, model: int) -> "SwapLog":
+        """Subset of events belonging to one drive model."""
+        m = self.model == model
+        return self.select(m)
+
+    def select(self, mask: np.ndarray) -> "SwapLog":
+        """Row subset by boolean mask or index array."""
+        return SwapLog(
+            self.drive_id[mask],
+            self.model[mask],
+            self.failure_age[mask],
+            self.swap_age[mask],
+            self.reentry_age[mask],
+            self.operational_start_age[mask],
+            self.failure_mode[mask],
+        )
+
+    # ------------------------------------------------------------------ derived
+    def failures_per_drive(self) -> dict[int, int]:
+        """Mapping drive_id -> number of lifetime failures."""
+        ids, counts = np.unique(self.drive_id, return_counts=True)
+        return {int(i): int(c) for i, c in zip(ids, counts)}
+
+    def non_operational_days(self) -> np.ndarray:
+        """Length of the pre-swap non-operational period (Figure 4)."""
+        return self.swap_age - self.failure_age
+
+    def time_to_repair(self) -> np.ndarray:
+        """Days from swap to re-entry; ``nan`` when never repaired (Fig 5)."""
+        return self.reentry_age - self.swap_age
+
+    def first_failure_age(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per failed drive: (drive_id, age at first failure)."""
+        order = np.lexsort((self.failure_age, self.drive_id))
+        ids = self.drive_id[order]
+        ages = self.failure_age[order]
+        first = np.concatenate(([True], ids[1:] != ids[:-1]))
+        return ids[first], ages[first]

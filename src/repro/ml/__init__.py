@@ -1,0 +1,84 @@
+"""From-scratch machine-learning substrate.
+
+scikit-learn is unavailable in this environment, so the six classifiers the
+paper compares (Table 6) — logistic regression, k-NN, SVM, neural network,
+decision tree, random forest — plus metrics, preprocessing and grouped
+cross-validation are implemented here on plain NumPy.  Each algorithm
+follows its canonical formulation and is unit/property-tested in
+``tests/ml``.
+"""
+
+from .base import BinaryClassifier, check_X, check_Xy
+from .boosting import GradientBoostingClassifier
+from .calibration import (
+    ReliabilityCurve,
+    brier_score,
+    expected_calibration_error,
+    reliability_curve,
+)
+from .forest import RandomForestClassifier
+from .linear import LogisticRegression, sigmoid
+from .metrics import (
+    ConfusionCounts,
+    confusion_at_threshold,
+    f1_score,
+    false_positive_rate,
+    precision_score,
+    roc_auc_score,
+    roc_curve,
+    true_positive_rate,
+)
+from .model_selection import (
+    CVResult,
+    GridSearchResult,
+    cross_validate_auc,
+    grid_search,
+    parameter_grid,
+)
+from .naive_bayes import GaussianNB
+from .neighbors import KNeighborsClassifier
+from .permutation import permutation_importance
+from .neural import MLPClassifier
+from .pr import average_precision_score, precision_recall_curve
+from .preprocessing import Log1pTransformer, StandardScaler
+from .svm import KernelSVM, LinearSVM, RBFSampler
+from .tree import DecisionTreeClassifier
+
+__all__ = [
+    "BinaryClassifier",
+    "check_X",
+    "check_Xy",
+    "GradientBoostingClassifier",
+    "ReliabilityCurve",
+    "brier_score",
+    "expected_calibration_error",
+    "reliability_curve",
+    "average_precision_score",
+    "precision_recall_curve",
+    "RandomForestClassifier",
+    "LogisticRegression",
+    "sigmoid",
+    "ConfusionCounts",
+    "confusion_at_threshold",
+    "f1_score",
+    "false_positive_rate",
+    "precision_score",
+    "roc_auc_score",
+    "roc_curve",
+    "true_positive_rate",
+    "CVResult",
+    "GridSearchResult",
+    "cross_validate_auc",
+    "grid_search",
+    "parameter_grid",
+    "GaussianNB",
+    "KNeighborsClassifier",
+    "permutation_importance",
+    "MLPClassifier",
+    "Log1pTransformer",
+    "StandardScaler",
+    "KernelSVM",
+    "LinearSVM",
+    "RBFSampler",
+    "DecisionTreeClassifier",
+]

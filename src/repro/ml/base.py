@@ -1,0 +1,86 @@
+"""Estimator interface shared by every classifier in :mod:`repro.ml`.
+
+The interface intentionally mirrors the fit/predict-proba convention of the
+mainstream Python ML ecosystem so the pipeline code reads familiarly, but
+everything underneath is implemented from scratch on NumPy (scikit-learn is
+not available in this environment; see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import inspect
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["BinaryClassifier", "check_Xy", "check_X"]
+
+
+def check_X(X: np.ndarray) -> np.ndarray:
+    """Validate and standardize a feature matrix to float64 C-order."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if not np.all(np.isfinite(X)):
+        raise ValueError("X contains NaN or infinite values")
+    return np.ascontiguousarray(X)
+
+
+def check_Xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a training pair: 2-D finite X, binary y aligned with X."""
+    X = check_X(X)
+    y = np.asarray(y)
+    if y.ndim != 1 or y.shape[0] != X.shape[0]:
+        raise ValueError("y must be 1-D and aligned with X")
+    uniq = np.unique(y)
+    if not np.all(np.isin(uniq, (0, 1))):
+        raise ValueError(f"y must be binary 0/1, found values {uniq}")
+    if len(uniq) < 2:
+        raise ValueError("y must contain both classes")
+    return X, y.astype(np.float64)
+
+
+class BinaryClassifier(ABC):
+    """Base class for binary probabilistic classifiers.
+
+    Subclasses implement :meth:`fit` and :meth:`predict_proba`; thresholded
+    prediction and parameter introspection are provided here.
+    """
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "BinaryClassifier":
+        """Fit the classifier; returns ``self``."""
+
+    @abstractmethod
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row, shape ``(n,)``."""
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary prediction at a discrimination threshold alpha.
+
+        The paper's deployment discussion (Section 5.3) favours conservative
+        thresholds close to 1 to keep false positive rates low.
+        """
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must lie in [0, 1]")
+        return (self.predict_proba(X) >= threshold).astype(np.int64)
+
+    # ------------------------------------------------------------------ params
+    def get_params(self) -> dict[str, object]:
+        """Constructor parameters, by introspection of ``__init__``."""
+        sig = inspect.signature(type(self).__init__)
+        return {
+            name: getattr(self, name)
+            for name in sig.parameters
+            if name != "self" and hasattr(self, name)
+        }
+
+    def clone(self, **overrides: object) -> "BinaryClassifier":
+        """A fresh, unfitted copy with optionally overridden parameters."""
+        params = self.get_params()
+        params.update(overrides)
+        return type(self)(**params)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({args})"

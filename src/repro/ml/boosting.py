@@ -1,0 +1,271 @@
+"""Gradient-boosted decision trees (logistic loss), from scratch.
+
+The paper's comparison stops at random forests (2019's default choice for
+tabular reliability data); gradient boosting is its modern successor and a
+natural extension experiment (`benchmarks/test_ablation_boosting.py`
+compares the two on the prediction task).
+
+Implementation: standard gradient boosting on the log-odds with
+
+- least-squares regression trees on the negative gradient (residuals),
+- Newton leaf values ``sum(residual) / sum(p (1 - p))``,
+- shrinkage and optional stochastic row subsampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BinaryClassifier, check_X, check_Xy
+from .linear import sigmoid
+
+__all__ = ["GradientBoostingClassifier"]
+
+_LEAF = -1
+
+
+class _RegressionTree:
+    """Least-squares CART used as the boosting weak learner.
+
+    Split search mirrors the classifier tree but minimizes within-node sum
+    of squared errors via prefix sums of ``y`` and ``y^2``.
+    """
+
+    def __init__(
+        self,
+        max_depth: int,
+        min_samples_leaf: int,
+        max_features: int | None,
+        rng: np.random.Generator,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self.feature_: np.ndarray | None = None
+        self.threshold_: np.ndarray | None = None
+        self.left_: np.ndarray | None = None
+        self.right_: np.ndarray | None = None
+        self.leaf_id_: np.ndarray | None = None
+        self.n_leaves_: int = 0
+        #: Per-feature total squared-error reduction (importance input).
+        self.gain_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_RegressionTree":
+        n, d = X.shape
+        k_feat = self.max_features or d
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        leaf_ids: list[int] = []
+        self.gain_ = np.zeros(d)
+        #: Row membership of each leaf, filled during the build.
+        self.leaf_rows: list[np.ndarray] = []
+
+        stack: list[tuple[np.ndarray, int, int, bool]] = [(np.arange(n), 0, -1, False)]
+        while stack:
+            idx, depth, parent, is_left = stack.pop()
+            node_id = len(features)
+            if parent >= 0:
+                if is_left:
+                    lefts[parent] = node_id
+                else:
+                    rights[parent] = node_id
+            y_node = y[idx]
+            m = idx.shape[0]
+            best = None
+            if depth < self.max_depth and m >= 2 * self.min_samples_leaf:
+                cand = (
+                    self.rng.choice(d, size=k_feat, replace=False)
+                    if k_feat < d
+                    else np.arange(d)
+                )
+                best = self._best_split(X, y_node, idx, cand)
+            if best is None:
+                features.append(_LEAF)
+                thresholds.append(0.0)
+                lefts.append(_LEAF)
+                rights.append(_LEAF)
+                leaf_ids.append(len(self.leaf_rows))
+                self.leaf_rows.append(idx)
+                continue
+            feat, thr, gain, left_mask = best
+            features.append(feat)
+            thresholds.append(thr)
+            lefts.append(_LEAF)
+            rights.append(_LEAF)
+            leaf_ids.append(-1)
+            self.gain_[feat] += gain
+            stack.append((idx[~left_mask], depth + 1, node_id, False))
+            stack.append((idx[left_mask], depth + 1, node_id, True))
+
+        self.feature_ = np.asarray(features, dtype=np.int64)
+        self.threshold_ = np.asarray(thresholds)
+        self.left_ = np.asarray(lefts, dtype=np.int64)
+        self.right_ = np.asarray(rights, dtype=np.int64)
+        self.leaf_id_ = np.asarray(leaf_ids, dtype=np.int64)
+        self.n_leaves_ = len(self.leaf_rows)
+        return self
+
+    def _best_split(
+        self, X: np.ndarray, y_node: np.ndarray, idx: np.ndarray, cand: np.ndarray
+    ) -> tuple[int, float, float, np.ndarray] | None:
+        m = idx.shape[0]
+        msl = self.min_samples_leaf
+        total_sum = y_node.sum()
+        total_sq = float(y_node @ y_node)
+        parent_sse = total_sq - total_sum**2 / m
+        best_gain = 1e-12
+        best = None
+        for feat in cand:
+            x = X[idx, feat]
+            order = np.argsort(x, kind="stable")
+            xs = x[order]
+            if xs[0] == xs[-1]:
+                continue
+            ys = y_node[order]
+            cum = np.cumsum(ys)[:-1]
+            left_n = np.arange(1, m, dtype=np.float64)
+            right_n = m - left_n
+            valid = xs[1:] != xs[:-1]
+            if msl > 1:
+                valid &= (left_n >= msl) & (right_n >= msl)
+            if not np.any(valid):
+                continue
+            right_sum = total_sum - cum
+            # SSE reduction = sum_l^2/n_l + sum_r^2/n_r - sum^2/n.
+            score = cum**2 / left_n + right_sum**2 / right_n
+            score = np.where(valid, score, -np.inf)
+            pos = int(np.argmax(score))
+            gain = score[pos] - total_sum**2 / m
+            if gain > best_gain:
+                thr = 0.5 * (xs[pos] + xs[pos + 1])
+                if not (xs[pos] < thr):
+                    thr = xs[pos]
+                left_mask = np.zeros(m, dtype=bool)
+                left_mask[order[: pos + 1]] = True
+                best_gain = gain
+                best = (int(feat), float(thr), float(min(gain, parent_sse)), left_mask)
+        return best
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by each row."""
+        idx = np.zeros(X.shape[0], dtype=np.int64)
+        while True:
+            feat = self.feature_[idx]
+            internal = feat != _LEAF
+            if not np.any(internal):
+                break
+            rows = np.flatnonzero(internal)
+            node = idx[rows]
+            go_left = X[rows, self.feature_[node]] <= self.threshold_[node]
+            idx[rows] = np.where(go_left, self.left_[node], self.right_[node])
+        return self.leaf_id_[idx]
+
+
+class GradientBoostingClassifier(BinaryClassifier):
+    """Binary gradient boosting with logistic loss.
+
+    Parameters
+    ----------
+    n_estimators:
+        Boosting rounds.
+    learning_rate:
+        Shrinkage applied to every tree's contribution.
+    max_depth:
+        Depth of each weak learner (shallow trees; 3 is classic).
+    min_samples_leaf:
+        Minimum rows per leaf.
+    subsample:
+        Fraction of rows drawn (without replacement) per round; 1.0
+        disables stochasticity.
+    max_features:
+        Features considered per split (int; ``None`` = all).
+    random_state:
+        Seed for subsampling and feature draws.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        max_features: int | None = None,
+        random_state: int | None = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must lie in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must lie in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.max_features = max_features
+        self.random_state = random_state
+        self._trees: list[tuple[_RegressionTree, np.ndarray]] = []
+        self._f0: float = 0.0
+        self.feature_importances_: np.ndarray | None = None
+        self.train_loss_: list[float] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        rng = np.random.default_rng(self.random_state)
+        p0 = np.clip(y.mean(), 1e-6, 1 - 1e-6)
+        self._f0 = float(np.log(p0 / (1 - p0)))
+        F = np.full(n, self._f0)
+        self._trees = []
+        self.train_loss_ = []
+        gain_total = np.zeros(d)
+
+        for _ in range(self.n_estimators):
+            p = sigmoid(F)
+            residual = y - p
+            if self.subsample < 1.0:
+                rows = rng.choice(n, size=max(2, int(self.subsample * n)), replace=False)
+            else:
+                rows = np.arange(n)
+            tree = _RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=rng,
+            ).fit(X[rows], residual[rows])
+            # Newton leaf values on the subsample.
+            hess = p * (1 - p)
+            leaf_values = np.zeros(tree.n_leaves_)
+            for leaf, leaf_rows in enumerate(tree.leaf_rows):
+                rsel = rows[leaf_rows]
+                denom = float(hess[rsel].sum())
+                leaf_values[leaf] = float(residual[rsel].sum()) / max(denom, 1e-12)
+            F = F + self.learning_rate * leaf_values[tree.apply(X)]
+            gain_total += tree.gain_
+            p_new = np.clip(sigmoid(F), 1e-12, 1 - 1e-12)
+            self.train_loss_.append(
+                float(-(y * np.log(p_new) + (1 - y) * np.log(1 - p_new)).mean())
+            )
+            self._trees.append((tree, leaf_values))
+
+        total = gain_total.sum()
+        self.feature_importances_ = gain_total / total if total > 0 else gain_total
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Accumulated log-odds ``F(x)``."""
+        if not self._trees:
+            raise RuntimeError("GradientBoostingClassifier used before fit")
+        X = check_X(X)
+        F = np.full(X.shape[0], self._f0)
+        for tree, leaf_values in self._trees:
+            F += self.learning_rate * leaf_values[tree.apply(X)]
+        return F
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return sigmoid(self.decision_function(X))

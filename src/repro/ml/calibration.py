@@ -1,0 +1,104 @@
+"""Probability calibration diagnostics: reliability curves and Brier score.
+
+ROC AUC (the paper's metric) measures *ranking* quality only.  Deployment
+decisions — the conservative thresholds of Section 5.3, the cost-optimal
+operating points of :mod:`repro.core.policy` — additionally need the
+predicted probabilities to *mean something*.  This module provides the
+standard diagnostics: binned reliability curves, expected calibration
+error, and the Brier score with its calibration/refinement decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ReliabilityCurve", "reliability_curve", "brier_score", "expected_calibration_error"]
+
+
+def _check(y_true: np.ndarray, y_prob: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_prob = np.asarray(y_prob, dtype=np.float64).ravel()
+    if y_true.shape != y_prob.shape:
+        raise ValueError("y_true and y_prob must align")
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    if np.any((y_prob < 0) | (y_prob > 1)):
+        raise ValueError("y_prob must lie in [0, 1]")
+    if not np.all(np.isin(np.unique(y_true), (0.0, 1.0))):
+        raise ValueError("y_true must be binary 0/1")
+    return y_true, y_prob
+
+
+@dataclass(frozen=True)
+class ReliabilityCurve:
+    """Binned predicted-vs-observed frequencies.
+
+    Attributes
+    ----------
+    bin_edges:
+        Probability bin edges, length ``k + 1``.
+    mean_predicted:
+        Mean predicted probability per bin (``nan`` for empty bins).
+    observed_frequency:
+        Empirical positive rate per bin (``nan`` for empty bins).
+    counts:
+        Samples per bin.
+    """
+
+    bin_edges: np.ndarray
+    mean_predicted: np.ndarray
+    observed_frequency: np.ndarray
+    counts: np.ndarray
+
+    def max_gap(self) -> float:
+        """Largest |predicted - observed| over non-empty bins."""
+        ok = self.counts > 0
+        if not np.any(ok):
+            return float("nan")
+        return float(
+            np.max(np.abs(self.mean_predicted[ok] - self.observed_frequency[ok]))
+        )
+
+
+def reliability_curve(
+    y_true: np.ndarray, y_prob: np.ndarray, n_bins: int = 10
+) -> ReliabilityCurve:
+    """Equal-width reliability curve over ``[0, 1]``."""
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    y_true, y_prob = _check(y_true, y_prob)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bin_id = np.clip(np.searchsorted(edges, y_prob, side="right") - 1, 0, n_bins - 1)
+    counts = np.bincount(bin_id, minlength=n_bins)
+    sum_p = np.bincount(bin_id, weights=y_prob, minlength=n_bins)
+    sum_y = np.bincount(bin_id, weights=y_true, minlength=n_bins)
+    with np.errstate(invalid="ignore"):
+        mean_p = np.where(counts > 0, sum_p / np.maximum(counts, 1), np.nan)
+        freq = np.where(counts > 0, sum_y / np.maximum(counts, 1), np.nan)
+    return ReliabilityCurve(
+        bin_edges=edges,
+        mean_predicted=mean_p,
+        observed_frequency=freq,
+        counts=counts.astype(np.int64),
+    )
+
+
+def brier_score(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Mean squared error of the probability forecast."""
+    y_true, y_prob = _check(y_true, y_prob)
+    return float(np.mean((y_prob - y_true) ** 2))
+
+
+def expected_calibration_error(
+    y_true: np.ndarray, y_prob: np.ndarray, n_bins: int = 10
+) -> float:
+    """Count-weighted mean |predicted - observed| over probability bins."""
+    curve = reliability_curve(y_true, y_prob, n_bins=n_bins)
+    ok = curve.counts > 0
+    if not np.any(ok):
+        return float("nan")
+    weights = curve.counts[ok] / curve.counts.sum()
+    gaps = np.abs(curve.mean_predicted[ok] - curve.observed_frequency[ok])
+    return float(np.sum(weights * gaps))

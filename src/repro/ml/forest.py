@@ -1,0 +1,101 @@
+"""Random forest: bagged CART trees with feature subsampling.
+
+The paper's best predictor (Table 6, Figures 12-16).  Each tree is fit on a
+bootstrap resample with ``sqrt(d)`` features considered per split; the
+ensemble probability is the mean of tree leaf frequencies, and feature
+importances are the mean of per-tree impurity importances (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BinaryClassifier, check_X, check_Xy
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(BinaryClassifier):
+    """Bootstrap-aggregated decision trees.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf:
+        Passed to each tree; ``max_depth`` is the paper's main
+        regularization hyperparameter for this model.
+    max_features:
+        Features considered per split (default ``"sqrt"``, the standard
+        choice for classification forests).
+    bootstrap:
+        Resample the training set per tree (with replacement) when True.
+    random_state:
+        Seed for the whole ensemble; trees get independent spawned streams.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ):
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.feature_importances_: np.ndarray | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        self.n_features_ = d
+        seeds = np.random.SeedSequence(self.random_state).spawn(self.n_estimators)
+        self.trees_ = []
+        importance = np.zeros(d)
+        for seq in seeds:
+            rng = np.random.default_rng(seq)
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+                Xb, yb = X[idx], y[idx]
+                if yb.min() == yb.max():
+                    # Degenerate resample (possible on tiny training sets):
+                    # fall back to the full sample so the tree stays valid.
+                    Xb, yb = X, y
+            else:
+                Xb, yb = X, y
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(Xb, yb)
+            self.trees_.append(tree)
+            importance += tree.feature_importances_
+        importance /= self.n_estimators
+        total = importance.sum()
+        self.feature_importances_ = importance / total if total > 0 else importance
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("RandomForestClassifier used before fit")
+        X = check_X(X)
+        acc = np.zeros(X.shape[0])
+        for tree in self.trees_:
+            acc += tree.predict_proba(X)
+        return acc / len(self.trees_)

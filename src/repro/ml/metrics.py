@@ -1,0 +1,168 @@
+"""Classification metrics: ROC analysis and confusion statistics.
+
+The paper evaluates every predictor with the ROC AUC because it is
+insensitive to the extreme class imbalance of the trace (one failure per
+~10,000 drive-days, Section 5.1).  The implementations here are exact:
+:func:`roc_curve` sweeps all distinct score thresholds, and
+:func:`roc_auc_score` is the tie-corrected rank statistic (equivalent to the
+trapezoidal area under that curve, and to the probability a random positive
+outranks a random negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "roc_curve",
+    "roc_auc_score",
+    "ConfusionCounts",
+    "confusion_at_threshold",
+    "true_positive_rate",
+    "false_positive_rate",
+    "precision_score",
+    "f1_score",
+]
+
+
+def _check_binary(y_true: np.ndarray, y_score: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_score = np.asarray(y_score, dtype=np.float64).ravel()
+    if y_true.shape != y_score.shape:
+        raise ValueError("y_true and y_score must align")
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    uniq = np.unique(y_true)
+    if not np.all(np.isin(uniq, (0.0, 1.0))):
+        raise ValueError("y_true must be binary 0/1")
+    return y_true, y_score
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full ROC curve.
+
+    Returns
+    -------
+    fpr, tpr:
+        Curve points from (0, 0) to (1, 1), one per distinct threshold.
+    thresholds:
+        Score threshold at each point; the first is ``+inf`` (predict
+        nothing positive).
+    """
+    y_true, y_score = _check_binary(y_true, y_score)
+    n_pos = float(y_true.sum())
+    n_neg = float(y_true.size - n_pos)
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_curve requires both classes present")
+    order = np.argsort(-y_score, kind="stable")
+    scores = y_score[order]
+    labels = y_true[order]
+    # Collapse ties: curve points only where the score value changes.
+    distinct = np.concatenate((np.flatnonzero(scores[1:] != scores[:-1]), [scores.size - 1]))
+    tp = np.cumsum(labels)[distinct]
+    fp = (distinct + 1) - tp
+    tpr = np.concatenate(([0.0], tp / n_pos))
+    fpr = np.concatenate(([0.0], fp / n_neg))
+    thresholds = np.concatenate(([np.inf], scores[distinct]))
+    return fpr, tpr, thresholds
+
+
+def roc_auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Tie-corrected ROC AUC via the rank-sum (Mann-Whitney) statistic.
+
+    Equals the trapezoidal area under :func:`roc_curve`, with ties between
+    positive and negative scores counted as half.
+    """
+    y_true, y_score = _check_binary(y_true, y_score)
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("roc_auc_score requires both classes present")
+    # Mid-ranks of the scores (average over ties).
+    order = np.argsort(y_score, kind="stable")
+    sorted_scores = y_score[order]
+    boundary = np.concatenate(([True], sorted_scores[1:] != sorted_scores[:-1]))
+    block_id = np.cumsum(boundary) - 1
+    starts = np.flatnonzero(boundary)
+    ends = np.concatenate((starts[1:], [y_score.size]))
+    block_rank = (starts + 1 + ends) / 2.0
+    ranks = np.empty(y_score.size)
+    ranks[order] = block_rank[block_id]
+    rank_sum_pos = ranks[y_true == 1].sum()
+    u = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Confusion-matrix counts at a fixed threshold."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def tpr(self) -> float:
+        """True positive rate (recall); ``nan`` with no positives."""
+        d = self.tp + self.fn
+        return self.tp / d if d else float("nan")
+
+    @property
+    def fpr(self) -> float:
+        """False positive rate; ``nan`` with no negatives."""
+        d = self.fp + self.tn
+        return self.fp / d if d else float("nan")
+
+    @property
+    def fnr(self) -> float:
+        """False negative rate = 1 - TPR (the paper compares via this)."""
+        t = self.tpr
+        return float("nan") if np.isnan(t) else 1.0 - t
+
+    @property
+    def precision(self) -> float:
+        d = self.tp + self.fp
+        return self.tp / d if d else float("nan")
+
+
+def confusion_at_threshold(
+    y_true: np.ndarray, y_score: np.ndarray, threshold: float
+) -> ConfusionCounts:
+    """Confusion counts of the thresholded classifier ``score >= alpha``."""
+    y_true, y_score = _check_binary(y_true, y_score)
+    pred = y_score >= threshold
+    pos = y_true == 1
+    tp = int(np.count_nonzero(pred & pos))
+    fp = int(np.count_nonzero(pred & ~pos))
+    fn = int(np.count_nonzero(~pred & pos))
+    tn = int(np.count_nonzero(~pred & ~pos))
+    return ConfusionCounts(tp=tp, fp=fp, tn=tn, fn=fn)
+
+
+def true_positive_rate(y_true: np.ndarray, y_score: np.ndarray, threshold: float) -> float:
+    """Recall of the thresholded classifier."""
+    return confusion_at_threshold(y_true, y_score, threshold).tpr
+
+
+def false_positive_rate(y_true: np.ndarray, y_score: np.ndarray, threshold: float) -> float:
+    """False positive rate of the thresholded classifier."""
+    return confusion_at_threshold(y_true, y_score, threshold).fpr
+
+
+def precision_score(y_true: np.ndarray, y_score: np.ndarray, threshold: float) -> float:
+    """Precision of the thresholded classifier."""
+    return confusion_at_threshold(y_true, y_score, threshold).precision
+
+
+def f1_score(y_true: np.ndarray, y_score: np.ndarray, threshold: float) -> float:
+    """F1 of the thresholded classifier (``nan`` if undefined)."""
+    c = confusion_at_threshold(y_true, y_score, threshold)
+    p, r = c.precision, c.tpr
+    if np.isnan(p) or np.isnan(r) or (p + r) == 0:
+        return float("nan")
+    return 2.0 * p * r / (p + r)

@@ -1,0 +1,74 @@
+"""Gaussian Naive Bayes classifier.
+
+The paper's related work contrasts its ML models with earlier *Bayesian
+approaches* to disk-failure prediction (Hamerly & Elkan, ICML '01).  This
+Gaussian NB implementation provides that reference point: per-class
+feature Gaussians with independence assumptions, closed-form fitting, and
+log-space scoring (heavy-tailed counters should be log1p-compressed
+upstream, as the model zoo's preprocessing flags do).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BinaryClassifier, check_X, check_Xy
+
+__all__ = ["GaussianNB"]
+
+
+class GaussianNB(BinaryClassifier):
+    """Binary Gaussian Naive Bayes.
+
+    Parameters
+    ----------
+    var_smoothing:
+        Fraction of the largest feature variance added to every per-class
+        variance for numerical stability (sklearn's convention).
+    """
+
+    def __init__(self, var_smoothing: float = 1e-9):
+        if var_smoothing < 0:
+            raise ValueError("var_smoothing must be >= 0")
+        self.var_smoothing = var_smoothing
+        self.theta_: np.ndarray | None = None  # (2, d) means
+        self.var_: np.ndarray | None = None  # (2, d) variances
+        self.class_log_prior_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNB":
+        X, y = check_Xy(X, y)
+        d = X.shape[1]
+        self.theta_ = np.empty((2, d))
+        self.var_ = np.empty((2, d))
+        priors = np.empty(2)
+        eps = self.var_smoothing * float(X.var(axis=0).max() or 1.0)
+        for c in (0, 1):
+            Xc = X[y == c]
+            priors[c] = Xc.shape[0] / X.shape[0]
+            self.theta_[c] = Xc.mean(axis=0)
+            self.var_[c] = Xc.var(axis=0) + eps + 1e-300
+        self.class_log_prior_ = np.log(priors)
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        assert self.theta_ is not None and self.var_ is not None
+        jll = np.empty((X.shape[0], 2))
+        for c in (0, 1):
+            diff = X - self.theta_[c]
+            jll[:, c] = self.class_log_prior_[c] - 0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[c]) + diff**2 / self.var_[c],
+                axis=1,
+            )
+        return jll
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.theta_ is None:
+            raise RuntimeError("GaussianNB used before fit")
+        X = check_X(X)
+        if X.shape[1] != self.theta_.shape[1]:
+            raise ValueError("feature-count mismatch with fitted model")
+        jll = self._joint_log_likelihood(X)
+        # Stable softmax over the two classes.
+        m = jll.max(axis=1, keepdims=True)
+        num = np.exp(jll - m)
+        return num[:, 1] / num.sum(axis=1)

@@ -1,0 +1,138 @@
+"""Feed-forward neural network classifier with Adam and backprop.
+
+Matches the paper's "neural network" entry in Table 6: a small multi-layer
+perceptron whose hidden-layer sizes are the tuned hyperparameter.  Binary
+cross-entropy loss, ReLU hidden units, sigmoid output, mini-batch Adam, L2
+weight decay.  Everything is plain NumPy matrix algebra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BinaryClassifier, check_X, check_Xy
+from .linear import sigmoid
+
+__all__ = ["MLPClassifier"]
+
+
+class MLPClassifier(BinaryClassifier):
+    """Multi-layer perceptron for binary classification.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        Width of each hidden layer, e.g. ``(32, 16)``.
+    l2:
+        Weight-decay coefficient.
+    lr:
+        Adam learning rate.
+    n_epochs:
+        Training passes over the data.
+    batch_size:
+        Mini-batch size.
+    random_state:
+        Seed for init and batching.
+    """
+
+    def __init__(
+        self,
+        hidden_sizes: tuple[int, ...] = (32, 16),
+        l2: float = 1e-4,
+        lr: float = 1e-2,
+        n_epochs: int = 60,
+        batch_size: int = 64,
+        random_state: int | None = 0,
+    ):
+        if any(h < 1 for h in hidden_sizes):
+            raise ValueError("hidden layer sizes must be >= 1")
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.l2 = l2
+        self.lr = lr
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.random_state = random_state
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        self.loss_curve_: list[float] = []
+
+    # ------------------------------------------------------------------ fit
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        rng = np.random.default_rng(self.random_state)
+        sizes = (d, *self.hidden_sizes, 1)
+        # He initialization for ReLU stacks.
+        self._weights = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self._biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+
+        m_w = [np.zeros_like(w) for w in self._weights]
+        v_w = [np.zeros_like(w) for w in self._weights]
+        m_b = [np.zeros_like(b) for b in self._biases]
+        v_b = [np.zeros_like(b) for b in self._biases]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        t = 0
+        self.loss_curve_ = []
+
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = X[idx], y[idx]
+                # Forward pass, caching pre-activation inputs per layer.
+                acts = [xb]
+                h = xb
+                for li in range(len(self._weights) - 1):
+                    h = np.maximum(h @ self._weights[li] + self._biases[li], 0.0)
+                    acts.append(h)
+                logits = (h @ self._weights[-1] + self._biases[-1]).ravel()
+                p = sigmoid(logits)
+                p_c = np.clip(p, 1e-12, 1.0 - 1e-12)
+                epoch_loss += float(
+                    -(yb * np.log(p_c) + (1 - yb) * np.log(1 - p_c)).sum()
+                )
+
+                # Backward pass.
+                delta = ((p - yb) / len(idx))[:, None]
+                grads_w: list[np.ndarray] = [np.empty(0)] * len(self._weights)
+                grads_b: list[np.ndarray] = [np.empty(0)] * len(self._biases)
+                for li in range(len(self._weights) - 1, -1, -1):
+                    grads_w[li] = acts[li].T @ delta + self.l2 * self._weights[li]
+                    grads_b[li] = delta.sum(axis=0)
+                    if li > 0:
+                        delta = (delta @ self._weights[li].T) * (acts[li] > 0)
+
+                # Adam update.
+                t += 1
+                bc1 = 1.0 - beta1**t
+                bc2 = 1.0 - beta2**t
+                for li in range(len(self._weights)):
+                    m_w[li] = beta1 * m_w[li] + (1 - beta1) * grads_w[li]
+                    v_w[li] = beta2 * v_w[li] + (1 - beta2) * grads_w[li] ** 2
+                    self._weights[li] -= (
+                        self.lr * (m_w[li] / bc1) / (np.sqrt(v_w[li] / bc2) + eps)
+                    )
+                    m_b[li] = beta1 * m_b[li] + (1 - beta1) * grads_b[li]
+                    v_b[li] = beta2 * v_b[li] + (1 - beta2) * grads_b[li] ** 2
+                    self._biases[li] -= (
+                        self.lr * (m_b[li] / bc1) / (np.sqrt(v_b[li] / bc2) + eps)
+                    )
+            self.loss_curve_.append(epoch_loss / n)
+        return self
+
+    # ------------------------------------------------------------------ predict
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self._weights:
+            raise RuntimeError("MLPClassifier used before fit")
+        X = check_X(X)
+        if X.shape[1] != self._weights[0].shape[0]:
+            raise ValueError("feature-count mismatch with fitted model")
+        h = X
+        for li in range(len(self._weights) - 1):
+            h = np.maximum(h @ self._weights[li] + self._biases[li], 0.0)
+        logits = (h @ self._weights[-1] + self._biases[-1]).ravel()
+        return sigmoid(logits)

@@ -1,0 +1,66 @@
+"""Precision-recall analysis for heavily imbalanced evaluation.
+
+The paper reports ROC curves, which are prevalence-independent; operators
+planning replacement budgets also care about *precision* — of the drives
+flagged today, how many will actually fail?  With one failure per ~10,000
+drive-days, precision tells a very different story from FPR, so the
+precision-recall curve and average precision are provided alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["precision_recall_curve", "average_precision_score"]
+
+
+def _check(y_true: np.ndarray, y_score: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_score = np.asarray(y_score, dtype=np.float64).ravel()
+    if y_true.shape != y_score.shape:
+        raise ValueError("y_true and y_score must align")
+    if y_true.size == 0 or y_true.sum() == 0:
+        raise ValueError("need at least one positive sample")
+    if not np.all(np.isin(np.unique(y_true), (0.0, 1.0))):
+        raise ValueError("y_true must be binary 0/1")
+    return y_true, y_score
+
+
+def precision_recall_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Precision and recall at every distinct score threshold.
+
+    Returns
+    -------
+    precision, recall:
+        Aligned arrays; recall is nondecreasing along the sweep from the
+        strictest threshold to the loosest, ending at recall 1.  A final
+        (precision=1, recall=0) anchor point is appended, matching common
+        convention.
+    thresholds:
+        Score cut for each point (without the anchor).
+    """
+    y_true, y_score = _check(y_true, y_score)
+    order = np.argsort(-y_score, kind="stable")
+    scores = y_score[order]
+    labels = y_true[order]
+    distinct = np.concatenate(
+        (np.flatnonzero(scores[1:] != scores[:-1]), [scores.size - 1])
+    )
+    tp = np.cumsum(labels)[distinct]
+    flagged = distinct + 1.0
+    precision = tp / flagged
+    recall = tp / y_true.sum()
+    precision = np.concatenate((precision[::-1], [1.0]))
+    recall = np.concatenate((recall[::-1], [0.0]))
+    thresholds = scores[distinct][::-1]
+    return precision, recall, thresholds
+
+
+def average_precision_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the precision-recall curve (step-wise AP definition)."""
+    precision, recall, _ = precision_recall_curve(y_true, y_score)
+    # Points are ordered by decreasing recall after the flip; integrate
+    # sum (r_i - r_{i+1}) * p_i over the sweep.
+    return float(np.sum(np.diff(recall[::-1]) * precision[::-1][1:]))

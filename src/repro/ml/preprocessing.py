@@ -1,0 +1,64 @@
+"""Feature preprocessing: standardization and log compression.
+
+Error counters in the trace are heavy-tailed (daily UE counts span seven
+orders of magnitude, Figure 11), so distance- and margin-based classifiers
+need their inputs standardized; :class:`Log1pTransformer` additionally
+compresses the tails.  Tree models consume raw features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import check_X
+
+__all__ = ["StandardScaler", "Log1pTransformer"]
+
+
+class StandardScaler:
+    """Per-feature zero-mean unit-variance scaling.
+
+    Constant features are left centred but unscaled (divisor forced to 1),
+    so downstream solvers never see NaNs.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_X(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler used before fit")
+        X = check_X(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError("feature-count mismatch with fitted scaler")
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class Log1pTransformer:
+    """``sign(x) * log1p(|x|)`` compression for heavy-tailed counters.
+
+    Stateless (fit is a no-op) but keeps the fit/transform interface so it
+    can be dropped into the same pipeline slots as the scaler.
+    """
+
+    def fit(self, X: np.ndarray) -> "Log1pTransformer":
+        check_X(X)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        X = check_X(X)
+        return np.sign(X) * np.log1p(np.abs(X))
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

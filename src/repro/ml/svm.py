@@ -1,0 +1,208 @@
+"""Support vector machines: Pegasos primal solver + RBF feature maps.
+
+The linear SVM is trained with the Pegasos stochastic sub-gradient method
+on the hinge loss; the RBF variant maps inputs through random Fourier
+features (Rahimi & Recht) first, which approximates the Gaussian kernel
+while keeping training linear-time — appropriate for the paper's setting of
+small training sets but very large evaluation sets.
+
+SVM margins are not probabilities, so a one-dimensional logistic (Platt)
+calibration is fit on the training margins to produce the ``[0, 1]`` output
+the prediction pipeline thresholds (Section 5.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BinaryClassifier, check_X, check_Xy
+from .linear import sigmoid
+
+__all__ = ["LinearSVM", "RBFSampler", "KernelSVM"]
+
+
+class LinearSVM(BinaryClassifier):
+    """L2-regularized hinge-loss linear classifier (Pegasos).
+
+    Parameters
+    ----------
+    lam:
+        Regularization strength (Pegasos lambda); the learning rate is the
+        schedule ``1 / (lam * t)``.
+    n_epochs:
+        Passes over the training set.
+    batch_size:
+        Mini-batch size of each sub-gradient step.
+    random_state:
+        Seed for shuffling and batching.
+    """
+
+    def __init__(
+        self,
+        lam: float = 1e-3,
+        n_epochs: int = 30,
+        batch_size: int = 32,
+        random_state: int | None = 0,
+    ):
+        if lam <= 0:
+            raise ValueError("lam must be > 0")
+        self.lam = lam
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.random_state = random_state
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._platt_a: float = 1.0
+        self._platt_b: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        X, y01 = check_Xy(X, y)
+        y_pm = 2.0 * y01 - 1.0  # hinge loss wants +/-1 labels
+        n, d = X.shape
+        rng = np.random.default_rng(self.random_state)
+        w = np.zeros(d)
+        b = 0.0
+        t = 0
+        for _ in range(self.n_epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                t += 1
+                idx = order[start : start + self.batch_size]
+                eta = 1.0 / (self.lam * t)
+                margins = y_pm[idx] * (X[idx] @ w + b)
+                viol = margins < 1.0
+                w *= 1.0 - eta * self.lam
+                if np.any(viol):
+                    rows = idx[viol]
+                    scale = eta / len(idx)
+                    w += scale * (y_pm[rows] @ X[rows])
+                    b += scale * y_pm[rows].sum()
+                # Pegasos projection onto the ball of radius 1/sqrt(lam).
+                norm = float(np.linalg.norm(w))
+                cap = 1.0 / np.sqrt(self.lam)
+                if norm > cap:
+                    w *= cap / norm
+        self.coef_ = w
+        self.intercept_ = float(b)
+        self._fit_platt(X @ w + b, y01)
+        return self
+
+    def _fit_platt(self, margins: np.ndarray, y: np.ndarray) -> None:
+        """1-D logistic calibration of margins -> probabilities."""
+        a, b = 1.0, 0.0
+        for _ in range(50):
+            z = a * margins + b
+            p = sigmoid(z)
+            ga = float(((p - y) * margins).mean())
+            gb = float((p - y).mean())
+            s = np.maximum(p * (1 - p), 1e-10)
+            haa = float((s * margins * margins).mean()) + 1e-9
+            hbb = float(s.mean()) + 1e-9
+            a -= ga / haa
+            b -= gb / hbb
+            if max(abs(ga), abs(gb)) < 1e-9:
+                break
+        self._platt_a, self._platt_b = a, b
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margin ``X @ w + b``."""
+        if self.coef_ is None:
+            raise RuntimeError("LinearSVM used before fit")
+        X = check_X(X)
+        if X.shape[1] != self.coef_.shape[0]:
+            raise ValueError("feature-count mismatch with fitted model")
+        return X @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        return sigmoid(self._platt_a * self.decision_function(X) + self._platt_b)
+
+
+class RBFSampler:
+    """Random Fourier feature map approximating the Gaussian kernel.
+
+    ``z(x) = sqrt(2/D) * cos(x @ W + c)`` with ``W ~ N(0, gamma * 2 * I)``
+    satisfies ``E[z(x).z(y)] ~ exp(-gamma |x - y|^2)``.
+    """
+
+    def __init__(self, gamma: float = 0.1, n_components: int = 200, random_state: int | None = 0):
+        if gamma <= 0:
+            raise ValueError("gamma must be > 0")
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.gamma = gamma
+        self.n_components = n_components
+        self.random_state = random_state
+        self._W: np.ndarray | None = None
+        self._c: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "RBFSampler":
+        X = check_X(X)
+        rng = np.random.default_rng(self.random_state)
+        d = X.shape[1]
+        self._W = rng.normal(0.0, np.sqrt(2.0 * self.gamma), size=(d, self.n_components))
+        self._c = rng.uniform(0.0, 2.0 * np.pi, size=self.n_components)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self._W is None or self._c is None:
+            raise RuntimeError("RBFSampler used before fit")
+        X = check_X(X)
+        proj = X @ self._W + self._c
+        return np.sqrt(2.0 / self.n_components) * np.cos(proj)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class KernelSVM(BinaryClassifier):
+    """RBF-kernel SVM via random Fourier features + Pegasos.
+
+    Parameters
+    ----------
+    gamma:
+        RBF bandwidth.
+    n_components:
+        Random feature dimension (accuracy/cost trade-off).
+    lam, n_epochs, batch_size, random_state:
+        Passed to the underlying :class:`LinearSVM`.
+    """
+
+    def __init__(
+        self,
+        gamma: float = 0.1,
+        n_components: int = 200,
+        lam: float = 1e-3,
+        n_epochs: int = 30,
+        batch_size: int = 32,
+        random_state: int | None = 0,
+    ):
+        self.gamma = gamma
+        self.n_components = n_components
+        self.lam = lam
+        self.n_epochs = n_epochs
+        self.batch_size = batch_size
+        self.random_state = random_state
+        self._sampler: RBFSampler | None = None
+        self._svm: LinearSVM | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KernelSVM":
+        X, y = check_Xy(X, y)
+        self._sampler = RBFSampler(
+            gamma=self.gamma,
+            n_components=self.n_components,
+            random_state=self.random_state,
+        )
+        Z = self._sampler.fit_transform(X)
+        self._svm = LinearSVM(
+            lam=self.lam,
+            n_epochs=self.n_epochs,
+            batch_size=self.batch_size,
+            random_state=self.random_state,
+        )
+        self._svm.fit(Z, y)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._sampler is None or self._svm is None:
+            raise RuntimeError("KernelSVM used before fit")
+        return self._svm.predict_proba(self._sampler.transform(X))

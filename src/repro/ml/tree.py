@@ -1,0 +1,259 @@
+"""CART decision trees (Gini impurity), implemented from scratch.
+
+The paper finds a single decision tree competitive and random forests best
+overall (Table 6), and leans on tree impurity importances for its root-cause
+interpretation (Figure 16).  This implementation provides both: exact
+best-split search with vectorized prefix-sum scans, and impurity-decrease
+feature importances.
+
+Structure-of-arrays node storage keeps prediction a handful of vectorized
+passes (one per tree level) rather than a per-row Python walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import BinaryClassifier, check_X, check_Xy
+
+__all__ = ["DecisionTreeClassifier"]
+
+#: Sentinel feature index marking a leaf node.
+_LEAF = -1
+
+
+def _gini(n_pos: np.ndarray | float, n: np.ndarray | float) -> np.ndarray | float:
+    """Gini impurity of a node with ``n_pos`` positives out of ``n``."""
+    p = np.divide(n_pos, n, out=np.zeros_like(np.asarray(n_pos, dtype=np.float64)), where=np.asarray(n) > 0)
+    return 2.0 * p * (1.0 - p)
+
+
+def _resolve_max_features(max_features: int | float | str | None, n_features: int) -> int:
+    """Number of features examined per split."""
+    if max_features is None:
+        return n_features
+    if isinstance(max_features, str):
+        if max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if max_features == "log2":
+            return max(1, int(np.log2(n_features)))
+        raise ValueError(f"unknown max_features {max_features!r}")
+    if isinstance(max_features, float):
+        if not 0.0 < max_features <= 1.0:
+            raise ValueError("fractional max_features must lie in (0, 1]")
+        return max(1, int(max_features * n_features))
+    if max_features < 1:
+        raise ValueError("max_features must be >= 1")
+    return min(int(max_features), n_features)
+
+
+class DecisionTreeClassifier(BinaryClassifier):
+    """Binary CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (``None`` = unbounded); the paper tunes this as
+        its complexity hyperparameter.
+    min_samples_split:
+        Minimum node size eligible for splitting.
+    min_samples_leaf:
+        Minimum samples in each child of a split.
+    max_features:
+        Features examined per split: ``None`` (all), ``"sqrt"``, ``"log2"``,
+        an int, or a fraction.
+    random_state:
+        Seed for the per-split feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        random_state: int | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        # Fitted structure (structure-of-arrays).
+        self.feature_: np.ndarray | None = None
+        self.threshold_: np.ndarray | None = None
+        self.left_: np.ndarray | None = None
+        self.right_: np.ndarray | None = None
+        self.value_: np.ndarray | None = None
+        self.n_features_: int | None = None
+        self.feature_importances_: np.ndarray | None = None
+        self.max_depth_: int = 0
+
+    # ------------------------------------------------------------------ fitting
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = check_Xy(X, y)
+        n, d = X.shape
+        self.n_features_ = d
+        rng = np.random.default_rng(self.random_state)
+        k_features = _resolve_max_features(self.max_features, d)
+
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+        importance = np.zeros(d)
+
+        # Depth-first build with an explicit stack of (row-index-array, depth,
+        # parent-node-id, is-left-child).
+        stack: list[tuple[np.ndarray, int, int, bool]] = [
+            (np.arange(n), 0, -1, False)
+        ]
+        max_seen_depth = 0
+        while stack:
+            idx, depth, parent, is_left = stack.pop()
+            node_id = len(features)
+            if parent >= 0:
+                if is_left:
+                    lefts[parent] = node_id
+                else:
+                    rights[parent] = node_id
+            y_node = y[idx]
+            m = idx.shape[0]
+            n_pos = float(y_node.sum())
+            prob = n_pos / m
+            node_gini = 2.0 * prob * (1.0 - prob)
+            max_seen_depth = max(max_seen_depth, depth)
+
+            stop = (
+                m < self.min_samples_split
+                or node_gini == 0.0
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or m < 2 * self.min_samples_leaf
+            )
+            best = None
+            if not stop:
+                cand = (
+                    rng.choice(d, size=k_features, replace=False)
+                    if k_features < d
+                    else np.arange(d)
+                )
+                best = self._best_split(X, y, idx, cand, node_gini)
+            if best is None:
+                features.append(_LEAF)
+                thresholds.append(0.0)
+                lefts.append(_LEAF)
+                rights.append(_LEAF)
+                values.append(prob)
+                continue
+
+            feat, thr, gain, left_mask = best
+            features.append(int(feat))
+            thresholds.append(float(thr))
+            lefts.append(_LEAF)  # patched when children pop
+            rights.append(_LEAF)
+            values.append(prob)
+            importance[feat] += (m / n) * gain
+            left_idx = idx[left_mask]
+            right_idx = idx[~left_mask]
+            # Push right first so the left child is built (and numbered)
+            # immediately after its parent — cache-friendly traversal order.
+            stack.append((right_idx, depth + 1, node_id, False))
+            stack.append((left_idx, depth + 1, node_id, True))
+
+        self.feature_ = np.asarray(features, dtype=np.int64)
+        self.threshold_ = np.asarray(thresholds, dtype=np.float64)
+        self.left_ = np.asarray(lefts, dtype=np.int64)
+        self.right_ = np.asarray(rights, dtype=np.int64)
+        self.value_ = np.asarray(values, dtype=np.float64)
+        self.max_depth_ = max_seen_depth
+        total = importance.sum()
+        self.feature_importances_ = importance / total if total > 0 else importance
+        return self
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        idx: np.ndarray,
+        candidates: np.ndarray,
+        node_gini: float,
+    ) -> tuple[int, float, float, np.ndarray] | None:
+        """Exact best split over candidate features at one node.
+
+        Returns ``(feature, threshold, impurity_gain, left_mask)`` or
+        ``None`` when no valid split improves impurity.
+        """
+        m = idx.shape[0]
+        y_node = y[idx]
+        msl = self.min_samples_leaf
+        best_gain = 1e-12
+        best: tuple[int, float, float, np.ndarray] | None = None
+        for feat in candidates:
+            x = X[idx, feat]
+            order = np.argsort(x, kind="stable")
+            xs = x[order]
+            ys = y_node[order]
+            if xs[0] == xs[-1]:
+                continue  # constant feature at this node
+            cum_pos = np.cumsum(ys)
+            left_n = np.arange(1, m, dtype=np.float64)
+            left_pos = cum_pos[:-1]
+            right_n = m - left_n
+            right_pos = cum_pos[-1] - left_pos
+            valid = xs[1:] != xs[:-1]
+            if msl > 1:
+                valid &= (left_n >= msl) & (right_n >= msl)
+            if not np.any(valid):
+                continue
+            gl = _gini(left_pos, left_n)
+            gr = _gini(right_pos, right_n)
+            weighted = (left_n * gl + right_n * gr) / m
+            weighted = np.where(valid, weighted, np.inf)
+            pos = int(np.argmin(weighted))
+            gain = node_gini - weighted[pos]
+            if gain > best_gain:
+                thr = 0.5 * (xs[pos] + xs[pos + 1])
+                # Guard against midpoint rounding into one of the endpoints.
+                if not (xs[pos] < thr):
+                    thr = xs[pos]
+                left_mask = np.zeros(m, dtype=bool)
+                left_mask[order[: pos + 1]] = True
+                best_gain = gain
+                best = (int(feat), float(thr), float(gain), left_mask)
+        return best
+
+    # ------------------------------------------------------------------ predict
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self.feature_ is None:
+            raise RuntimeError("DecisionTreeClassifier used before fit")
+        X = check_X(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError("feature-count mismatch with fitted tree")
+        idx = np.zeros(X.shape[0], dtype=np.int64)
+        # One vectorized pass per level: rows sitting on internal nodes step
+        # to a child; rows on leaves stay put.
+        while True:
+            feat = self.feature_[idx]
+            internal = feat != _LEAF
+            if not np.any(internal):
+                break
+            rows = np.flatnonzero(internal)
+            node = idx[rows]
+            go_left = X[rows, self.feature_[node]] <= self.threshold_[node]
+            idx[rows] = np.where(go_left, self.left_[node], self.right_[node])
+        return self.value_[idx]
+
+    @property
+    def n_nodes(self) -> int:
+        """Total number of nodes in the fitted tree."""
+        if self.feature_ is None:
+            raise RuntimeError("DecisionTreeClassifier used before fit")
+        return int(self.feature_.shape[0])
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of leaf nodes in the fitted tree."""
+        if self.feature_ is None:
+            raise RuntimeError("DecisionTreeClassifier used before fit")
+        return int(np.count_nonzero(self.feature_ == _LEAF))

@@ -1,0 +1,87 @@
+"""Synthetic SSD fleet telemetry generator.
+
+This package stands in for the proprietary Google trace the paper analyses
+(see DESIGN.md §2 for the substitution argument).  It produces a daily
+performance log and a swap/repair event log whose published statistics —
+error incidence (Table 1), correlation structure (Table 2), failure
+incidence (Tables 3–4), repair behaviour (Table 5, Figures 4–5), bathtub
+hazard (Figure 6), workload ramp (Figure 7), wear profile (Figures 8–9),
+error signatures of failing drives (Figures 10–11) — match the paper's.
+
+Entry point: :func:`simulate_fleet`.
+"""
+
+from .config import (
+    MLC_A,
+    MLC_B,
+    MLC_D,
+    DriveModelSpec,
+    ErrorParams,
+    FailureSymptomParams,
+    FleetConfig,
+    LifetimeParams,
+    ObservationParams,
+    RepairParams,
+    WorkloadParams,
+    default_models,
+    paper_scale_config,
+    small_fleet_config,
+)
+from .drive import DriveResult, SwapEvent, simulate_drive
+from .errors import ErrorLatents, PeriodErrors, generate_errors, sample_error_latents
+from .fleet import FleetTrace, simulate_fleet
+from .lifetime import FailureDraw, FailureMode, sample_failure
+from .repair import (
+    RepairOutcome,
+    sample_inactive_stretch,
+    sample_nonoperational_days,
+    sample_repair,
+)
+from .symptoms import SymptomPlan, plan_symptoms
+from .workload import (
+    DailyWorkload,
+    WorkloadLatents,
+    generate_workload,
+    intensity_profile,
+    sample_workload_latents,
+)
+
+__all__ = [
+    "MLC_A",
+    "MLC_B",
+    "MLC_D",
+    "DriveModelSpec",
+    "ErrorParams",
+    "FailureSymptomParams",
+    "FleetConfig",
+    "LifetimeParams",
+    "ObservationParams",
+    "RepairParams",
+    "WorkloadParams",
+    "default_models",
+    "paper_scale_config",
+    "small_fleet_config",
+    "DriveResult",
+    "SwapEvent",
+    "simulate_drive",
+    "ErrorLatents",
+    "PeriodErrors",
+    "generate_errors",
+    "sample_error_latents",
+    "FleetTrace",
+    "simulate_fleet",
+    "FailureDraw",
+    "FailureMode",
+    "sample_failure",
+    "RepairOutcome",
+    "sample_inactive_stretch",
+    "sample_nonoperational_days",
+    "sample_repair",
+    "SymptomPlan",
+    "plan_symptoms",
+    "DailyWorkload",
+    "WorkloadLatents",
+    "generate_workload",
+    "intensity_profile",
+    "sample_workload_latents",
+]

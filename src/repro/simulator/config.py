@@ -1,0 +1,415 @@
+"""Simulator configuration: drive-model specs and fleet parameters.
+
+Every number that shapes the synthetic trace lives here, grouped by the
+mechanism it controls and annotated with the published statistic it is
+calibrated against (see DESIGN.md §5).  The three presets ``MLC_A``,
+``MLC_B`` and ``MLC_D`` correspond to the paper's drive models; they share
+a vendor, 480 GB capacity and a 3000-cycle P/E limit (Section 2) and differ
+mainly in failure incidence (Table 3) and repair behaviour (Table 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "WorkloadParams",
+    "ErrorParams",
+    "LifetimeParams",
+    "RepairParams",
+    "ObservationParams",
+    "DriveModelSpec",
+    "FleetConfig",
+    "MLC_A",
+    "MLC_B",
+    "MLC_D",
+    "default_models",
+    "small_fleet_config",
+    "paper_scale_config",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Daily workload process (calibrated against Figure 7).
+
+    Daily writes follow ``scale * ramp(age) * noise`` where ``scale`` is a
+    per-drive lognormal level, ``ramp`` rises over the first months (young
+    drives see *fewer* writes — the paper's no-burn-in observation) and
+    decays mildly at high age, and ``noise`` is daily lognormal jitter.
+    """
+
+    #: Fleet-median daily write operations at maturity (Fig 7: ~1e8).
+    base_writes_per_day: float = 1.25e8
+    #: Sigma of the per-drive lognormal activity level.
+    drive_scale_sigma: float = 0.45
+    #: Ramp start fraction: writes at age 0 relative to maturity.
+    ramp_floor: float = 0.30
+    #: Days to reach full write intensity.
+    ramp_days: int = 300
+    #: Age (days) at which slow decay of intensity begins.
+    decay_start_days: int = 1500
+    #: Relative intensity reached at 6 years (linear decay from 1.0).
+    decay_floor: float = 0.70
+    #: Daily lognormal jitter sigma.
+    daily_sigma: float = 0.35
+    #: Probability of a spontaneous idle day (no reads/writes).
+    idle_day_prob: float = 0.010
+    #: Reads per write (data-center read-heavy mix).
+    read_write_ratio: float = 2.5
+    #: Flash pages per erase block; erases/day = writes/day ÷ this.
+    pages_per_block: int = 512
+    #: Number of erase blocks on the device (480 GB / 2 MB blocks);
+    #: P/E cycles advance by erases/day ÷ this.
+    blocks_per_drive: int = 245760
+
+
+@dataclass(frozen=True)
+class ErrorParams:
+    """Background error processes (calibrated against Tables 1, 2; Fig 10).
+
+    Non-transparent errors (uncorrectable / final read / …) are concentrated
+    on an *error-prone* minority of drives: the per-drive latent factor is 0
+    with probability ``1 - error_prone_prob`` and Gamma-distributed
+    otherwise.  That concentration is what lets 0.2–0.3 % of all drive-days
+    carry a UE (Table 1) while ~80 % of drives never see one (Fig 10).
+    """
+
+    #: Probability a drive is error-prone (latent factor > 0).
+    error_prone_prob: float = 0.18
+    #: Gamma shape of the positive part of the error-proneness factor.
+    error_prone_shape: float = 1.2
+    #: Daily UE probability for a drive with unit error-proneness.
+    ue_daily_prob: float = 0.018
+    #: Lognormal (mu, sigma) of background UE counts on UE days.  Median is
+    #: small (1-2 events) with a heavy tail, so final-read days are roughly
+    #: half as frequent as UE days (Table 1) while cumulative counts can
+    #: still reach the 1e4+ tail of Figure 10.
+    ue_count_mu: float = 0.6
+    ue_count_sigma: float = 2.2
+    #: Probability each UE also counts as a final read error (Table 2's
+    #: 0.97 UE<->final-read coupling comes from this event sharing).
+    final_read_given_ue: float = 0.45
+    #: Daily probability of a final write error for error-prone drives.
+    final_write_daily_prob: float = 2.0e-4
+    #: Daily probability of a meta error for error-prone drives.
+    meta_daily_prob: float = 1.1e-4
+    #: Daily probability of a controller-glitch day (drives response and
+    #: timeout errors jointly; Table 2 shows rho ~ 0.53 between them).
+    glitch_daily_prob: float = 2.0e-5
+    #: P(timeout error | glitch day), P(response error | glitch day).
+    timeout_given_glitch: float = 0.55
+    response_given_glitch: float = 0.18
+    #: Daily probability of a (retried, successful) read error at unit
+    #: error-proneness plus an activity-driven base.
+    read_error_base_prob: float = 6.0e-5
+    read_error_prone_boost: float = 3.0e-4
+    #: Same for write errors; the wear coefficient ties cumulative write
+    #: errors to erase errors and P/E (Table 2's erase<->write rho ~ 0.32).
+    write_error_base_prob: float = 8.0e-5
+    write_error_prone_boost: float = 3.0e-4
+    write_error_wear_coef: float = 6.0e-4
+    #: Erase-error probability scales with wear: p = base + coef * (P/E ÷
+    #: limit); Table 2 shows erase errors as the only counter with
+    #: noticeable P/E correlation (rho ~ 0.32).
+    erase_error_base_prob: float = 1.0e-4
+    erase_error_wear_coef: float = 1.2e-3
+    #: Fraction of days with zero correctable errors (Table 1: ~0.2).
+    correctable_zero_prob: float = 0.20
+    #: Correctable bits corrected per read op (sets the count scale) and
+    #: its per-drive/day lognormal sigmas.
+    correctable_rate_per_read: float = 2.0e-6
+    correctable_drive_sigma: float = 0.9
+    correctable_daily_sigma: float = 0.7
+    #: Poisson mean of factory bad blocks per drive.
+    factory_bad_block_mean: float = 4.0
+    #: Probability that a UE event retires (grows) a bad block.
+    bad_block_per_ue_event: float = 0.05
+    #: Probability that an erase error retires a bad block (drives the
+    #: bad-block<->erase-error coupling of Table 2, rho ~ 0.38).
+    bad_block_per_erase_error: float = 0.5
+    #: Age coupling of the background UE rate: the daily probability is
+    #: scaled by (ue_age_floor + (1 - ue_age_floor) * age / 6y), giving the
+    #: positive drive-age<->UE correlation of Table 2 (rho ~ 0.36).
+    ue_age_floor: float = 0.5
+    #: Wear-driven background bad-block growth: Poisson mean per day at the
+    #: P/E limit (scales linearly in P/E ÷ limit).
+    bad_block_wear_rate: float = 6.0e-3
+
+
+@dataclass(frozen=True)
+class LifetimeParams:
+    """Bathtub failure process (calibrated against Table 3, Figs 6, 8, 9).
+
+    A drive may carry a manufacturing defect (infant mode): it then fails at
+    a lognormal age concentrated inside the 90-day infancy window.  All
+    drives are additionally exposed to a constant mature hazard; drives that
+    return from repair get a hazard multiplier (this produces the repeated
+    failures of Table 4).
+    """
+
+    #: Probability a (new) drive carries an infant defect.
+    defect_prob: float = 0.030
+    #: Lognormal (mu of days, sigma) of the defect failure age.
+    defect_age_median: float = 25.0
+    defect_age_sigma: float = 1.0
+    #: Constant mature hazard per day.
+    mature_hazard_per_day: float = 5.5e-5
+    #: Mature-hazard multiplier per unit of the drive's error-proneness
+    #: latent: lambda_eff = lambda * (1 + coef * proneness).  Couples
+    #: failure to error incidence (Section 4.2: failed drives saw orders of
+    #: magnitude more errors) without making errors deterministic triggers.
+    prone_hazard_coef: float = 2.5
+    #: Hazard multiplier after a drive returns from repair.
+    post_repair_hazard_mult: float = 4.0
+    #: Probability a post-repair period carries a (recurrent) defect.
+    post_repair_defect_prob: float = 0.02
+
+
+@dataclass(frozen=True)
+class RepairParams:
+    """Swap and repair pipeline (calibrated against Figs 4, 5; Table 5).
+
+    The pre-swap non-operational period mixes a "prompt removal" component
+    (80 % swapped within a week) with a rare "forgotten in the rack"
+    component (~8 % linger past 100 days).  Repairs mix a small fast-shop
+    component with a dominant multi-year component; roughly half of swapped
+    drives never return within the trace.
+    """
+
+    #: Weight of the forgotten-drive component of the non-op period.
+    nonop_forgotten_prob: float = 0.10
+    #: Lognormal (median days, sigma) of the prompt component.
+    nonop_prompt_median: float = 4.0
+    nonop_prompt_sigma: float = 0.75
+    #: Lognormal (median days, sigma) of the forgotten component.
+    nonop_forgotten_median: float = 200.0
+    nonop_forgotten_sigma: float = 0.8
+    #: Probability the repair process ever completes (uncensored intent).
+    return_prob: float = 0.62
+    #: Weight of the fast-repair component among completing repairs.
+    fast_repair_prob: float = 0.13
+    #: Lognormal (median days, sigma) of fast repairs.
+    fast_repair_median: float = 9.0
+    fast_repair_sigma: float = 1.0
+    #: Lognormal (median days, sigma) of slow repairs.
+    slow_repair_median: float = 420.0
+    slow_repair_sigma: float = 0.75
+    #: Fraction of failures followed by an *inactive-but-reporting* stretch
+    #: before records stop entirely (Section 3: ~36 % of swaps).
+    inactive_records_prob: float = 0.36
+    #: Geometric mean length (days) of that inactive reporting stretch.
+    inactive_records_mean_days: float = 3.0
+
+
+@dataclass(frozen=True)
+class FailureSymptomParams:
+    """Pre-failure telemetry signature (calibrated against Figs 10, 11, 16).
+
+    Each failure is either *symptomatic* (emits an escalating error burst
+    ahead of the failure day) or silent.  Young (defect) failures are less
+    often UE-symptomatic but, when they are, burst orders of magnitude
+    harder; silent failures bound achievable prediction accuracy (the paper:
+    26 % of failures show no non-transparent errors and no bad blocks).
+    """
+
+    #: P(symptomatic) for infant-defect failures (Fig 10: 68 % of young
+    #: failed drives have zero UEs).
+    young_symptomatic_prob: float = 0.32
+    #: P(symptomatic) for mature failures.
+    old_symptomatic_prob: float = 0.30
+    #: Burst-day probability at the failure day, and decay timescale (days):
+    #: P(UE burst on day -d) = peak * exp(-d / tau).
+    burst_peak_prob_young: float = 0.75
+    burst_peak_prob_old: float = 0.50
+    burst_decay_tau: float = 1.6
+    #: Days before failure over which burst days may occur.
+    burst_window_days: int = 14
+    #: Lognormal (mu, sigma) of UE counts on burst days (young / old).
+    burst_ue_mu_young: float = 9.0
+    burst_ue_sigma_young: float = 2.3
+    burst_ue_mu_old: float = 6.2
+    burst_ue_sigma_old: float = 1.9
+    #: Defective-from-birth elevation: young symptomatic drives multiply
+    #: their background error-proneness by this factor for their whole
+    #: (short) life, producing the heavy young tails of Fig 10.
+    young_lifelong_error_boost: float = 30.0
+    #: Bad blocks grown per burst day: Poisson means (young / old).
+    burst_bad_block_mean_young: float = 14.0
+    burst_bad_block_mean_old: float = 3.0
+    #: Probability a UE-silent failure still announces itself through
+    #: bad-block growth alone (failed blocks retired after erase/write
+    #: problems that never surfaced as UEs).  Together with the UE-symptom
+    #: probabilities this pins the fully-silent failure share near the
+    #: paper's 26 %.
+    bad_block_only_prob: float = 0.25
+    #: Daily burst probability at the failure day for the bad-block-only
+    #: channel (same exponential decay as UE bursts).
+    bad_block_only_peak_prob: float = 0.55
+    #: Poisson mean of blocks retired per bad-block-ramp day.
+    bad_block_ramp_mean: float = 3.0
+    #: Probability the drive flips to read-only mode in the last two days
+    #: (symptomatic failures only).
+    read_only_prob: float = 0.50
+    #: Probability the dead flag is raised on the post-failure (limbo)
+    #: reports.  The flag never appears on pre-failure rows: the paper's
+    #: importance ranking (Fig 16) shows no usable dead-flag signal.
+    dead_flag_prob: float = 0.50
+    #: Probability the failure is preceded by a workload ramp-down
+    #: (operators draining the drive), for symptomatic / silent failures.
+    #: Jointly with the symptom probabilities this pins the fully-silent
+    #: failure share near the paper's 26 %.
+    activity_decline_prob_symptomatic: float = 0.85
+    activity_decline_prob_silent: float = 0.70
+    #: Scale applied to both decline probabilities for *mature* (wear-mode)
+    #: failures: operators watch newly deployed drives more closely, so
+    #: infant failures are drained ahead of the swap more reliably.  This
+    #: asymmetry is what makes young failures more predictable (Fig 15).
+    old_decline_prob_scale: float = 0.65
+    #: Geometric mean length (days) of the ramp-down window.
+    activity_decline_mean_days: float = 5.0
+    #: Per-day multiplicative decline factor during the ramp-down.
+    activity_decline_factor: float = 0.30
+
+
+@dataclass(frozen=True)
+class ObservationParams:
+    """What subset of drive-days actually lands in the log (Figure 1).
+
+    Reporting is Bernoulli-thinned with a per-drive rate, so the "data
+    count" CDF sits left of the "max age" CDF as in the paper.  The failure
+    day itself is recorded with high probability (it anchors the failure
+    definition of Section 3).
+    """
+
+    #: Beta parameters of the per-drive daily recording probability
+    #: (mean ~ 0.65, matching the Figure 1 data-count/max-age ratio).
+    record_prob_alpha: float = 6.5
+    record_prob_beta: float = 3.5
+    #: Probability the failure day makes it into the log.
+    record_failure_day_prob: float = 0.95
+
+
+@dataclass(frozen=True)
+class DriveModelSpec:
+    """Everything that characterizes one drive model."""
+
+    name: str
+    capacity_gb: int = 480
+    pe_cycle_limit: int = 3000
+    workload: WorkloadParams = field(default_factory=WorkloadParams)
+    errors: ErrorParams = field(default_factory=ErrorParams)
+    lifetime: LifetimeParams = field(default_factory=LifetimeParams)
+    repair: RepairParams = field(default_factory=RepairParams)
+    symptoms: FailureSymptomParams = field(default_factory=FailureSymptomParams)
+    observation: ObservationParams = field(default_factory=ObservationParams)
+
+
+def _mlc_a() -> DriveModelSpec:
+    # Table 3: 6.95 % failed; Table 5: slow, mostly-completing repairs.
+    return DriveModelSpec(
+        name="MLC-A",
+        lifetime=LifetimeParams(
+            defect_prob=0.020,
+            mature_hazard_per_day=2.7e-5,
+        ),
+        repair=RepairParams(
+            return_prob=0.72,
+            fast_repair_prob=0.08,
+            slow_repair_median=400.0,
+        ),
+        errors=ErrorParams(),
+    )
+
+
+def _mlc_b() -> DriveModelSpec:
+    # Table 3: 14.3 % failed; Table 1: elevated write-error incidence
+    # (1.3e-3 vs ~1.5e-4 for the other models); Table 5: fastest repairs
+    # but lowest eventual return share.
+    return DriveModelSpec(
+        name="MLC-B",
+        lifetime=LifetimeParams(
+            defect_prob=0.038,
+            mature_hazard_per_day=4.8e-5,
+        ),
+        repair=RepairParams(
+            return_prob=0.50,
+            fast_repair_prob=0.17,
+            slow_repair_median=380.0,
+        ),
+        errors=replace(ErrorParams(), write_error_base_prob=1.2e-3),
+    )
+
+
+def _mlc_d() -> DriveModelSpec:
+    # Table 3: 12.5 % failed; Table 5: highest eventual return share.
+    return DriveModelSpec(
+        name="MLC-D",
+        lifetime=LifetimeParams(
+            defect_prob=0.033,
+            mature_hazard_per_day=4.2e-5,
+        ),
+        repair=RepairParams(
+            return_prob=0.74,
+            fast_repair_prob=0.11,
+            slow_repair_median=380.0,
+        ),
+        errors=ErrorParams(),
+    )
+
+
+MLC_A: DriveModelSpec = _mlc_a()
+MLC_B: DriveModelSpec = _mlc_b()
+MLC_D: DriveModelSpec = _mlc_d()
+
+
+def default_models() -> tuple[DriveModelSpec, ...]:
+    """The paper's three drive models, in index order."""
+    return (MLC_A, MLC_B, MLC_D)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Top-level fleet simulation parameters.
+
+    Attributes
+    ----------
+    n_drives_per_model:
+        Fleet size per drive model.
+    horizon_days:
+        Length of the observation window in days (the paper's trace spans
+        six years ~ 2190 days).
+    deploy_spread_days:
+        Drives enter production uniformly over ``[0, deploy_spread_days]``;
+        staggered deployment shapes the max-age CDF of Figure 1.
+    seed:
+        Root RNG seed; each drive derives an independent child stream, so
+        results are reproducible and order-independent.
+    """
+
+    n_drives_per_model: int = 400
+    horizon_days: int = 2190
+    deploy_spread_days: int = 1400
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_drives_per_model < 1:
+            raise ValueError("n_drives_per_model must be >= 1")
+        if self.horizon_days < 30:
+            raise ValueError("horizon_days must be >= 30")
+        if not 0 <= self.deploy_spread_days < self.horizon_days:
+            raise ValueError("deploy_spread_days must lie in [0, horizon_days)")
+
+
+def small_fleet_config(seed: int = 0) -> FleetConfig:
+    """A laptop-friendly fleet for tests and examples."""
+    return FleetConfig(
+        n_drives_per_model=80, horizon_days=720, deploy_spread_days=240, seed=seed
+    )
+
+
+def paper_scale_config(seed: int = 0) -> FleetConfig:
+    """Parameters matching the paper's population shape (expensive)."""
+    return FleetConfig(
+        n_drives_per_model=10000, horizon_days=2190, deploy_spread_days=1400, seed=seed
+    )

@@ -1,0 +1,319 @@
+"""Whole-life simulation of a single drive.
+
+A drive's life is a sequence of *operational periods* separated by
+failure → swap → repair episodes (Figure 2 of the paper):
+
+1. the period runs from deployment (or re-entry) until a sampled failure
+   or the end of the observation window;
+2. after a failure, the drive may keep filing zero-activity reports for a
+   few days, then goes dark until the physical swap;
+3. the swap sends it to repair, from which it may re-enter the field and
+   start the next period (with elevated hazard), or never return.
+
+Each period's telemetry is generated vectorized across its days; the
+Python-level loop is only over periods (at most a handful per drive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .config import DriveModelSpec
+from .errors import generate_errors, sample_error_latents
+from .lifetime import FailureMode, sample_failure
+from .repair import sample_inactive_stretch, sample_nonoperational_days, sample_repair
+from .symptoms import SymptomPlan, plan_symptoms
+from .workload import generate_workload, sample_workload_latents
+
+__all__ = ["DriveResult", "SwapEvent", "simulate_drive"]
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """One observed swap-inducing failure of a drive."""
+
+    failure_age: int
+    swap_age: int
+    reentry_age: float  # nan when never observed to return
+    operational_start_age: int
+    mode: FailureMode
+
+
+@dataclass
+class DriveResult:
+    """All observables produced by one drive's simulated life."""
+
+    drive_id: int
+    model: int
+    deploy_day: int
+    end_of_observation_age: int
+    records: dict[str, np.ndarray]
+    swaps: list[SwapEvent] = field(default_factory=list)
+
+
+_RECORD_COLUMNS = (
+    "age_days",
+    "read_count",
+    "write_count",
+    "erase_count",
+    "pe_cycles",
+    "status_dead",
+    "status_read_only",
+    "factory_bad_blocks",
+    "grown_bad_blocks",
+    "correctable_error",
+    "erase_error",
+    "final_read_error",
+    "final_write_error",
+    "meta_error",
+    "read_error",
+    "response_error",
+    "timeout_error",
+    "uncorrectable_error",
+    "write_error",
+)
+
+
+def _empty_records() -> dict[str, list[np.ndarray]]:
+    return {name: [] for name in _RECORD_COLUMNS}
+
+
+def simulate_drive(
+    drive_id: int,
+    model_index: int,
+    spec: DriveModelSpec,
+    deploy_day: int,
+    horizon_days: int,
+    rng: np.random.Generator,
+) -> DriveResult:
+    """Simulate one drive from deployment to the end of the trace window.
+
+    Parameters
+    ----------
+    drive_id, model_index:
+        Identity written into every record.
+    spec:
+        The drive model's full parameter set.
+    deploy_day:
+        Calendar day the drive enters production; its observation window in
+        age units is ``[0, horizon_days - deploy_day)``.
+    horizon_days:
+        Calendar length of the trace.
+    rng:
+        Drive-local random stream (independent per drive).
+    """
+    max_age = horizon_days - deploy_day
+    if max_age <= 0:
+        raise ValueError("drive deployed at or beyond the trace horizon")
+
+    wl_latents = sample_workload_latents(spec.workload, rng)
+    err_latents = sample_error_latents(spec.errors, rng)
+    record_prob = float(
+        rng.beta(spec.observation.record_prob_alpha, spec.observation.record_prob_beta)
+    )
+
+    buffers = _empty_records()
+    swaps: list[SwapEvent] = []
+    pe_state = 0.0
+    bb_state = 0
+    start_age = 0
+    post_repair = False
+
+    while start_age < max_age:
+        draw = sample_failure(
+            spec.lifetime,
+            rng,
+            start_age,
+            max_age,
+            post_repair,
+            proneness=err_latents.error_proneness,
+        )
+        if draw.age is None:
+            period_end = max_age - 1
+            plan = SymptomPlan.none()
+        else:
+            period_end = draw.age
+            plan = plan_symptoms(
+                spec.symptoms, draw.mode, period_end - start_age + 1, rng
+            )
+
+        ages = np.arange(start_age, period_end + 1, dtype=np.int64)
+        n = ages.shape[0]
+        workload = generate_workload(spec.workload, wl_latents, ages, rng)
+
+        # Operator-driven ramp-down before a failure: drain the workload
+        # over the last ``decline_days`` (closest day to failure lowest).
+        if plan.decline_days > 0:
+            k = min(plan.decline_days, n)
+            # Decline deepens toward the failure: the last day of the
+            # window gets factor**k, the first factor**1.
+            powers = np.arange(1, k + 1, dtype=np.float64)
+            mult = plan.decline_factor**powers
+            for arr in (workload.read_count, workload.write_count, workload.erase_count):
+                arr[n - k :] = np.round(arr[n - k :] * mult)
+            workload.pe_increment[n - k :] *= mult
+
+        pe = pe_state + np.cumsum(workload.pe_increment)
+        errors = generate_errors(
+            spec.errors,
+            spec.symptoms,
+            err_latents,
+            plan,
+            ages=ages,
+            reads=workload.read_count,
+            writes=workload.write_count,
+            erases=workload.erase_count,
+            pe_cycles=pe,
+            pe_limit=spec.pe_cycle_limit,
+            rng=rng,
+        )
+        grown_bb = bb_state + np.cumsum(errors.grown_bad_block_increment)
+
+        status_ro = np.zeros(n, dtype=np.int8)
+        if plan.read_only_from_offset is not None:
+            status_ro[max(n - 1 - plan.read_only_from_offset, 0) :] = 1
+        # The dead flag only ever shows up on post-failure limbo reports
+        # (emitted below); operational rows — including the failure day —
+        # never carry it, so it cannot leak the label.
+        status_dead = np.zeros(n, dtype=np.int8)
+
+        # Bernoulli record thinning; the failure day is anchored separately.
+        recorded = rng.random(n) < record_prob
+        if draw.age is not None:
+            recorded[-1] = rng.random() < spec.observation.record_failure_day_prob
+
+        if np.any(recorded):
+            err_cols = errors.as_dict()
+            period_cols = {
+                "age_days": ages,
+                "read_count": workload.read_count,
+                "write_count": workload.write_count,
+                "erase_count": workload.erase_count,
+                "pe_cycles": pe,
+                "status_dead": status_dead,
+                "status_read_only": status_ro,
+                "factory_bad_blocks": np.full(
+                    n, err_latents.factory_bad_blocks, dtype=np.int64
+                ),
+                "grown_bad_blocks": grown_bb,
+                **err_cols,
+            }
+            for name in _RECORD_COLUMNS:
+                buffers[name].append(period_cols[name][recorded])
+
+        pe_state = float(pe[-1])
+        bb_state = int(grown_bb[-1])
+
+        if draw.age is None:
+            break
+
+        # ---- failure -> swap -> repair ---------------------------------
+        failure_age = draw.age
+        nonop = sample_nonoperational_days(spec.repair, rng)
+        swap_age = failure_age + nonop
+        if swap_age >= max_age:
+            # The physical swap falls outside the trace: the failure never
+            # appears in the swap log (right-censored, like the paper's
+            # drives that "remain in the system in a failed state").
+            break
+
+        inactive_len = sample_inactive_stretch(
+            spec.repair, rng, max_days=swap_age - failure_age - 1
+        )
+        if inactive_len > 0:
+            _emit_inactive_records(
+                buffers,
+                err_latents.factory_bad_blocks,
+                bb_state,
+                pe_state,
+                status_ro_on=plan.read_only_from_offset is not None,
+                dead_on=plan.dead_flag,
+                ages=np.arange(failure_age + 1, failure_age + 1 + inactive_len),
+                record_prob=record_prob,
+                rng=rng,
+            )
+
+        repair = sample_repair(spec.repair, rng)
+        if repair.duration_days is None:
+            reentry: float = float("nan")
+        else:
+            candidate = swap_age + repair.duration_days
+            reentry = float(candidate) if candidate < max_age - 1 else float("nan")
+
+        swaps.append(
+            SwapEvent(
+                failure_age=failure_age,
+                swap_age=swap_age,
+                reentry_age=reentry,
+                operational_start_age=start_age,
+                mode=draw.mode,
+            )
+        )
+
+        if np.isnan(reentry):
+            break
+        start_age = int(reentry)
+        post_repair = True
+
+    records = {
+        name: (
+            np.concatenate(chunks)
+            if chunks
+            else np.empty(0, dtype=np.int64 if name != "pe_cycles" else np.float64)
+        )
+        for name, chunks in buffers.items()
+    }
+    return DriveResult(
+        drive_id=drive_id,
+        model=model_index,
+        deploy_day=deploy_day,
+        end_of_observation_age=max_age,
+        records=records,
+        swaps=swaps,
+    )
+
+
+def _emit_inactive_records(
+    buffers: dict[str, list[np.ndarray]],
+    factory_bb: int,
+    grown_bb: int,
+    pe_state: float,
+    *,
+    status_ro_on: bool,
+    dead_on: bool,
+    ages: np.ndarray,
+    record_prob: float,
+    rng: np.random.Generator,
+) -> None:
+    """Zero-activity post-failure reports (the "soft removal" stretch)."""
+    n = ages.shape[0]
+    recorded = rng.random(n) < record_prob
+    if not np.any(recorded):
+        return
+    zeros_f = np.zeros(n, dtype=np.float64)
+    zeros_i = np.zeros(n, dtype=np.int64)
+    cols = {
+        "age_days": ages.astype(np.int64),
+        "read_count": zeros_f,
+        "write_count": zeros_f,
+        "erase_count": zeros_f,
+        "pe_cycles": np.full(n, pe_state),
+        "status_dead": np.full(n, 1 if dead_on else 0, dtype=np.int8),
+        "status_read_only": np.full(n, 1 if status_ro_on else 0, dtype=np.int8),
+        "factory_bad_blocks": np.full(n, factory_bb, dtype=np.int64),
+        "grown_bad_blocks": np.full(n, grown_bb, dtype=np.int64),
+        "correctable_error": zeros_i,
+        "erase_error": zeros_i,
+        "final_read_error": zeros_i,
+        "final_write_error": zeros_i,
+        "meta_error": zeros_i,
+        "read_error": zeros_i,
+        "response_error": zeros_i,
+        "timeout_error": zeros_i,
+        "uncorrectable_error": zeros_i,
+        "write_error": zeros_i,
+    }
+    for name in _RECORD_COLUMNS:
+        buffers[name].append(cols[name][recorded])

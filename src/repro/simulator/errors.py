@@ -1,0 +1,271 @@
+"""Error-counter generation for one drive's operational period.
+
+All ten error types of the trace schema (Section 2 of the paper) are
+generated here, vectorized across the period's days, from three inputs: the
+drive's latent error personality, its daily workload/wear, and the symptom
+plan of an impending failure (if any).
+
+The generative structure is chosen so the *published* statistics emerge:
+
+- Non-transparent errors concentrate on an error-prone minority of drives
+  (Table 1 incidence vs. Figure 10 zero-UE shares).
+- Uncorrectable and final read errors share events (Table 2: rho ~ 0.97).
+- Response and timeout errors share "controller glitch" days (rho ~ 0.53).
+- Erase errors scale with P/E wear — the only counter that does (rho ~ 0.32).
+- Bad blocks grow from UE events plus a wear-driven trickle, tying them to
+  erase/final-read/UE counters (Table 2, bad-block row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import ErrorParams, FailureSymptomParams
+from .symptoms import SymptomPlan
+
+__all__ = ["ErrorLatents", "PeriodErrors", "sample_error_latents", "generate_errors"]
+
+#: Cap on the number of UE events that can each independently retire a
+#: block on one day (keeps bad-block growth physical during huge bursts).
+_UE_BB_CAP = 2000
+
+
+@dataclass(frozen=True)
+class ErrorLatents:
+    """Per-drive latent error personality.
+
+    Attributes
+    ----------
+    error_proneness:
+        0 for clean drives; Gamma-distributed for the error-prone minority.
+        Scales all non-transparent background error probabilities.
+    glitch_factor:
+        Multiplier on controller-glitch (response/timeout) probability.
+    correctable_factor:
+        Per-drive level of correctable-bits-per-read.
+    factory_bad_blocks:
+        Blocks dead on arrival.
+    """
+
+    error_proneness: float
+    glitch_factor: float
+    correctable_factor: float
+    factory_bad_blocks: int
+
+
+def sample_error_latents(
+    params: ErrorParams, rng: np.random.Generator
+) -> ErrorLatents:
+    """Draw the per-drive error latents."""
+    if rng.random() < params.error_prone_prob:
+        prone = float(
+            rng.gamma(params.error_prone_shape, 1.0 / params.error_prone_shape)
+        )
+    else:
+        prone = 0.0
+    glitch = float(np.exp(rng.normal(0.0, 1.0)))
+    corr = float(np.exp(rng.normal(0.0, params.correctable_drive_sigma)))
+    factory = int(rng.poisson(params.factory_bad_block_mean))
+    return ErrorLatents(
+        error_proneness=prone,
+        glitch_factor=glitch,
+        correctable_factor=corr,
+        factory_bad_blocks=factory,
+    )
+
+
+@dataclass
+class PeriodErrors:
+    """Daily error counters plus bad-block growth for one period."""
+
+    correctable_error: np.ndarray
+    erase_error: np.ndarray
+    final_read_error: np.ndarray
+    final_write_error: np.ndarray
+    meta_error: np.ndarray
+    read_error: np.ndarray
+    response_error: np.ndarray
+    timeout_error: np.ndarray
+    uncorrectable_error: np.ndarray
+    write_error: np.ndarray
+    grown_bad_block_increment: np.ndarray
+
+    def as_dict(self) -> dict[str, np.ndarray]:
+        return {
+            "correctable_error": self.correctable_error,
+            "erase_error": self.erase_error,
+            "final_read_error": self.final_read_error,
+            "final_write_error": self.final_write_error,
+            "meta_error": self.meta_error,
+            "read_error": self.read_error,
+            "response_error": self.response_error,
+            "timeout_error": self.timeout_error,
+            "uncorrectable_error": self.uncorrectable_error,
+            "write_error": self.write_error,
+        }
+
+
+def _count_where(
+    mask: np.ndarray, mu: float, sigma: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Lognormal event counts (>= 1) on masked days, zeros elsewhere."""
+    out = np.zeros(mask.shape[0], dtype=np.int64)
+    k = int(np.count_nonzero(mask))
+    if k:
+        counts = np.maximum(np.rint(np.exp(rng.normal(mu, sigma, size=k))), 1.0)
+        out[mask] = counts.astype(np.int64)
+    return out
+
+
+def generate_errors(
+    params: ErrorParams,
+    symptom_params: FailureSymptomParams,
+    latents: ErrorLatents,
+    plan: SymptomPlan,
+    *,
+    ages: np.ndarray,
+    reads: np.ndarray,
+    writes: np.ndarray,
+    erases: np.ndarray,
+    pe_cycles: np.ndarray,
+    pe_limit: int,
+    rng: np.random.Generator,
+) -> PeriodErrors:
+    """Generate all error counters for one operational period.
+
+    Parameters
+    ----------
+    ages:
+        Drive age (days) on each day of the period (length ``n``).
+    reads, writes, erases:
+        Daily workload of the period (length ``n``); the last entry is the
+        failure day when the period ends in a failure.
+    pe_cycles:
+        Cumulative P/E cycle count per day (length ``n``).
+    pe_limit:
+        The model's rated P/E endurance (3000 for these models).
+    plan:
+        Symptom plan (``SymptomPlan.none()`` for censored periods).
+    """
+    n = reads.shape[0]
+    active = (reads + writes) > 0
+
+    # Defective-from-birth drives are noisy regardless of their background
+    # personality: the boost applies to a floored proneness so clean drives
+    # (proneness 0) still scream when they carry a symptomatic defect.
+    if plan.lifelong_boost > 1.0:
+        prone = max(latents.error_proneness, 0.5) * plan.lifelong_boost
+    else:
+        prone = latents.error_proneness
+    wear = np.clip(pe_cycles / pe_limit, 0.0, 4.0)
+
+    # --- uncorrectable + final read (shared events) ---------------------
+    age_factor = params.ue_age_floor + (1.0 - params.ue_age_floor) * np.minimum(
+        np.asarray(ages, dtype=np.float64) / 2190.0, 1.5
+    )
+    p_ue = np.minimum(params.ue_daily_prob * prone * age_factor, 0.6)
+    ue_day = (rng.random(n) < p_ue) & active
+    ue = _count_where(ue_day, params.ue_count_mu, params.ue_count_sigma, rng)
+
+    # Burst days injected by the symptom plan (offsets count back from the
+    # period's final day).
+    if plan.burst_offsets.size:
+        idx = n - 1 - plan.burst_offsets
+        idx = idx[idx >= 0]
+        if idx.size:
+            mu = (
+                symptom_params.burst_ue_mu_young
+                if plan.young
+                else symptom_params.burst_ue_mu_old
+            )
+            sigma = (
+                symptom_params.burst_ue_sigma_young
+                if plan.young
+                else symptom_params.burst_ue_sigma_old
+            )
+            burst = np.maximum(
+                np.rint(np.exp(rng.normal(mu, sigma, size=idx.size))), 1.0
+            ).astype(np.int64)
+            ue[idx] += burst
+
+    final_read = rng.binomial(np.minimum(ue, 10_000), params.final_read_given_ue)
+    # Rare final reads without a same-day UE (distinct root causes exist).
+    stray_fr = (rng.random(n) < 6.0e-5 * (1.0 + prone)) & active
+    final_read = final_read + stray_fr.astype(np.int64)
+
+    # --- other non-transparent errors -----------------------------------
+    fw_day = (rng.random(n) < params.final_write_daily_prob * np.minimum(prone, 5.0)) & active
+    final_write = _count_where(fw_day, 0.2, 0.8, rng)
+
+    meta_day = (rng.random(n) < params.meta_daily_prob * np.minimum(prone, 5.0)) & active
+    meta = _count_where(meta_day, 0.1, 0.7, rng)
+
+    glitch_day = rng.random(n) < np.minimum(
+        params.glitch_daily_prob * latents.glitch_factor * (1.0 + 0.5 * prone), 0.05
+    )
+    timeout_day = glitch_day & (rng.random(n) < params.timeout_given_glitch)
+    response_day = glitch_day & (rng.random(n) < params.response_given_glitch)
+    timeout = _count_where(timeout_day, 0.2, 0.7, rng)
+    response = _count_where(response_day, 0.1, 0.6, rng)
+
+    # --- transparent errors ----------------------------------------------
+    p_read_err = params.read_error_base_prob + params.read_error_prone_boost * prone
+    read_day = (rng.random(n) < np.minimum(p_read_err, 0.3)) & active
+    read_err = _count_where(read_day, 0.4, 0.9, rng)
+
+    p_write_err = (
+        params.write_error_base_prob
+        + params.write_error_prone_boost * prone
+        + params.write_error_wear_coef * wear
+    )
+    write_day = (rng.random(n) < np.minimum(p_write_err, 0.3)) & active
+    write_err = _count_where(write_day, 0.4, 0.9, rng)
+
+    p_erase = (
+        params.erase_error_base_prob
+        + params.erase_error_wear_coef * wear * (1.0 + 0.3 * prone)
+    )
+    erase_day = (rng.random(n) < np.minimum(p_erase, 0.3)) & (erases > 0)
+    erase_err = _count_where(erase_day, 0.3, 0.8, rng)
+
+    # --- correctable errors (bits corrected during reads) ----------------
+    lam = reads * params.correctable_rate_per_read * latents.correctable_factor
+    jitter = np.exp(rng.normal(0.0, params.correctable_daily_sigma, size=n))
+    correctable = np.rint(lam * jitter).astype(np.int64)
+    zero_day = rng.random(n) < params.correctable_zero_prob
+    correctable[zero_day | ~active] = 0
+
+    # --- bad-block growth -------------------------------------------------
+    bb_from_ue = rng.binomial(np.minimum(ue, _UE_BB_CAP), params.bad_block_per_ue_event)
+    bb_from_erase = rng.binomial(erase_err, params.bad_block_per_erase_error)
+    bb_wear = rng.poisson(params.bad_block_wear_rate * np.clip(wear, 0.0, 2.0), size=n)
+    grown = (bb_from_ue + bb_from_erase + bb_wear).astype(np.int64)
+    if plan.bad_block_offsets.size:
+        idx = n - 1 - plan.bad_block_offsets
+        idx = idx[idx >= 0]
+        if idx.size:
+            if plan.symptomatic:
+                mean_bb = (
+                    symptom_params.burst_bad_block_mean_young
+                    if plan.young
+                    else symptom_params.burst_bad_block_mean_old
+                )
+            else:
+                mean_bb = symptom_params.bad_block_ramp_mean
+            grown[idx] += 1 + rng.poisson(mean_bb, size=idx.size)
+
+    return PeriodErrors(
+        correctable_error=correctable,
+        erase_error=erase_err,
+        final_read_error=final_read.astype(np.int64),
+        final_write_error=final_write,
+        meta_error=meta,
+        read_error=read_err,
+        response_error=response,
+        timeout_error=timeout,
+        uncorrectable_error=ue,
+        write_error=write_err,
+        grown_bad_block_increment=grown,
+    )

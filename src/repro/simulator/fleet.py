@@ -1,0 +1,164 @@
+"""Fleet-level simulation: many drives, three models, one trace.
+
+:func:`simulate_fleet` is the main entry point of the simulator.  It runs
+every drive independently (each on its own spawned RNG stream, so results
+are reproducible and independent of iteration order) and assembles the two
+data products the paper's analyses consume:
+
+- the **daily performance log** (:class:`~repro.data.DriveDayDataset`), and
+- the **swap log** (:class:`~repro.data.SwapLog`) plus drive metadata
+  (:class:`~repro.data.DriveTable`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data import DriveDayDataset, DriveTable, SwapLog
+from .config import DriveModelSpec, FleetConfig, default_models
+from .drive import DriveResult, simulate_drive
+
+__all__ = ["FleetTrace", "simulate_fleet"]
+
+
+@dataclass
+class FleetTrace:
+    """The complete synthetic trace: telemetry, drive metadata, swap log."""
+
+    records: DriveDayDataset
+    drives: DriveTable
+    swaps: SwapLog
+    config: FleetConfig
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description of the trace."""
+        n_dr = len(self.drives)
+        n_sw = len(self.swaps)
+        failed = len(np.unique(self.swaps.drive_id)) if n_sw else 0
+        return (
+            f"FleetTrace: {n_dr} drives, {len(self.records)} drive-day records, "
+            f"{n_sw} swap events over {failed} distinct failed drives "
+            f"({100.0 * failed / max(n_dr, 1):.2f}% of fleet), horizon "
+            f"{self.config.horizon_days} days."
+        )
+
+
+def simulate_fleet(
+    config: FleetConfig | None = None,
+    models: tuple[DriveModelSpec, ...] | None = None,
+) -> FleetTrace:
+    """Simulate the whole fleet described by ``config``.
+
+    Parameters
+    ----------
+    config:
+        Fleet parameters (defaults to :class:`FleetConfig`'s defaults).
+    models:
+        Drive-model specs, in model-index order (defaults to the paper's
+        MLC-A / MLC-B / MLC-D presets).
+    """
+    config = config or FleetConfig()
+    models = models or default_models()
+
+    root = np.random.SeedSequence(config.seed)
+    n_total = config.n_drives_per_model * len(models)
+    children = root.spawn(n_total + 1)
+    deploy_rng = np.random.default_rng(children[-1])
+
+    results: list[DriveResult] = []
+    drive_id = 0
+    for model_index, spec in enumerate(models):
+        for _ in range(config.n_drives_per_model):
+            deploy_day = (
+                int(deploy_rng.integers(0, config.deploy_spread_days + 1))
+                if config.deploy_spread_days
+                else 0
+            )
+            rng = np.random.default_rng(children[drive_id])
+            results.append(
+                simulate_drive(
+                    drive_id=drive_id,
+                    model_index=model_index,
+                    spec=spec,
+                    deploy_day=deploy_day,
+                    horizon_days=config.horizon_days,
+                    rng=rng,
+                )
+            )
+            drive_id += 1
+
+    return _assemble(results, config)
+
+
+def _assemble(results: list[DriveResult], config: FleetConfig) -> FleetTrace:
+    """Concatenate per-drive outputs into the fleet-level data products."""
+    # --- telemetry records ------------------------------------------------
+    col_chunks: dict[str, list[np.ndarray]] = {}
+    id_chunks: list[np.ndarray] = []
+    model_chunks: list[np.ndarray] = []
+    calendar_chunks: list[np.ndarray] = []
+    for res in results:
+        n = res.records["age_days"].shape[0]
+        if n == 0:
+            continue
+        id_chunks.append(np.full(n, res.drive_id, dtype=np.int32))
+        model_chunks.append(np.full(n, res.model, dtype=np.int8))
+        calendar_chunks.append(
+            (res.records["age_days"] + res.deploy_day).astype(np.int32)
+        )
+        for name, arr in res.records.items():
+            col_chunks.setdefault(name, []).append(arr)
+
+    if id_chunks:
+        columns: dict[str, np.ndarray] = {
+            "drive_id": np.concatenate(id_chunks),
+            "model": np.concatenate(model_chunks),
+            "calendar_day": np.concatenate(calendar_chunks),
+        }
+        for name, chunks in col_chunks.items():
+            columns[name] = np.concatenate(chunks)
+        records = DriveDayDataset(columns, check_sorted=False)
+    else:
+        records = DriveDayDataset.empty()
+
+    # --- drive table --------------------------------------------------------
+    drives = DriveTable(
+        drive_id=np.array([r.drive_id for r in results]),
+        model=np.array([r.model for r in results]),
+        deploy_day=np.array([r.deploy_day for r in results]),
+        end_of_observation_age=np.array(
+            [r.end_of_observation_age for r in results]
+        ),
+    )
+
+    # --- swap log -------------------------------------------------------------
+    sw_drive, sw_model, sw_fail, sw_swap, sw_re, sw_start, sw_mode = (
+        [],
+        [],
+        [],
+        [],
+        [],
+        [],
+        [],
+    )
+    for res in results:
+        for ev in res.swaps:
+            sw_drive.append(res.drive_id)
+            sw_model.append(res.model)
+            sw_fail.append(ev.failure_age)
+            sw_swap.append(ev.swap_age)
+            sw_re.append(ev.reentry_age)
+            sw_start.append(ev.operational_start_age)
+            sw_mode.append(int(ev.mode))
+    swaps = SwapLog(
+        drive_id=np.array(sw_drive, dtype=np.int32),
+        model=np.array(sw_model, dtype=np.int8),
+        failure_age=np.array(sw_fail, dtype=np.float64),
+        swap_age=np.array(sw_swap, dtype=np.float64),
+        reentry_age=np.array(sw_re, dtype=np.float64),
+        operational_start_age=np.array(sw_start, dtype=np.float64),
+        failure_mode=np.array(sw_mode, dtype=np.int8),
+    )
+    return FleetTrace(records=records, drives=drives, swaps=swaps, config=config)

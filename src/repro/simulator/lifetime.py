@@ -1,0 +1,123 @@
+"""Failure-time processes: the bathtub hazard of Section 4.1.
+
+Two latent mechanisms generate swap-inducing failures:
+
+- **Infant defects** — a small per-drive probability of a manufacturing
+  fault that escapes testing; the resulting failure age is lognormal and
+  concentrated inside the paper's 90-day infancy window (Figure 6 shows
+  25 % of failures before day 90, with the monthly hazard flattening out
+  after month 3).
+- **Mature hazard** — a constant per-day rate, independent of age and of
+  P/E wear, matching the paper's finding that neither old age nor write
+  behaviour raises failure incidence (Observations 7 and 8).
+
+Drives returning from repair get a hazard multiplier and a small recurrent-
+defect probability, which together generate the repeated failures of
+Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+import numpy as np
+
+from .config import LifetimeParams
+
+__all__ = ["FailureMode", "FailureDraw", "sample_failure"]
+
+
+class FailureMode(IntEnum):
+    """Latent failure mechanism (ground truth; never exposed as a feature)."""
+
+    NONE = -1
+    DEFECT = 0
+    WEAR = 1
+
+
+@dataclass(frozen=True)
+class FailureDraw:
+    """Outcome of sampling a failure time for one operational period.
+
+    ``age`` is the failure age in days (``None`` if the period is censored
+    by ``max_age``); ``mode`` records which mechanism fired.
+    """
+
+    age: int | None
+    mode: FailureMode
+
+
+def _defect_age(params: LifetimeParams, rng: np.random.Generator) -> float:
+    """Failure age (days from period start) of an infant defect."""
+    mu = np.log(params.defect_age_median)
+    age = float(np.exp(rng.normal(mu, params.defect_age_sigma)))
+    # A defect needs at least a couple of days in service to manifest.
+    return max(age, 2.0)
+
+
+def sample_failure(
+    params: LifetimeParams,
+    rng: np.random.Generator,
+    start_age: int,
+    max_age: int,
+    post_repair: bool,
+    proneness: float = 0.0,
+) -> FailureDraw:
+    """Sample the failure time of one operational period.
+
+    Parameters
+    ----------
+    params:
+        Lifetime parameters of the drive model.
+    rng:
+        Drive-local random stream.
+    start_age:
+        Drive age (days) at the start of the period (0 for a new drive,
+        the re-entry age for a repaired one).
+    max_age:
+        Drive age at the end of the observation window; failures at or
+        beyond it are censored.
+    post_repair:
+        Whether the period follows a repair (elevated hazard).
+    proneness:
+        The drive's error-proneness latent; scales the mature hazard by
+        ``1 + prone_hazard_coef * proneness`` (error-prone drives fail
+        more, per Section 4.2 of the paper).
+
+    Returns
+    -------
+    FailureDraw with the *earliest* firing mechanism, or a censored draw.
+    """
+    if max_age <= start_age:
+        return FailureDraw(age=None, mode=FailureMode.NONE)
+
+    candidates: list[tuple[float, FailureMode]] = []
+
+    defect_p = (
+        params.post_repair_defect_prob if post_repair else params.defect_prob
+    )
+    if rng.random() < defect_p:
+        candidates.append((start_age + _defect_age(params, rng), FailureMode.DEFECT))
+
+    hazard = params.mature_hazard_per_day * (
+        1.0 + params.prone_hazard_coef * max(proneness, 0.0)
+    )
+    if post_repair:
+        hazard *= params.post_repair_hazard_mult
+    if hazard > 0:
+        wait = float(rng.exponential(1.0 / hazard))
+        candidates.append((start_age + max(wait, 1.0), FailureMode.WEAR))
+
+    if not candidates:
+        return FailureDraw(age=None, mode=FailureMode.NONE)
+
+    age, mode = min(candidates, key=lambda c: c[0])
+    age_int = int(np.floor(age))
+    if age_int >= max_age:
+        return FailureDraw(age=None, mode=FailureMode.NONE)
+    # The failure day must lie strictly inside the period.
+    age_int = max(age_int, start_age + 1)
+    if age_int >= max_age:
+        return FailureDraw(age=None, mode=FailureMode.NONE)
+    return FailureDraw(age=age_int, mode=mode)

@@ -1,0 +1,169 @@
+"""Pre-failure symptom planning.
+
+When an operational period ends in a failure, this module decides *how* the
+failure announces itself in telemetry — or whether it stays silent.  The
+plan is consumed both by the error generator (UE/bad-block bursts) and by
+the drive simulator (read-only flag, dead flag, workload ramp-down).
+
+Calibration targets: Figure 10 (zero-UE shares among young/old failures),
+Figure 11 (burst probability concentrated in the last two days; young burst
+magnitudes orders of magnitude above old), Observation 9 (a substantial
+fraction of failures is entirely silent) and Figure 16 (activity features
+matter because drives are often drained before the swap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import FailureSymptomParams
+from .lifetime import FailureMode
+
+__all__ = ["SymptomPlan", "plan_symptoms"]
+
+
+@dataclass(frozen=True)
+class SymptomPlan:
+    """Concrete pre-failure schedule for one failing operational period.
+
+    All day indices are offsets *before* the failure day: offset 0 is the
+    failure day itself, offset 1 the day before, and so on.
+
+    Attributes
+    ----------
+    symptomatic:
+        Whether the failure emits an error burst at all.
+    young:
+        Whether the underlying mechanism is an infant defect.
+    burst_offsets:
+        Offsets (0-based, before failure) on which UE bursts fire.
+    bad_block_offsets:
+        Offsets on which extra bad blocks are retired; equals
+        ``burst_offsets`` for UE-symptomatic failures, or an independent
+        schedule for the bad-block-only channel.
+    lifelong_boost:
+        Multiplier applied to the drive's background error-proneness for
+        the whole period (defective-from-birth drives are noisy from day
+        one — this produces the heavy young tails of Figure 10).
+    read_only_from_offset:
+        Offset at which the drive flips to read-only mode (``None`` if it
+        never does); the flag stays on through the failure day.
+    dead_flag:
+        Whether the dead status flag is raised on the post-failure limbo
+        reports (never on operational rows — see ``drive.py``).
+    decline_days:
+        Length of the pre-failure workload ramp-down window (0 = none).
+    decline_factor:
+        Per-day multiplicative workload decay inside that window.
+    """
+
+    symptomatic: bool
+    young: bool
+    burst_offsets: np.ndarray
+    bad_block_offsets: np.ndarray
+    lifelong_boost: float
+    read_only_from_offset: int | None
+    dead_flag: bool
+    decline_days: int
+    decline_factor: float
+
+    @staticmethod
+    def none() -> "SymptomPlan":
+        """A plan for a censored (non-failing) period: no symptoms at all."""
+        return SymptomPlan(
+            symptomatic=False,
+            young=False,
+            burst_offsets=np.empty(0, dtype=np.int64),
+            bad_block_offsets=np.empty(0, dtype=np.int64),
+            lifelong_boost=1.0,
+            read_only_from_offset=None,
+            dead_flag=False,
+            decline_days=0,
+            decline_factor=1.0,
+        )
+
+
+def plan_symptoms(
+    params: FailureSymptomParams,
+    mode: FailureMode,
+    period_len: int,
+    rng: np.random.Generator,
+) -> SymptomPlan:
+    """Draw the symptom plan for a period that ends in a failure.
+
+    Parameters
+    ----------
+    params:
+        Symptom parameters of the drive model.
+    mode:
+        Which latent mechanism caused the failure (defect => "young"
+        symptom profile, wear => "old").
+    period_len:
+        Number of days in the operational period (including the failure
+        day); bursts never extend before the period start.
+    rng:
+        Drive-local random stream.
+    """
+    if mode == FailureMode.NONE:
+        return SymptomPlan.none()
+
+    young = mode == FailureMode.DEFECT
+    p_sympt = (
+        params.young_symptomatic_prob if young else params.old_symptomatic_prob
+    )
+    symptomatic = bool(rng.random() < p_sympt)
+
+    burst_offsets = np.empty(0, dtype=np.int64)
+    lifelong_boost = 1.0
+    read_only_from: int | None = None
+    # Any failed drive may report itself dead while sitting in limbo.
+    dead_flag = bool(rng.random() < params.dead_flag_prob)
+    if symptomatic:
+        peak = params.burst_peak_prob_young if young else params.burst_peak_prob_old
+        window = min(params.burst_window_days, period_len)
+        offsets = np.arange(window)
+        probs = peak * np.exp(-offsets / params.burst_decay_tau)
+        fires = rng.random(window) < probs
+        burst_offsets = offsets[fires]
+        if young:
+            lifelong_boost = params.young_lifelong_error_boost
+        if rng.random() < params.read_only_prob:
+            read_only_from = int(rng.integers(0, 4))  # up to the last four days
+
+    if symptomatic:
+        bad_block_offsets = burst_offsets
+    elif rng.random() < params.bad_block_only_prob:
+        window = min(params.burst_window_days, period_len)
+        offsets = np.arange(window)
+        probs = params.bad_block_only_peak_prob * np.exp(
+            -offsets / params.burst_decay_tau
+        )
+        bad_block_offsets = offsets[rng.random(window) < probs]
+    else:
+        bad_block_offsets = np.empty(0, dtype=np.int64)
+
+    p_decline = (
+        params.activity_decline_prob_symptomatic
+        if symptomatic
+        else params.activity_decline_prob_silent
+    )
+    if not young:
+        p_decline *= params.old_decline_prob_scale
+    decline_days = 0
+    if rng.random() < p_decline:
+        decline_days = 1 + int(rng.geometric(1.0 / params.activity_decline_mean_days))
+        decline_days = min(decline_days, period_len)
+
+    return SymptomPlan(
+        symptomatic=symptomatic,
+        young=young,
+        burst_offsets=burst_offsets,
+        bad_block_offsets=bad_block_offsets,
+        lifelong_boost=lifelong_boost,
+        read_only_from_offset=read_only_from,
+        dead_flag=dead_flag,
+        decline_days=decline_days,
+        decline_factor=params.activity_decline_factor,
+    )

@@ -1,0 +1,112 @@
+"""Daily workload generation for one drive.
+
+Produces the read/write/erase operation counts and the resulting P/E-cycle
+accrual for a span of drive ages, vectorized across days.  The intensity
+profile is calibrated against Figure 7 of the paper: young drives are
+provisioned *less* work (a rising ramp over the first ~10 months — the
+paper's evidence against a burn-in period), a plateau follows, and very old
+drives decay mildly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .config import WorkloadParams
+
+__all__ = ["WorkloadLatents", "DailyWorkload", "sample_workload_latents", "generate_workload"]
+
+
+@dataclass(frozen=True)
+class WorkloadLatents:
+    """Per-drive workload personality.
+
+    Attributes
+    ----------
+    activity_scale:
+        Lognormal multiplier on the fleet-median intensity; captures that
+        some drives serve hot data and some cold.
+    read_ratio:
+        This drive's reads-per-write mix.
+    """
+
+    activity_scale: float
+    read_ratio: float
+
+
+@dataclass
+class DailyWorkload:
+    """Vectorized daily workload for a span of ages.
+
+    ``pe_increment`` is the per-day P/E cycle accrual (erases per block);
+    the cumulative P/E counter is integrated by the drive simulator so it
+    carries across operational periods.
+    """
+
+    read_count: np.ndarray
+    write_count: np.ndarray
+    erase_count: np.ndarray
+    pe_increment: np.ndarray
+
+
+def sample_workload_latents(
+    params: WorkloadParams, rng: np.random.Generator
+) -> WorkloadLatents:
+    """Draw the per-drive workload latents."""
+    scale = float(np.exp(rng.normal(0.0, params.drive_scale_sigma)))
+    # Mild per-drive variation of the read/write mix.
+    ratio = params.read_write_ratio * float(np.exp(rng.normal(0.0, 0.25)))
+    return WorkloadLatents(activity_scale=scale, read_ratio=ratio)
+
+
+def intensity_profile(params: WorkloadParams, ages: np.ndarray) -> np.ndarray:
+    """Deterministic age-dependent intensity multiplier (Figure 7 shape).
+
+    Rises linearly from ``ramp_floor`` to 1.0 over ``ramp_days``, holds,
+    then decays linearly toward ``decay_floor`` at six years.
+    """
+    ages = np.asarray(ages, dtype=np.float64)
+    ramp = params.ramp_floor + (1.0 - params.ramp_floor) * np.minimum(
+        ages / max(params.ramp_days, 1), 1.0
+    )
+    six_years = 2190.0
+    decay_span = max(six_years - params.decay_start_days, 1.0)
+    decay = 1.0 - (1.0 - params.decay_floor) * np.clip(
+        (ages - params.decay_start_days) / decay_span, 0.0, None
+    )
+    return ramp * np.minimum(decay, 1.0)
+
+
+def generate_workload(
+    params: WorkloadParams,
+    latents: WorkloadLatents,
+    ages: np.ndarray,
+    rng: np.random.Generator,
+) -> DailyWorkload:
+    """Generate one drive's daily workload over ``ages`` (1-D, days).
+
+    Counts are continuous (operation counts in the 1e7–1e8 range are stored
+    as floats, as in the trace schema); idle days are exactly zero.
+    """
+    ages = np.asarray(ages, dtype=np.float64)
+    n = ages.shape[0]
+    profile = intensity_profile(params, ages)
+    base = params.base_writes_per_day * latents.activity_scale * profile
+    jitter = np.exp(rng.normal(0.0, params.daily_sigma, size=n))
+    writes = base * jitter
+    read_jitter = np.exp(rng.normal(0.0, params.daily_sigma, size=n))
+    reads = writes * latents.read_ratio * read_jitter / np.maximum(jitter, 1e-12)
+    # Spontaneous idle days: the drive is powered but unprovisioned.
+    idle = rng.random(n) < params.idle_day_prob
+    writes[idle] = 0.0
+    reads[idle] = 0.0
+    erases = writes / params.pages_per_block
+    pe_inc = erases / params.blocks_per_drive
+    return DailyWorkload(
+        read_count=np.round(reads),
+        write_count=np.round(writes),
+        erase_count=np.round(erases),
+        pe_increment=pe_inc,
+    )

@@ -1,0 +1,34 @@
+"""Statistics toolkit: ECDFs, rank correlation, hazard rates, quantile bands.
+
+Small, dependency-light estimators used throughout the characterization
+sections of the reproduction (Tables 1–5, Figures 1–11).
+"""
+
+from .bootstrap import BootstrapResult, bootstrap_ci
+from .correlation import rankdata, spearman, spearman_matrix
+from .ecdf import ECDF, CensoredECDF, censored_ecdf, ecdf
+from .hazard import BinnedRate, binned_failure_rate, exposure_from_intervals
+from .ks import KSResult, ks_two_sample
+from .quantiles import QuantileBands, binned_quantiles
+from .survival import KaplanMeier, kaplan_meier
+
+__all__ = [
+    "BootstrapResult",
+    "bootstrap_ci",
+    "rankdata",
+    "spearman",
+    "spearman_matrix",
+    "ECDF",
+    "CensoredECDF",
+    "ecdf",
+    "censored_ecdf",
+    "BinnedRate",
+    "binned_failure_rate",
+    "exposure_from_intervals",
+    "QuantileBands",
+    "binned_quantiles",
+    "KaplanMeier",
+    "kaplan_meier",
+    "KSResult",
+    "ks_two_sample",
+]

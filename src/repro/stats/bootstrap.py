@@ -1,0 +1,76 @@
+"""Bootstrap confidence intervals for scalar statistics.
+
+Used by the experiment harness to attach uncertainty to characterization
+statistics (failure fractions, CDF quantiles) computed on the simulated
+fleet, mirroring the ± values the paper reports for its cross-validated
+metrics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BootstrapResult", "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Point estimate plus percentile bootstrap interval."""
+
+    estimate: float
+    low: float
+    high: float
+    level: float
+    n_resamples: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.estimate:.4g} [{self.low:.4g}, {self.high:.4g}]"
+
+
+def bootstrap_ci(
+    sample: np.ndarray,
+    statistic: Callable[[np.ndarray], float],
+    n_resamples: int = 1000,
+    level: float = 0.95,
+    seed: int | None = 0,
+) -> BootstrapResult:
+    """Percentile bootstrap CI of ``statistic`` over a 1-D sample.
+
+    Parameters
+    ----------
+    sample:
+        Observations to resample (with replacement) along axis 0.
+    statistic:
+        Scalar-valued function of a resampled array.
+    n_resamples:
+        Number of bootstrap replicates.
+    level:
+        Central coverage of the interval (default 95%).
+    seed:
+        RNG seed for reproducibility.
+    """
+    sample = np.asarray(sample)
+    if sample.shape[0] == 0:
+        raise ValueError("bootstrap_ci requires a non-empty sample")
+    if not 0.0 < level < 1.0:
+        raise ValueError("level must lie in (0, 1)")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be positive")
+    rng = np.random.default_rng(seed)
+    n = sample.shape[0]
+    reps = np.empty(n_resamples)
+    for i in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        reps[i] = statistic(sample[idx])
+    alpha = (1.0 - level) / 2.0
+    low, high = np.quantile(reps, [alpha, 1.0 - alpha])
+    return BootstrapResult(
+        estimate=float(statistic(sample)),
+        low=float(low),
+        high=float(high),
+        level=level,
+        n_resamples=n_resamples,
+    )

@@ -1,0 +1,101 @@
+"""Rank statistics and Spearman correlation (Table 2 of the paper).
+
+Spearman's rho is the Pearson correlation of mid-ranks; the paper uses it
+because it captures arbitrary monotone relationships between error counters,
+not just linear ones.  Implemented from scratch on NumPy (average ranks for
+ties) and property-tested against closed forms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rankdata", "spearman", "spearman_matrix"]
+
+
+def rankdata(x: np.ndarray) -> np.ndarray:
+    """Mid-ranks (1-based, ties averaged) of a 1-D sample.
+
+    Equivalent to ``scipy.stats.rankdata(x, method='average')`` but kept
+    dependency-light and vectorized: ties are resolved by averaging the
+    rank range each tied block occupies.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    n = x.size
+    if n == 0:
+        return np.empty(0)
+    order = np.argsort(x, kind="stable")
+    xs = x[order]
+    # Block boundaries of equal values in sorted order.
+    boundary = np.concatenate(([True], xs[1:] != xs[:-1]))
+    block_id = np.cumsum(boundary) - 1
+    starts = np.flatnonzero(boundary)
+    ends = np.concatenate((starts[1:], [n]))
+    # Average rank of each tied block: mean of 1-based positions it spans.
+    block_rank = (starts + 1 + ends) / 2.0
+    ranks_sorted = block_rank[block_id]
+    out = np.empty(n)
+    out[order] = ranks_sorted
+    return out
+
+
+def spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation between two 1-D samples.
+
+    Returns ``nan`` when either sample is constant (rho undefined).
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.size != y.size:
+        raise ValueError("samples must have equal length")
+    if x.size < 2:
+        raise ValueError("need at least two observations")
+    rx = rankdata(x)
+    ry = rankdata(y)
+    sx = rx.std()
+    sy = ry.std()
+    if sx == 0.0 or sy == 0.0:
+        return float("nan")
+    return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
+
+
+def spearman_matrix(columns: dict[str, np.ndarray]) -> tuple[list[str], np.ndarray]:
+    """Spearman correlation matrix over named columns.
+
+    All columns are ranked once, then a single Pearson correlation of the
+    rank matrix produces every pairwise rho — O(k) rank passes plus one
+    ``k x k`` matrix product instead of O(k^2) pairwise scans.
+
+    Returns
+    -------
+    names:
+        Column names in matrix order.
+    rho:
+        ``(k, k)`` symmetric matrix with unit diagonal; entries involving a
+        constant column are ``nan``.
+    """
+    names = list(columns)
+    if not names:
+        return [], np.empty((0, 0))
+    n = len(np.asarray(columns[names[0]]).ravel())
+    ranks = np.empty((len(names), n))
+    for i, name in enumerate(names):
+        col = np.asarray(columns[name], dtype=np.float64).ravel()
+        if col.size != n:
+            raise ValueError(f"column {name!r} length mismatch")
+        ranks[i] = rankdata(col)
+    centered = ranks - ranks.mean(axis=1, keepdims=True)
+    std = centered.std(axis=1)
+    cov = centered @ centered.T / n
+    denom = np.outer(std, std)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rho = cov / denom
+    rho[denom == 0] = np.nan
+    # Clamp tiny float excursions and pin the diagonal.
+    np.clip(rho, -1.0, 1.0, out=rho)
+    good = std > 0
+    rho[np.ix_(good, good)][np.diag_indices(int(good.sum()))] = 1.0
+    for i in range(len(names)):
+        if std[i] > 0:
+            rho[i, i] = 1.0
+    return names, rho

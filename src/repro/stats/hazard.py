@@ -1,0 +1,113 @@
+"""Exposure-normalized failure-rate estimation.
+
+Figures 6 and 8 of the paper plot, next to the raw CDF of failure
+age / P/E count, a *failure rate*: the number of failures in a bin divided
+by the number of drives "at risk" in that bin.  Without that normalization
+the raw CDF slope is biased because old drives (or high-P/E drives) are
+under-represented in the fleet.  :func:`binned_failure_rate` implements the
+estimator generically over any per-failure covariate with a matching
+per-drive exposure measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BinnedRate", "binned_failure_rate", "exposure_from_intervals"]
+
+
+@dataclass(frozen=True)
+class BinnedRate:
+    """A binned hazard estimate.
+
+    Attributes
+    ----------
+    edges:
+        Bin edges, length ``k + 1``.
+    failures:
+        Failure count per bin, length ``k``.
+    exposure:
+        Number of drive-level units at risk in each bin (e.g. drives that
+        reached this age bin), length ``k``.
+    rate:
+        ``failures / exposure``; ``nan`` where exposure is zero.
+    """
+
+    edges: np.ndarray
+    failures: np.ndarray
+    exposure: np.ndarray
+
+    @property
+    def rate(self) -> np.ndarray:
+        with np.errstate(invalid="ignore", divide="ignore"):
+            r = self.failures / self.exposure
+        return np.where(self.exposure > 0, r, np.nan)
+
+    @property
+    def centers(self) -> np.ndarray:
+        return 0.5 * (self.edges[:-1] + self.edges[1:])
+
+
+def exposure_from_intervals(
+    start: np.ndarray, stop: np.ndarray, edges: np.ndarray
+) -> np.ndarray:
+    """Units at risk per bin from per-unit covariate intervals.
+
+    A unit whose covariate ranged over ``[start, stop)`` counts as exposed
+    in every bin its interval overlaps.  Computed with two searchsorted
+    passes and a difference array — O(n log k), no per-bin loop.
+    """
+    start = np.asarray(start, dtype=np.float64)
+    stop = np.asarray(stop, dtype=np.float64)
+    if start.shape != stop.shape:
+        raise ValueError("start/stop must align")
+    if np.any(stop < start):
+        raise ValueError("stop must be >= start")
+    edges = np.asarray(edges, dtype=np.float64)
+    k = len(edges) - 1
+    # Bin of the interval start (right-side so a start exactly on an edge
+    # belongs to the bin it opens) and of the interval stop (left-side so a
+    # stop exactly on an edge does NOT expose the bin it opens).
+    lo = np.searchsorted(edges, start, side="right") - 1
+    hi = np.searchsorted(edges, stop, side="left") - 1
+    valid = (stop > edges[0]) & (start < edges[-1]) & (hi >= 0)
+    lo = np.clip(lo, 0, k - 1)
+    hi = np.clip(hi, 0, k - 1)
+    hi = np.maximum(hi, lo)  # degenerate interval still exposes its own bin
+    delta = np.zeros(k + 1, dtype=np.int64)
+    np.add.at(delta, lo[valid], 1)
+    np.add.at(delta, hi[valid] + 1, -1)
+    return np.cumsum(delta[:-1])
+
+
+def binned_failure_rate(
+    failure_values: np.ndarray,
+    exposure_start: np.ndarray,
+    exposure_stop: np.ndarray,
+    edges: np.ndarray,
+) -> BinnedRate:
+    """Failures per at-risk unit, binned over a covariate.
+
+    Parameters
+    ----------
+    failure_values:
+        Covariate value at each failure (e.g. failure age in days, or P/E
+        count at failure).
+    exposure_start, exposure_stop:
+        Per *unit* (drive / operational period) covariate interval observed.
+    edges:
+        Bin edges (monotone increasing).
+    """
+    edges = np.asarray(edges, dtype=np.float64)
+    if len(edges) < 2 or np.any(np.diff(edges) <= 0):
+        raise ValueError("edges must be increasing with at least two entries")
+    failure_values = np.asarray(failure_values, dtype=np.float64)
+    fail_counts, _ = np.histogram(failure_values, bins=edges)
+    exposure = exposure_from_intervals(exposure_start, exposure_stop, edges)
+    return BinnedRate(
+        edges=edges,
+        failures=fail_counts.astype(np.int64),
+        exposure=exposure.astype(np.int64),
+    )

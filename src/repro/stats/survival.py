@@ -1,0 +1,126 @@
+"""Kaplan-Meier survival estimation for right-censored durations.
+
+The paper presents censored duration data (operational periods, Figure 3;
+repair durations, Figure 5) as raw CDFs with an "∞ bar" for the censored
+mass.  That is unbiased only when every unit shares the same censoring
+horizon; in a staggered-deployment fleet the horizons differ per unit.  The
+Kaplan-Meier product-limit estimator handles per-unit censoring exactly,
+and is provided here as the principled upgrade (used by the extended
+analyses and exposed in the public stats API).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["KaplanMeier", "kaplan_meier"]
+
+
+@dataclass(frozen=True)
+class KaplanMeier:
+    """Product-limit survival estimate.
+
+    Attributes
+    ----------
+    times:
+        Distinct event times, increasing.
+    survival:
+        ``S(t)`` evaluated just after each event time.
+    at_risk:
+        Number of units at risk at each event time.
+    events:
+        Number of events at each event time.
+    n:
+        Total number of units.
+    """
+
+    times: np.ndarray
+    survival: np.ndarray
+    at_risk: np.ndarray
+    events: np.ndarray
+    n: int
+
+    def __call__(self, t: np.ndarray | float) -> np.ndarray | float:
+        """Evaluate ``S(t)`` (right-continuous step function)."""
+        t = np.asarray(t, dtype=np.float64)
+        idx = np.searchsorted(self.times, t, side="right")
+        vals = np.concatenate(([1.0], self.survival))
+        out = vals[idx]
+        return float(out) if out.ndim == 0 else out
+
+    def cdf(self, t: np.ndarray | float) -> np.ndarray | float:
+        """``P(T <= t) = 1 - S(t)`` — comparable to the paper's CDFs."""
+        s = self(t)
+        return 1.0 - s
+
+    def median(self) -> float:
+        """Smallest event time with ``S(t) <= 0.5`` (``inf`` if never)."""
+        below = np.flatnonzero(self.survival <= 0.5)
+        return float(self.times[below[0]]) if below.size else float("inf")
+
+    def greenwood_variance(self, t: float) -> float:
+        """Greenwood's variance estimate of ``S(t)``."""
+        mask = self.times <= t
+        d = self.events[mask].astype(np.float64)
+        r = self.at_risk[mask].astype(np.float64)
+        term = np.sum(d / (r * np.maximum(r - d, 1e-12)))
+        s = float(self(t))
+        return s * s * term
+
+
+def kaplan_meier(
+    durations: np.ndarray, observed: np.ndarray
+) -> KaplanMeier:
+    """Fit a Kaplan-Meier curve.
+
+    Parameters
+    ----------
+    durations:
+        Time on test for each unit (event time if ``observed``, censoring
+        time otherwise).  Must be non-negative.
+    observed:
+        Boolean per unit: True when the event (failure / repair completion)
+        was observed, False when the unit was right-censored.
+    """
+    durations = np.asarray(durations, dtype=np.float64).ravel()
+    observed = np.asarray(observed, dtype=bool).ravel()
+    if durations.shape != observed.shape:
+        raise ValueError("durations and observed must align")
+    if durations.size == 0:
+        raise ValueError("kaplan_meier requires a non-empty sample")
+    if np.any(durations < 0) or np.any(~np.isfinite(durations)):
+        raise ValueError("durations must be finite and non-negative")
+
+    order = np.argsort(durations, kind="stable")
+    t_sorted = durations[order]
+    e_sorted = observed[order]
+    n = durations.size
+
+    event_times = np.unique(t_sorted[e_sorted])
+    if event_times.size == 0:
+        return KaplanMeier(
+            times=np.empty(0),
+            survival=np.empty(0),
+            at_risk=np.empty(0, dtype=np.int64),
+            events=np.empty(0, dtype=np.int64),
+            n=int(n),
+        )
+
+    # At-risk counts: units with duration >= t (searchsorted on the sorted
+    # duration array); event counts per distinct event time.
+    at_risk = n - np.searchsorted(t_sorted, event_times, side="left")
+    ev_times_all = t_sorted[e_sorted]
+    events = np.searchsorted(ev_times_all, event_times, side="right") - np.searchsorted(
+        ev_times_all, event_times, side="left"
+    )
+    factors = 1.0 - events / at_risk
+    survival = np.cumprod(factors)
+    return KaplanMeier(
+        times=event_times,
+        survival=survival,
+        at_risk=at_risk.astype(np.int64),
+        events=events.astype(np.int64),
+        n=int(n),
+    )

@@ -1,0 +1,116 @@
+"""Shape-level calibration checks against the paper's published numbers.
+
+These integration tests simulate the default (6-year) fleet once and verify
+the *qualitative* claims the reproduction must preserve (DESIGN.md §5) —
+orderings, crossovers, rough magnitudes — with generous tolerances, since
+the substrate is a stochastic simulator, not Google's testbed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    figure4,
+    figure5,
+    figure6,
+    figure8,
+    figure10,
+    paper_targets,
+    table1,
+    table3,
+    table4,
+)
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+@pytest.fixture(scope="module")
+def calib_trace():
+    """Default-parameter fleet at the paper's 6-year horizon."""
+    return simulate_fleet(FleetConfig(n_drives_per_model=500, seed=2024))
+
+
+class TestFailureIncidence:
+    def test_model_ordering_matches_table3(self, calib_trace):
+        res = table3(calib_trace)
+        # MLC-B and MLC-D fail roughly twice as often as MLC-A.
+        assert res.pct_failed["MLC-B"] > res.pct_failed["MLC-A"]
+        assert res.pct_failed["MLC-D"] > res.pct_failed["MLC-A"]
+
+    def test_overall_incidence_band(self, calib_trace):
+        res = table3(calib_trace)
+        target = paper_targets.TABLE3_PCT_FAILED["All"]
+        assert res.pct_failed["All"] == pytest.approx(target, rel=0.45)
+
+    def test_single_failures_dominate_table4(self, calib_trace):
+        res = table4(calib_trace)
+        assert res.pct_of_failed[1] > 80.0
+
+
+class TestErrorIncidence:
+    def test_table1_orders_of_magnitude(self, calib_trace):
+        res = table1(calib_trace)
+        for err, targets in paper_targets.TABLE1_INCIDENCE.items():
+            for model, target in targets.items():
+                got = res.proportions[err][model]
+                if target >= 1e-3:
+                    # Common errors within a factor ~2.5.
+                    assert got == pytest.approx(target, rel=1.5), (err, model)
+                else:
+                    # Rare errors within roughly an order of magnitude.
+                    assert got < 30 * target + 1e-4, (err, model)
+
+
+class TestInfantMortality:
+    def test_infant_shares(self, calib_trace):
+        res = figure6(calib_trace)
+        assert res.infant_share_30d == pytest.approx(
+            paper_targets.FIG6_FAILURES_UNDER_30D, abs=0.10
+        )
+        assert res.infant_share_90d == pytest.approx(
+            paper_targets.FIG6_FAILURES_UNDER_90D, abs=0.12
+        )
+
+    def test_hazard_flattens_after_infancy(self, calib_trace):
+        res = figure6(calib_trace)
+        infant = np.nanmean(res.monthly_rate[:3])
+        plateau = np.nanmean(res.monthly_rate[6:36])
+        assert infant > 3 * plateau
+        # Oldest drives fail no more often than the plateau (Obs. 7).
+        old = np.nanmean(res.monthly_rate[36:60])
+        assert old < 2.5 * plateau
+
+
+class TestWear:
+    def test_failures_below_half_pe_limit(self, calib_trace):
+        res = figure8(calib_trace)
+        assert res.share_below_half_limit > 0.85  # paper: 98%
+
+
+class TestErrorVisibility:
+    def test_zero_ue_shares(self, calib_trace):
+        res = figure10(calib_trace)
+        targets = paper_targets.FIG10_ZERO_UE
+        assert res.zero_ue_fraction("not_failed") == pytest.approx(
+            targets["not_failed"], abs=0.12
+        )
+        assert res.zero_ue_fraction("young") == pytest.approx(
+            targets["young"], abs=0.15
+        )
+        assert res.zero_ue_fraction("old") == pytest.approx(
+            targets["old"], abs=0.15
+        )
+
+
+class TestRepairPipeline:
+    def test_swap_latency_shape(self, calib_trace):
+        res = figure4(calib_trace)
+        assert res.cdf(1.0) == pytest.approx(paper_targets.FIG4_WITHIN_1D, abs=0.12)
+        assert res.cdf(7.0) == pytest.approx(paper_targets.FIG4_WITHIN_7D, abs=0.12)
+
+    def test_half_never_repaired(self, calib_trace):
+        res = figure5(calib_trace)
+        assert res.cdf.censored_mass == pytest.approx(
+            paper_targets.FIG5_NEVER_REPAIRED, abs=0.15
+        )

@@ -1,0 +1,71 @@
+"""Direct tests of the ML-figure result dataclasses (no training needed)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import (
+    Figure12Result,
+    Figure13Result,
+    Figure14Result,
+    Figure15Result,
+)
+from repro.analysis.tables import Table6Result
+
+
+class TestTable6Result:
+    def _result(self):
+        return Table6Result(
+            lookaheads=(1, 7),
+            auc_mean={"A": {1: 0.9, 7: 0.8}, "B": {1: 0.85, 7: 0.82}},
+            auc_std={"A": {1: 0.01, 7: 0.02}, "B": {1: 0.01, 7: 0.01}},
+        )
+
+    def test_best_model_per_lookahead(self):
+        res = self._result()
+        assert res.best_model(1) == "A"
+        assert res.best_model(7) == "B"
+
+    def test_render_contains_cells(self):
+        text = self._result().render()
+        assert "0.900" in text and "± 0.020" in text
+
+
+class TestFigure12Result:
+    def test_render(self):
+        res = Figure12Result(
+            lookaheads=(1, 30),
+            auc_mean=np.array([0.9, 0.77]),
+            auc_std=np.array([0.01, 0.02]),
+        )
+        assert "N=1" in res.render() and "N=30" in res.render()
+
+
+class TestFigure13Result:
+    def test_render(self):
+        res = Figure13Result(
+            curves={"MLC-A": (np.array([0.0, 1.0]), np.array([0.0, 1.0]))},
+            auc={"MLC-A": 0.91},
+        )
+        assert "MLC-A" in res.render() and "0.910" in res.render()
+
+
+class TestFigure14Result:
+    def test_render_summary(self):
+        res = Figure14Result(
+            month_edges=np.arange(7) * 30.0,
+            tpr_by_threshold={0.9: np.array([0.8, 0.7, 0.9, 0.4, 0.5, np.nan])},
+        )
+        text = res.render()
+        assert "alpha=0.9" in text
+
+
+class TestFigure15Result:
+    def test_render(self):
+        res = Figure15Result(
+            curves={},
+            pooled_auc={"young": 0.96, "old": 0.89},
+            partitioned_auc={"young": (0.97, 0.01), "old": (0.89, 0.01)},
+        )
+        text = res.render()
+        assert "young" in text and "0.970" in text

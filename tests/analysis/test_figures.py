@@ -1,0 +1,127 @@
+"""Tests for the figure-reproduction functions (characterization figures)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    operational_periods,
+    value_at_failure,
+)
+
+
+class TestSupport:
+    def test_operational_periods_cover_all_drives(self, small_trace):
+        periods = operational_periods(small_trace.drives, small_trace.swaps)
+        assert set(np.unique(periods.drive_id)) == set(
+            small_trace.drives.drive_id.tolist()
+        )
+        # One failing period per swap plus at least one censored period per
+        # never-failing drive.
+        n_failing = np.count_nonzero(~np.isnan(periods.length))
+        assert n_failing == len(small_trace.swaps)
+
+    def test_period_lengths_nonnegative(self, small_trace):
+        periods = operational_periods(small_trace.drives, small_trace.swaps)
+        finite = periods.length[~np.isnan(periods.length)]
+        assert (finite >= 0).all()
+
+    def test_value_at_failure_uses_last_record_before(self, small_trace):
+        records = small_trace.records
+        pe = value_at_failure(records, small_trace.swaps, records["pe_cycles"])
+        ok = ~np.isnan(pe)
+        assert ok.mean() > 0.8  # failure days are anchored with p=0.95
+        assert (pe[ok] >= 0).all()
+
+
+class TestFigure1:
+    def test_data_count_below_max_age(self, small_trace):
+        res = figure1(small_trace)
+        # Thinning: recorded days fewer than lived days at every quantile.
+        for q in (0.25, 0.5, 0.75):
+            assert res.data_count.quantile(q) <= res.max_age.quantile(q)
+
+
+class TestFigure3:
+    def test_censored_mass_dominates(self, small_trace):
+        res = figure3(small_trace)
+        # Most operational periods never end in failure (paper: >80%).
+        assert res.never_failing_fraction > 0.6
+
+
+class TestFigures4and5:
+    def test_figure4_prompt_removal(self, small_trace):
+        res = figure4(small_trace)
+        assert res.cdf(7.0) > 0.5  # most drives swapped within a week
+
+    def test_figure5_censoring(self, small_trace):
+        res = figure5(small_trace)
+        assert 0.2 < res.cdf.censored_mass < 0.8
+
+
+class TestFigure6:
+    def test_infant_mortality_shape(self, medium_trace):
+        res = figure6(medium_trace)
+        assert res.infant_share_90d > res.infant_share_30d > 0
+        # Hazard in the first three months above the mature plateau.
+        infant = np.nanmean(res.monthly_rate[:3])
+        mature = np.nanmean(res.monthly_rate[3:24])
+        assert infant > 2 * mature
+
+
+class TestFigure7:
+    def test_ramp_visible_in_medians(self, small_trace):
+        res = figure7(small_trace, n_months=24)
+        med = res.bands.level(0.5)
+        assert med[0] < med[11]
+
+    def test_quartile_ordering(self, small_trace):
+        res = figure7(small_trace, n_months=12)
+        q1, q3 = res.bands.level(0.25), res.bands.level(0.75)
+        ok = ~(np.isnan(q1) | np.isnan(q3))
+        assert (q1[ok] <= q3[ok]).all()
+
+
+class TestFigures8and9:
+    def test_failures_well_before_limit(self, medium_trace):
+        res = figure8(medium_trace)
+        assert res.share_below_half_limit > 0.8
+
+    def test_young_failures_at_lower_pe(self, medium_trace):
+        res = figure9(medium_trace)
+        assert res.young.quantile(0.5) < res.old.quantile(0.5)
+
+
+class TestFigure10:
+    def test_failed_drives_heavier_error_tails(self, medium_trace):
+        res = figure10(medium_trace)
+        # Non-failed drives mostly have zero UEs; failed drives fewer zeros.
+        z_not = res.zero_ue_fraction("not_failed")
+        z_old = res.zero_ue_fraction("old")
+        assert z_not > 0.6
+        assert z_old < z_not
+
+
+class TestFigure11:
+    def test_error_probability_concentrated_near_failure(self, medium_trace):
+        res = figure11(medium_trace)
+        for grp in ("young", "old"):
+            p = res.prob_within[grp]
+            if np.isfinite(p).all() and p[-1] > 0:
+                # Within-n probability is nondecreasing in n by construction.
+                assert (np.diff(p) >= -1e-12).all()
+        # Failed drives see UEs far above the healthy baseline.
+        assert np.nanmax(
+            [res.prob_within["young"][1], res.prob_within["old"][1]]
+        ) > 3 * max(res.baseline[1], 1e-4)

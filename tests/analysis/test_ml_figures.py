@@ -1,0 +1,121 @@
+"""Fast unit tests for the ML figures/tables using a cheap model spec.
+
+The benchmarks run these analyses with the full forest; here a small tree
+keeps runtime low while exercising the full code paths (dataset building,
+CV plumbing, per-group splits, rendering).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import figure12, figure13, figure14, figure15, figure16, table6, table7, table8
+from repro.core.pipeline import ModelSpec
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+FAST_TREE = ModelSpec(
+    "tree",
+    lambda: DecisionTreeClassifier(max_depth=6, min_samples_leaf=2, random_state=0),
+    scale=False,
+    log1p=False,
+)
+SMALL_RF = ModelSpec(
+    "rf",
+    lambda: RandomForestClassifier(n_estimators=15, max_depth=8, random_state=0),
+    scale=False,
+    log1p=False,
+)
+
+
+class TestTable6:
+    def test_structure(self, medium_trace):
+        res = table6(
+            medium_trace, lookaheads=(1, 3), specs=(FAST_TREE,), n_splits=3
+        )
+        assert res.lookaheads == (1, 3)
+        assert set(res.auc_mean) == {"tree"}
+        for n in (1, 3):
+            assert 0.4 < res.auc_mean["tree"][n] <= 1.0
+            assert res.auc_std["tree"][n] >= 0.0
+        assert "tree" in res.render()
+        assert res.best_model(1) == "tree"
+
+
+class TestTable7:
+    def test_matrix_finite_and_rendered(self, medium_trace):
+        res = table7(medium_trace, spec=SMALL_RF, n_splits=3)
+        assert res.auc.shape == (3, 4)
+        assert np.isfinite(res.auc).all()
+        assert "MLC-A" in res.render()
+
+
+class TestTable8:
+    def test_subset_of_targets(self, medium_trace):
+        res = table8(
+            medium_trace,
+            spec=SMALL_RF,
+            targets=("uncorrectable_error", "response_error"),
+            n_splits=3,
+        )
+        assert set(res.auc) == {"uncorrectable_error", "response_error"}
+        ue = res.auc["uncorrectable_error"]["combined"]
+        assert np.isnan(ue) or 0.4 < ue <= 1.0
+        assert "uncorrectable" in res.render()
+
+
+class TestFigure12:
+    def test_series_shape(self, medium_trace):
+        res = figure12(medium_trace, lookaheads=(1, 7), spec=FAST_TREE, n_splits=3)
+        assert res.lookaheads == (1, 7)
+        assert res.auc_mean.shape == (2,)
+        assert "N=1" in res.render()
+
+
+class TestFigure13:
+    def test_three_curves(self, medium_trace):
+        res = figure13(medium_trace, spec=FAST_TREE, n_splits=3)
+        assert set(res.curves) <= {"MLC-A", "MLC-B", "MLC-D"}
+        for name, auc in res.auc.items():
+            assert 0.3 < auc <= 1.0, name
+
+
+class TestFigure14:
+    def test_tpr_in_unit_interval(self, medium_trace):
+        res = figure14(
+            medium_trace, thresholds=(0.5, 0.9), spec=SMALL_RF, n_splits=3
+        )
+        for tpr in res.tpr_by_threshold.values():
+            finite = tpr[np.isfinite(tpr)]
+            assert ((finite >= 0) & (finite <= 1)).all()
+
+    def test_higher_threshold_lower_recall(self, medium_trace):
+        res = figure14(
+            medium_trace, thresholds=(0.3, 0.95), spec=SMALL_RF, n_splits=3
+        )
+        lo = np.nanmean(res.tpr_by_threshold[0.3])
+        hi = np.nanmean(res.tpr_by_threshold[0.95])
+        assert hi <= lo + 1e-9
+
+
+class TestFigure15:
+    def test_groups_reported(self, medium_trace):
+        res = figure15(medium_trace, spec=SMALL_RF, n_splits=3)
+        assert set(res.pooled_auc) == {"young", "old"}
+        assert set(res.partitioned_auc) == {"young", "old"}
+        assert "pooled" in res.render()
+
+
+class TestFigure16:
+    def test_reports_for_both_groups(self, medium_trace):
+        res = figure16(medium_trace, spec=SMALL_RF, seed=0)
+        assert len(res.young.names) == len(res.old.names)
+        assert res.young.importances.sum() == pytest.approx(1.0, abs=1e-6)
+        assert "Young" in res.render()
+
+    def test_spec_without_importances_rejected(self, medium_trace):
+        from repro.ml import LogisticRegression
+
+        bad = ModelSpec("lr", lambda: LogisticRegression(), False, False)
+        with pytest.raises(AttributeError):
+            figure16(medium_trace, spec=bad, seed=0)

@@ -1,0 +1,49 @@
+"""Tests for the Observations 1-13 auditor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import check_observations
+from repro.core.pipeline import ModelSpec
+from repro.ml import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def report(medium_trace):
+    return check_observations(medium_trace, include_ml=False)
+
+
+class TestCheckObservations:
+    def test_eleven_non_ml_observations(self, report):
+        assert [r.number for r in report.results] == list(range(1, 12))
+
+    def test_each_has_claim_and_evidence(self, report):
+        for r in report.results:
+            assert r.claim and r.evidence
+
+    def test_simulated_fleet_exhibits_paper_phenomenology(self, report):
+        # The simulator is calibrated to the paper; the audit is the
+        # top-level check of that calibration.  Allow at most one marginal
+        # failure on the mid-sized test fixture.
+        assert len(report.failing()) <= 1, report.render()
+
+    def test_render(self, report):
+        text = report.render()
+        assert "Obs  1" in text and ("PASS" in text or "FAIL" in text)
+
+    def test_ml_observations_included_on_demand(self, medium_trace):
+        spec = ModelSpec(
+            "rf-small",
+            lambda: RandomForestClassifier(
+                n_estimators=15, max_depth=8, random_state=0
+            ),
+            scale=False,
+            log1p=False,
+        )
+        rep = check_observations(
+            medium_trace, include_ml=True, spec=spec, n_splits=3
+        )
+        assert [r.number for r in rep.results] == list(range(1, 14))
+        obs13 = rep.results[-1]
+        assert "AUC" in obs13.evidence

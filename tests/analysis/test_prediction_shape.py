@@ -1,0 +1,78 @@
+"""Integration tests for the headline prediction claims (Section 5).
+
+These run real cross-validated training, so they use a mid-sized fleet and
+only the models needed for each claim.  Tolerances are deliberately loose:
+the assertions encode the paper's *shape* — the forest wins, accuracy decays
+with the lookahead window, infant failures are more predictable — not exact
+AUC values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    build_prediction_dataset,
+    default_model_zoo,
+    evaluate_model,
+)
+from repro.ml import roc_auc_score
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+@pytest.fixture(scope="module")
+def ml_trace():
+    return simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=350,
+            horizon_days=1460,
+            deploy_spread_days=900,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    return {s.name: s for s in default_model_zoo(seed=0)}
+
+
+class TestModelOrdering:
+    def test_forest_beats_logistic_regression(self, ml_trace, zoo):
+        ds = build_prediction_dataset(ml_trace, lookahead=1)
+        rf = evaluate_model(ds, zoo["Random Forest"], n_splits=4, seed=0)
+        lr = evaluate_model(ds, zoo["Logistic Reg."], n_splits=4, seed=0)
+        assert rf.mean_auc > lr.mean_auc
+        assert rf.mean_auc > 0.8  # paper: 0.905
+
+
+class TestLookaheadDecay:
+    def test_auc_declines_with_window(self, ml_trace, zoo):
+        spec = zoo["Random Forest"]
+        aucs = {}
+        for n in (1, 7):
+            ds = build_prediction_dataset(ml_trace, lookahead=n)
+            aucs[n] = evaluate_model(ds, spec, n_splits=4, seed=0).mean_auc
+        assert aucs[1] > aucs[7]  # paper: 0.905 -> 0.803
+
+
+class TestAgePartitioning:
+    def test_young_failures_more_predictable(self, ml_trace, zoo):
+        spec = zoo["Random Forest"]
+        ds = build_prediction_dataset(ml_trace, lookahead=1)
+        res = evaluate_model(ds, spec, n_splits=4, seed=0)
+        ages = ds.age_days[res.oof_index]
+        young = ages <= 90
+        auc_young = roc_auc_score(res.oof_true[young], res.oof_score[young])
+        auc_old = roc_auc_score(res.oof_true[~young], res.oof_score[~young])
+        assert auc_young > auc_old  # paper: 0.961 vs 0.894
+
+    def test_age_among_top_young_features(self, ml_trace, zoo):
+        from repro.analysis import figure16
+
+        res = figure16(ml_trace, seed=0)
+        young_top = [n for n, _ in res.young.top(12)]
+        # Paper Fig 16 ranks drive age first for infants; at test fleet
+        # sizes it reliably lands in the top tier rather than at #1.
+        assert "drive_age" in young_top

@@ -1,0 +1,51 @@
+"""Rendering smoke tests: every table/figure result prints coherently.
+
+Renderers feed EXPERIMENTS.md and the benchmark output; a crash or an
+empty string there is a real regression even if the numbers are right.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.analysis as A
+
+
+@pytest.mark.parametrize(
+    "fn_name",
+    ["table1", "table2", "table3", "table4", "table5"],
+)
+def test_table_renderers(small_trace, fn_name):
+    res = getattr(A, fn_name)(small_trace)
+    text = res.render()
+    assert isinstance(text, str) and len(text) > 20
+    assert "\n" in text
+
+
+@pytest.mark.parametrize(
+    "fn_name",
+    [
+        "figure1",
+        "figure3",
+        "figure4",
+        "figure5",
+        "figure6",
+        "figure7",
+        "figure8",
+        "figure9",
+        "figure10",
+        "figure11",
+    ],
+)
+def test_figure_renderers(small_trace, fn_name):
+    res = getattr(A, fn_name)(small_trace)
+    text = res.render()
+    assert isinstance(text, str) and len(text) > 10
+
+
+def test_paper_targets_importable():
+    from repro.analysis import paper_targets
+
+    assert paper_targets.TABLE3_PCT_FAILED["MLC-B"] == 14.3
+    assert paper_targets.TABLE6_AUC["Random Forest"][1] == 0.905
+    assert 0 < paper_targets.SILENT_FAILURE_FRACTION < 1

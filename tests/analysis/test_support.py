@@ -1,0 +1,110 @@
+"""Unit tests for the analysis support helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.support import drive_slices, operational_periods, value_at_failure
+from repro.data import DriveDayDataset, DriveTable, SwapLog
+
+
+def _records(ids, ages, pe):
+    return DriveDayDataset(
+        {
+            "drive_id": np.asarray(ids, dtype=np.int32),
+            "age_days": np.asarray(ages, dtype=np.int32),
+            "pe_cycles": np.asarray(pe, dtype=np.float64),
+        }
+    )
+
+
+def _swaps(ids, fails, swaps_at, reentry=None, start=None):
+    n = len(ids)
+    return SwapLog(
+        drive_id=np.asarray(ids),
+        model=np.zeros(n),
+        failure_age=np.asarray(fails, dtype=float),
+        swap_age=np.asarray(swaps_at, dtype=float),
+        reentry_age=np.asarray(
+            reentry if reentry is not None else [np.nan] * n, dtype=float
+        ),
+        operational_start_age=np.asarray(
+            start if start is not None else [0.0] * n, dtype=float
+        ),
+    )
+
+
+class TestDriveSlices:
+    def test_slices(self):
+        rec = _records([1, 1, 5], [0, 1, 0], [0, 1, 0])
+        assert drive_slices(rec) == {1: (0, 2), 5: (2, 3)}
+
+
+class TestValueAtFailure:
+    def test_exact_day_match(self):
+        rec = _records([1, 1, 1], [0, 5, 9], [0.0, 5.0, 9.0])
+        sw = _swaps([1], [5], [6])
+        out = value_at_failure(rec, sw, rec["pe_cycles"])
+        assert out.tolist() == [5.0]
+
+    def test_cumulative_falls_back_to_last_before(self):
+        rec = _records([1, 1], [0, 3], [0.0, 3.0])
+        sw = _swaps([1], [5], [6])  # failure day not recorded
+        out = value_at_failure(rec, sw, rec["pe_cycles"], cumulative=True)
+        assert out.tolist() == [3.0]
+
+    def test_non_cumulative_requires_exact_day(self):
+        rec = _records([1, 1], [0, 3], [0.0, 3.0])
+        sw = _swaps([1], [5], [6])
+        out = value_at_failure(rec, sw, rec["pe_cycles"], cumulative=False)
+        assert np.isnan(out[0])
+
+    def test_no_record_before_failure(self):
+        rec = _records([1], [10], [10.0])
+        sw = _swaps([1], [5], [6])
+        out = value_at_failure(rec, sw, rec["pe_cycles"])
+        assert np.isnan(out[0])
+
+    def test_unknown_drive(self):
+        rec = _records([1], [0], [0.0])
+        sw = _swaps([9], [5], [6])
+        out = value_at_failure(rec, sw, rec["pe_cycles"])
+        assert np.isnan(out[0])
+
+    def test_misaligned_values_rejected(self):
+        rec = _records([1], [0], [0.0])
+        sw = _swaps([1], [0], [1])
+        with pytest.raises(ValueError):
+            value_at_failure(rec, sw, np.zeros(5))
+
+
+class TestOperationalPeriods:
+    def test_failed_then_returned_then_censored(self):
+        drives = DriveTable(
+            drive_id=np.array([1]),
+            model=np.array([0]),
+            deploy_day=np.array([0]),
+            end_of_observation_age=np.array([1000]),
+        )
+        sw = _swaps([1], [100], [110], reentry=[300.0], start=[0.0])
+        periods = operational_periods(drives, sw)
+        # One failing period (len 100) + one censored tail from 300.
+        lengths = periods.length
+        assert len(periods) == 2
+        assert lengths[0] == 100.0
+        assert np.isnan(lengths[1])
+        assert periods.start_age.tolist() == [0.0, 300.0]
+
+    def test_never_failing_drive_single_censored_period(self):
+        drives = DriveTable(
+            drive_id=np.array([7]),
+            model=np.array([1]),
+            deploy_day=np.array([10]),
+            end_of_observation_age=np.array([500]),
+        )
+        sw = _swaps([], [], [])
+        periods = operational_periods(drives, sw)
+        assert len(periods) == 1
+        assert np.isnan(periods.length[0])
+        assert periods.censored_fraction == 1.0

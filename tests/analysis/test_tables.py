@@ -1,0 +1,103 @@
+"""Tests for the table-reproduction functions (characterization tables)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import table1, table2, table3, table4, table5
+from repro.analysis.tables import TABLE1_ERRORS, TABLE2_MEASURES
+from repro.data import MODEL_NAMES
+
+
+class TestTable1:
+    def test_structure(self, small_trace):
+        res = table1(small_trace)
+        assert set(res.proportions) == set(TABLE1_ERRORS)
+        for err in TABLE1_ERRORS:
+            for m in MODEL_NAMES:
+                v = res.proportions[err][m]
+                assert 0.0 <= v <= 1.0
+
+    def test_correctable_dominates(self, small_trace):
+        res = table1(small_trace)
+        for m in MODEL_NAMES:
+            assert res.proportions["correctable_error"][m] > 0.5
+            assert res.proportions["meta_error"][m] < 0.01
+
+    def test_render(self, small_trace):
+        text = table1(small_trace).render()
+        assert "MLC-A" in text and "uncorrectable" in text
+
+
+class TestTable2:
+    def test_matrix_properties(self, small_trace):
+        res = table2(small_trace)
+        assert res.names == list(TABLE2_MEASURES)
+        k = len(res.names)
+        assert res.rho.shape == (k, k)
+        finite = np.isfinite(res.rho)
+        assert np.allclose(res.rho[finite], np.clip(res.rho[finite], -1, 1))
+        for i in range(k):
+            if np.isfinite(res.rho[i, i]):
+                assert res.rho[i, i] == pytest.approx(1.0)
+
+    def test_ue_final_read_strongly_coupled(self, small_trace):
+        res = table2(small_trace)
+        assert res.value("uncorrectable_error", "final_read_error") > 0.7
+
+    def test_age_pe_strongly_coupled(self, small_trace):
+        res = table2(small_trace)
+        assert res.value("drive_age", "pe_cycles") > 0.5
+
+    def test_per_drive_units(self, small_trace):
+        res = table2(small_trace, units="drives")
+        assert res.rho.shape[0] == len(TABLE2_MEASURES)
+        with pytest.raises(ValueError):
+            table2(small_trace, units="bogus")
+
+
+class TestTable3:
+    def test_counts_consistent_with_swaplog(self, small_trace):
+        res = table3(small_trace)
+        assert res.n_failures["All"] == len(small_trace.swaps)
+        assert res.n_failures["All"] == sum(
+            res.n_failures[m] for m in MODEL_NAMES
+        )
+        for m in (*MODEL_NAMES, "All"):
+            assert 0.0 <= res.pct_failed[m] <= 100.0
+
+    def test_render(self, small_trace):
+        assert "%Failed" in table3(small_trace).render()
+
+
+class TestTable4:
+    def test_distribution_sums(self, small_trace):
+        res = table4(small_trace)
+        assert res.counts.sum() == len(small_trace.drives)
+        assert res.pct_of_drives.sum() == pytest.approx(100.0)
+        if res.counts[1:].sum():
+            assert res.pct_of_failed[1:].sum() == pytest.approx(100.0)
+
+    def test_single_failures_dominate(self, small_trace):
+        res = table4(small_trace)
+        if len(res.counts) > 2 and res.counts[1:].sum() > 10:
+            assert res.pct_of_failed[1] > 70.0
+
+
+class TestTable5:
+    def test_monotone_in_horizon(self, small_trace):
+        res = table5(small_trace)
+        for m in MODEL_NAMES:
+            row = [res.pct_of_swapped[m][h] for h in res.horizons]
+            vals = [v for v in row if not np.isnan(v)]
+            assert vals == sorted(vals)
+
+    def test_pct_of_all_below_pct_of_swapped(self, small_trace):
+        res = table5(small_trace)
+        for m in MODEL_NAMES:
+            for h in res.horizons:
+                sw = res.pct_of_swapped[m][h]
+                al = res.pct_of_all[m][h]
+                if not (np.isnan(sw) or np.isnan(al)):
+                    assert al <= sw + 1e-9

@@ -1,0 +1,45 @@
+"""Shared fixtures: small simulated fleets reused across the suite.
+
+The ``small_trace`` fixture is session-scoped — simulating once and sharing
+keeps the whole suite fast while giving integration tests a trace with
+enough failures to be meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small but non-trivial fleet: ~240 drives over two years."""
+    return simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=80,
+            horizon_days=900,
+            deploy_spread_days=400,
+            seed=1234,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_trace():
+    """A fleet large enough for stable ML evaluation (~600 drives, 3y)."""
+    return simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=200,
+            horizon_days=1100,
+            deploy_spread_days=500,
+            seed=77,
+        )
+    )
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(42)

@@ -1,0 +1,111 @@
+"""Tests for the non-ML baseline predictors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DEFAULT_HEURISTIC_WEIGHTS,
+    HeuristicRiskScore,
+    SingleFeatureThreshold,
+    build_prediction_dataset,
+    default_model_zoo,
+    evaluate_model,
+)
+from repro.core.pipeline import ModelSpec
+from repro.ml import roc_auc_score
+
+
+class TestSingleFeatureThreshold:
+    def test_picks_informative_feature(self, rng):
+        X = rng.normal(size=(500, 4))
+        y = (X[:, 2] > 0.8).astype(int)
+        if y.sum() == 0:
+            y[0] = 1
+        rule = SingleFeatureThreshold().fit(X, y)
+        assert rule.chosen_index_ == 2
+        assert roc_auc_score(y, rule.predict_proba(X)) > 0.95
+
+    def test_negative_association_flipped(self, rng):
+        X = rng.normal(size=(500, 2))
+        y = (X[:, 1] < -0.5).astype(int)
+        if y.sum() == 0:
+            y[0] = 1
+        rule = SingleFeatureThreshold().fit(X, y)
+        assert rule.chosen_index_ == 1
+        assert rule.sign_ == -1.0
+        assert roc_auc_score(y, rule.predict_proba(X)) > 0.95
+
+    def test_fixed_feature(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        rule = SingleFeatureThreshold(feature_index=2).fit(X, y)
+        assert rule.chosen_index_ == 2
+
+    def test_unfitted(self):
+        with pytest.raises(RuntimeError):
+            SingleFeatureThreshold().predict_proba(np.zeros((1, 2)))
+
+    def test_scores_in_unit_interval(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(int)
+        p = SingleFeatureThreshold().fit(X, y).predict_proba(rng.normal(size=(50, 2)))
+        assert ((p >= 0) & (p <= 1)).all()
+
+
+class TestHeuristicRiskScore:
+    def test_weights_applied(self):
+        names = ("uncorrectable_error", "read_count")
+        X = np.array([[0.0, 5.0], [100.0, 5.0]])
+        y = np.array([0, 1])
+        model = HeuristicRiskScore(names).fit(X, y)
+        p = model.predict_proba(X)
+        assert p[1] > p[0]
+
+    def test_unknown_weight_names_ignored(self):
+        names = ("read_count",)
+        model = HeuristicRiskScore(names, weights={"nope": 9.0, "read_count": 1.0})
+        X = np.array([[1.0], [100.0]])
+        model.fit(X, np.array([0, 1]))
+        assert model.predict_proba(X)[1] > model.predict_proba(X)[0]
+
+    def test_misaligned_names(self):
+        with pytest.raises(ValueError):
+            HeuristicRiskScore(("a",)).fit(np.zeros((2, 3)), np.array([0, 1]))
+
+    def test_default_weights_reference_real_features(self):
+        from repro.core import feature_names
+
+        names = feature_names()
+        for key in DEFAULT_HEURISTIC_WEIGHTS:
+            assert key in names, key
+
+
+class TestBaselinesVsForest:
+    def test_forest_beats_baselines(self, medium_trace):
+        """The paper's core claim: no single metric or fixed rule matches
+        the learned models."""
+        ds = build_prediction_dataset(medium_trace, lookahead=1)
+        rf_spec = default_model_zoo(0)[-1]
+        rf = evaluate_model(ds, rf_spec, n_splits=4, seed=0)
+
+        thr_spec = ModelSpec(
+            "threshold", lambda: SingleFeatureThreshold(), scale=False, log1p=False
+        )
+        thr = evaluate_model(ds, thr_spec, n_splits=4, seed=0)
+
+        heur_spec = ModelSpec(
+            "heuristic",
+            lambda: HeuristicRiskScore(ds.feature_names),
+            scale=False,
+            log1p=False,
+        )
+        heur = evaluate_model(ds, heur_spec, n_splits=4, seed=0)
+
+        # The best single-feature rule (it finds the pre-failure workload
+        # drain) is respectable but the learned model still beats it; the
+        # hand-tuned error-counter dashboard trails far behind — matching
+        # the paper's "no deterministic decision rule" observation.
+        assert rf.mean_auc > thr.mean_auc
+        assert rf.mean_auc > heur.mean_auc + 0.05

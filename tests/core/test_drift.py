@@ -1,0 +1,66 @@
+"""Tests for the feature drift monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import feature_drift_report
+
+
+class TestFeatureDrift:
+    def test_no_drift_on_same_distribution(self, rng):
+        X1 = rng.normal(size=(3000, 4))
+        X2 = rng.normal(size=(3000, 4))
+        report = feature_drift_report(X1, X2, ("a", "b", "c", "d"))
+        assert not report.any_drift
+
+    def test_shifted_feature_flagged(self, rng):
+        X1 = rng.normal(size=(3000, 3))
+        X2 = rng.normal(size=(3000, 3))
+        X2[:, 1] += 1.0  # workload regime change on one feature
+        report = feature_drift_report(X1, X2, ("a", "b", "c"))
+        assert report.drifted_features == ["b"]
+
+    def test_min_effect_suppresses_tiny_shifts(self, rng):
+        X1 = rng.normal(size=(20_000, 1))
+        X2 = rng.normal(0.03, 1, size=(20_000, 1))  # significant but tiny
+        report = feature_drift_report(X1, X2, ("a",), min_effect=0.1)
+        assert not report.any_drift
+
+    def test_row_cap(self, rng):
+        X1 = rng.normal(size=(100_000, 2))
+        X2 = rng.normal(size=(50_000, 2))
+        report = feature_drift_report(X1, X2, ("a", "b"), max_rows=5000)
+        assert len(report.features) == 2
+
+    def test_render(self, rng):
+        X1 = rng.normal(size=(500, 2))
+        X2 = rng.normal(2.0, 1, size=(500, 2))
+        report = feature_drift_report(X1, X2, ("alpha", "beta"))
+        text = report.render()
+        assert "DRIFT" in text and "alpha" in text
+
+    def test_validation(self, rng):
+        X = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError):
+            feature_drift_report(X, rng.normal(size=(10, 3)), ("a", "b"))
+        with pytest.raises(ValueError):
+            feature_drift_report(X, X, ("a",))
+
+    def test_on_simulated_age_shift(self, small_trace):
+        """Young-fleet vs old-fleet telemetry must register drift (the
+        paper's motivation for age-partitioned models)."""
+        from repro.core import build_features
+
+        frame = build_features(small_trace.records)
+        young = frame.X[frame.age_days <= 90]
+        old = frame.X[frame.age_days > 400]
+        if len(young) > 200 and len(old) > 200:
+            report = feature_drift_report(young, old, frame.names)
+            assert report.any_drift
+            # The cumulative counters obviously shift with age.
+            assert any(
+                name.startswith("cum_") or name in ("drive_age", "pe_cycles")
+                for name in report.drifted_features
+            )

@@ -1,0 +1,76 @@
+"""Tests for error-event labelling (Table 8 task)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ERROR_PREDICTION_TARGETS, error_event_labels
+from repro.data import DriveDayDataset
+
+
+def _records(ids, ages, ue=None, grown=None):
+    n = len(ids)
+    cols = {
+        "drive_id": np.asarray(ids, dtype=np.int32),
+        "age_days": np.asarray(ages, dtype=np.int32),
+        "uncorrectable_error": np.asarray(ue if ue is not None else np.zeros(n), dtype=np.int64),
+        "grown_bad_blocks": np.asarray(grown if grown is not None else np.zeros(n), dtype=np.int32),
+    }
+    return DriveDayDataset(cols)
+
+
+class TestErrorEventLabels:
+    def test_simple_next_day_event(self):
+        rec = _records([1, 1, 1], [0, 1, 2], ue=[0, 5, 0])
+        y = error_event_labels(rec, "uncorrectable_error", 1)
+        assert y.tolist() == [1, 0, 0]
+
+    def test_current_day_not_counted(self):
+        rec = _records([1, 1], [0, 1], ue=[7, 0])
+        y = error_event_labels(rec, "uncorrectable_error", 2)
+        assert y.tolist() == [0, 0]
+
+    def test_window_boundary(self):
+        rec = _records([1, 1, 1], [0, 3, 4], ue=[0, 0, 2])
+        # From age 0: next event at age 4 -> inside window iff N >= 4.
+        assert error_event_labels(rec, "uncorrectable_error", 3).tolist() == [0, 1, 0]
+        assert error_event_labels(rec, "uncorrectable_error", 4).tolist() == [1, 1, 0]
+
+    def test_events_do_not_cross_drives(self):
+        rec = _records([1, 2], [0, 1], ue=[0, 9])
+        y = error_event_labels(rec, "uncorrectable_error", 5)
+        assert y.tolist() == [0, 0]
+
+    def test_bad_block_growth_events(self):
+        rec = _records([1, 1, 1, 1], [0, 1, 2, 3], grown=[0, 0, 4, 4])
+        y = error_event_labels(rec, "bad_block", 1)
+        # Growth event on age-2 day; age-1 row sees it in the next day.
+        assert y.tolist() == [0, 1, 0, 0]
+
+    def test_first_row_never_an_event(self):
+        rec = _records([1, 1, 2, 2], [0, 1, 0, 1], grown=[5, 5, 3, 3])
+        y = error_event_labels(rec, "bad_block", 3)
+        # Nonzero initial counters are carry-over, not growth events.
+        assert y.sum() == 0
+
+    def test_unknown_target(self):
+        rec = _records([1], [0])
+        with pytest.raises(KeyError):
+            error_event_labels(rec, "bogus_error", 1)
+
+    def test_invalid_window(self):
+        rec = _records([1], [0])
+        with pytest.raises(ValueError):
+            error_event_labels(rec, "uncorrectable_error", 0)
+
+    def test_targets_include_all_error_types(self):
+        assert "bad_block" in ERROR_PREDICTION_TARGETS
+        assert "uncorrectable_error" in ERROR_PREDICTION_TARGETS
+        assert len(ERROR_PREDICTION_TARGETS) == 11
+
+    def test_on_simulated_trace(self, small_trace):
+        y = error_event_labels(small_trace.records, "uncorrectable_error", 2)
+        ue_days = (small_trace.records["uncorrectable_error"] > 0).sum()
+        # Each event day can label at most the 2 preceding recorded rows.
+        assert 0 < y.sum() <= 2 * ue_days

@@ -1,0 +1,23 @@
+"""Tests for the extended (post-2019) model zoo."""
+
+from __future__ import annotations
+
+from repro.core import default_model_zoo, evaluate_model, extended_model_zoo
+from repro.core.pipeline import build_prediction_dataset
+
+
+class TestExtendedZoo:
+    def test_superset_of_paper_zoo(self):
+        base = [s.name for s in default_model_zoo(0)]
+        ext = [s.name for s in extended_model_zoo(0)]
+        assert ext[: len(base)] == base
+        assert "Gradient Boosting" in ext
+        assert "Naive Bayes" in ext
+
+    def test_new_models_run_through_protocol(self, medium_trace):
+        ds = build_prediction_dataset(medium_trace, lookahead=1)
+        by_name = {s.name: s for s in extended_model_zoo(0)}
+        gb = evaluate_model(ds, by_name["Gradient Boosting"], n_splits=3, seed=0)
+        nb = evaluate_model(ds, by_name["Naive Bayes"], n_splits=3, seed=0)
+        assert gb.mean_auc > 0.7  # a serious model
+        assert 0.5 < nb.mean_auc <= 1.0  # a baseline, but above chance

@@ -1,0 +1,107 @@
+"""Tests for feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_features, feature_names
+from repro.data import DriveDayDataset
+
+
+def _mini_records():
+    return DriveDayDataset(
+        {
+            "drive_id": np.array([1, 1, 1, 2, 2], dtype=np.int32),
+            "model": np.zeros(5, dtype=np.int8),
+            "age_days": np.array([0, 1, 2, 0, 1], dtype=np.int32),
+            "calendar_day": np.array([10, 11, 12, 0, 1], dtype=np.int32),
+            "read_count": np.array([100.0, 200.0, 0.0, 50.0, 60.0]),
+            "write_count": np.array([10.0, 20.0, 0.0, 5.0, 6.0]),
+            "erase_count": np.array([1.0, 2.0, 0.0, 1.0, 1.0]),
+            "pe_cycles": np.array([0.1, 0.2, 0.2, 0.05, 0.1]),
+            "status_dead": np.zeros(5, dtype=np.int8),
+            "status_read_only": np.array([0, 0, 1, 0, 0], dtype=np.int8),
+            "factory_bad_blocks": np.array([3, 3, 3, 7, 7], dtype=np.int32),
+            "grown_bad_blocks": np.array([0, 2, 2, 0, 0], dtype=np.int32),
+            "correctable_error": np.array([5, 0, 0, 2, 3], dtype=np.int64),
+            "erase_error": np.zeros(5, dtype=np.int64),
+            "final_read_error": np.array([0, 1, 0, 0, 0], dtype=np.int64),
+            "final_write_error": np.zeros(5, dtype=np.int64),
+            "meta_error": np.zeros(5, dtype=np.int64),
+            "read_error": np.zeros(5, dtype=np.int64),
+            "response_error": np.zeros(5, dtype=np.int64),
+            "timeout_error": np.zeros(5, dtype=np.int64),
+            "uncorrectable_error": np.array([0, 2, 0, 0, 0], dtype=np.int64),
+            "write_error": np.zeros(5, dtype=np.int64),
+        }
+    )
+
+
+class TestFeatureNames:
+    def test_daily_and_cumulative_for_every_source(self):
+        names = feature_names()
+        assert "read_count" in names and "cum_read_count" in names
+        assert "uncorrectable_error" in names and "cum_uncorrectable_error" in names
+        for extra in (
+            "drive_age",
+            "pe_cycles",
+            "cum_bad_block_count",
+            "status_read_only",
+            "status_dead",
+            "corr_err_rate",
+        ):
+            assert extra in names
+
+    def test_no_duplicates(self):
+        names = feature_names()
+        assert len(names) == len(set(names))
+
+
+class TestBuildFeatures:
+    def test_shape_and_alignment(self):
+        frame = build_features(_mini_records())
+        assert frame.X.shape == (5, len(feature_names()))
+        assert frame.drive_id.tolist() == [1, 1, 1, 2, 2]
+        assert frame.age_days.tolist() == [0, 1, 2, 0, 1]
+
+    def test_cumulative_restarts_per_drive(self):
+        frame = build_features(_mini_records())
+        cum_reads = frame.column("cum_read_count")
+        assert cum_reads.tolist() == [100.0, 300.0, 300.0, 50.0, 110.0]
+
+    def test_bad_block_combined(self):
+        frame = build_features(_mini_records())
+        bb = frame.column("cum_bad_block_count")
+        assert bb.tolist() == [3.0, 5.0, 5.0, 7.0, 7.0]
+
+    def test_corr_err_rate(self):
+        frame = build_features(_mini_records())
+        rate = frame.column("corr_err_rate")
+        assert rate[0] == pytest.approx(5 / 101)
+        assert rate[2] == 0.0
+
+    def test_drive_age_passthrough(self):
+        frame = build_features(_mini_records())
+        assert frame.column("drive_age").tolist() == [0, 1, 2, 0, 1]
+
+    def test_select_rows(self):
+        frame = build_features(_mini_records())
+        sub = frame.select_rows(np.array([0, 3]))
+        assert len(sub) == 2
+        assert sub.drive_id.tolist() == [1, 2]
+
+    def test_column_unknown_raises(self):
+        frame = build_features(_mini_records())
+        with pytest.raises(ValueError):
+            frame.column("nope")
+
+    def test_on_simulated_trace(self, small_trace):
+        frame = build_features(small_trace.records)
+        assert len(frame) == len(small_trace.records)
+        assert np.isfinite(frame.X).all()
+        # Cumulative counters never decrease within a drive.
+        cum = frame.column("cum_write_count")
+        ids = frame.drive_id
+        same = ids[1:] == ids[:-1]
+        assert (cum[1:][same] >= cum[:-1][same]).all()

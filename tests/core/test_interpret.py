@@ -1,0 +1,45 @@
+"""Tests for the interpretation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import compare_importances, importance_report
+
+
+class TestImportanceReport:
+    def test_sorted_descending(self):
+        rep = importance_report(["a", "b", "c"], np.array([0.1, 0.7, 0.2]))
+        assert rep.names == ("b", "c", "a")
+        assert rep.importances.tolist() == [0.7, 0.2, 0.1]
+
+    def test_top_k(self):
+        rep = importance_report(["a", "b", "c"], np.array([0.1, 0.7, 0.2]))
+        assert rep.top(2) == [("b", 0.7), ("c", 0.2)]
+
+    def test_rank_of(self):
+        rep = importance_report(["a", "b"], np.array([0.3, 0.7]))
+        assert rep.rank_of("b") == 0
+        assert rep.rank_of("a") == 1
+        with pytest.raises(KeyError):
+            rep.rank_of("z")
+
+    def test_misaligned(self):
+        with pytest.raises(ValueError):
+            importance_report(["a"], np.array([0.1, 0.2]))
+
+    def test_render_contains_bars(self):
+        rep = importance_report(["alpha", "beta"], np.array([0.9, 0.1]))
+        text = rep.render(k=2, title="Top")
+        assert "alpha" in text and "#" in text and "Top" in text
+
+
+class TestCompare:
+    def test_side_by_side(self):
+        young = importance_report(["age", "ue"], np.array([0.8, 0.2]))
+        old = importance_report(["reads", "writes"], np.array([0.6, 0.4]))
+        text = compare_importances(young, old, k=2)
+        lines = text.splitlines()
+        assert "Young" in lines[0] and "Old" in lines[0]
+        assert "age" in lines[1] and "reads" in lines[1]

@@ -1,0 +1,108 @@
+"""Tests for failure labelling and operational masking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import label_dataset, lookahead_labels, operational_mask
+from repro.data import DriveDayDataset, SwapLog
+
+
+def _records(ids, ages):
+    return DriveDayDataset(
+        {
+            "drive_id": np.asarray(ids, dtype=np.int32),
+            "age_days": np.asarray(ages, dtype=np.int32),
+        }
+    )
+
+
+def _swaps(ids, fail, swap):
+    n = len(ids)
+    return SwapLog(
+        drive_id=np.asarray(ids),
+        model=np.zeros(n),
+        failure_age=np.asarray(fail, dtype=float),
+        swap_age=np.asarray(swap, dtype=float),
+        reentry_age=np.full(n, np.nan),
+        operational_start_age=np.zeros(n),
+    )
+
+
+class TestLookaheadLabels:
+    def test_n1_labels_failure_day_only(self):
+        rec = _records([1] * 6, [0, 1, 2, 3, 4, 5])
+        sw = _swaps([1], [3], [5])
+        y = lookahead_labels(rec, sw, 1)
+        assert y.tolist() == [0, 0, 0, 1, 0, 0]
+
+    def test_n3_window(self):
+        rec = _records([1] * 6, [0, 1, 2, 3, 4, 5])
+        sw = _swaps([1], [3], [5])
+        y = lookahead_labels(rec, sw, 3)
+        assert y.tolist() == [0, 1, 1, 1, 0, 0]
+
+    def test_missing_days_skipped_not_shifted(self):
+        # Ages 0, 2, 5 recorded; failure at 4 with N=2 labels ages 3..4.
+        rec = _records([1] * 3, [0, 2, 5])
+        sw = _swaps([1], [4], [6])
+        y = lookahead_labels(rec, sw, 2)
+        assert y.tolist() == [0, 0, 0]
+
+    def test_multiple_failures_same_drive(self):
+        rec = _records([1] * 10, list(range(10)))
+        sw = _swaps([1, 1], [2, 8], [3, 9])
+        y = lookahead_labels(rec, sw, 2)
+        assert y.tolist() == [0, 1, 1, 0, 0, 0, 0, 1, 1, 0]
+
+    def test_swap_for_unknown_drive_ignored(self):
+        rec = _records([1], [0])
+        sw = _swaps([99], [5], [6])
+        assert lookahead_labels(rec, sw, 3).sum() == 0
+
+    def test_invalid_n(self):
+        rec = _records([1], [0])
+        sw = _swaps([1], [0], [1])
+        import pytest
+
+        with pytest.raises(ValueError):
+            lookahead_labels(rec, sw, 0)
+
+
+class TestOperationalMask:
+    def test_limbo_rows_excluded(self):
+        rec = _records([1] * 6, [0, 1, 2, 3, 4, 5])
+        sw = _swaps([1], [2], [4])
+        keep = operational_mask(rec, sw)
+        assert keep.tolist() == [True, True, True, False, False, True]
+
+    def test_failure_day_kept(self):
+        rec = _records([1] * 3, [0, 1, 2])
+        sw = _swaps([1], [1], [2])
+        keep = operational_mask(rec, sw)
+        assert keep[1]  # failure day stays
+        assert not keep[2]  # swap-day limbo row dropped
+
+    def test_other_drives_untouched(self):
+        rec = _records([1, 2, 2], [0, 0, 1])
+        sw = _swaps([1], [0], [1])
+        keep = operational_mask(rec, sw)
+        assert keep.tolist() == [True, True, True]
+
+
+class TestLabelDataset:
+    def test_joint_output(self):
+        rec = _records([1] * 5, [0, 1, 2, 3, 4])
+        sw = _swaps([1], [2], [4])
+        y, keep = label_dataset(rec, sw, 2)
+        assert y.tolist() == [0, 1, 1, 0, 0]
+        assert keep.tolist() == [True, True, True, False, False]
+
+    def test_on_simulated_trace(self, small_trace):
+        y, keep = label_dataset(small_trace.records, small_trace.swaps, 3)
+        # Every failure with a recorded day inside its window produces
+        # at least some positives (unless the window was never logged).
+        assert y.sum() <= 3 * len(small_trace.swaps)
+        # Masked rows are exactly the zero-activity limbo rows.
+        reads = small_trace.records["read_count"]
+        assert (reads[~keep] == 0).all()

@@ -1,0 +1,91 @@
+"""Property-based tests for labelling invariants under random event logs."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import label_dataset, lookahead_labels, operational_mask
+from repro.data import DriveDayDataset, SwapLog
+
+
+@st.composite
+def _records_and_swaps(draw):
+    n_drives = draw(st.integers(1, 5))
+    ids, ages = [], []
+    swap_ids, fails, swaps_at = [], [], []
+    for d in range(n_drives):
+        n_days = draw(st.integers(1, 40))
+        recorded = sorted(
+            draw(
+                st.sets(st.integers(0, 60), min_size=1, max_size=n_days)
+            )
+        )
+        ids.extend([d] * len(recorded))
+        ages.extend(recorded)
+        if draw(st.booleans()):
+            f = draw(st.integers(1, 55))
+            s = f + draw(st.integers(0, 10))
+            swap_ids.append(d)
+            fails.append(float(f))
+            swaps_at.append(float(s))
+    records = DriveDayDataset(
+        {
+            "drive_id": np.asarray(ids, dtype=np.int32),
+            "age_days": np.asarray(ages, dtype=np.int32),
+        }
+    )
+    swaps = SwapLog(
+        drive_id=np.asarray(swap_ids, dtype=np.int32),
+        model=np.zeros(len(swap_ids), dtype=np.int8),
+        failure_age=np.asarray(fails),
+        swap_age=np.asarray(swaps_at),
+        reentry_age=np.full(len(swap_ids), np.nan),
+        operational_start_age=np.zeros(len(swap_ids)),
+    )
+    return records, swaps
+
+
+class TestLabelingProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_records_and_swaps(), st.integers(1, 10))
+    def test_labels_match_bruteforce(self, rs, n):
+        records, swaps = rs
+        y = lookahead_labels(records, swaps, n)
+        ids = records["drive_id"]
+        ages = records["age_days"]
+        for i in range(len(records)):
+            expected = 0
+            for j in range(len(swaps)):
+                if swaps.drive_id[j] == ids[i] and (
+                    ages[i] <= swaps.failure_age[j] <= ages[i] + n - 1
+                ):
+                    expected = 1
+            assert y[i] == expected
+
+    @settings(max_examples=60, deadline=None)
+    @given(_records_and_swaps())
+    def test_mask_matches_bruteforce(self, rs):
+        records, swaps = rs
+        keep = operational_mask(records, swaps)
+        ids = records["drive_id"]
+        ages = records["age_days"]
+        for i in range(len(records)):
+            limbo = any(
+                swaps.drive_id[j] == ids[i]
+                and swaps.failure_age[j] < ages[i] <= swaps.swap_age[j]
+                for j in range(len(swaps))
+            )
+            assert keep[i] == (not limbo)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_records_and_swaps(), st.integers(1, 8))
+    def test_positive_budget(self, rs, n):
+        """Each swap can label at most n rows positive."""
+        records, swaps = rs
+        y, keep = label_dataset(records, swaps, n)
+        assert y.sum() <= n * len(swaps)
+        # Wider windows never lose positives.
+        y2, _ = label_dataset(records, swaps, n + 3)
+        assert y2.sum() >= y.sum()

@@ -1,0 +1,92 @@
+"""Tests for the end-to-end prediction pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    INFANCY_DAYS,
+    build_prediction_dataset,
+    default_model_zoo,
+    evaluate_model,
+    evaluate_model_zoo,
+)
+
+
+class TestBuildPredictionDataset:
+    def test_rows_exclude_limbo(self, small_trace):
+        ds = build_prediction_dataset(small_trace, lookahead=1)
+        assert len(ds) <= len(small_trace.records)
+        assert ds.X.shape[0] == len(ds.y) == len(ds.groups)
+
+    def test_positive_count_bounded_by_failures(self, small_trace):
+        ds = build_prediction_dataset(small_trace, lookahead=1)
+        assert 0 < ds.n_positive <= len(small_trace.swaps)
+
+    def test_wider_lookahead_more_positives(self, small_trace):
+        n1 = build_prediction_dataset(small_trace, lookahead=1).n_positive
+        n7 = build_prediction_dataset(small_trace, lookahead=7).n_positive
+        assert n7 > n1
+
+    def test_partitions(self, small_trace):
+        ds = build_prediction_dataset(small_trace, lookahead=1)
+        young, old = ds.young(), ds.old()
+        assert len(young) + len(old) == len(ds)
+        assert (young.age_days <= INFANCY_DAYS).all()
+        assert (old.age_days > INFANCY_DAYS).all()
+
+    def test_for_model(self, small_trace):
+        ds = build_prediction_dataset(small_trace, lookahead=1)
+        total = sum(len(ds.for_model(i)) for i in range(3))
+        assert total == len(ds)
+
+    def test_accepts_tuple(self, small_trace):
+        ds = build_prediction_dataset(
+            (small_trace.records, small_trace.swaps), lookahead=1
+        )
+        assert len(ds) > 0
+
+
+class TestModelZoo:
+    def test_six_models_with_paper_names(self):
+        zoo = default_model_zoo(0)
+        names = [s.name for s in zoo]
+        assert names == [
+            "Logistic Reg.",
+            "k-NN",
+            "SVM",
+            "Neural Network",
+            "Decision Tree",
+            "Random Forest",
+        ]
+
+    def test_trees_consume_raw_features(self):
+        zoo = {s.name: s for s in default_model_zoo(0)}
+        assert not zoo["Random Forest"].scale
+        assert not zoo["Decision Tree"].log1p
+        assert zoo["Logistic Reg."].scale
+
+
+class TestEvaluate:
+    def test_forest_beats_chance_strongly(self, medium_trace):
+        ds = build_prediction_dataset(medium_trace, lookahead=1)
+        spec = default_model_zoo(0)[-1]
+        res = evaluate_model(ds, spec, n_splits=4, seed=0)
+        assert res.mean_auc > 0.75
+
+    def test_oof_index_maps_into_dataset(self, medium_trace):
+        ds = build_prediction_dataset(medium_trace, lookahead=1)
+        spec = default_model_zoo(0)[-2]  # decision tree (fast)
+        res = evaluate_model(ds, spec, n_splits=4, seed=0)
+        assert np.array_equal(res.oof_true, ds.y[res.oof_index])
+
+    def test_zoo_runs_fast_models(self, medium_trace):
+        ds = build_prediction_dataset(medium_trace, lookahead=2)
+        fast = tuple(
+            s for s in default_model_zoo(0) if s.name in ("Logistic Reg.", "Decision Tree")
+        )
+        results = evaluate_model_zoo(ds, fast, n_splits=3, seed=0)
+        assert set(results) == {"Logistic Reg.", "Decision Tree"}
+        for res in results.values():
+            assert 0.5 < res.mean_auc <= 1.0

@@ -1,0 +1,75 @@
+"""Tests for cost-aware threshold selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import expected_cost_curve, select_threshold
+
+
+def _scores(rng, n=5000, prevalence=0.02, separation=2.0):
+    y = (rng.random(n) < prevalence).astype(int)
+    s = rng.normal(size=n) + separation * y
+    # map to (0, 1)
+    s = 1 / (1 + np.exp(-s))
+    return y, s
+
+
+class TestExpectedCostCurve:
+    def test_cost_positive_and_finite(self, rng):
+        y, s = _scores(rng)
+        thr, costs = expected_cost_curve(y, s, miss_cost=100.0, false_alarm_cost=1.0)
+        assert np.isfinite(costs).all()
+        assert (costs >= 0).all()
+        assert len(thr) == len(costs)
+
+    def test_extreme_thresholds(self, rng):
+        y, s = _scores(rng)
+        _, costs = expected_cost_curve(y, s, 100.0, 1.0)
+        pi = y.mean()
+        # Flag-nothing end: cost = miss_cost * prevalence.
+        assert costs[0] == pytest.approx(100.0 * pi)
+        # Flag-everything end: cost = false_alarm_cost * (1 - prevalence).
+        assert costs[-1] == pytest.approx(1.0 * (1 - pi))
+
+    def test_invalid_costs(self, rng):
+        y, s = _scores(rng)
+        with pytest.raises(ValueError):
+            expected_cost_curve(y, s, 0.0, 1.0)
+
+
+class TestSelectThreshold:
+    def test_beats_extremes(self, rng):
+        y, s = _scores(rng, separation=3.0)
+        choice = select_threshold(y, s, miss_cost=50.0, false_alarm_cost=1.0)
+        pi = y.mean()
+        assert choice.expected_cost_per_unit <= 50.0 * pi + 1e-12
+        assert choice.expected_cost_per_unit <= (1 - pi) + 1e-12
+
+    def test_expensive_misses_push_threshold_down(self, rng):
+        y, s = _scores(rng, separation=2.0)
+        cautious = select_threshold(y, s, miss_cost=1000.0, false_alarm_cost=1.0)
+        frugal = select_threshold(y, s, miss_cost=2.0, false_alarm_cost=1.0)
+        assert cautious.threshold <= frugal.threshold
+        assert cautious.tpr >= frugal.tpr
+
+    def test_max_fpr_cap_respected(self, rng):
+        y, s = _scores(rng)
+        choice = select_threshold(
+            y, s, miss_cost=1e6, false_alarm_cost=1.0, max_fpr=0.01
+        )
+        assert choice.fpr <= 0.01 + 1e-12
+
+    def test_max_fpr_validation(self, rng):
+        y, s = _scores(rng)
+        with pytest.raises(ValueError):
+            select_threshold(y, s, 1.0, 1.0, max_fpr=0.0)
+
+    def test_degenerate_flag_nothing_choice(self, rng):
+        # Misses are nearly free: best policy flags (almost) nothing and
+        # the returned threshold must be usable (finite).
+        y, s = _scores(rng)
+        choice = select_threshold(y, s, miss_cost=1e-6, false_alarm_cost=1.0)
+        assert np.isfinite(choice.threshold)
+        assert (s >= choice.threshold).mean() <= 0.01

@@ -1,0 +1,96 @@
+"""Tests for rolling-window feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import build_windowed_features, rolling_window_sums
+from repro.core.windows import WINDOWED_SOURCES
+from repro.data import DriveDayDataset
+
+
+def _records(ids, ages, ue):
+    return DriveDayDataset(
+        {
+            "drive_id": np.asarray(ids, dtype=np.int32),
+            "age_days": np.asarray(ages, dtype=np.int32),
+            "uncorrectable_error": np.asarray(ue, dtype=np.int64),
+        }
+    )
+
+
+class TestRollingWindowSums:
+    def test_simple_window(self):
+        rec = _records([1] * 5, range(5), [1, 2, 3, 4, 5])
+        out = rolling_window_sums(rec, "uncorrectable_error", 2)
+        assert out.tolist() == [1, 3, 5, 7, 9]
+
+    def test_window_one_is_identity(self):
+        rec = _records([1] * 4, range(4), [5, 0, 7, 2])
+        out = rolling_window_sums(rec, "uncorrectable_error", 1)
+        assert out.tolist() == [5, 0, 7, 2]
+
+    def test_window_larger_than_history_is_cumsum(self):
+        rec = _records([1] * 3, range(3), [1, 2, 3])
+        out = rolling_window_sums(rec, "uncorrectable_error", 100)
+        assert out.tolist() == [1, 3, 6]
+
+    def test_restarts_at_drive_boundary(self):
+        rec = _records([1, 1, 2, 2], [0, 1, 0, 1], [10, 1, 100, 1])
+        out = rolling_window_sums(rec, "uncorrectable_error", 3)
+        assert out.tolist() == [10, 11, 100, 101]
+
+    def test_matches_bruteforce(self, rng):
+        n = 300
+        ids = np.sort(rng.integers(0, 12, size=n))
+        rec = _records(ids, np.arange(n), rng.integers(0, 5, size=n))
+        for w in (1, 3, 8):
+            got = rolling_window_sums(rec, "uncorrectable_error", w)
+            ue = rec["uncorrectable_error"]
+            expected = np.empty(n)
+            for i in range(n):
+                j = i
+                while j > 0 and ids[j - 1] == ids[i] and i - j < w - 1:
+                    j -= 1
+                expected[i] = ue[j : i + 1].sum()
+            assert np.allclose(got, expected), w
+
+    def test_invalid_window(self):
+        rec = _records([1], [0], [1])
+        with pytest.raises(ValueError):
+            rolling_window_sums(rec, "uncorrectable_error", 0)
+
+
+class TestBuildWindowedFeatures:
+    def test_adds_expected_columns(self, small_trace):
+        frame = build_windowed_features(small_trace.records, window=7)
+        for src in WINDOWED_SOURCES:
+            assert f"w7_{src}" in frame.names
+        assert "w7_read_count_ratio" in frame.names
+        assert "w7_write_count_ratio" in frame.names
+        assert frame.X.shape[1] == len(frame.names)
+
+    def test_ratio_near_one_for_steady_drives(self, small_trace):
+        frame = build_windowed_features(small_trace.records, window=7)
+        ratio = frame.column("w7_read_count_ratio")
+        # Excluding young-ramp and pre-failure rows, most drives run
+        # steady, so the bulk of ratios hover near 1.
+        steady = frame.age_days > 400
+        if steady.sum() > 100:
+            assert 0.6 < np.median(ratio[steady]) < 1.6
+
+    def test_unknown_source_rejected(self, small_trace):
+        with pytest.raises(KeyError):
+            build_windowed_features(
+                small_trace.records, window=7, sources=("bogus",)
+            )
+
+    def test_window_sum_consistency_with_base_features(self, small_trace):
+        frame = build_windowed_features(small_trace.records, window=10_000)
+        # With an effectively infinite window, the trailing sum equals the
+        # lifetime cumulative feature.
+        assert np.allclose(
+            frame.column("w10000_uncorrectable_error"),
+            frame.column("cum_uncorrectable_error"),
+        )

@@ -1,0 +1,147 @@
+"""Unit and property tests for the columnar DriveDayDataset."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import DriveDayDataset, concat_datasets
+
+
+def _toy(ids, ages, **extra):
+    cols = {
+        "drive_id": np.asarray(ids, dtype=np.int32),
+        "age_days": np.asarray(ages, dtype=np.int32),
+    }
+    cols.update({k: np.asarray(v) for k, v in extra.items()})
+    return DriveDayDataset(cols)
+
+
+class TestConstruction:
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            DriveDayDataset({"drive_id": np.arange(3), "age_days": np.arange(4)})
+
+    def test_non_1d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            DriveDayDataset({"drive_id": np.zeros((2, 2))})
+
+    def test_registered_dtypes_applied(self):
+        ds = _toy([1, 1], [0, 1], read_count=[1.5, 2.5])
+        assert ds["drive_id"].dtype == np.int32
+        assert ds["read_count"].dtype == np.float64
+
+    def test_unsorted_input_gets_sorted(self):
+        ds = _toy([2, 1, 1], [0, 5, 3])
+        assert ds["drive_id"].tolist() == [1, 1, 2]
+        assert ds["age_days"].tolist() == [3, 5, 0]
+
+    def test_empty_has_full_schema(self):
+        ds = DriveDayDataset.empty()
+        assert len(ds) == 0
+        assert "uncorrectable_error" in ds
+
+    def test_len_and_contains(self):
+        ds = _toy([1, 1, 2], [0, 1, 0])
+        assert len(ds) == 3
+        assert "drive_id" in ds and "nope" not in ds
+
+
+class TestGrouping:
+    def test_drive_groups_offsets(self):
+        ds = _toy([1, 1, 2, 5, 5, 5], [0, 1, 0, 0, 1, 2])
+        ids, offsets = ds.drive_groups()
+        assert ids.tolist() == [1, 2, 5]
+        assert offsets.tolist() == [0, 2, 3, 6]
+
+    def test_iter_drives_partition(self):
+        ds = _toy([1, 1, 2], [0, 1, 0])
+        parts = dict(ds.iter_drives())
+        assert set(parts) == {1, 2}
+        assert len(parts[1]) == 2 and len(parts[2]) == 1
+
+    def test_grouped_cumsum_restarts_per_drive(self):
+        ds = _toy([1, 1, 1, 2, 2], [0, 1, 2, 0, 1], read_count=[1, 2, 3, 10, 20])
+        out = ds.grouped_cumsum("read_count")
+        assert out.tolist() == [1, 3, 6, 10, 30]
+
+    def test_grouped_last_sum_max_count(self):
+        ds = _toy([1, 1, 2], [0, 1, 0], read_count=[4, 6, 9])
+        assert ds.grouped_last("read_count").tolist() == [6, 9]
+        assert ds.grouped_sum("read_count").tolist() == [10, 9]
+        assert ds.grouped_max("read_count").tolist() == [6, 9]
+        assert ds.grouped_count().tolist() == [2, 1]
+
+    def test_single_drive_cumsum_equals_numpy(self, rng):
+        vals = rng.integers(0, 100, size=50)
+        ds = _toy(np.ones(50), np.arange(50), read_count=vals)
+        assert np.allclose(ds.grouped_cumsum("read_count"), np.cumsum(vals))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 1_000)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    def test_grouped_cumsum_matches_per_group_reference(self, rows):
+        """Property: segment cumsum == independent per-drive cumsum."""
+        rows.sort()
+        ids = np.array([r[0] for r in rows], dtype=np.int32)
+        vals = np.array([r[1] for r in rows], dtype=np.float64)
+        ds = DriveDayDataset(
+            {
+                "drive_id": ids,
+                "age_days": np.arange(len(rows), dtype=np.int32),
+                "read_count": vals,
+            },
+            check_sorted=False,
+        )
+        got = ds.grouped_cumsum("read_count")
+        expected = np.empty_like(vals)
+        for d in np.unique(ids):
+            m = ids == d
+            expected[m] = np.cumsum(vals[m])
+        assert np.allclose(got, expected)
+
+
+class TestSelection:
+    def test_select_by_mask(self):
+        ds = _toy([1, 1, 2], [0, 1, 0], read_count=[1, 2, 3])
+        sub = ds.select(np.array([True, False, True]))
+        assert sub["read_count"].tolist() == [1, 3]
+
+    def test_with_columns_adds_and_validates(self):
+        ds = _toy([1, 2], [0, 0])
+        ds2 = ds.with_columns({"label": np.array([0, 1])})
+        assert ds2["label"].tolist() == [0, 1]
+        with pytest.raises(ValueError):
+            ds.with_columns({"label": np.zeros(5)})
+
+    def test_feature_matrix_order(self):
+        ds = _toy([1, 2], [0, 3], read_count=[5, 6])
+        X = ds.feature_matrix(["age_days", "read_count"])
+        assert X.shape == (2, 2)
+        assert X[:, 0].tolist() == [0, 3]
+        assert X[:, 1].tolist() == [5, 6]
+
+
+class TestConcat:
+    def test_concat_roundtrip(self):
+        a = _toy([1, 1], [0, 1], read_count=[1, 2])
+        b = _toy([2], [0], read_count=[3])
+        c = concat_datasets([a, b])
+        assert len(c) == 3
+        assert c["read_count"].tolist() == [1, 2, 3]
+
+    def test_concat_rejects_mismatched_schemas(self):
+        a = _toy([1], [0], read_count=[1])
+        b = _toy([2], [0])
+        with pytest.raises(ValueError):
+            concat_datasets([a, b])
+
+    def test_concat_empty_list(self):
+        assert len(concat_datasets([])) == 0

@@ -1,0 +1,54 @@
+"""Tests for the field registry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import (
+    DAILY_FIELDS,
+    ERROR_TYPES,
+    FIELD_DOC,
+    FIELD_DTYPES,
+    NON_TRANSPARENT_ERRORS,
+    TRANSPARENT_ERRORS,
+    WORKLOAD_FIELDS,
+)
+from repro.data.fields import index_fields
+
+
+class TestRegistry:
+    def test_ten_error_types(self):
+        assert len(ERROR_TYPES) == 10
+
+    def test_transparency_partition(self):
+        """Transparent + non-transparent = all error types (Section 2)."""
+        both = set(TRANSPARENT_ERRORS) | set(NON_TRANSPARENT_ERRORS)
+        assert both == set(ERROR_TYPES)
+        assert not set(TRANSPARENT_ERRORS) & set(NON_TRANSPARENT_ERRORS)
+
+    def test_paper_transparency_assignment(self):
+        assert "correctable_error" in TRANSPARENT_ERRORS
+        assert "uncorrectable_error" in NON_TRANSPARENT_ERRORS
+        assert "final_read_error" in NON_TRANSPARENT_ERRORS
+        assert "erase_error" in TRANSPARENT_ERRORS
+
+    def test_every_field_documented_and_typed(self):
+        for f in DAILY_FIELDS:
+            assert f.name in FIELD_DTYPES
+            assert FIELD_DOC[f.name]
+            assert isinstance(f.dtype, np.dtype)
+
+    def test_error_types_in_schema(self):
+        names = {f.name for f in DAILY_FIELDS}
+        assert set(ERROR_TYPES).issubset(names)
+        assert set(WORKLOAD_FIELDS).issubset(names)
+
+    def test_index_fields(self):
+        assert "drive_id" in index_fields()
+        assert "age_days" in index_fields()
+
+    def test_cumulative_flags(self):
+        cum = {f.name for f in DAILY_FIELDS if f.cumulative}
+        assert "pe_cycles" in cum
+        assert "grown_bad_blocks" in cum
+        assert "read_count" not in cum

@@ -1,0 +1,54 @@
+"""Round-trip tests for NPZ/CSV persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import (
+    export_dataset_csv,
+    load_dataset_npz,
+    load_drivetable_npz,
+    load_swaplog_npz,
+    save_dataset_npz,
+    save_drivetable_npz,
+    save_swaplog_npz,
+)
+
+
+class TestDatasetIO:
+    def test_npz_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "records.npz"
+        save_dataset_npz(small_trace.records, path)
+        loaded = load_dataset_npz(path)
+        assert len(loaded) == len(small_trace.records)
+        assert set(loaded.column_names) == set(small_trace.records.column_names)
+        for name in ("drive_id", "age_days", "uncorrectable_error"):
+            assert np.array_equal(loaded[name], small_trace.records[name])
+
+    def test_csv_export_row_cap(self, small_trace, tmp_path):
+        path = tmp_path / "sample.csv"
+        n = export_dataset_csv(small_trace.records, path, max_rows=25)
+        assert n == 25
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 26  # header + rows
+        assert lines[0].split(",")[0] == "drive_id"
+
+
+class TestEventTableIO:
+    def test_swaplog_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "swaps.npz"
+        save_swaplog_npz(small_trace.swaps, path)
+        loaded = load_swaplog_npz(path)
+        assert len(loaded) == len(small_trace.swaps)
+        assert np.array_equal(loaded.drive_id, small_trace.swaps.drive_id)
+        # NaN-aware comparison for censored re-entries.
+        assert np.allclose(
+            loaded.reentry_age, small_trace.swaps.reentry_age, equal_nan=True
+        )
+
+    def test_drivetable_roundtrip(self, small_trace, tmp_path):
+        path = tmp_path / "drives.npz"
+        save_drivetable_npz(small_trace.drives, path)
+        loaded = load_drivetable_npz(path)
+        assert len(loaded) == len(small_trace.drives)
+        assert np.array_equal(loaded.deploy_day, small_trace.drives.deploy_day)

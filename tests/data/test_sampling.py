@@ -1,0 +1,70 @@
+"""Tests for majority-class downsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import class_balance, downsample_majority
+
+
+class TestDownsample:
+    def test_one_to_one(self, rng):
+        y = np.zeros(1000, dtype=int)
+        y[:30] = 1
+        idx = downsample_majority(y, ratio=1.0, rng=rng)
+        sub = y[idx]
+        assert sub.sum() == 30
+        assert len(sub) == 60
+
+    def test_keeps_every_positive(self, rng):
+        y = np.array([0, 1, 0, 0, 1, 0, 0, 0])
+        idx = downsample_majority(y, ratio=1.0, rng=rng)
+        assert set(np.flatnonzero(y == 1)).issubset(set(idx.tolist()))
+
+    def test_ratio_two(self, rng):
+        y = np.zeros(500, dtype=int)
+        y[:20] = 1
+        idx = downsample_majority(y, ratio=2.0, rng=rng)
+        assert (y[idx] == 0).sum() == 40
+
+    def test_insufficient_negatives_keeps_all(self, rng):
+        y = np.array([1, 1, 1, 0])
+        idx = downsample_majority(y, ratio=5.0, rng=rng)
+        assert len(idx) == 4
+
+    def test_no_positives_raises(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            downsample_majority(np.zeros(10), rng=rng)
+
+    def test_bad_ratio_raises(self, rng):
+        with pytest.raises(ValueError):
+            downsample_majority(np.array([0, 1]), ratio=0.0, rng=rng)
+
+    def test_indices_sorted_and_unique(self, rng):
+        y = np.zeros(200, dtype=int)
+        y[::17] = 1
+        idx = downsample_majority(y, ratio=1.5, rng=rng)
+        assert (np.diff(idx) > 0).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 50), st.integers(1, 500), st.floats(0.25, 4.0))
+    def test_property_counts(self, n_pos, n_neg, ratio):
+        y = np.concatenate((np.ones(n_pos, dtype=int), np.zeros(n_neg, dtype=int)))
+        idx = downsample_majority(y, ratio=ratio, rng=np.random.default_rng(0))
+        sub = y[idx]
+        assert sub.sum() == n_pos
+        assert (sub == 0).sum() == min(n_neg, int(round(ratio * n_pos)))
+
+
+class TestClassBalance:
+    def test_counts(self):
+        n_pos, n_neg, ratio = class_balance(np.array([0, 0, 0, 1]))
+        assert (n_pos, n_neg) == (1, 3)
+        assert ratio == 3.0
+
+    def test_no_positives_gives_inf(self):
+        _, _, ratio = class_balance(np.zeros(5))
+        assert ratio == float("inf")

@@ -1,0 +1,56 @@
+"""Tests for the SMART export adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SMART_COLUMNS, export_smart_csv, to_smart_table
+
+
+class TestToSmartTable:
+    def test_all_columns_present_and_aligned(self, small_trace):
+        table = to_smart_table(small_trace.records)
+        assert set(table) == set(SMART_COLUMNS)
+        n = len(small_trace.records)
+        for name, col in table.items():
+            assert col.shape[0] == n, name
+
+    def test_power_on_hours(self, small_trace):
+        table = to_smart_table(small_trace.records)
+        assert np.array_equal(
+            table["smart_9_raw"], small_trace.records["age_days"] * 24
+        )
+
+    def test_reallocated_sectors_monotone_per_drive(self, small_trace):
+        table = to_smart_table(small_trace.records)
+        ids = small_trace.records["drive_id"]
+        s5 = table["smart_5_raw"]
+        same = ids[1:] == ids[:-1]
+        assert (s5[1:][same] >= s5[:-1][same]).all()
+
+    def test_cumulative_ue_matches_groupwise_sum(self, small_trace):
+        table = to_smart_table(small_trace.records)
+        expected = small_trace.records.grouped_cumsum("uncorrectable_error")
+        assert np.array_equal(table["smart_187_raw"], expected.astype(np.int64))
+
+    def test_failure_labels_passthrough(self, small_trace):
+        from repro.core import lookahead_labels
+
+        y = lookahead_labels(small_trace.records, small_trace.swaps, 1)
+        table = to_smart_table(small_trace.records, failure_labels=y)
+        assert table["failure"].sum() == y.sum()
+
+    def test_misaligned_labels_rejected(self, small_trace):
+        with pytest.raises(ValueError):
+            to_smart_table(small_trace.records, failure_labels=np.zeros(3))
+
+
+class TestExportCsv:
+    def test_roundtrip_header_and_rows(self, small_trace, tmp_path):
+        path = tmp_path / "smart.csv"
+        n = export_smart_csv(small_trace.records, path, max_rows=50)
+        assert n == 50
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == ",".join(SMART_COLUMNS)
+        assert len(lines) == 51

@@ -1,0 +1,84 @@
+"""Tests for drive-grouped splitting (no drive may straddle folds)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import GroupKFold, grouped_train_test_split
+
+
+class TestGroupKFold:
+    def test_requires_two_splits(self):
+        with pytest.raises(ValueError):
+            GroupKFold(n_splits=1)
+
+    def test_requires_enough_groups(self):
+        groups = np.array([1, 1, 2, 2])
+        with pytest.raises(ValueError, match="groups"):
+            list(GroupKFold(n_splits=3).split(groups))
+
+    def test_folds_partition_rows(self):
+        groups = np.repeat(np.arange(10), 3)
+        all_test = []
+        for train, test in GroupKFold(n_splits=5, seed=0).split(groups):
+            assert len(np.intersect1d(train, test)) == 0
+            all_test.append(test)
+        combined = np.sort(np.concatenate(all_test))
+        assert combined.tolist() == list(range(30))
+
+    def test_groups_never_straddle(self):
+        rng = np.random.default_rng(0)
+        groups = rng.integers(0, 20, size=200)
+        for train, test in GroupKFold(n_splits=4, seed=1).split(groups):
+            assert set(groups[train]).isdisjoint(set(groups[test]))
+
+    def test_deterministic_given_seed(self):
+        groups = np.repeat(np.arange(8), 2)
+        a = [t.tolist() for _, t in GroupKFold(3, seed=5).split(groups)]
+        b = [t.tolist() for _, t in GroupKFold(3, seed=5).split(groups)]
+        assert a == b
+
+    def test_shuffle_changes_assignment(self):
+        groups = np.repeat(np.arange(50), 2)
+        a = [t.tolist() for _, t in GroupKFold(5, seed=1).split(groups)]
+        b = [t.tolist() for _, t in GroupKFold(5, seed=2).split(groups)]
+        assert a != b
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 30), min_size=10, max_size=200),
+        st.integers(2, 5),
+    )
+    def test_property_partition_and_disjoint(self, groups, k):
+        groups = np.asarray(groups)
+        if len(np.unique(groups)) < k:
+            return
+        seen = np.zeros(len(groups), dtype=int)
+        for train, test in GroupKFold(k, seed=0).split(groups):
+            seen[test] += 1
+            assert set(groups[train]).isdisjoint(set(groups[test]))
+        assert (seen == 1).all()
+
+
+class TestGroupedTrainTestSplit:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            grouped_train_test_split(np.arange(10), test_fraction=0.0)
+        with pytest.raises(ValueError):
+            grouped_train_test_split(np.arange(10), test_fraction=1.0)
+
+    def test_partition_and_group_disjointness(self):
+        rng = np.random.default_rng(3)
+        groups = rng.integers(0, 40, size=300)
+        train, test = grouped_train_test_split(groups, 0.25, seed=9)
+        assert len(np.intersect1d(train, test)) == 0
+        assert len(train) + len(test) == 300
+        assert set(groups[train]).isdisjoint(set(groups[test]))
+
+    def test_test_fraction_respected_in_groups(self):
+        groups = np.repeat(np.arange(100), 2)
+        _, test = grouped_train_test_split(groups, 0.2, seed=0)
+        assert len(np.unique(groups[test])) == 20

@@ -1,0 +1,97 @@
+"""Tests for DriveTable and SwapLog event tables."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DriveTable, SwapLog, model_index
+
+
+def _swaplog(**over):
+    base = dict(
+        drive_id=[1, 1, 2, 3],
+        model=[0, 0, 1, 2],
+        failure_age=[10.0, 50.0, 5.0, 100.0],
+        swap_age=[12.0, 55.0, 5.0, 130.0],
+        reentry_age=[30.0, np.nan, np.nan, 400.0],
+        operational_start_age=[0.0, 30.0, 0.0, 0.0],
+    )
+    base.update(over)
+    return SwapLog(**{k: np.asarray(v) for k, v in base.items()})
+
+
+class TestModelIndex:
+    def test_known_models(self):
+        assert model_index("MLC-A") == 0
+        assert model_index("MLC-B") == 1
+        assert model_index("MLC-D") == 2
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            model_index("MLC-Z")
+
+
+class TestDriveTable:
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            DriveTable(
+                drive_id=np.arange(3),
+                model=np.zeros(2),
+                deploy_day=np.zeros(3),
+                end_of_observation_age=np.zeros(3),
+            )
+
+    def test_n_drives_per_model(self):
+        t = DriveTable(
+            drive_id=np.arange(4),
+            model=np.array([0, 0, 1, 2]),
+            deploy_day=np.zeros(4),
+            end_of_observation_age=np.full(4, 100),
+        )
+        assert len(t) == 4
+        assert t.n_drives() == 4
+        assert t.n_drives(0) == 2
+        assert t.n_drives(2) == 1
+
+
+class TestSwapLog:
+    def test_swap_before_failure_rejected(self):
+        with pytest.raises(ValueError, match="swap_age"):
+            _swaplog(swap_age=[5.0, 55.0, 5.0, 130.0])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            _swaplog(model=[0, 0, 1])
+
+    def test_for_model(self):
+        log = _swaplog()
+        assert len(log.for_model(0)) == 2
+        assert len(log.for_model(1)) == 1
+
+    def test_failures_per_drive(self):
+        counts = _swaplog().failures_per_drive()
+        assert counts == {1: 2, 2: 1, 3: 1}
+
+    def test_non_operational_days(self):
+        assert _swaplog().non_operational_days().tolist() == [2.0, 5.0, 0.0, 30.0]
+
+    def test_time_to_repair_with_censoring(self):
+        ttr = _swaplog().time_to_repair()
+        assert ttr[0] == 18.0
+        assert np.isnan(ttr[1]) and np.isnan(ttr[2])
+        assert ttr[3] == 270.0
+
+    def test_first_failure_age(self):
+        ids, ages = _swaplog().first_failure_age()
+        assert ids.tolist() == [1, 2, 3]
+        assert ages.tolist() == [10.0, 5.0, 100.0]
+
+    def test_default_failure_mode_is_unknown(self):
+        log = _swaplog()
+        assert (log.failure_mode == -1).all()
+
+    def test_select_mask(self):
+        log = _swaplog()
+        sub = log.select(log.failure_age > 20)
+        assert len(sub) == 2

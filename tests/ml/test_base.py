@@ -1,0 +1,64 @@
+"""Tests for the shared estimator base and input validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, LogisticRegression, check_X, check_Xy
+
+
+class TestCheckX:
+    def test_casts_to_float64(self):
+        X = check_X(np.ones((3, 2), dtype=np.int32))
+        assert X.dtype == np.float64
+        assert X.flags["C_CONTIGUOUS"]
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_X(np.ones(5))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError):
+            check_X(np.array([[np.nan]]))
+        with pytest.raises(ValueError):
+            check_X(np.array([[np.inf]]))
+
+
+class TestCheckXy:
+    def test_valid_pair(self):
+        X, y = check_Xy(np.ones((4, 2)), np.array([0, 1, 0, 1]))
+        assert y.dtype == np.float64
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.ones((4, 2)), np.array([0, 1]))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.ones((3, 1)), np.array([0, 1, 2]))
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.ones((3, 1)), np.zeros(3))
+
+
+class TestBaseBehaviour:
+    def test_get_params_roundtrip(self):
+        model = DecisionTreeClassifier(max_depth=4, min_samples_leaf=2)
+        params = model.get_params()
+        assert params["max_depth"] == 4
+        clone = model.clone(max_depth=7)
+        assert clone.max_depth == 7
+        assert clone.min_samples_leaf == 2
+
+    def test_predict_uses_threshold(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        p = model.predict_proba(X)
+        assert np.array_equal(model.predict(X, 0.5), (p >= 0.5).astype(int))
+
+    def test_repr_roundtrippable_params(self):
+        text = repr(DecisionTreeClassifier(max_depth=3))
+        assert "DecisionTreeClassifier" in text and "max_depth=3" in text

@@ -1,0 +1,92 @@
+"""Tests for calibration diagnostics and precision-recall analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    average_precision_score,
+    brier_score,
+    expected_calibration_error,
+    precision_recall_curve,
+    reliability_curve,
+)
+
+
+class TestReliabilityCurve:
+    def test_perfectly_calibrated_forecaster(self, rng):
+        p = rng.uniform(0, 1, size=50_000)
+        y = (rng.random(50_000) < p).astype(int)
+        curve = reliability_curve(y, p, n_bins=10)
+        assert curve.max_gap() < 0.03
+        assert expected_calibration_error(y, p) < 0.02
+
+    def test_overconfident_forecaster_detected(self, rng):
+        true_p = np.full(20_000, 0.5)
+        y = (rng.random(20_000) < true_p).astype(int)
+        overconfident = np.where(rng.random(20_000) < 0.5, 0.95, 0.05)
+        assert expected_calibration_error(y, overconfident) > 0.3
+
+    def test_counts_sum(self, rng):
+        p = rng.uniform(0, 1, size=500)
+        y = rng.integers(0, 2, size=500)
+        curve = reliability_curve(y, p, n_bins=7)
+        assert curve.counts.sum() == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0, 1]), np.array([0.5, 1.5]))
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0, 2]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            reliability_curve(np.array([0, 1]), np.array([0.1, 0.9]), n_bins=0)
+
+
+class TestBrier:
+    def test_perfect_and_worst(self):
+        y = np.array([0, 1, 1, 0])
+        assert brier_score(y, y.astype(float)) == 0.0
+        assert brier_score(y, 1.0 - y) == 1.0
+
+    def test_constant_prior_forecast(self, rng):
+        y = (rng.random(10_000) < 0.2).astype(int)
+        score = brier_score(y, np.full(10_000, 0.2))
+        assert score == pytest.approx(0.2 * 0.8, abs=0.01)
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        p, r, _ = precision_recall_curve(y, s)
+        assert average_precision_score(y, s) == pytest.approx(1.0)
+        assert p.max() == 1.0 and r.max() == 1.0
+
+    def test_random_scores_ap_near_prevalence(self, rng):
+        y = (rng.random(20_000) < 0.05).astype(int)
+        s = rng.random(20_000)
+        ap = average_precision_score(y, s)
+        assert ap == pytest.approx(0.05, abs=0.02)
+
+    def test_curve_endpoints(self, rng):
+        y = rng.integers(0, 2, size=300)
+        y[:2] = [0, 1]
+        s = rng.random(300)
+        p, r, thr = precision_recall_curve(y, s)
+        assert r[0] == 1.0  # loosest threshold: flag everything
+        assert r[-1] == 0.0  # anchor
+        assert p[-1] == 1.0
+        assert len(thr) == len(p) - 1
+
+    def test_precision_at_full_recall_is_prevalence(self, rng):
+        y = (rng.random(1000) < 0.3).astype(int)
+        if y.sum() == 0:
+            y[0] = 1
+        s = rng.random(1000)
+        p, r, _ = precision_recall_curve(y, s)
+        assert p[0] == pytest.approx(y.mean())
+
+    def test_needs_positives(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve(np.zeros(5), np.random.rand(5))

@@ -1,0 +1,106 @@
+"""Tests for logistic regression and the sigmoid helper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import LogisticRegression, roc_auc_score, sigmoid
+
+
+class TestSigmoid:
+    def test_known_values(self):
+        assert sigmoid(np.array([0.0]))[0] == 0.5
+        assert sigmoid(np.array([100.0]))[0] == pytest.approx(1.0)
+        assert sigmoid(np.array([-100.0]))[0] == pytest.approx(0.0)
+
+    def test_no_overflow_extremes(self):
+        out = sigmoid(np.array([-1e4, 1e4]))
+        assert np.isfinite(out).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(-50, 50))
+    def test_property_symmetry(self, z):
+        arr = np.array([z])
+        assert sigmoid(arr)[0] + sigmoid(-arr)[0] == pytest.approx(1.0)
+
+
+class TestLogisticRegression:
+    def test_recovers_separating_direction(self, rng):
+        n = 2000
+        X = rng.normal(size=(n, 2))
+        true_w = np.array([2.0, -1.0])
+        p = sigmoid(X @ true_w + 0.5)
+        y = (rng.random(n) < p).astype(int)
+        model = LogisticRegression(l2=1e-6).fit(X, y)
+        # Up to sampling noise the MLE should be near the truth.
+        assert model.coef_[0] == pytest.approx(2.0, abs=0.4)
+        assert model.coef_[1] == pytest.approx(-1.0, abs=0.4)
+        assert model.intercept_ == pytest.approx(0.5, abs=0.3)
+
+    def test_ridge_shrinks_weights(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = (X[:, 0] > 0).astype(int)
+        loose = LogisticRegression(l2=1e-6).fit(X, y)
+        tight = LogisticRegression(l2=100.0).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_intercept_not_penalized(self, rng):
+        # Strong ridge with imbalanced classes: intercept must still move
+        # to match the base rate.
+        X = rng.normal(size=(2000, 2))
+        y = (rng.random(2000) < 0.9).astype(int)
+        model = LogisticRegression(l2=1e4).fit(X, y)
+        base = sigmoid(np.array([model.intercept_]))[0]
+        assert base == pytest.approx(0.9, abs=0.05)
+
+    def test_separable_data_converges(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        model = LogisticRegression(l2=1e-3).fit(X, y)
+        p = model.predict_proba(X)
+        assert p[0] < 0.5 < p[-1]
+
+    def test_auc_on_learnable_problem(self, rng):
+        X = rng.normal(size=(1000, 4))
+        y = (X @ np.array([1.0, -1.0, 0.5, 0.0]) + rng.normal(scale=0.5, size=1000) > 0).astype(int)
+        model = LogisticRegression().fit(X[:700], y[:700])
+        auc = roc_auc_score(y[700:], model.predict_proba(X[700:]))
+        assert auc > 0.9
+
+    def test_negative_l2_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.zeros((2, 2)))
+
+    def test_feature_mismatch(self, rng):
+        model = LogisticRegression().fit(rng.normal(size=(50, 3)), rng.integers(0, 2, 50))
+        with pytest.raises(ValueError):
+            model.predict_proba(np.zeros((2, 4)))
+
+    def test_predict_threshold(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression().fit(X, y)
+        strict = model.predict(X, threshold=0.99).sum()
+        loose = model.predict(X, threshold=0.01).sum()
+        assert strict <= loose
+        with pytest.raises(ValueError):
+            model.predict(X, threshold=1.5)
+
+    def test_clone_resets_state(self, rng):
+        X = rng.normal(size=(60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        model = LogisticRegression(l2=2.5).fit(X, y)
+        fresh = model.clone()
+        assert fresh.l2 == 2.5
+        with pytest.raises(RuntimeError):
+            fresh.predict_proba(X)
+
+    def test_repr_contains_params(self):
+        assert "l2=3.0" in repr(LogisticRegression(l2=3.0))

@@ -1,0 +1,149 @@
+"""Tests for ROC analysis and confusion metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml import (
+    confusion_at_threshold,
+    f1_score,
+    false_positive_rate,
+    precision_score,
+    roc_auc_score,
+    roc_curve,
+    true_positive_rate,
+)
+
+
+class TestRocAuc:
+    def test_perfect_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(y, s) == 1.0
+
+    def test_inverted_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(y, s) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        y = rng.integers(0, 2, size=5000)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        s = rng.random(5000)
+        assert roc_auc_score(y, s) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_count_half(self):
+        y = np.array([0, 1])
+        s = np.array([0.5, 0.5])
+        assert roc_auc_score(y, s) == 0.5
+
+    def test_hand_computed(self):
+        # positives at scores {3, 1}, negatives at {2, 0}:
+        # pairs: (3>2),(3>0),(1<2),(1>0) -> 3/4.
+        y = np.array([1, 0, 1, 0])
+        s = np.array([3.0, 2.0, 1.0, 0.0])
+        assert roc_auc_score(y, s) == 0.75
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.zeros(5), np.random.rand(5))
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([0, 2]), np.array([0.1, 0.2]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 60), st.integers(0, 10_000))
+    def test_property_matches_pairwise_definition(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=n)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        s = np.round(rng.random(n), 1)  # coarse scores force ties
+        pos = s[y == 1]
+        neg = s[y == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        expected = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        assert roc_auc_score(y, s) == pytest.approx(expected)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(3, 50), st.integers(0, 10_000))
+    def test_property_invariant_under_monotone_transform(self, n, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=n)
+        if y.min() == y.max():
+            y[0] = 1 - y[0]
+        s = rng.normal(size=n)
+        assert roc_auc_score(y, s) == pytest.approx(
+            roc_auc_score(y, np.exp(s) + 3)
+        )
+
+
+class TestRocCurve:
+    def test_endpoints(self, rng):
+        y = rng.integers(0, 2, size=100)
+        y[:2] = [0, 1]
+        s = rng.random(100)
+        fpr, tpr, thr = roc_curve(y, s)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thr[0] == np.inf
+
+    def test_monotone(self, rng):
+        y = rng.integers(0, 2, size=200)
+        y[:2] = [0, 1]
+        s = rng.random(200)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+
+    def test_trapezoid_area_equals_auc(self, rng):
+        y = rng.integers(0, 2, size=500)
+        y[:2] = [0, 1]
+        s = np.round(rng.random(500), 2)
+        fpr, tpr, _ = roc_curve(y, s)
+        area = np.trapezoid(tpr, fpr)
+        assert area == pytest.approx(roc_auc_score(y, s), abs=1e-10)
+
+    def test_perfect_curve_shape(self):
+        y = np.array([1, 1, 0, 0])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        fpr, tpr, _ = roc_curve(y, s)
+        # Must pass through (0, 1).
+        assert any((f == 0.0 and t == 1.0) for f, t in zip(fpr, tpr))
+
+
+class TestConfusion:
+    def test_counts(self):
+        y = np.array([1, 1, 0, 0, 1])
+        s = np.array([0.9, 0.3, 0.8, 0.1, 0.6])
+        c = confusion_at_threshold(y, s, 0.5)
+        assert (c.tp, c.fp, c.tn, c.fn) == (2, 1, 1, 1)
+        assert c.tpr == pytest.approx(2 / 3)
+        assert c.fpr == pytest.approx(1 / 2)
+        assert c.fnr == pytest.approx(1 / 3)
+        assert c.precision == pytest.approx(2 / 3)
+
+    def test_threshold_one_flags_nothing_below(self):
+        y = np.array([1, 0])
+        s = np.array([0.99, 0.5])
+        c = confusion_at_threshold(y, s, 1.0)
+        assert c.tp == 0 and c.fp == 0
+
+    def test_helper_wrappers(self):
+        y = np.array([1, 0, 1, 0])
+        s = np.array([0.9, 0.6, 0.4, 0.1])
+        assert true_positive_rate(y, s, 0.5) == 0.5
+        assert false_positive_rate(y, s, 0.5) == 0.5
+        assert precision_score(y, s, 0.5) == 0.5
+        assert f1_score(y, s, 0.5) == pytest.approx(0.5)
+
+    def test_f1_undefined_when_no_predictions(self):
+        y = np.array([1, 0])
+        s = np.array([0.2, 0.1])
+        assert np.isnan(f1_score(y, s, 0.9))

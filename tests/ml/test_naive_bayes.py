@@ -1,0 +1,94 @@
+"""Tests for Gaussian Naive Bayes and permutation importance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GaussianNB,
+    RandomForestClassifier,
+    permutation_importance,
+    roc_auc_score,
+)
+
+
+class TestGaussianNB:
+    def test_separable_gaussians(self, rng):
+        X = np.vstack(
+            (rng.normal(0, 1, size=(400, 3)), rng.normal(3, 1, size=(400, 3)))
+        )
+        y = np.concatenate((np.zeros(400, int), np.ones(400, int)))
+        nb = GaussianNB().fit(X[::2], y[::2])
+        assert roc_auc_score(y[1::2], nb.predict_proba(X[1::2])) > 0.99
+
+    def test_class_means_recovered(self, rng):
+        X = np.vstack(
+            (rng.normal(-1, 1, size=(2000, 2)), rng.normal(2, 1, size=(2000, 2)))
+        )
+        y = np.concatenate((np.zeros(2000, int), np.ones(2000, int)))
+        nb = GaussianNB().fit(X, y)
+        assert nb.theta_[0] == pytest.approx([-1, -1], abs=0.15)
+        assert nb.theta_[1] == pytest.approx([2, 2], abs=0.15)
+
+    def test_prior_reflected_in_probabilities(self, rng):
+        # Uninformative features: predicted probability = class prior.
+        X = rng.normal(size=(4000, 2))
+        y = (rng.random(4000) < 0.1).astype(int)
+        nb = GaussianNB().fit(X, y)
+        assert nb.predict_proba(X).mean() == pytest.approx(0.1, abs=0.05)
+
+    def test_constant_feature_stable(self, rng):
+        X = np.column_stack((np.ones(100), rng.normal(size=100)))
+        y = (X[:, 1] > 0).astype(int)
+        nb = GaussianNB().fit(X, y)
+        assert np.isfinite(nb.predict_proba(X)).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNB(var_smoothing=-1.0)
+        with pytest.raises(RuntimeError):
+            GaussianNB().predict_proba(np.zeros((1, 2)))
+
+    def test_feature_mismatch(self, rng):
+        X = rng.normal(size=(50, 2))
+        nb = GaussianNB().fit(X, (X[:, 0] > 0).astype(int))
+        with pytest.raises(ValueError):
+            nb.predict_proba(np.zeros((2, 5)))
+
+
+class TestPermutationImportance:
+    def test_informative_feature_ranked_first(self, rng):
+        X = rng.normal(size=(1500, 4))
+        y = (X[:, 2] + 0.3 * rng.normal(size=1500) > 0).astype(int)
+        rf = RandomForestClassifier(25, max_depth=6, random_state=0).fit(
+            X[:1000], y[:1000]
+        )
+        imp = permutation_importance(rf, X[1000:], y[1000:], n_repeats=3, seed=0)
+        assert imp.argmax() == 2
+        assert imp[2] > 0.1
+
+    def test_useless_features_near_zero(self, rng):
+        X = rng.normal(size=(1500, 4))
+        y = (X[:, 0] > 0).astype(int)
+        rf = RandomForestClassifier(25, max_depth=5, random_state=0).fit(
+            X[:1000], y[:1000]
+        )
+        imp = permutation_importance(rf, X[1000:], y[1000:], n_repeats=3, seed=0)
+        assert np.abs(imp[1:]).max() < 0.05
+
+    def test_row_cap_keeps_positives(self, rng):
+        X = rng.normal(size=(5000, 3))
+        y = np.zeros(5000, dtype=int)
+        y[:40] = 1
+        rf = RandomForestClassifier(10, max_depth=4, random_state=0).fit(X, y)
+        # Must not raise even with a cap below the dataset size.
+        imp = permutation_importance(rf, X, y, n_repeats=2, max_rows=500, seed=0)
+        assert imp.shape == (3,)
+
+    def test_validation(self, rng):
+        X = rng.normal(size=(50, 2))
+        y = (X[:, 0] > 0).astype(int)
+        rf = RandomForestClassifier(5, max_depth=3, random_state=0).fit(X, y)
+        with pytest.raises(ValueError):
+            permutation_importance(rf, X, y, n_repeats=0)

@@ -1,0 +1,68 @@
+"""Tests for k-nearest neighbours."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import KNeighborsClassifier, roc_auc_score
+
+
+class TestKNN:
+    def test_k1_memorizes_training_data(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = rng.integers(0, 2, size=50)
+        y[:2] = [0, 1]
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert np.array_equal(knn.predict_proba(X), y.astype(float))
+
+    def test_vote_share(self):
+        X = np.array([[0.0], [0.1], [0.2], [10.0]])
+        y = np.array([1, 1, 0, 0])
+        knn = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        # Query at 0: neighbours {0, 0.1, 0.2} -> 2/3 positive.
+        assert knn.predict_proba(np.array([[0.0]]))[0] == pytest.approx(2 / 3)
+
+    def test_distance_weighting_prefers_closer(self):
+        X = np.array([[0.0], [1.0], [1.1]])
+        y = np.array([1, 0, 0])
+        uni = KNeighborsClassifier(3, weights="uniform").fit(X, y)
+        dist = KNeighborsClassifier(3, weights="distance").fit(X, y)
+        q = np.array([[0.05]])
+        assert dist.predict_proba(q)[0] > uni.predict_proba(q)[0]
+
+    def test_chunking_consistency(self, rng):
+        X = rng.normal(size=(200, 4))
+        y = rng.integers(0, 2, 200)
+        y[:2] = [0, 1]
+        big = KNeighborsClassifier(7, chunk_size=10_000).fit(X, y)
+        small = KNeighborsClassifier(7, chunk_size=17).fit(X, y)
+        Q = rng.normal(size=(333, 4))
+        assert np.allclose(big.predict_proba(Q), small.predict_proba(Q))
+
+    def test_k_larger_than_train_rejected(self, rng):
+        X = rng.normal(size=(5, 2))
+        y = np.array([0, 1, 0, 1, 0])
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(6).fit(X, y)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(0)
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(3, weights="cosine")
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KNeighborsClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_learns_locality(self, rng):
+        # Two well-separated Gaussian blobs.
+        n = 400
+        X = np.vstack(
+            (rng.normal(0, 1, size=(n // 2, 2)), rng.normal(5, 1, size=(n // 2, 2)))
+        )
+        y = np.concatenate((np.zeros(n // 2, int), np.ones(n // 2, int)))
+        knn = KNeighborsClassifier(9).fit(X[::2], y[::2])
+        auc = roc_auc_score(y[1::2], knn.predict_proba(X[1::2]))
+        assert auc > 0.99

@@ -1,0 +1,68 @@
+"""Tests for the MLP classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import MLPClassifier, roc_auc_score
+
+
+class TestMLP:
+    def test_learns_linear_problem(self, rng):
+        X = rng.normal(size=(600, 3))
+        y = (X[:, 0] - X[:, 1] > 0).astype(int)
+        mlp = MLPClassifier((16,), n_epochs=40, random_state=0).fit(X[:400], y[:400])
+        auc = roc_auc_score(y[400:], mlp.predict_proba(X[400:]))
+        assert auc > 0.95
+
+    def test_learns_xor(self, rng):
+        X = rng.uniform(-1, 1, size=(1200, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        mlp = MLPClassifier((32, 16), n_epochs=120, lr=5e-3, random_state=0).fit(
+            X[:800], y[:800]
+        )
+        auc = roc_auc_score(y[800:], mlp.predict_proba(X[800:]))
+        assert auc > 0.9
+
+    def test_loss_decreases(self, rng):
+        X = rng.normal(size=(300, 4))
+        y = (X[:, 0] > 0).astype(int)
+        mlp = MLPClassifier((8,), n_epochs=30, random_state=0).fit(X, y)
+        assert mlp.loss_curve_[-1] < mlp.loss_curve_[0]
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        a = MLPClassifier((8,), n_epochs=10, random_state=5).fit(X, y).predict_proba(X)
+        b = MLPClassifier((8,), n_epochs=10, random_state=5).fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+    def test_probability_range(self, rng):
+        X = rng.normal(size=(150, 2))
+        y = (X[:, 0] > 0).astype(int)
+        p = MLPClassifier((8,), n_epochs=5, random_state=0).fit(X, y).predict_proba(X)
+        assert ((p >= 0) & (p <= 1)).all()
+
+    def test_l2_shrinks_weights(self, rng):
+        X = rng.normal(size=(300, 3))
+        y = (X[:, 0] > 0).astype(int)
+        loose = MLPClassifier((8,), l2=0.0, n_epochs=40, random_state=0).fit(X, y)
+        tight = MLPClassifier((8,), l2=1.0, n_epochs=40, random_state=0).fit(X, y)
+        norm = lambda m: sum(float(np.linalg.norm(w)) for w in m._weights)
+        assert norm(tight) < norm(loose)
+
+    def test_invalid_hidden_sizes(self):
+        with pytest.raises(ValueError):
+            MLPClassifier((0,))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            MLPClassifier().predict_proba(np.zeros((2, 2)))
+
+    def test_feature_mismatch(self, rng):
+        X = rng.normal(size=(60, 3))
+        y = (X[:, 0] > 0).astype(int)
+        mlp = MLPClassifier((4,), n_epochs=2, random_state=0).fit(X, y)
+        with pytest.raises(ValueError):
+            mlp.predict_proba(np.zeros((2, 5)))

@@ -1,0 +1,57 @@
+"""Tests for preprocessing transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import Log1pTransformer, StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self, rng):
+        X = rng.normal(3.0, 5.0, size=(500, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_no_nan(self):
+        X = np.column_stack((np.ones(10), np.arange(10.0)))
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_uses_training_stats(self, rng):
+        X = rng.normal(size=(100, 2))
+        scaler = StandardScaler().fit(X)
+        Q = rng.normal(10.0, 1.0, size=(50, 2))
+        Z = scaler.transform(Q)
+        # The shifted test set must NOT be re-centred to zero.
+        assert Z.mean() > 5.0
+
+    def test_before_fit(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_feature_mismatch(self, rng):
+        scaler = StandardScaler().fit(rng.normal(size=(10, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((2, 4)))
+
+
+class TestLog1p:
+    def test_compresses_positive_tails(self):
+        X = np.array([[0.0], [1.0], [1e6]])
+        Z = Log1pTransformer().fit_transform(X)
+        assert Z[0, 0] == 0.0
+        assert Z[2, 0] == pytest.approx(np.log1p(1e6))
+
+    def test_odd_symmetry(self, rng):
+        X = rng.normal(size=(50, 2)) * 100
+        t = Log1pTransformer()
+        assert np.allclose(t.transform(X), -t.transform(-X))
+
+    def test_monotone(self, rng):
+        x = np.sort(rng.normal(size=100) * 50)
+        z = Log1pTransformer().transform(x[:, None]).ravel()
+        assert (np.diff(z) >= 0).all()

@@ -1,0 +1,99 @@
+"""Tests for the Pegasos SVMs and the random Fourier feature map."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml import KernelSVM, LinearSVM, RBFSampler, roc_auc_score
+
+
+class TestLinearSVM:
+    def test_separates_linear_problem(self, rng):
+        X = rng.normal(size=(600, 3))
+        y = (X @ np.array([1.5, -2.0, 0.0]) > 0.2).astype(int)
+        svm = LinearSVM(random_state=0).fit(X[:400], y[:400])
+        auc = roc_auc_score(y[400:], svm.predict_proba(X[400:]))
+        assert auc > 0.95
+
+    def test_decision_sign_matches_labels(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(int)
+        svm = LinearSVM(random_state=0).fit(X, y)
+        d = svm.decision_function(X)
+        agreement = ((d > 0).astype(int) == y).mean()
+        assert agreement > 0.9
+
+    def test_platt_probabilities_monotone_in_margin(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = (X[:, 0] > 0).astype(int)
+        svm = LinearSVM(random_state=0).fit(X, y)
+        d = svm.decision_function(X)
+        p = svm.predict_proba(X)
+        order = np.argsort(d)
+        assert (np.diff(p[order]) >= -1e-12).all()
+
+    def test_invalid_lambda(self):
+        with pytest.raises(ValueError):
+            LinearSVM(lam=0.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LinearSVM().predict_proba(np.zeros((2, 2)))
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(150, 2))
+        y = (X[:, 0] > 0).astype(int)
+        a = LinearSVM(random_state=3).fit(X, y).predict_proba(X)
+        b = LinearSVM(random_state=3).fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+
+class TestRBFSampler:
+    def test_kernel_approximation(self, rng):
+        X = rng.normal(size=(40, 3))
+        sampler = RBFSampler(gamma=0.5, n_components=4000, random_state=0).fit(X)
+        Z = sampler.transform(X)
+        approx = Z @ Z.T
+        d2 = ((X[:, None, :] - X[None, :, :]) ** 2).sum(-1)
+        exact = np.exp(-0.5 * d2)
+        assert np.abs(approx - exact).max() < 0.12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RBFSampler(gamma=0.0)
+        with pytest.raises(ValueError):
+            RBFSampler(n_components=0)
+        with pytest.raises(RuntimeError):
+            RBFSampler().transform(np.zeros((2, 2)))
+
+    def test_transform_shape(self, rng):
+        X = rng.normal(size=(10, 5))
+        Z = RBFSampler(n_components=64, random_state=0).fit_transform(X)
+        assert Z.shape == (10, 64)
+
+
+class TestKernelSVM:
+    def test_solves_nonlinear_problem(self, rng):
+        # Concentric circles: not linearly separable.
+        n = 800
+        r = np.concatenate((rng.uniform(0, 1, n // 2), rng.uniform(2, 3, n // 2)))
+        theta = rng.uniform(0, 2 * np.pi, n)
+        X = np.column_stack((r * np.cos(theta), r * np.sin(theta)))
+        y = (r > 1.5).astype(int)
+        lin = LinearSVM(random_state=0).fit(X[::2], y[::2])
+        ker = KernelSVM(gamma=1.0, n_components=300, random_state=0).fit(X[::2], y[::2])
+        auc_lin = roc_auc_score(y[1::2], lin.predict_proba(X[1::2]))
+        auc_ker = roc_auc_score(y[1::2], ker.predict_proba(X[1::2]))
+        assert auc_ker > 0.95
+        assert auc_ker > auc_lin + 0.2
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            KernelSVM().predict_proba(np.zeros((2, 2)))
+
+    def test_probability_range(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(int)
+        p = KernelSVM(random_state=0).fit(X, y).predict_proba(X)
+        assert ((p >= 0) & (p <= 1)).all()

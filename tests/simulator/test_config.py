@@ -1,0 +1,64 @@
+"""Tests for simulator configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import (
+    MLC_A,
+    MLC_B,
+    MLC_D,
+    FleetConfig,
+    default_models,
+    paper_scale_config,
+    small_fleet_config,
+)
+
+
+class TestFleetConfig:
+    def test_defaults_valid(self):
+        cfg = FleetConfig()
+        assert cfg.n_drives_per_model >= 1
+        assert cfg.deploy_spread_days < cfg.horizon_days
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(n_drives_per_model=0)
+        with pytest.raises(ValueError):
+            FleetConfig(horizon_days=10)
+        with pytest.raises(ValueError):
+            FleetConfig(horizon_days=100, deploy_spread_days=100)
+
+    def test_presets(self):
+        small = small_fleet_config(seed=3)
+        assert small.seed == 3
+        assert small.n_drives_per_model < 1000
+        paper = paper_scale_config()
+        assert paper.n_drives_per_model == 10000
+        assert paper.horizon_days == 2190
+
+
+class TestModelSpecs:
+    def test_three_models_in_order(self):
+        models = default_models()
+        assert [m.name for m in models] == ["MLC-A", "MLC-B", "MLC-D"]
+
+    def test_shared_platform_constants(self):
+        for spec in (MLC_A, MLC_B, MLC_D):
+            assert spec.capacity_gb == 480
+            assert spec.pe_cycle_limit == 3000
+
+    def test_mlc_b_has_elevated_write_errors(self):
+        # Table 1: MLC-B write-error incidence is ~10x the other models.
+        assert MLC_B.errors.write_error_base_prob > 5 * MLC_A.errors.write_error_base_prob
+
+    def test_failure_incidence_ordering(self):
+        # Table 3: MLC-B > MLC-D > MLC-A in failure rate; reflected in the
+        # generative knobs.
+        assert MLC_B.lifetime.defect_prob > MLC_A.lifetime.defect_prob
+        assert MLC_B.lifetime.mature_hazard_per_day > MLC_A.lifetime.mature_hazard_per_day
+        assert MLC_D.lifetime.mature_hazard_per_day > MLC_A.lifetime.mature_hazard_per_day
+
+    def test_specs_frozen(self):
+        with pytest.raises(Exception):
+            MLC_A.capacity_gb = 960  # type: ignore[misc]

@@ -1,0 +1,130 @@
+"""Tests for the single-drive simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator import MLC_B, simulate_drive
+from repro.simulator.config import DriveModelSpec, LifetimeParams, RepairParams
+
+
+def _run(rng, spec=None, deploy=0, horizon=1000, drive_id=7, model=1):
+    return simulate_drive(
+        drive_id=drive_id,
+        model_index=model,
+        spec=spec or MLC_B,
+        deploy_day=deploy,
+        horizon_days=horizon,
+        rng=rng,
+    )
+
+
+def _failing_spec(**lifetime_over) -> DriveModelSpec:
+    from dataclasses import replace
+
+    lt = LifetimeParams(defect_prob=0.0, mature_hazard_per_day=2e-3, **lifetime_over)
+    return replace(MLC_B, lifetime=lt)
+
+
+class TestSimulateDrive:
+    def test_deploy_beyond_horizon_rejected(self, rng):
+        with pytest.raises(ValueError):
+            _run(rng, deploy=1000, horizon=1000)
+
+    def test_records_sorted_and_within_window(self, rng):
+        res = _run(rng, horizon=800)
+        ages = res.records["age_days"]
+        assert (np.diff(ages) > 0).all()
+        assert ages.min() >= 0
+        assert ages.max() < 800
+
+    def test_record_columns_aligned(self, rng):
+        res = _run(rng)
+        n = res.records["age_days"].shape[0]
+        for name, arr in res.records.items():
+            assert arr.shape[0] == n, name
+
+    def test_pe_cycles_monotone(self, rng):
+        res = _run(rng)
+        pe = res.records["pe_cycles"]
+        assert (np.diff(pe) >= -1e-9).all()
+
+    def test_grown_bad_blocks_monotone(self, rng):
+        res = _run(rng)
+        bb = res.records["grown_bad_blocks"]
+        assert (np.diff(bb) >= 0).all()
+
+    def test_factory_bad_blocks_constant(self, rng):
+        res = _run(rng)
+        fb = res.records["factory_bad_blocks"]
+        assert len(np.unique(fb)) == 1
+
+    def test_swap_events_ordered_and_consistent(self, rng):
+        spec = _failing_spec()
+        for seed in range(30):
+            res = _run(np.random.default_rng(seed), spec=spec, horizon=1500)
+            for ev in res.swaps:
+                assert ev.swap_age >= ev.failure_age
+                assert ev.operational_start_age <= ev.failure_age
+                if not np.isnan(ev.reentry_age):
+                    assert ev.reentry_age > ev.swap_age
+
+    def test_multiple_failures_possible(self):
+        spec = _failing_spec()
+        from dataclasses import replace
+
+        spec = replace(
+            spec,
+            repair=replace(
+                spec.repair,
+                return_prob=1.0,
+                fast_repair_prob=1.0,
+                fast_repair_median=5.0,
+            ),
+        )
+        counts = []
+        for seed in range(40):
+            res = _run(np.random.default_rng(seed), spec=spec, horizon=2000)
+            counts.append(len(res.swaps))
+        assert max(counts) >= 2
+
+    def test_no_operational_records_between_failure_and_swap(self):
+        """Rows strictly between failure and swap must be zero-activity."""
+        spec = _failing_spec()
+        for seed in range(40):
+            res = _run(np.random.default_rng(seed), spec=spec, horizon=1500)
+            ages = res.records["age_days"]
+            reads = res.records["read_count"]
+            for ev in res.swaps:
+                limbo = (ages > ev.failure_age) & (ages <= ev.swap_age)
+                assert (reads[limbo] == 0).all()
+
+    def test_no_records_during_repair_shop(self):
+        spec = _failing_spec()
+        for seed in range(40):
+            res = _run(np.random.default_rng(seed), spec=spec, horizon=1500)
+            ages = res.records["age_days"]
+            for ev in res.swaps:
+                if not np.isnan(ev.reentry_age):
+                    in_shop = (ages > ev.swap_age) & (ages < ev.reentry_age)
+                    assert in_shop.sum() == 0
+
+    def test_end_of_observation_age(self, rng):
+        res = _run(rng, deploy=300, horizon=1000)
+        assert res.end_of_observation_age == 700
+
+    def test_thinning_reduces_record_count(self, rng):
+        res = _run(rng, horizon=900)
+        # Record probability is Beta(6.5, 3.5) ~ 0.65 on average; the count
+        # must be well below the full number of days.
+        assert res.records["age_days"].shape[0] < 900
+
+    def test_deterministic_given_rng_seed(self):
+        a = _run(np.random.default_rng(5))
+        b = _run(np.random.default_rng(5))
+        assert np.array_equal(a.records["age_days"], b.records["age_days"])
+        assert np.array_equal(
+            a.records["uncorrectable_error"], b.records["uncorrectable_error"]
+        )
+        assert len(a.swaps) == len(b.swaps)

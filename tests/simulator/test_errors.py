@@ -1,0 +1,194 @@
+"""Tests for the error generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator import (
+    ErrorParams,
+    FailureSymptomParams,
+    SymptomPlan,
+    generate_errors,
+    sample_error_latents,
+)
+from repro.simulator.errors import ErrorLatents
+
+
+def _gen(rng, n=3000, latents=None, plan=None, params=None, reads_scale=2.5e8):
+    params = params or ErrorParams()
+    latents = latents or ErrorLatents(
+        error_proneness=1.0,
+        glitch_factor=1.0,
+        correctable_factor=1.0,
+        factory_bad_blocks=5,
+    )
+    plan = plan or SymptomPlan.none()
+    ages = np.arange(n, dtype=np.int64)
+    reads = np.full(n, reads_scale)
+    writes = np.full(n, 1e8)
+    erases = writes / 512
+    pe = np.cumsum(np.full(n, 0.8))
+    return generate_errors(
+        params,
+        FailureSymptomParams(),
+        latents,
+        plan,
+        ages=ages,
+        reads=reads,
+        writes=writes,
+        erases=erases,
+        pe_cycles=pe,
+        pe_limit=3000,
+        rng=rng,
+    )
+
+
+class TestLatents:
+    def test_clean_drive_fraction(self, rng):
+        params = ErrorParams(error_prone_prob=0.2)
+        lat = [sample_error_latents(params, rng) for _ in range(3000)]
+        clean = sum(1 for l in lat if l.error_proneness == 0.0)
+        assert 0.15 < 1 - clean / 3000 < 0.25
+
+    def test_factory_bad_blocks_nonnegative(self, rng):
+        lat = [sample_error_latents(ErrorParams(), rng) for _ in range(200)]
+        assert all(l.factory_bad_blocks >= 0 for l in lat)
+
+
+class TestBackgroundErrors:
+    def test_clean_drive_no_nontransparent(self, rng):
+        lat = ErrorLatents(0.0, 1.0, 1.0, 3)
+        out = _gen(rng, latents=lat)
+        assert out.uncorrectable_error.sum() == 0
+        assert out.final_write_error.sum() == 0
+        assert out.meta_error.sum() == 0
+
+    def test_prone_drive_has_ue_days(self, rng):
+        out = _gen(rng)
+        frac = (out.uncorrectable_error > 0).mean()
+        p = ErrorParams()
+        assert frac == pytest.approx(p.ue_daily_prob, rel=0.5)
+
+    def test_final_read_coupled_to_ue(self, rng):
+        out = _gen(rng, n=20_000)
+        fr_days = out.final_read_error > 0
+        ue_days = out.uncorrectable_error > 0
+        # Nearly all final-read days are UE days (stray rate is tiny).
+        overlap = (fr_days & ue_days).sum() / max(fr_days.sum(), 1)
+        assert overlap > 0.8
+        # And final reads never exceed UEs by more than the stray events.
+        assert (out.final_read_error <= out.uncorrectable_error + 1).all()
+
+    def test_idle_days_produce_no_errors(self, rng):
+        params = ErrorParams()
+        lat = ErrorLatents(2.0, 1.0, 1.0, 3)
+        n = 1000
+        ages = np.arange(n, dtype=np.int64)
+        reads = np.zeros(n)
+        writes = np.zeros(n)
+        out = generate_errors(
+            params,
+            FailureSymptomParams(),
+            lat,
+            SymptomPlan.none(),
+            ages=ages,
+            reads=reads,
+            writes=writes,
+            erases=np.zeros(n),
+            pe_cycles=np.zeros(n),
+            pe_limit=3000,
+            rng=rng,
+        )
+        assert out.uncorrectable_error.sum() == 0
+        assert out.correctable_error.sum() == 0
+        assert out.erase_error.sum() == 0
+
+    def test_correctable_scales_with_reads(self, rng):
+        lo = _gen(rng, reads_scale=1e7)
+        hi = _gen(rng, reads_scale=1e9)
+        assert hi.correctable_error.mean() > 10 * lo.correctable_error.mean()
+
+    def test_correctable_zero_day_fraction(self, rng):
+        params = ErrorParams(correctable_zero_prob=0.2)
+        out = _gen(rng, params=params)
+        assert (out.correctable_error == 0).mean() == pytest.approx(0.2, abs=0.05)
+
+    def test_erase_errors_increase_with_wear(self, rng):
+        params = ErrorParams()
+        lat = ErrorLatents(0.0, 1.0, 1.0, 3)
+        n = 4000
+        low_pe = np.full(n, 100.0)
+        high_pe = np.full(n, 2900.0)
+        common = dict(
+            ages=np.arange(n, dtype=np.int64),
+            reads=np.full(n, 1e8),
+            writes=np.full(n, 1e8),
+            erases=np.full(n, 2e5),
+            pe_limit=3000,
+        )
+        lo = generate_errors(
+            params, FailureSymptomParams(), lat, SymptomPlan.none(),
+            pe_cycles=low_pe, rng=rng, **common,
+        )
+        hi = generate_errors(
+            params, FailureSymptomParams(), lat, SymptomPlan.none(),
+            pe_cycles=high_pe, rng=rng, **common,
+        )
+        assert (hi.erase_error > 0).sum() > 2 * (lo.erase_error > 0).sum()
+
+    def test_timeout_response_share_glitch_days(self, rng):
+        params = ErrorParams(glitch_daily_prob=5e-3)
+        out = _gen(rng, n=50_000, params=params)
+        to = out.timeout_error > 0
+        resp = out.response_error > 0
+        if resp.sum() and to.sum():
+            # P(timeout | response-day) far above the marginal rate.
+            p_joint = (to & resp).sum() / resp.sum()
+            assert p_joint > 3 * to.mean()
+
+
+class TestSymptomInjection:
+    def _plan(self, offsets, young=True, boost=30.0):
+        return SymptomPlan(
+            symptomatic=True,
+            young=young,
+            burst_offsets=np.asarray(offsets, dtype=np.int64),
+            bad_block_offsets=np.asarray(offsets, dtype=np.int64),
+            lifelong_boost=boost if young else 1.0,
+            read_only_from_offset=None,
+            dead_flag=False,
+            decline_days=0,
+            decline_factor=1.0,
+        )
+
+    def test_burst_days_have_large_ue(self, rng):
+        plan = self._plan([0, 1, 3])
+        out = _gen(rng, n=500, plan=plan, latents=ErrorLatents(0.0, 1, 1, 3))
+        n = 500
+        # Bursts land at the end of the period (offsets from the last day).
+        assert out.uncorrectable_error[n - 1] >= 1
+        assert out.uncorrectable_error[n - 2] >= 1
+        assert out.uncorrectable_error[n - 4] >= 1
+
+    def test_lifelong_boost_elevates_clean_drive(self, rng):
+        lat = ErrorLatents(0.0, 1.0, 1.0, 3)
+        base = _gen(rng, n=2000, latents=lat)
+        boosted = _gen(rng, n=2000, latents=lat, plan=self._plan([], young=True))
+        assert boosted.uncorrectable_error.sum() > base.uncorrectable_error.sum()
+
+    def test_bad_blocks_grow_on_burst_days(self, rng):
+        plan = self._plan([0], young=True)
+        out = _gen(rng, n=100, plan=plan, latents=ErrorLatents(0.0, 1, 1, 3))
+        assert out.grown_bad_block_increment[-1] >= 1
+
+    def test_young_bursts_bigger_than_old(self, rng):
+        young_tot, old_tot = 0, 0
+        for _ in range(30):
+            y = _gen(rng, n=50, plan=self._plan([0], young=True),
+                     latents=ErrorLatents(0.0, 1, 1, 3))
+            o = _gen(rng, n=50, plan=self._plan([0], young=False),
+                     latents=ErrorLatents(0.0, 1, 1, 3))
+            young_tot += y.uncorrectable_error[-1]
+            old_tot += o.uncorrectable_error[-1]
+        assert young_tot > 5 * old_tot

@@ -1,0 +1,83 @@
+"""Tests for fleet-level simulation invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import MODEL_NAMES
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+class TestFleetTrace:
+    def test_drive_counts(self, small_trace):
+        cfg = small_trace.config
+        assert len(small_trace.drives) == cfg.n_drives_per_model * 3
+        for i in range(3):
+            assert small_trace.drives.n_drives(i) == cfg.n_drives_per_model
+
+    def test_records_sorted_by_drive_then_age(self, small_trace):
+        ids = small_trace.records["drive_id"]
+        ages = small_trace.records["age_days"]
+        same = ids[1:] == ids[:-1]
+        assert ((ids[1:] > ids[:-1]) | (same & (ages[1:] > ages[:-1]))).all()
+
+    def test_calendar_day_consistency(self, small_trace):
+        """calendar_day = deploy_day + age_days for every record."""
+        deploy = dict(
+            zip(
+                small_trace.drives.drive_id.tolist(),
+                small_trace.drives.deploy_day.tolist(),
+            )
+        )
+        ids = small_trace.records["drive_id"]
+        expected = np.array([deploy[int(d)] for d in ids[:5000]])
+        got = (
+            small_trace.records["calendar_day"][:5000]
+            - small_trace.records["age_days"][:5000]
+        )
+        assert np.array_equal(got, expected)
+
+    def test_model_column_matches_drive_table(self, small_trace):
+        model_of = dict(
+            zip(
+                small_trace.drives.drive_id.tolist(),
+                small_trace.drives.model.tolist(),
+            )
+        )
+        ids = small_trace.records["drive_id"][:5000]
+        models = small_trace.records["model"][:5000]
+        assert all(model_of[int(d)] == int(m) for d, m in zip(ids, models))
+
+    def test_swap_drives_exist(self, small_trace):
+        drive_ids = set(small_trace.drives.drive_id.tolist())
+        assert set(small_trace.swaps.drive_id.tolist()).issubset(drive_ids)
+
+    def test_failure_incidence_in_sane_band(self, medium_trace):
+        failed = len(np.unique(medium_trace.swaps.drive_id))
+        frac = failed / len(medium_trace.drives)
+        # Not calibrated to 6 years here, but must be in a plausible band.
+        assert 0.02 < frac < 0.30
+
+    def test_reproducibility(self):
+        cfg = FleetConfig(n_drives_per_model=20, horizon_days=400, deploy_spread_days=100, seed=9)
+        a = simulate_fleet(cfg)
+        b = simulate_fleet(cfg)
+        assert len(a.records) == len(b.records)
+        assert np.array_equal(
+            a.records["uncorrectable_error"], b.records["uncorrectable_error"]
+        )
+        assert np.array_equal(a.swaps.failure_age, b.swaps.failure_age)
+
+    def test_different_seeds_differ(self):
+        a = simulate_fleet(FleetConfig(n_drives_per_model=20, horizon_days=400, deploy_spread_days=100, seed=1))
+        b = simulate_fleet(FleetConfig(n_drives_per_model=20, horizon_days=400, deploy_spread_days=100, seed=2))
+        assert len(a.records) != len(b.records) or not np.array_equal(
+            a.records["read_count"], b.records["read_count"]
+        )
+
+    def test_summary_mentions_scale(self, small_trace):
+        text = small_trace.summary()
+        assert "drives" in text and "swap" in text
+
+    def test_model_names_alignment(self):
+        assert MODEL_NAMES == ("MLC-A", "MLC-B", "MLC-D")

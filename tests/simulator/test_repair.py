@@ -1,0 +1,72 @@
+"""Tests for the swap/repair pipeline distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator import (
+    RepairParams,
+    sample_inactive_stretch,
+    sample_nonoperational_days,
+    sample_repair,
+)
+
+
+class TestNonOperationalPeriod:
+    def test_distribution_landmarks(self, rng):
+        p = RepairParams()
+        days = np.array([sample_nonoperational_days(p, rng) for _ in range(8000)])
+        assert (days >= 0).all()
+        # Figure 4 shape: ~20% within a day, ~80% within a week, heavy tail.
+        assert 0.10 < (days <= 1).mean() < 0.35
+        assert 0.6 < (days <= 7).mean() < 0.9
+        assert 0.03 < (days > 100).mean() < 0.15
+
+    def test_forgotten_component_off(self, rng):
+        p = RepairParams(nonop_forgotten_prob=0.0)
+        days = np.array([sample_nonoperational_days(p, rng) for _ in range(4000)])
+        assert (days > 150).mean() < 0.01
+
+
+class TestRepair:
+    def test_return_probability(self, rng):
+        p = RepairParams(return_prob=0.6)
+        outcomes = [sample_repair(p, rng) for _ in range(5000)]
+        returned = np.mean([o.duration_days is not None for o in outcomes])
+        assert abs(returned - 0.6) < 0.03
+
+    def test_durations_positive(self, rng):
+        p = RepairParams()
+        for _ in range(500):
+            o = sample_repair(p, rng)
+            if o.duration_days is not None:
+                assert o.duration_days >= 1
+
+    def test_fast_vs_slow_components(self, rng):
+        p = RepairParams(return_prob=1.0, fast_repair_prob=0.5)
+        durations = np.array(
+            [sample_repair(p, rng).duration_days for _ in range(6000)], dtype=float
+        )
+        # Bimodal: a fast mode around days and a slow mode around a year+.
+        assert 0.35 < (durations <= 60).mean() < 0.65
+        assert np.median(durations[durations > 60]) > 200
+
+    def test_never_returns_mode(self, rng):
+        p = RepairParams(return_prob=0.0)
+        assert all(
+            sample_repair(p, rng).duration_days is None for _ in range(100)
+        )
+
+
+class TestInactiveStretch:
+    def test_rate_and_bounds(self, rng):
+        p = RepairParams(inactive_records_prob=0.36)
+        lens = np.array(
+            [sample_inactive_stretch(p, rng, max_days=10) for _ in range(5000)]
+        )
+        assert abs((lens > 0).mean() - 0.36) < 0.05
+        assert lens.max() <= 10
+
+    def test_zero_budget(self, rng):
+        p = RepairParams(inactive_records_prob=1.0)
+        assert sample_inactive_stretch(p, rng, max_days=0) == 0

@@ -1,0 +1,38 @@
+"""Tests for the infant/mature symptom asymmetry (drives Figure 15)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator import FailureMode, FailureSymptomParams, plan_symptoms
+
+
+class TestDeclineAsymmetry:
+    def test_old_failures_drained_less_often(self, rng):
+        p = FailureSymptomParams()
+        young_declines = 0
+        old_declines = 0
+        n = 4000
+        for _ in range(n):
+            if plan_symptoms(p, FailureMode.DEFECT, 300, rng).decline_days > 0:
+                young_declines += 1
+            if plan_symptoms(p, FailureMode.WEAR, 300, rng).decline_days > 0:
+                old_declines += 1
+        # The configured scale (< 1) must show up as a real gap.
+        assert young_declines > old_declines * 1.15
+
+    def test_scale_one_removes_asymmetry(self, rng):
+        p = FailureSymptomParams(old_decline_prob_scale=1.0)
+        young = np.mean(
+            [
+                plan_symptoms(p, FailureMode.DEFECT, 300, rng).decline_days > 0
+                for _ in range(3000)
+            ]
+        )
+        old = np.mean(
+            [
+                plan_symptoms(p, FailureMode.WEAR, 300, rng).decline_days > 0
+                for _ in range(3000)
+            ]
+        )
+        assert abs(young - old) < 0.05

@@ -1,0 +1,88 @@
+"""Tests for the pre-failure symptom planner."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator import FailureMode, FailureSymptomParams, plan_symptoms
+from repro.simulator.symptoms import SymptomPlan
+
+
+def _plans(params, mode, rng, n=2000, period_len=300):
+    return [plan_symptoms(params, mode, period_len, rng) for _ in range(n)]
+
+
+class TestPlanSymptoms:
+    def test_none_mode_has_no_symptoms(self, rng):
+        plan = plan_symptoms(FailureSymptomParams(), FailureMode.NONE, 100, rng)
+        assert not plan.symptomatic
+        assert plan.burst_offsets.size == 0
+        assert plan.decline_days == 0
+        assert not plan.dead_flag
+
+    def test_symptomatic_rate_young(self, rng):
+        p = FailureSymptomParams(young_symptomatic_prob=0.32)
+        plans = _plans(p, FailureMode.DEFECT, rng)
+        rate = np.mean([pl.symptomatic for pl in plans])
+        assert abs(rate - 0.32) < 0.04
+
+    def test_symptomatic_rate_old(self, rng):
+        p = FailureSymptomParams(old_symptomatic_prob=0.30)
+        plans = _plans(p, FailureMode.WEAR, rng)
+        rate = np.mean([pl.symptomatic for pl in plans])
+        assert abs(rate - 0.30) < 0.04
+
+    def test_burst_offsets_inside_window(self, rng):
+        p = FailureSymptomParams()
+        for pl in _plans(p, FailureMode.DEFECT, rng, n=300):
+            if pl.burst_offsets.size:
+                assert pl.burst_offsets.max() < p.burst_window_days
+                assert pl.burst_offsets.min() >= 0
+
+    def test_burst_probability_decays_with_offset(self, rng):
+        p = FailureSymptomParams()
+        counts = np.zeros(p.burst_window_days)
+        plans = _plans(p, FailureMode.WEAR, rng, n=6000)
+        for pl in plans:
+            counts[pl.burst_offsets] += 1
+        sympt = sum(pl.symptomatic for pl in plans)
+        # Day-0 burst rate near the configured peak; decayed by day 5.
+        assert counts[0] / sympt > 0.8 * p.burst_peak_prob_old
+        assert counts[5] < counts[0] * 0.3
+
+    def test_young_symptomatic_gets_lifelong_boost(self, rng):
+        p = FailureSymptomParams()
+        for pl in _plans(p, FailureMode.DEFECT, rng, n=300):
+            if pl.symptomatic:
+                assert pl.lifelong_boost == p.young_lifelong_error_boost
+            else:
+                assert pl.lifelong_boost == 1.0
+
+    def test_old_failures_never_boosted(self, rng):
+        for pl in _plans(FailureSymptomParams(), FailureMode.WEAR, rng, n=300):
+            assert pl.lifelong_boost == 1.0
+
+    def test_bad_block_only_channel_fires_for_silent(self, rng):
+        p = FailureSymptomParams(old_symptomatic_prob=0.0, bad_block_only_prob=0.5)
+        plans = _plans(p, FailureMode.WEAR, rng)
+        with_bb = np.mean([pl.bad_block_offsets.size > 0 for pl in plans])
+        assert 0.3 < with_bb < 0.55  # 0.5 minus the chance of zero fires
+
+    def test_decline_days_bounded_by_period(self, rng):
+        p = FailureSymptomParams(
+            activity_decline_prob_symptomatic=1.0,
+            activity_decline_prob_silent=1.0,
+        )
+        for pl in _plans(p, FailureMode.WEAR, rng, n=300, period_len=3):
+            assert pl.decline_days <= 3
+
+    def test_dead_flag_rate(self, rng):
+        p = FailureSymptomParams(dead_flag_prob=0.5)
+        plans = _plans(p, FailureMode.WEAR, rng)
+        rate = np.mean([pl.dead_flag for pl in plans])
+        assert abs(rate - 0.5) < 0.05
+
+    def test_none_constructor(self):
+        plan = SymptomPlan.none()
+        assert plan.read_only_from_offset is None
+        assert plan.bad_block_offsets.size == 0

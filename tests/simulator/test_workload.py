@@ -1,0 +1,90 @@
+"""Tests for the workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulator import WorkloadParams, generate_workload, sample_workload_latents
+from repro.simulator.workload import intensity_profile
+
+
+class TestIntensityProfile:
+    def test_ramp_rises_from_floor(self):
+        p = WorkloadParams()
+        prof = intensity_profile(p, np.array([0.0, p.ramp_days / 2, p.ramp_days]))
+        assert prof[0] == pytest.approx(p.ramp_floor)
+        assert prof[0] < prof[1] < prof[2]
+        assert prof[2] == pytest.approx(1.0)
+
+    def test_plateau_then_decay(self):
+        p = WorkloadParams()
+        plateau = intensity_profile(p, np.array([p.ramp_days + 10.0]))[0]
+        old = intensity_profile(p, np.array([2190.0]))[0]
+        assert plateau == pytest.approx(1.0)
+        assert p.decay_floor <= old < 1.0
+
+    def test_monotone_on_ramp(self):
+        p = WorkloadParams()
+        ages = np.arange(0, p.ramp_days)
+        prof = intensity_profile(p, ages)
+        assert (np.diff(prof) >= 0).all()
+
+
+class TestGenerateWorkload:
+    def test_shapes_and_nonnegativity(self, rng):
+        p = WorkloadParams()
+        lat = sample_workload_latents(p, rng)
+        w = generate_workload(p, lat, np.arange(200), rng)
+        for arr in (w.read_count, w.write_count, w.erase_count, w.pe_increment):
+            assert arr.shape == (200,)
+            assert (arr >= 0).all()
+
+    def test_erases_track_writes(self, rng):
+        p = WorkloadParams()
+        lat = sample_workload_latents(p, rng)
+        w = generate_workload(p, lat, np.arange(500, 700), rng)
+        busy = w.write_count > 0
+        ratio = w.erase_count[busy] / w.write_count[busy]
+        assert np.allclose(ratio, 1.0 / p.pages_per_block, rtol=0.01)
+
+    def test_pe_increment_consistent_with_erases(self, rng):
+        p = WorkloadParams()
+        lat = sample_workload_latents(p, rng)
+        w = generate_workload(p, lat, np.arange(100), rng)
+        # pe_increment derives from the *unrounded* erase rate, so allow
+        # rounding slack.
+        assert np.allclose(
+            w.pe_increment * p.blocks_per_drive, w.erase_count, atol=1.0
+        )
+
+    def test_idle_days_occur_and_are_zero(self, rng):
+        p = WorkloadParams(idle_day_prob=0.2)
+        lat = sample_workload_latents(p, rng)
+        w = generate_workload(p, lat, np.arange(2000), rng)
+        idle = w.write_count == 0
+        assert 0.1 < idle.mean() < 0.3
+        assert (w.read_count[idle] == 0).all()
+
+    def test_young_drives_write_less_on_median(self, rng):
+        """Figure 7: no burn-in — infancy sees *fewer* writes."""
+        p = WorkloadParams()
+        young_meds, old_meds = [], []
+        for _ in range(40):
+            lat = sample_workload_latents(p, rng)
+            wy = generate_workload(p, lat, np.arange(0, 30), rng)
+            wo = generate_workload(p, lat, np.arange(400, 430), rng)
+            young_meds.append(np.median(wy.write_count))
+            old_meds.append(np.median(wo.write_count))
+        assert np.median(young_meds) < 0.6 * np.median(old_meds)
+
+    def test_activity_scale_shifts_whole_drive(self, rng):
+        p = WorkloadParams(daily_sigma=0.01, idle_day_prob=0.0)
+        from repro.simulator.workload import WorkloadLatents
+
+        lo = WorkloadLatents(activity_scale=0.5, read_ratio=2.0)
+        hi = WorkloadLatents(activity_scale=2.0, read_ratio=2.0)
+        ages = np.arange(400, 500)
+        w_lo = generate_workload(p, lo, ages, rng)
+        w_hi = generate_workload(p, hi, ages, rng)
+        assert w_hi.write_count.mean() > 3.0 * w_lo.write_count.mean()

@@ -1,0 +1,50 @@
+"""Tests for bootstrap confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import bootstrap_ci
+
+
+class TestBootstrapCI:
+    def test_point_estimate_matches_statistic(self, rng):
+        x = rng.normal(5.0, 1.0, size=200)
+        res = bootstrap_ci(x, np.mean, n_resamples=200, seed=0)
+        assert res.estimate == pytest.approx(x.mean())
+
+    def test_interval_contains_estimate_for_mean(self, rng):
+        x = rng.normal(size=300)
+        res = bootstrap_ci(x, np.mean, n_resamples=300, seed=1)
+        assert res.low <= res.estimate <= res.high
+
+    def test_interval_width_shrinks_with_sample_size(self, rng):
+        small = bootstrap_ci(rng.normal(size=30), np.mean, 400, seed=2)
+        large = bootstrap_ci(rng.normal(size=3000), np.mean, 400, seed=2)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_deterministic_given_seed(self, rng):
+        x = rng.exponential(size=100)
+        a = bootstrap_ci(x, np.median, 100, seed=7)
+        b = bootstrap_ci(x, np.median, 100, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_coverage_roughly_nominal(self):
+        """~95% of 95% CIs for the mean should contain the true mean."""
+        hits = 0
+        trials = 60
+        master = np.random.default_rng(0)
+        for t in range(trials):
+            x = master.normal(0.0, 1.0, size=80)
+            res = bootstrap_ci(x, np.mean, n_resamples=200, level=0.95, seed=t)
+            hits += res.low <= 0.0 <= res.high
+        assert hits / trials > 0.80  # generous: small resample count
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([]), np.mean)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(3), np.mean, level=1.5)
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.ones(3), np.mean, n_resamples=0)

@@ -1,0 +1,112 @@
+"""Tests for rank statistics against scipy references and closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats import rankdata, spearman, spearman_matrix
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRankdata:
+    def test_simple(self):
+        assert rankdata(np.array([30, 10, 20])).tolist() == [3, 1, 2]
+
+    def test_ties_averaged(self):
+        assert rankdata(np.array([1, 2, 2, 3])).tolist() == [1, 2.5, 2.5, 4]
+
+    def test_all_equal(self):
+        out = rankdata(np.full(5, 7.0))
+        assert np.allclose(out, 3.0)
+
+    def test_empty(self):
+        assert rankdata(np.array([])).shape == (0,)
+
+    @settings(max_examples=60, deadline=None)
+    @given(hnp.arrays(np.float64, st.integers(1, 200), elements=finite_floats))
+    def test_matches_scipy(self, x):
+        assert np.allclose(rankdata(x), scipy.stats.rankdata(x, method="average"))
+
+
+class TestSpearman:
+    def test_perfect_monotone(self):
+        x = np.arange(10.0)
+        assert spearman(x, x**3) == pytest.approx(1.0)
+        assert spearman(x, -np.exp(x / 3)) == pytest.approx(-1.0)
+
+    def test_constant_input_gives_nan(self):
+        assert np.isnan(spearman(np.ones(5), np.arange(5)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spearman(np.arange(3), np.arange(4))
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            spearman(np.array([1.0]), np.array([2.0]))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(3, 120), elements=finite_floats),
+        st.integers(0, 2**31 - 1),
+    )
+    def test_matches_scipy(self, x, seed):
+        y = np.random.default_rng(seed).permutation(x) + 0.5
+        ours = spearman(x, y)
+        theirs = scipy.stats.spearmanr(x, y).statistic
+        if np.isnan(theirs):
+            assert np.isnan(ours)
+        else:
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_invariant_under_monotone_transform(self, rng):
+        x = rng.normal(size=100)
+        y = rng.normal(size=100)
+        base = spearman(x, y)
+        assert spearman(np.exp(x), y) == pytest.approx(base)
+        assert spearman(x, 3 * y + 7) == pytest.approx(base)
+
+
+class TestSpearmanMatrix:
+    def test_matches_pairwise(self, rng):
+        cols = {
+            "a": rng.normal(size=80),
+            "b": rng.exponential(size=80),
+            "c": rng.integers(0, 3, size=80).astype(float),
+        }
+        names, rho = spearman_matrix(cols)
+        for i, ni in enumerate(names):
+            for j, nj in enumerate(names):
+                if i == j:
+                    assert rho[i, j] == pytest.approx(1.0)
+                else:
+                    assert rho[i, j] == pytest.approx(
+                        spearman(cols[ni], cols[nj]), abs=1e-9
+                    )
+
+    def test_symmetry(self, rng):
+        cols = {f"c{i}": rng.normal(size=50) for i in range(4)}
+        _, rho = spearman_matrix(cols)
+        assert np.allclose(rho, rho.T)
+
+    def test_constant_column_nan(self, rng):
+        cols = {"a": rng.normal(size=20), "b": np.ones(20)}
+        names, rho = spearman_matrix(cols)
+        i, j = names.index("a"), names.index("b")
+        assert np.isnan(rho[i, j])
+
+    def test_empty(self):
+        names, rho = spearman_matrix({})
+        assert names == [] and rho.shape == (0, 0)
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            spearman_matrix({"a": np.arange(5), "b": np.arange(6)})

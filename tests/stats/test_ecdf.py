@@ -1,0 +1,93 @@
+"""Tests for ECDF and censored ECDF."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.stats import censored_ecdf, ecdf
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+
+class TestECDF:
+    def test_basic_evaluation(self):
+        f = ecdf(np.array([1.0, 2.0, 2.0, 4.0]))
+        assert f(0.5) == 0.0
+        assert f(1.0) == 0.25
+        assert f(2.0) == 0.75
+        assert f(3.0) == 0.75
+        assert f(4.0) == 1.0
+        assert f(100.0) == 1.0
+
+    def test_vectorized_evaluation(self):
+        f = ecdf(np.array([1.0, 3.0]))
+        out = f(np.array([0.0, 1.0, 2.0, 3.0]))
+        assert out.tolist() == [0.0, 0.5, 0.5, 1.0]
+
+    def test_quantile_inverse(self):
+        f = ecdf(np.array([10.0, 20.0, 30.0, 40.0]))
+        assert f.quantile(0.25) == 10.0
+        assert f.quantile(0.5) == 20.0
+        assert f.quantile(1.0) == 40.0
+
+    def test_quantile_bounds(self):
+        f = ecdf(np.array([1.0]))
+        with pytest.raises(ValueError):
+            f.quantile(1.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ecdf(np.array([]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ecdf(np.array([1.0, np.nan]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(hnp.arrays(np.float64, st.integers(1, 300), elements=finite))
+    def test_property_monotone_and_bounded(self, x):
+        f = ecdf(x)
+        assert (np.diff(f.y) >= 0).all()
+        assert f.y[-1] == pytest.approx(1.0)
+        assert f(np.min(x) - 1) == 0.0
+        assert f(np.max(x)) == pytest.approx(1.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 200), elements=finite),
+        st.floats(0.01, 0.99),
+    )
+    def test_property_quantile_consistency(self, x, p):
+        """P(X <= quantile(p)) >= p, and quantile is a sample value."""
+        f = ecdf(x)
+        q = f.quantile(p)
+        assert f(q) >= p - 1e-12
+        assert q in x
+
+
+class TestCensoredECDF:
+    def test_censored_mass(self):
+        f = censored_ecdf(np.array([1.0, 2.0, np.nan, np.inf]))
+        assert f.censored_mass == pytest.approx(0.5)
+        assert f(2.0) == pytest.approx(0.5)
+        assert f(100.0) == pytest.approx(0.5)  # plateaus below 1
+
+    def test_all_censored(self):
+        f = censored_ecdf(np.array([np.nan, np.nan]))
+        assert f.censored_mass == 1.0
+        assert f.n_finite == 0
+
+    def test_no_censoring_matches_ecdf(self, rng):
+        x = rng.exponential(size=100)
+        f1 = censored_ecdf(x)
+        f2 = ecdf(x)
+        q = rng.exponential(size=20)
+        assert np.allclose(f1(q), f2(q))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            censored_ecdf(np.array([]))

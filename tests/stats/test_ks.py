@@ -1,0 +1,61 @@
+"""Tests for the two-sample KS test against scipy and closed forms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.stats
+
+from repro.stats import ks_two_sample
+
+
+class TestKSTwoSample:
+    def test_identical_samples(self, rng):
+        x = rng.normal(size=500)
+        res = ks_two_sample(x, x)
+        assert res.statistic == 0.0
+        assert res.pvalue == pytest.approx(1.0)
+
+    def test_same_distribution_not_significant(self, rng):
+        a = rng.normal(size=2000)
+        b = rng.normal(size=2000)
+        res = ks_two_sample(a, b)
+        assert not res.significant(alpha=1e-4)
+
+    def test_shifted_distribution_detected(self, rng):
+        a = rng.normal(0, 1, size=2000)
+        b = rng.normal(0.5, 1, size=2000)
+        res = ks_two_sample(a, b)
+        assert res.significant(alpha=1e-4)
+        assert res.statistic > 0.1
+
+    def test_statistic_matches_scipy(self, rng):
+        for _ in range(5):
+            a = rng.exponential(size=rng.integers(20, 300))
+            b = rng.normal(size=rng.integers(20, 300))
+            ours = ks_two_sample(a, b)
+            theirs = scipy.stats.ks_2samp(a, b)
+            assert ours.statistic == pytest.approx(theirs.statistic, abs=1e-12)
+
+    def test_pvalue_close_to_scipy_asymptotic(self, rng):
+        a = rng.normal(0, 1, size=800)
+        b = rng.normal(0.15, 1, size=900)
+        ours = ks_two_sample(a, b)
+        theirs = scipy.stats.ks_2samp(a, b, method="asymp")
+        assert ours.pvalue == pytest.approx(theirs.pvalue, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ks_two_sample(np.array([]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            ks_two_sample(np.array([np.nan]), np.array([1.0]))
+
+    def test_pvalue_uniform_under_null(self):
+        """Under H0 the p-value should not be systematically tiny."""
+        master = np.random.default_rng(0)
+        pvals = []
+        for _ in range(50):
+            a = master.normal(size=150)
+            b = master.normal(size=150)
+            pvals.append(ks_two_sample(a, b).pvalue)
+        assert np.mean(np.asarray(pvals) < 0.05) < 0.25

@@ -1,0 +1,69 @@
+"""Tests for binned quantile bands."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stats import binned_quantiles
+
+
+class TestBinnedQuantiles:
+    def test_matches_numpy_per_bin(self, rng):
+        cov = rng.uniform(0, 10, size=500)
+        val = rng.normal(size=500)
+        edges = np.linspace(0, 10, 6)
+        bands = binned_quantiles(cov, val, edges, levels=(0.25, 0.5, 0.75))
+        for b in range(5):
+            lo, hi = edges[b], edges[b + 1]
+            m = (cov >= lo) & (cov < hi) if b < 4 else (cov >= lo) & (cov <= hi)
+            if m.sum():
+                expected = np.quantile(val[m], [0.25, 0.5, 0.75])
+                assert np.allclose(bands.values[b], expected)
+                assert bands.counts[b] == m.sum()
+
+    def test_empty_bin_is_nan(self):
+        bands = binned_quantiles(
+            np.array([0.5, 2.5]), np.array([1.0, 2.0]), np.array([0.0, 1.0, 2.0, 3.0])
+        )
+        assert np.isnan(bands.values[1]).all()
+        assert bands.counts[1] == 0
+
+    def test_out_of_range_ignored(self):
+        bands = binned_quantiles(
+            np.array([-5.0, 0.5, 99.0]),
+            np.array([1.0, 2.0, 3.0]),
+            np.array([0.0, 1.0]),
+        )
+        assert bands.counts.tolist() == [1]
+        assert bands.values[0, 1] == 2.0  # median of the single in-range value
+
+    def test_right_edge_inclusive(self):
+        bands = binned_quantiles(
+            np.array([2.0]), np.array([7.0]), np.array([0.0, 1.0, 2.0])
+        )
+        assert bands.counts.tolist() == [0, 1]
+
+    def test_level_accessor(self, rng):
+        bands = binned_quantiles(
+            rng.uniform(0, 1, 50), rng.normal(size=50), np.array([0.0, 1.0])
+        )
+        assert bands.level(0.5).shape == (1,)
+        with pytest.raises(KeyError):
+            bands.level(0.99)
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            binned_quantiles(np.zeros(3), np.zeros(4), np.array([0.0, 1.0]))
+
+    def test_bad_levels_rejected(self):
+        with pytest.raises(ValueError):
+            binned_quantiles(
+                np.zeros(3), np.zeros(3), np.array([0.0, 1.0]), levels=(1.5,)
+            )
+
+    def test_centers(self):
+        bands = binned_quantiles(
+            np.array([0.5]), np.array([1.0]), np.array([0.0, 1.0, 2.0])
+        )
+        assert bands.centers.tolist() == [0.5, 1.5]

@@ -1,0 +1,91 @@
+"""Tests for the Kaplan-Meier estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import kaplan_meier
+
+
+class TestKaplanMeier:
+    def test_no_censoring_matches_ecdf(self, rng):
+        x = rng.exponential(10.0, size=300)
+        km = kaplan_meier(x, np.ones(300, dtype=bool))
+        from repro.stats import ecdf
+
+        f = ecdf(x)
+        q = rng.exponential(10.0, size=30)
+        assert np.allclose(km.cdf(q), f(q), atol=1e-12)
+
+    def test_textbook_example(self):
+        # Classic toy: times 1,2+,3,4+ (plus = censored).
+        km = kaplan_meier(
+            np.array([1.0, 2.0, 3.0, 4.0]),
+            np.array([True, False, True, False]),
+        )
+        # S(1) = 3/4; S(3) = 3/4 * 1/2 = 3/8.
+        assert km(1.0) == pytest.approx(0.75)
+        assert km(3.5) == pytest.approx(0.375)
+        assert km(0.5) == 1.0
+
+    def test_heavy_censoring_flattens_curve(self, rng):
+        x = rng.exponential(10.0, size=500)
+        obs = rng.random(500) < 0.2
+        km = kaplan_meier(x, obs)
+        # With 80% censoring the estimated failure CDF at the median
+        # duration is far below the uncensored ECDF value.
+        assert km.cdf(float(np.median(x))) < 0.5
+
+    def test_unbiased_under_random_censoring(self):
+        """KM recovers the true distribution despite censoring; the naive
+        censored ECDF underestimates it (the motivation for KM)."""
+        rng = np.random.default_rng(1)
+        n = 20_000
+        true_t = rng.exponential(100.0, size=n)
+        censor_t = rng.uniform(0, 300.0, size=n)
+        obs = true_t <= censor_t
+        dur = np.minimum(true_t, censor_t)
+        km = kaplan_meier(dur, obs)
+        truth = 1.0 - np.exp(-150.0 / 100.0)
+        assert km.cdf(150.0) == pytest.approx(truth, abs=0.03)
+        naive = np.mean(obs & (dur <= 150.0))
+        assert naive < truth - 0.05
+
+    def test_median(self, rng):
+        x = rng.exponential(10.0, size=4000)
+        km = kaplan_meier(x, np.ones(4000, dtype=bool))
+        assert km.median() == pytest.approx(10.0 * np.log(2), rel=0.15)
+
+    def test_median_inf_when_censored_early(self):
+        km = kaplan_meier(np.array([5.0, 6.0]), np.array([False, False]))
+        assert km.median() == float("inf")
+
+    def test_greenwood_variance_positive(self, rng):
+        x = rng.exponential(size=100)
+        obs = rng.random(100) < 0.7
+        if not obs.any():
+            obs[0] = True
+        km = kaplan_meier(x, obs)
+        assert km.greenwood_variance(float(np.median(x))) >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([1.0, 2.0]), np.array([True]))
+        with pytest.raises(ValueError):
+            kaplan_meier(np.array([-1.0]), np.array([True]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 200), st.integers(0, 10_000))
+    def test_property_monotone_decreasing_in_unit_interval(self, n, seed):
+        rng = np.random.default_rng(seed)
+        dur = rng.exponential(5.0, size=n)
+        obs = rng.random(n) < 0.6
+        km = kaplan_meier(dur, obs)
+        if km.times.size:
+            assert (np.diff(km.survival) <= 1e-12).all()
+            assert (km.survival >= 0).all() and (km.survival <= 1).all()

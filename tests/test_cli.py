@@ -1,0 +1,96 @@
+"""End-to-end tests of the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def trace_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("fleet")
+    code = main(
+        [
+            "simulate",
+            "--out",
+            str(out),
+            "--drives",
+            "50",
+            "--days",
+            "600",
+            "--deploy-spread",
+            "200",
+            "--seed",
+            "4",
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "--out", "x"])
+        assert args.command == "simulate"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_simulate_writes_files(self, trace_dir):
+        for name in ("records.npz", "drives.npz", "swaps.npz"):
+            assert (trace_dir / name).exists()
+
+    def test_report(self, trace_dir, capsys):
+        assert main(["report", "--trace", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Figure 6" in out
+
+    def test_audit(self, trace_dir, capsys):
+        code = main(["audit", "--trace", str(trace_dir)])
+        out = capsys.readouterr().out
+        assert "Obs  1" in out
+        assert code in (0, 1)  # tiny fleets may fail marginal observations
+
+    def test_train_then_score(self, trace_dir, tmp_path, capsys):
+        model = tmp_path / "model.pkl"
+        assert (
+            main(
+                [
+                    "train",
+                    "--trace",
+                    str(trace_dir),
+                    "--model",
+                    str(model),
+                    "--lookahead",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        assert model.exists()
+        assert (
+            main(
+                [
+                    "score",
+                    "--trace",
+                    str(trace_dir),
+                    "--model",
+                    str(model),
+                    "--top",
+                    "5",
+                    "--threshold",
+                    "0.99",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "P(fail" in out
+        assert "alpha=0.99" in out

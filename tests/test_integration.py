@@ -1,0 +1,54 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.core import FailurePredictor, build_prediction_dataset
+from repro.data import load_dataset_npz, load_swaplog_npz, save_dataset_npz, save_swaplog_npz
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        assert callable(repro.simulate_fleet)
+        assert repro.FailurePredictor is FailurePredictor
+
+
+class TestEndToEnd:
+    def test_simulate_persist_reload_train_predict(self, tmp_path, medium_trace):
+        """The full user journey: simulate -> save -> load -> train -> score."""
+        save_dataset_npz(medium_trace.records, tmp_path / "records.npz")
+        save_swaplog_npz(medium_trace.swaps, tmp_path / "swaps.npz")
+        records = load_dataset_npz(tmp_path / "records.npz")
+        swaps = load_swaplog_npz(tmp_path / "swaps.npz")
+
+        predictor = FailurePredictor(lookahead=2, seed=0).fit((records, swaps))
+        report = predictor.risk_report(records)
+        assert len(report.drive_id) == records.n_drives()
+
+        # Drives that are about to fail should concentrate at the top of
+        # the in-sample risk ranking.
+        ds = build_prediction_dataset((records, swaps), lookahead=2)
+        scores = predictor.predict_proba_dataset(ds)
+        pos_rank = scores[ds.y == 1].mean()
+        neg_rank = scores[ds.y == 0].mean()
+        assert pos_rank > neg_rank
+
+    def test_characterization_pipeline_runs_on_loaded_trace(
+        self, tmp_path, small_trace
+    ):
+        from repro.analysis import figure6, table3
+
+        save_dataset_npz(small_trace.records, tmp_path / "r.npz")
+        records = load_dataset_npz(tmp_path / "r.npz")
+        assert np.array_equal(
+            records["age_days"], small_trace.records["age_days"]
+        )
+        t3 = table3(small_trace)
+        f6 = figure6(small_trace)
+        assert t3.n_failures["All"] == len(small_trace.swaps)
+        assert 0 <= f6.infant_share_90d <= 1
