@@ -1,15 +1,21 @@
-"""Command-line interface: simulate, report, train, score, audit.
+"""Command-line interface: simulate, report, train, score, audit, inject.
 
 Wraps the library's main workflows for shell use::
 
     repro-ssd simulate --out fleet/ --drives 300 --days 1460 --seed 7
+    repro-ssd simulate --out fleet/ --resume          # continue a killed run
     repro-ssd report   --trace fleet/
-    repro-ssd audit    --trace fleet/
+    repro-ssd audit    --trace fleet/ --deep          # telemetry validation
+    repro-ssd inject   --trace fleet/ --out dirty/ --faults value_spikes
     repro-ssd train    --trace fleet/ --model model.pkl --lookahead 3
     repro-ssd score    --trace fleet/ --model model.pkl --top 10
 
 A "trace directory" holds the three NPZ files written by ``simulate``:
 ``records.npz``, ``drives.npz``, ``swaps.npz``.
+
+Exit codes: 0 success; 1 a requested analysis/validation found failures;
+2 the trace or model is missing, corrupt, or rejected by the ``strict``
+policy.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ import numpy as np
 from .analysis import check_observations, figure6, table1, table3, table4, table5
 from .core import FailurePredictor
 from .data import (
+    TraceIntegrityError,
+    load_dataset_checked,
     load_dataset_npz,
     load_drivetable_npz,
     load_swaplog_npz,
@@ -31,13 +39,43 @@ from .data import (
     save_drivetable_npz,
     save_swaplog_npz,
 )
-from .simulator import FleetConfig, FleetTrace, simulate_fleet
+from .reliability import (
+    DEFAULT_RATES,
+    FAULT_CLASSES,
+    CheckpointStore,
+    FaultInjector,
+    TraceValidationError,
+    atomic_write,
+    simulate_fleet_resumable,
+    validate_trace,
+)
+from .simulator import FleetConfig, FleetTrace
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "CLIError"]
 
 
-def _load_trace(path: Path) -> FleetTrace:
-    records = load_dataset_npz(path / "records.npz")
+class CLIError(RuntimeError):
+    """Actionable user-facing error; printed as one line, exit code 2."""
+
+
+def _require_trace_dir(path: Path) -> Path:
+    if not path.is_dir():
+        raise CLIError(
+            f"trace directory {path} does not exist or is not a directory "
+            "(create one with `repro-ssd simulate --out ...`)"
+        )
+    return path
+
+
+def _load_trace(path: Path, policy: str | None = None) -> FleetTrace:
+    _require_trace_dir(path)
+    if policy is None or policy == "off":
+        records = load_dataset_npz(path / "records.npz")
+    else:
+        result = load_dataset_checked(path / "records.npz", policy=policy)
+        records = result.dataset
+        if result.actions:
+            print(result.summary(), file=sys.stderr)
     drives = load_drivetable_npz(path / "drives.npz")
     swaps = load_swaplog_npz(path / "swaps.npz")
     horizon = int((drives.deploy_day + drives.end_of_observation_age).max())
@@ -56,20 +94,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         deploy_spread_days=args.deploy_spread,
         seed=args.seed,
     )
-    print(f"Simulating fleet: {config} ...")
-    trace = simulate_fleet(config)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    print(f"Simulating fleet: {config} ...")
+
+    def progress(done: int, total: int) -> None:
+        print(f"  checkpoint {done}/{total}", flush=True)
+
+    ckpt_dir = out / ".checkpoints"
+    trace = simulate_fleet_resumable(
+        config,
+        checkpoint_dir=ckpt_dir,
+        chunk_size=args.checkpoint_every,
+        resume=args.resume,
+        progress=progress if args.verbose else None,
+    )
     save_dataset_npz(trace.records, out / "records.npz")
     save_drivetable_npz(trace.drives, out / "drives.npz")
     save_swaplog_npz(trace.swaps, out / "swaps.npz")
+    CheckpointStore(directory=ckpt_dir, digest="", n_chunks=0).cleanup()
     print(trace.summary())
     print(f"Wrote {out}/records.npz, drives.npz, swaps.npz")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    trace = _load_trace(Path(args.trace))
+    trace = _load_trace(Path(args.trace), policy=args.policy)
     print(trace.summary())
     print("\n=== Error incidence (Table 1) ===")
     print(table1(trace).render())
@@ -85,14 +135,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
+    trace_dir = _require_trace_dir(Path(args.trace))
+    deep_ok = True
+    if args.deep:
+        from .data import load_raw_columns_npz
+
+        cols = load_raw_columns_npz(trace_dir / "records.npz")
+        drives = load_drivetable_npz(trace_dir / "drives.npz")
+        swaps = load_swaplog_npz(trace_dir / "swaps.npz")
+        validation = validate_trace(
+            cols, drives, swaps, max_gap_days=args.max_gap_days
+        )
+        print("=== Telemetry validation (audit --deep) ===")
+        print(validation.render())
+        print()
+        deep_ok = validation.ok
+        if not deep_ok:
+            print("Trace failed telemetry validation; skipping observation "
+                  "checks (repair the trace or reload with --policy repair).")
+            return 1
     trace = _load_trace(Path(args.trace))
     report = check_observations(trace, include_ml=args.ml, seed=args.seed)
     print(report.render())
-    return 0 if report.all_hold else 1
+    return 0 if (report.all_hold and deep_ok) else 1
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    trace = _load_trace(Path(args.trace))
+    trace = _load_trace(Path(args.trace), policy=args.policy)
     predictor = FailurePredictor(
         lookahead=args.lookahead,
         age_partitioned=args.age_partitioned,
@@ -104,16 +173,32 @@ def _cmd_train(args: argparse.Namespace) -> int:
         result = predictor.cross_validate(trace, n_splits=args.cv)
         print(f"Cross-validated ROC AUC: {result.mean_auc:.3f} ± {result.std_auc:.3f}")
     predictor.fit(trace)
-    with open(args.model, "wb") as fh:
+    with atomic_write(args.model, "wb") as fh:
         pickle.dump(predictor, fh)
     print(f"Wrote model to {args.model}")
     return 0
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
-    with open(args.model, "rb") as fh:
-        predictor: FailurePredictor = pickle.load(fh)
-    records = load_dataset_npz(Path(args.trace) / "records.npz")
+    model_path = Path(args.model)
+    if not model_path.exists():
+        raise CLIError(
+            f"model file {model_path} does not exist "
+            "(train one with `repro-ssd train --model ...`)"
+        )
+    try:
+        with open(model_path, "rb") as fh:
+            predictor: FailurePredictor = pickle.load(fh)
+    except (pickle.UnpicklingError, EOFError) as exc:
+        raise CLIError(
+            f"model file {model_path} is not a readable predictor pickle ({exc})"
+        ) from None
+    trace_dir = _require_trace_dir(Path(args.trace))
+    if args.policy and args.policy != "off":
+        result = load_dataset_checked(trace_dir / "records.npz", policy=args.policy)
+        records = result.dataset
+    else:
+        records = load_dataset_npz(trace_dir / "records.npz")
     report = predictor.risk_report(records).top(args.top)
     print(f"{'drive':>8s} {'age (d)':>8s} {'P(fail <= %dd)' % predictor.lookahead:>16s}")
     for did, age, p in zip(report.drive_id, report.age_days, report.probability):
@@ -122,6 +207,23 @@ def _cmd_score(args: argparse.Namespace) -> int:
         flagged = predictor.risk_report(records).flagged(args.threshold)
         print(f"\n{len(flagged)} drive(s) above alpha={args.threshold}: "
               f"{np.sort(flagged).tolist()}")
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    trace_dir = _require_trace_dir(Path(args.trace))
+    classes = [c.strip() for c in args.faults.split(",") if c.strip()]
+    unknown = [c for c in classes if c not in FAULT_CLASSES]
+    if unknown:
+        raise CLIError(
+            f"unknown fault class(es) {', '.join(unknown)}; "
+            f"choose from {', '.join(FAULT_CLASSES)}"
+        )
+    rates = {c: args.rate for c in classes} if args.rate is not None else None
+    injector = FaultInjector(seed=args.seed)
+    result = injector.corrupt_trace(trace_dir, Path(args.out), classes, rates)
+    print(result.summary())
+    print(f"Wrote corrupted trace to {args.out}")
     return 0
 
 
@@ -134,23 +236,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    policy_kwargs = dict(
+        choices=("off", "strict", "repair", "quarantine"),
+        default="off",
+        help="telemetry repair policy applied at load time (default: off)",
+    )
+
     p_sim = sub.add_parser("simulate", help="simulate a fleet and write NPZ files")
     p_sim.add_argument("--out", required=True, help="output directory")
     p_sim.add_argument("--drives", type=int, default=200, help="drives per model")
     p_sim.add_argument("--days", type=int, default=1460, help="trace horizon (days)")
     p_sim.add_argument("--deploy-spread", type=int, default=700)
     p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from the checkpoints of a killed run with the same "
+        "parameters (the result is identical to an uninterrupted run)",
+    )
+    p_sim.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=64,
+        metavar="DRIVES",
+        help="drives per checkpointed chunk (default: 64)",
+    )
+    p_sim.add_argument("--verbose", action="store_true", help="progress lines")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_rep = sub.add_parser("report", help="characterization report of a trace")
     p_rep.add_argument("--trace", required=True, help="trace directory")
+    p_rep.add_argument("--policy", **policy_kwargs)
     p_rep.set_defaults(func=_cmd_report)
 
     p_aud = sub.add_parser("audit", help="check the paper's Observations 1-13")
     p_aud.add_argument("--trace", required=True)
     p_aud.add_argument("--ml", action="store_true", help="include Obs 12-13 (slow)")
+    p_aud.add_argument(
+        "--deep",
+        action="store_true",
+        help="also run the telemetry schema/invariant validator",
+    )
+    p_aud.add_argument(
+        "--max-gap-days",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --deep, also flag per-drive reporting gaps longer than N days",
+    )
     p_aud.add_argument("--seed", type=int, default=0)
     p_aud.set_defaults(func=_cmd_audit)
+
+    p_inj = sub.add_parser(
+        "inject", help="write a fault-injected copy of a trace (robustness drills)"
+    )
+    p_inj.add_argument("--trace", required=True, help="clean trace directory")
+    p_inj.add_argument("--out", required=True, help="corrupted output directory")
+    p_inj.add_argument(
+        "--faults",
+        default="missing_days,duplicate_rows,value_spikes",
+        help=f"comma-separated fault classes from: {', '.join(FAULT_CLASSES)}",
+    )
+    p_inj.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="override the per-class default rates "
+        f"({', '.join(f'{k}={v}' for k, v in DEFAULT_RATES.items())})",
+    )
+    p_inj.add_argument("--seed", type=int, default=0)
+    p_inj.set_defaults(func=_cmd_inject)
 
     p_tr = sub.add_parser("train", help="train and save a failure predictor")
     p_tr.add_argument("--trace", required=True)
@@ -159,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--age-partitioned", action="store_true")
     p_tr.add_argument("--cv", type=int, default=0, help="also report k-fold AUC")
     p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--policy", **policy_kwargs)
     p_tr.set_defaults(func=_cmd_train)
 
     p_sc = sub.add_parser("score", help="rank a fleet by failure risk")
@@ -166,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--model", required=True, help="trained model pickle")
     p_sc.add_argument("--top", type=int, default=10)
     p_sc.add_argument("--threshold", type=float, default=None)
+    p_sc.add_argument("--policy", **policy_kwargs)
     p_sc.set_defaults(func=_cmd_score)
     return parser
 
@@ -176,6 +333,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return int(args.func(args))
+    except (CLIError, TraceIntegrityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TraceValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.report is not None:
+            print(exc.report.render(), file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: missing file: {exc.filename or exc}", file=sys.stderr)
+        return 2
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): exit quietly.
         try:

@@ -96,7 +96,11 @@ def build_prediction_dataset(
     """Build the supervised dataset for a given lookahead window ``N``.
 
     Post-failure limbo rows are dropped; everything else becomes one
-    training/evaluation row.
+    training/evaluation row.  Rows flagged by the quarantine repair
+    policy (a ``quarantined`` column written by
+    :func:`repro.reliability.repair.apply_policy`) are excluded the same
+    way limbo rows are: their telemetry is untrusted, so they must feed
+    neither training nor evaluation.
     """
     if isinstance(trace, FleetTrace):
         records, swaps = trace.records, trace.swaps
@@ -104,6 +108,8 @@ def build_prediction_dataset(
         records, swaps = trace
     frame: FeatureFrame = build_features(records)
     y, keep = label_dataset(records, swaps, lookahead)
+    if "quarantined" in records:
+        keep = keep & (np.asarray(records["quarantined"]) == 0)
     kept = frame.select_rows(keep)
     return PredictionDataset(
         X=kept.X,

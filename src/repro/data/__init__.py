@@ -21,9 +21,12 @@ from .fields import (
     WORKLOAD_FIELDS,
 )
 from .io import (
+    TraceIntegrityError,
     export_dataset_csv,
+    load_dataset_checked,
     load_dataset_npz,
     load_drivetable_npz,
+    load_raw_columns_npz,
     load_swaplog_npz,
     save_dataset_npz,
     save_drivetable_npz,
@@ -55,8 +58,11 @@ __all__ = [
     "SMART_COLUMNS",
     "export_smart_csv",
     "to_smart_table",
+    "TraceIntegrityError",
     "save_dataset_npz",
     "load_dataset_npz",
+    "load_dataset_checked",
+    "load_raw_columns_npz",
     "export_dataset_csv",
     "save_swaplog_npz",
     "load_swaplog_npz",

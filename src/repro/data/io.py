@@ -2,11 +2,19 @@
 
 NPZ is the native format (one compressed array per column — fast and exact).
 CSV export is provided for interoperability with external tooling.
+
+All NPZ writers go through :func:`repro.reliability.runner.atomic_write`
+(tmp file + fsync + ``os.replace``): a killed process never leaves a
+half-written trace behind.  The ``*_checked`` loaders additionally
+validate raw columns *before* the dataset constructor's sanitizing
+sort/cast, and apply a repair policy (``strict``/``repair``/
+``quarantine``) — see :mod:`repro.reliability`.
 """
 
 from __future__ import annotations
 
 import csv
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -15,8 +23,11 @@ from .dataset import DriveDayDataset
 from .tables import DriveTable, SwapLog
 
 __all__ = [
+    "TraceIntegrityError",
     "save_dataset_npz",
     "load_dataset_npz",
+    "load_dataset_checked",
+    "load_raw_columns_npz",
     "export_dataset_csv",
     "save_swaplog_npz",
     "load_swaplog_npz",
@@ -25,16 +36,74 @@ __all__ = [
 ]
 
 
+class TraceIntegrityError(OSError):
+    """An NPZ artifact is missing, truncated, or otherwise unreadable."""
+
+
+def _atomic_savez(path: Path, **arrays: np.ndarray) -> None:
+    # Local import: repro.reliability imports repro.data at module load.
+    from ..reliability.runner import atomic_save_npz
+
+    atomic_save_npz(path, **arrays)
+
+
+def _load_npz(path: str | Path) -> dict[str, np.ndarray]:
+    """Read every array of an NPZ, mapping low-level failures to
+    :class:`TraceIntegrityError` with an actionable message."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceIntegrityError(
+            f"trace file {path} does not exist (run `repro-ssd simulate` "
+            "or check the --trace path)"
+        )
+    try:
+        with np.load(path) as payload:
+            return {k: payload[k] for k in payload.files}
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+        raise TraceIntegrityError(
+            f"trace file {path} is corrupt or truncated ({exc}); "
+            "re-run the producing command — writes are atomic, so this "
+            "usually means the file was damaged after it was written"
+        ) from None
+
+
 def save_dataset_npz(dataset: DriveDayDataset, path: str | Path) -> None:
-    """Write a :class:`DriveDayDataset` to a compressed ``.npz`` file."""
-    np.savez_compressed(Path(path), **{k: v for k, v in dataset.items()})
+    """Atomically write a :class:`DriveDayDataset` to a ``.npz`` file."""
+    _atomic_savez(Path(path), **{k: v for k, v in dataset.items()})
 
 
 def load_dataset_npz(path: str | Path) -> DriveDayDataset:
     """Load a dataset previously written by :func:`save_dataset_npz`."""
-    with np.load(Path(path)) as payload:
-        cols = {k: payload[k] for k in payload.files}
-    return DriveDayDataset(cols)
+    return DriveDayDataset(_load_npz(path))
+
+
+def load_raw_columns_npz(path: str | Path) -> dict[str, np.ndarray]:
+    """Load raw record columns without the dataset's sanitizing sort/cast.
+
+    This is the entry point for validation: corruption such as
+    out-of-order rows or wrong dtypes must be *seen*, not silently fixed
+    by the constructor.
+    """
+    return _load_npz(path)
+
+
+def load_dataset_checked(
+    path: str | Path,
+    policy: str = "strict",
+    max_gap_days: int | None = None,
+):
+    """Load + validate a dataset under a repair policy.
+
+    Returns a :class:`repro.reliability.repair.RepairResult` whose
+    ``dataset`` is ready for the pipeline.  Raises
+    :class:`TraceIntegrityError` for unreadable files and
+    :class:`repro.reliability.repair.TraceValidationError` when the
+    ``strict`` policy rejects the content.
+    """
+    from ..reliability.repair import apply_policy
+
+    cols = load_raw_columns_npz(path)
+    return apply_policy(cols, policy=policy, max_gap_days=max_gap_days)
 
 
 def export_dataset_csv(
@@ -68,25 +137,35 @@ _SWAP_COLS = (
 
 
 def save_swaplog_npz(log: SwapLog, path: str | Path) -> None:
-    """Write a :class:`SwapLog` to a compressed ``.npz`` file."""
-    np.savez_compressed(Path(path), **{c: getattr(log, c) for c in _SWAP_COLS})
+    """Atomically write a :class:`SwapLog` to a ``.npz`` file."""
+    _atomic_savez(Path(path), **{c: getattr(log, c) for c in _SWAP_COLS})
 
 
 def load_swaplog_npz(path: str | Path) -> SwapLog:
     """Load a swap log previously written by :func:`save_swaplog_npz`."""
-    with np.load(Path(path)) as payload:
+    payload = _load_npz(path)
+    try:
         return SwapLog(*(payload[c] for c in _SWAP_COLS))
+    except KeyError as exc:
+        raise TraceIntegrityError(
+            f"swap log {path} is missing column {exc}; not a swap-log NPZ?"
+        ) from None
 
 
 _DRIVE_COLS = ("drive_id", "model", "deploy_day", "end_of_observation_age")
 
 
 def save_drivetable_npz(table: DriveTable, path: str | Path) -> None:
-    """Write a :class:`DriveTable` to a compressed ``.npz`` file."""
-    np.savez_compressed(Path(path), **{c: getattr(table, c) for c in _DRIVE_COLS})
+    """Atomically write a :class:`DriveTable` to a ``.npz`` file."""
+    _atomic_savez(Path(path), **{c: getattr(table, c) for c in _DRIVE_COLS})
 
 
 def load_drivetable_npz(path: str | Path) -> DriveTable:
     """Load a drive table previously written by :func:`save_drivetable_npz`."""
-    with np.load(Path(path)) as payload:
+    payload = _load_npz(path)
+    try:
         return DriveTable(*(payload[c] for c in _DRIVE_COLS))
+    except KeyError as exc:
+        raise TraceIntegrityError(
+            f"drive table {path} is missing column {exc}; not a drive-table NPZ?"
+        ) from None

@@ -1,0 +1,438 @@
+"""Seeded fault injection over telemetry datasets and trace directories.
+
+Fleet telemetry is never pristine: collectors die mid-day (missing
+records), retry on flaky links (duplicates), flush out of order, report
+stuck SMART counters, emit NaN/sentinel spikes, and upgrade their schema
+under the consumer's feet.  This module reproduces those fault classes on
+demand — deterministically, from a seed — so the validator, the repair
+policies and the prediction pipeline can be exercised against realistic
+corruption and so robustness can be *measured* (see
+``benchmarks/test_robustness.py``).
+
+All row-level injectors operate on raw column mappings and return an
+:class:`InjectionResult` carrying both the corrupted columns and a
+ground-truth :class:`InjectedFault` log, which the fault-drill tests use
+to score detector recall.  File-level faults (NPZ truncation) operate on
+trace directories.
+
+Default rates (fraction of rows, drives or bytes affected) are in
+:data:`DEFAULT_RATES`; they are deliberately aggressive so that a single
+injected trace exercises every detector.
+"""
+
+from __future__ import annotations
+
+import shutil
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..data.dataset import DriveDayDataset
+
+__all__ = [
+    "FAULT_CLASSES",
+    "DEFAULT_RATES",
+    "InjectedFault",
+    "InjectionResult",
+    "FaultInjector",
+    "truncate_file",
+]
+
+#: Every fault class the injector knows, in canonical order.
+FAULT_CLASSES: tuple[str, ...] = (
+    "missing_days",
+    "duplicate_rows",
+    "out_of_order",
+    "value_spikes",
+    "stuck_counter",
+    "schema_drift",
+    "truncated_file",
+)
+
+#: Documented default injection rates.  Row-level classes are a fraction
+#: of rows; ``stuck_counter`` is a fraction of drives; ``schema_drift``
+#: is the number of columns dropped/renamed; ``truncated_file`` is the
+#: fraction of file bytes *kept*.
+DEFAULT_RATES: dict[str, float] = {
+    "missing_days": 0.05,
+    "duplicate_rows": 0.03,
+    "out_of_order": 0.02,
+    "value_spikes": 0.01,
+    "stuck_counter": 0.10,
+    "schema_drift": 1.0,
+    "truncated_file": 0.5,
+}
+
+#: Sentinel values a sick collector emits into integer counters.
+_INT_SENTINELS: tuple[int, ...] = (-1, 2**60)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """Ground truth for one injected fault instance.
+
+    ``ages`` are the affected drive-day ages (empty for table-level
+    faults such as schema drift), ``column`` the affected column when the
+    fault is column-scoped.
+    """
+
+    fault: str
+    drive_id: int
+    ages: tuple[int, ...] = ()
+    column: str | None = None
+
+
+@dataclass
+class InjectionResult:
+    """Corrupted raw columns plus the ground-truth fault log."""
+
+    columns: dict[str, np.ndarray]
+    faults: list[InjectedFault] = field(default_factory=list)
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    def dataset(self) -> DriveDayDataset:
+        """Build a dataset *without* the sanitizing sort/cast.
+
+        Only valid when the corruption left dtypes castable; use the raw
+        ``columns`` mapping with the validator otherwise.
+        """
+        return DriveDayDataset(self.columns, check_sorted=False)
+
+    def summary(self) -> str:
+        by_class: dict[str, int] = {}
+        for f in self.faults:
+            by_class[f.fault] = by_class.get(f.fault, 0) + 1
+        parts = ", ".join(f"{k}: {v}" for k, v in sorted(by_class.items()))
+        return f"Injected {len(self.faults)} fault(s) ({parts or 'none'})"
+
+
+def _as_columns(
+    data: DriveDayDataset | Mapping[str, np.ndarray],
+) -> dict[str, np.ndarray]:
+    if isinstance(data, DriveDayDataset):
+        return {k: np.array(v) for k, v in data.items()}
+    return {k: np.array(v) for k, v in data.items()}
+
+
+class FaultInjector:
+    """Deterministic, seeded injector for every fault class.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; two injectors with the same seed and inputs produce
+        byte-identical corruption.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------- row-level
+    def missing_days(
+        self,
+        data: DriveDayDataset | Mapping[str, np.ndarray],
+        rate: float | None = None,
+    ) -> InjectionResult:
+        """Drop a fraction of *interior* drive-days (collector gaps).
+
+        First/last rows of each drive are kept: dropping an endpoint
+        leaves no gap signature, so it would be undetectable by design,
+        not by detector weakness.
+        """
+        rate = DEFAULT_RATES["missing_days"] if rate is None else rate
+        cols = _as_columns(data)
+        ids = np.asarray(cols["drive_id"])
+        n = ids.size
+        interior = np.ones(n, dtype=bool)
+        if n:
+            first = np.concatenate(([True], ids[1:] != ids[:-1]))
+            last = np.concatenate((ids[1:] != ids[:-1], [True]))
+            interior = ~(first | last)
+        candidates = np.flatnonzero(interior)
+        k = int(round(rate * n))
+        k = min(k, candidates.size)
+        drop = self.rng.choice(candidates, size=k, replace=False) if k else np.empty(
+            0, dtype=np.int64
+        )
+        keep = np.ones(n, dtype=bool)
+        keep[drop] = False
+        ages = np.asarray(cols["age_days"])
+        faults = [
+            InjectedFault("missing_days", int(ids[i]), (int(ages[i]),))
+            for i in np.sort(drop)
+        ]
+        return InjectionResult(
+            columns={k_: v[keep] for k_, v in cols.items()}, faults=faults
+        )
+
+    def duplicate_rows(
+        self,
+        data: DriveDayDataset | Mapping[str, np.ndarray],
+        rate: float | None = None,
+    ) -> InjectionResult:
+        """Re-deliver a fraction of rows (collector retry storms).
+
+        Duplicates are inserted right after the original, mimicking an
+        at-least-once delivery queue.
+        """
+        rate = DEFAULT_RATES["duplicate_rows"] if rate is None else rate
+        cols = _as_columns(data)
+        ids = np.asarray(cols["drive_id"])
+        n = ids.size
+        k = int(round(rate * n))
+        pick = (
+            np.sort(self.rng.choice(n, size=min(k, n), replace=False))
+            if k and n
+            else np.empty(0, dtype=np.int64)
+        )
+        # Index vector with each picked row appearing twice, in place.
+        idx = np.sort(np.concatenate((np.arange(n), pick)), kind="stable")
+        ages = np.asarray(cols["age_days"])
+        faults = [
+            InjectedFault("duplicate_rows", int(ids[i]), (int(ages[i]),))
+            for i in pick
+        ]
+        return InjectionResult(
+            columns={k_: v[idx] for k_, v in cols.items()}, faults=faults
+        )
+
+    def out_of_order(
+        self,
+        data: DriveDayDataset | Mapping[str, np.ndarray],
+        rate: float | None = None,
+    ) -> InjectionResult:
+        """Swap adjacent same-drive rows (out-of-order flushes)."""
+        rate = DEFAULT_RATES["out_of_order"] if rate is None else rate
+        cols = _as_columns(data)
+        ids = np.asarray(cols["drive_id"])
+        ages = np.asarray(cols["age_days"])
+        n = ids.size
+        # Candidate positions i where swapping rows (i, i+1) breaks the
+        # order: same drive, strictly increasing ages.
+        cand = np.flatnonzero((ids[1:] == ids[:-1]) & (ages[1:] > ages[:-1]))
+        k = min(int(round(rate * n)), cand.size)
+        pick = (
+            self.rng.choice(cand, size=k, replace=False)
+            if k
+            else np.empty(0, dtype=np.int64)
+        )
+        # Avoid overlapping swaps (i and i+1 both picked).
+        pick = np.sort(pick)
+        chosen: list[int] = []
+        prev = -2
+        for i in pick:
+            if i > prev + 1:
+                chosen.append(int(i))
+                prev = int(i)
+        perm = np.arange(n)
+        for i in chosen:
+            perm[i], perm[i + 1] = perm[i + 1], perm[i]
+        faults = [
+            InjectedFault(
+                "out_of_order", int(ids[i]), (int(ages[i]), int(ages[i + 1]))
+            )
+            for i in chosen
+        ]
+        return InjectionResult(
+            columns={k_: v[perm] for k_, v in cols.items()}, faults=faults
+        )
+
+    def value_spikes(
+        self,
+        data: DriveDayDataset | Mapping[str, np.ndarray],
+        rate: float | None = None,
+        columns: Iterable[str] = ("write_count", "read_count", "uncorrectable_error"),
+    ) -> InjectionResult:
+        """NaN (float columns) or sentinel (int columns) value spikes."""
+        rate = DEFAULT_RATES["value_spikes"] if rate is None else rate
+        cols = _as_columns(data)
+        ids = np.asarray(cols["drive_id"])
+        ages = np.asarray(cols["age_days"])
+        n = ids.size
+        faults: list[InjectedFault] = []
+        for name in columns:
+            if name not in cols:
+                continue
+            k = int(round(rate * n))
+            if not k or not n:
+                continue
+            rows = self.rng.choice(n, size=min(k, n), replace=False)
+            arr = cols[name]
+            if np.issubdtype(arr.dtype, np.floating):
+                arr[rows] = np.nan
+            else:
+                sentinels = self.rng.choice(_INT_SENTINELS, size=rows.size)
+                arr[rows] = sentinels
+            faults.extend(
+                InjectedFault("value_spikes", int(ids[i]), (int(ages[i]),), name)
+                for i in np.sort(rows)
+            )
+        return InjectionResult(columns=cols, faults=faults)
+
+    def stuck_counter(
+        self,
+        data: DriveDayDataset | Mapping[str, np.ndarray],
+        rate: float | None = None,
+        column: str = "pe_cycles",
+        min_run: int = 3,
+        max_run: int = 10,
+    ) -> InjectionResult:
+        """Freeze a cumulative counter over a window (stuck SMART value).
+
+        For a fraction of drives, ``column`` is parked at its value on a
+        random day for ``min_run..max_run`` subsequent reports, while the
+        drive keeps reporting activity — the non-monotone/stuck pattern
+        of sick collectors.
+        """
+        rate = DEFAULT_RATES["stuck_counter"] if rate is None else rate
+        cols = _as_columns(data)
+        ids = np.asarray(cols["drive_id"])
+        n = ids.size
+        faults: list[InjectedFault] = []
+        if not n or column not in cols:
+            return InjectionResult(columns=cols, faults=faults)
+        first = np.concatenate(([True], ids[1:] != ids[:-1]))
+        starts = np.flatnonzero(first)
+        stops = np.concatenate((starts[1:], [n]))
+        ages = np.asarray(cols["age_days"])
+        arr = cols[column]
+        n_drives = starts.size
+        k = int(round(rate * n_drives))
+        pick = (
+            self.rng.choice(n_drives, size=min(k, n_drives), replace=False)
+            if k
+            else np.empty(0, dtype=np.int64)
+        )
+        for d in np.sort(pick):
+            s, e = int(starts[d]), int(stops[d])
+            if e - s < min_run + 1:
+                continue
+            run = int(self.rng.integers(min_run, max_run + 1))
+            start = int(self.rng.integers(s, e - min_run))
+            stop = min(start + run, e - 1)
+            arr[start + 1 : stop + 1] = arr[start]
+            faults.append(
+                InjectedFault(
+                    "stuck_counter",
+                    int(ids[s]),
+                    tuple(int(a) for a in ages[start + 1 : stop + 1]),
+                    column,
+                )
+            )
+        return InjectionResult(columns=cols, faults=faults)
+
+    def schema_drift(
+        self,
+        data: DriveDayDataset | Mapping[str, np.ndarray],
+        n_columns: int | None = None,
+        mode: str | None = None,
+    ) -> InjectionResult:
+        """Drop or rename telemetry columns (collector schema upgrade).
+
+        ``mode`` is ``"drop"``, ``"rename"`` or ``None`` (random per
+        column).  Identity columns are never touched — losing
+        ``drive_id`` makes the table meaningless rather than dirty.
+        """
+        n_columns = (
+            int(DEFAULT_RATES["schema_drift"]) if n_columns is None else int(n_columns)
+        )
+        cols = _as_columns(data)
+        protected = {"drive_id", "age_days", "model", "calendar_day"}
+        candidates = [c for c in cols if c not in protected]
+        faults: list[InjectedFault] = []
+        if not candidates or n_columns <= 0:
+            return InjectionResult(columns=cols, faults=faults)
+        pick = self.rng.choice(
+            len(candidates), size=min(n_columns, len(candidates)), replace=False
+        )
+        for j in np.sort(pick):
+            name = candidates[int(j)]
+            m = mode or ("drop" if self.rng.random() < 0.5 else "rename")
+            if m == "rename":
+                cols[f"legacy_{name}"] = cols.pop(name)
+            else:
+                cols.pop(name)
+            faults.append(InjectedFault("schema_drift", -1, (), name))
+        return InjectionResult(columns=cols, faults=faults)
+
+    # ---------------------------------------------------------- compositions
+    def inject(
+        self,
+        data: DriveDayDataset | Mapping[str, np.ndarray],
+        classes: Iterable[str] = ("missing_days", "duplicate_rows", "value_spikes"),
+        rates: Mapping[str, float] | None = None,
+    ) -> InjectionResult:
+        """Apply several row-level fault classes in sequence."""
+        cols = _as_columns(data)
+        all_faults: list[InjectedFault] = []
+        for cls in classes:
+            if cls == "truncated_file":
+                raise ValueError(
+                    "truncated_file is a file-level fault; use corrupt_trace()"
+                )
+            fn = getattr(self, cls, None)
+            if fn is None:
+                raise ValueError(
+                    f"unknown fault class {cls!r}; known: {FAULT_CLASSES}"
+                )
+            rate = None if rates is None else rates.get(cls)
+            res = fn(cols, rate) if rate is not None else fn(cols)
+            cols = res.columns
+            all_faults.extend(res.faults)
+        return InjectionResult(columns=cols, faults=all_faults)
+
+    def corrupt_trace(
+        self,
+        trace_dir: str | Path,
+        out_dir: str | Path,
+        classes: Iterable[str] = ("missing_days", "duplicate_rows", "value_spikes"),
+        rates: Mapping[str, float] | None = None,
+    ) -> InjectionResult:
+        """Corrupt an on-disk trace directory into ``out_dir``.
+
+        Row-level faults rewrite ``records.npz`` with the raw corrupted
+        columns (no sanitizing sort/cast); ``truncated_file`` chops the
+        written NPZ; ``drives.npz``/``swaps.npz`` are copied verbatim.
+        """
+        trace_dir, out_dir = Path(trace_dir), Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        classes = list(classes)
+        with np.load(trace_dir / "records.npz") as payload:
+            cols = {k: payload[k] for k in payload.files}
+        row_classes = [c for c in classes if c != "truncated_file"]
+        result = self.inject(cols, row_classes, rates)
+        out_records = out_dir / "records.npz"
+        np.savez_compressed(out_records, **result.columns)
+        if "truncated_file" in classes:
+            keep = (
+                DEFAULT_RATES["truncated_file"]
+                if rates is None
+                else rates.get("truncated_file", DEFAULT_RATES["truncated_file"])
+            )
+            truncate_file(out_records, keep)
+            result.faults.append(InjectedFault("truncated_file", -1, (), None))
+        for name in ("drives.npz", "swaps.npz"):
+            if (trace_dir / name).exists():
+                shutil.copyfile(trace_dir / name, out_dir / name)
+        return result
+
+
+def truncate_file(path: str | Path, keep_fraction: float = 0.5) -> int:
+    """Truncate a file to ``keep_fraction`` of its bytes; returns new size.
+
+    Models a crash mid-write by a non-atomic writer (the reason
+    :mod:`repro.data.io` writes via tmp-file + rename).
+    """
+    if not 0 <= keep_fraction < 1:
+        raise ValueError("keep_fraction must lie in [0, 1)")
+    path = Path(path)
+    size = path.stat().st_size
+    new_size = int(size * keep_fraction)
+    with open(path, "r+b") as fh:
+        fh.truncate(new_size)
+    return new_size

@@ -1,0 +1,370 @@
+"""Crash-safe execution: atomic writes, retries, resumable simulation.
+
+Three building blocks, used by :mod:`repro.data.io` and the CLI:
+
+- :func:`atomic_write` / :func:`atomic_save_npz` — tmp-file +
+  ``fsync`` + ``os.replace``, so a killed process never leaves a
+  half-written artifact where a reader expects a whole one;
+- :func:`retry_io` — bounded retries with exponential backoff + jitter
+  for transient I/O failures (network filesystems, busy volumes);
+- :func:`simulate_fleet_resumable` — chunked, checkpointed fleet
+  simulation.  Per-drive RNG streams are spawned exactly as
+  :func:`repro.simulator.simulate_fleet` spawns them, so the resumable
+  path is bit-identical to the one-shot path: a run killed at any point
+  and resumed with ``--resume`` produces the same trace as an
+  uninterrupted run with the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zipfile
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from hashlib import sha256
+from pathlib import Path
+from typing import IO, Any
+
+import numpy as np
+
+from ..data import DriveDayDataset, DriveTable, SwapLog, concat_datasets
+from ..simulator import (
+    DriveModelSpec,
+    DriveResult,
+    FleetConfig,
+    FleetTrace,
+    default_models,
+    simulate_drive,
+)
+from ..simulator.fleet import _assemble
+
+__all__ = [
+    "atomic_write",
+    "atomic_save_npz",
+    "retry_io",
+    "CheckpointStore",
+    "simulate_fleet_resumable",
+]
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry so a rename survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_write(path: str | Path, mode: str = "wb") -> Iterator[IO[Any]]:
+    """Write a file atomically: tmp + flush + fsync + ``os.replace``.
+
+    The target either keeps its previous content or gets the complete
+    new content — never a truncated hybrid.  The tmp file lives next to
+    the target (same filesystem, so the final rename is atomic) and is
+    removed on failure.
+    """
+    path = Path(path)
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    fh = open(tmp, mode)
+    try:
+        yield fh
+        fh.flush()
+        os.fsync(fh.fileno())
+        fh.close()
+        os.replace(tmp, path)
+        _fsync_dir(path.parent)
+    except BaseException:
+        fh.close()
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def atomic_save_npz(path: str | Path, **arrays: np.ndarray) -> None:
+    """Atomic replacement for :func:`numpy.savez_compressed`."""
+    with atomic_write(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def retry_io(
+    fn: Callable[[], Any],
+    retries: int = 4,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    jitter: float = 0.5,
+    exceptions: tuple[type[BaseException], ...] = (OSError,),
+    sleep: Callable[[float], None] = time.sleep,
+    rng: np.random.Generator | None = None,
+) -> Any:
+    """Call ``fn`` with exponential backoff + jitter on transient errors.
+
+    Delay before attempt ``k`` (1-based retry) is
+    ``min(base_delay * 2**(k-1), max_delay) * (1 + U(0, jitter))``.
+    The last failure is re-raised once ``retries`` are exhausted.
+    """
+    rng = rng or np.random.default_rng()
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except exceptions:
+            attempt += 1
+            if attempt > retries:
+                raise
+            delay = min(base_delay * (2 ** (attempt - 1)), max_delay)
+            sleep(delay * (1.0 + jitter * float(rng.random())))
+
+
+# --------------------------------------------------------------------------
+# checkpointed simulation
+# --------------------------------------------------------------------------
+
+_MANIFEST = "manifest.json"
+
+
+def _config_digest(
+    config: FleetConfig, models: tuple[DriveModelSpec, ...]
+) -> str:
+    """Stable fingerprint of everything that shapes the trace."""
+    payload = {
+        "config": asdict(config),
+        "models": [asdict(m) for m in models],
+    }
+    return sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+@dataclass
+class CheckpointStore:
+    """Chunk files + manifest under one checkpoint directory.
+
+    Layout: ``<dir>/manifest.json`` plus ``<dir>/chunk_<i>.npz`` with
+    prefixed keys (``rec_*``, ``drv_*``, ``swp_*``).  Every write is
+    atomic, so a crash leaves either a complete chunk or none.
+    """
+
+    directory: Path
+    digest: str
+    n_chunks: int
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.directory / _MANIFEST
+
+    def chunk_path(self, index: int) -> Path:
+        return self.directory / f"chunk_{index:05d}.npz"
+
+    # -- manifest ---------------------------------------------------------
+    def write_manifest(self, completed: list[int]) -> None:
+        body = {
+            "digest": self.digest,
+            "n_chunks": self.n_chunks,
+            "completed": sorted(completed),
+        }
+        with atomic_write(self.manifest_path, "w") as fh:
+            json.dump(body, fh)
+
+    def read_completed(self) -> list[int]:
+        """Chunk indices recorded complete by a compatible previous run.
+
+        Returns ``[]`` (fresh start) when there is no manifest, it is
+        unreadable, or it was written for a different config/seed.
+        """
+        try:
+            body = json.loads(self.manifest_path.read_text())
+        except (OSError, ValueError):
+            return []
+        if body.get("digest") != self.digest or body.get("n_chunks") != self.n_chunks:
+            return []
+        return [int(i) for i in body.get("completed", []) if 0 <= int(i) < self.n_chunks]
+
+    # -- chunks -----------------------------------------------------------
+    def save_chunk(self, index: int, trace: FleetTrace) -> None:
+        arrays: dict[str, np.ndarray] = {}
+        for name, arr in trace.records.items():
+            arrays[f"rec_{name}"] = arr
+        for name in ("drive_id", "model", "deploy_day", "end_of_observation_age"):
+            arrays[f"drv_{name}"] = getattr(trace.drives, name)
+        for name in (
+            "drive_id",
+            "model",
+            "failure_age",
+            "swap_age",
+            "reentry_age",
+            "operational_start_age",
+            "failure_mode",
+        ):
+            arrays[f"swp_{name}"] = getattr(trace.swaps, name)
+        retry_io(lambda: atomic_save_npz(self.chunk_path(index), **arrays))
+
+    def load_chunk(self, index: int, config: FleetConfig) -> FleetTrace | None:
+        """Load one chunk; ``None`` when missing or unreadable."""
+        path = self.chunk_path(index)
+        try:
+            with np.load(path) as payload:
+                rec = {
+                    k[len("rec_"):]: payload[k]
+                    for k in payload.files
+                    if k.startswith("rec_")
+                }
+                drv = {
+                    k[len("drv_"):]: payload[k]
+                    for k in payload.files
+                    if k.startswith("drv_")
+                }
+                swp = {
+                    k[len("swp_"):]: payload[k]
+                    for k in payload.files
+                    if k.startswith("swp_")
+                }
+        except (OSError, ValueError, zipfile.BadZipFile, KeyError):
+            return None
+        if not drv or not swp:
+            return None
+        return FleetTrace(
+            records=DriveDayDataset(rec, check_sorted=False)
+            if rec
+            else DriveDayDataset.empty(),
+            drives=DriveTable(**drv),
+            swaps=SwapLog(**swp),
+            config=config,
+        )
+
+    def cleanup(self) -> None:
+        """Remove every checkpoint artifact and the directory."""
+        if not self.directory.exists():
+            return
+        for p in self.directory.glob("chunk_*.npz"):
+            p.unlink(missing_ok=True)
+        self.manifest_path.unlink(missing_ok=True)
+        try:
+            self.directory.rmdir()
+        except OSError:
+            pass  # unexpected stray files: leave them for inspection
+
+
+def _concat_traces(parts: list[FleetTrace], config: FleetConfig) -> FleetTrace:
+    """Concatenate chunk traces in drive order (chunks are disjoint)."""
+    records = concat_datasets([p.records for p in parts if len(p.records)])
+    if not any(len(p.records) for p in parts):
+        records = DriveDayDataset.empty()
+    drives = DriveTable(
+        drive_id=np.concatenate([p.drives.drive_id for p in parts]),
+        model=np.concatenate([p.drives.model for p in parts]),
+        deploy_day=np.concatenate([p.drives.deploy_day for p in parts]),
+        end_of_observation_age=np.concatenate(
+            [p.drives.end_of_observation_age for p in parts]
+        ),
+    )
+    swaps = SwapLog(
+        drive_id=np.concatenate([p.swaps.drive_id for p in parts]),
+        model=np.concatenate([p.swaps.model for p in parts]),
+        failure_age=np.concatenate([p.swaps.failure_age for p in parts]),
+        swap_age=np.concatenate([p.swaps.swap_age for p in parts]),
+        reentry_age=np.concatenate([p.swaps.reentry_age for p in parts]),
+        operational_start_age=np.concatenate(
+            [p.swaps.operational_start_age for p in parts]
+        ),
+        failure_mode=np.concatenate([p.swaps.failure_mode for p in parts]),
+    )
+    return FleetTrace(records=records, drives=drives, swaps=swaps, config=config)
+
+
+def simulate_fleet_resumable(
+    config: FleetConfig | None = None,
+    checkpoint_dir: str | Path = ".checkpoints",
+    chunk_size: int = 64,
+    resume: bool = False,
+    models: tuple[DriveModelSpec, ...] | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> FleetTrace:
+    """Chunked, checkpointed drop-in for :func:`simulate_fleet`.
+
+    Drives are simulated in chunks of ``chunk_size``; each finished
+    chunk is persisted atomically under ``checkpoint_dir`` together with
+    a manifest keyed by a config digest.  With ``resume=True``,
+    previously completed chunks of a *compatible* run (same config,
+    models and seed) are loaded instead of re-simulated; incompatible or
+    damaged checkpoints are re-simulated from scratch.
+
+    ``progress(done_chunks, n_chunks)`` is invoked after every chunk —
+    the CLI uses it for status lines, the tests to kill the run
+    mid-flight.  The caller is responsible for calling
+    :meth:`CheckpointStore.cleanup` (or reusing the directory) after the
+    final trace has been persisted.
+
+    Returns a trace bit-identical to ``simulate_fleet(config, models)``.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    config = config or FleetConfig()
+    models = models or default_models()
+    n_total = config.n_drives_per_model * len(models)
+    n_chunks = (n_total + chunk_size - 1) // chunk_size
+
+    # RNG streams exactly as simulate_fleet spawns them: one child per
+    # drive plus a trailing deployment stream, with deploy days drawn
+    # sequentially in global drive order.
+    root = np.random.SeedSequence(config.seed)
+    children = root.spawn(n_total + 1)
+    deploy_rng = np.random.default_rng(children[-1])
+    deploy_days = [
+        int(deploy_rng.integers(0, config.deploy_spread_days + 1))
+        if config.deploy_spread_days
+        else 0
+        for _ in range(n_total)
+    ]
+
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    store = CheckpointStore(
+        directory=directory,
+        digest=_config_digest(config, models),
+        n_chunks=n_chunks,
+    )
+    completed = set(store.read_completed()) if resume else set()
+    if not resume:
+        store.write_manifest([])
+
+    parts: list[FleetTrace] = []
+    done = 0
+    for chunk in range(n_chunks):
+        lo = chunk * chunk_size
+        hi = min(lo + chunk_size, n_total)
+        part: FleetTrace | None = None
+        if chunk in completed:
+            part = store.load_chunk(chunk, config)
+            if part is None:  # damaged checkpoint: fall through and redo
+                completed.discard(chunk)
+        if part is None:
+            results: list[DriveResult] = []
+            for drive_id in range(lo, hi):
+                model_index = drive_id // config.n_drives_per_model
+                results.append(
+                    simulate_drive(
+                        drive_id=drive_id,
+                        model_index=model_index,
+                        spec=models[model_index],
+                        deploy_day=deploy_days[drive_id],
+                        horizon_days=config.horizon_days,
+                        rng=np.random.default_rng(children[drive_id]),
+                    )
+                )
+            part = _assemble(results, config)
+            store.save_chunk(chunk, part)
+            completed.add(chunk)
+            store.write_manifest(sorted(completed))
+        parts.append(part)
+        done += 1
+        if progress is not None:
+            progress(done, n_chunks)
+
+    return _concat_traces(parts, config)

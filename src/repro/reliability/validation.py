@@ -1,0 +1,523 @@
+"""Schema and invariant validation for telemetry traces.
+
+Real fleet-monitoring pipelines cannot trust their collectors: records
+arrive duplicated, out of order, with stuck cumulative counters or
+sentinel-valued spikes, and whole days go missing when an agent dies.
+This module checks a raw trace against the invariants the rest of the
+pipeline silently assumes and reports every violation in a structured
+:class:`ValidationReport`, so callers can choose a policy
+(``strict`` / ``repair`` / ``quarantine`` — see
+:mod:`repro.reliability.repair`) instead of crashing deep inside NumPy.
+
+Checks operate on *raw column mappings* (``name -> 1-D array``), not on
+:class:`~repro.data.DriveDayDataset`: the dataset constructor sorts rows
+and casts dtypes, which would mask exactly the corruption we are trying
+to detect.  Use :func:`dataset_columns` to validate an already-built
+dataset.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import DriveDayDataset
+from ..data.fields import DAILY_FIELDS
+from ..data.tables import DriveTable, SwapLog
+
+__all__ = [
+    "CheckResult",
+    "ValidationReport",
+    "CUMULATIVE_FIELDS",
+    "COUNT_FIELDS",
+    "SENTINEL_CEILING",
+    "dataset_columns",
+    "check_schema",
+    "check_finite",
+    "check_nonnegative",
+    "check_sorted_rows",
+    "check_duplicate_days",
+    "check_monotone_cumulative",
+    "check_stuck_counters",
+    "check_day_gaps",
+    "check_referential_integrity",
+    "validate_columns",
+    "validate_trace",
+]
+
+#: Columns that must never decrease over a drive's lifetime.
+CUMULATIVE_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in DAILY_FIELDS if f.cumulative
+)
+
+#: Columns that hold event/operation counts and must be non-negative.
+COUNT_FIELDS: tuple[str, ...] = tuple(
+    f.name
+    for f in DAILY_FIELDS
+    if f.name not in ("drive_id", "model", "age_days", "calendar_day")
+)
+
+#: Any count above this is treated as a collector sentinel (the largest
+#: plausible real value — daily writes — is ~1e9; cumulative counters cap
+#: out several orders of magnitude below this).
+SENTINEL_CEILING: float = 1e15
+
+#: Column names every record table must carry to be usable at all.
+REQUIRED_COLUMNS: tuple[str, ...] = tuple(f.name for f in DAILY_FIELDS)
+
+#: Columns without which no check (or repair) can even run.
+CRITICAL_COLUMNS: tuple[str, ...] = ("drive_id", "age_days")
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one validation check.
+
+    Attributes
+    ----------
+    check:
+        Dotted check identifier, e.g. ``"monotone.pe_cycles"``.
+    severity:
+        ``"error"`` (data unusable as-is) or ``"warning"`` (suspicious
+        but survivable).
+    passed:
+        ``True`` when no violation was found.
+    n_violations:
+        Number of violating rows/entries.
+    message:
+        One-line human-readable description.
+    rows:
+        Indices of violating rows in the *checked* table, when the check
+        is row-level (``None`` for table-level checks such as schema).
+    """
+
+    check: str
+    severity: str
+    passed: bool
+    n_violations: int
+    message: str
+    rows: np.ndarray | None = None
+
+
+@dataclass
+class ValidationReport:
+    """Structured result of a validation run."""
+
+    checks: list[CheckResult] = field(default_factory=list)
+    n_rows: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity check failed."""
+        return not any(c.severity == "error" and not c.passed for c in self.checks)
+
+    @property
+    def n_errors(self) -> int:
+        return sum(1 for c in self.checks if c.severity == "error" and not c.passed)
+
+    @property
+    def n_warnings(self) -> int:
+        return sum(1 for c in self.checks if c.severity == "warning" and not c.passed)
+
+    def failed(self) -> list[CheckResult]:
+        """Every check that found at least one violation."""
+        return [c for c in self.checks if not c.passed]
+
+    def by_check(self, prefix: str) -> list[CheckResult]:
+        """Checks whose identifier starts with ``prefix``."""
+        return [c for c in self.checks if c.check.startswith(prefix)]
+
+    def violation_rows(self, prefix: str = "") -> np.ndarray:
+        """Union of violating row indices across (matching) failed checks."""
+        idx: list[np.ndarray] = [
+            c.rows
+            for c in self.checks
+            if not c.passed and c.rows is not None and c.check.startswith(prefix)
+        ]
+        if not idx:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(idx)).astype(np.int64)
+
+    def render(self) -> str:
+        """Multi-line textual report (one line per check)."""
+        lines = [f"Validation: {len(self.checks)} checks over {self.n_rows} rows"]
+        for c in self.checks:
+            mark = "ok  " if c.passed else ("FAIL" if c.severity == "error" else "warn")
+            lines.append(f"  [{mark}] {c.check:<28s} {c.message}")
+        lines.append(
+            f"Result: {'OK' if self.ok else 'CORRUPT'} "
+            f"({self.n_errors} error(s), {self.n_warnings} warning(s))"
+        )
+        return "\n".join(lines)
+
+
+def dataset_columns(records: DriveDayDataset) -> dict[str, np.ndarray]:
+    """Raw column mapping of a dataset (for re-validation after load)."""
+    return {k: v for k, v in records.items()}
+
+
+def _result(
+    check: str,
+    severity: str,
+    rows: np.ndarray | None,
+    ok_msg: str,
+    fail_msg: str,
+) -> CheckResult:
+    n = 0 if rows is None else int(rows.size)
+    passed = n == 0
+    return CheckResult(
+        check=check,
+        severity=severity,
+        passed=passed,
+        n_violations=n,
+        message=ok_msg if passed else f"{fail_msg} ({n} row(s))",
+        rows=None if rows is None or passed else rows.astype(np.int64),
+    )
+
+
+# --------------------------------------------------------------------------
+# individual checks
+# --------------------------------------------------------------------------
+
+def check_schema(cols: Mapping[str, np.ndarray]) -> list[CheckResult]:
+    """Required columns present; unknown columns reported as drift."""
+    missing = [c for c in REQUIRED_COLUMNS if c not in cols]
+    known = set(REQUIRED_COLUMNS) | {"quarantined"}
+    unknown = [c for c in cols if c not in known]
+    out = [
+        CheckResult(
+            check="schema.columns",
+            severity="error",
+            passed=not missing,
+            n_violations=len(missing),
+            message="all required columns present"
+            if not missing
+            else f"missing column(s): {', '.join(missing)}",
+        )
+    ]
+    out.append(
+        CheckResult(
+            check="schema.unknown",
+            severity="warning",
+            passed=not unknown,
+            n_violations=len(unknown),
+            message="no unknown columns"
+            if not unknown
+            else f"unknown column(s): {', '.join(unknown)} (schema drift?)",
+        )
+    )
+    return out
+
+
+def _numeric(arr: np.ndarray) -> np.ndarray:
+    return np.asarray(arr).astype(np.float64, copy=False)
+
+
+def check_finite(cols: Mapping[str, np.ndarray]) -> list[CheckResult]:
+    """No NaN/inf anywhere in the numeric telemetry."""
+    out: list[CheckResult] = []
+    bad_any: list[np.ndarray] = []
+    for name, arr in cols.items():
+        a = np.asarray(arr)
+        if not np.issubdtype(a.dtype, np.floating):
+            continue
+        bad = np.flatnonzero(~np.isfinite(a))
+        if bad.size:
+            bad_any.append(bad)
+    rows = (
+        np.unique(np.concatenate(bad_any)) if bad_any else np.empty(0, dtype=np.int64)
+    )
+    out.append(
+        _result(
+            "values.finite",
+            "error",
+            rows,
+            "all values finite",
+            "non-finite values (NaN/inf)",
+        )
+    )
+    return out
+
+
+def check_nonnegative(cols: Mapping[str, np.ndarray]) -> list[CheckResult]:
+    """Counts non-negative and below the sentinel ceiling."""
+    neg: list[np.ndarray] = []
+    huge: list[np.ndarray] = []
+    for name in COUNT_FIELDS:
+        if name not in cols:
+            continue
+        a = _numeric(cols[name])
+        with np.errstate(invalid="ignore"):
+            neg_i = np.flatnonzero(a < 0)
+            huge_i = np.flatnonzero(a > SENTINEL_CEILING)
+        if neg_i.size:
+            neg.append(neg_i)
+        if huge_i.size:
+            huge.append(huge_i)
+    neg_rows = np.unique(np.concatenate(neg)) if neg else np.empty(0, dtype=np.int64)
+    huge_rows = np.unique(np.concatenate(huge)) if huge else np.empty(0, dtype=np.int64)
+    return [
+        _result(
+            "values.nonnegative",
+            "error",
+            neg_rows,
+            "no negative counts",
+            "negative count values",
+        ),
+        _result(
+            "values.sentinel",
+            "error",
+            huge_rows,
+            "no sentinel spikes",
+            f"count values above {SENTINEL_CEILING:.0e} (collector sentinel)",
+        ),
+    ]
+
+
+def check_sorted_rows(cols: Mapping[str, np.ndarray]) -> list[CheckResult]:
+    """Rows sorted by ``(drive_id, age_days)``."""
+    ids = np.asarray(cols["drive_id"])
+    age = np.asarray(cols["age_days"])
+    if ids.size < 2:
+        rows = np.empty(0, dtype=np.int64)
+    else:
+        same = ids[1:] == ids[:-1]
+        ordered = (ids[1:] > ids[:-1]) | (same & (age[1:] >= age[:-1]))
+        rows = np.flatnonzero(~ordered) + 1
+    return [
+        _result(
+            "order.sorted",
+            "error",
+            rows,
+            "rows sorted by (drive_id, age_days)",
+            "out-of-order rows",
+        )
+    ]
+
+
+def check_duplicate_days(cols: Mapping[str, np.ndarray]) -> list[CheckResult]:
+    """No drive reports the same age twice."""
+    ids = np.asarray(cols["drive_id"], dtype=np.int64)
+    age = np.asarray(cols["age_days"], dtype=np.int64)
+    if ids.size == 0:
+        rows = np.empty(0, dtype=np.int64)
+    else:
+        # Duplicates independent of row order: sort the composite key and
+        # flag the *later occurrences* (in original index order) of each
+        # repeated (drive, age) pair.
+        key = ids * np.int64(1 << 32) + age
+        order = np.argsort(key, kind="stable")
+        sk = key[order]
+        dup_sorted = np.flatnonzero(sk[1:] == sk[:-1]) + 1
+        rows = np.sort(order[dup_sorted])
+    return [
+        _result(
+            "rows.duplicates",
+            "error",
+            rows,
+            "no duplicated (drive_id, age_days) rows",
+            "duplicated drive-day rows",
+        )
+    ]
+
+
+def _per_drive_view(
+    cols: Mapping[str, np.ndarray],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(order, ids_sorted, age_sorted)`` — a sorted view with the
+    permutation needed to map violations back to original row indices."""
+    ids = np.asarray(cols["drive_id"])
+    age = np.asarray(cols["age_days"])
+    order = np.lexsort((age, ids))
+    return order, ids[order], age[order]
+
+
+def check_monotone_cumulative(cols: Mapping[str, np.ndarray]) -> list[CheckResult]:
+    """Cumulative counters never decrease within a drive."""
+    out: list[CheckResult] = []
+    if "drive_id" not in cols or "age_days" not in cols:
+        return out
+    order, ids_s, _ = _per_drive_view(cols)
+    same = ids_s[1:] == ids_s[:-1]
+    for name in CUMULATIVE_FIELDS:
+        if name not in cols:
+            continue
+        v = _numeric(cols[name])[order]
+        with np.errstate(invalid="ignore"):
+            drop = same & (np.diff(v) < 0)
+        rows = order[np.flatnonzero(drop) + 1]
+        out.append(
+            _result(
+                f"monotone.{name}",
+                "error",
+                np.sort(rows),
+                f"{name} non-decreasing per drive",
+                f"{name} decreases within a drive",
+            )
+        )
+    return out
+
+
+def check_stuck_counters(cols: Mapping[str, np.ndarray]) -> list[CheckResult]:
+    """P/E cycles advance on active days.
+
+    A wear counter frozen across consecutive reports while the drive keeps
+    writing is the classic "stuck SMART attribute" failure of fleet
+    collectors: the value parks at its last reading.  Flag every report
+    whose ``pe_cycles`` is exactly unchanged from the previous report of
+    the same drive despite non-zero write activity on that day.
+    """
+    needed = ("drive_id", "age_days", "pe_cycles", "write_count")
+    if any(n not in cols for n in needed):
+        return []
+    order, ids_s, _ = _per_drive_view(cols)
+    pe = _numeric(cols["pe_cycles"])[order]
+    writes = _numeric(cols["write_count"])[order]
+    same = ids_s[1:] == ids_s[:-1]
+    with np.errstate(invalid="ignore"):
+        stuck = same & (np.diff(pe) == 0) & (writes[1:] > 0)
+    rows = order[np.flatnonzero(stuck) + 1]
+    return [
+        _result(
+            "stuck.pe_cycles",
+            "warning",
+            np.sort(rows),
+            "pe_cycles advances on active days",
+            "pe_cycles frozen despite write activity (stuck counter)",
+        )
+    ]
+
+
+def check_day_gaps(
+    cols: Mapping[str, np.ndarray], max_gap_days: int | None = None
+) -> list[CheckResult]:
+    """Per-drive reporting gaps no longer than ``max_gap_days``.
+
+    Collector thinning makes small gaps normal (the observation model
+    records ~65 % of days), so this is a *warning* by default and only
+    runs when a threshold is given.  Dense fixtures use ``max_gap_days=1``
+    to catch every removed day.
+    """
+    if max_gap_days is None:
+        return []
+    order, ids_s, age_s = _per_drive_view(cols)
+    same = ids_s[1:] == ids_s[:-1]
+    gap = same & (np.diff(age_s.astype(np.int64)) > max_gap_days)
+    rows = order[np.flatnonzero(gap) + 1]
+    return [
+        _result(
+            "gaps.age_days",
+            "warning",
+            np.sort(rows),
+            f"no reporting gap exceeds {max_gap_days} day(s)",
+            f"reporting gaps longer than {max_gap_days} day(s)",
+        )
+    ]
+
+
+def check_referential_integrity(
+    cols: Mapping[str, np.ndarray],
+    drives: DriveTable | None,
+    swaps: SwapLog | None,
+) -> list[CheckResult]:
+    """Cross-table identity and swap-log consistency."""
+    out: list[CheckResult] = []
+    if drives is not None and "drive_id" in cols:
+        known = np.asarray(drives.drive_id)
+        rows = np.flatnonzero(~np.isin(np.asarray(cols["drive_id"]), known))
+        out.append(
+            _result(
+                "refint.records_drives",
+                "error",
+                rows,
+                "every record drive_id exists in the drive table",
+                "records reference unknown drives",
+            )
+        )
+    if drives is not None and swaps is not None and len(swaps):
+        known = np.asarray(drives.drive_id)
+        bad = np.flatnonzero(~np.isin(np.asarray(swaps.drive_id), known))
+        out.append(
+            _result(
+                "refint.swaps_drives",
+                "error",
+                bad,
+                "every swap drive_id exists in the drive table",
+                "swap events reference unknown drives",
+            )
+        )
+    if swaps is not None and len(swaps):
+        with np.errstate(invalid="ignore"):
+            bad_order = np.flatnonzero(swaps.swap_age < swaps.failure_age)
+            re = swaps.reentry_age
+            bad_re = np.flatnonzero(~np.isnan(re) & (re < swaps.swap_age))
+            bad_start = np.flatnonzero(
+                swaps.operational_start_age > swaps.failure_age
+            )
+        out.append(
+            _result(
+                "swaplog.order",
+                "error",
+                bad_order,
+                "swap_age >= failure_age for every event",
+                "swap precedes its failure",
+            )
+        )
+        out.append(
+            _result(
+                "swaplog.reentry",
+                "error",
+                bad_re,
+                "reentry_age >= swap_age (or censored)",
+                "re-entry precedes its swap",
+            )
+        )
+        out.append(
+            _result(
+                "swaplog.period_start",
+                "error",
+                bad_start,
+                "operational periods start before their failure",
+                "operational period starts after its failure",
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# composite entry points
+# --------------------------------------------------------------------------
+
+def validate_columns(
+    cols: Mapping[str, np.ndarray],
+    max_gap_days: int | None = None,
+) -> ValidationReport:
+    """Run every record-level check on raw columns."""
+    checks: list[CheckResult] = []
+    checks.extend(check_schema(cols))
+    n_rows = int(np.asarray(next(iter(cols.values()))).shape[0]) if cols else 0
+    if all(c in cols for c in CRITICAL_COLUMNS):
+        checks.extend(check_finite(cols))
+        checks.extend(check_nonnegative(cols))
+        checks.extend(check_sorted_rows(cols))
+        checks.extend(check_duplicate_days(cols))
+        checks.extend(check_monotone_cumulative(cols))
+        checks.extend(check_stuck_counters(cols))
+        checks.extend(check_day_gaps(cols, max_gap_days))
+    return ValidationReport(checks=checks, n_rows=n_rows)
+
+
+def validate_trace(
+    records: DriveDayDataset | Mapping[str, np.ndarray],
+    drives: DriveTable | None = None,
+    swaps: SwapLog | None = None,
+    max_gap_days: int | None = None,
+) -> ValidationReport:
+    """Validate a full trace: record invariants + cross-table integrity."""
+    cols = dataset_columns(records) if isinstance(records, DriveDayDataset) else records
+    report = validate_columns(cols, max_gap_days=max_gap_days)
+    if all(c in cols for c in CRITICAL_COLUMNS):
+        report.checks.extend(check_referential_integrity(cols, drives, swaps))
+    return report

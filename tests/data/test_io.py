@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
 from repro.data import (
     export_dataset_csv,
@@ -52,3 +53,108 @@ class TestEventTableIO:
         loaded = load_drivetable_npz(path)
         assert len(loaded) == len(small_trace.drives)
         assert np.array_equal(loaded.deploy_day, small_trace.drives.deploy_day)
+
+
+def _select_drives(drives, idx):
+    import numpy as np
+
+    from repro.data import DriveTable
+
+    idx = np.asarray(idx, dtype=np.int64)
+    return DriveTable(
+        drive_id=drives.drive_id[idx],
+        model=drives.model[idx],
+        deploy_day=drives.deploy_day[idx],
+        end_of_observation_age=drives.end_of_observation_age[idx],
+    )
+
+
+class TestEdgeCaseRoundTrips:
+    """Empty and single-row tables survive save -> load unchanged."""
+
+    def test_empty_dataset(self, tmp_path):
+        from repro.data import DriveDayDataset
+
+        path = tmp_path / "records.npz"
+        save_dataset_npz(DriveDayDataset.empty(), path)
+        loaded = load_dataset_npz(path)
+        assert len(loaded) == 0
+        assert "drive_id" in loaded
+
+    def test_single_row_dataset(self, small_trace, tmp_path):
+        one = small_trace.records.select(np.array([0]))
+        path = tmp_path / "records.npz"
+        save_dataset_npz(one, path)
+        loaded = load_dataset_npz(path)
+        assert len(loaded) == 1
+        for name in loaded.column_names:
+            assert np.array_equal(
+                loaded[name], one[name], equal_nan=np.issubdtype(
+                    np.asarray(one[name]).dtype, np.floating
+                )
+            )
+
+    def test_empty_drivetable(self, small_trace, tmp_path):
+        empty = _select_drives(small_trace.drives, [])
+        path = tmp_path / "drives.npz"
+        save_drivetable_npz(empty, path)
+        assert len(load_drivetable_npz(path)) == 0
+
+    def test_single_row_drivetable(self, small_trace, tmp_path):
+        one = _select_drives(small_trace.drives, [3])
+        path = tmp_path / "drives.npz"
+        save_drivetable_npz(one, path)
+        loaded = load_drivetable_npz(path)
+        assert len(loaded) == 1
+        assert loaded.drive_id[0] == small_trace.drives.drive_id[3]
+
+    def test_empty_swaplog(self, small_trace, tmp_path):
+        empty = small_trace.swaps.select(np.zeros(len(small_trace.swaps), dtype=bool))
+        path = tmp_path / "swaps.npz"
+        save_swaplog_npz(empty, path)
+        assert len(load_swaplog_npz(path)) == 0
+
+    def test_single_row_swaplog(self, small_trace, tmp_path):
+        if not len(small_trace.swaps):
+            return
+        mask = np.zeros(len(small_trace.swaps), dtype=bool)
+        mask[0] = True
+        one = small_trace.swaps.select(mask)
+        path = tmp_path / "swaps.npz"
+        save_swaplog_npz(one, path)
+        loaded = load_swaplog_npz(path)
+        assert len(loaded) == 1
+        assert loaded.drive_id[0] == small_trace.swaps.drive_id[0]
+
+
+class TestIntegrityErrors:
+    def test_truncated_records_detected(self, small_trace, tmp_path):
+        from repro.data import TraceIntegrityError, load_dataset_checked
+        from repro.reliability import truncate_file
+
+        path = tmp_path / "records.npz"
+        save_dataset_npz(small_trace.records, path)
+        truncate_file(path, keep_fraction=0.5)
+        with pytest.raises(TraceIntegrityError, match="corrupt or truncated"):
+            load_dataset_checked(path, policy="repair")
+
+    def test_missing_file_actionable(self, tmp_path):
+        from repro.data import TraceIntegrityError
+
+        with pytest.raises(TraceIntegrityError, match="does not exist"):
+            load_dataset_npz(tmp_path / "absent.npz")
+
+    def test_wrong_payload_detected(self, small_trace, tmp_path):
+        from repro.data import TraceIntegrityError
+
+        path = tmp_path / "swaps.npz"
+        save_dataset_npz(small_trace.records, path)  # wrong table on purpose
+        with pytest.raises(TraceIntegrityError, match="missing column"):
+            load_swaplog_npz(path)
+
+    def test_atomic_save_leaves_no_tmp_files(self, small_trace, tmp_path):
+        save_dataset_npz(small_trace.records, tmp_path / "records.npz")
+        save_drivetable_npz(small_trace.drives, tmp_path / "drives.npz")
+        save_swaplog_npz(small_trace.swaps, tmp_path / "swaps.npz")
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["drives.npz", "records.npz", "swaps.npz"]

@@ -1,0 +1,107 @@
+"""Unit tests for the seeded fault injector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import TraceIntegrityError, load_raw_columns_npz, save_dataset_npz
+from repro.reliability import (
+    DEFAULT_RATES,
+    FAULT_CLASSES,
+    FaultInjector,
+    truncate_file,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_corruption(self, dense_columns):
+        a = FaultInjector(seed=9).inject(dense_columns, classes=FAULT_CLASSES[:5])
+        b = FaultInjector(seed=9).inject(dense_columns, classes=FAULT_CLASSES[:5])
+        assert a.faults == b.faults
+        for k in a.columns:
+            assert np.array_equal(a.columns[k], b.columns[k], equal_nan=True)
+
+    def test_different_seed_differs(self, dense_columns):
+        a = FaultInjector(seed=1).missing_days(dense_columns)
+        b = FaultInjector(seed=2).missing_days(dense_columns)
+        assert {f.ages for f in a.faults} != {f.ages for f in b.faults}
+
+
+class TestFaultClasses:
+    def test_missing_days_drops_interior_rows(self, dense_columns):
+        n = dense_columns["drive_id"].size
+        res = FaultInjector(seed=0).missing_days(dense_columns, rate=0.05)
+        dropped = n - res.columns["drive_id"].size
+        assert dropped == len(res.faults) == round(0.05 * n)
+        # First/last day of every drive survives.
+        ids = res.columns["drive_id"]
+        age = res.columns["age_days"]
+        for d in np.unique(ids):
+            a = age[ids == d]
+            assert a[0] == 0 and a[-1] == 119
+
+    def test_duplicate_rows_adds_rows(self, dense_columns):
+        n = dense_columns["drive_id"].size
+        res = FaultInjector(seed=0).duplicate_rows(dense_columns, rate=0.03)
+        assert res.columns["drive_id"].size == n + len(res.faults)
+
+    def test_out_of_order_breaks_sort(self, dense_columns):
+        res = FaultInjector(seed=0).out_of_order(dense_columns, rate=0.02)
+        assert res.faults
+        age = res.columns["age_days"]
+        ids = res.columns["drive_id"]
+        same = ids[1:] == ids[:-1]
+        assert bool(np.any(same & (age[1:] < age[:-1])))
+
+    def test_value_spikes_nan_and_sentinel(self, dense_columns):
+        res = FaultInjector(seed=0).value_spikes(dense_columns, rate=0.01)
+        assert bool(np.any(~np.isfinite(res.columns["write_count"])))
+        ue = res.columns["uncorrectable_error"]
+        assert bool(np.any((ue < 0) | (ue > 10**15)))
+
+    def test_stuck_counter_freezes_pe(self, dense_columns):
+        res = FaultInjector(seed=0).stuck_counter(dense_columns, rate=0.5)
+        assert res.faults
+        pe = res.columns["pe_cycles"]
+        ids = res.columns["drive_id"]
+        frozen = (ids[1:] == ids[:-1]) & (np.diff(pe) == 0)
+        assert int(frozen.sum()) >= len(res.faults)
+
+    def test_schema_drift_drop_and_rename(self, dense_columns):
+        res = FaultInjector(seed=0).schema_drift(dense_columns, n_columns=2)
+        assert len(res.faults) == 2
+        for f in res.faults:
+            assert f.column not in ("drive_id", "age_days", "model", "calendar_day")
+            assert (
+                f.column not in res.columns
+                or f"legacy_{f.column}" in res.columns
+            )
+
+    def test_unknown_class_rejected(self, dense_columns):
+        with pytest.raises(ValueError, match="unknown fault class"):
+            FaultInjector().inject(dense_columns, classes=("bogus",))
+
+    def test_truncated_file_is_file_level(self, dense_columns):
+        with pytest.raises(ValueError, match="file-level"):
+            FaultInjector().inject(dense_columns, classes=("truncated_file",))
+
+
+class TestFileLevel:
+    def test_truncate_detected_by_loader(self, small_trace, tmp_path):
+        path = tmp_path / "records.npz"
+        save_dataset_npz(small_trace.records, path)
+        truncate_file(path, keep_fraction=DEFAULT_RATES["truncated_file"])
+        with pytest.raises(TraceIntegrityError, match="corrupt or truncated"):
+            load_raw_columns_npz(path)
+
+    def test_corrupt_trace_directory(self, small_trace, tmp_path):
+        src = tmp_path / "clean"
+        src.mkdir()
+        save_dataset_npz(small_trace.records, src / "records.npz")
+        res = FaultInjector(seed=3).corrupt_trace(
+            src, tmp_path / "dirty", classes=("missing_days", "value_spikes")
+        )
+        assert res.faults
+        cols = load_raw_columns_npz(tmp_path / "dirty" / "records.npz")
+        assert cols["drive_id"].size < len(small_trace.records)

@@ -1,0 +1,267 @@
+"""End-to-end fault drill (the PR's acceptance criteria).
+
+For every fault class in :mod:`repro.reliability.corruption`, injected at
+its documented default rate:
+
+(a) the validator detects it with >= 95 % recall against the injector's
+    ground-truth fault log (dense fixture, so every fault is detectable
+    in principle);
+(b) the full load -> train -> score path completes without unhandled
+    exceptions under the ``repair`` and ``quarantine`` policies;
+(c) killing ``repro-ssd simulate`` mid-run (SIGKILL, no cleanup) and
+    re-running with ``--resume`` produces a trace identical to an
+    uninterrupted run with the same seed.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import FailurePredictor
+from repro.core.pipeline import ModelSpec
+from repro.data import (
+    TraceIntegrityError,
+    load_dataset_checked,
+    save_dataset_npz,
+    save_drivetable_npz,
+    save_swaplog_npz,
+)
+from repro.ml import DecisionTreeClassifier
+from repro.reliability import FaultInjector, validate_columns
+
+from .conftest import build_dense_columns
+
+ROW_CLASSES = (
+    "missing_days",
+    "duplicate_rows",
+    "out_of_order",
+    "value_spikes",
+    "stuck_counter",
+    "schema_drift",
+)
+
+MIN_RECALL = 0.95
+
+
+def _detected_pairs(report, prefixes, cols) -> set[tuple[int, int]]:
+    """(drive_id, age) pairs flagged by any check with one of ``prefixes``."""
+    ids = np.asarray(cols["drive_id"])
+    ages = np.asarray(cols["age_days"])
+    out: set[tuple[int, int]] = set()
+    for prefix in prefixes:
+        for rows in (
+            c.rows for c in report.checks if c.check.startswith(prefix) and c.rows is not None
+        ):
+            for r in rows:
+                out.add((int(ids[r]), int(ages[r])))
+    return out
+
+
+def _gap_covered_pairs(report, cols) -> set[tuple[int, int]]:
+    """Every (drive, age) inside a flagged reporting gap.
+
+    A gap check flags the row *after* the gap; all missing ages between
+    that row and its same-drive predecessor count as detected.
+    """
+    ids = np.asarray(cols["drive_id"])
+    ages = np.asarray(cols["age_days"])
+    out: set[tuple[int, int]] = set()
+    for c in report.checks:
+        if not c.check.startswith("gaps.") or c.rows is None:
+            continue
+        for r in c.rows:
+            r = int(r)
+            if r == 0 or ids[r - 1] != ids[r]:
+                continue
+            for a in range(int(ages[r - 1]) + 1, int(ages[r])):
+                out.add((int(ids[r]), a))
+    return out
+
+
+class TestDetectorRecall:
+    """Criterion (a): >= 95 % recall per fault class at default rates."""
+
+    @pytest.fixture()
+    def big_dense(self):
+        return build_dense_columns(n_drives=30, n_days=150, seed=11)
+
+    @pytest.mark.parametrize("fault_class", ROW_CLASSES)
+    def test_recall(self, big_dense, fault_class):
+        injector = FaultInjector(seed=21)
+        res = getattr(injector, fault_class)(big_dense)
+        assert res.faults, f"injector produced no {fault_class} faults"
+        report = validate_columns(res.columns, max_gap_days=1)
+
+        if fault_class == "schema_drift":
+            schema_failed = any(
+                not c.passed and c.check.startswith("schema.") for c in report.checks
+            )
+            detected = sum(
+                1
+                for f in res.faults
+                if schema_failed
+                and (f.column not in res.columns or f"legacy_{f.column}" in res.columns)
+            )
+            recall = detected / len(res.faults)
+        else:
+            if fault_class == "missing_days":
+                hit = _gap_covered_pairs(report, res.columns)
+            elif fault_class == "duplicate_rows":
+                hit = _detected_pairs(report, ("rows.duplicates",), res.columns)
+            elif fault_class == "out_of_order":
+                hit = _detected_pairs(report, ("order.sorted",), res.columns)
+            elif fault_class == "value_spikes":
+                hit = _detected_pairs(report, ("values.",), res.columns)
+            else:  # stuck_counter
+                hit = _detected_pairs(
+                    report, ("stuck.", "monotone."), res.columns
+                )
+            detected = sum(
+                1
+                for f in res.faults
+                if any((f.drive_id, a) in hit for a in f.ages)
+            )
+            recall = detected / len(res.faults)
+        assert recall >= MIN_RECALL, (
+            f"{fault_class}: recall {recall:.2%} < {MIN_RECALL:.0%} "
+            f"({detected}/{len(res.faults)} faults detected)"
+        )
+
+    def test_truncated_file_detected(self, small_trace, tmp_path):
+        src = tmp_path / "clean"
+        src.mkdir()
+        save_dataset_npz(small_trace.records, src / "records.npz")
+        FaultInjector(seed=1).corrupt_trace(
+            src, tmp_path / "dirty", classes=("truncated_file",)
+        )
+        with pytest.raises(TraceIntegrityError):
+            load_dataset_checked(tmp_path / "dirty" / "records.npz", policy="repair")
+
+
+@pytest.fixture(scope="module")
+def trace_dir(small_trace, tmp_path_factory):
+    d = tmp_path_factory.mktemp("drill_trace")
+    save_dataset_npz(small_trace.records, d / "records.npz")
+    save_drivetable_npz(small_trace.drives, d / "drives.npz")
+    save_swaplog_npz(small_trace.swaps, d / "swaps.npz")
+    return d
+
+
+def _cheap_predictor() -> FailurePredictor:
+    spec = ModelSpec(
+        "Decision Tree",
+        lambda: DecisionTreeClassifier(max_depth=6, min_samples_leaf=3, random_state=0),
+        scale=False,
+        log1p=False,
+    )
+    return FailurePredictor(lookahead=3, model_spec=spec, seed=0)
+
+
+class TestPipelineUnderFaults:
+    """Criterion (b): load -> train -> score survives repair/quarantine."""
+
+    @pytest.mark.parametrize("fault_class", ROW_CLASSES)
+    @pytest.mark.parametrize("policy", ("repair", "quarantine"))
+    def test_train_score_completes(
+        self, trace_dir, small_trace, tmp_path, fault_class, policy
+    ):
+        dirty = tmp_path / "dirty"
+        FaultInjector(seed=13).corrupt_trace(
+            trace_dir, dirty, classes=(fault_class,)
+        )
+        result = load_dataset_checked(dirty / "records.npz", policy=policy)
+        predictor = _cheap_predictor()
+        predictor.fit((result.dataset, small_trace.swaps))
+        scores = predictor.predict_proba_records(result.dataset)
+        assert scores.shape[0] == len(result.dataset)
+        assert bool(np.all(np.isfinite(scores)))
+
+    def test_quarantined_rows_excluded_from_training(
+        self, trace_dir, small_trace, tmp_path
+    ):
+        from repro.core.pipeline import build_prediction_dataset
+
+        dirty = tmp_path / "dirty"
+        FaultInjector(seed=13).corrupt_trace(
+            trace_dir, dirty, classes=("value_spikes",)
+        )
+        res = load_dataset_checked(dirty / "records.npz", policy="quarantine")
+        assert res.n_quarantined > 0
+        clean_ds = build_prediction_dataset(
+            (small_trace.records, small_trace.swaps), lookahead=3
+        )
+        dirty_ds = build_prediction_dataset(
+            (res.dataset, small_trace.swaps), lookahead=3
+        )
+        assert len(dirty_ds.y) < len(clean_ds.y)
+
+
+class TestKillResumeDrill:
+    """Criterion (c): SIGKILL mid-simulate, then ``--resume`` -> identical."""
+
+    ARGS = [
+        "--drives", "20", "--days", "150", "--deploy-spread", "40",
+        "--seed", "3", "--checkpoint-every", "8", "--verbose",
+    ]
+
+    def _env(self):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        return env
+
+    def _run(self, out_dir, extra=()):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.cli", "simulate", "--out", str(out_dir)]
+            + self.ARGS + list(extra),
+            env=self._env(), capture_output=True, text=True, timeout=300,
+        )
+
+    def test_sigkill_then_resume_identical(self, tmp_path):
+        baseline = tmp_path / "baseline"
+        assert self._run(baseline).returncode == 0
+
+        out = tmp_path / "killed"
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "simulate", "--out", str(out)]
+            + self.ARGS,
+            env=self._env(), stdout=subprocess.PIPE, text=True,
+        )
+        # Kill as soon as at least two checkpoints are on disk.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            chunks = list((out / ".checkpoints").glob("chunk_*.npz")) if (
+                out / ".checkpoints"
+            ).exists() else []
+            if len(chunks) >= 2:
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.01)
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=60)
+            assert proc.returncode != 0
+            assert not (out / "records.npz").exists()
+
+        resumed = self._run(out, extra=("--resume",))
+        assert resumed.returncode == 0, resumed.stderr
+
+        for name in ("records.npz", "drives.npz", "swaps.npz"):
+            with np.load(baseline / name) as a, np.load(out / name) as b:
+                assert sorted(a.files) == sorted(b.files)
+                for k in a.files:
+                    x, y = a[k], b[k]
+                    if np.issubdtype(x.dtype, np.floating):
+                        assert np.array_equal(x, y, equal_nan=True), (name, k)
+                    else:
+                        assert np.array_equal(x, y), (name, k)
+        # Checkpoints are cleaned up after a successful finish.
+        assert not (out / ".checkpoints").exists()

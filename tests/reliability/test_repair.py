@@ -1,0 +1,151 @@
+"""Unit tests for the strict/repair/quarantine policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    FaultInjector,
+    TraceValidationError,
+    apply_policy,
+    validate_columns,
+)
+from repro.reliability.repair import _ffill_per_drive
+
+
+class TestStrict:
+    def test_clean_passes(self, dense_columns):
+        res = apply_policy(dense_columns, policy="strict")
+        assert not res.actions
+        assert res.n_quarantined == 0
+        assert len(res.dataset) == dense_columns["drive_id"].size
+
+    def test_dirty_raises_with_report(self, dense_columns):
+        dense_columns["write_count"][4] = np.nan
+        with pytest.raises(TraceValidationError, match="strict policy") as ei:
+            apply_policy(dense_columns, policy="strict")
+        assert ei.value.report is not None
+        assert not ei.value.report.ok
+
+    def test_missing_critical_column_raises_everywhere(self, dense_columns):
+        dense_columns.pop("drive_id")
+        for policy in ("strict", "repair", "quarantine"):
+            with pytest.raises(TraceValidationError, match="critical column"):
+                apply_policy(dense_columns, policy=policy)
+
+    def test_unknown_policy(self, dense_columns):
+        with pytest.raises(ValueError, match="unknown policy"):
+            apply_policy(dense_columns, policy="lenient")
+
+
+class TestRepair:
+    def test_repaired_table_validates_clean(self, dense_columns):
+        dirty = FaultInjector(seed=4).inject(
+            dense_columns,
+            classes=(
+                "duplicate_rows",
+                "out_of_order",
+                "value_spikes",
+                "stuck_counter",
+                "schema_drift",
+            ),
+        )
+        res = apply_policy(dirty.columns, policy="repair")
+        assert res.actions
+        post = validate_columns(
+            dict(res.dataset.items())
+        )
+        assert not [c for c in post.failed() if c.severity == "error"], post.render()
+
+    def test_duplicates_keep_first(self, dense_columns):
+        cols = {k: np.array(v) for k, v in dense_columns.items()}
+        marker = cols["read_count"][0]
+        dup = {k: np.concatenate((v[:1], v)) for k, v in cols.items()}
+        dup["read_count"][1] = marker + 123.0  # second delivery differs
+        res = apply_policy(dup, policy="repair")
+        assert len(res.dataset) == cols["drive_id"].size
+        assert res.dataset["read_count"][0] == marker
+
+    def test_out_of_order_resorted(self, dense_columns):
+        for v in dense_columns.values():
+            v[5], v[6] = np.array(v[6]), np.array(v[5])
+        res = apply_policy(dense_columns, policy="repair")
+        age = res.dataset["age_days"]
+        ids = res.dataset["drive_id"]
+        same = ids[1:] == ids[:-1]
+        assert bool(np.all(~same | (age[1:] > age[:-1])))
+
+    def test_nan_cumulative_forward_filled(self, dense_columns):
+        prev = float(dense_columns["pe_cycles"][49])
+        dense_columns["pe_cycles"][50] = np.nan
+        res = apply_policy(dense_columns, policy="repair")
+        assert res.dataset["pe_cycles"][50] == pytest.approx(prev)
+
+    def test_nan_daily_zeroed_and_negative_clamped(self, dense_columns):
+        dense_columns["write_count"][11] = np.nan
+        dense_columns["read_count"][12] = -9.0
+        res = apply_policy(dense_columns, policy="repair")
+        assert res.dataset["write_count"][11] == 0.0
+        assert res.dataset["read_count"][12] == 0.0
+
+    def test_monotone_clamped_to_running_max(self, dense_columns):
+        true_val = float(dense_columns["pe_cycles"][49])
+        dense_columns["pe_cycles"][50] = 0.0
+        res = apply_policy(dense_columns, policy="repair")
+        pe = res.dataset["pe_cycles"]
+        assert pe[50] == pytest.approx(true_val)
+        ids = res.dataset["drive_id"]
+        same = ids[1:] == ids[:-1]
+        assert bool(np.all(np.diff(pe)[same] >= 0))
+
+    def test_missing_column_zero_filled(self, dense_columns):
+        dense_columns.pop("uncorrectable_error")
+        res = apply_policy(dense_columns, policy="repair")
+        assert bool(np.all(res.dataset["uncorrectable_error"] == 0))
+        # Column-level degradation does not poison rows.
+        assert res.n_quarantined == 0
+
+
+class TestQuarantine:
+    def test_touched_rows_marked(self, dense_columns):
+        dense_columns["write_count"][7] = np.nan
+        res = apply_policy(dense_columns, policy="quarantine")
+        q = res.dataset["quarantined"]
+        assert res.n_quarantined == 1
+        assert q[7] == 1 and int(q.sum()) == 1
+
+    def test_repair_policy_has_no_quarantine_column(self, dense_columns):
+        dense_columns["write_count"][7] = np.nan
+        res = apply_policy(dense_columns, policy="repair")
+        assert "quarantined" not in res.dataset
+        assert res.n_quarantined == 0
+
+    def test_stuck_rows_quarantined(self, dense_columns):
+        pe = dense_columns["pe_cycles"]
+        pe[10:15] = pe[9]
+        res = apply_policy(dense_columns, policy="quarantine")
+        assert res.n_quarantined >= 4
+        assert any(a.check == "stuck.pe_cycles" for a in res.actions)
+
+    def test_summary_mentions_actions(self, dense_columns):
+        dense_columns["read_count"][3] = -1.0
+        res = apply_policy(dense_columns, policy="quarantine")
+        assert "values.read_count" in res.summary()
+        assert "1 row(s) quarantined" in res.summary()
+
+
+class TestFfill:
+    def test_fills_from_same_drive_only(self):
+        ids = np.array([0, 0, 0, 1, 1])
+        vals = np.array([1.0, 2.0, np.nan, np.nan, 5.0])
+        bad = ~np.isfinite(vals)
+        out = _ffill_per_drive(vals, ids, bad)
+        assert out[2] == 2.0  # last good value of drive 0
+        assert out[3] == 0.0  # drive 1 has no prior good value
+
+    def test_empty(self):
+        out = _ffill_per_drive(
+            np.array([]), np.array([], dtype=np.int32), np.array([], dtype=bool)
+        )
+        assert out.size == 0

@@ -1,0 +1,215 @@
+"""Crash-safety tests: atomic writes, retries, checkpointed simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.reliability.runner import (
+    CheckpointStore,
+    atomic_save_npz,
+    atomic_write,
+    retry_io,
+    simulate_fleet_resumable,
+)
+from repro.simulator import FleetConfig, default_models, simulate_fleet
+
+SMALL = FleetConfig(
+    n_drives_per_model=12, horizon_days=120, deploy_spread_days=30, seed=77
+)
+
+
+class TestAtomicWrite:
+    def test_success_replaces(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with atomic_write(target, "w") as fh:
+            fh.write("new")
+        assert target.read_text() == "new"
+        assert list(tmp_path.iterdir()) == [target]  # no stray tmp files
+
+    def test_failure_preserves_old_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_write(target, "w") as fh:
+                fh.write("half-written")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "old"
+        assert list(tmp_path.iterdir()) == [target]
+
+    def test_atomic_save_npz_roundtrip(self, tmp_path):
+        path = tmp_path / "a.npz"
+        atomic_save_npz(path, x=np.arange(5))
+        with np.load(path) as payload:
+            assert np.array_equal(payload["x"], np.arange(5))
+
+
+class TestRetryIO:
+    def test_succeeds_after_transient_failures(self):
+        calls = {"n": 0}
+        delays: list[float] = []
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise OSError("transient")
+            return "ok"
+
+        out = retry_io(flaky, retries=4, jitter=0.0, sleep=delays.append)
+        assert out == "ok"
+        assert calls["n"] == 3
+        assert delays == [0.05, 0.10]  # exponential, no jitter
+
+    def test_exhaustion_reraises(self):
+        def always_fails():
+            raise OSError("permanent")
+
+        with pytest.raises(OSError, match="permanent"):
+            retry_io(always_fails, retries=2, sleep=lambda _: None)
+
+    def test_non_matching_exception_not_retried(self):
+        calls = {"n": 0}
+
+        def boom():
+            calls["n"] += 1
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            retry_io(boom, retries=5, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_delay_capped(self):
+        delays: list[float] = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 7:
+                raise OSError("x")
+            return 1
+
+        retry_io(
+            flaky, retries=6, base_delay=0.5, max_delay=1.0, jitter=0.0,
+            sleep=delays.append,
+        )
+        assert max(delays) == 1.0
+
+
+def _arrays_equal(x: np.ndarray, y: np.ndarray) -> bool:
+    if np.issubdtype(np.asarray(x).dtype, np.floating):
+        return np.array_equal(x, y, equal_nan=True)
+    return np.array_equal(x, y)
+
+
+def _traces_equal(a, b) -> bool:
+    if len(a.records) != len(b.records):
+        return False
+    for k, v in a.records.items():
+        if not _arrays_equal(v, b.records[k]):
+            return False
+    for name in ("drive_id", "model", "deploy_day", "end_of_observation_age"):
+        if not _arrays_equal(getattr(a.drives, name), getattr(b.drives, name)):
+            return False
+    for name in ("drive_id", "failure_age", "swap_age", "reentry_age"):
+        if not _arrays_equal(getattr(a.swaps, name), getattr(b.swaps, name)):
+            return False
+    return True
+
+
+class TestResumableSimulation:
+    def test_matches_one_shot(self, tmp_path):
+        expected = simulate_fleet(SMALL)
+        got = simulate_fleet_resumable(
+            SMALL, checkpoint_dir=tmp_path / "ckpt", chunk_size=7
+        )
+        assert _traces_equal(expected, got)
+
+    def test_abort_and_resume_is_identical(self, tmp_path):
+        expected = simulate_fleet(SMALL)
+
+        class Abort(Exception):
+            pass
+
+        def bomb(done, total):
+            if done == 2:  # die with 2 of several chunks persisted
+                raise Abort
+
+        with pytest.raises(Abort):
+            simulate_fleet_resumable(
+                SMALL, checkpoint_dir=tmp_path / "ckpt", chunk_size=7,
+                progress=bomb,
+            )
+        simulated: list[int] = []
+        got = simulate_fleet_resumable(
+            SMALL, checkpoint_dir=tmp_path / "ckpt", chunk_size=7, resume=True,
+            progress=lambda done, total: simulated.append(done),
+        )
+        assert _traces_equal(expected, got)
+        # The first two chunks were loaded, not re-simulated: the
+        # checkpoint files must not have been rewritten.
+        store = CheckpointStore(
+            directory=tmp_path / "ckpt", digest="", n_chunks=0
+        )
+        assert store.chunk_path(0).exists()
+
+    def test_resume_ignores_incompatible_checkpoints(self, tmp_path):
+        simulate_fleet_resumable(
+            SMALL, checkpoint_dir=tmp_path / "ckpt", chunk_size=7
+        )
+        other = FleetConfig(
+            n_drives_per_model=12, horizon_days=120, deploy_spread_days=30, seed=78
+        )
+        got = simulate_fleet_resumable(
+            other, checkpoint_dir=tmp_path / "ckpt", chunk_size=7, resume=True
+        )
+        assert _traces_equal(got, simulate_fleet(other))
+
+    def test_damaged_chunk_is_resimulated(self, tmp_path):
+        expected = simulate_fleet(SMALL)
+
+        def bomb(done, total):
+            if done == 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            simulate_fleet_resumable(
+                SMALL, checkpoint_dir=tmp_path / "ckpt", chunk_size=7,
+                progress=bomb,
+            )
+        # Corrupt the first completed chunk in place.
+        chunk0 = tmp_path / "ckpt" / "chunk_00000.npz"
+        chunk0.write_bytes(chunk0.read_bytes()[: chunk0.stat().st_size // 2])
+        got = simulate_fleet_resumable(
+            SMALL, checkpoint_dir=tmp_path / "ckpt", chunk_size=7, resume=True
+        )
+        assert _traces_equal(expected, got)
+
+    def test_without_resume_starts_fresh(self, tmp_path):
+        simulate_fleet_resumable(
+            SMALL, checkpoint_dir=tmp_path / "ckpt", chunk_size=7
+        )
+        before = (tmp_path / "ckpt" / "chunk_00000.npz").stat().st_mtime_ns
+        simulate_fleet_resumable(
+            SMALL, checkpoint_dir=tmp_path / "ckpt", chunk_size=7, resume=False
+        )
+        after = (tmp_path / "ckpt" / "chunk_00000.npz").stat().st_mtime_ns
+        assert after > before  # chunk re-simulated and rewritten
+
+    def test_cleanup_removes_directory(self, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        simulate_fleet_resumable(SMALL, checkpoint_dir=ckpt, chunk_size=7)
+        CheckpointStore(directory=ckpt, digest="", n_chunks=0).cleanup()
+        assert not ckpt.exists()
+
+    def test_invalid_chunk_size(self, tmp_path):
+        with pytest.raises(ValueError, match="chunk_size"):
+            simulate_fleet_resumable(SMALL, checkpoint_dir=tmp_path, chunk_size=0)
+
+    def test_models_override(self, tmp_path):
+        models = default_models()[:2]
+        expected = simulate_fleet(SMALL, models=models)
+        got = simulate_fleet_resumable(
+            SMALL, checkpoint_dir=tmp_path / "ckpt", chunk_size=5, models=models
+        )
+        assert _traces_equal(expected, got)

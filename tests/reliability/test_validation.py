@@ -1,0 +1,114 @@
+"""Unit tests for the schema/invariant validator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reliability import validate_columns, validate_trace
+from repro.reliability.validation import SENTINEL_CEILING
+
+
+def _errors(report) -> set[str]:
+    return {c.check for c in report.failed() if c.severity == "error"}
+
+
+def _warnings(report) -> set[str]:
+    return {c.check for c in report.failed() if c.severity == "warning"}
+
+
+class TestCleanData:
+    def test_dense_fixture_is_clean(self, dense_columns):
+        report = validate_columns(dense_columns, max_gap_days=1)
+        assert report.ok, report.render()
+        assert not report.failed()
+
+    def test_simulated_trace_is_clean(self, small_trace):
+        report = validate_trace(
+            small_trace.records, small_trace.drives, small_trace.swaps
+        )
+        assert report.ok, report.render()
+
+    def test_render_mentions_result(self, dense_columns):
+        text = validate_columns(dense_columns).render()
+        assert "Result: OK" in text
+
+
+class TestDetectors:
+    def test_missing_column(self, dense_columns):
+        dense_columns.pop("uncorrectable_error")
+        report = validate_columns(dense_columns)
+        assert "schema.columns" in _errors(report)
+
+    def test_renamed_column_flags_both_sides(self, dense_columns):
+        dense_columns["legacy_ue"] = dense_columns.pop("uncorrectable_error")
+        report = validate_columns(dense_columns)
+        assert "schema.columns" in _errors(report)
+        assert "schema.unknown" in _warnings(report)
+
+    def test_nan_detected_with_row(self, dense_columns):
+        dense_columns["write_count"][7] = np.nan
+        report = validate_columns(dense_columns)
+        assert "values.finite" in _errors(report)
+        assert 7 in report.violation_rows("values.finite")
+
+    def test_negative_and_sentinel(self, dense_columns):
+        dense_columns["read_count"][3] = -5.0
+        dense_columns["uncorrectable_error"][9] = int(SENTINEL_CEILING * 10)
+        report = validate_columns(dense_columns)
+        assert "values.nonnegative" in _errors(report)
+        assert "values.sentinel" in _errors(report)
+
+    def test_out_of_order_rows(self, dense_columns):
+        for k, v in dense_columns.items():
+            v[5], v[6] = v[6], v[5]
+        report = validate_columns(dense_columns)
+        assert "order.sorted" in _errors(report)
+
+    def test_duplicate_days(self, dense_columns):
+        for k in dense_columns:
+            dense_columns[k] = np.concatenate(
+                (dense_columns[k][:1], dense_columns[k])
+            )
+        report = validate_columns(dense_columns)
+        assert "rows.duplicates" in _errors(report)
+
+    def test_non_monotone_cumulative(self, dense_columns):
+        dense_columns["pe_cycles"][50] = 0.0
+        report = validate_columns(dense_columns)
+        assert any(c.startswith("monotone.pe_cycles") for c in _errors(report))
+
+    def test_stuck_counter_is_warning(self, dense_columns):
+        pe = dense_columns["pe_cycles"]
+        pe[10:15] = pe[9]
+        report = validate_columns(dense_columns)
+        assert "stuck.pe_cycles" in _warnings(report)
+        assert report.ok  # warnings alone do not make a trace corrupt
+
+    def test_gap_detection_requires_threshold(self, dense_columns):
+        keep = np.ones(len(dense_columns["drive_id"]), dtype=bool)
+        keep[30] = False  # interior day of drive 0
+        cols = {k: v[keep] for k, v in dense_columns.items()}
+        assert validate_columns(cols).ok
+        report = validate_columns(cols, max_gap_days=1)
+        assert "gaps.age_days" in _warnings(report)
+
+
+class TestReferentialIntegrity:
+    def test_unknown_drive_in_records(self, small_trace):
+        cols = {k: np.array(v) for k, v in small_trace.records.items()}
+        cols["drive_id"][0] = 10_000_000
+        report = validate_trace(cols, small_trace.drives, small_trace.swaps)
+        assert "refint.records_drives" in _errors(report)
+
+    def test_swap_before_failure(self, small_trace):
+        swaps = small_trace.swaps
+        if not len(swaps):
+            return
+        # Build an inconsistent swap log without tripping the constructor.
+        bad = swaps.select(np.arange(len(swaps)))
+        bad.swap_age = np.array(bad.swap_age)
+        bad.swap_age[0] = bad.failure_age[0] - 5
+        report = validate_trace(
+            small_trace.records, small_trace.drives, bad
+        )
+        assert "swaplog.order" in _errors(report)

@@ -94,3 +94,112 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "P(fail" in out
         assert "alpha=0.99" in out
+
+
+class TestErrorHandling:
+    """Missing/corrupt inputs exit with code 2 and a one-line error."""
+
+    def test_report_missing_trace(self, tmp_path, capsys):
+        assert main(["report", "--trace", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "simulate" in err
+
+    def test_audit_missing_trace(self, tmp_path, capsys):
+        assert main(["audit", "--trace", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_train_missing_trace(self, tmp_path, capsys):
+        assert (
+            main(
+                ["train", "--trace", str(tmp_path / "nope"),
+                 "--model", str(tmp_path / "m.pkl")]
+            )
+            == 2
+        )
+        assert "error:" in capsys.readouterr().err
+
+    def test_score_missing_model(self, trace_dir, tmp_path, capsys):
+        code = main(
+            ["score", "--trace", str(trace_dir), "--model", str(tmp_path / "no.pkl")]
+        )
+        assert code == 2
+        assert "train one with" in capsys.readouterr().err
+
+    def test_score_unreadable_model(self, trace_dir, tmp_path, capsys):
+        bad = tmp_path / "bad.pkl"
+        bad.write_bytes(b"not a pickle")
+        code = main(["score", "--trace", str(trace_dir), "--model", str(bad)])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_truncated_trace_exits_2(self, trace_dir, tmp_path, capsys):
+        from repro.reliability import truncate_file
+        import shutil
+
+        dirty = tmp_path / "dirty"
+        shutil.copytree(trace_dir, dirty)
+        truncate_file(dirty / "records.npz", keep_fraction=0.4)
+        assert main(["report", "--trace", str(dirty)]) == 2
+        assert "corrupt or truncated" in capsys.readouterr().err
+
+    def test_strict_policy_rejects_corrupt_trace(self, trace_dir, tmp_path, capsys):
+        assert (
+            main(
+                ["inject", "--trace", str(trace_dir), "--out",
+                 str(tmp_path / "dirty"), "--faults", "value_spikes", "--seed", "5"]
+            )
+            == 0
+        )
+        code = main(["report", "--trace", str(tmp_path / "dirty"),
+                     "--policy", "strict"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "strict policy" in err and "values." in err
+
+
+class TestReliabilityCommands:
+    def test_inject_unknown_fault(self, trace_dir, tmp_path, capsys):
+        code = main(
+            ["inject", "--trace", str(trace_dir), "--out", str(tmp_path / "d"),
+             "--faults", "cosmic_rays"]
+        )
+        assert code == 2
+        assert "unknown fault class" in capsys.readouterr().err
+
+    def test_inject_then_repair_report(self, trace_dir, tmp_path, capsys):
+        dirty = tmp_path / "dirty"
+        assert (
+            main(
+                ["inject", "--trace", str(trace_dir), "--out", str(dirty),
+                 "--faults", "duplicate_rows,value_spikes", "--seed", "5"]
+            )
+            == 0
+        )
+        assert "Injected" in capsys.readouterr().out
+        assert main(["report", "--trace", str(dirty), "--policy", "repair"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_audit_deep_clean_trace(self, trace_dir, capsys):
+        code = main(["audit", "--trace", str(trace_dir), "--deep"])
+        out = capsys.readouterr().out
+        assert "Telemetry validation" in out
+        assert "Result: OK" in out
+        assert code in (0, 1)
+
+    def test_audit_deep_corrupt_trace(self, trace_dir, tmp_path, capsys):
+        dirty = tmp_path / "dirty"
+        main(["inject", "--trace", str(trace_dir), "--out", str(dirty),
+              "--faults", "duplicate_rows", "--seed", "6"])
+        code = main(["audit", "--trace", str(dirty), "--deep"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "skipping observation checks" in out
+
+    def test_simulate_resume_flag_completes(self, trace_dir, tmp_path):
+        out = tmp_path / "fleet"
+        argv = ["simulate", "--out", str(out), "--drives", "10", "--days", "120",
+                "--deploy-spread", "30", "--seed", "9", "--checkpoint-every", "16"]
+        assert main(argv) == 0
+        assert main(argv + ["--resume"]) == 0
+        assert (out / "records.npz").exists()
+        assert not (out / ".checkpoints").exists()
