@@ -1,21 +1,32 @@
-"""Command-line interface: simulate, report, train, score, audit, inject.
+"""Command-line interface: simulate, report, train, score, audit, inject, obs.
 
 Wraps the library's main workflows for shell use::
 
     repro-ssd simulate --out fleet/ --drives 300 --days 1460 --seed 7
     repro-ssd simulate --out fleet/ --resume          # continue a killed run
+    repro-ssd simulate --out fleet/ --trace --quiet   # full spans, 1-line output
     repro-ssd report   --trace fleet/
     repro-ssd audit    --trace fleet/ --deep          # telemetry validation
     repro-ssd inject   --trace fleet/ --out dirty/ --faults value_spikes
     repro-ssd train    --trace fleet/ --model model.pkl --lookahead 3
     repro-ssd score    --trace fleet/ --model model.pkl --top 10
+    repro-ssd obs show fleet/run_manifest.json
+    repro-ssd obs diff fleet_a/run_manifest.json fleet_b/run_manifest.json
 
 A "trace directory" holds the three NPZ files written by ``simulate``:
 ``records.npz``, ``drives.npz``, ``swaps.npz``.
 
-Exit codes: 0 success; 1 a requested analysis/validation found failures;
-2 the trace or model is missing, corrupt, or rejected by the ``strict``
-policy.
+Every ``simulate``/``train``/``score`` run executes under an active span
+tracer + metrics registry (:mod:`repro.obs`) and writes a **run
+manifest** next to its artifacts — config digest, RNG seeds, input and
+output file sha256s, per-stage timings with rows in/out, and
+validation/quarantine tallies.  ``--metrics-out`` additionally dumps the
+metrics registry in Prometheus text format; ``obs show``/``obs diff``
+inspect and compare manifests.
+
+Exit codes: 0 success; 1 a requested analysis/validation found failures
+(for ``obs diff``: the runs are not comparable); 2 the trace, model, or
+manifest is missing, corrupt, or rejected by the ``strict`` policy.
 """
 
 from __future__ import annotations
@@ -23,6 +34,7 @@ from __future__ import annotations
 import argparse
 import pickle
 import sys
+from dataclasses import asdict
 from pathlib import Path
 
 import numpy as np
@@ -39,17 +51,29 @@ from .data import (
     save_drivetable_npz,
     save_swaplog_npz,
 )
+from .obs import (
+    ManifestError,
+    RunManifest,
+    diff_manifests,
+    load_manifest,
+    render_manifest,
+    validate_manifest,
+)
+from .obs import metrics as obs_metrics
+from .obs import tracing as obs_tracing
+from .obs.manifest import _atomic_write_text
 from .reliability import (
     DEFAULT_RATES,
     FAULT_CLASSES,
     CheckpointStore,
     FaultInjector,
+    RepairResult,
     TraceValidationError,
     atomic_write,
     simulate_fleet_resumable,
     validate_trace,
 )
-from .simulator import FleetConfig, FleetTrace
+from .simulator import FleetConfig, FleetTrace, default_models
 
 __all__ = ["main", "build_parser", "CLIError"]
 
@@ -67,15 +91,21 @@ def _require_trace_dir(path: Path) -> Path:
     return path
 
 
-def _load_trace(path: Path, policy: str | None = None) -> FleetTrace:
+def _load_trace(
+    path: Path, policy: str | None = None
+) -> tuple[FleetTrace, RepairResult | None]:
+    """Load a trace directory; returns the trace plus the repair outcome
+    (``None`` when no load policy ran), so callers can fold validation
+    and quarantine tallies into their run manifest."""
     _require_trace_dir(path)
+    repair: RepairResult | None = None
     if policy is None or policy == "off":
         records = load_dataset_npz(path / "records.npz")
     else:
-        result = load_dataset_checked(path / "records.npz", policy=policy)
-        records = result.dataset
-        if result.actions:
-            print(result.summary(), file=sys.stderr)
+        repair = load_dataset_checked(path / "records.npz", policy=policy)
+        records = repair.dataset
+        if repair.actions:
+            print(repair.summary(), file=sys.stderr)
     drives = load_drivetable_npz(path / "drives.npz")
     swaps = load_swaplog_npz(path / "swaps.npz")
     horizon = int((drives.deploy_day + drives.end_of_observation_age).max())
@@ -84,7 +114,57 @@ def _load_trace(path: Path, policy: str | None = None) -> FleetTrace:
         horizon_days=max(horizon, 30),
         deploy_spread_days=min(int(drives.deploy_day.max()), max(horizon, 30) - 1),
     )
-    return FleetTrace(records=records, drives=drives, swaps=swaps, config=config)
+    trace = FleetTrace(records=records, drives=drives, swaps=swaps, config=config)
+    return trace, repair
+
+
+# --------------------------------------------------------------------------
+# observability wiring (manifests, metrics export)
+# --------------------------------------------------------------------------
+
+#: Default manifest filename written into a simulate output directory.
+RUN_MANIFEST = "run_manifest.json"
+
+
+def _record_repair(manifest: RunManifest, repair: RepairResult | None) -> None:
+    if repair is None:
+        return
+    manifest.record_validation(
+        n_errors=repair.report.n_errors,
+        n_warnings=repair.report.n_warnings,
+        n_quarantined=repair.n_quarantined,
+        n_repair_actions=len(repair.actions),
+    )
+
+
+def _trace_inputs(manifest: RunManifest, trace_dir: Path) -> None:
+    for name in ("records.npz", "drives.npz", "swaps.npz"):
+        if (trace_dir / name).exists():
+            manifest.add_input(trace_dir / name)
+
+
+def _finish_obs(
+    args: argparse.Namespace,
+    manifest: RunManifest,
+    tracer: obs_tracing.Tracer,
+    registry: obs_metrics.MetricsRegistry,
+    default_path: Path,
+) -> Path | None:
+    """Finalize + write the manifest and optional Prometheus dump.
+
+    Returns the manifest path (``None`` with ``--no-manifest``).
+    """
+    include_spans = bool(getattr(args, "trace_spans", False))
+    manifest.finish(tracer, registry, include_spans=include_spans)
+    path: Path | None = None
+    if not getattr(args, "no_manifest", False):
+        out = getattr(args, "manifest_out", None)
+        path = Path(out) if out else default_path
+        manifest.write(path)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        _atomic_write_text(Path(metrics_out), registry.render_prometheus())
+    return path
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -96,30 +176,62 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    print(f"Simulating fleet: {config} ...")
+    quiet = args.quiet
+    if not quiet:
+        print(f"Simulating fleet: {config} ...")
 
     def progress(done: int, total: int) -> None:
         print(f"  checkpoint {done}/{total}", flush=True)
 
-    ckpt_dir = out / ".checkpoints"
-    trace = simulate_fleet_resumable(
-        config,
-        checkpoint_dir=ckpt_dir,
-        chunk_size=args.checkpoint_every,
-        resume=args.resume,
-        progress=progress if args.verbose else None,
+    manifest = RunManifest(
+        command="simulate",
+        config={
+            "fleet": asdict(config),
+            "models": [asdict(m) for m in default_models()],
+            "checkpoint_every": args.checkpoint_every,
+        },
+        seeds={"seed": args.seed},
     )
-    save_dataset_npz(trace.records, out / "records.npz")
-    save_drivetable_npz(trace.drives, out / "drives.npz")
-    save_swaplog_npz(trace.swaps, out / "swaps.npz")
+    tracer = obs_tracing.Tracer()
+    registry = obs_metrics.MetricsRegistry()
+    ckpt_dir = out / ".checkpoints"
+    with obs_tracing.activate(tracer), obs_metrics.activate(registry):
+        trace = simulate_fleet_resumable(
+            config,
+            checkpoint_dir=ckpt_dir,
+            chunk_size=args.checkpoint_every,
+            resume=args.resume,
+            progress=progress if (args.verbose and not quiet) else None,
+        )
+        save_dataset_npz(trace.records, out / "records.npz")
+        save_drivetable_npz(trace.drives, out / "drives.npz")
+        save_swaplog_npz(trace.swaps, out / "swaps.npz")
     CheckpointStore(directory=ckpt_dir, digest="", n_chunks=0).cleanup()
-    print(trace.summary())
-    print(f"Wrote {out}/records.npz, drives.npz, swaps.npz")
+    for name in ("records.npz", "drives.npz", "swaps.npz"):
+        manifest.add_output(out / name)
+    manifest.counts = {
+        "drives": len(trace.drives),
+        "records": len(trace.records),
+        "swaps": len(trace.swaps),
+        "days": config.horizon_days,
+    }
+    manifest_path = _finish_obs(args, manifest, tracer, registry, out / RUN_MANIFEST)
+    if not quiet:
+        print(trace.summary())
+        print(f"Wrote {out}/records.npz, drives.npz, swaps.npz")
+    # The one-line summary (always printed, the only success output in
+    # --quiet mode) is sourced from the manifest, not recomputed.
+    print(
+        f"simulate ok: {manifest.counts['drives']} drives, "
+        f"{manifest.counts['days']} days, {manifest.counts['swaps']} swaps, "
+        f"{manifest.elapsed_seconds:.1f}s elapsed"
+        + (f", manifest {manifest_path}" if manifest_path else "")
+    )
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    trace = _load_trace(Path(args.trace), policy=args.policy)
+    trace, _ = _load_trace(Path(args.trace), policy=args.policy)
     print(trace.summary())
     print("\n=== Error incidence (Table 1) ===")
     print(table1(trace).render())
@@ -154,28 +266,57 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             print("Trace failed telemetry validation; skipping observation "
                   "checks (repair the trace or reload with --policy repair).")
             return 1
-    trace = _load_trace(Path(args.trace))
+    trace, _ = _load_trace(Path(args.trace))
     report = check_observations(trace, include_ml=args.ml, seed=args.seed)
     print(report.render())
     return 0 if (report.all_hold and deep_ok) else 1
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
-    trace = _load_trace(Path(args.trace), policy=args.policy)
-    predictor = FailurePredictor(
-        lookahead=args.lookahead,
-        age_partitioned=args.age_partitioned,
-        seed=args.seed,
+    manifest = RunManifest(
+        command="train",
+        config={
+            "lookahead": args.lookahead,
+            "age_partitioned": args.age_partitioned,
+            "cv": args.cv,
+            "policy": args.policy,
+        },
+        seeds={"seed": args.seed},
     )
-    print(f"Training (lookahead={args.lookahead}d"
-          f"{', age-partitioned' if args.age_partitioned else ''}) ...")
-    if args.cv:
-        result = predictor.cross_validate(trace, n_splits=args.cv)
-        print(f"Cross-validated ROC AUC: {result.mean_auc:.3f} ± {result.std_auc:.3f}")
-    predictor.fit(trace)
-    with atomic_write(args.model, "wb") as fh:
-        pickle.dump(predictor, fh)
-    print(f"Wrote model to {args.model}")
+    tracer = obs_tracing.Tracer()
+    registry = obs_metrics.MetricsRegistry()
+    with obs_tracing.activate(tracer), obs_metrics.activate(registry):
+        trace, repair = _load_trace(Path(args.trace), policy=args.policy)
+        _trace_inputs(manifest, Path(args.trace))
+        _record_repair(manifest, repair)
+        predictor = FailurePredictor(
+            lookahead=args.lookahead,
+            age_partitioned=args.age_partitioned,
+            seed=args.seed,
+        )
+        print(f"Training (lookahead={args.lookahead}d"
+              f"{', age-partitioned' if args.age_partitioned else ''}) ...")
+        if args.cv:
+            result = predictor.cross_validate(trace, n_splits=args.cv)
+            print(
+                f"Cross-validated ROC AUC: "
+                f"{result.mean_auc:.3f} ± {result.std_auc:.3f}"
+            )
+            manifest.results["cv_mean_auc"] = result.mean_auc
+            manifest.results["cv_std_auc"] = result.std_auc
+        predictor.fit(trace)
+        with atomic_write(args.model, "wb") as fh:
+            pickle.dump(predictor, fh)
+    manifest.add_output(args.model)
+    manifest.counts = {
+        "drives": len(trace.drives),
+        "records": len(trace.records),
+        "swaps": len(trace.swaps),
+    }
+    default_path = Path(str(args.model) + ".manifest.json")
+    manifest_path = _finish_obs(args, manifest, tracer, registry, default_path)
+    print(f"Wrote model to {args.model}"
+          + (f" (manifest {manifest_path})" if manifest_path else ""))
     return 0
 
 
@@ -194,12 +335,30 @@ def _cmd_score(args: argparse.Namespace) -> int:
             f"model file {model_path} is not a readable predictor pickle ({exc})"
         ) from None
     trace_dir = _require_trace_dir(Path(args.trace))
-    if args.policy and args.policy != "off":
-        result = load_dataset_checked(trace_dir / "records.npz", policy=args.policy)
-        records = result.dataset
-    else:
-        records = load_dataset_npz(trace_dir / "records.npz")
-    report = predictor.risk_report(records).top(args.top)
+    manifest = RunManifest(
+        command="score",
+        config={
+            "top": args.top,
+            "threshold": args.threshold,
+            "policy": args.policy,
+            "lookahead": predictor.lookahead,
+        },
+        seeds={"seed": predictor.seed},
+    )
+    manifest.add_input(model_path)
+    tracer = obs_tracing.Tracer()
+    registry = obs_metrics.MetricsRegistry()
+    with obs_tracing.activate(tracer), obs_metrics.activate(registry):
+        if args.policy and args.policy != "off":
+            result = load_dataset_checked(
+                trace_dir / "records.npz", policy=args.policy
+            )
+            records = result.dataset
+            _record_repair(manifest, result)
+        else:
+            records = load_dataset_npz(trace_dir / "records.npz")
+        manifest.add_input(trace_dir / "records.npz")
+        report = predictor.risk_report(records).top(args.top)
     print(f"{'drive':>8s} {'age (d)':>8s} {'P(fail <= %dd)' % predictor.lookahead:>16s}")
     for did, age, p in zip(report.drive_id, report.age_days, report.probability):
         print(f"{did:>8d} {age:>8d} {p:>16.3f}")
@@ -207,6 +366,10 @@ def _cmd_score(args: argparse.Namespace) -> int:
         flagged = predictor.risk_report(records).flagged(args.threshold)
         print(f"\n{len(flagged)} drive(s) above alpha={args.threshold}: "
               f"{np.sort(flagged).tolist()}")
+        manifest.results["n_flagged"] = int(len(flagged))
+    manifest.counts = {"records": len(records)}
+    default_path = Path(str(args.model) + ".score-manifest.json")
+    _finish_obs(args, manifest, tracer, registry, default_path)
     return 0
 
 
@@ -227,6 +390,33 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_manifest_or_die(path: str) -> dict:
+    try:
+        return load_manifest(path)
+    except ManifestError as exc:
+        raise CLIError(str(exc)) from None
+
+
+def _cmd_obs_show(args: argparse.Namespace) -> int:
+    data = _load_manifest_or_die(args.manifest)
+    errors = validate_manifest(data)
+    print(render_manifest(data))
+    if errors:
+        print("\nSchema violations:", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    a = _load_manifest_or_die(args.a)
+    b = _load_manifest_or_die(args.b)
+    diff = diff_manifests(a, b, time_regression=args.time_regression)
+    print(diff.render())
+    return 0 if diff.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -241,6 +431,38 @@ def build_parser() -> argparse.ArgumentParser:
         default="off",
         help="telemetry repair policy applied at load time (default: off)",
     )
+
+    def add_obs_flags(p: argparse.ArgumentParser, span_flag: str) -> None:
+        """The --trace/--metrics-out observability flag group.
+
+        ``span_flag`` is ``--trace`` on ``simulate`` and ``--trace-spans``
+        on commands where ``--trace`` already names the input directory.
+        """
+        group = p.add_argument_group("observability")
+        group.add_argument(
+            span_flag,
+            dest="trace_spans",
+            action="store_true",
+            help="include the full span tree in the run manifest "
+            "(stage aggregates are always recorded)",
+        )
+        group.add_argument(
+            "--metrics-out",
+            metavar="PATH",
+            default=None,
+            help="also write the metrics registry in Prometheus text format",
+        )
+        group.add_argument(
+            "--manifest-out",
+            metavar="PATH",
+            default=None,
+            help="override the default run-manifest path",
+        )
+        group.add_argument(
+            "--no-manifest",
+            action="store_true",
+            help="skip writing the run manifest",
+        )
 
     p_sim = sub.add_parser("simulate", help="simulate a fleet and write NPZ files")
     p_sim.add_argument("--out", required=True, help="output directory")
@@ -262,6 +484,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="drives per checkpointed chunk (default: 64)",
     )
     p_sim.add_argument("--verbose", action="store_true", help="progress lines")
+    p_sim.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the final one-line summary",
+    )
+    add_obs_flags(p_sim, "--trace")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_rep = sub.add_parser("report", help="characterization report of a trace")
@@ -315,6 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--cv", type=int, default=0, help="also report k-fold AUC")
     p_tr.add_argument("--seed", type=int, default=0)
     p_tr.add_argument("--policy", **policy_kwargs)
+    add_obs_flags(p_tr, "--trace-spans")
     p_tr.set_defaults(func=_cmd_train)
 
     p_sc = sub.add_parser("score", help="rank a fleet by failure risk")
@@ -323,7 +552,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--top", type=int, default=10)
     p_sc.add_argument("--threshold", type=float, default=None)
     p_sc.add_argument("--policy", **policy_kwargs)
+    add_obs_flags(p_sc, "--trace-spans")
     p_sc.set_defaults(func=_cmd_score)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect and compare run manifests (observability)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_show = obs_sub.add_parser(
+        "show", help="human-readable summary of one run manifest"
+    )
+    p_show.add_argument("manifest", help="path to a *manifest.json")
+    p_show.set_defaults(func=_cmd_obs_show)
+    p_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two manifests; exit 1 when the runs are not comparable",
+    )
+    p_diff.add_argument("a", help="baseline manifest")
+    p_diff.add_argument("b", help="candidate manifest")
+    p_diff.add_argument(
+        "--time-regression",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="stage-time slowdown reported as a warning (default: 0.25)",
+    )
+    p_diff.set_defaults(func=_cmd_obs_diff)
     return parser
 
 
@@ -333,7 +587,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return int(args.func(args))
-    except (CLIError, TraceIntegrityError) as exc:
+    except (CLIError, TraceIntegrityError, ManifestError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except TraceValidationError as exc:

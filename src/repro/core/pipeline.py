@@ -25,6 +25,7 @@ from ..ml import (
     RandomForestClassifier,
     cross_validate_auc,
 )
+from ..obs import tracing
 from ..simulator import FleetTrace
 from .features import FeatureFrame, build_features
 from .labeling import label_dataset
@@ -106,11 +107,15 @@ def build_prediction_dataset(
         records, swaps = trace.records, trace.swaps
     else:
         records, swaps = trace
-    frame: FeatureFrame = build_features(records)
-    y, keep = label_dataset(records, swaps, lookahead)
-    if "quarantined" in records:
-        keep = keep & (np.asarray(records["quarantined"]) == 0)
-    kept = frame.select_rows(keep)
+    with tracing.span(
+        "repro.core.build_dataset", rows_in=len(records)
+    ) as sp:
+        frame: FeatureFrame = build_features(records)
+        y, keep = label_dataset(records, swaps, lookahead)
+        if "quarantined" in records:
+            keep = keep & (np.asarray(records["quarantined"]) == 0)
+        kept = frame.select_rows(keep)
+        sp.set(rows_out=int(keep.sum()), n_dropped=int(len(records) - keep.sum()))
     return PredictionDataset(
         X=kept.X,
         y=y[keep],
@@ -236,17 +241,20 @@ def evaluate_model(
     seed: int = 0,
 ) -> CVResult:
     """Cross-validate one model on a prediction dataset (paper protocol)."""
-    return cross_validate_auc(
-        spec.factory,
-        dataset.X,
-        dataset.y,
-        dataset.groups,
-        n_splits=n_splits,
-        downsample_ratio=downsample_ratio,
-        scale=spec.scale,
-        log1p=spec.log1p,
-        seed=seed,
-    )
+    with tracing.span(
+        "repro.core.evaluate", rows_in=len(dataset), model=spec.name
+    ):
+        return cross_validate_auc(
+            spec.factory,
+            dataset.X,
+            dataset.y,
+            dataset.groups,
+            n_splits=n_splits,
+            downsample_ratio=downsample_ratio,
+            scale=spec.scale,
+            log1p=spec.log1p,
+            seed=seed,
+        )
 
 
 def evaluate_model_zoo(

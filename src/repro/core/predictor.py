@@ -16,6 +16,7 @@ import numpy as np
 
 from ..data import DriveDayDataset, SwapLog, downsample_majority
 from ..ml import BinaryClassifier, CVResult, RandomForestClassifier
+from ..obs import tracing
 from ..simulator import FleetTrace
 from .features import build_features
 from .pipeline import (
@@ -133,13 +134,17 @@ class FailurePredictor:
                     f"cannot fit {key!r} partition: no positive samples "
                     f"(need failures inside the partition)"
                 )
-            if self.downsample_ratio is not None:
-                keep = downsample_majority(
-                    part.y, ratio=self.downsample_ratio, rng=rng
-                )
-                part = part.select(keep)
-            model = self.model_spec.factory()
-            model.fit(self._transform_fit(part.X), part.y)
+            with tracing.span(
+                "repro.core.fit", rows_in=len(part), partition=key
+            ) as sp:
+                if self.downsample_ratio is not None:
+                    keep = downsample_majority(
+                        part.y, ratio=self.downsample_ratio, rng=rng
+                    )
+                    part = part.select(keep)
+                sp.set(rows_out=len(part))
+                model = self.model_spec.factory()
+                model.fit(self._transform_fit(part.X), part.y)
             self._models[key] = model
         return self
 
@@ -161,6 +166,10 @@ class FailurePredictor:
         self._require_fitted()
         if dataset.feature_names != self._feature_names:
             raise ValueError("feature-name mismatch with fitted predictor")
+        with tracing.span("repro.core.predict", rows_in=len(dataset)):
+            return self._predict_proba_parts(dataset)
+
+    def _predict_proba_parts(self, dataset: PredictionDataset) -> np.ndarray:
         out = np.empty(len(dataset))
         if self.age_partitioned:
             young_mask = dataset.age_days <= self.infancy_days

@@ -19,6 +19,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import metrics, tracing
 from .dataset import DriveDayDataset
 from .tables import DriveTable, SwapLog
 
@@ -69,12 +70,18 @@ def _load_npz(path: str | Path) -> dict[str, np.ndarray]:
 
 def save_dataset_npz(dataset: DriveDayDataset, path: str | Path) -> None:
     """Atomically write a :class:`DriveDayDataset` to a ``.npz`` file."""
-    _atomic_savez(Path(path), **{k: v for k, v in dataset.items()})
+    with tracing.span("repro.data.save_records", rows_in=len(dataset)):
+        _atomic_savez(Path(path), **{k: v for k, v in dataset.items()})
+    metrics.inc("repro_rows_total", len(dataset), stage="data.save_records")
 
 
 def load_dataset_npz(path: str | Path) -> DriveDayDataset:
     """Load a dataset previously written by :func:`save_dataset_npz`."""
-    return DriveDayDataset(_load_npz(path))
+    with tracing.span("repro.data.load_records") as sp:
+        dataset = DriveDayDataset(_load_npz(path))
+        sp.set(rows_out=len(dataset))
+    metrics.inc("repro_rows_total", len(dataset), stage="data.load_records")
+    return dataset
 
 
 def load_raw_columns_npz(path: str | Path) -> dict[str, np.ndarray]:
@@ -102,8 +109,21 @@ def load_dataset_checked(
     """
     from ..reliability.repair import apply_policy
 
-    cols = load_raw_columns_npz(path)
-    return apply_policy(cols, policy=policy, max_gap_days=max_gap_days)
+    with tracing.span("repro.data.load_checked") as sp:
+        cols = load_raw_columns_npz(path)
+        rows_in = int(next(iter(cols.values())).shape[0]) if cols else 0
+        result = apply_policy(cols, policy=policy, max_gap_days=max_gap_days)
+        sp.set(
+            rows_in=rows_in,
+            rows_out=len(result.dataset),
+            n_quarantined=result.n_quarantined,
+        )
+    metrics.inc(
+        "repro_rows_quarantined_total",
+        result.n_quarantined,
+        help="Rows marked untrusted by the quarantine policy",
+    )
+    return result
 
 
 def export_dataset_csv(
@@ -143,7 +163,10 @@ def save_swaplog_npz(log: SwapLog, path: str | Path) -> None:
 
 def load_swaplog_npz(path: str | Path) -> SwapLog:
     """Load a swap log previously written by :func:`save_swaplog_npz`."""
-    payload = _load_npz(path)
+    with tracing.span("repro.data.load_swaps") as sp:
+        payload = _load_npz(path)
+        first = payload.get(_SWAP_COLS[0])
+        sp.set(rows_out=int(first.shape[0]) if first is not None else 0)
     try:
         return SwapLog(*(payload[c] for c in _SWAP_COLS))
     except KeyError as exc:
@@ -162,7 +185,10 @@ def save_drivetable_npz(table: DriveTable, path: str | Path) -> None:
 
 def load_drivetable_npz(path: str | Path) -> DriveTable:
     """Load a drive table previously written by :func:`save_drivetable_npz`."""
-    payload = _load_npz(path)
+    with tracing.span("repro.data.load_drives") as sp:
+        payload = _load_npz(path)
+        first = payload.get(_DRIVE_COLS[0])
+        sp.set(rows_out=int(first.shape[0]) if first is not None else 0)
     try:
         return DriveTable(*(payload[c] for c in _DRIVE_COLS))
     except KeyError as exc:

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..data.sampling import downsample_majority
 from ..data.split import GroupKFold
+from ..obs import metrics, tracing
 from .base import BinaryClassifier
 from .metrics import roc_auc_score
 from .preprocessing import Log1pTransformer, StandardScaler
@@ -121,24 +122,35 @@ def cross_validate_auc(
     oof_true: list[np.ndarray] = []
     oof_score: list[np.ndarray] = []
     oof_index: list[np.ndarray] = []
-    for train_idx, test_idx in folds.split(groups):
-        if downsample_ratio is not None:
-            keep = downsample_majority(y[train_idx], ratio=downsample_ratio, rng=rng)
-            fit_rows = train_idx[keep]
-        else:
-            fit_rows = train_idx
-        if len(np.unique(y[test_idx])) < 2:
-            # A test fold without positives cannot be scored; skip it (can
-            # only happen on very small fleets).
-            continue
-        transform = _prepare(X, scale, log1p, fit_rows)
-        model = make_model()
-        model.fit(transform(fit_rows), y[fit_rows])
-        scores = model.predict_proba(transform(test_idx))
-        aucs.append(roc_auc_score(y[test_idx], scores))
-        oof_true.append(y[test_idx])
-        oof_score.append(scores)
-        oof_index.append(test_idx)
+    for fold_index, (train_idx, test_idx) in enumerate(folds.split(groups)):
+        with tracing.span("repro.ml.fold", rows_in=len(train_idx)) as fold_sp:
+            if downsample_ratio is not None:
+                keep = downsample_majority(
+                    y[train_idx], ratio=downsample_ratio, rng=rng
+                )
+                fit_rows = train_idx[keep]
+            else:
+                fit_rows = train_idx
+            fold_sp.set(
+                fold=fold_index,
+                n_downsampled=int(len(train_idx) - len(fit_rows)),
+            )
+            if len(np.unique(y[test_idx])) < 2:
+                # A test fold without positives cannot be scored; skip it (can
+                # only happen on very small fleets).
+                fold_sp.set(skipped=True)
+                continue
+            transform = _prepare(X, scale, log1p, fit_rows)
+            model = make_model()
+            with tracing.span("repro.ml.fit", rows_in=len(fit_rows)):
+                model.fit(transform(fit_rows), y[fit_rows])
+            with tracing.span("repro.ml.predict", rows_in=len(test_idx)):
+                scores = model.predict_proba(transform(test_idx))
+            metrics.inc("repro_cv_folds_total", help="CV folds scored")
+            aucs.append(roc_auc_score(y[test_idx], scores))
+            oof_true.append(y[test_idx])
+            oof_score.append(scores)
+            oof_index.append(test_idx)
 
     if not aucs:
         raise ValueError("no scoreable folds (every test fold lacked positives)")

@@ -1,0 +1,395 @@
+"""Counters, gauges and histograms with labeled series and exporters.
+
+A minimal, dependency-free metrics substrate modeled on the Prometheus
+client data model:
+
+- :class:`MetricsRegistry` owns metric *families* (one per name);
+- a family hands out labeled *series* via :meth:`~MetricFamily.labels`;
+- series are counters (monotone ``inc``), gauges (``set``) or
+  histograms (``observe`` into cumulative buckets);
+- the registry renders the whole state as Prometheus text exposition
+  format (:meth:`MetricsRegistry.render_prometheus`) or a JSON-ready
+  dict (:meth:`MetricsRegistry.to_dict`).
+
+Like :mod:`repro.obs.tracing`, instrumented code goes through the
+module-level helpers (:func:`inc`, :func:`set_gauge`, :func:`observe`),
+which no-op unless a registry is activated for the process — so the hot
+paths pay one global read when observability is off.
+
+Metric names follow ``repro_<noun>_<unit>`` (e.g. ``repro_rows_total``,
+``repro_stage_seconds``); label values identify the stage/model, mirroring
+the span naming convention (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "activate",
+    "current",
+    "set_active",
+    "inc",
+    "set_gauge",
+    "observe",
+]
+
+#: Default histogram buckets (seconds-oriented, Prometheus defaults).
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _format_value(v: float) -> str:
+    """Prometheus-style number formatting (integers without the dot)."""
+    f = float(v)
+    if f == float("inf"):
+        return "+Inf"
+    if f.is_integer():
+        return str(int(f))
+    return repr(f)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+class Counter:
+    """Monotonically increasing series."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Series that can go up and down."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``bucket_counts[i]`` counts observations ``<= upper_bounds[i]``
+    *non*-cumulatively in storage; rendering and :meth:`cumulative`
+    produce the cumulative view, with the implicit ``+Inf`` bucket last.
+    """
+
+    __slots__ = ("_lock", "upper_bounds", "bucket_counts", "inf_count", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("duplicate bucket bounds")
+        self._lock = threading.Lock()
+        self.upper_bounds = bounds
+        self.bucket_counts = [0] * len(bounds)
+        self.inf_count = 0
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_left(self.upper_bounds, value)
+        with self._lock:
+            if idx < len(self.upper_bounds):
+                self.bucket_counts[idx] += 1
+            else:
+                self.inf_count += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        with self._lock:
+            for bound, n in zip(self.upper_bounds, self.bucket_counts):
+                running += n
+                out.append((bound, running))
+            out.append((float("inf"), running + self.inf_count))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimated quantile via linear interpolation inside the bucket.
+
+        The same estimate a Prometheus ``histogram_quantile`` query
+        produces; exact only up to bucket resolution.  Returns ``nan``
+        with no observations; the highest finite bound when the target
+        rank falls in the ``+Inf`` bucket.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        cum = self.cumulative()
+        total = cum[-1][1]
+        if total == 0:
+            return float("nan")
+        rank = q * total
+        prev_bound, prev_count = 0.0, 0
+        for bound, count in cum:
+            if count >= rank:
+                if bound == float("inf"):
+                    return self.upper_bounds[-1]
+                if count == prev_count:  # pragma: no cover - defensive
+                    return bound
+                frac = (rank - prev_count) / (count - prev_count)
+                return prev_bound + frac * (bound - prev_bound)
+            prev_bound, prev_count = bound, count
+        return self.upper_bounds[-1]  # pragma: no cover - unreachable
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricFamily:
+    """All series sharing one metric name (one per label-value tuple)."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._series: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+    def labels(self, **labels: str):
+        """The series for one label-value combination (created on first use)."""
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.labelnames)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = (
+                    Histogram(self._buckets)
+                    if self.kind == "histogram"
+                    else _KINDS[self.kind]()
+                )
+                self._series[key] = series
+        return series
+
+    def _sorted_series(self):
+        with self._lock:
+            return sorted(self._series.items())
+
+
+class MetricsRegistry:
+    """Thread-safe collection of metric families."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: dict[str, MetricFamily] = {}
+
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = MetricFamily(
+                    name, kind, help=help, labelnames=labelnames, buckets=buckets
+                )
+                self._families[name] = fam
+                return fam
+        if fam.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {fam.kind}, not {kind}"
+            )
+        if fam.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{fam.labelnames}, not {tuple(labelnames)}"
+            )
+        return fam
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> MetricFamily:
+        return self._family(name, "histogram", help, labelnames, buckets=buckets)
+
+    # ------------------------------------------------------------- exporters
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (families sorted by name)."""
+        lines: list[str] = []
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, fam in families:
+            if fam.help:
+                lines.append(f"# HELP {name} {fam.help}")
+            lines.append(f"# TYPE {name} {fam.kind}")
+            for key, series in fam._sorted_series():
+                base_labels = [
+                    f'{ln}="{_escape_label(lv)}"'
+                    for ln, lv in zip(fam.labelnames, key)
+                ]
+                if fam.kind == "histogram":
+                    assert isinstance(series, Histogram)
+                    for bound, count in series.cumulative():
+                        labels = base_labels + [f'le="{_format_value(bound)}"']
+                        lines.append(
+                            f"{name}_bucket{{{','.join(labels)}}} {count}"
+                        )
+                    suffix = f"{{{','.join(base_labels)}}}" if base_labels else ""
+                    lines.append(f"{name}_sum{suffix} {_format_value(series.sum)}")
+                    lines.append(f"{name}_count{suffix} {series.count}")
+                else:
+                    suffix = f"{{{','.join(base_labels)}}}" if base_labels else ""
+                    lines.append(
+                        f"{name}{suffix} {_format_value(series.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict[str, dict]:
+        """JSON-ready snapshot: name -> {kind, help, series: [...]}."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, fam in families:
+            series_out = []
+            for key, series in fam._sorted_series():
+                entry: dict[str, object] = {
+                    "labels": dict(zip(fam.labelnames, key))
+                }
+                if fam.kind == "histogram":
+                    assert isinstance(series, Histogram)
+                    entry["buckets"] = [
+                        [_format_value(b), c] for b, c in series.cumulative()
+                    ]
+                    entry["sum"] = series.sum
+                    entry["count"] = series.count
+                else:
+                    entry["value"] = series.value
+                series_out.append(entry)
+            out[name] = {"kind": fam.kind, "help": fam.help, "series": series_out}
+        return out
+
+
+# --------------------------------------------------------------------------
+# process-wide activation + convenience recorders
+# --------------------------------------------------------------------------
+
+_active: MetricsRegistry | None = None
+
+
+def current() -> MetricsRegistry | None:
+    """The process-wide active registry, or ``None`` when metrics are off."""
+    return _active
+
+
+def set_active(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install (or clear) the active registry; returns the previous one."""
+    global _active
+    previous = _active
+    _active = registry
+    return previous
+
+
+@contextmanager
+def activate(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Activate a registry for the duration of the block."""
+    registry = registry if registry is not None else MetricsRegistry()
+    previous = set_active(registry)
+    try:
+        yield registry
+    finally:
+        set_active(previous)
+
+
+def inc(name: str, amount: float = 1.0, help: str = "", **labels: str) -> None:
+    """Increment a counter on the active registry (no-op when inactive)."""
+    reg = _active
+    if reg is None:
+        return
+    reg.counter(name, help=help, labelnames=tuple(sorted(labels))).labels(
+        **labels
+    ).inc(amount)
+
+
+def set_gauge(name: str, value: float, help: str = "", **labels: str) -> None:
+    """Set a gauge on the active registry (no-op when inactive)."""
+    reg = _active
+    if reg is None:
+        return
+    reg.gauge(name, help=help, labelnames=tuple(sorted(labels))).labels(
+        **labels
+    ).set(value)
+
+
+def observe(
+    name: str,
+    value: float,
+    help: str = "",
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+    **labels: str,
+) -> None:
+    """Observe into a histogram on the active registry (no-op when inactive)."""
+    reg = _active
+    if reg is None:
+        return
+    reg.histogram(
+        name, help=help, labelnames=tuple(sorted(labels)), buckets=buckets
+    ).labels(**labels).observe(value)

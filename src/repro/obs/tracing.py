@@ -1,0 +1,270 @@
+"""Zero-dependency span tracing with a thread-safe in-process collector.
+
+A *span* is one timed stage of a run — loading a trace, simulating a
+chunk of drives, fitting one CV fold — named after the convention
+``repro.<module>.<stage>`` (DESIGN.md §10) and carrying numeric
+attributes such as ``rows_in``/``rows_out``.  Spans nest: the span that
+is open on the current thread when a new one starts becomes its parent,
+so the collected list reconstructs the full call tree.
+
+Instrumented library code never talks to a :class:`Tracer` directly; it
+calls the module-level :func:`span` context manager (or the
+:func:`traced` decorator), which is a near-free no-op unless a tracer
+has been activated for the process::
+
+    from repro.obs import tracing
+
+    with tracing.activate() as tracer:
+        with tracing.span("repro.data.load_records", rows_out=n):
+            ...
+    tracer.stage_summary()  # {"repro.data.load_records": {...}}
+
+Timings use :func:`time.perf_counter` (monotonic), so span durations are
+immune to wall-clock adjustments.  The collector takes its lock only on
+span *finish*; the per-thread open-span stack is thread-local.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "activate",
+    "current",
+    "set_active",
+    "span",
+    "traced",
+]
+
+
+@dataclass
+class Span:
+    """One finished (or still-open) timed stage.
+
+    Attributes
+    ----------
+    name:
+        Dotted stage name (``repro.<module>.<stage>``).
+    span_id, parent_id:
+        Collector-unique ids; ``parent_id`` is ``None`` for roots.
+    start:
+        Seconds since the tracer's epoch (monotonic clock).
+    duration:
+        Seconds; ``None`` while the span is still open.
+    attrs:
+        Free-form attributes; numeric ``rows_*``/``n_*`` keys are summed
+        into the per-stage aggregates of :meth:`Tracer.stage_summary`.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    duration: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def set(self, **attrs: Any) -> "Span":
+        """Set (overwrite) attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def add(self, **attrs: float) -> "Span":
+        """Accumulate numeric attributes (missing keys start at 0)."""
+        for key, value in attrs.items():
+            self.attrs[key] = self.attrs.get(key, 0) + value
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Attribute sink used when no tracer is active."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+    def add(self, **attrs: float) -> "_NullSpan":
+        return self
+
+
+class _NullContext:
+    """Context manager that hands out the shared null span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_CONTEXT = _NullContext()
+
+#: Aggregated per-stage numeric attributes (summed in stage_summary).
+_SUMMED_PREFIXES = ("rows_", "n_")
+
+
+class Tracer:
+    """Thread-safe collector of finished spans."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = time.perf_counter()
+        self._spans: list[Span] = []
+        self._next_id = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------- recording
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a nested span; finished spans land in the collector."""
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        t0 = time.perf_counter()
+        sp = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent_id,
+            start=t0 - self._epoch,
+            attrs=dict(attrs),
+        )
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            sp.duration = time.perf_counter() - t0
+            stack.pop()
+            with self._lock:
+                self._spans.append(sp)
+
+    # --------------------------------------------------------------- reading
+    def finished(self) -> list[Span]:
+        """Finished spans, ordered by start time."""
+        with self._lock:
+            return sorted(self._spans, key=lambda s: (s.start, s.span_id))
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """JSON-ready list of finished spans (start order)."""
+        return [s.to_dict() for s in self.finished()]
+
+    def stage_summary(self) -> dict[str, dict[str, float]]:
+        """Aggregate finished spans by name.
+
+        Per stage: ``calls``, ``total_seconds``, ``min_seconds``,
+        ``max_seconds`` plus the sum of every numeric attribute whose key
+        starts with ``rows_`` or ``n_`` (row accounting).
+        """
+        out: dict[str, dict[str, float]] = {}
+        for sp in self.finished():
+            agg = out.setdefault(
+                sp.name,
+                {
+                    "calls": 0,
+                    "total_seconds": 0.0,
+                    "min_seconds": float("inf"),
+                    "max_seconds": 0.0,
+                },
+            )
+            dur = sp.duration or 0.0
+            agg["calls"] += 1
+            agg["total_seconds"] += dur
+            agg["min_seconds"] = min(agg["min_seconds"], dur)
+            agg["max_seconds"] = max(agg["max_seconds"], dur)
+            for key, value in sp.attrs.items():
+                if key.startswith(_SUMMED_PREFIXES) and isinstance(
+                    value, (int, float)
+                ):
+                    agg[key] = agg.get(key, 0) + value
+        for agg in out.values():
+            if agg["calls"] == 0:  # pragma: no cover - defensive
+                agg["min_seconds"] = 0.0
+        return out
+
+
+# --------------------------------------------------------------------------
+# process-wide activation
+# --------------------------------------------------------------------------
+
+_active: Tracer | None = None
+
+
+def current() -> Tracer | None:
+    """The process-wide active tracer, or ``None`` when tracing is off."""
+    return _active
+
+
+def set_active(tracer: Tracer | None) -> Tracer | None:
+    """Install (or clear) the active tracer; returns the previous one."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def activate(tracer: Tracer | None = None) -> Iterator[Tracer]:
+    """Activate a tracer for the duration of the block (reentrant-safe)."""
+    tracer = tracer if tracer is not None else Tracer()
+    previous = set_active(tracer)
+    try:
+        yield tracer
+    finally:
+        set_active(previous)
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active tracer; a cheap no-op when tracing is off.
+
+    Returns a context manager yielding either a real :class:`Span` or a
+    shared null span whose ``set``/``add`` do nothing.
+    """
+    tracer = _active
+    if tracer is None:
+        return _NULL_CONTEXT
+    return tracer.span(name, **attrs)
+
+
+def traced(name: str | None = None) -> Callable:
+    """Decorator form of :func:`span` (stage name defaults to the
+    ``repro.<module>.<function>`` convention)."""
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or f"repro.{fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -399,11 +399,16 @@ class FaultInjector:
         columns (no sanitizing sort/cast); ``truncated_file`` chops the
         written NPZ; ``drives.npz``/``swaps.npz`` are copied verbatim.
         """
+        # Local import: repro.data imports this package at module load.
+        from ..data.io import load_raw_columns_npz
+
         trace_dir, out_dir = Path(trace_dir), Path(out_dir)
         out_dir.mkdir(parents=True, exist_ok=True)
         classes = list(classes)
-        with np.load(trace_dir / "records.npz") as payload:
-            cols = {k: payload[k] for k in payload.files}
+        # The wrapped loader maps a missing/corrupt records.npz to
+        # TraceIntegrityError, which the CLI turns into exit code 2
+        # instead of a traceback.
+        cols = load_raw_columns_npz(trace_dir / "records.npz")
         row_classes = [c for c in classes if c != "truncated_file"]
         result = self.inject(cols, row_classes, rates)
         out_records = out_dir / "records.npz"

@@ -17,6 +17,7 @@ Three building blocks, used by :mod:`repro.data.io` and the CLI:
 
 from __future__ import annotations
 
+import io
 import json
 import os
 import time
@@ -31,6 +32,7 @@ from typing import IO, Any
 import numpy as np
 
 from ..data import DriveDayDataset, DriveTable, SwapLog, concat_datasets
+from ..obs import metrics, tracing
 from ..simulator import (
     DriveModelSpec,
     DriveResult,
@@ -87,10 +89,29 @@ def atomic_write(path: str | Path, mode: str = "wb") -> Iterator[IO[Any]]:
         raise
 
 
+#: Fixed zip entry timestamp (the zip epoch) for deterministic archives.
+_NPZ_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
 def atomic_save_npz(path: str | Path, **arrays: np.ndarray) -> None:
-    """Atomic replacement for :func:`numpy.savez_compressed`."""
+    """Atomic, *deterministic* replacement for :func:`numpy.savez_compressed`.
+
+    Unlike ``np.savez_compressed``, zip entries carry a fixed timestamp,
+    so two runs with the same seed produce byte-identical artifacts —
+    required for ``repro-ssd obs diff`` to report zero drift between
+    same-seed runs (manifests digest every output file).
+    """
     with atomic_write(path, "wb") as fh:
-        np.savez_compressed(fh, **arrays)
+        with zipfile.ZipFile(fh, "w", compression=zipfile.ZIP_DEFLATED) as zf:
+            for name, array in arrays.items():
+                buf = io.BytesIO()
+                np.lib.format.write_array(
+                    buf, np.asanyarray(array), allow_pickle=False
+                )
+                info = zipfile.ZipInfo(name + ".npy", date_time=_NPZ_EPOCH)
+                info.compress_type = zipfile.ZIP_DEFLATED
+                info.external_attr = 0o600 << 16
+                zf.writestr(info, buf.getvalue())
 
 
 def retry_io(
@@ -244,6 +265,11 @@ class CheckpointStore:
             return
         for p in self.directory.glob("chunk_*.npz"):
             p.unlink(missing_ok=True)
+        # A SIGKILL during an atomic chunk write leaves its tmp file
+        # behind; without this sweep the rmdir below fails silently and
+        # the checkpoint directory outlives a successful run.
+        for p in self.directory.glob(".*.tmp.*"):
+            p.unlink(missing_ok=True)
         self.manifest_path.unlink(missing_ok=True)
         try:
             self.directory.rmdir()
@@ -339,29 +365,39 @@ def simulate_fleet_resumable(
     for chunk in range(n_chunks):
         lo = chunk * chunk_size
         hi = min(lo + chunk_size, n_total)
-        part: FleetTrace | None = None
-        if chunk in completed:
-            part = store.load_chunk(chunk, config)
-            if part is None:  # damaged checkpoint: fall through and redo
-                completed.discard(chunk)
-        if part is None:
-            results: list[DriveResult] = []
-            for drive_id in range(lo, hi):
-                model_index = drive_id // config.n_drives_per_model
-                results.append(
-                    simulate_drive(
-                        drive_id=drive_id,
-                        model_index=model_index,
-                        spec=models[model_index],
-                        deploy_day=deploy_days[drive_id],
-                        horizon_days=config.horizon_days,
-                        rng=np.random.default_rng(children[drive_id]),
+        with tracing.span("repro.simulator.chunk", n_drives=hi - lo) as sp:
+            part: FleetTrace | None = None
+            cached = False
+            if chunk in completed:
+                part = store.load_chunk(chunk, config)
+                if part is None:  # damaged checkpoint: fall through and redo
+                    completed.discard(chunk)
+                else:
+                    cached = True
+            if part is None:
+                results: list[DriveResult] = []
+                for drive_id in range(lo, hi):
+                    model_index = drive_id // config.n_drives_per_model
+                    results.append(
+                        simulate_drive(
+                            drive_id=drive_id,
+                            model_index=model_index,
+                            spec=models[model_index],
+                            deploy_day=deploy_days[drive_id],
+                            horizon_days=config.horizon_days,
+                            rng=np.random.default_rng(children[drive_id]),
+                        )
                     )
-                )
-            part = _assemble(results, config)
-            store.save_chunk(chunk, part)
-            completed.add(chunk)
-            store.write_manifest(sorted(completed))
+                part = _assemble(results, config)
+                store.save_chunk(chunk, part)
+                completed.add(chunk)
+                store.write_manifest(sorted(completed))
+            sp.set(chunk=chunk, cached=cached, rows_out=len(part.records))
+        metrics.inc(
+            "repro_chunks_total",
+            help="Simulation chunks processed",
+            outcome="cached" if cached else "simulated",
+        )
         parts.append(part)
         done += 1
         if progress is not None:

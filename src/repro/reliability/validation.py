@@ -26,6 +26,7 @@ import numpy as np
 from ..data.dataset import DriveDayDataset
 from ..data.fields import DAILY_FIELDS
 from ..data.tables import DriveTable, SwapLog
+from ..obs import tracing
 
 __all__ = [
     "CheckResult",
@@ -494,18 +495,28 @@ def validate_columns(
     cols: Mapping[str, np.ndarray],
     max_gap_days: int | None = None,
 ) -> ValidationReport:
-    """Run every record-level check on raw columns."""
+    """Run every record-level check on raw columns.
+
+    Each check runs under a ``repro.reliability.<check>`` span, so run
+    manifests record per-check wall-clock (the validator is a real cost
+    on fleet-sized traces).
+    """
     checks: list[CheckResult] = []
-    checks.extend(check_schema(cols))
     n_rows = int(np.asarray(next(iter(cols.values()))).shape[0]) if cols else 0
+
+    def run(stage: str, fn, *args) -> None:
+        with tracing.span(f"repro.reliability.{stage}", rows_in=n_rows):
+            checks.extend(fn(*args))
+
+    run("check_schema", check_schema, cols)
     if all(c in cols for c in CRITICAL_COLUMNS):
-        checks.extend(check_finite(cols))
-        checks.extend(check_nonnegative(cols))
-        checks.extend(check_sorted_rows(cols))
-        checks.extend(check_duplicate_days(cols))
-        checks.extend(check_monotone_cumulative(cols))
-        checks.extend(check_stuck_counters(cols))
-        checks.extend(check_day_gaps(cols, max_gap_days))
+        run("check_finite", check_finite, cols)
+        run("check_nonnegative", check_nonnegative, cols)
+        run("check_sorted_rows", check_sorted_rows, cols)
+        run("check_duplicate_days", check_duplicate_days, cols)
+        run("check_monotone_cumulative", check_monotone_cumulative, cols)
+        run("check_stuck_counters", check_stuck_counters, cols)
+        run("check_day_gaps", check_day_gaps, cols, max_gap_days)
     return ValidationReport(checks=checks, n_rows=n_rows)
 
 
@@ -519,5 +530,9 @@ def validate_trace(
     cols = dataset_columns(records) if isinstance(records, DriveDayDataset) else records
     report = validate_columns(cols, max_gap_days=max_gap_days)
     if all(c in cols for c in CRITICAL_COLUMNS):
-        report.checks.extend(check_referential_integrity(cols, drives, swaps))
+        with tracing.span(
+            "repro.reliability.check_referential_integrity",
+            rows_in=report.n_rows,
+        ):
+            report.checks.extend(check_referential_integrity(cols, drives, swaps))
     return report

@@ -1,0 +1,158 @@
+"""Run manifests: digests, schema validation, atomic round-trip."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.obs import metrics, tracing
+from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    ManifestError,
+    RunManifest,
+    config_digest,
+    file_digest,
+    load_manifest,
+    validate_manifest,
+)
+
+
+class TestDigests:
+    def test_file_digest_matches_hashlib(self, tmp_path):
+        payload = b"ssd telemetry\n" * 1000
+        path = tmp_path / "blob.bin"
+        path.write_bytes(payload)
+        assert file_digest(path) == hashlib.sha256(payload).hexdigest()
+
+    def test_file_digest_streams_across_chunks(self, tmp_path):
+        payload = b"x" * 300
+        path = tmp_path / "blob.bin"
+        path.write_bytes(payload)
+        assert file_digest(path, chunk_size=64) == hashlib.sha256(payload).hexdigest()
+
+    def test_config_digest_key_order_invariant(self):
+        assert config_digest({"a": 1, "b": 2}) == config_digest({"b": 2, "a": 1})
+
+    def test_config_digest_sensitive_to_values(self):
+        assert config_digest({"seed": 7}) != config_digest({"seed": 8})
+
+
+def _build_manifest() -> RunManifest:
+    manifest = RunManifest(
+        command="simulate", config={"seed": 7, "n": 10}, seeds={"seed": 7}
+    )
+    with tracing.activate() as tracer, metrics.activate() as registry:
+        with tracing.span("repro.test.stage", rows_in=10) as sp:
+            sp.set(rows_out=9)
+        metrics.inc("repro_rows_total", 9)
+    manifest.counts["rows"] = 9
+    manifest.record_validation(n_warnings=1, n_quarantined=2)
+    manifest.finish(tracer, registry)
+    return manifest
+
+
+class TestRoundTrip:
+    def test_write_then_load_validates_clean(self, tmp_path):
+        manifest = _build_manifest()
+        path = manifest.write(tmp_path / "run_manifest.json")
+        body = load_manifest(path)
+        assert validate_manifest(body) == []
+        assert body["command"] == "simulate"
+        assert body["schema_version"] == MANIFEST_VERSION
+        assert body["seeds"] == {"seed": 7}
+        assert body["counts"] == {"rows": 9}
+        assert body["validation"] == {
+            "n_errors": 0,
+            "n_warnings": 1,
+            "n_quarantined": 2,
+        }
+        (stage,) = body["stages"]
+        assert stage["name"] == "repro.test.stage"
+        assert stage["calls"] == 1
+        assert stage["rows_in"] == 10 and stage["rows_out"] == 9
+        assert body["metrics"]["repro_rows_total"]["series"][0]["value"] == 9.0
+        assert body["config_digest"] == config_digest({"seed": 7, "n": 10})
+
+    def test_spans_included_on_request(self, tmp_path):
+        manifest = RunManifest(command="train")
+        with tracing.activate() as tracer:
+            with tracing.span("repro.test.only"):
+                pass
+        manifest.finish(tracer, include_spans=True)
+        body = load_manifest(manifest.write(tmp_path / "m.json"))
+        assert validate_manifest(body) == []
+        assert body["spans"][0]["name"] == "repro.test.only"
+
+    def test_spans_omitted_by_default(self, tmp_path):
+        manifest = _build_manifest()
+        body = load_manifest(manifest.write(tmp_path / "m.json"))
+        assert "spans" not in body
+
+    def test_input_output_digests(self, tmp_path):
+        blob = tmp_path / "records.npz"
+        blob.write_bytes(b"pretend npz")
+        manifest = _build_manifest()
+        manifest.add_input(blob)
+        manifest.add_output(blob)
+        body = manifest.to_dict()
+        expected = hashlib.sha256(b"pretend npz").hexdigest()
+        assert body["inputs"] == {"records.npz": expected}
+        assert body["outputs"] == {"records.npz": expected}
+
+    def test_write_leaves_no_tmp_files(self, tmp_path):
+        _build_manifest().write(tmp_path / "m.json")
+        assert [p.name for p in tmp_path.iterdir()] == ["m.json"]
+
+
+class TestSchemaValidation:
+    def test_missing_required_key(self):
+        body = _build_manifest().to_dict()
+        del body["seeds"]
+        errors = validate_manifest(body)
+        assert any("missing required key 'seeds'" in e for e in errors)
+
+    def test_wrong_type(self):
+        body = _build_manifest().to_dict()
+        body["elapsed_seconds"] = "fast"
+        assert any("$.elapsed_seconds" in e for e in validate_manifest(body))
+
+    def test_enum_violation(self):
+        body = _build_manifest().to_dict()
+        body["command"] = "frobnicate"
+        assert any("not one of" in e for e in validate_manifest(body))
+
+    def test_digest_length(self):
+        body = _build_manifest().to_dict()
+        body["config_digest"] = "abc"
+        assert any("shorter than 64" in e for e in validate_manifest(body))
+
+    def test_bad_stage_entry(self):
+        body = _build_manifest().to_dict()
+        body["stages"] = [{"name": "x"}]  # missing calls/total_seconds
+        errors = validate_manifest(body)
+        assert any("$.stages[0]" in e for e in errors)
+
+    def test_extra_keys_allowed(self):
+        body = _build_manifest().to_dict()
+        body["custom_section"] = {"anything": True}
+        assert validate_manifest(body) == []
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="does not exist"):
+            load_manifest(tmp_path / "nope.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ManifestError, match="unreadable"):
+            load_manifest(path)
+
+    def test_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text(json.dumps([1, 2]))
+        with pytest.raises(ManifestError, match="not a JSON object"):
+            load_manifest(path)

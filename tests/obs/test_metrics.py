@@ -1,0 +1,178 @@
+"""Metrics registry: counters/gauges/histograms, quantiles, exporters."""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+GOLDEN = Path(__file__).parent / "golden_metrics.prom"
+
+
+def _golden_registry() -> MetricsRegistry:
+    """Deterministic registry whose rendering is pinned by the golden file."""
+    reg = MetricsRegistry()
+    rows = reg.counter(
+        "repro_rows_total", help="Rows processed", labelnames=("stage",)
+    )
+    rows.labels(stage="data.load_records").inc(1200)
+    rows.labels(stage="ml.fit").inc(640)
+    reg.gauge("repro_fleet_drives", help="Drives in the simulated fleet").labels().set(
+        600
+    )
+    hist = reg.histogram(
+        "repro_stage_seconds",
+        help="Stage wall-clock seconds",
+        labelnames=("stage",),
+        buckets=(0.1, 0.5, 1.0),
+    )
+    h = hist.labels(stage="simulate")
+    for value in (0.05, 0.3, 0.75, 2.5):
+        h.observe(value)
+    return reg
+
+
+class TestSeries:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="only increase"):
+            Counter().inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(-3)
+        assert g.value == 7.0
+
+
+class TestHistogram:
+    def test_bucket_math_uniform(self):
+        # 1..100 uniformly into decade buckets: cumulative counts are exact.
+        h = Histogram(buckets=tuple(float(b) for b in range(10, 101, 10)))
+        for v in range(1, 101):
+            h.observe(v)
+        cum = h.cumulative()
+        assert [c for _, c in cum] == [10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 100]
+        assert cum[-1][0] == float("inf")
+        assert h.count == 100
+        assert h.sum == sum(range(1, 101))
+
+    def test_known_quantiles_uniform(self):
+        # On uniform 1..100 data with bucket width 10 the interpolated
+        # quantiles are exact: q -> 100 * q.
+        h = Histogram(buckets=tuple(float(b) for b in range(10, 101, 10)))
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.quantile(0.25) == pytest.approx(25.0)
+        assert h.quantile(0.5) == pytest.approx(50.0)
+        assert h.quantile(0.9) == pytest.approx(90.0)
+
+    def test_quantile_overflow_clamps_to_top_bound(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(100.0)  # lands in +Inf bucket
+        assert h.quantile(0.99) == 2.0
+
+    def test_quantile_empty_is_nan(self):
+        assert math.isnan(Histogram(buckets=(1.0,)).quantile(0.5))
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0,)).quantile(1.5)
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        # Prometheus `le` semantics: an observation equal to a bound
+        # belongs to that bound's bucket.
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(1.0)
+        assert h.cumulative()[0] == (1.0, 1)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_family_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labelnames=("stage",))
+        b = reg.counter("x_total", labelnames=("stage",))
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x_total")
+
+    def test_labelnames_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("stage",))
+        with pytest.raises(ValueError, match="already registered with labels"):
+            reg.counter("x_total", labelnames=("model",))
+
+    def test_labels_mismatch_raises(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("x_total", labelnames=("stage",))
+        with pytest.raises(ValueError, match="expects labels"):
+            fam.labels(model="a")
+
+    def test_to_dict_shape(self):
+        reg = _golden_registry()
+        snap = reg.to_dict()
+        assert snap["repro_rows_total"]["kind"] == "counter"
+        series = snap["repro_rows_total"]["series"]
+        assert {"labels": {"stage": "data.load_records"}, "value": 1200.0} in series
+        hist = snap["repro_stage_seconds"]["series"][0]
+        assert hist["count"] == 4
+        assert hist["buckets"][-1][0] == "+Inf"
+
+
+class TestPrometheusExport:
+    def test_matches_golden_file(self):
+        rendered = _golden_registry().render_prometheus()
+        assert rendered == GOLDEN.read_text()
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", labelnames=("p",)).labels(p='a"b\\c\nd').inc()
+        line = reg.render_prometheus().splitlines()[-1]
+        assert line == 'x_total{p="a\\"b\\\\c\\nd"} 1'
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestModuleHelpers:
+    def test_helpers_noop_when_inactive(self):
+        assert metrics.current() is None
+        metrics.inc("x_total")
+        metrics.set_gauge("y", 1.0)
+        metrics.observe("z_seconds", 0.1)
+        assert metrics.current() is None
+
+    def test_helpers_record_when_active(self):
+        with metrics.activate() as reg:
+            metrics.inc("x_total", 2, stage="a")
+            metrics.set_gauge("y", 5.0)
+            metrics.observe("z_seconds", 0.3, buckets=(1.0,))
+        assert metrics.current() is None
+        snap = reg.to_dict()
+        assert snap["x_total"]["series"][0]["value"] == 2.0
+        assert snap["y"]["series"][0]["value"] == 5.0
+        assert snap["z_seconds"]["series"][0]["count"] == 1

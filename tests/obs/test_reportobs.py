@@ -1,0 +1,116 @@
+"""Manifest diff (drift vs. warning classification) and rendering."""
+
+from __future__ import annotations
+
+import copy
+
+from repro.obs.manifest import RunManifest
+from repro.obs.reportobs import diff_manifests, render_manifest
+
+
+def _manifest_dict(seed: int = 7, records_digest: str = "a" * 64) -> dict:
+    manifest = RunManifest(
+        command="simulate",
+        config={"seed": seed, "n_drives": 10},
+        seeds={"seed": seed},
+    )
+    manifest.counts["rows"] = 1000
+    manifest.outputs["records.npz"] = records_digest
+    manifest.stages = [
+        {
+            "name": "repro.simulator.model",
+            "calls": 3,
+            "total_seconds": 1.0,
+            "min_seconds": 0.2,
+            "max_seconds": 0.5,
+            "rows_out": 1000,
+        }
+    ]
+    return manifest.to_dict()
+
+
+class TestDiff:
+    def test_identical_manifests_are_comparable(self):
+        a = _manifest_dict()
+        diff = diff_manifests(a, copy.deepcopy(a))
+        assert diff.ok
+        assert diff.drift == [] and diff.warnings == []
+        assert "COMPARABLE" in diff.render()
+
+    def test_timing_differences_are_never_drift(self):
+        a = _manifest_dict()
+        b = copy.deepcopy(a)
+        b["elapsed_seconds"] = a["elapsed_seconds"] + 100.0
+        b["created_unix"] = a["created_unix"] + 3600.0
+        b["stages"][0]["total_seconds"] = 1.04  # below regression floor
+        assert diff_manifests(a, b).ok
+
+    def test_stage_time_regression_is_a_warning(self):
+        a = _manifest_dict()
+        b = copy.deepcopy(a)
+        b["stages"][0]["total_seconds"] = 2.0  # 2x slower, > 0.05s absolute
+        diff = diff_manifests(a, b)
+        assert diff.ok  # still comparable
+        (warn,) = diff.warnings
+        assert warn.kind == "stage-time"
+        assert "repro.simulator.model" in warn.field
+
+    def test_seed_perturbation_is_drift(self):
+        diff = diff_manifests(
+            _manifest_dict(seed=7), _manifest_dict(seed=8, records_digest="b" * 64)
+        )
+        assert not diff.ok
+        kinds = {d.kind for d in diff.drift}
+        # Seed drift shows up in the seeds, the config (and its digest),
+        # and the output digests.
+        assert {"seed", "config", "identity", "output"} <= kinds
+        assert "NOT COMPARABLE" in diff.render()
+
+    def test_row_count_change_is_drift(self):
+        a = _manifest_dict()
+        b = copy.deepcopy(a)
+        b["stages"][0]["rows_out"] = 999
+        diff = diff_manifests(a, b)
+        (entry,) = diff.drift
+        assert entry.kind == "rows"
+        assert entry.field == "stages.repro.simulator.model.rows_out"
+
+    def test_missing_stage_is_drift(self):
+        a = _manifest_dict()
+        b = copy.deepcopy(a)
+        b["stages"] = []
+        diff = diff_manifests(a, b)
+        (entry,) = diff.drift
+        assert entry.kind == "stage"
+        assert (entry.a, entry.b) == ("present", "absent")
+
+    def test_validation_tally_change_is_drift(self):
+        a = _manifest_dict()
+        b = copy.deepcopy(a)
+        b["validation"]["n_quarantined"] = 5
+        diff = diff_manifests(a, b)
+        assert any(d.kind == "validation" for d in diff.drift)
+
+    def test_command_mismatch_is_identity_drift(self):
+        a = _manifest_dict()
+        b = copy.deepcopy(a)
+        b["command"] = "train"
+        assert any(
+            d.kind == "identity" and d.field == "command"
+            for d in diff_manifests(a, b).drift
+        )
+
+
+class TestRender:
+    def test_render_manifest_one_screen(self):
+        text = render_manifest(_manifest_dict())
+        assert "Run manifest" in text and "simulate" in text
+        assert "repro.simulator.model" in text
+        assert "rows=1000" in text  # counts line
+        assert "records.npz" in text
+        assert "0 error(s)" in text
+
+    def test_render_handles_sparse_manifest(self):
+        text = render_manifest({"command": "score"})
+        assert "score" in text
+        assert "stages" not in text  # no stage table without stages

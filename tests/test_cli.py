@@ -203,3 +203,144 @@ class TestReliabilityCommands:
         assert main(argv + ["--resume"]) == 0
         assert (out / "records.npz").exists()
         assert not (out / ".checkpoints").exists()
+
+    def test_inject_corrupt_records_exits_2(self, trace_dir, tmp_path, capsys):
+        """Satellite: inject on a corrupt trace is exit 2, not a traceback."""
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(trace_dir, broken)
+        (broken / "records.npz").write_bytes(b"\x00garbage")
+        code = main(["inject", "--trace", str(broken), "--out",
+                     str(tmp_path / "d"), "--faults", "value_spikes"])
+        assert code == 2
+        assert "corrupt or truncated" in capsys.readouterr().err
+
+    def test_inject_missing_trace_exits_2(self, tmp_path, capsys):
+        code = main(["inject", "--trace", str(tmp_path / "nope"), "--out",
+                     str(tmp_path / "d"), "--faults", "value_spikes"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_audit_deep_garbage_records_exits_2(self, trace_dir, tmp_path, capsys):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(trace_dir, broken)
+        (broken / "records.npz").write_bytes(b"\x00garbage")
+        assert main(["audit", "--trace", str(broken), "--deep"]) == 2
+        assert "corrupt or truncated" in capsys.readouterr().err
+
+
+def _simulate(out, seed=4, extra=()):
+    argv = ["simulate", "--out", str(out), "--drives", "8", "--days", "120",
+            "--deploy-spread", "30", "--seed", str(seed), "--quiet", *extra]
+    return main(argv)
+
+
+class TestObservability:
+    """Manifests, tracing flags, and the `obs` subcommand."""
+
+    def test_simulate_writes_valid_manifest(self, trace_dir):
+        from repro.obs import load_manifest, validate_manifest
+
+        body = load_manifest(trace_dir / "run_manifest.json")
+        assert validate_manifest(body) == []
+        assert body["command"] == "simulate"
+        assert body["seeds"] == {"seed": 4}
+        assert set(body["outputs"]) == {"records.npz", "drives.npz", "swaps.npz"}
+        assert body["counts"]["drives"] == 150  # --drives is per model (x3)
+        stage_names = {s["name"] for s in body["stages"]}
+        assert "repro.simulator.chunk" in stage_names
+        assert "repro.data.save_records" in stage_names
+
+    def test_simulate_quiet_prints_one_summary_line(self, tmp_path, capsys):
+        assert _simulate(tmp_path / "fleet") == 0
+        out = capsys.readouterr().out
+        (line,) = out.strip().splitlines()
+        assert line.startswith("simulate ok: ")
+        assert "days" in line and "swaps" in line and "elapsed" in line
+        assert "manifest" in line
+
+    def test_trace_flag_includes_spans(self, tmp_path):
+        from repro.obs import load_manifest
+
+        out = tmp_path / "fleet"
+        assert _simulate(out, extra=["--trace"]) == 0
+        body = load_manifest(out / "run_manifest.json")
+        assert body["spans"], "expected full span tree with --trace"
+        assert any(s["name"] == "repro.simulator.assemble" for s in body["spans"])
+
+    def test_no_manifest_flag(self, tmp_path, capsys):
+        out = tmp_path / "fleet"
+        assert _simulate(out, extra=["--no-manifest"]) == 0
+        capsys.readouterr()
+        assert not (out / "run_manifest.json").exists()
+
+    def test_metrics_out_writes_prometheus_text(self, tmp_path, capsys):
+        out = tmp_path / "fleet"
+        prom = tmp_path / "metrics.prom"
+        assert _simulate(out, extra=["--metrics-out", str(prom)]) == 0
+        capsys.readouterr()
+        text = prom.read_text()
+        assert "# TYPE repro_chunks_total counter" in text
+        assert "repro_rows_total" in text
+
+    def test_train_writes_manifest_with_input_digests(self, trace_dir, tmp_path,
+                                                      capsys):
+        from repro.obs import load_manifest, validate_manifest
+
+        model = tmp_path / "model.pkl"
+        assert main(["train", "--trace", str(trace_dir), "--model", str(model),
+                     "--lookahead", "3", "--cv", "0"]) == 0
+        capsys.readouterr()
+        body = load_manifest(str(model) + ".manifest.json")
+        assert validate_manifest(body) == []
+        assert body["command"] == "train"
+        # Train's input digests match simulate's output digests: provenance.
+        sim = load_manifest(trace_dir / "run_manifest.json")
+        assert body["inputs"]["records.npz"] == sim["outputs"]["records.npz"]
+        assert "model.pkl" in body["outputs"]
+
+    def test_score_writes_manifest(self, trace_dir, tmp_path, capsys):
+        from repro.obs import load_manifest, validate_manifest
+
+        model = tmp_path / "model.pkl"
+        assert main(["train", "--trace", str(trace_dir), "--model", str(model),
+                     "--lookahead", "3", "--cv", "0"]) == 0
+        assert main(["score", "--trace", str(trace_dir), "--model", str(model),
+                     "--threshold", "0.99"]) == 0
+        capsys.readouterr()
+        body = load_manifest(str(model) + ".score-manifest.json")
+        assert validate_manifest(body) == []
+        assert body["command"] == "score"
+        assert "n_flagged" in body["results"]
+        assert "model.pkl" in body["inputs"] and "records.npz" in body["inputs"]
+
+    def test_obs_show(self, trace_dir, capsys):
+        assert main(["obs", "show", str(trace_dir / "run_manifest.json")]) == 0
+        out = capsys.readouterr().out
+        assert "Run manifest" in out and "repro.simulator.chunk" in out
+
+    def test_obs_show_missing_manifest_exits_2(self, tmp_path, capsys):
+        assert main(["obs", "show", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_obs_diff_same_seed_runs_clean(self, tmp_path, capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert _simulate(a) == 0 and _simulate(b) == 0
+        code = main(["obs", "diff", str(a / "run_manifest.json"),
+                     str(b / "run_manifest.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 drift item(s)" in out and "COMPARABLE" in out
+
+    def test_obs_diff_seed_perturbed_reports_drift(self, tmp_path, capsys):
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert _simulate(a, seed=4) == 0 and _simulate(b, seed=5) == 0
+        code = main(["obs", "diff", str(a / "run_manifest.json"),
+                     str(b / "run_manifest.json")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "DRIFT [seed] seeds.seed" in out
+        assert "NOT COMPARABLE" in out
