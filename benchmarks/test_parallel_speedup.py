@@ -1,0 +1,68 @@
+"""Parallel speedup acceptance bench for ``repro.parallel``.
+
+The headline claim is twofold and both halves are asserted here on a
+fleet large enough to amortize pool startup:
+
+1. ``simulate_fleet(cfg, workers=4)`` returns a byte-identical trace
+   (checked via the deterministic NPZ writer's digest);
+2. it does so at least 1.7x faster than the serial path on a 4-core
+   machine.
+
+The speedup half is skipped on boxes with fewer than four cores —
+there is nothing to measure there — but the identity half always runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+import pytest
+
+from repro.reliability import atomic_save_npz
+from repro.simulator import FleetConfig, simulate_fleet
+
+#: Big enough that per-drive work dominates fork + pickle overhead.
+SPEEDUP_CFG = FleetConfig(
+    n_drives_per_model=300,
+    horizon_days=1460,
+    deploy_spread_days=900,
+    seed=7,
+)
+
+
+def _digest(tmp_path, trace, tag):
+    path = tmp_path / f"{tag}.npz"
+    atomic_save_npz(path, **{k: v for k, v in trace.records.items()})
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def test_four_workers_byte_identical(tmp_path):
+    serial = simulate_fleet(SPEEDUP_CFG, workers=1)
+    fanned = simulate_fleet(SPEEDUP_CFG, workers=4)
+    assert _digest(tmp_path, serial, "w1") == _digest(tmp_path, fanned, "w4")
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="speedup needs at least 4 cores"
+)
+def test_four_workers_at_least_1_7x(tmp_path):
+    # Warm both paths once so imports/allocator state don't skew timing.
+    simulate_fleet(SPEEDUP_CFG, workers=1)
+    simulate_fleet(SPEEDUP_CFG, workers=4)
+
+    t0 = time.perf_counter()
+    serial = simulate_fleet(SPEEDUP_CFG, workers=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fanned = simulate_fleet(SPEEDUP_CFG, workers=4)
+    t_parallel = time.perf_counter() - t0
+
+    assert _digest(tmp_path, serial, "s") == _digest(tmp_path, fanned, "p")
+    speedup = t_serial / t_parallel
+    assert speedup >= 1.7, (
+        f"workers=4 speedup {speedup:.2f}x below the 1.7x floor "
+        f"(serial {t_serial:.2f}s, parallel {t_parallel:.2f}s)"
+    )

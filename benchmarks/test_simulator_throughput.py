@@ -21,6 +21,20 @@ def test_simulate_fleet_throughput(benchmark):
     assert len(trace.records) > 10_000
 
 
+def test_simulate_fleet_throughput_two_workers(benchmark):
+    """Same fleet through the sharded pool path (workers=2).
+
+    Comparing this number against the serial bench above shows the
+    fan-out overhead/payoff at this fleet size; the record count pins
+    the workload to the exact same trace.
+    """
+    cfg = FleetConfig(
+        n_drives_per_model=60, horizon_days=730, deploy_spread_days=300, seed=3
+    )
+    trace = benchmark(simulate_fleet, cfg, workers=2)
+    assert len(trace.records) > 10_000
+
+
 def test_feature_extraction_throughput(benchmark, ml_trace):
     frame = benchmark(build_features, ml_trace.records)
     assert frame.X.shape[0] == len(ml_trace.records)

@@ -62,6 +62,7 @@ from .obs import (
 from .obs import metrics as obs_metrics
 from .obs import tracing as obs_tracing
 from .obs.manifest import _atomic_write_text
+from .parallel import ENV_WORKERS, WorkerCrash, resolve_workers
 from .reliability import (
     DEFAULT_RATES,
     FAULT_CLASSES,
@@ -80,6 +81,31 @@ __all__ = ["main", "build_parser", "CLIError"]
 
 class CLIError(RuntimeError):
     """Actionable user-facing error; printed as one line, exit code 2."""
+
+
+def _workers_arg(args: argparse.Namespace) -> int:
+    """Resolve ``--workers``/``$REPRO_WORKERS`` to a worker count."""
+    try:
+        return resolve_workers(getattr(args, "workers", None))
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+
+def _chunk_timings(tracer: obs_tracing.Tracer) -> list[dict]:
+    """Per-chunk/shard wall times harvested from the simulator spans."""
+    timings = []
+    for sp in tracer.finished():
+        if sp.name != "repro.simulator.chunk":
+            continue
+        timings.append(
+            {
+                "chunk": sp.attrs.get("chunk"),
+                "n_drives": sp.attrs.get("n_drives"),
+                "cached": bool(sp.attrs.get("cached", False)),
+                "seconds": round(sp.duration or 0.0, 6),
+            }
+        )
+    return sorted(timings, key=lambda t: (t["chunk"] is None, t["chunk"]))
 
 
 def _require_trace_dir(path: Path) -> Path:
@@ -176,9 +202,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     )
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
+    workers = _workers_arg(args)
     quiet = args.quiet
     if not quiet:
-        print(f"Simulating fleet: {config} ...")
+        suffix = f" ({workers} workers)" if workers > 1 else ""
+        print(f"Simulating fleet: {config}{suffix} ...")
 
     def progress(done: int, total: int) -> None:
         print(f"  checkpoint {done}/{total}", flush=True)
@@ -202,6 +230,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             chunk_size=args.checkpoint_every,
             resume=args.resume,
             progress=progress if (args.verbose and not quiet) else None,
+            workers=workers,
         )
         save_dataset_npz(trace.records, out / "records.npz")
         save_drivetable_npz(trace.drives, out / "drives.npz")
@@ -215,6 +244,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "swaps": len(trace.swaps),
         "days": config.horizon_days,
     }
+    # Recorded under results, not config: the worker count must not feed
+    # the config digest — same-seed serial and parallel runs are meant to
+    # `obs diff` clean against each other.
+    manifest.results["workers"] = workers
+    manifest.results["chunk_timings"] = _chunk_timings(tracer)
     manifest_path = _finish_obs(args, manifest, tracer, registry, out / RUN_MANIFEST)
     if not quiet:
         print(trace.summary())
@@ -273,6 +307,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    workers = _workers_arg(args)
     manifest = RunManifest(
         command="train",
         config={
@@ -297,7 +332,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(f"Training (lookahead={args.lookahead}d"
               f"{', age-partitioned' if args.age_partitioned else ''}) ...")
         if args.cv:
-            result = predictor.cross_validate(trace, n_splits=args.cv)
+            result = predictor.cross_validate(
+                trace, n_splits=args.cv, workers=workers
+            )
             print(
                 f"Cross-validated ROC AUC: "
                 f"{result.mean_auc:.3f} ± {result.std_auc:.3f}"
@@ -313,6 +350,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "records": len(trace.records),
         "swaps": len(trace.swaps),
     }
+    manifest.results["workers"] = workers
     default_path = Path(str(args.model) + ".manifest.json")
     manifest_path = _finish_obs(args, manifest, tracer, registry, default_path)
     print(f"Wrote model to {args.model}"
@@ -321,6 +359,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
 
 def _cmd_score(args: argparse.Namespace) -> int:
+    workers = _workers_arg(args)
     model_path = Path(args.model)
     if not model_path.exists():
         raise CLIError(
@@ -358,16 +397,18 @@ def _cmd_score(args: argparse.Namespace) -> int:
         else:
             records = load_dataset_npz(trace_dir / "records.npz")
         manifest.add_input(trace_dir / "records.npz")
-        report = predictor.risk_report(records).top(args.top)
+        full_report = predictor.risk_report(records, workers=workers)
+        report = full_report.top(args.top)
     print(f"{'drive':>8s} {'age (d)':>8s} {'P(fail <= %dd)' % predictor.lookahead:>16s}")
     for did, age, p in zip(report.drive_id, report.age_days, report.probability):
         print(f"{did:>8d} {age:>8d} {p:>16.3f}")
     if args.threshold is not None:
-        flagged = predictor.risk_report(records).flagged(args.threshold)
+        flagged = full_report.flagged(args.threshold)
         print(f"\n{len(flagged)} drive(s) above alpha={args.threshold}: "
               f"{np.sort(flagged).tolist()}")
         manifest.results["n_flagged"] = int(len(flagged))
     manifest.counts = {"records": len(records)}
+    manifest.results["workers"] = workers
     default_path = Path(str(args.model) + ".score-manifest.json")
     _finish_obs(args, manifest, tracer, registry, default_path)
     return 0
@@ -432,6 +473,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry repair policy applied at load time (default: off)",
     )
 
+    def add_workers_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            "-j",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for the parallelizable stages "
+            f"(default: ${ENV_WORKERS} or 1; results are byte-identical "
+            "for any value)",
+        )
+
     def add_obs_flags(p: argparse.ArgumentParser, span_flag: str) -> None:
         """The --trace/--metrics-out observability flag group.
 
@@ -483,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DRIVES",
         help="drives per checkpointed chunk (default: 64)",
     )
+    add_workers_flag(p_sim)
     p_sim.add_argument("--verbose", action="store_true", help="progress lines")
     p_sim.add_argument(
         "--quiet",
@@ -543,6 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--cv", type=int, default=0, help="also report k-fold AUC")
     p_tr.add_argument("--seed", type=int, default=0)
     p_tr.add_argument("--policy", **policy_kwargs)
+    add_workers_flag(p_tr)
     add_obs_flags(p_tr, "--trace-spans")
     p_tr.set_defaults(func=_cmd_train)
 
@@ -552,6 +607,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--top", type=int, default=10)
     p_sc.add_argument("--threshold", type=float, default=None)
     p_sc.add_argument("--policy", **policy_kwargs)
+    add_workers_flag(p_sc)
     add_obs_flags(p_sc, "--trace-spans")
     p_sc.set_defaults(func=_cmd_score)
 
@@ -589,6 +645,11 @@ def main(argv: list[str] | None = None) -> int:
         return int(args.func(args))
     except (CLIError, TraceIntegrityError, ManifestError) as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except WorkerCrash as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        if exc.worker_traceback:
+            print(exc.worker_traceback, file=sys.stderr)
         return 2
     except TraceValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -239,8 +239,14 @@ def evaluate_model(
     n_splits: int = 5,
     downsample_ratio: float | None = 1.0,
     seed: int = 0,
+    workers: int | None = None,
 ) -> CVResult:
-    """Cross-validate one model on a prediction dataset (paper protocol)."""
+    """Cross-validate one model on a prediction dataset (paper protocol).
+
+    ``workers`` spreads the CV folds over worker processes (results are
+    identical for any count; the zoo's lambda factories fall back to
+    serial automatically since they cannot cross a process boundary).
+    """
     with tracing.span(
         "repro.core.evaluate", rows_in=len(dataset), model=spec.name
     ):
@@ -254,6 +260,7 @@ def evaluate_model(
             scale=spec.scale,
             log1p=spec.log1p,
             seed=seed,
+            workers=workers,
         )
 
 
@@ -263,6 +270,7 @@ def evaluate_model_zoo(
     n_splits: int = 5,
     downsample_ratio: float | None = 1.0,
     seed: int = 0,
+    workers: int | None = None,
 ) -> dict[str, CVResult]:
     """Cross-validate every model of the zoo; one Table 6 column."""
     specs = specs or default_model_zoo(seed)
@@ -273,6 +281,7 @@ def evaluate_model_zoo(
             n_splits=n_splits,
             downsample_ratio=downsample_ratio,
             seed=seed,
+            workers=workers,
         )
         for spec in specs
     }

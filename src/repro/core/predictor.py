@@ -17,6 +17,7 @@ import numpy as np
 from ..data import DriveDayDataset, SwapLog, downsample_majority
 from ..ml import BinaryClassifier, CVResult, RandomForestClassifier
 from ..obs import tracing
+from ..parallel import iter_tasks, resolve_workers, shard_ranges
 from ..simulator import FleetTrace
 from .features import build_features
 from .pipeline import (
@@ -63,6 +64,38 @@ class _DefaultForestFactory:
         return RandomForestClassifier(
             n_estimators=160, max_depth=13, min_samples_leaf=2, random_state=self.seed
         )
+
+
+#: Fitted models + feature matrix shared by scoring shards, installed
+#: once per worker process (see :func:`_set_score_state`).
+_score_state: tuple | None = None
+
+
+def _set_score_state(
+    models: dict[str, BinaryClassifier],
+    age_partitioned: bool,
+    infancy_days: int,
+    X: np.ndarray,
+    age_days: np.ndarray,
+) -> None:
+    global _score_state
+    _score_state = (models, age_partitioned, infancy_days, X, age_days)
+
+
+def _score_shard(task: tuple) -> np.ndarray:
+    """Pool task: score one contiguous row range of the installed matrix."""
+    lo, hi = task
+    assert _score_state is not None, "score state not installed"
+    models, age_partitioned, infancy_days, X, age_days = _score_state
+    if not age_partitioned:
+        return models["all"].predict_proba(X[lo:hi])
+    out = np.empty(hi - lo)
+    young = age_days[lo:hi] <= infancy_days
+    if np.any(young):
+        out[young] = models["young"].predict_proba(X[lo:hi][young])
+    if np.any(~young):
+        out[~young] = models["old"].predict_proba(X[lo:hi][~young])
+    return out
 
 
 class FailurePredictor:
@@ -161,31 +194,48 @@ class FailurePredictor:
         return X
 
     # ------------------------------------------------------------------ predict
-    def predict_proba_dataset(self, dataset: PredictionDataset) -> np.ndarray:
-        """Failure probability for every row of a prediction dataset."""
+    def predict_proba_dataset(
+        self, dataset: PredictionDataset, workers: int | None = None
+    ) -> np.ndarray:
+        """Failure probability for every row of a prediction dataset.
+
+        ``workers`` shards the rows across worker processes (scoring is
+        per-row, so the probabilities are identical for any count).
+        """
         self._require_fitted()
         if dataset.feature_names != self._feature_names:
             raise ValueError("feature-name mismatch with fitted predictor")
         with tracing.span("repro.core.predict", rows_in=len(dataset)):
-            return self._predict_proba_parts(dataset)
+            return self._predict_proba_parts(dataset, workers=workers)
 
-    def _predict_proba_parts(self, dataset: PredictionDataset) -> np.ndarray:
-        out = np.empty(len(dataset))
-        if self.age_partitioned:
-            young_mask = dataset.age_days <= self.infancy_days
-            if np.any(young_mask):
-                out[young_mask] = self._models["young"].predict_proba(
-                    dataset.X[young_mask]
-                )
-            if np.any(~young_mask):
-                out[~young_mask] = self._models["old"].predict_proba(
-                    dataset.X[~young_mask]
-                )
-        else:
-            out = self._models["all"].predict_proba(dataset.X)
-        return out
+    def _predict_proba_parts(
+        self, dataset: PredictionDataset, workers: int | None = None
+    ) -> np.ndarray:
+        n = len(dataset)
+        state = (
+            self._models,
+            self.age_partitioned,
+            self.infancy_days,
+            dataset.X,
+            dataset.age_days,
+        )
+        tasks = shard_ranges(n, resolve_workers(workers))
+        parts = [
+            part
+            for _, part in iter_tasks(
+                _score_shard,
+                tasks,
+                workers=workers,
+                label="repro.core.predict",
+                initializer=_set_score_state,
+                initargs=state,
+            )
+        ]
+        return np.concatenate(parts) if parts else np.empty(0)
 
-    def predict_proba_records(self, records: DriveDayDataset) -> np.ndarray:
+    def predict_proba_records(
+        self, records: DriveDayDataset, workers: int | None = None
+    ) -> np.ndarray:
         """Failure probability for every row of a raw telemetry dataset."""
         self._require_fitted()
         frame = build_features(records)
@@ -198,9 +248,11 @@ class FailurePredictor:
             feature_names=frame.names,
             lookahead=self.lookahead,
         )
-        return self.predict_proba_dataset(dataset)
+        return self.predict_proba_dataset(dataset, workers=workers)
 
-    def risk_report(self, records: DriveDayDataset) -> DriveRiskReport:
+    def risk_report(
+        self, records: DriveDayDataset, workers: int | None = None
+    ) -> DriveRiskReport:
         """Score each drive on its most recent record.
 
         This is the operational use-case of Section 5: rank the live fleet
@@ -208,7 +260,7 @@ class FailurePredictor:
         operators can migrate data / provision spares ahead of the failure.
         """
         self._require_fitted()
-        probs = self.predict_proba_records(records)
+        probs = self.predict_proba_records(records, workers=workers)
         ids, offsets = records.drive_groups()
         last = offsets[1:] - 1
         return DriveRiskReport(
@@ -251,8 +303,13 @@ class FailurePredictor:
         self,
         trace: FleetTrace | tuple[DriveDayDataset, SwapLog],
         n_splits: int = 5,
+        workers: int | None = None,
     ) -> CVResult:
-        """Paper-protocol CV of this predictor's model on a trace."""
+        """Paper-protocol CV of this predictor's model on a trace.
+
+        ``workers`` spreads the folds across worker processes; fold AUCs
+        and out-of-fold scores are identical for any count.
+        """
         dataset = build_prediction_dataset(trace, self.lookahead)
         return evaluate_model(
             dataset,
@@ -260,6 +317,7 @@ class FailurePredictor:
             n_splits=n_splits,
             downsample_ratio=self.downsample_ratio,
             seed=self.seed,
+            workers=workers,
         )
 
     def _require_fitted(self) -> None:

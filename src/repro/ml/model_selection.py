@@ -22,11 +22,18 @@ import numpy as np
 from ..data.sampling import downsample_majority
 from ..data.split import GroupKFold
 from ..obs import metrics, tracing
+from ..parallel import iter_tasks
 from .base import BinaryClassifier
 from .metrics import roc_auc_score
 from .preprocessing import Log1pTransformer, StandardScaler
 
-__all__ = ["CVResult", "cross_validate_auc", "parameter_grid", "GridSearchResult", "grid_search"]
+__all__ = [
+    "CVResult",
+    "cross_validate_auc",
+    "parameter_grid",
+    "GridSearchResult",
+    "grid_search",
+]
 
 
 @dataclass(frozen=True)
@@ -84,16 +91,72 @@ def _prepare(
     return transform
 
 
+def _fold_rng(seed: int, fold_index: int) -> np.random.Generator:
+    """Downsampling stream for one fold, independent of every other fold.
+
+    Derived from ``(seed, fold_index)`` rather than threaded through the
+    folds sequentially, so a fold's sampling does not depend on which
+    folds ran before it — the property that lets folds run on worker
+    processes in any order and still match a serial run bit-for-bit.
+    """
+    return np.random.default_rng(np.random.SeedSequence([seed, fold_index]))
+
+
+#: Features/labels shared by every fold task, installed once per worker
+#: process by :func:`_set_fold_data` (and in-process on the serial path)
+#: so the matrix is not re-pickled for every fold.
+_fold_data: tuple[np.ndarray, np.ndarray] | None = None
+
+
+def _set_fold_data(X: np.ndarray, y: np.ndarray) -> None:
+    global _fold_data
+    _fold_data = (X, y)
+
+
+def _run_fold(task: tuple) -> tuple | None:
+    """Pool task: fit and score one CV fold; ``None`` for a skipped fold."""
+    make_model, train_idx, test_idx, fold_index, ratio, scale, log1p, seed = task
+    assert _fold_data is not None, "fold data not installed"
+    X, y = _fold_data
+    with tracing.span("repro.ml.fold", rows_in=len(train_idx)) as fold_sp:
+        if ratio is not None:
+            keep = downsample_majority(
+                y[train_idx], ratio=ratio, rng=_fold_rng(seed, fold_index)
+            )
+            fit_rows = train_idx[keep]
+        else:
+            fit_rows = train_idx
+        fold_sp.set(
+            fold=fold_index,
+            n_downsampled=int(len(train_idx) - len(fit_rows)),
+        )
+        if len(np.unique(y[test_idx])) < 2:
+            # A test fold without positives cannot be scored; skip it (can
+            # only happen on very small fleets).
+            fold_sp.set(skipped=True)
+            return None
+        transform = _prepare(X, scale, log1p, fit_rows)
+        model = make_model()
+        with tracing.span("repro.ml.fit", rows_in=len(fit_rows)):
+            model.fit(transform(fit_rows), y[fit_rows])
+        with tracing.span("repro.ml.predict", rows_in=len(test_idx)):
+            scores = model.predict_proba(transform(test_idx))
+        metrics.inc("repro_cv_folds_total", help="CV folds scored")
+    return (roc_auc_score(y[test_idx], scores), y[test_idx], scores, test_idx)
+
+
 def cross_validate_auc(
     make_model: Callable[[], BinaryClassifier],
     X: np.ndarray,
     y: np.ndarray,
-    groups: np.ndarray,
+    groups: np.ndarray | None,
     n_splits: int = 5,
     downsample_ratio: float | None = 1.0,
     scale: bool = False,
     log1p: bool = False,
     seed: int = 0,
+    workers: int | None = None,
+    splits: list[tuple[np.ndarray, np.ndarray]] | None = None,
 ) -> CVResult:
     """Drive-grouped K-fold cross-validation with training downsampling.
 
@@ -110,47 +173,48 @@ def cross_validate_auc(
         Optional per-fold feature preprocessing (fit on the *downsampled
         training rows* only — no test leakage).
     seed:
-        Seeds the fold assignment and the downsampling.
+        Seeds the fold assignment and the per-fold downsampling streams
+        (fold ``i`` draws from ``SeedSequence([seed, i])``).
+    workers:
+        Worker processes to spread folds across; ``None`` resolves to
+        ``$REPRO_WORKERS`` or 1.  Fold results are identical for every
+        value (each fold owns its own sampling stream).
+    splits:
+        Precomputed ``(train_idx, test_idx)`` pairs; when given,
+        ``groups``/``n_splits`` are ignored.  Grid search passes the
+        same splits to every parameter combination.
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
-    groups = np.asarray(groups)
-    rng = np.random.default_rng(seed)
-    folds = GroupKFold(n_splits=n_splits, shuffle=True, seed=seed)
+    if splits is None:
+        if groups is None:
+            raise ValueError("either groups or splits must be provided")
+        folds = GroupKFold(n_splits=n_splits, shuffle=True, seed=seed)
+        splits = list(folds.split(np.asarray(groups)))
 
+    tasks = [
+        (make_model, train_idx, test_idx, i, downsample_ratio, scale, log1p, seed)
+        for i, (train_idx, test_idx) in enumerate(splits)
+    ]
     aucs: list[float] = []
     oof_true: list[np.ndarray] = []
     oof_score: list[np.ndarray] = []
     oof_index: list[np.ndarray] = []
-    for fold_index, (train_idx, test_idx) in enumerate(folds.split(groups)):
-        with tracing.span("repro.ml.fold", rows_in=len(train_idx)) as fold_sp:
-            if downsample_ratio is not None:
-                keep = downsample_majority(
-                    y[train_idx], ratio=downsample_ratio, rng=rng
-                )
-                fit_rows = train_idx[keep]
-            else:
-                fit_rows = train_idx
-            fold_sp.set(
-                fold=fold_index,
-                n_downsampled=int(len(train_idx) - len(fit_rows)),
-            )
-            if len(np.unique(y[test_idx])) < 2:
-                # A test fold without positives cannot be scored; skip it (can
-                # only happen on very small fleets).
-                fold_sp.set(skipped=True)
-                continue
-            transform = _prepare(X, scale, log1p, fit_rows)
-            model = make_model()
-            with tracing.span("repro.ml.fit", rows_in=len(fit_rows)):
-                model.fit(transform(fit_rows), y[fit_rows])
-            with tracing.span("repro.ml.predict", rows_in=len(test_idx)):
-                scores = model.predict_proba(transform(test_idx))
-            metrics.inc("repro_cv_folds_total", help="CV folds scored")
-            aucs.append(roc_auc_score(y[test_idx], scores))
-            oof_true.append(y[test_idx])
-            oof_score.append(scores)
-            oof_index.append(test_idx)
+    for _, out in iter_tasks(
+        _run_fold,
+        tasks,
+        workers=workers,
+        label="repro.ml.cv",
+        initializer=_set_fold_data,
+        initargs=(X, y),
+    ):
+        if out is None:
+            continue
+        auc, y_test, scores, test_idx = out
+        aucs.append(auc)
+        oof_true.append(y_test)
+        oof_score.append(scores)
+        oof_index.append(test_idx)
 
     if not aucs:
         raise ValueError("no scoreable folds (every test fold lacked positives)")
@@ -188,6 +252,39 @@ class GridSearchResult:
         return "\n".join(lines)
 
 
+class _FactoryCall:
+    """Picklable deferred ``factory(**params)`` call (lambdas are not)."""
+
+    def __init__(self, factory: Callable[..., BinaryClassifier], params: dict):
+        self.factory = factory
+        self.params = params
+
+    def __call__(self) -> BinaryClassifier:
+        return self.factory(**self.params)
+
+
+def _grid_eval(task: tuple) -> CVResult:
+    """Pool task: cross-validate one parameter combination.
+
+    Features/labels come from the worker-installed :data:`_fold_data`
+    (nested fold-level fan-out is pinned to serial inside workers).
+    """
+    factory, params, splits, ratio, scale, log1p, seed = task
+    assert _fold_data is not None, "fold data not installed"
+    X, y = _fold_data
+    return cross_validate_auc(
+        _FactoryCall(factory, params),
+        X,
+        y,
+        groups=None,
+        downsample_ratio=ratio,
+        scale=scale,
+        log1p=log1p,
+        seed=seed,
+        splits=splits,
+    )
+
+
 def grid_search(
     model_factory: Callable[..., BinaryClassifier],
     grid: Mapping[str, Sequence[object]],
@@ -199,29 +296,40 @@ def grid_search(
     scale: bool = False,
     log1p: bool = False,
     seed: int = 0,
+    workers: int | None = None,
 ) -> GridSearchResult:
     """Exhaustive search maximizing cross-validated AUC.
 
     ``model_factory(**params)`` must return a fresh classifier for each
-    parameter combination.
+    parameter combination.  The GroupKFold split is computed once and
+    shared by every combination (it depends only on ``groups`` and
+    ``seed``, and recomputing it per combo was pure waste); with
+    ``workers > 1`` the combinations fan out across worker processes,
+    best-by-mean-AUC with first-wins tie-breaking either way.
     """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    folds = GroupKFold(n_splits=n_splits, shuffle=True, seed=seed)
+    splits = list(folds.split(np.asarray(groups)))
+
+    combos = list(parameter_grid(grid))
+    tasks = [
+        (model_factory, params, splits, downsample_ratio, scale, log1p, seed)
+        for params in combos
+    ]
     best: tuple[dict[str, object], CVResult] | None = None
     all_results: list[tuple[dict[str, object], CVResult]] = []
-    for params in parameter_grid(grid):
-        result = cross_validate_auc(
-            lambda params=params: model_factory(**params),
-            X,
-            y,
-            groups,
-            n_splits=n_splits,
-            downsample_ratio=downsample_ratio,
-            scale=scale,
-            log1p=log1p,
-            seed=seed,
-        )
-        all_results.append((params, result))
+    for i, result in iter_tasks(
+        _grid_eval,
+        tasks,
+        workers=workers,
+        label="repro.ml.grid",
+        initializer=_set_fold_data,
+        initargs=(X, y),
+    ):
+        all_results.append((combos[i], result))
         if best is None or result.mean_auc > best[1].mean_auc:
-            best = (params, result)
+            best = (combos[i], result)
     assert best is not None  # grid is non-empty by construction
     return GridSearchResult(
         best_params=best[0], best_result=best[1], all_results=all_results

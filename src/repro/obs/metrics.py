@@ -271,6 +271,93 @@ class MetricsRegistry:
     ) -> MetricFamily:
         return self._family(name, "histogram", help, labelnames, buckets=buckets)
 
+    # ----------------------------------------------------- cross-process merge
+    def snapshot(self) -> list[dict]:
+        """Picklable raw dump of every family, for cross-process merge.
+
+        Unlike :meth:`to_dict` (cumulative buckets, rendering-oriented),
+        this keeps histogram buckets non-cumulative so two snapshots can
+        be added series-by-series (:meth:`merge_snapshot`).
+        """
+        out: list[dict] = []
+        with self._lock:
+            families = sorted(self._families.items())
+        for name, fam in families:
+            series_list: list[dict] = []
+            for key, series in fam._sorted_series():
+                if fam.kind == "histogram":
+                    assert isinstance(series, Histogram)
+                    with series._lock:
+                        series_list.append(
+                            {
+                                "labels": list(key),
+                                "bucket_counts": list(series.bucket_counts),
+                                "inf_count": series.inf_count,
+                                "sum": series.sum,
+                                "count": series.count,
+                            }
+                        )
+                else:
+                    series_list.append({"labels": list(key), "value": series.value})
+            out.append(
+                {
+                    "name": name,
+                    "kind": fam.kind,
+                    "help": fam.help,
+                    "labelnames": list(fam.labelnames),
+                    "buckets": list(fam._buckets) if fam.kind == "histogram" else None,
+                    "series": series_list,
+                }
+            )
+        return out
+
+    def merge_snapshot(self, snapshot: list[dict]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and histograms accumulate; gauges take the snapshot's
+        value (last write wins).  Families are created on first sight,
+        and the usual kind/label consistency checks apply.
+        """
+        for fam_snap in snapshot:
+            kind = fam_snap["kind"]
+            fam = self._family(
+                fam_snap["name"],
+                kind,
+                fam_snap.get("help", ""),
+                tuple(fam_snap.get("labelnames", ())),
+                buckets=tuple(fam_snap["buckets"])
+                if fam_snap.get("buckets")
+                else DEFAULT_BUCKETS,
+            )
+            for entry in fam_snap["series"]:
+                series = fam.labels(**dict(zip(fam.labelnames, entry["labels"])))
+                if kind == "counter":
+                    assert isinstance(series, Counter)
+                    series.inc(float(entry["value"]))
+                elif kind == "gauge":
+                    assert isinstance(series, Gauge)
+                    series.set(float(entry["value"]))
+                else:
+                    assert isinstance(series, Histogram)
+                    counts = entry["bucket_counts"]
+                    snap_bounds = tuple(
+                        float(b) for b in (fam_snap.get("buckets") or ())
+                    )
+                    if (
+                        len(counts) != len(series.bucket_counts)
+                        or snap_bounds != series.upper_bounds
+                    ):
+                        raise ValueError(
+                            f"histogram {fam_snap['name']!r}: bucket layout "
+                            "mismatch between snapshot and registry"
+                        )
+                    with series._lock:
+                        for i, c in enumerate(counts):
+                            series.bucket_counts[i] += int(c)
+                        series.inf_count += int(entry["inf_count"])
+                        series.sum += float(entry["sum"])
+                        series.count += int(entry["count"])
+
     # ------------------------------------------------------------- exporters
     def render_prometheus(self) -> str:
         """Prometheus text exposition format (families sorted by name)."""

@@ -166,6 +166,57 @@ class Tracer:
             with self._lock:
                 self._spans.append(sp)
 
+    def now(self) -> float:
+        """Seconds since this tracer's epoch (monotonic clock)."""
+        return time.perf_counter() - self._epoch
+
+    def current_parent_id(self) -> int | None:
+        """Span id of the innermost open span on this thread (or ``None``)."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    def absorb(
+        self,
+        span_dicts: list[dict[str, Any]],
+        offset: float = 0.0,
+        parent_id: int | None = None,
+    ) -> int:
+        """Adopt spans recorded by another tracer (e.g. a pool worker).
+
+        Span ids are reassigned to this collector's sequence; parent links
+        *within* the batch are preserved, batch roots are re-parented onto
+        ``parent_id``.  ``offset`` shifts the foreign start times (the
+        other tracer has its own epoch) onto this tracer's timeline.
+        Returns the number of spans absorbed.
+        """
+        span_dicts = list(span_dicts)
+        if not span_dicts:
+            return 0
+        with self._lock:
+            base = self._next_id
+            self._next_id += len(span_dicts)
+        remap = {
+            d["span_id"]: base + i
+            for i, d in enumerate(span_dicts)
+            if d.get("span_id") is not None
+        }
+        adopted: list[Span] = []
+        for i, d in enumerate(span_dicts):
+            foreign_parent = d.get("parent_id")
+            adopted.append(
+                Span(
+                    name=d["name"],
+                    span_id=base + i,
+                    parent_id=remap.get(foreign_parent, parent_id),
+                    start=float(d.get("start", 0.0)) + offset,
+                    duration=d.get("duration"),
+                    attrs=dict(d.get("attrs", {})),
+                )
+            )
+        with self._lock:
+            self._spans.extend(adopted)
+        return len(adopted)
+
     # --------------------------------------------------------------- reading
     def finished(self) -> list[Span]:
         """Finished spans, ordered by start time."""

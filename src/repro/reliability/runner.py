@@ -31,8 +31,9 @@ from typing import IO, Any
 
 import numpy as np
 
-from ..data import DriveDayDataset, DriveTable, SwapLog, concat_datasets
+from ..data import DriveDayDataset, DriveTable, SwapLog
 from ..obs import metrics, tracing
+from ..parallel import iter_tasks, resolve_workers
 from ..simulator import (
     DriveModelSpec,
     DriveResult,
@@ -41,7 +42,7 @@ from ..simulator import (
     default_models,
     simulate_drive,
 )
-from ..simulator.fleet import _assemble
+from ..simulator.fleet import _assemble, _seed_plan, concat_traces
 
 __all__ = [
     "atomic_write",
@@ -277,31 +278,32 @@ class CheckpointStore:
             pass  # unexpected stray files: leave them for inspection
 
 
-def _concat_traces(parts: list[FleetTrace], config: FleetConfig) -> FleetTrace:
-    """Concatenate chunk traces in drive order (chunks are disjoint)."""
-    records = concat_datasets([p.records for p in parts if len(p.records)])
-    if not any(len(p.records) for p in parts):
-        records = DriveDayDataset.empty()
-    drives = DriveTable(
-        drive_id=np.concatenate([p.drives.drive_id for p in parts]),
-        model=np.concatenate([p.drives.model for p in parts]),
-        deploy_day=np.concatenate([p.drives.deploy_day for p in parts]),
-        end_of_observation_age=np.concatenate(
-            [p.drives.end_of_observation_age for p in parts]
-        ),
-    )
-    swaps = SwapLog(
-        drive_id=np.concatenate([p.swaps.drive_id for p in parts]),
-        model=np.concatenate([p.swaps.model for p in parts]),
-        failure_age=np.concatenate([p.swaps.failure_age for p in parts]),
-        swap_age=np.concatenate([p.swaps.swap_age for p in parts]),
-        reentry_age=np.concatenate([p.swaps.reentry_age for p in parts]),
-        operational_start_age=np.concatenate(
-            [p.swaps.operational_start_age for p in parts]
-        ),
-        failure_mode=np.concatenate([p.swaps.failure_mode for p in parts]),
-    )
-    return FleetTrace(records=records, drives=drives, swaps=swaps, config=config)
+def _simulate_chunk_task(task: tuple) -> FleetTrace:
+    """Pool task: simulate one checkpoint chunk into a partial trace.
+
+    Runs inside a worker process under ``workers > 1`` (the chunk span
+    it emits ships back in the worker's obs delta) and in-process on the
+    serial path — either way the span layout and stage aggregates match.
+    Persisting the chunk stays with the parent, which owns the store.
+    """
+    config, models, chunk, lo, hi, seeds, deploy_days = task
+    with tracing.span("repro.simulator.chunk", n_drives=hi - lo) as sp:
+        results: list[DriveResult] = []
+        for drive_id in range(lo, hi):
+            model_index = drive_id // config.n_drives_per_model
+            results.append(
+                simulate_drive(
+                    drive_id=drive_id,
+                    model_index=model_index,
+                    spec=models[model_index],
+                    deploy_day=deploy_days[drive_id - lo],
+                    horizon_days=config.horizon_days,
+                    rng=np.random.default_rng(seeds[drive_id - lo]),
+                )
+            )
+        part = _assemble(results, config)
+        sp.set(chunk=chunk, cached=False, rows_out=len(part.records))
+    return part
 
 
 def simulate_fleet_resumable(
@@ -311,6 +313,7 @@ def simulate_fleet_resumable(
     resume: bool = False,
     models: tuple[DriveModelSpec, ...] | None = None,
     progress: Callable[[int, int], None] | None = None,
+    workers: int | None = None,
 ) -> FleetTrace:
     """Chunked, checkpointed drop-in for :func:`simulate_fleet`.
 
@@ -320,6 +323,13 @@ def simulate_fleet_resumable(
     previously completed chunks of a *compatible* run (same config,
     models and seed) are loaded instead of re-simulated; incompatible or
     damaged checkpoints are re-simulated from scratch.
+
+    With ``workers > 1`` (or ``$REPRO_WORKERS`` set) the still-missing
+    chunks fan out across worker processes; every chunk owns its
+    pre-spawned seed slice, so the trace — and every checkpoint file —
+    is byte-identical to a serial run.  Checkpoints are persisted by the
+    parent in chunk order as results stream back, so a killed parallel
+    run resumes exactly like a killed serial one.
 
     ``progress(done_chunks, n_chunks)`` is invoked after every chunk —
     the CLI uses it for status lines, the tests to kill the run
@@ -333,21 +343,14 @@ def simulate_fleet_resumable(
         raise ValueError("chunk_size must be >= 1")
     config = config or FleetConfig()
     models = models or default_models()
+    workers = resolve_workers(workers)
     n_total = config.n_drives_per_model * len(models)
     n_chunks = (n_total + chunk_size - 1) // chunk_size
 
     # RNG streams exactly as simulate_fleet spawns them: one child per
     # drive plus a trailing deployment stream, with deploy days drawn
     # sequentially in global drive order.
-    root = np.random.SeedSequence(config.seed)
-    children = root.spawn(n_total + 1)
-    deploy_rng = np.random.default_rng(children[-1])
-    deploy_days = [
-        int(deploy_rng.integers(0, config.deploy_spread_days + 1))
-        if config.deploy_spread_days
-        else 0
-        for _ in range(n_total)
-    ]
+    seeds, deploy_days = _seed_plan(config, n_total)
 
     directory = Path(checkpoint_dir)
     directory.mkdir(parents=True, exist_ok=True)
@@ -360,47 +363,56 @@ def simulate_fleet_resumable(
     if not resume:
         store.write_manifest([])
 
-    parts: list[FleetTrace] = []
+    parts: list[FleetTrace | None] = [None] * n_chunks
     done = 0
-    for chunk in range(n_chunks):
+
+    def bounds(chunk: int) -> tuple[int, int]:
         lo = chunk * chunk_size
-        hi = min(lo + chunk_size, n_total)
+        return lo, min(lo + chunk_size, n_total)
+
+    # Cached chunks first: loading is parent-side work (the store is not
+    # shared with workers), and surfacing them early keeps the resume
+    # path free of pool startup cost when everything is already done.
+    for chunk in sorted(completed):
+        lo, hi = bounds(chunk)
+        part = store.load_chunk(chunk, config)
+        if part is None:  # damaged checkpoint: re-simulate below
+            completed.discard(chunk)
+            continue
         with tracing.span("repro.simulator.chunk", n_drives=hi - lo) as sp:
-            part: FleetTrace | None = None
-            cached = False
-            if chunk in completed:
-                part = store.load_chunk(chunk, config)
-                if part is None:  # damaged checkpoint: fall through and redo
-                    completed.discard(chunk)
-                else:
-                    cached = True
-            if part is None:
-                results: list[DriveResult] = []
-                for drive_id in range(lo, hi):
-                    model_index = drive_id // config.n_drives_per_model
-                    results.append(
-                        simulate_drive(
-                            drive_id=drive_id,
-                            model_index=model_index,
-                            spec=models[model_index],
-                            deploy_day=deploy_days[drive_id],
-                            horizon_days=config.horizon_days,
-                            rng=np.random.default_rng(children[drive_id]),
-                        )
-                    )
-                part = _assemble(results, config)
-                store.save_chunk(chunk, part)
-                completed.add(chunk)
-                store.write_manifest(sorted(completed))
-            sp.set(chunk=chunk, cached=cached, rows_out=len(part.records))
+            parts[chunk] = part
+            sp.set(chunk=chunk, cached=True, rows_out=len(part.records))
         metrics.inc(
             "repro_chunks_total",
             help="Simulation chunks processed",
-            outcome="cached" if cached else "simulated",
+            outcome="cached",
         )
-        parts.append(part)
         done += 1
         if progress is not None:
             progress(done, n_chunks)
 
-    return _concat_traces(parts, config)
+    todo = [chunk for chunk in range(n_chunks) if parts[chunk] is None]
+    tasks = []
+    for chunk in todo:
+        lo, hi = bounds(chunk)
+        tasks.append(
+            (config, models, chunk, lo, hi, seeds[lo:hi], deploy_days[lo:hi])
+        )
+    for i, part in iter_tasks(
+        _simulate_chunk_task, tasks, workers=workers, label="repro.simulator"
+    ):
+        chunk = todo[i]
+        store.save_chunk(chunk, part)
+        completed.add(chunk)
+        store.write_manifest(sorted(completed))
+        parts[chunk] = part
+        metrics.inc(
+            "repro_chunks_total",
+            help="Simulation chunks processed",
+            outcome="simulated",
+        )
+        done += 1
+        if progress is not None:
+            progress(done, n_chunks)
+
+    return concat_traces(parts, config)

@@ -289,21 +289,25 @@ def _emit_inactive_records(
 ) -> None:
     """Zero-activity post-failure reports (the "soft removal" stretch)."""
     n = ages.shape[0]
+    # One Bernoulli draw per inactive day regardless of how many land —
+    # keeps the drive's RNG stream identical to earlier versions that
+    # built full-length columns and masked them afterwards.
     recorded = rng.random(n) < record_prob
-    if not np.any(recorded):
+    k = int(np.count_nonzero(recorded))
+    if k == 0:
         return
-    zeros_f = np.zeros(n, dtype=np.float64)
-    zeros_i = np.zeros(n, dtype=np.int64)
+    zeros_f = np.zeros(k, dtype=np.float64)
+    zeros_i = np.zeros(k, dtype=np.int64)
     cols = {
-        "age_days": ages.astype(np.int64),
+        "age_days": ages[recorded].astype(np.int64),
         "read_count": zeros_f,
         "write_count": zeros_f,
         "erase_count": zeros_f,
-        "pe_cycles": np.full(n, pe_state),
-        "status_dead": np.full(n, 1 if dead_on else 0, dtype=np.int8),
-        "status_read_only": np.full(n, 1 if status_ro_on else 0, dtype=np.int8),
-        "factory_bad_blocks": np.full(n, factory_bb, dtype=np.int64),
-        "grown_bad_blocks": np.full(n, grown_bb, dtype=np.int64),
+        "pe_cycles": np.full(k, pe_state),
+        "status_dead": np.full(k, 1 if dead_on else 0, dtype=np.int8),
+        "status_read_only": np.full(k, 1 if status_ro_on else 0, dtype=np.int8),
+        "factory_bad_blocks": np.full(k, factory_bb, dtype=np.int64),
+        "grown_bad_blocks": np.full(k, grown_bb, dtype=np.int64),
         "correctable_error": zeros_i,
         "erase_error": zeros_i,
         "final_read_error": zeros_i,
@@ -316,4 +320,4 @@ def _emit_inactive_records(
         "write_error": zeros_i,
     }
     for name in _RECORD_COLUMNS:
-        buffers[name].append(cols[name][recorded])
+        buffers[name].append(cols[name])

@@ -8,6 +8,11 @@ data products the paper's analyses consume:
 - the **daily performance log** (:class:`~repro.data.DriveDayDataset`), and
 - the **swap log** (:class:`~repro.data.SwapLog`) plus drive metadata
   (:class:`~repro.data.DriveTable`).
+
+Because each drive owns a pre-spawned :class:`numpy.random.SeedSequence`
+child, the fleet can be sharded across worker processes
+(``simulate_fleet(config, workers=N)``) with byte-identical output for
+any ``N`` — scheduling never touches a random stream.  See DESIGN.md §11.
 """
 
 from __future__ import annotations
@@ -16,12 +21,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..data import DriveDayDataset, DriveTable, SwapLog
+from ..data import DriveDayDataset, DriveTable, SwapLog, concat_datasets
 from ..obs import metrics, tracing
+from ..parallel import iter_tasks, resolve_workers, shard_ranges
 from .config import DriveModelSpec, FleetConfig, default_models
 from .drive import DriveResult, simulate_drive
 
-__all__ = ["FleetTrace", "simulate_fleet"]
+__all__ = ["FleetTrace", "simulate_fleet", "concat_traces"]
 
 
 @dataclass
@@ -46,9 +52,34 @@ class FleetTrace:
         )
 
 
+def _seed_plan(
+    config: FleetConfig, n_total: int
+) -> tuple[list[np.random.SeedSequence], list[int]]:
+    """Spawn the fleet's RNG streams and draw every deploy day upfront.
+
+    One seed child per drive plus a trailing deployment stream; deploy
+    days are drawn sequentially in global drive order from that dedicated
+    stream, so precomputing them here is stream-for-stream identical to
+    drawing them lazily inside the simulation loop.  Both the serial and
+    the sharded paths (and :func:`repro.reliability.simulate_fleet_resumable`)
+    consume this one plan — the root of the any-N bit-identity guarantee.
+    """
+    root = np.random.SeedSequence(config.seed)
+    children = root.spawn(n_total + 1)
+    deploy_rng = np.random.default_rng(children[-1])
+    deploy_days = [
+        int(deploy_rng.integers(0, config.deploy_spread_days + 1))
+        if config.deploy_spread_days
+        else 0
+        for _ in range(n_total)
+    ]
+    return children[:n_total], deploy_days
+
+
 def simulate_fleet(
     config: FleetConfig | None = None,
     models: tuple[DriveModelSpec, ...] | None = None,
+    workers: int | None = None,
 ) -> FleetTrace:
     """Simulate the whole fleet described by ``config``.
 
@@ -59,15 +90,19 @@ def simulate_fleet(
     models:
         Drive-model specs, in model-index order (defaults to the paper's
         MLC-A / MLC-B / MLC-D presets).
+    workers:
+        Worker processes to shard drives across; ``None`` resolves to
+        ``$REPRO_WORKERS`` or 1 (serial).  The trace is byte-identical
+        for every value.
     """
     config = config or FleetConfig()
     models = models or default_models()
-
-    root = np.random.SeedSequence(config.seed)
     n_total = config.n_drives_per_model * len(models)
-    children = root.spawn(n_total + 1)
-    deploy_rng = np.random.default_rng(children[-1])
+    workers = resolve_workers(workers)
+    if workers > 1 and n_total > 1:
+        return _simulate_fleet_parallel(config, models, workers)
 
+    seeds, deploy_days = _seed_plan(config, n_total)
     results: list[DriveResult] = []
     drive_id = 0
     for model_index, spec in enumerate(models):
@@ -79,18 +114,13 @@ def simulate_fleet(
         ) as sp:
             rows = 0
             for _ in range(config.n_drives_per_model):
-                deploy_day = (
-                    int(deploy_rng.integers(0, config.deploy_spread_days + 1))
-                    if config.deploy_spread_days
-                    else 0
-                )
-                rng = np.random.default_rng(children[drive_id])
+                rng = np.random.default_rng(seeds[drive_id])
                 results.append(
                     simulate_drive(
                         drive_id=drive_id,
                         model_index=model_index,
                         spec=spec,
-                        deploy_day=deploy_day,
+                        deploy_day=deploy_days[drive_id],
                         horizon_days=config.horizon_days,
                         rng=rng,
                     )
@@ -105,6 +135,84 @@ def simulate_fleet(
         )
 
     return _assemble(results, config)
+
+
+# --------------------------------------------------------------------------
+# sharded execution
+# --------------------------------------------------------------------------
+
+
+def _simulate_shard(task: tuple) -> FleetTrace:
+    """Pool task: simulate one contiguous drive range into a partial trace."""
+    config, models, lo, hi, seeds, deploy_days = task
+    with tracing.span("repro.simulator.shard", n_drives=hi - lo) as sp:
+        results = []
+        for drive_id in range(lo, hi):
+            model_index = drive_id // config.n_drives_per_model
+            results.append(
+                simulate_drive(
+                    drive_id=drive_id,
+                    model_index=model_index,
+                    spec=models[model_index],
+                    deploy_day=deploy_days[drive_id - lo],
+                    horizon_days=config.horizon_days,
+                    rng=np.random.default_rng(seeds[drive_id - lo]),
+                )
+            )
+        part = _assemble(results, config)
+        sp.set(shard_lo=lo, rows_out=len(part.records))
+    metrics.inc("repro_drives_simulated_total", hi - lo, help="Drives simulated")
+    return part
+
+
+def _simulate_fleet_parallel(
+    config: FleetConfig, models: tuple[DriveModelSpec, ...], workers: int
+) -> FleetTrace:
+    n_total = config.n_drives_per_model * len(models)
+    seeds, deploy_days = _seed_plan(config, n_total)
+    tasks = [
+        (config, models, lo, hi, seeds[lo:hi], deploy_days[lo:hi])
+        for lo, hi in shard_ranges(n_total, workers)
+    ]
+    parts = [
+        part
+        for _, part in iter_tasks(
+            _simulate_shard, tasks, workers=workers, label="repro.simulator"
+        )
+    ]
+    return concat_traces(parts, config)
+
+
+def concat_traces(parts: list[FleetTrace], config: FleetConfig) -> FleetTrace:
+    """Concatenate partial traces in drive order (parts are disjoint)."""
+    records = concat_datasets([p.records for p in parts if len(p.records)])
+    if not any(len(p.records) for p in parts):
+        records = DriveDayDataset.empty()
+    drives = DriveTable(
+        drive_id=np.concatenate([p.drives.drive_id for p in parts]),
+        model=np.concatenate([p.drives.model for p in parts]),
+        deploy_day=np.concatenate([p.drives.deploy_day for p in parts]),
+        end_of_observation_age=np.concatenate(
+            [p.drives.end_of_observation_age for p in parts]
+        ),
+    )
+    swaps = SwapLog(
+        drive_id=np.concatenate([p.swaps.drive_id for p in parts]),
+        model=np.concatenate([p.swaps.model for p in parts]),
+        failure_age=np.concatenate([p.swaps.failure_age for p in parts]),
+        swap_age=np.concatenate([p.swaps.swap_age for p in parts]),
+        reentry_age=np.concatenate([p.swaps.reentry_age for p in parts]),
+        operational_start_age=np.concatenate(
+            [p.swaps.operational_start_age for p in parts]
+        ),
+        failure_mode=np.concatenate([p.swaps.failure_mode for p in parts]),
+    )
+    return FleetTrace(records=records, drives=drives, swaps=swaps, config=config)
+
+
+# --------------------------------------------------------------------------
+# assembly
+# --------------------------------------------------------------------------
 
 
 def _assemble(results: list[DriveResult], config: FleetConfig) -> FleetTrace:
@@ -156,31 +264,37 @@ def _assemble_inner(results: list[DriveResult], config: FleetConfig) -> FleetTra
     )
 
     # --- swap log -------------------------------------------------------------
-    sw_drive, sw_model, sw_fail, sw_swap, sw_re, sw_start, sw_mode = (
-        [],
-        [],
-        [],
-        [],
-        [],
-        [],
-        [],
-    )
+    # Preallocated columns filled one drive-slice at a time (a drive has
+    # at most a handful of swaps, the fleet has thousands).
+    n_swaps = sum(len(r.swaps) for r in results)
+    sw_drive = np.empty(n_swaps, dtype=np.int32)
+    sw_model = np.empty(n_swaps, dtype=np.int8)
+    sw_fail = np.empty(n_swaps, dtype=np.float64)
+    sw_swap = np.empty(n_swaps, dtype=np.float64)
+    sw_re = np.empty(n_swaps, dtype=np.float64)
+    sw_start = np.empty(n_swaps, dtype=np.float64)
+    sw_mode = np.empty(n_swaps, dtype=np.int8)
+    pos = 0
     for res in results:
-        for ev in res.swaps:
-            sw_drive.append(res.drive_id)
-            sw_model.append(res.model)
-            sw_fail.append(ev.failure_age)
-            sw_swap.append(ev.swap_age)
-            sw_re.append(ev.reentry_age)
-            sw_start.append(ev.operational_start_age)
-            sw_mode.append(int(ev.mode))
+        k = len(res.swaps)
+        if k == 0:
+            continue
+        end = pos + k
+        sw_drive[pos:end] = res.drive_id
+        sw_model[pos:end] = res.model
+        sw_fail[pos:end] = [ev.failure_age for ev in res.swaps]
+        sw_swap[pos:end] = [ev.swap_age for ev in res.swaps]
+        sw_re[pos:end] = [ev.reentry_age for ev in res.swaps]
+        sw_start[pos:end] = [ev.operational_start_age for ev in res.swaps]
+        sw_mode[pos:end] = [int(ev.mode) for ev in res.swaps]
+        pos = end
     swaps = SwapLog(
-        drive_id=np.array(sw_drive, dtype=np.int32),
-        model=np.array(sw_model, dtype=np.int8),
-        failure_age=np.array(sw_fail, dtype=np.float64),
-        swap_age=np.array(sw_swap, dtype=np.float64),
-        reentry_age=np.array(sw_re, dtype=np.float64),
-        operational_start_age=np.array(sw_start, dtype=np.float64),
-        failure_mode=np.array(sw_mode, dtype=np.int8),
+        drive_id=sw_drive,
+        model=sw_model,
+        failure_age=sw_fail,
+        swap_age=sw_swap,
+        reentry_age=sw_re,
+        operational_start_age=sw_start,
+        failure_mode=sw_mode,
     )
     return FleetTrace(records=records, drives=drives, swaps=swaps, config=config)

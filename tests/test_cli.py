@@ -238,6 +238,74 @@ def _simulate(out, seed=4, extra=()):
     return main(argv)
 
 
+class TestParallelCLI:
+    """`--workers` on the CLI: manifests, obs parity, and crash surfacing."""
+
+    def test_workers_recorded_in_manifest_with_chunk_timings(self, tmp_path,
+                                                             capsys):
+        from repro.obs import load_manifest, validate_manifest
+
+        out = tmp_path / "fleet"
+        code = _simulate(out, extra=["--workers", "2", "--checkpoint-every", "8"])
+        capsys.readouterr()
+        assert code == 0
+        body = load_manifest(out / "run_manifest.json")
+        assert validate_manifest(body) == []
+        assert body["results"]["workers"] == 2
+        timings = body["results"]["chunk_timings"]
+        assert len(timings) == 3  # 24 drives / 8 per chunk
+        assert [t["chunk"] for t in timings] == [0, 1, 2]
+        for t in timings:
+            assert t["cached"] is False and t["seconds"] >= 0.0
+
+    def test_parallel_trace_and_manifest_match_serial(self, tmp_path, capsys):
+        a, b = tmp_path / "serial", tmp_path / "parallel"
+        assert _simulate(a) == 0
+        assert _simulate(b, extra=["--workers", "2"]) == 0
+        for name in ("records.npz", "drives.npz", "swaps.npz"):
+            assert (a / name).read_bytes() == (b / name).read_bytes()
+        code = main(["obs", "diff", str(a / "run_manifest.json"),
+                     str(b / "run_manifest.json")])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 drift item(s)" in out and "COMPARABLE" in out
+
+    def test_workers_env_var_applies(self, tmp_path, monkeypatch, capsys):
+        from repro.obs import load_manifest
+        from repro.parallel import ENV_WORKERS
+
+        monkeypatch.setenv(ENV_WORKERS, "2")
+        out = tmp_path / "fleet"
+        assert _simulate(out) == 0
+        capsys.readouterr()
+        assert load_manifest(out / "run_manifest.json")["results"]["workers"] == 2
+
+    def test_bad_workers_value_exits_2(self, tmp_path, capsys):
+        code = _simulate(tmp_path / "fleet", extra=["--workers", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="patch must be inherited by forked workers",
+    )
+    def test_worker_crash_exits_2_not_hang(self, tmp_path, monkeypatch, capsys):
+        import repro.reliability.runner as runner_mod
+
+        def _boom(*args, **kwargs):
+            raise RuntimeError("injected worker failure")
+
+        monkeypatch.setattr(runner_mod, "simulate_drive", _boom)
+        code = _simulate(
+            tmp_path / "fleet",
+            extra=["--workers", "2", "--checkpoint-every", "8"],
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+        assert "injected worker failure" in err
+
+
 class TestObservability:
     """Manifests, tracing flags, and the `obs` subcommand."""
 
