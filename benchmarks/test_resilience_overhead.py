@@ -1,0 +1,77 @@
+"""Supervision overhead: the watchdog + retry machinery must cost < 5%.
+
+The resilience acceptance criterion (DESIGN.md §12) is that a clean
+4-worker simulate pays less than 5% wall-clock for running under the
+supervised pool (per-task deadlines armed, retry bookkeeping active,
+chaos hooks consulted) relative to the legacy fail-fast pool on the same
+worker count.  A clean run takes zero retries and zero timeouts, so any
+overhead is pure supervision bookkeeping — pipe polling, deadline
+arithmetic, and the per-task fault-plan lookup.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.resilience import SupervisorPolicy
+from repro.simulator import FleetConfig, simulate_fleet
+
+#: Large enough that per-run wall clock dominates timer noise (~1s).
+_CONFIG = FleetConfig(
+    n_drives_per_model=40, horizon_days=365, deploy_spread_days=100, seed=11
+)
+
+_WORKERS = 4
+
+#: Fractional overhead budget from ISSUE acceptance criteria.
+_BUDGET = 0.05
+#: Absolute slack so sub-second runs don't fail on scheduler jitter.
+_EPSILON_SECONDS = 0.10
+
+#: Deadline far above any clean shard's runtime: the watchdog is armed
+#: on every dispatch (the cost we are measuring) but never fires.
+_POLICY = SupervisorPolicy(task_timeout=300.0, max_retries=2)
+
+
+def _best_of(n: int, fn) -> float:
+    """Minimum wall-clock of ``n`` runs — the standard noise-resistant
+    estimator for deterministic workloads."""
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _run_unsupervised() -> None:
+    simulate_fleet(_CONFIG, workers=_WORKERS)
+
+
+def _run_supervised() -> None:
+    simulate_fleet(_CONFIG, workers=_WORKERS, policy=_POLICY)
+
+
+def test_supervision_overhead_under_budget():
+    # Warm-up once each (imports, allocator, fork page caches).
+    _run_unsupervised()
+    _run_supervised()
+    t_plain = _best_of(3, _run_unsupervised)
+    t_supervised = _best_of(3, _run_supervised)
+    overhead = t_supervised - t_plain
+    assert t_supervised <= t_plain * (1 + _BUDGET) + _EPSILON_SECONDS, (
+        f"supervision overhead {overhead * 1e3:.1f}ms on a "
+        f"{t_plain * 1e3:.1f}ms baseline exceeds the "
+        f"{_BUDGET:.0%} + {_EPSILON_SECONDS * 1e3:.0f}ms budget"
+    )
+
+
+def test_supervised_run_is_identical():
+    """The overhead number above is honest: same outputs, same pool size."""
+    plain = simulate_fleet(_CONFIG, workers=_WORKERS)
+    supervised = simulate_fleet(_CONFIG, workers=_WORKERS, policy=_POLICY)
+    assert plain.records.keys() == supervised.records.keys()
+    for key, col in plain.records.items():
+        assert (col == supervised.records[key]).all(), key
+    assert (plain.swaps.drive_id == supervised.swaps.drive_id).all()
+    assert (plain.swaps.swap_age == supervised.swaps.swap_age).all()

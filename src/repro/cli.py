@@ -26,7 +26,12 @@ inspect and compare manifests.
 
 Exit codes: 0 success; 1 a requested analysis/validation found failures
 (for ``obs diff``: the runs are not comparable); 2 the trace, model, or
-manifest is missing, corrupt, or rejected by the ``strict`` policy.
+manifest is missing, corrupt, or rejected by the ``strict`` policy (also
+bad configuration and worker crashes); 3 a run under ``--on-poison
+quarantine`` completed its healthy work but quarantined poison tasks;
+130 the run was interrupted (SIGINT/SIGTERM) after draining in-flight
+tasks — ``simulate --resume`` continues from the last checkpoint.  See
+DESIGN.md §12 for the full table.
 """
 
 from __future__ import annotations
@@ -62,7 +67,7 @@ from .obs import (
 from .obs import metrics as obs_metrics
 from .obs import tracing as obs_tracing
 from .obs.manifest import _atomic_write_text
-from .parallel import ENV_WORKERS, WorkerCrash, resolve_workers
+from .parallel import ENV_WORKERS, WorkerConfigError, WorkerCrash, resolve_workers
 from .reliability import (
     DEFAULT_RATES,
     FAULT_CLASSES,
@@ -74,6 +79,14 @@ from .reliability import (
     simulate_fleet_resumable,
     validate_trace,
 )
+from .resilience import (
+    EXIT_INTERRUPTED,
+    QuarantinedRunError,
+    ShutdownRequested,
+    SupervisionLog,
+    SupervisorPolicy,
+    graceful_shutdown,
+)
 from .simulator import FleetConfig, FleetTrace, default_models
 
 __all__ = ["main", "build_parser", "CLIError"]
@@ -83,12 +96,36 @@ class CLIError(RuntimeError):
     """Actionable user-facing error; printed as one line, exit code 2."""
 
 
+#: Exit code for a run that completed but quarantined poison tasks.
+EXIT_QUARANTINE = 3
+
+
 def _workers_arg(args: argparse.Namespace) -> int:
     """Resolve ``--workers``/``$REPRO_WORKERS`` to a worker count."""
     try:
         return resolve_workers(getattr(args, "workers", None))
     except ValueError as exc:
         raise CLIError(str(exc)) from None
+
+
+def _policy_arg(args: argparse.Namespace) -> SupervisorPolicy:
+    """Build the supervision policy from the resilience flag group."""
+    try:
+        return SupervisorPolicy(
+            task_timeout=getattr(args, "task_timeout", None),
+            max_retries=getattr(args, "max_retries", 2),
+            on_poison=getattr(args, "on_poison", "fail"),
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+
+def _record_supervision(
+    manifest: RunManifest, supervision: SupervisionLog
+) -> None:
+    """Fold supervision events into the manifest (only when any fired)."""
+    if supervision.events:
+        manifest.record_resilience(supervision.to_dict())
 
 
 def _chunk_timings(tracer: obs_tracing.Tracer) -> list[dict]:
@@ -223,18 +260,51 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     tracer = obs_tracing.Tracer()
     registry = obs_metrics.MetricsRegistry()
     ckpt_dir = out / ".checkpoints"
+    policy = _policy_arg(args)
+    supervision = SupervisionLog()
+    quarantined: QuarantinedRunError | None = None
     with obs_tracing.activate(tracer), obs_metrics.activate(registry):
-        trace = simulate_fleet_resumable(
-            config,
-            checkpoint_dir=ckpt_dir,
-            chunk_size=args.checkpoint_every,
-            resume=args.resume,
-            progress=progress if (args.verbose and not quiet) else None,
-            workers=workers,
+        try:
+            trace = simulate_fleet_resumable(
+                config,
+                checkpoint_dir=ckpt_dir,
+                chunk_size=args.checkpoint_every,
+                resume=args.resume,
+                progress=progress if (args.verbose and not quiet) else None,
+                workers=workers,
+                policy=policy,
+                supervision=supervision,
+            )
+        except QuarantinedRunError as exc:
+            quarantined = exc
+        else:
+            save_dataset_npz(trace.records, out / "records.npz")
+            save_drivetable_npz(trace.drives, out / "drives.npz")
+            save_swaplog_npz(trace.swaps, out / "swaps.npz")
+    # Recorded under results, not config: the worker count must not feed
+    # the config digest — same-seed serial and parallel runs are meant to
+    # `obs diff` clean against each other.
+    manifest.results["workers"] = workers
+    manifest.results["chunk_timings"] = _chunk_timings(tracer)
+    _record_supervision(manifest, supervision)
+    if quarantined is not None:
+        # Healthy chunks are checkpointed; keep them (no cleanup) so a
+        # --resume after fixing the fault only redoes the poison ones.
+        manifest.counts = {
+            "chunks_completed": quarantined.completed,
+            "chunks_total": quarantined.total,
+        }
+        manifest_path = _finish_obs(
+            args, manifest, tracer, registry, out / RUN_MANIFEST
         )
-        save_dataset_npz(trace.records, out / "records.npz")
-        save_drivetable_npz(trace.drives, out / "drives.npz")
-        save_swaplog_npz(trace.swaps, out / "swaps.npz")
+        print(f"error: {quarantined}", file=sys.stderr)
+        print(
+            f"simulate quarantined: {len(supervision.quarantined)} poison "
+            f"chunk(s), {quarantined.completed}/{quarantined.total} chunks "
+            "checkpointed"
+            + (f", manifest {manifest_path}" if manifest_path else "")
+        )
+        return EXIT_QUARANTINE
     CheckpointStore(directory=ckpt_dir, digest="", n_chunks=0).cleanup()
     for name in ("records.npz", "drives.npz", "swaps.npz"):
         manifest.add_output(out / name)
@@ -244,15 +314,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "swaps": len(trace.swaps),
         "days": config.horizon_days,
     }
-    # Recorded under results, not config: the worker count must not feed
-    # the config digest — same-seed serial and parallel runs are meant to
-    # `obs diff` clean against each other.
-    manifest.results["workers"] = workers
-    manifest.results["chunk_timings"] = _chunk_timings(tracer)
     manifest_path = _finish_obs(args, manifest, tracer, registry, out / RUN_MANIFEST)
     if not quiet:
         print(trace.summary())
         print(f"Wrote {out}/records.npz, drives.npz, swaps.npz")
+        if supervision.events:
+            print(supervision.summary())
     # The one-line summary (always printed, the only success output in
     # --quiet mode) is sourced from the manifest, not recomputed.
     print(
@@ -320,6 +387,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     )
     tracer = obs_tracing.Tracer()
     registry = obs_metrics.MetricsRegistry()
+    policy = _policy_arg(args)
+    supervision = SupervisionLog()
     with obs_tracing.activate(tracer), obs_metrics.activate(registry):
         trace, repair = _load_trace(Path(args.trace), policy=args.policy)
         _trace_inputs(manifest, Path(args.trace))
@@ -333,7 +402,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
               f"{', age-partitioned' if args.age_partitioned else ''}) ...")
         if args.cv:
             result = predictor.cross_validate(
-                trace, n_splits=args.cv, workers=workers
+                trace,
+                n_splits=args.cv,
+                workers=workers,
+                policy=policy,
+                supervision=supervision,
             )
             print(
                 f"Cross-validated ROC AUC: "
@@ -341,6 +414,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
             )
             manifest.results["cv_mean_auc"] = result.mean_auc
             manifest.results["cv_std_auc"] = result.std_auc
+            if supervision.quarantined:
+                print(
+                    f"warning: {len(supervision.quarantined)} CV fold(s) "
+                    "quarantined and excluded from the aggregate",
+                    file=sys.stderr,
+                )
         predictor.fit(trace)
         with atomic_write(args.model, "wb") as fh:
             pickle.dump(predictor, fh)
@@ -351,6 +430,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
         "swaps": len(trace.swaps),
     }
     manifest.results["workers"] = workers
+    _record_supervision(manifest, supervision)
     default_path = Path(str(args.model) + ".manifest.json")
     manifest_path = _finish_obs(args, manifest, tracer, registry, default_path)
     print(f"Wrote model to {args.model}"
@@ -387,6 +467,8 @@ def _cmd_score(args: argparse.Namespace) -> int:
     manifest.add_input(model_path)
     tracer = obs_tracing.Tracer()
     registry = obs_metrics.MetricsRegistry()
+    policy = _policy_arg(args)
+    supervision = SupervisionLog()
     with obs_tracing.activate(tracer), obs_metrics.activate(registry):
         if args.policy and args.policy != "off":
             result = load_dataset_checked(
@@ -397,7 +479,9 @@ def _cmd_score(args: argparse.Namespace) -> int:
         else:
             records = load_dataset_npz(trace_dir / "records.npz")
         manifest.add_input(trace_dir / "records.npz")
-        full_report = predictor.risk_report(records, workers=workers)
+        full_report = predictor.risk_report(
+            records, workers=workers, policy=policy, supervision=supervision
+        )
         report = full_report.top(args.top)
     print(f"{'drive':>8s} {'age (d)':>8s} {'P(fail <= %dd)' % predictor.lookahead:>16s}")
     for did, age, p in zip(report.drive_id, report.age_days, report.probability):
@@ -409,6 +493,7 @@ def _cmd_score(args: argparse.Namespace) -> int:
         manifest.results["n_flagged"] = int(len(flagged))
     manifest.counts = {"records": len(records)}
     manifest.results["workers"] = workers
+    _record_supervision(manifest, supervision)
     default_path = Path(str(args.model) + ".score-manifest.json")
     _finish_obs(args, manifest, tracer, registry, default_path)
     return 0
@@ -485,6 +570,34 @@ def build_parser() -> argparse.ArgumentParser:
             "for any value)",
         )
 
+    def add_resilience_flags(p: argparse.ArgumentParser) -> None:
+        group = p.add_argument_group("resilience")
+        group.add_argument(
+            "--task-timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-attempt deadline for pooled tasks; a task past it is "
+            "killed and retried (default: no deadline)",
+        )
+        group.add_argument(
+            "--max-retries",
+            type=int,
+            default=2,
+            metavar="N",
+            help="retries per failed task before it is poison (default: 2); "
+            "retried tasks re-run the same seed stream, so results are "
+            "byte-identical to a clean run",
+        )
+        group.add_argument(
+            "--on-poison",
+            choices=("fail", "quarantine"),
+            default="fail",
+            help="poison-task handling: fail the run (default) or "
+            "quarantine the task, finish healthy work, and exit "
+            f"{EXIT_QUARANTINE}",
+        )
+
     def add_obs_flags(p: argparse.ArgumentParser, span_flag: str) -> None:
         """The --trace/--metrics-out observability flag group.
 
@@ -537,6 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="drives per checkpointed chunk (default: 64)",
     )
     add_workers_flag(p_sim)
+    add_resilience_flags(p_sim)
     p_sim.add_argument("--verbose", action="store_true", help="progress lines")
     p_sim.add_argument(
         "--quiet",
@@ -598,6 +712,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--seed", type=int, default=0)
     p_tr.add_argument("--policy", **policy_kwargs)
     add_workers_flag(p_tr)
+    add_resilience_flags(p_tr)
     add_obs_flags(p_tr, "--trace-spans")
     p_tr.set_defaults(func=_cmd_train)
 
@@ -608,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--threshold", type=float, default=None)
     p_sc.add_argument("--policy", **policy_kwargs)
     add_workers_flag(p_sc)
+    add_resilience_flags(p_sc)
     add_obs_flags(p_sc, "--trace-spans")
     p_sc.set_defaults(func=_cmd_score)
 
@@ -642,8 +758,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        return int(args.func(args))
+        # Every command runs with SIGTERM/SIGINT mapped to a drainable
+        # exception: pooled stages drain in-flight tasks and checkpoint
+        # completed chunks before the KeyboardInterrupt handler below
+        # turns the unwind into exit 130.
+        with graceful_shutdown():
+            return int(args.func(args))
     except (CLIError, TraceIntegrityError, ManifestError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except WorkerConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except WorkerCrash as exc:
@@ -659,6 +783,14 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: missing file: {exc.filename or exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt as exc:
+        name = exc.signal_name if isinstance(exc, ShutdownRequested) else "SIGINT"
+        print(
+            f"interrupted ({name}): in-flight tasks drained, completed "
+            "chunks checkpointed; rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): exit quietly.
         try:

@@ -240,12 +240,16 @@ def evaluate_model(
     downsample_ratio: float | None = 1.0,
     seed: int = 0,
     workers: int | None = None,
+    policy: object | None = None,
+    supervision: object | None = None,
 ) -> CVResult:
     """Cross-validate one model on a prediction dataset (paper protocol).
 
     ``workers`` spreads the CV folds over worker processes (results are
     identical for any count; the zoo's lambda factories fall back to
     serial automatically since they cannot cross a process boundary).
+    ``policy``/``supervision`` route the fold fan-out through the
+    supervision layer (:mod:`repro.resilience`).
     """
     with tracing.span(
         "repro.core.evaluate", rows_in=len(dataset), model=spec.name
@@ -261,6 +265,8 @@ def evaluate_model(
             log1p=spec.log1p,
             seed=seed,
             workers=workers,
+            policy=policy,
+            supervision=supervision,
         )
 
 

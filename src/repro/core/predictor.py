@@ -195,21 +195,35 @@ class FailurePredictor:
 
     # ------------------------------------------------------------------ predict
     def predict_proba_dataset(
-        self, dataset: PredictionDataset, workers: int | None = None
+        self,
+        dataset: PredictionDataset,
+        workers: int | None = None,
+        policy: object | None = None,
+        supervision: object | None = None,
     ) -> np.ndarray:
         """Failure probability for every row of a prediction dataset.
 
         ``workers`` shards the rows across worker processes (scoring is
-        per-row, so the probabilities are identical for any count).
+        per-row, so the probabilities are identical for any count).  A
+        :class:`repro.resilience.SupervisorPolicy` adds deadlines and
+        deterministic retries; quarantine is forced off (the shards
+        concatenate into one probability vector, so a hole would be
+        silent corruption).
         """
         self._require_fitted()
         if dataset.feature_names != self._feature_names:
             raise ValueError("feature-name mismatch with fitted predictor")
         with tracing.span("repro.core.predict", rows_in=len(dataset)):
-            return self._predict_proba_parts(dataset, workers=workers)
+            return self._predict_proba_parts(
+                dataset, workers=workers, policy=policy, supervision=supervision
+            )
 
     def _predict_proba_parts(
-        self, dataset: PredictionDataset, workers: int | None = None
+        self,
+        dataset: PredictionDataset,
+        workers: int | None = None,
+        policy: object | None = None,
+        supervision: object | None = None,
     ) -> np.ndarray:
         n = len(dataset)
         state = (
@@ -220,6 +234,10 @@ class FailurePredictor:
             dataset.age_days,
         )
         tasks = shard_ranges(n, resolve_workers(workers))
+        if policy is not None:
+            from ..resilience.supervisor import force_fail
+
+            policy = force_fail(policy)
         parts = [
             part
             for _, part in iter_tasks(
@@ -229,12 +247,18 @@ class FailurePredictor:
                 label="repro.core.predict",
                 initializer=_set_score_state,
                 initargs=state,
+                policy=policy,
+                supervision=supervision,
             )
         ]
         return np.concatenate(parts) if parts else np.empty(0)
 
     def predict_proba_records(
-        self, records: DriveDayDataset, workers: int | None = None
+        self,
+        records: DriveDayDataset,
+        workers: int | None = None,
+        policy: object | None = None,
+        supervision: object | None = None,
     ) -> np.ndarray:
         """Failure probability for every row of a raw telemetry dataset."""
         self._require_fitted()
@@ -248,10 +272,16 @@ class FailurePredictor:
             feature_names=frame.names,
             lookahead=self.lookahead,
         )
-        return self.predict_proba_dataset(dataset, workers=workers)
+        return self.predict_proba_dataset(
+            dataset, workers=workers, policy=policy, supervision=supervision
+        )
 
     def risk_report(
-        self, records: DriveDayDataset, workers: int | None = None
+        self,
+        records: DriveDayDataset,
+        workers: int | None = None,
+        policy: object | None = None,
+        supervision: object | None = None,
     ) -> DriveRiskReport:
         """Score each drive on its most recent record.
 
@@ -260,7 +290,9 @@ class FailurePredictor:
         operators can migrate data / provision spares ahead of the failure.
         """
         self._require_fitted()
-        probs = self.predict_proba_records(records, workers=workers)
+        probs = self.predict_proba_records(
+            records, workers=workers, policy=policy, supervision=supervision
+        )
         ids, offsets = records.drive_groups()
         last = offsets[1:] - 1
         return DriveRiskReport(
@@ -304,6 +336,8 @@ class FailurePredictor:
         trace: FleetTrace | tuple[DriveDayDataset, SwapLog],
         n_splits: int = 5,
         workers: int | None = None,
+        policy: object | None = None,
+        supervision: object | None = None,
     ) -> CVResult:
         """Paper-protocol CV of this predictor's model on a trace.
 
@@ -318,6 +352,8 @@ class FailurePredictor:
             downsample_ratio=self.downsample_ratio,
             seed=self.seed,
             workers=workers,
+            policy=policy,
+            supervision=supervision,
         )
 
     def _require_fitted(self) -> None:

@@ -157,6 +157,8 @@ def cross_validate_auc(
     seed: int = 0,
     workers: int | None = None,
     splits: list[tuple[np.ndarray, np.ndarray]] | None = None,
+    policy: object | None = None,
+    supervision: object | None = None,
 ) -> CVResult:
     """Drive-grouped K-fold cross-validation with training downsampling.
 
@@ -183,6 +185,12 @@ def cross_validate_auc(
         Precomputed ``(train_idx, test_idx)`` pairs; when given,
         ``groups``/``n_splits`` are ignored.  Grid search passes the
         same splits to every parameter combination.
+    policy, supervision:
+        A :class:`repro.resilience.SupervisorPolicy` adds deadlines,
+        deterministic retries and quarantine to the fold fan-out.  A
+        quarantined fold is simply absent from the aggregate (exactly
+        like a fold skipped for lacking positives) and is named in the
+        :class:`~repro.resilience.SupervisionLog`.
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
@@ -207,6 +215,8 @@ def cross_validate_auc(
         label="repro.ml.cv",
         initializer=_set_fold_data,
         initargs=(X, y),
+        policy=policy,
+        supervision=supervision,
     ):
         if out is None:
             continue
@@ -297,6 +307,8 @@ def grid_search(
     log1p: bool = False,
     seed: int = 0,
     workers: int | None = None,
+    policy: object | None = None,
+    supervision: object | None = None,
 ) -> GridSearchResult:
     """Exhaustive search maximizing cross-validated AUC.
 
@@ -326,6 +338,8 @@ def grid_search(
         label="repro.ml.grid",
         initializer=_set_fold_data,
         initargs=(X, y),
+        policy=policy,
+        supervision=supervision,
     ):
         all_results.append((combos[i], result))
         if best is None or result.mean_auc > best[1].mean_auc:

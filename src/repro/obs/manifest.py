@@ -38,6 +38,7 @@ from . import tracing as _tracing
 __all__ = [
     "MANIFEST_VERSION",
     "MANIFEST_SCHEMA",
+    "FAILURE_REPORT_SCHEMA",
     "ManifestError",
     "RunManifest",
     "config_digest",
@@ -107,6 +108,36 @@ _STAGE_SCHEMA = {
     },
 }
 
+#: Schema of one quarantined task's report (``resilience.quarantined[i]``),
+#: mirroring :class:`repro.resilience.FailureReport`.  Exported on its own
+#: so the chaos drill / CI can validate reports independently.
+FAILURE_REPORT_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["task_index", "label", "attempts", "quarantined", "errors"],
+    "properties": {
+        "task_index": {"type": "integer"},
+        "label": {"type": "string"},
+        "attempts": {"type": "integer"},
+        "quarantined": {"type": "boolean"},
+        "errors": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["attempt", "kind", "message"],
+                "properties": {
+                    "attempt": {"type": "integer"},
+                    "kind": {
+                        "type": "string",
+                        "enum": ["error", "timeout", "crash"],
+                    },
+                    "message": {"type": "string"},
+                    "traceback": {"type": "string"},
+                },
+            },
+        },
+    },
+}
+
 MANIFEST_SCHEMA: dict[str, Any] = {
     "type": "object",
     "required": [
@@ -148,6 +179,26 @@ MANIFEST_SCHEMA: dict[str, Any] = {
         },
         "metrics": {"type": "object"},
         "results": {"type": "object"},
+        "resilience": {
+            "type": "object",
+            "required": [
+                "retries",
+                "timeouts",
+                "crashes",
+                "breaker_tripped",
+                "quarantined",
+            ],
+            "properties": {
+                "retries": {"type": "integer"},
+                "timeouts": {"type": "integer"},
+                "crashes": {"type": "integer"},
+                "breaker_tripped": {"type": "boolean"},
+                "quarantined": {
+                    "type": "array",
+                    "items": FAILURE_REPORT_SCHEMA,
+                },
+            },
+        },
     },
 }
 
@@ -235,6 +286,7 @@ class RunManifest:
     )
     metrics: dict[str, Any] = field(default_factory=dict)
     results: dict[str, Any] = field(default_factory=dict)
+    resilience: dict[str, Any] | None = None
     created_unix: float = field(default_factory=time.time)
     elapsed_seconds: float = 0.0
     schema_version: int = MANIFEST_VERSION
@@ -266,6 +318,21 @@ class RunManifest:
         self.validation["n_quarantined"] += int(n_quarantined)
         for key, value in extra.items():
             self.validation[key] = value
+
+    def record_resilience(self, data: dict[str, Any]) -> None:
+        """Attach a supervision summary (a ``SupervisionLog.to_dict()``).
+
+        Takes a plain dict rather than the log object so :mod:`repro.obs`
+        keeps no dependency on :mod:`repro.resilience`.
+        """
+        errors = validate_manifest(
+            data, MANIFEST_SCHEMA["properties"]["resilience"], "$.resilience"
+        )
+        if errors:
+            raise ManifestError(
+                f"invalid resilience record: {'; '.join(errors)}"
+            )
+        self.resilience = data
 
     def finish(
         self,
@@ -307,6 +374,8 @@ class RunManifest:
         }
         if self.spans is not None:
             out["spans"] = list(self.spans)
+        if self.resilience is not None:
+            out["resilience"] = dict(self.resilience)
         return out
 
     def write(self, path: str | Path) -> Path:

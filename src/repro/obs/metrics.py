@@ -30,6 +30,7 @@ from contextlib import contextmanager
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "RESILIENCE_COUNTERS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -47,6 +48,17 @@ __all__ = [
 DEFAULT_BUCKETS: tuple[float, ...] = (
     0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
+
+#: Counters emitted by the supervision layer (``repro.resilience``),
+#: name -> help string.  Centralized so the supervisor, the manifest and
+#: the chaos drill all agree on the names.
+RESILIENCE_COUNTERS: dict[str, str] = {
+    "repro_task_retries_total": "task attempts re-dispatched after a failure",
+    "repro_task_timeouts_total": "task attempts killed by the deadline watchdog",
+    "repro_pool_crashes_total": "worker processes that died or failed to spawn",
+    "repro_tasks_quarantined_total": "tasks quarantined after exhausting retries",
+    "repro_breaker_trips_total": "circuit-breaker trips to serial execution",
+}
 
 
 def _format_value(v: float) -> str:

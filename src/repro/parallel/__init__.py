@@ -21,6 +21,7 @@ See DESIGN.md §11 for the sharding/seed-stream scheme.
 from .obsmerge import ObsDelta, capture_obs, merge_obs
 from .pool import (
     ENV_WORKERS,
+    WorkerConfigError,
     WorkerCrash,
     iter_tasks,
     resolve_workers,
@@ -31,6 +32,7 @@ from .pool import (
 __all__ = [
     "ENV_WORKERS",
     "ObsDelta",
+    "WorkerConfigError",
     "WorkerCrash",
     "capture_obs",
     "iter_tasks",

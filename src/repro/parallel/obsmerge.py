@@ -66,7 +66,9 @@ def capture_obs(enabled: bool = True) -> Iterator[ObsDelta]:
     delta.metrics = registry.snapshot()
 
 
-def merge_obs(delta: ObsDelta | None) -> None:
+def merge_obs(
+    delta: ObsDelta | None, extra_attrs: dict[str, Any] | None = None
+) -> None:
     """Fold a worker's delta into the parent's active collectors.
 
     A no-op when the delta is empty or when no tracer/registry is active
@@ -74,14 +76,28 @@ def merge_obs(delta: ObsDelta | None) -> None:
     span open on the calling thread and placed on the parent timeline so
     that they *end* at merge time — the closest monotone approximation
     available without a shared clock.
+
+    ``extra_attrs`` is stamped onto the delta's *root* spans (those whose
+    parent is outside the batch) — the supervision layer uses it to mark
+    retried tasks with their winning attempt number.
     """
     if not delta:
         return
     tracer = tracing.current()
     if tracer is not None and delta.spans:
+        spans = delta.spans
+        if extra_attrs:
+            span_ids = {s.get("span_id") for s in spans}
+            stamped = []
+            for s in spans:
+                if s.get("parent_id") not in span_ids:
+                    s = dict(s)
+                    s["attrs"] = {**s.get("attrs", {}), **extra_attrs}
+                stamped.append(s)
+            spans = stamped
         offset = max(tracer.now() - delta.elapsed, 0.0)
         tracer.absorb(
-            delta.spans, offset=offset, parent_id=tracer.current_parent_id()
+            spans, offset=offset, parent_id=tracer.current_parent_id()
         )
     registry = metrics.current()
     if registry is not None and delta.metrics:

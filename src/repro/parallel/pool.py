@@ -44,6 +44,7 @@ from .obsmerge import ObsDelta, capture_obs, merge_obs
 __all__ = [
     "ENV_WORKERS",
     "WorkerCrash",
+    "WorkerConfigError",
     "resolve_workers",
     "shard_ranges",
     "iter_tasks",
@@ -77,6 +78,14 @@ class WorkerCrash(RuntimeError):
         self.worker_traceback = worker_traceback
 
 
+class WorkerConfigError(ValueError):
+    """Bad worker configuration (``REPRO_WORKERS`` or explicit count).
+
+    Subclasses :class:`ValueError` for backward compatibility; the CLI
+    maps it to a one-line message and exit code 2 instead of a traceback.
+    """
+
+
 def resolve_workers(workers: int | None) -> int:
     """Resolve a worker count: explicit > ``REPRO_WORKERS`` > 1 (serial).
 
@@ -93,11 +102,11 @@ def resolve_workers(workers: int | None) -> int:
         try:
             workers = int(raw)
         except ValueError:
-            raise ValueError(
+            raise WorkerConfigError(
                 f"{ENV_WORKERS} must be an integer, got {raw!r}"
             ) from None
     if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
+        raise WorkerConfigError(f"workers must be >= 1, got {workers}")
     return workers
 
 
@@ -165,6 +174,8 @@ def iter_tasks(
     label: str = "repro.parallel",
     initializer: Callable[..., None] | None = None,
     initargs: tuple = (),
+    policy: Any | None = None,
+    supervision: Any | None = None,
 ) -> Iterator[tuple[int, Any]]:
     """Map ``fn`` over ``tasks``, yielding ``(index, result)`` in order.
 
@@ -185,7 +196,28 @@ def iter_tasks(
         Optional per-worker setup (e.g. installing a large shared array
         once per process instead of once per task).  Also invoked
         in-process on the serial path, so ``fn`` can rely on it.
+    policy, supervision:
+        A :class:`repro.resilience.SupervisorPolicy` routes execution
+        through the supervised pool (deadlines, retries, quarantine,
+        circuit breaker); ``supervision`` optionally receives the
+        :class:`~repro.resilience.SupervisionLog`.  ``None`` keeps the
+        plain fail-fast pool below.
     """
+    if policy is not None:
+        # Lazy import: resilience sits above parallel in the layering.
+        from ..resilience.supervisor import supervised_iter_tasks
+
+        yield from supervised_iter_tasks(
+            fn,
+            tasks,
+            workers=workers,
+            policy=policy,
+            label=label,
+            initializer=initializer,
+            initargs=initargs,
+            supervision=supervision,
+        )
+        return
     tasks = list(tasks)
     if not tasks:
         return
@@ -245,6 +277,16 @@ def iter_tasks(
                     worker_traceback=tb_text,
                 )
             yield i, value
+    except BaseException:
+        # KeyboardInterrupt / GeneratorExit: shutdown(wait=False) alone
+        # would leak live workers (and hang the interpreter on a wedged
+        # one) — kill them outright before unwinding.
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+        raise
     finally:
         executor.shutdown(wait=False, cancel_futures=True)
 
@@ -256,6 +298,8 @@ def run_tasks(
     label: str = "repro.parallel",
     initializer: Callable[..., None] | None = None,
     initargs: tuple = (),
+    policy: Any | None = None,
+    supervision: Any | None = None,
 ) -> list[Any]:
     """Eager form of :func:`iter_tasks`: results as a list, task order."""
     return [
@@ -267,5 +311,7 @@ def run_tasks(
             label=label,
             initializer=initializer,
             initargs=initargs,
+            policy=policy,
+            supervision=supervision,
         )
     ]

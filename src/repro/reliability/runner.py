@@ -34,6 +34,11 @@ import numpy as np
 from ..data import DriveDayDataset, DriveTable, SwapLog
 from ..obs import metrics, tracing
 from ..parallel import iter_tasks, resolve_workers
+from ..resilience.supervisor import (
+    QuarantinedRunError,
+    SupervisionLog,
+    SupervisorPolicy,
+)
 from ..simulator import (
     DriveModelSpec,
     DriveResult,
@@ -314,6 +319,8 @@ def simulate_fleet_resumable(
     models: tuple[DriveModelSpec, ...] | None = None,
     progress: Callable[[int, int], None] | None = None,
     workers: int | None = None,
+    policy: SupervisorPolicy | None = None,
+    supervision: SupervisionLog | None = None,
 ) -> FleetTrace:
     """Chunked, checkpointed drop-in for :func:`simulate_fleet`.
 
@@ -336,6 +343,14 @@ def simulate_fleet_resumable(
     mid-flight.  The caller is responsible for calling
     :meth:`CheckpointStore.cleanup` (or reusing the directory) after the
     final trace has been persisted.
+
+    A :class:`~repro.resilience.SupervisorPolicy` routes chunk execution
+    through the supervision layer (deadlines, deterministic retries,
+    quarantine, circuit breaker); ``supervision`` receives the event log.
+    Under ``on_poison="quarantine"`` every healthy chunk is simulated and
+    checkpointed first, then :class:`~repro.resilience.QuarantinedRunError`
+    is raised — the checkpoints survive, so fixing the fault and rerunning
+    with ``--resume`` only redoes the poisoned chunks.
 
     Returns a trace bit-identical to ``simulate_fleet(config, models)``.
     """
@@ -398,8 +413,15 @@ def simulate_fleet_resumable(
         tasks.append(
             (config, models, chunk, lo, hi, seeds[lo:hi], deploy_days[lo:hi])
         )
+    log = supervision if supervision is not None else SupervisionLog()
+    n_quarantined_before = len(log.quarantined)
     for i, part in iter_tasks(
-        _simulate_chunk_task, tasks, workers=workers, label="repro.simulator"
+        _simulate_chunk_task,
+        tasks,
+        workers=workers,
+        label="repro.simulator",
+        policy=policy,
+        supervision=log,
     ):
         chunk = todo[i]
         store.save_chunk(chunk, part)
@@ -415,4 +437,16 @@ def simulate_fleet_resumable(
         if progress is not None:
             progress(done, n_chunks)
 
+    if len(log.quarantined) > n_quarantined_before:
+        # Every healthy chunk is checkpointed above; report the poison
+        # ones instead of assembling a trace with holes.
+        n_bad = len(log.quarantined) - n_quarantined_before
+        raise QuarantinedRunError(
+            f"simulation finished with {n_bad} quarantined chunk(s) out of "
+            f"{n_chunks}; completed chunks are checkpointed under "
+            f"{directory} — rerun with --resume after fixing the fault",
+            log=log,
+            completed=len(completed),
+            total=n_chunks,
+        )
     return concat_traces(parts, config)

@@ -1,0 +1,50 @@
+"""repro.resilience — supervised execution for the parallel layer.
+
+Wraps :mod:`repro.parallel` with per-task deadlines, deterministic
+retries, poison-task quarantine, a pool-level circuit breaker, and
+graceful SIGTERM/SIGINT draining.  See DESIGN.md §12.
+"""
+
+from .chaos import (
+    CHAOS_MODES,
+    ENV_CHAOS,
+    ENV_CHAOS_HANG,
+    ENV_CHAOS_SEED,
+    ChaosError,
+    parse_chaos_spec,
+    planned_fault,
+)
+from .shutdown import EXIT_INTERRUPTED, ShutdownRequested, graceful_shutdown
+from .supervisor import (
+    FailureReport,
+    PoisonTask,
+    QuarantinedRunError,
+    SupervisionLog,
+    SupervisorPolicy,
+    TaskFailure,
+    TaskTimeout,
+    force_fail,
+    supervised_iter_tasks,
+)
+
+__all__ = [
+    "SupervisorPolicy",
+    "SupervisionLog",
+    "FailureReport",
+    "TaskFailure",
+    "TaskTimeout",
+    "PoisonTask",
+    "QuarantinedRunError",
+    "supervised_iter_tasks",
+    "force_fail",
+    "ShutdownRequested",
+    "graceful_shutdown",
+    "EXIT_INTERRUPTED",
+    "ChaosError",
+    "parse_chaos_spec",
+    "planned_fault",
+    "CHAOS_MODES",
+    "ENV_CHAOS",
+    "ENV_CHAOS_SEED",
+    "ENV_CHAOS_HANG",
+]

@@ -1,0 +1,151 @@
+"""Deterministic chaos injection for supervised pool workers.
+
+The chaos drill (tests + the CI ``chaos-smoke`` job) needs to crash,
+hang, and SIGKILL workers *reproducibly* — the whole point of the
+resilience acceptance criterion is that surviving outputs stay
+byte-identical to a fault-free run, which is only checkable when the
+faults themselves are a pure function of ``(seed, task_index)``.
+
+Faults are configured through environment variables (inherited by
+forked workers, so ``REPRO_CHAOS=... repro-ssd simulate -j2`` just
+works):
+
+- ``REPRO_CHAOS`` — spec like ``"crash=0.2,hang=0.1"``: per-task fault
+  probabilities by mode;
+- ``REPRO_CHAOS_SEED`` — seed of the fault plan (default 0);
+- ``REPRO_CHAOS_HANG_SECONDS`` — how long ``hang`` sleeps (default
+  3600, i.e. "forever" next to any sane ``--task-timeout``).
+
+Modes (all fire on the **first attempt only**, so a retried task
+succeeds — except ``error_always``, which poisons the task):
+
+=============  ==========================================================
+``error``      raise :class:`ChaosError` inside the task
+``crash``      ``os._exit`` — worker dies without an exception
+``kill``       SIGKILL own process — simulates the OOM killer
+``hang``       sleep past any deadline — simulates a wedged worker
+``error_always``  raise on *every* attempt — a poison task
+=============  ==========================================================
+
+Injection happens only in :func:`maybe_inject`, which is called solely
+from the supervised worker loop — serial in-process execution (including
+the circuit breaker's serial fallback) never injects, so tripping to
+serial under chaos is always safe.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+
+__all__ = [
+    "ENV_CHAOS",
+    "ENV_CHAOS_SEED",
+    "ENV_CHAOS_HANG",
+    "CHAOS_MODES",
+    "ChaosError",
+    "parse_chaos_spec",
+    "planned_fault",
+    "maybe_inject",
+]
+
+ENV_CHAOS = "REPRO_CHAOS"
+ENV_CHAOS_SEED = "REPRO_CHAOS_SEED"
+ENV_CHAOS_HANG = "REPRO_CHAOS_HANG_SECONDS"
+
+#: Recognized fault modes, in documentation order.
+CHAOS_MODES = ("error", "crash", "kill", "hang", "error_always")
+
+#: Exit status used by the ``crash`` mode (visible in worker post-mortems).
+CRASH_EXIT_STATUS = 23
+
+
+class ChaosError(RuntimeError):
+    """The injected task-level fault (modes ``error``/``error_always``)."""
+
+
+def parse_chaos_spec(spec: str) -> list[tuple[str, float]]:
+    """Parse ``"crash=0.2,hang=0.1"`` into ``[(mode, rate), ...]``.
+
+    Rates must lie in ``[0, 1]`` and sum to at most 1 (they partition the
+    unit interval: each task draws one uniform variate and lands in at
+    most one mode's slice).
+    """
+    out: list[tuple[str, float]] = []
+    total = 0.0
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        mode, _, raw = item.partition("=")
+        mode = mode.strip()
+        if mode not in CHAOS_MODES:
+            raise ChaosError(
+                f"unknown chaos mode {mode!r}; choose from {', '.join(CHAOS_MODES)}"
+            )
+        try:
+            rate = float(raw)
+        except ValueError:
+            raise ChaosError(f"chaos rate for {mode!r} is not a number: {raw!r}") from None
+        if not 0.0 <= rate <= 1.0:
+            raise ChaosError(f"chaos rate for {mode!r} must be in [0, 1], got {rate}")
+        total += rate
+        out.append((mode, rate))
+    if total > 1.0 + 1e-9:
+        raise ChaosError(f"chaos rates sum to {total}, must be <= 1")
+    return out
+
+
+def planned_fault(
+    task_index: int, spec: list[tuple[str, float]], seed: int = 0
+) -> str | None:
+    """The fault mode (or ``None``) planned for one task — pure function.
+
+    Each task draws a single uniform variate from
+    ``SeedSequence([seed, task_index])``, so the plan is independent of
+    worker scheduling, retry history, and every other task.
+    """
+    if not spec:
+        return None
+    u = float(
+        np.random.default_rng(np.random.SeedSequence([seed, task_index])).random()
+    )
+    cumulative = 0.0
+    for mode, rate in spec:
+        cumulative += rate
+        if u < cumulative:
+            return mode
+    return None
+
+
+def maybe_inject(task_index: int, attempt: int) -> None:
+    """Apply the planned fault for ``(task_index, attempt)``, if any.
+
+    ``attempt`` is 1-based.  Called from the supervised worker loop right
+    before the task body; a no-op unless ``$REPRO_CHAOS`` is set.
+    """
+    raw = os.environ.get(ENV_CHAOS, "").strip()
+    if not raw:
+        return
+    spec = parse_chaos_spec(raw)
+    seed = int(os.environ.get(ENV_CHAOS_SEED, "0") or 0)
+    mode = planned_fault(task_index, spec, seed)
+    if mode is None:
+        return
+    if mode == "error_always":
+        raise ChaosError(
+            f"injected poison fault (task={task_index}, attempt={attempt})"
+        )
+    if attempt > 1:  # first-attempt faults: the retry is meant to succeed
+        return
+    if mode == "error":
+        raise ChaosError(f"injected transient fault (task={task_index})")
+    if mode == "crash":
+        os._exit(CRASH_EXIT_STATUS)
+    if mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode == "hang":
+        time.sleep(float(os.environ.get(ENV_CHAOS_HANG, "3600") or 3600))

@@ -80,6 +80,8 @@ def simulate_fleet(
     config: FleetConfig | None = None,
     models: tuple[DriveModelSpec, ...] | None = None,
     workers: int | None = None,
+    policy: object | None = None,
+    supervision: object | None = None,
 ) -> FleetTrace:
     """Simulate the whole fleet described by ``config``.
 
@@ -94,13 +96,22 @@ def simulate_fleet(
         Worker processes to shard drives across; ``None`` resolves to
         ``$REPRO_WORKERS`` or 1 (serial).  The trace is byte-identical
         for every value.
+    policy, supervision:
+        A :class:`repro.resilience.SupervisorPolicy` adds deadlines and
+        deterministic retries to the sharded path.  Quarantine is forced
+        off here (shards concatenate into one trace — a missing shard
+        would be silent corruption); use
+        :func:`repro.reliability.simulate_fleet_resumable` for runs that
+        must survive poison tasks.
     """
     config = config or FleetConfig()
     models = models or default_models()
     n_total = config.n_drives_per_model * len(models)
     workers = resolve_workers(workers)
     if workers > 1 and n_total > 1:
-        return _simulate_fleet_parallel(config, models, workers)
+        return _simulate_fleet_parallel(
+            config, models, workers, policy=policy, supervision=supervision
+        )
 
     seeds, deploy_days = _seed_plan(config, n_total)
     results: list[DriveResult] = []
@@ -166,7 +177,11 @@ def _simulate_shard(task: tuple) -> FleetTrace:
 
 
 def _simulate_fleet_parallel(
-    config: FleetConfig, models: tuple[DriveModelSpec, ...], workers: int
+    config: FleetConfig,
+    models: tuple[DriveModelSpec, ...],
+    workers: int,
+    policy: object | None = None,
+    supervision: object | None = None,
 ) -> FleetTrace:
     n_total = config.n_drives_per_model * len(models)
     seeds, deploy_days = _seed_plan(config, n_total)
@@ -174,10 +189,21 @@ def _simulate_fleet_parallel(
         (config, models, lo, hi, seeds[lo:hi], deploy_days[lo:hi])
         for lo, hi in shard_ranges(n_total, workers)
     ]
+    if policy is not None:
+        # Shards concatenate into one trace; a quarantined hole would be
+        # silent data loss, so poison must raise here.
+        from ..resilience.supervisor import force_fail
+
+        policy = force_fail(policy)
     parts = [
         part
         for _, part in iter_tasks(
-            _simulate_shard, tasks, workers=workers, label="repro.simulator"
+            _simulate_shard,
+            tasks,
+            workers=workers,
+            label="repro.simulator",
+            policy=policy,
+            supervision=supervision,
         )
     ]
     return concat_traces(parts, config)

@@ -1,0 +1,214 @@
+"""The chaos drill: end-to-end CLI runs under injected faults.
+
+The acceptance criterion of the resilience layer is *bit-identity under
+chaos*: a run that survives injected crashes, hangs, and SIGKILLs must
+produce byte-for-byte the NPZ outputs of a fault-free serial run.  The
+fault plan is a pure function of ``(REPRO_CHAOS_SEED, task_index)``, so
+each test states its plan up front and asserts the precondition it
+relies on (at least one fault planned, at least one chunk clean).
+
+Chunk geometry: ``--drives 8`` deploys 24 actual drives (3 models), so
+``--checkpoint-every 5`` yields 5 chunks — task indices 0..4.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.cli import EXIT_QUARANTINE, main
+from repro.obs import load_manifest, validate_manifest
+from repro.resilience import (
+    CHAOS_MODES,
+    ENV_CHAOS,
+    ENV_CHAOS_HANG,
+    ENV_CHAOS_SEED,
+    ChaosError,
+    parse_chaos_spec,
+    planned_fault,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+fork_only = pytest.mark.skipif(
+    not HAVE_FORK, reason="chaos injection rides the fork start method"
+)
+
+N_CHUNKS = 5
+
+
+def _simulate(out, seed=4, extra=()):
+    argv = ["simulate", "--out", str(out), "--drives", "8", "--days", "120",
+            "--deploy-spread", "30", "--seed", str(seed),
+            "--checkpoint-every", "5", "--quiet", *extra]
+    return main(argv)
+
+
+def _npz_bytes(directory):
+    return {
+        name: (directory / name).read_bytes()
+        for name in ("records.npz", "drives.npz", "swaps.npz")
+    }
+
+
+# ---------------------------------------------------------------- spec
+
+
+class TestChaosSpec:
+    def test_parse_roundtrip(self):
+        assert parse_chaos_spec("crash=0.2, hang=0.1") == [
+            ("crash", 0.2),
+            ("hang", 0.1),
+        ]
+
+    def test_empty_spec(self):
+        assert parse_chaos_spec("") == []
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "explode=0.5",  # unknown mode
+            "crash=lots",  # not a number
+            "crash=1.5",  # out of range
+            "crash=-0.1",
+            "crash=0.7,hang=0.7",  # rates sum past 1
+        ],
+    )
+    def test_parse_rejects(self, spec):
+        with pytest.raises(ChaosError):
+            parse_chaos_spec(spec)
+
+    def test_planned_fault_is_pure(self):
+        spec = parse_chaos_spec("error=0.3,crash=0.3,hang=0.3")
+        plan_a = [planned_fault(i, spec, 7) for i in range(32)]
+        plan_b = [planned_fault(i, spec, 7) for i in range(32)]
+        assert plan_a == plan_b
+        assert any(m is not None for m in plan_a)
+        for mode in plan_a:
+            assert mode is None or mode in CHAOS_MODES
+
+    def test_planned_fault_empty_spec_is_none(self):
+        assert planned_fault(0, [], 0) is None
+
+    def test_different_seeds_differ(self):
+        spec = parse_chaos_spec("crash=0.5")
+        plans = {
+            tuple(planned_fault(i, spec, seed) for i in range(16))
+            for seed in range(8)
+        }
+        assert len(plans) > 1
+
+
+# ---------------------------------------------------------------- drills
+
+
+@fork_only
+class TestChaosDrill:
+    def test_mixed_chaos_survives_bit_identical(self, tmp_path, monkeypatch,
+                                                capsys):
+        """Errors, crashes, and hangs in one run — survive, stay identical."""
+        spec, chaos_seed = "error=0.2,crash=0.2,hang=0.2", 10
+        plan = [
+            planned_fault(i, parse_chaos_spec(spec), chaos_seed)
+            for i in range(N_CHUNKS)
+        ]
+        assert {"error", "crash", "hang"} <= set(plan)  # all modes fire
+        assert None in plan  # and at least one chunk is clean
+
+        clean = tmp_path / "clean"
+        assert _simulate(clean) == 0
+
+        monkeypatch.setenv(ENV_CHAOS, spec)
+        monkeypatch.setenv(ENV_CHAOS_SEED, str(chaos_seed))
+        monkeypatch.setenv(ENV_CHAOS_HANG, "30")
+        chaotic = tmp_path / "chaotic"
+        code = _simulate(
+            chaotic,
+            extra=["--workers", "2", "--task-timeout", "5", "--max-retries", "3"],
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert _npz_bytes(chaotic) == _npz_bytes(clean)
+
+        body = load_manifest(chaotic / "run_manifest.json")
+        assert validate_manifest(body) == []
+        res = body["resilience"]
+        n_faults = len([m for m in plan if m is not None])
+        assert res["retries"] == n_faults
+        assert res["crashes"] == plan.count("crash")
+        assert res["timeouts"] == plan.count("hang")
+        assert res["quarantined"] == []
+        assert res["breaker_tripped"] is False
+        # The fault-free manifest carries no resilience section at all.
+        assert "resilience" not in load_manifest(clean / "run_manifest.json")
+
+    def test_sigkilled_chunks_quarantine_then_resume_bit_identical(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Satellite: mid-chunk SIGKILL -> quarantine -> --resume heals.
+
+        Two chunks die under ``kill=0.4`` with retries off; the run exits
+        ``EXIT_QUARANTINE`` with the 3 healthy chunks checkpointed.  A
+        ``--resume`` with chaos lifted redoes only the poison chunks and
+        the final NPZs are byte-identical to a fault-free serial run.
+        """
+        spec, chaos_seed = "kill=0.4", 5
+        plan = [
+            planned_fault(i, parse_chaos_spec(spec), chaos_seed)
+            for i in range(N_CHUNKS)
+        ]
+        killed = [i for i, m in enumerate(plan) if m == "kill"]
+        assert killed and len(killed) < N_CHUNKS
+
+        clean = tmp_path / "clean"
+        assert _simulate(clean) == 0
+
+        out = tmp_path / "healed"
+        monkeypatch.setenv(ENV_CHAOS, spec)
+        monkeypatch.setenv(ENV_CHAOS_SEED, str(chaos_seed))
+        code = _simulate(
+            out,
+            extra=["--workers", "2", "--max-retries", "0",
+                   "--on-poison", "quarantine"],
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_QUARANTINE
+        assert "rerun with --resume" in captured.err
+        assert (
+            f"{N_CHUNKS - len(killed)}/{N_CHUNKS} chunks checkpointed"
+            in captured.out
+        )
+        assert not (out / "records.npz").exists()  # no partial outputs
+
+        body = load_manifest(out / "run_manifest.json")
+        assert validate_manifest(body) == []
+        reports = body["resilience"]["quarantined"]
+        assert [r["task_index"] for r in reports] == killed
+        for r in reports:
+            assert r["quarantined"] is True
+            assert [e["kind"] for e in r["errors"]] == ["crash"]
+
+        monkeypatch.delenv(ENV_CHAOS)
+        code = _simulate(out, extra=["--workers", "2", "--resume"])
+        capsys.readouterr()
+        assert code == 0
+        assert _npz_bytes(out) == _npz_bytes(clean)
+
+    def test_poison_task_fails_run_by_default(self, tmp_path, monkeypatch,
+                                              capsys):
+        """``error_always`` + on_poison=fail -> exit 2 with the traceback."""
+        monkeypatch.setenv(ENV_CHAOS, "error_always=0.3")
+        monkeypatch.setenv(ENV_CHAOS_SEED, "9")
+        plan = [
+            planned_fault(i, parse_chaos_spec("error_always=0.3"), 9)
+            for i in range(N_CHUNKS)
+        ]
+        assert "error_always" in plan
+        code = _simulate(
+            tmp_path / "fleet",
+            extra=["--workers", "2", "--max-retries", "1"],
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "injected poison fault" in err

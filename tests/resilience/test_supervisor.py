@@ -1,0 +1,482 @@
+"""Unit tests for the supervision layer (repro.resilience.supervisor).
+
+Worker functions live at module level so they can cross the process
+boundary; controlled faults come from the deterministic chaos hooks
+(``$REPRO_CHAOS``), which forked workers inherit from the test's
+monkeypatched environment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.obs import metrics, tracing
+from repro.parallel import ObsDelta, WorkerCrash, iter_tasks, merge_obs
+from repro.resilience import (
+    ENV_CHAOS,
+    ENV_CHAOS_HANG,
+    ENV_CHAOS_SEED,
+    FailureReport,
+    PoisonTask,
+    SupervisionLog,
+    SupervisorPolicy,
+    TaskFailure,
+    TaskTimeout,
+    force_fail,
+    supervised_iter_tasks,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+fork_only = pytest.mark.skipif(
+    not HAVE_FORK, reason="supervised pool tests rely on the fork start method"
+)
+
+
+# ---------------------------------------------------------------- worker fns
+
+
+def _square(x):
+    return x * x
+
+
+def _always_raises(x):
+    raise ValueError(f"bad task {x}")
+
+
+_FLAKY_CALLS: dict[int, int] = {}
+
+
+def _flaky_twice(x):
+    """Fails the first two in-process calls per task (serial path only)."""
+    _FLAKY_CALLS[x] = _FLAKY_CALLS.get(x, 0) + 1
+    if _FLAKY_CALLS[x] <= 2:
+        raise RuntimeError(f"transient {x}")
+    return x * 10
+
+
+_INIT_BOX: list[int] = []
+
+
+def _install_box(value):
+    _INIT_BOX.clear()
+    _INIT_BOX.append(value)
+
+
+def _needs_init(x):
+    return x + _INIT_BOX[0]
+
+
+# ---------------------------------------------------------------- policy
+
+
+class TestSupervisorPolicy:
+    def test_defaults(self):
+        pol = SupervisorPolicy()
+        assert pol.task_timeout is None
+        assert pol.max_retries == 2
+        assert pol.on_poison == "fail"
+
+    def test_backoff_is_capped_exponential(self):
+        pol = SupervisorPolicy(backoff_base=0.1, backoff_cap=0.35)
+        assert pol.backoff(1) == pytest.approx(0.1)
+        assert pol.backoff(2) == pytest.approx(0.2)
+        assert pol.backoff(3) == pytest.approx(0.35)  # capped
+        assert pol.backoff(10) == pytest.approx(0.35)
+
+    def test_backoff_is_deterministic(self):
+        pol = SupervisorPolicy()
+        assert [pol.backoff(k) for k in (1, 2, 3)] == [
+            pol.backoff(k) for k in (1, 2, 3)
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"task_timeout": 0.0},
+            {"task_timeout": -1.0},
+            {"max_retries": -1},
+            {"on_poison": "explode"},
+            {"pool_crash_threshold": 0},
+            {"backoff_base": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(**kwargs)
+
+    def test_force_fail(self):
+        pol = SupervisorPolicy(on_poison="quarantine", max_retries=7)
+        forced = force_fail(pol)
+        assert forced.on_poison == "fail" and forced.max_retries == 7
+        assert force_fail(None) is None
+        fail = SupervisorPolicy(on_poison="fail")
+        assert force_fail(fail) is fail
+
+
+# ---------------------------------------------------------------- log/report
+
+
+class TestSupervisionLog:
+    def test_events_property(self):
+        log = SupervisionLog()
+        assert not log.events
+        log.retries = 1
+        assert log.events
+
+    def test_to_dict_matches_manifest_schema(self):
+        from repro.obs.manifest import MANIFEST_SCHEMA, validate_manifest
+
+        log = SupervisionLog(retries=2, timeouts=1, crashes=0)
+        log.quarantined.append(
+            FailureReport(
+                task_index=3,
+                label="test",
+                attempts=3,
+                quarantined=True,
+                errors=[TaskFailure(attempt=1, kind="timeout", message="slow")],
+            )
+        )
+        errors = validate_manifest(
+            log.to_dict(), MANIFEST_SCHEMA["properties"]["resilience"], "$"
+        )
+        assert errors == []
+
+    def test_summary_mentions_breaker(self):
+        log = SupervisionLog(breaker_tripped=True)
+        assert "breaker" in log.summary()
+
+
+# ---------------------------------------------------------------- serial path
+
+
+class TestSerialSupervised:
+    def test_clean_run_yields_in_order(self):
+        out = list(supervised_iter_tasks(_square, [1, 2, 3], workers=1))
+        assert out == [(0, 1), (1, 4), (2, 9)]
+
+    def test_retries_then_succeeds(self):
+        _FLAKY_CALLS.clear()
+        log = SupervisionLog()
+        pol = SupervisorPolicy(max_retries=2, backoff_base=0.001)
+        out = list(
+            supervised_iter_tasks(
+                _flaky_twice, [5], workers=1, policy=pol, supervision=log
+            )
+        )
+        assert out == [(0, 50)]
+        assert log.retries == 2 and not log.quarantined
+
+    def test_poison_raises_with_traceback(self):
+        pol = SupervisorPolicy(max_retries=1, backoff_base=0.001)
+        with pytest.raises(PoisonTask) as exc_info:
+            list(
+                supervised_iter_tasks(
+                    _always_raises, [7], workers=1, policy=pol
+                )
+            )
+        exc = exc_info.value
+        assert isinstance(exc, WorkerCrash)  # CLI exit-2 contract
+        assert exc.report.attempts == 2
+        assert "bad task 7" in (exc.worker_traceback or "")
+
+    def test_quarantine_skips_slot_and_records_report(self):
+        log = SupervisionLog()
+        pol = SupervisorPolicy(
+            max_retries=0, on_poison="quarantine", backoff_base=0.001
+        )
+        tasks = [1, "boom", 3]
+
+        def fn(x):
+            if x == "boom":
+                raise RuntimeError("poison")
+            return x
+
+        out = list(
+            supervised_iter_tasks(fn, tasks, workers=1, policy=pol, supervision=log)
+        )
+        assert out == [(0, 1), (2, 3)]
+        assert len(log.quarantined) == 1
+        report = log.quarantined[0]
+        assert report.task_index == 1 and report.quarantined
+        assert report.errors[0].kind == "error"
+
+    def test_initializer_runs_in_process(self):
+        out = list(
+            supervised_iter_tasks(
+                _needs_init,
+                [1, 2],
+                workers=1,
+                initializer=_install_box,
+                initargs=(100,),
+            )
+        )
+        assert out == [(0, 101), (1, 102)]
+
+    def test_empty_tasks(self):
+        assert list(supervised_iter_tasks(_square, [], workers=4)) == []
+
+    def test_unpicklable_falls_back_to_serial(self):
+        calls = []
+
+        def local_fn(x):  # not picklable by reference
+            calls.append(x)
+            return x
+
+        out = list(supervised_iter_tasks(local_fn, [1, 2], workers=4))
+        assert out == [(0, 1), (1, 2)] and calls == [1, 2]
+
+
+# ---------------------------------------------------------------- pooled path
+
+
+@fork_only
+class TestPooledSupervised:
+    def test_clean_run_matches_serial(self):
+        serial = list(supervised_iter_tasks(_square, list(range(8)), workers=1))
+        pooled = list(supervised_iter_tasks(_square, list(range(8)), workers=2))
+        assert pooled == serial
+
+    def test_chaos_error_retried_to_success(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "error=1.0")
+        log = SupervisionLog()
+        pol = SupervisorPolicy(max_retries=1, backoff_base=0.001)
+        out = list(
+            supervised_iter_tasks(
+                _square, list(range(4)), workers=2, policy=pol, supervision=log
+            )
+        )
+        assert out == [(i, i * i) for i in range(4)]
+        assert log.retries == 4  # every task failed exactly once
+
+    def test_worker_crash_retried_to_success(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "crash=1.0")
+        log = SupervisionLog()
+        pol = SupervisorPolicy(
+            max_retries=1, backoff_base=0.001, pool_crash_threshold=100
+        )
+        out = list(
+            supervised_iter_tasks(
+                _square, list(range(3)), workers=2, policy=pol, supervision=log
+            )
+        )
+        assert out == [(0, 0), (1, 1), (2, 4)]
+        assert log.crashes == 3
+        assert all(
+            f.kind == "crash" for r in log.quarantined for f in r.errors
+        )  # vacuous: nothing quarantined
+        assert not log.quarantined
+
+    def test_hang_becomes_timeout_then_retry(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "hang=1.0")
+        monkeypatch.setenv(ENV_CHAOS_HANG, "30")
+        log = SupervisionLog()
+        pol = SupervisorPolicy(
+            task_timeout=0.5, max_retries=1, backoff_base=0.001
+        )
+        out = list(
+            supervised_iter_tasks(
+                _square, [2, 3], workers=2, policy=pol, supervision=log
+            )
+        )
+        assert out == [(0, 4), (1, 9)]
+        assert log.timeouts == 2 and log.retries == 2
+
+    def test_all_timeouts_raise_tasktimeout(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "error_always=0.0,hang=1.0")
+        monkeypatch.setenv(ENV_CHAOS_HANG, "30")
+        pol = SupervisorPolicy(task_timeout=0.4, max_retries=0)
+        with pytest.raises(TaskTimeout) as exc_info:
+            list(
+                supervised_iter_tasks(_square, [1, 2], workers=2, policy=pol)
+            )
+        assert exc_info.value.report.errors[0].kind == "timeout"
+
+    def test_timeouts_do_not_trip_breaker(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "hang=1.0")
+        monkeypatch.setenv(ENV_CHAOS_HANG, "30")
+        log = SupervisionLog()
+        pol = SupervisorPolicy(
+            task_timeout=0.3,
+            max_retries=1,
+            backoff_base=0.001,
+            pool_crash_threshold=1,
+        )
+        out = list(
+            supervised_iter_tasks(
+                _square, [1, 2], workers=2, policy=pol, supervision=log
+            )
+        )
+        assert out == [(0, 1), (1, 4)]
+        assert not log.breaker_tripped
+
+    def test_poison_quarantine_completes_healthy_tasks(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "error_always=0.4")
+        monkeypatch.setenv(ENV_CHAOS_SEED, "9")
+        from repro.resilience import parse_chaos_spec, planned_fault
+
+        spec = parse_chaos_spec("error_always=0.4")
+        poison = {
+            i for i in range(8) if planned_fault(i, spec, 9) == "error_always"
+        }
+        assert poison and len(poison) < 8  # the drill needs both kinds
+        log = SupervisionLog()
+        pol = SupervisorPolicy(
+            max_retries=1, backoff_base=0.001, on_poison="quarantine"
+        )
+        out = list(
+            supervised_iter_tasks(
+                _square, list(range(8)), workers=2, policy=pol, supervision=log
+            )
+        )
+        assert [i for i, _ in out] == sorted(set(range(8)) - poison)
+        assert all(v == i * i for i, v in out)
+        assert {r.task_index for r in log.quarantined} == poison
+
+    def test_breaker_trips_to_serial_and_completes(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "crash=1.0")
+        log = SupervisionLog()
+        pol = SupervisorPolicy(
+            max_retries=1, backoff_base=0.001, pool_crash_threshold=2
+        )
+        out = list(
+            supervised_iter_tasks(
+                _square, list(range(6)), workers=2, policy=pol, supervision=log
+            )
+        )
+        assert out == [(i, i * i) for i in range(6)]
+        assert log.breaker_tripped and log.crashes >= 2
+
+    def test_breaker_serial_fallback_runs_initializer(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "crash=1.0")
+        _INIT_BOX.clear()
+        pol = SupervisorPolicy(
+            max_retries=1, backoff_base=0.001, pool_crash_threshold=1
+        )
+        out = list(
+            supervised_iter_tasks(
+                _needs_init,
+                [1, 2, 3],
+                workers=2,
+                policy=pol,
+                initializer=_install_box,
+                initargs=(1000,),
+            )
+        )
+        assert out == [(0, 1001), (1, 1002), (2, 1003)]
+
+    def test_retry_counters_reach_metrics_registry(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "error=1.0")
+        registry = metrics.MetricsRegistry()
+        pol = SupervisorPolicy(max_retries=1, backoff_base=0.001)
+        with metrics.activate(registry):
+            list(
+                supervised_iter_tasks(
+                    _square, list(range(3)), workers=2, policy=pol
+                )
+            )
+        snap = {m["name"]: m for m in registry.snapshot()}
+        assert snap["repro_task_retries_total"]["series"][0]["value"] == 3.0
+
+    def test_retried_task_spans_carry_attempt_attr(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "error=1.0")
+        tracer = tracing.Tracer()
+        pol = SupervisorPolicy(max_retries=1, backoff_base=0.001)
+        with tracing.activate(tracer):
+            list(
+                supervised_iter_tasks(
+                    _instrumented_task, [1, 2], workers=2, policy=pol
+                )
+            )
+        spans = [s for s in tracer.finished() if s.name == "test.supervised"]
+        assert spans and all(s.attrs.get("attempt") == 2 for s in spans)
+
+
+def _instrumented_task(x):
+    with tracing.span("test.supervised", n_items=1):
+        pass
+    return x
+
+
+# ---------------------------------------------------------------- obs merge
+
+
+class TestMergeObsExtraAttrs:
+    def test_stamps_batch_roots_only(self):
+        delta = ObsDelta(
+            spans=[
+                {
+                    "span_id": 1,
+                    "parent_id": None,
+                    "name": "root",
+                    "start": 0.0,
+                    "duration": 0.1,
+                    "attrs": {},
+                },
+                {
+                    "span_id": 2,
+                    "parent_id": 1,
+                    "name": "child",
+                    "start": 0.0,
+                    "duration": 0.05,
+                    "attrs": {},
+                },
+            ],
+            elapsed=0.1,
+        )
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer):
+            merge_obs(delta, extra_attrs={"attempt": 3})
+        by_name = {s.name: s for s in tracer.finished()}
+        assert by_name["root"].attrs.get("attempt") == 3
+        assert "attempt" not in by_name["child"].attrs
+
+    def test_delta_dicts_not_mutated(self):
+        delta = ObsDelta(
+            spans=[
+                {
+                    "span_id": 1,
+                    "parent_id": None,
+                    "name": "root",
+                    "start": 0.0,
+                    "duration": 0.1,
+                    "attrs": {},
+                }
+            ],
+            elapsed=0.1,
+        )
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer):
+            merge_obs(delta, extra_attrs={"attempt": 2})
+        assert delta.spans[0]["attrs"] == {}
+
+
+# ---------------------------------------------------------------- integration
+
+
+@fork_only
+class TestIterTasksDelegation:
+    def test_policy_routes_through_supervisor(self, monkeypatch):
+        monkeypatch.setenv(ENV_CHAOS, "error=1.0")
+        log = SupervisionLog()
+        pol = SupervisorPolicy(max_retries=1, backoff_base=0.001)
+        out = list(
+            iter_tasks(
+                _square,
+                list(range(4)),
+                workers=2,
+                policy=pol,
+                supervision=log,
+            )
+        )
+        assert out == [(i, i * i) for i in range(4)]
+        assert log.retries == 4
+
+    def test_no_policy_ignores_chaos_env(self, monkeypatch):
+        # Injection lives in the supervised worker loop only: the legacy
+        # fail-fast pool (policy=None) is untouched by $REPRO_CHAOS.
+        monkeypatch.setenv(ENV_CHAOS, "error=1.0")
+        out = list(iter_tasks(_square, list(range(4)), workers=2))
+        assert out == [(i, i * i) for i in range(4)]

@@ -412,3 +412,116 @@ class TestObservability:
         assert code == 1
         assert "DRIFT [seed] seeds.seed" in out
         assert "NOT COMPARABLE" in out
+
+
+class TestResilienceCLI:
+    """Supervision flags, interrupt exit codes, and env validation."""
+
+    def test_non_integer_workers_env_exits_2_one_line(self, tmp_path,
+                                                      monkeypatch, capsys):
+        from repro.parallel import ENV_WORKERS
+
+        monkeypatch.setenv(ENV_WORKERS, "two")
+        code = _simulate(tmp_path / "fleet")
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "REPRO_WORKERS must be an integer" in err
+        assert "'two'" in err
+        assert "Traceback" not in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bad_max_retries_exits_2(self, tmp_path, capsys):
+        code = _simulate(tmp_path / "fleet", extra=["--max-retries", "-1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_task_timeout_exits_2(self, tmp_path, capsys):
+        code = _simulate(tmp_path / "fleet", extra=["--task-timeout", "0"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_on_poison_rejected_by_parser(self, tmp_path):
+        with pytest.raises(SystemExit):
+            _simulate(tmp_path / "fleet", extra=["--on-poison", "explode"])
+
+    def test_interrupt_during_simulate_exits_130(self, tmp_path, monkeypatch,
+                                                 capsys):
+        import repro.cli as cli_mod
+
+        def _interrupt(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "simulate_fleet_resumable", _interrupt)
+        code = _simulate(tmp_path / "fleet", extra=["--workers", "2"])
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "interrupted (SIGINT)" in err
+        assert "rerun with --resume" in err
+
+    def test_sigterm_message_names_signal(self, tmp_path, monkeypatch,
+                                          capsys):
+        import signal as signal_mod
+
+        import repro.cli as cli_mod
+        from repro.resilience import ShutdownRequested
+
+        def _interrupt(*args, **kwargs):
+            raise ShutdownRequested(signal_mod.SIGTERM)
+
+        monkeypatch.setattr(cli_mod, "simulate_fleet_resumable", _interrupt)
+        code = _simulate(tmp_path / "fleet")
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "interrupted (SIGTERM)" in err
+
+    def test_interrupt_during_train_exits_130(self, trace_dir, tmp_path,
+                                              monkeypatch, capsys):
+        import repro.cli as cli_mod
+
+        class _Interrupting:
+            def __init__(self, *args, **kwargs):
+                raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_mod, "FailurePredictor", _Interrupting)
+        code = main(["train", "--trace", str(trace_dir), "--model",
+                     str(tmp_path / "model.pkl"), "--workers", "2"])
+        err = capsys.readouterr().err
+        assert code == 130
+        assert "interrupted (SIGINT)" in err
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="chaos injection rides the fork start method",
+    )
+    def test_supervision_summary_printed_on_retries(self, tmp_path,
+                                                    monkeypatch, capsys):
+        from repro.resilience import ENV_CHAOS
+
+        monkeypatch.setenv(ENV_CHAOS, "error=1.0")
+        out = tmp_path / "fleet"
+        code = main(["simulate", "--out", str(out), "--drives", "8", "--days",
+                     "120", "--deploy-spread", "30", "--seed", "4",
+                     "--checkpoint-every", "5", "--workers", "2",
+                     "--max-retries", "2"])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "supervision: 5 retries" in stdout
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="chaos injection rides the fork start method",
+    )
+    def test_quiet_run_omits_summary_but_manifest_records_it(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.obs import load_manifest
+        from repro.resilience import ENV_CHAOS
+
+        monkeypatch.setenv(ENV_CHAOS, "error=1.0")
+        out = tmp_path / "fleet"
+        code = _simulate(out, extra=["--workers", "2", "--max-retries", "2",
+                                     "--checkpoint-every", "5"])
+        stdout = capsys.readouterr().out
+        assert code == 0
+        assert "supervision:" not in stdout
+        assert load_manifest(out / "run_manifest.json")["resilience"]["retries"] == 5
