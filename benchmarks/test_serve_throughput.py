@@ -1,0 +1,75 @@
+"""Serving-path acceptance bench for ``repro.serve``.
+
+The headline claim is twofold and both halves are asserted on a fleet
+large enough to amortize model load and store growth:
+
+1. ``ScoringEngine.replay`` over the trace is bit-identical to the
+   offline ``predict_proba_records`` pipeline (the parity half — always
+   runs);
+2. the single-process ingest+score path sustains at least
+   ``MIN_EVENTS_PER_SECOND`` drive-day events per second.
+
+The throughput half is skipped on boxes with fewer than four cores —
+a loaded CI sandbox can starve even a single-process loop — but the
+parity half always runs, matching ``test_parallel_speedup.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import FailurePredictor
+from repro.serve import ScoringEngine
+from repro.simulator import FleetConfig, simulate_fleet
+
+#: Acceptance floor for single-process ingest+score throughput.
+MIN_EVENTS_PER_SECOND = 50_000
+
+#: Big enough that per-chunk work dominates engine setup.
+BENCH_CFG = FleetConfig(
+    n_drives_per_model=100,
+    horizon_days=730,
+    deploy_spread_days=365,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def bench_fixture():
+    trace = simulate_fleet(BENCH_CFG)
+    predictor = FailurePredictor(lookahead=7, seed=3).fit(trace)
+    offline = predictor.predict_proba_records(trace.records)
+    return trace, predictor, offline
+
+
+def test_replay_parity_at_bench_scale(bench_fixture):
+    trace, predictor, offline = bench_fixture
+    result = ScoringEngine(predictor).replay(trace.records, chunk_rows=8192)
+    assert result.n_events == len(trace.records)
+    assert np.array_equal(result.probability, offline)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="throughput floor needs a quiet 4-core box"
+)
+def test_single_process_throughput_floor(bench_fixture):
+    trace, predictor, offline = bench_fixture
+    # Warm once so allocator state and page faults don't skew timing.
+    ScoringEngine(predictor).replay(trace.records, chunk_rows=8192)
+
+    engine = ScoringEngine(predictor)
+    t0 = time.perf_counter()
+    result = engine.replay(trace.records, chunk_rows=8192)
+    elapsed = time.perf_counter() - t0
+
+    assert np.array_equal(result.probability, offline)
+    rate = result.n_events / elapsed
+    assert rate >= MIN_EVENTS_PER_SECOND, (
+        f"serving path sustained {rate:,.0f} events/s, below the "
+        f"{MIN_EVENTS_PER_SECOND:,} floor ({result.n_events} events in "
+        f"{elapsed:.2f}s)"
+    )

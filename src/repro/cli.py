@@ -12,6 +12,10 @@ Wraps the library's main workflows for shell use::
     repro-ssd score    --trace fleet/ --model model.pkl --top 10
     repro-ssd obs show fleet/run_manifest.json
     repro-ssd obs diff fleet_a/run_manifest.json fleet_b/run_manifest.json
+    repro-ssd serve publish --model model.pkl --registry reg/ --activate
+    repro-ssd serve replay  --trace fleet/ --registry reg/   # parity gate
+    repro-ssd serve bench   --drives 40 --days 365 --json-out BENCH_serve.json
+    repro-ssd serve run     --registry reg/ < events.jsonl   # JSONL transport
 
 A "trace directory" holds the three NPZ files written by ``simulate``:
 ``records.npz``, ``drives.npz``, ``swaps.npz``.
@@ -37,8 +41,11 @@ DESIGN.md §12 for the full table.
 from __future__ import annotations
 
 import argparse
+import itertools
+import json
 import pickle
 import sys
+import time
 from dataclasses import asdict
 from pathlib import Path
 
@@ -48,6 +55,7 @@ from .analysis import check_observations, figure6, table1, table3, table4, table
 from .core import FailurePredictor
 from .data import (
     TraceIntegrityError,
+    iter_drive_days,
     load_dataset_checked,
     load_dataset_npz,
     load_drivetable_npz,
@@ -87,9 +95,17 @@ from .resilience import (
     SupervisorPolicy,
     graceful_shutdown,
 )
-from .simulator import FleetConfig, FleetTrace, default_models
+from .serve import (
+    BatchPolicy,
+    FeatureStore,
+    FeatureStoreError,
+    ModelRegistry,
+    RegistryError,
+    ScoringEngine,
+)
+from .simulator import FleetConfig, FleetTrace, default_models, simulate_fleet
 
-__all__ = ["main", "build_parser", "CLIError"]
+__all__ = ["main", "build_parser", "add_execution_args", "CLIError"]
 
 
 class CLIError(RuntimeError):
@@ -98,6 +114,86 @@ class CLIError(RuntimeError):
 
 #: Exit code for a run that completed but quarantined poison tasks.
 EXIT_QUARANTINE = 3
+
+
+def add_execution_args(parser: argparse.ArgumentParser) -> None:
+    """The shared execution flag group: workers + supervision.
+
+    Every command with a pooled stage (simulate, train, score, the serve
+    family) takes the same four knobs; adding them through one helper
+    keeps the flag names, defaults, and help text identical everywhere.
+    """
+    group = parser.add_argument_group("execution")
+    group.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the parallelizable stages "
+        f"(default: ${ENV_WORKERS} or 1; results are byte-identical "
+        "for any value)",
+    )
+    group.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt deadline for pooled tasks; a task past it is "
+        "killed and retried (default: no deadline)",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per failed task before it is poison (default: 2); "
+        "retried tasks re-run the same seed stream, so results are "
+        "byte-identical to a clean run",
+    )
+    group.add_argument(
+        "--on-poison",
+        choices=("fail", "quarantine"),
+        default="fail",
+        help="poison-task handling: fail the run (default) or "
+        "quarantine the task, finish healthy work, and exit "
+        f"{EXIT_QUARANTINE}",
+    )
+
+
+def add_obs_args(
+    parser: argparse.ArgumentParser, span_flag: str = "--trace-spans"
+) -> None:
+    """The --trace/--metrics-out observability flag group.
+
+    ``span_flag`` is ``--trace`` on ``simulate`` and ``--trace-spans``
+    on commands where ``--trace`` already names the input directory.
+    """
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        span_flag,
+        dest="trace_spans",
+        action="store_true",
+        help="include the full span tree in the run manifest "
+        "(stage aggregates are always recorded)",
+    )
+    group.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="also write the metrics registry in Prometheus text format",
+    )
+    group.add_argument(
+        "--manifest-out",
+        metavar="PATH",
+        default=None,
+        help="override the default run-manifest path",
+    )
+    group.add_argument(
+        "--no-manifest",
+        action="store_true",
+        help="skip writing the run manifest",
+    )
 
 
 def _workers_arg(args: argparse.Namespace) -> int:
@@ -438,9 +534,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_score(args: argparse.Namespace) -> int:
-    workers = _workers_arg(args)
-    model_path = Path(args.model)
+def _load_predictor(model_path: Path) -> FailurePredictor:
+    """Unpickle a trained predictor from a ``train`` output file."""
     if not model_path.exists():
         raise CLIError(
             f"model file {model_path} does not exist "
@@ -448,11 +543,20 @@ def _cmd_score(args: argparse.Namespace) -> int:
         )
     try:
         with open(model_path, "rb") as fh:
-            predictor: FailurePredictor = pickle.load(fh)
+            predictor = pickle.load(fh)
     except (pickle.UnpicklingError, EOFError) as exc:
         raise CLIError(
             f"model file {model_path} is not a readable predictor pickle ({exc})"
         ) from None
+    if not isinstance(predictor, FailurePredictor):
+        raise CLIError(f"model file {model_path} is not a FailurePredictor")
+    return predictor
+
+
+def _cmd_score(args: argparse.Namespace) -> int:
+    workers = _workers_arg(args)
+    model_path = Path(args.model)
+    predictor = _load_predictor(model_path)
     trace_dir = _require_trace_dir(Path(args.trace))
     manifest = RunManifest(
         command="score",
@@ -496,6 +600,318 @@ def _cmd_score(args: argparse.Namespace) -> int:
     _record_supervision(manifest, supervision)
     default_path = Path(str(args.model) + ".score-manifest.json")
     _finish_obs(args, manifest, tracer, registry, default_path)
+    return 0
+
+
+# --------------------------------------------------------------------------
+# serve: online scoring service
+# --------------------------------------------------------------------------
+
+
+def _serve_predictor(
+    args: argparse.Namespace,
+) -> tuple[FailurePredictor, Path, str]:
+    """Resolve the served model from ``--model`` or ``--registry``.
+
+    Returns the predictor, the artifact path (for manifest inputs), and
+    a short human-readable description of where it came from.
+    """
+    if args.model:
+        path = Path(args.model)
+        return _load_predictor(path), path, f"model {path}"
+    registry = ModelRegistry(args.registry)
+    version = args.version or registry.active_version()
+    if version is None:
+        raise CLIError(
+            f"registry {args.registry} has no active version "
+            "(publish one with `repro-ssd serve publish --activate`)"
+        )
+    predictor = registry.load(version)
+    path = registry.versions_dir / version / "model.pkl"
+    return predictor, path, f"registry {args.registry} {version}"
+
+
+def _add_model_source(parser: argparse.ArgumentParser) -> None:
+    """``--model`` / ``--registry`` (+ ``--version``) model selection."""
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--model", default=None, help="trained model pickle (train output)"
+    )
+    group.add_argument(
+        "--registry", default=None, help="model registry directory"
+    )
+    parser.add_argument(
+        "--version",
+        default=None,
+        metavar="vNNNN",
+        help="registry version to serve (default: the active one)",
+    )
+
+
+def _score_jsonl_line(event) -> str:
+    return json.dumps(
+        {
+            "drive_id": event.drive_id,
+            "age_days": event.age_days,
+            "probability": event.probability,
+        }
+    )
+
+
+def _cmd_serve_publish(args: argparse.Namespace) -> int:
+    predictor = _load_predictor(Path(args.model))
+    registry = ModelRegistry(args.registry)
+    manifest = RunManifest(
+        command="serve.publish",
+        config={"activate": args.activate},
+        seeds={"seed": predictor.seed},
+    )
+    manifest.add_input(Path(args.model))
+    tracer = obs_tracing.Tracer()
+    metrics_registry = obs_metrics.MetricsRegistry()
+    with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
+        version = registry.publish(
+            predictor,
+            training_manifest=args.training_manifest,
+            activate=args.activate,
+        )
+    vdir = registry.versions_dir / version
+    manifest.add_output(vdir / "model.pkl")
+    manifest.add_output(vdir / "meta.json")
+    manifest.results["version"] = version
+    manifest.results["active"] = registry.active_version()
+    _finish_obs(
+        args,
+        manifest,
+        tracer,
+        metrics_registry,
+        registry.root / "publish_manifest.json",
+    )
+    state = "active" if registry.active_version() == version else "published"
+    print(f"serve publish ok: {version} ({state}) in {registry.root}")
+    return 0
+
+
+def _cmd_serve_replay(args: argparse.Namespace) -> int:
+    workers = _workers_arg(args)
+    predictor, model_path, model_desc = _serve_predictor(args)
+    trace_dir = _require_trace_dir(Path(args.trace))
+    records_path = trace_dir / "records.npz"
+    manifest = RunManifest(
+        command="serve.replay",
+        config={
+            "chunk_rows": args.chunk_rows,
+            "lookahead": predictor.lookahead,
+        },
+        seeds={"seed": predictor.seed},
+    )
+    manifest.add_input(records_path)
+    manifest.add_input(model_path)
+    tracer = obs_tracing.Tracer()
+    metrics_registry = obs_metrics.MetricsRegistry()
+    policy = _policy_arg(args)
+    supervision = SupervisionLog()
+    with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
+        store = (
+            FeatureStore.restore(args.restore)
+            if args.restore
+            else FeatureStore()
+        )
+        start_row = store.events_total
+        engine = ScoringEngine(
+            predictor,
+            store=store,
+            workers=workers,
+            policy=policy,
+            supervision=supervision,
+        )
+        result = engine.replay(
+            records_path,
+            chunk_rows=args.chunk_rows,
+            start_row=start_row,
+            snapshot_every=args.snapshot_every,
+            snapshot_path=args.snapshot,
+        )
+        # The parity gate: the offline batch pipeline over the same
+        # records must reproduce the streamed scores bit-for-bit.
+        records = load_dataset_npz(records_path)
+        offline = predictor.predict_proba_records(
+            records, workers=workers, policy=policy, supervision=supervision
+        )[start_row:]
+    diverged = int(
+        np.count_nonzero(result.probability != offline)
+        if len(result.probability) == len(offline)
+        else max(len(result.probability), len(offline))
+    )
+    if args.out:
+        ids = np.asarray(records["drive_id"])[start_row:]
+        ages = np.asarray(records["age_days"])[start_row:]
+        with atomic_write(args.out, "w") as fh:
+            for did, age, p in zip(ids, ages, result.probability):
+                fh.write(
+                    json.dumps(
+                        {
+                            "drive_id": int(did),
+                            "age_days": int(age),
+                            "probability": float(p),
+                        }
+                    )
+                    + "\n"
+                )
+        manifest.add_output(args.out)
+    manifest.counts = {
+        "events": result.n_events,
+        "batches": result.n_batches,
+        "drives": store.n_drives,
+        "skipped": start_row,
+    }
+    manifest.results["workers"] = workers
+    manifest.results["events_per_second"] = round(result.events_per_second, 1)
+    manifest.results["diverged"] = diverged
+    _record_supervision(manifest, supervision)
+    manifest_path = _finish_obs(
+        args,
+        manifest,
+        tracer,
+        metrics_registry,
+        trace_dir / "serve_replay_manifest.json",
+    )
+    suffix = f", manifest {manifest_path}" if manifest_path else ""
+    resumed = f" (resumed past {start_row})" if start_row else ""
+    if diverged:
+        print(
+            f"serve replay DIVERGED: {diverged}/{len(offline)} event(s) "
+            f"differ from the offline pipeline ({model_desc}){suffix}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"serve replay ok: {result.n_events} events{resumed} scored online "
+        f"match offline bit-for-bit, {result.events_per_second:,.0f} ev/s, "
+        f"{store.n_drives} drives ({model_desc}){suffix}"
+    )
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    workers = _workers_arg(args)
+    config = FleetConfig(
+        n_drives_per_model=args.drives,
+        horizon_days=args.days,
+        deploy_spread_days=max(min(args.days // 2, 700), 1),
+        seed=args.seed,
+    )
+    manifest = RunManifest(
+        command="serve.bench",
+        config={"fleet": asdict(config), "chunk_rows": args.chunk_rows},
+        seeds={"seed": args.seed},
+    )
+    tracer = obs_tracing.Tracer()
+    metrics_registry = obs_metrics.MetricsRegistry()
+    with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
+        trace = simulate_fleet(config)
+        predictor = FailurePredictor(lookahead=7, seed=args.seed).fit(trace)
+        # Throughput: chunked ingest+score over the whole trace.
+        engine = ScoringEngine(predictor, workers=workers)
+        result = engine.replay(trace.records, chunk_rows=args.chunk_rows)
+        offline = predictor.predict_proba_records(trace.records)
+        parity = bool(np.array_equal(result.probability, offline))
+        # Latency: unbatched single-event round trips on a fresh store.
+        lat_engine = ScoringEngine(
+            predictor, batch_policy=BatchPolicy(max_batch_size=1)
+        )
+        latencies = []
+        sample = itertools.islice(
+            iter_drive_days(trace.records), args.latency_events
+        )
+        for record in sample:
+            t0 = time.perf_counter()
+            lat_engine.submit(record)
+            latencies.append(time.perf_counter() - t0)
+    lat = np.sort(np.asarray(latencies))
+    payload = {
+        "n_events": result.n_events,
+        "n_drives": int(trace.records.n_drives()),
+        "elapsed_seconds": round(result.elapsed_seconds, 4),
+        "events_per_second": round(result.events_per_second, 1),
+        "workers": workers,
+        "chunk_rows": args.chunk_rows,
+        "parity": parity,
+        "latency_events": len(lat),
+        "latency_p50_us": round(float(np.quantile(lat, 0.50)) * 1e6, 1),
+        "latency_p95_us": round(float(np.quantile(lat, 0.95)) * 1e6, 1),
+        "latency_p99_us": round(float(np.quantile(lat, 0.99)) * 1e6, 1),
+    }
+    if args.json_out:
+        _atomic_write_text(
+            Path(args.json_out), json.dumps(payload, indent=2) + "\n"
+        )
+        manifest.add_output(args.json_out)
+    manifest.counts = {"events": result.n_events}
+    manifest.results.update(payload)
+    if args.manifest_out:
+        default_manifest = Path(args.manifest_out)
+    elif args.json_out:
+        default_manifest = Path(str(args.json_out) + ".manifest.json")
+    else:
+        args.no_manifest = True
+        default_manifest = Path("serve_bench_manifest.json")
+    _finish_obs(args, manifest, tracer, metrics_registry, default_manifest)
+    print(
+        f"serve bench: {payload['events_per_second']:,.0f} ev/s over "
+        f"{payload['n_events']} events ({workers} worker(s)), latency "
+        f"p50 {payload['latency_p50_us']:.0f}us / "
+        f"p99 {payload['latency_p99_us']:.0f}us, parity "
+        f"{'ok' if parity else 'DIVERGED'}"
+    )
+    return 0 if parity else 1
+
+
+def _cmd_serve_run(args: argparse.Namespace) -> int:
+    predictor, _, model_desc = _serve_predictor(args)
+    try:
+        batch_policy = BatchPolicy(
+            max_batch_size=args.batch_size, max_wait_seconds=args.max_wait
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    store = (
+        FeatureStore.restore(args.restore) if args.restore else FeatureStore()
+    )
+    engine = ScoringEngine(predictor, store=store, batch_policy=batch_policy)
+    print(f"serve run: scoring stdin JSONL with {model_desc}", file=sys.stderr)
+    n_lines = 0
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        n_lines += 1
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            raise CLIError(
+                f"stdin line {n_lines} is not valid JSON: {exc}"
+            ) from None
+        try:
+            flushed = engine.submit(record)
+        except KeyError as exc:
+            raise CLIError(
+                f"stdin line {n_lines} is missing field {exc}"
+            ) from None
+        for event in flushed:
+            print(_score_jsonl_line(event))
+        sys.stdout.flush()
+    for event in engine.drain():
+        print(_score_jsonl_line(event))
+    sys.stdout.flush()
+    if args.snapshot:
+        store.snapshot(args.snapshot)
+        print(f"serve run: store snapshot -> {args.snapshot}", file=sys.stderr)
+    print(
+        f"serve run: scored {engine.requests_total} event(s) across "
+        f"{store.n_drives} drive(s)",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -558,78 +974,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry repair policy applied at load time (default: off)",
     )
 
-    def add_workers_flag(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--workers",
-            "-j",
-            type=int,
-            default=None,
-            metavar="N",
-            help="worker processes for the parallelizable stages "
-            f"(default: ${ENV_WORKERS} or 1; results are byte-identical "
-            "for any value)",
-        )
-
-    def add_resilience_flags(p: argparse.ArgumentParser) -> None:
-        group = p.add_argument_group("resilience")
-        group.add_argument(
-            "--task-timeout",
-            type=float,
-            default=None,
-            metavar="SECONDS",
-            help="per-attempt deadline for pooled tasks; a task past it is "
-            "killed and retried (default: no deadline)",
-        )
-        group.add_argument(
-            "--max-retries",
-            type=int,
-            default=2,
-            metavar="N",
-            help="retries per failed task before it is poison (default: 2); "
-            "retried tasks re-run the same seed stream, so results are "
-            "byte-identical to a clean run",
-        )
-        group.add_argument(
-            "--on-poison",
-            choices=("fail", "quarantine"),
-            default="fail",
-            help="poison-task handling: fail the run (default) or "
-            "quarantine the task, finish healthy work, and exit "
-            f"{EXIT_QUARANTINE}",
-        )
-
-    def add_obs_flags(p: argparse.ArgumentParser, span_flag: str) -> None:
-        """The --trace/--metrics-out observability flag group.
-
-        ``span_flag`` is ``--trace`` on ``simulate`` and ``--trace-spans``
-        on commands where ``--trace`` already names the input directory.
-        """
-        group = p.add_argument_group("observability")
-        group.add_argument(
-            span_flag,
-            dest="trace_spans",
-            action="store_true",
-            help="include the full span tree in the run manifest "
-            "(stage aggregates are always recorded)",
-        )
-        group.add_argument(
-            "--metrics-out",
-            metavar="PATH",
-            default=None,
-            help="also write the metrics registry in Prometheus text format",
-        )
-        group.add_argument(
-            "--manifest-out",
-            metavar="PATH",
-            default=None,
-            help="override the default run-manifest path",
-        )
-        group.add_argument(
-            "--no-manifest",
-            action="store_true",
-            help="skip writing the run manifest",
-        )
-
     p_sim = sub.add_parser("simulate", help="simulate a fleet and write NPZ files")
     p_sim.add_argument("--out", required=True, help="output directory")
     p_sim.add_argument("--drives", type=int, default=200, help="drives per model")
@@ -649,15 +993,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DRIVES",
         help="drives per checkpointed chunk (default: 64)",
     )
-    add_workers_flag(p_sim)
-    add_resilience_flags(p_sim)
+    add_execution_args(p_sim)
     p_sim.add_argument("--verbose", action="store_true", help="progress lines")
     p_sim.add_argument(
         "--quiet",
         action="store_true",
         help="print only the final one-line summary",
     )
-    add_obs_flags(p_sim, "--trace")
+    add_obs_args(p_sim, "--trace")
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_rep = sub.add_parser("report", help="characterization report of a trace")
@@ -711,9 +1054,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_tr.add_argument("--cv", type=int, default=0, help="also report k-fold AUC")
     p_tr.add_argument("--seed", type=int, default=0)
     p_tr.add_argument("--policy", **policy_kwargs)
-    add_workers_flag(p_tr)
-    add_resilience_flags(p_tr)
-    add_obs_flags(p_tr, "--trace-spans")
+    add_execution_args(p_tr)
+    add_obs_args(p_tr)
     p_tr.set_defaults(func=_cmd_train)
 
     p_sc = sub.add_parser("score", help="rank a fleet by failure risk")
@@ -722,10 +1064,147 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--top", type=int, default=10)
     p_sc.add_argument("--threshold", type=float, default=None)
     p_sc.add_argument("--policy", **policy_kwargs)
-    add_workers_flag(p_sc)
-    add_resilience_flags(p_sc)
-    add_obs_flags(p_sc, "--trace-spans")
+    add_execution_args(p_sc)
+    add_obs_args(p_sc)
     p_sc.set_defaults(func=_cmd_score)
+
+    p_srv = sub.add_parser(
+        "serve", help="online scoring service (publish, replay, bench, run)"
+    )
+    srv_sub = p_srv.add_subparsers(dest="serve_command", required=True)
+
+    p_pub = srv_sub.add_parser(
+        "publish", help="version a trained model into a registry"
+    )
+    p_pub.add_argument("--model", required=True, help="trained model pickle")
+    p_pub.add_argument("--registry", required=True, help="registry directory")
+    p_pub.add_argument(
+        "--activate",
+        action="store_true",
+        help="also activate the fresh version (schema-hash checked)",
+    )
+    p_pub.add_argument(
+        "--training-manifest",
+        default=None,
+        metavar="PATH",
+        help="the train run's manifest; its sha256 ties the served model "
+        "back to the exact training run",
+    )
+    add_obs_args(p_pub)
+    p_pub.set_defaults(func=_cmd_serve_publish)
+
+    p_rpl = srv_sub.add_parser(
+        "replay",
+        help="stream a trace through the online engine and verify the "
+        "scores match the offline pipeline bit-for-bit (exit 1 on "
+        "divergence)",
+    )
+    p_rpl.add_argument("--trace", required=True, help="trace directory")
+    _add_model_source(p_rpl)
+    p_rpl.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the online scores as JSONL",
+    )
+    p_rpl.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="streaming chunk size (scores are identical for any value)",
+    )
+    p_rpl.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="persist the feature store here every --snapshot-every events "
+        "(and at stream end)",
+    )
+    p_rpl.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=100_000,
+        metavar="EVENTS",
+        help="snapshot cadence when --snapshot is given (default: 100000)",
+    )
+    p_rpl.add_argument(
+        "--restore",
+        default=None,
+        metavar="PATH",
+        help="restore the feature store from a snapshot and resume the "
+        "replay after the events it already absorbed",
+    )
+    add_execution_args(p_rpl)
+    add_obs_args(p_rpl)
+    p_rpl.set_defaults(func=_cmd_serve_replay)
+
+    p_bch = srv_sub.add_parser(
+        "bench",
+        help="ingest+score throughput and latency of the serving path "
+        "on a simulated fleet",
+    )
+    p_bch.add_argument("--drives", type=int, default=30, help="drives per model")
+    p_bch.add_argument("--days", type=int, default=365, help="trace horizon")
+    p_bch.add_argument("--seed", type=int, default=0)
+    p_bch.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=8192,
+        metavar="N",
+        help="replay chunk size for the throughput pass (default: 8192)",
+    )
+    p_bch.add_argument(
+        "--latency-events",
+        type=int,
+        default=2000,
+        metavar="N",
+        help="single-event round trips for the latency quantiles",
+    )
+    p_bch.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="write the bench numbers as JSON (CI artifact)",
+    )
+    add_execution_args(p_bch)
+    add_obs_args(p_bch)
+    p_bch.set_defaults(func=_cmd_serve_bench)
+
+    p_run = srv_sub.add_parser(
+        "run",
+        help="score a JSONL event stream: records on stdin, "
+        "probabilities on stdout (no network dependency)",
+    )
+    _add_model_source(p_run)
+    p_run.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        metavar="N",
+        help="micro-batch flush size (default: 256)",
+    )
+    p_run.add_argument(
+        "--max-wait",
+        type=float,
+        default=0.005,
+        metavar="SECONDS",
+        help="max time the oldest pending request waits before a flush "
+        "(default: 0.005; 0 disables batching)",
+    )
+    p_run.add_argument(
+        "--restore",
+        default=None,
+        metavar="PATH",
+        help="start from a feature-store snapshot instead of empty state",
+    )
+    p_run.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="persist the feature store here when the stream ends",
+    )
+    p_run.set_defaults(func=_cmd_serve_run)
 
     p_obs = sub.add_parser(
         "obs", help="inspect and compare run manifests (observability)"
@@ -764,7 +1243,13 @@ def main(argv: list[str] | None = None) -> int:
         # turns the unwind into exit 130.
         with graceful_shutdown():
             return int(args.func(args))
-    except (CLIError, TraceIntegrityError, ManifestError) as exc:
+    except (
+        CLIError,
+        TraceIntegrityError,
+        ManifestError,
+        FeatureStoreError,
+        RegistryError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except WorkerConfigError as exc:

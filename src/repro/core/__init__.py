@@ -16,7 +16,15 @@ from .baselines import (
 )
 from .drift import DriftReport, FeatureDrift, feature_drift_report
 from .error_prediction import ERROR_PREDICTION_TARGETS, error_event_labels
-from .features import DAILY_FEATURE_SOURCES, FeatureFrame, build_features, feature_names
+from .features import (
+    DAILY_FEATURE_SOURCES,
+    FeatureFrame,
+    assemble_features,
+    build_features,
+    daily_matrix,
+    feature_names,
+    feature_schema_hash,
+)
 from .interpret import ImportanceReport, compare_importances, importance_report
 from .labeling import label_dataset, lookahead_labels, operational_mask
 from .pipeline import (
@@ -44,8 +52,11 @@ __all__ = [
     "error_event_labels",
     "DAILY_FEATURE_SOURCES",
     "FeatureFrame",
+    "assemble_features",
     "build_features",
+    "daily_matrix",
     "feature_names",
+    "feature_schema_hash",
     "ImportanceReport",
     "compare_importances",
     "importance_report",

@@ -10,18 +10,39 @@ top mature-drive features) are included.
 Cumulative counters are computed with per-drive segment cumsums over the
 sorted columnar dataset — one vectorized pass per counter, no Python loop
 over drives.
+
+The matrix itself is produced by :func:`assemble_features`, a pure
+kernel over ``(daily, cumulative, identity)`` arrays.  The batch path
+here and the online path (:mod:`repro.serve.feature_store`, which folds
+one drive-day at a time into per-drive running sums) both go through
+that kernel, so a feature row depends only on the record and the
+drive's cumulative counters — never on how the counters were
+accumulated.  The two paths agree bit-for-bit because every cumulated
+counter column is integer-valued (the simulator rounds operation
+counts; error counts are integers), so float64 sums are exact up to
+2**53 regardless of association order.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
+from hashlib import sha256
 
 import numpy as np
 
 from ..data import DriveDayDataset
 from ..data.fields import ERROR_TYPES
 
-__all__ = ["FeatureFrame", "DAILY_FEATURE_SOURCES", "build_features", "feature_names"]
+__all__ = [
+    "FeatureFrame",
+    "DAILY_FEATURE_SOURCES",
+    "assemble_features",
+    "daily_matrix",
+    "build_features",
+    "feature_names",
+    "feature_schema_hash",
+]
 
 #: Daily counters that get both a raw and a cumulative feature.
 DAILY_FEATURE_SOURCES: tuple[str, ...] = (
@@ -89,6 +110,84 @@ def feature_names() -> tuple[str, ...]:
     return tuple(names)
 
 
+def feature_schema_hash() -> str:
+    """sha256 fingerprint of the feature layout this kernel produces.
+
+    Stamped into model-registry metadata and feature-store snapshots so
+    a model trained against one feature layout can never be activated
+    against a store maintaining another (see :mod:`repro.serve`).
+    """
+    payload = {
+        "names": list(feature_names()),
+        "daily_sources": list(DAILY_FEATURE_SOURCES),
+    }
+    return sha256(json.dumps(payload, sort_keys=True).encode()).hexdigest()
+
+
+#: Column indices inside the daily-source block used by derived features.
+_READ_IDX = DAILY_FEATURE_SOURCES.index("read_count")
+_CORR_IDX = DAILY_FEATURE_SOURCES.index("correctable_error")
+
+
+def assemble_features(
+    daily: np.ndarray,
+    cumulative: np.ndarray,
+    age_days: np.ndarray,
+    pe_cycles: np.ndarray,
+    bad_blocks: np.ndarray,
+    status_read_only: np.ndarray,
+    status_dead: np.ndarray,
+) -> np.ndarray:
+    """The per-row feature kernel shared by batch and online extraction.
+
+    Parameters
+    ----------
+    daily:
+        ``(n, len(DAILY_FEATURE_SOURCES))`` float64 matrix of the day's
+        raw counters, columns in :data:`DAILY_FEATURE_SOURCES` order.
+    cumulative:
+        Same shape: lifetime-cumulative value of each counter *including*
+        the current day.
+    age_days, pe_cycles, bad_blocks, status_read_only, status_dead:
+        ``(n,)`` identity/state columns (``bad_blocks`` is factory +
+        grown combined).
+
+    Returns the ``(n, len(feature_names()))`` float64 matrix.  Rows are
+    independent: calling this with one row at a time (the online path)
+    produces exactly the rows of one batch call.
+    """
+    n, k = daily.shape
+    names = feature_names()
+    X = np.empty((n, len(names)), dtype=np.float64)
+    X[:, :k] = daily
+    X[:, k : 2 * k] = cumulative
+    col = 2 * k
+    X[:, col] = age_days
+    col += 1
+    X[:, col] = pe_cycles
+    col += 1
+    X[:, col] = bad_blocks
+    col += 1
+    X[:, col] = status_read_only
+    col += 1
+    X[:, col] = status_dead
+    col += 1
+    X[:, col] = daily[:, _CORR_IDX] / (daily[:, _READ_IDX] + 1.0)
+    col += 1
+    assert col == len(names)
+    return X
+
+
+def daily_matrix(records: DriveDayDataset | "dict[str, np.ndarray]") -> np.ndarray:
+    """Stack the :data:`DAILY_FEATURE_SOURCES` columns as float64."""
+    first = records[DAILY_FEATURE_SOURCES[0]]
+    n = np.asarray(first).shape[0]
+    out = np.empty((n, len(DAILY_FEATURE_SOURCES)), dtype=np.float64)
+    for j, src in enumerate(DAILY_FEATURE_SOURCES):
+        out[:, j] = records[src]
+    return out
+
+
 def build_features(records: DriveDayDataset) -> FeatureFrame:
     """Extract the model feature matrix from a telemetry dataset.
 
@@ -96,35 +195,25 @@ def build_features(records: DriveDayDataset) -> FeatureFrame:
     and the IO loaders guarantee this — so lifetime-cumulative counters are
     exact per-drive prefix sums.
     """
-    names = feature_names()
-    n = len(records)
-    X = np.empty((n, len(names)), dtype=np.float64)
-    col = 0
-    for src in DAILY_FEATURE_SOURCES:
-        X[:, col] = records[src]
-        col += 1
-    for src in DAILY_FEATURE_SOURCES:
-        X[:, col] = records.grouped_cumsum(src)
-        col += 1
-    X[:, col] = records["age_days"]
-    col += 1
-    X[:, col] = records["pe_cycles"]
-    col += 1
-    X[:, col] = records["factory_bad_blocks"].astype(np.float64) + records[
+    daily = daily_matrix(records)
+    cum = np.empty_like(daily)
+    for j, src in enumerate(DAILY_FEATURE_SOURCES):
+        cum[:, j] = records.grouped_cumsum(src)
+    bad_blocks = records["factory_bad_blocks"].astype(np.float64) + records[
         "grown_bad_blocks"
     ].astype(np.float64)
-    col += 1
-    X[:, col] = records["status_read_only"]
-    col += 1
-    X[:, col] = records["status_dead"]
-    col += 1
-    reads = records["read_count"].astype(np.float64)
-    X[:, col] = records["correctable_error"] / (reads + 1.0)
-    col += 1
-    assert col == len(names)
+    X = assemble_features(
+        daily,
+        cum,
+        age_days=records["age_days"],
+        pe_cycles=records["pe_cycles"],
+        bad_blocks=bad_blocks,
+        status_read_only=records["status_read_only"],
+        status_dead=records["status_dead"],
+    )
     return FeatureFrame(
         X=X,
-        names=names,
+        names=feature_names(),
         drive_id=np.asarray(records["drive_id"]),
         age_days=np.asarray(records["age_days"]),
         model=np.asarray(records["model"]),

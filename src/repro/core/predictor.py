@@ -141,6 +141,15 @@ class FailurePredictor:
         self._models: dict[str, BinaryClassifier] = {}
         self._feature_names: tuple[str, ...] | None = None
 
+    @property
+    def feature_names(self) -> tuple[str, ...] | None:
+        """Feature layout the predictor was fitted on (``None`` before fit).
+
+        The model registry hashes this to refuse activating a model
+        against a feature store with a different layout.
+        """
+        return self._feature_names
+
     # ------------------------------------------------------------------ fit
     def fit(
         self, trace: FleetTrace | tuple[DriveDayDataset, SwapLog]
@@ -214,24 +223,38 @@ class FailurePredictor:
         if dataset.feature_names != self._feature_names:
             raise ValueError("feature-name mismatch with fitted predictor")
         with tracing.span("repro.core.predict", rows_in=len(dataset)):
-            return self._predict_proba_parts(
-                dataset, workers=workers, policy=policy, supervision=supervision
+            return self.predict_proba_matrix(
+                dataset.X,
+                dataset.age_days,
+                workers=workers,
+                policy=policy,
+                supervision=supervision,
             )
 
-    def _predict_proba_parts(
+    def predict_proba_matrix(
         self,
-        dataset: PredictionDataset,
+        X: np.ndarray,
+        age_days: np.ndarray,
         workers: int | None = None,
         policy: object | None = None,
         supervision: object | None = None,
     ) -> np.ndarray:
-        n = len(dataset)
+        """Failure probability for every row of a raw feature matrix.
+
+        The serving hot path (:mod:`repro.serve.engine`) calls this with
+        feature rows assembled incrementally; the batch paths above call
+        it with a full :class:`PredictionDataset` matrix.  Scoring is
+        per-row (trees traverse each row independently), so the output is
+        bit-identical for any batch split and any ``workers`` count.
+        """
+        self._require_fitted()
+        n = X.shape[0]
         state = (
             self._models,
             self.age_partitioned,
             self.infancy_days,
-            dataset.X,
-            dataset.age_days,
+            X,
+            age_days,
         )
         tasks = shard_ranges(n, resolve_workers(workers))
         if policy is not None:

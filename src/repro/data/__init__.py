@@ -23,6 +23,8 @@ from .fields import (
 from .io import (
     TraceIntegrityError,
     export_dataset_csv,
+    iter_drive_day_chunks,
+    iter_drive_days,
     load_dataset_checked,
     load_dataset_npz,
     load_drivetable_npz,
@@ -63,6 +65,8 @@ __all__ = [
     "load_dataset_npz",
     "load_dataset_checked",
     "load_raw_columns_npz",
+    "iter_drive_day_chunks",
+    "iter_drive_days",
     "export_dataset_csv",
     "save_swaplog_npz",
     "load_swaplog_npz",

@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import csv
 import zipfile
+from collections.abc import Iterator
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -29,6 +31,8 @@ __all__ = [
     "load_dataset_npz",
     "load_dataset_checked",
     "load_raw_columns_npz",
+    "iter_drive_day_chunks",
+    "iter_drive_days",
     "export_dataset_csv",
     "save_swaplog_npz",
     "load_swaplog_npz",
@@ -124,6 +128,113 @@ def load_dataset_checked(
         help="Rows marked untrusted by the quarantine policy",
     )
     return result
+
+
+class _ColumnStream:
+    """One NPZ entry opened for incremental decompression.
+
+    ``zipfile`` hands back a streaming file object per entry; after the
+    ``.npy`` header is parsed, fixed-size reads yield contiguous row
+    slices without ever holding the whole column in memory.
+    """
+
+    def __init__(self, zf: zipfile.ZipFile, entry: str):
+        self.name = entry[: -len(".npy")]
+        self.fp = zf.open(entry)
+        version = np.lib.format.read_magic(self.fp)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(self.fp)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(self.fp)
+        else:  # pragma: no cover - numpy only emits 1.0/2.0 today
+            raise TraceIntegrityError(
+                f"column {entry!r} uses unsupported npy format {version}"
+            )
+        if len(shape) != 1 or fortran or dtype.hasobject:
+            raise TraceIntegrityError(
+                f"column {self.name!r} is not a streamable 1-D array "
+                f"(shape={shape}, dtype={dtype})"
+            )
+        self.n_rows = shape[0]
+        self.dtype = dtype
+
+    def read(self, n: int) -> np.ndarray:
+        data = self.fp.read(n * self.dtype.itemsize)
+        if len(data) != n * self.dtype.itemsize:
+            raise TraceIntegrityError(
+                f"column {self.name!r} is truncated mid-stream"
+            )
+        return np.frombuffer(data, dtype=self.dtype)
+
+
+def iter_drive_day_chunks(
+    source: DriveDayDataset | str | Path, chunk_rows: int = 4096
+) -> Iterator[dict[str, np.ndarray]]:
+    """Stream a telemetry dataset as column-dict chunks in row order.
+
+    Rows arrive in the stored ``(drive_id, age_days)`` order, at most
+    ``chunk_rows`` per chunk.  Given a path, the NPZ entries are
+    decompressed incrementally — peak memory is ``O(chunk_rows ×
+    n_columns)``, not the full trace — which is what lets ``serve
+    replay`` stream fleet-scale traces through the online feature store.
+    Given an in-memory dataset, chunks are zero-copy column slices.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be >= 1")
+    if isinstance(source, DriveDayDataset):
+        n = len(source)
+        for lo in range(0, n, chunk_rows):
+            hi = min(lo + chunk_rows, n)
+            yield {k: v[lo:hi] for k, v in source.items()}
+        return
+    path = Path(source)
+    if not path.exists():
+        raise TraceIntegrityError(
+            f"trace file {path} does not exist (run `repro-ssd simulate` "
+            "or check the --trace path)"
+        )
+    try:
+        with zipfile.ZipFile(path) as zf:
+            streams = [
+                _ColumnStream(zf, entry)
+                for entry in zf.namelist()
+                if entry.endswith(".npy")
+            ]
+            if not streams:
+                return
+            n = streams[0].n_rows
+            for s in streams:
+                if s.n_rows != n:
+                    raise TraceIntegrityError(
+                        f"column {s.name!r} has {s.n_rows} rows, expected {n}"
+                    )
+            done = 0
+            while done < n:
+                take = min(chunk_rows, n - done)
+                yield {s.name: s.read(take) for s in streams}
+                done += take
+    except (zipfile.BadZipFile, ValueError, EOFError, OSError) as exc:
+        raise TraceIntegrityError(
+            f"trace file {path} is corrupt or truncated ({exc}); "
+            "re-run the producing command — writes are atomic, so this "
+            "usually means the file was damaged after it was written"
+        ) from None
+
+
+def iter_drive_days(
+    source: DriveDayDataset | str | Path, chunk_rows: int = 4096
+) -> Iterator[dict[str, Any]]:
+    """Yield one record dict per drive-day, in ``(drive_id, age_days)`` order.
+
+    Built on :func:`iter_drive_day_chunks`, so a path is streamed without
+    materializing the full arrays.  Values are NumPy scalars (exact — no
+    float round-trips), keyed by column name.
+    """
+    for chunk in iter_drive_day_chunks(source, chunk_rows=chunk_rows):
+        names = list(chunk)
+        cols = [chunk[name] for name in names]
+        for i in range(len(cols[0])):
+            yield {name: col[i] for name, col in zip(names, cols)}
 
 
 def export_dataset_csv(

@@ -156,7 +156,18 @@ MANIFEST_SCHEMA: dict[str, Any] = {
     ],
     "properties": {
         "schema_version": {"type": "integer"},
-        "command": {"type": "string", "enum": ["simulate", "train", "score"]},
+        "command": {
+            "type": "string",
+            "enum": [
+                "simulate",
+                "train",
+                "score",
+                "serve.replay",
+                "serve.bench",
+                "serve.run",
+                "serve.publish",
+            ],
+        },
         "argv": {"type": "array", "items": {"type": "string"}},
         "created_unix": {"type": "number"},
         "elapsed_seconds": {"type": "number"},

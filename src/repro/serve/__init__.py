@@ -1,0 +1,44 @@
+"""Online scoring service: incremental features, model registry, engine.
+
+The batch pipeline (simulate → train → score) answers "how well would
+the paper's models have predicted failures"; this package answers "how
+would those models run in production".  Four pieces:
+
+- :mod:`repro.serve.feature_store` — per-drive incremental state that
+  reproduces the batch feature rows bit-for-bit, one event at a time;
+- :mod:`repro.serve.registry` — versioned model artifacts with
+  publish/activate/rollback and schema-hash compatibility gating;
+- :mod:`repro.serve.batching` — size/wait-bounded micro-batching of
+  scoring requests;
+- :mod:`repro.serve.engine` — the request loop tying them together,
+  with replay/backfill over recorded traces.
+
+The cornerstone invariant is *online/offline parity*: for any trace,
+streaming it through the engine yields exactly the probabilities the
+offline ``score`` pipeline computes (``serve replay`` verifies this
+bit-for-bit; see DESIGN.md §13).
+"""
+
+from .batching import BatchPolicy, MicroBatcher
+from .engine import ReplayResult, ScoredEvent, ScoringEngine
+from .feature_store import (
+    FeatureStore,
+    FeatureStoreError,
+    OutOfOrderError,
+    SchemaMismatchError,
+)
+from .registry import ModelRegistry, RegistryError
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "ScoredEvent",
+    "ReplayResult",
+    "ScoringEngine",
+    "FeatureStore",
+    "FeatureStoreError",
+    "OutOfOrderError",
+    "SchemaMismatchError",
+    "ModelRegistry",
+    "RegistryError",
+]

@@ -1,0 +1,89 @@
+"""Micro-batching for scoring requests.
+
+Vectorized forest scoring amortizes per-call overhead across rows, so
+the engine holds pending requests briefly and scores them together.
+Two bounds control the trade-off (the classic serving knobs):
+
+- ``max_batch_size`` — flush as soon as this many requests are pending
+  (throughput bound);
+- ``max_wait_seconds`` — flush once the *oldest* pending request has
+  waited this long (latency bound); ``0`` flushes on every add, i.e.
+  unbatched operation.
+
+The clock is injectable so tests (and the deterministic replay harness)
+can drive time explicitly; batching never affects score *values* — rows
+are independent under :meth:`FailurePredictor.predict_proba_matrix` —
+only latency and throughput.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["BatchPolicy", "MicroBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Flush bounds for the micro-batcher."""
+
+    max_batch_size: int = 256
+    max_wait_seconds: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_wait_seconds < 0:
+            raise ValueError("max_wait_seconds must be >= 0")
+
+
+class MicroBatcher:
+    """Accumulates requests and emits them in flush-bounded batches.
+
+    Not thread-safe on its own — the engine serializes access.  Each
+    pending entry is ``(enqueued_at, request)``; flushed batches preserve
+    arrival order, so downstream scoring is deterministic.
+    """
+
+    def __init__(
+        self,
+        policy: BatchPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy or BatchPolicy()
+        self.clock = clock
+        self._pending: list[tuple[float, Any]] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    @property
+    def oldest_wait(self) -> float:
+        """Seconds the oldest pending request has been waiting (0 if none)."""
+        if not self._pending:
+            return 0.0
+        return self.clock() - self._pending[0][0]
+
+    def add(self, request: Any) -> list[Any] | None:
+        """Enqueue one request; returns a flushed batch when a bound trips."""
+        self._pending.append((self.clock(), request))
+        if len(self._pending) >= self.policy.max_batch_size:
+            return self.flush()
+        if self.oldest_wait >= self.policy.max_wait_seconds:
+            return self.flush()
+        return None
+
+    def poll(self) -> list[Any] | None:
+        """Flush if the oldest pending request exceeded the wait bound."""
+        if self._pending and self.oldest_wait >= self.policy.max_wait_seconds:
+            return self.flush()
+        return None
+
+    def flush(self) -> list[Any]:
+        """Emit every pending request (possibly empty), oldest first."""
+        batch = [req for _, req in self._pending]
+        self._pending.clear()
+        return batch

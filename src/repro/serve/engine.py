@@ -1,0 +1,312 @@
+"""Online scoring engine: ingest telemetry, micro-batch, predict.
+
+The request loop of :mod:`repro.serve`: every incoming drive-day event
+is folded into the :class:`~repro.serve.feature_store.FeatureStore`
+(producing its feature row through the shared kernel) and queued as a
+scoring request; the :class:`~repro.serve.batching.MicroBatcher` flushes
+pending requests by size/wait bounds into one vectorized
+:meth:`~repro.core.predictor.FailurePredictor.predict_proba_matrix`
+call.  Large flushed batches (backfills) optionally fan out across
+:mod:`repro.parallel` workers under a :mod:`repro.resilience`
+supervision policy — scores are bit-identical for any batch split and
+worker count, so batching and parallelism are pure throughput knobs.
+
+Instrumentation (``repro.serve.*`` spans, ``repro_serve_*`` metrics)
+rides the ambient :mod:`repro.obs` collectors, Prometheus-exportable
+like every other stage.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable, Mapping
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.features import feature_names, feature_schema_hash
+from ..core.predictor import FailurePredictor
+from ..data.io import iter_drive_day_chunks
+from ..data.dataset import DriveDayDataset
+from ..obs import metrics, tracing
+from .batching import BatchPolicy, MicroBatcher
+from .feature_store import FeatureStore, SchemaMismatchError
+
+__all__ = ["ScoredEvent", "ReplayResult", "ScoringEngine"]
+
+#: Flushed batches at least this large fan out across workers (when the
+#: engine was given ``workers > 1``); smaller batches stay in-process —
+#: pool dispatch overhead would dominate.
+BACKFILL_MIN_ROWS = 2048
+
+
+@dataclass(frozen=True)
+class ScoredEvent:
+    """One scored drive-day."""
+
+    drive_id: int
+    age_days: int
+    probability: float
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of streaming a trace through the engine."""
+
+    probability: np.ndarray
+    n_events: int
+    n_batches: int
+    elapsed_seconds: float
+
+    @property
+    def events_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.n_events / self.elapsed_seconds
+
+
+class ScoringEngine:
+    """Ties the feature store, micro-batcher, and predictor together.
+
+    Parameters
+    ----------
+    predictor:
+        A fitted :class:`FailurePredictor` (typically loaded from the
+        :class:`~repro.serve.registry.ModelRegistry`).
+    store:
+        Feature store to fold events into; a fresh one by default.
+    batch_policy:
+        Micro-batching bounds; default flushes at 256 requests / 5 ms.
+    workers, policy, supervision:
+        Execution controls applied to large flushed batches (see
+        :data:`BACKFILL_MIN_ROWS`): worker processes for sharded predict
+        plus an optional resilience supervision policy.
+    clock:
+        Injectable monotonic clock (tests, deterministic replays).
+    """
+
+    def __init__(
+        self,
+        predictor: FailurePredictor,
+        store: FeatureStore | None = None,
+        batch_policy: BatchPolicy | None = None,
+        workers: int | None = None,
+        policy: Any | None = None,
+        supervision: Any | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        names = predictor.feature_names
+        if names is None:
+            raise ValueError("ScoringEngine needs a fitted predictor")
+        if tuple(names) != feature_names():
+            raise SchemaMismatchError(
+                "predictor was fitted on a different feature layout than "
+                f"this build produces (schema {feature_schema_hash()[:12]}…); "
+                "retrain or activate a compatible registry version"
+            )
+        self.predictor = predictor
+        # Not `store or ...`: an empty store is falsy via __len__.
+        self.store = store if store is not None else FeatureStore()
+        self.clock = clock
+        self.batcher = MicroBatcher(batch_policy, clock=clock)
+        self.workers = workers
+        self.policy = policy
+        self.supervision = supervision
+        self.requests_total = 0
+        self.batches_total = 0
+
+    # ------------------------------------------------------------------ ingest
+    def ingest(self, record: Mapping[str, Any]) -> np.ndarray:
+        """Fold one event into the store without requesting a score."""
+        row = self.store.ingest(record)
+        metrics.inc(
+            "repro_serve_events_total",
+            help="Telemetry events absorbed by the serving feature store",
+        )
+        return row
+
+    # ------------------------------------------------------------------ request loop
+    def submit(self, record: Mapping[str, Any]) -> list[ScoredEvent]:
+        """Ingest one event and request a score for it.
+
+        Returns the scored events flushed by this submission — usually
+        empty until a batch bound trips, then the whole batch at once.
+        """
+        row = self.ingest(record)
+        request = (int(record["drive_id"]), int(record["age_days"]), row)
+        self.requests_total += 1
+        metrics.inc(
+            "repro_serve_requests_total",
+            help="Scoring requests accepted by the engine",
+        )
+        batch = self.batcher.add(request)
+        if batch is None:
+            return []
+        return self._score_batch(batch)
+
+    def poll(self) -> list[ScoredEvent]:
+        """Flush by wait-bound only (idle tick of the request loop)."""
+        batch = self.batcher.poll()
+        if not batch:
+            return []
+        return self._score_batch(batch)
+
+    def drain(self) -> list[ScoredEvent]:
+        """Score everything still pending (stream end / shutdown)."""
+        batch = self.batcher.flush()
+        if not batch:
+            return []
+        return self._score_batch(batch)
+
+    def _score_rows(self, X: np.ndarray, ages: np.ndarray) -> np.ndarray:
+        """Vectorized predict; fans out only for backfill-sized batches."""
+        workers = self.workers if X.shape[0] >= BACKFILL_MIN_ROWS else 1
+        return self.predictor.predict_proba_matrix(
+            X,
+            ages,
+            workers=workers,
+            policy=self.policy if workers and workers > 1 else None,
+            supervision=self.supervision,
+        )
+
+    def _score_batch(self, batch: list[tuple]) -> list[ScoredEvent]:
+        t0 = self.clock()
+        with tracing.span("repro.serve.score_batch", rows_in=len(batch)) as sp:
+            X = np.stack([row for _, _, row in batch])
+            ages = np.asarray([age for _, age, _ in batch], dtype=np.int64)
+            probs = self._score_rows(X, ages)
+            sp.set(rows_out=len(batch))
+        self.batches_total += 1
+        metrics.inc(
+            "repro_serve_batches_total",
+            help="Micro-batches scored by the engine",
+        )
+        metrics.observe(
+            "repro_serve_batch_size",
+            float(len(batch)),
+            help="Scoring requests per flushed micro-batch",
+        )
+        metrics.observe(
+            "repro_serve_score_seconds",
+            self.clock() - t0,
+            help="Wall time of one vectorized scoring call",
+        )
+        return [
+            ScoredEvent(drive_id=d, age_days=a, probability=float(p))
+            for (d, a, _), p in zip(batch, probs)
+        ]
+
+    # ------------------------------------------------------------------ replay
+    def replay(
+        self,
+        source: DriveDayDataset | str | Path,
+        chunk_rows: int = 4096,
+        start_row: int = 0,
+        snapshot_every: int | None = None,
+        snapshot_path: str | Path | None = None,
+        progress: Callable[[int], None] | None = None,
+    ) -> ReplayResult:
+        """Stream a trace through the online path, scoring every event.
+
+        Events arrive in the stored ``(drive_id, age_days)`` order via
+        :func:`repro.data.iter_drive_day_chunks`; each chunk folds into
+        the store in one vectorized pass and its rows are scored through
+        the same predict kernel as interactive requests.  The returned
+        probabilities align with the source's row order, so they compare
+        elementwise against the offline
+        :meth:`FailurePredictor.predict_proba_records` output — the
+        online/offline parity gate.
+
+        ``start_row`` skips that many leading rows *without ingesting
+        them* — for resuming a killed replay from a restored store whose
+        ``events_total`` says how far it got (the skipped rows are
+        already folded into the restored state).
+
+        ``snapshot_every``/``snapshot_path`` persist the store every N
+        events (crash-safe serving: a killed replay restores the last
+        snapshot and resumes with identical subsequent scores).
+        """
+        t0 = self.clock()
+        parts: list[np.ndarray] = []
+        n_events = 0
+        batches_before = self.batches_total
+        since_snapshot = 0
+        to_skip = int(start_row)
+        with tracing.span("repro.serve.replay") as sp:
+            for chunk in iter_drive_day_chunks(source, chunk_rows=chunk_rows):
+                if to_skip > 0:
+                    have = len(chunk["drive_id"])
+                    if have <= to_skip:
+                        to_skip -= have
+                        continue
+                    chunk = {k: v[to_skip:] for k, v in chunk.items()}
+                    to_skip = 0
+                X = self.store.ingest_columns(chunk)
+                m = X.shape[0]
+                ages = np.asarray(chunk["age_days"], dtype=np.int64)
+                with tracing.span(
+                    "repro.serve.score_batch", rows_in=m, rows_out=m
+                ):
+                    probs = self._score_rows(X, ages)
+                self.batches_total += 1
+                metrics.inc(
+                    "repro_serve_events_total",
+                    m,
+                    help="Telemetry events absorbed by the serving feature store",
+                )
+                metrics.inc(
+                    "repro_serve_requests_total",
+                    m,
+                    help="Scoring requests accepted by the engine",
+                )
+                metrics.inc(
+                    "repro_serve_batches_total",
+                    help="Micro-batches scored by the engine",
+                )
+                metrics.observe(
+                    "repro_serve_batch_size",
+                    float(m),
+                    help="Scoring requests per flushed micro-batch",
+                )
+                parts.append(probs)
+                n_events += m
+                since_snapshot += m
+                if (
+                    snapshot_every is not None
+                    and snapshot_path is not None
+                    and since_snapshot >= snapshot_every
+                ):
+                    self.store.snapshot(snapshot_path)
+                    since_snapshot = 0
+                if progress is not None:
+                    progress(n_events)
+            sp.set(rows_in=n_events, rows_out=n_events)
+        if snapshot_every is not None and snapshot_path is not None:
+            self.store.snapshot(snapshot_path)
+        elapsed = self.clock() - t0
+        metrics.set_gauge(
+            "repro_serve_store_drives",
+            float(self.store.n_drives),
+            help="Drives with live state in the serving feature store",
+        )
+        return ReplayResult(
+            probability=np.concatenate(parts) if parts else np.empty(0),
+            n_events=n_events,
+            n_batches=self.batches_total - batches_before,
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------ misc
+    def score_stream(
+        self, records: Iterable[Mapping[str, Any]]
+    ) -> Iterable[ScoredEvent]:
+        """Generator transport: events in, scored events out (in order).
+
+        Used by the stdin/stdout JSONL loop of ``serve run``; flushes
+        whatever is pending when the input stream ends.
+        """
+        for record in records:
+            yield from self.submit(record)
+        yield from self.drain()

@@ -1,0 +1,315 @@
+"""Incremental per-drive feature state for online scoring.
+
+The batch path (:func:`repro.core.features.build_features`) recomputes
+lifetime-cumulative counters over the whole sorted dataset.  Online, a
+drive-day arrives one event at a time; the :class:`FeatureStore` keeps
+one running-sum vector per drive and produces feature rows through the
+*same* kernel (:func:`repro.core.features.assemble_features`), so a
+row's value depends only on the record and the drive's cumulative
+counters — never on which path accumulated them.  Counter columns are
+integer-valued (see ``core.features``), so float64 running sums match
+the batch prefix sums bit-for-bit.
+
+Two ingest shapes share one code path:
+
+- :meth:`FeatureStore.ingest` — a single record mapping (the stdin
+  transport of ``serve run``);
+- :meth:`FeatureStore.ingest_columns` — a column-dict chunk in
+  ``(drive_id, age_days)`` order (the replay/backfill hot path), which
+  folds whole per-drive runs with vectorized segment cumsums.
+
+State snapshots go through :func:`repro.reliability.runner.atomic_save_npz`
+— deterministic bytes (rows sorted by drive id, fixed zip timestamps), so
+``snapshot → restore → snapshot`` round-trips bit-identically and a
+SIGKILLed server resumes with exactly the scores it would have produced.
+"""
+
+from __future__ import annotations
+
+import threading
+import zipfile
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from ..core.features import (
+    DAILY_FEATURE_SOURCES,
+    assemble_features,
+    daily_matrix,
+    feature_names,
+    feature_schema_hash,
+)
+
+__all__ = [
+    "FeatureStoreError",
+    "SchemaMismatchError",
+    "OutOfOrderError",
+    "FeatureStore",
+]
+
+_N_SOURCES = len(DAILY_FEATURE_SOURCES)
+
+
+class FeatureStoreError(RuntimeError):
+    """A feature-store snapshot is unreadable or inconsistent."""
+
+
+class SchemaMismatchError(FeatureStoreError):
+    """Persisted state was built for a different feature layout."""
+
+
+class OutOfOrderError(FeatureStoreError):
+    """A record arrived for a drive-day older than already-absorbed state.
+
+    Cumulative features fold left over age; replaying the past into a
+    live store would silently double-count, so the store refuses.
+    """
+
+
+class FeatureStore:
+    """Per-drive cumulative state + the online feature extractor.
+
+    Thread-safe: ingest and snapshot take an internal lock, so a
+    snapshot taken concurrently with ingestion is always a consistent
+    prefix of the event stream.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.schema_hash = feature_schema_hash()
+        self._lock = threading.Lock()
+        self._index: dict[int, int] = {}
+        self._cum = np.zeros((max(capacity, 1), _N_SOURCES), dtype=np.float64)
+        self._last_age = np.full(max(capacity, 1), -1, dtype=np.int64)
+        self._rows = np.zeros(max(capacity, 1), dtype=np.int64)
+        self.events_total = 0
+
+    # ------------------------------------------------------------------ state
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def n_drives(self) -> int:
+        return len(self._index)
+
+    def _grow(self, need: int) -> None:
+        cap = self._cum.shape[0]
+        if need <= cap:
+            return
+        new_cap = max(cap * 2, need)
+        cum = np.zeros((new_cap, _N_SOURCES), dtype=np.float64)
+        cum[:cap] = self._cum
+        last = np.full(new_cap, -1, dtype=np.int64)
+        last[:cap] = self._last_age
+        rows = np.zeros(new_cap, dtype=np.int64)
+        rows[:cap] = self._rows
+        self._cum, self._last_age, self._rows = cum, last, rows
+
+    def _slot(self, drive_id: int) -> int:
+        slot = self._index.get(drive_id)
+        if slot is None:
+            slot = len(self._index)
+            self._grow(slot + 1)
+            self._index[drive_id] = slot
+        return slot
+
+    def drive_state(self, drive_id: int) -> dict[str, Any] | None:
+        """Cumulative counters + bookkeeping for one drive (copy)."""
+        with self._lock:
+            slot = self._index.get(int(drive_id))
+            if slot is None:
+                return None
+            return {
+                "cumulative": dict(
+                    zip(DAILY_FEATURE_SOURCES, self._cum[slot].tolist())
+                ),
+                "last_age_days": int(self._last_age[slot]),
+                "n_records": int(self._rows[slot]),
+            }
+
+    # ------------------------------------------------------------------ ingest
+    def ingest(self, record: Mapping[str, Any]) -> np.ndarray:
+        """Absorb one drive-day record; returns its feature row.
+
+        ``record`` maps column names to scalars (the full daily schema:
+        identity, workload, status, bad-block and error columns).
+        """
+        with self._lock:
+            drive_id = int(record["drive_id"])
+            age = int(record["age_days"])
+            slot = self._slot(drive_id)
+            if age < self._last_age[slot]:
+                raise OutOfOrderError(
+                    f"drive {drive_id}: record for age {age}d arrived after "
+                    f"state already at {int(self._last_age[slot])}d"
+                )
+            daily = np.empty((1, _N_SOURCES), dtype=np.float64)
+            for j, src in enumerate(DAILY_FEATURE_SOURCES):
+                daily[0, j] = record[src]
+            self._cum[slot] += daily[0]
+            self._last_age[slot] = age
+            self._rows[slot] += 1
+            self.events_total += 1
+            bad = float(record["factory_bad_blocks"]) + float(
+                record["grown_bad_blocks"]
+            )
+            return assemble_features(
+                daily,
+                self._cum[slot][None, :].copy(),
+                age_days=np.array([age], dtype=np.float64),
+                pe_cycles=np.array([float(record["pe_cycles"])]),
+                bad_blocks=np.array([bad]),
+                status_read_only=np.array(
+                    [float(record["status_read_only"])]
+                ),
+                status_dead=np.array([float(record["status_dead"])]),
+            )[0]
+
+    def ingest_columns(self, cols: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Absorb a chunk of records; returns the ``(m, k)`` feature rows.
+
+        Rows must be grouped by drive with ages non-decreasing inside
+        each group — the order :func:`repro.data.iter_drive_day_chunks`
+        streams and any per-day batch trivially satisfies.  Whole
+        per-drive runs fold in one vectorized pass: a chunk-local segment
+        cumsum plus the drive's carried-in baseline.
+        """
+        ids = np.asarray(cols["drive_id"]).astype(np.int64, copy=False)
+        m = ids.shape[0]
+        if m == 0:
+            return np.empty((0, len(feature_names())))
+        age = np.asarray(cols["age_days"]).astype(np.int64, copy=False)
+        daily = daily_matrix(cols)
+        with self._lock:
+            # Segment boundaries of the per-drive runs inside this chunk.
+            change = np.flatnonzero(ids[1:] != ids[:-1]) + 1
+            starts = np.concatenate(([0], change))
+            ends = np.concatenate((change, [m]))
+            run_ids = ids[starts]
+            if len(np.unique(run_ids)) != len(run_ids):
+                raise OutOfOrderError(
+                    "chunk interleaves records of the same drive; rows must "
+                    "be grouped by drive (stream them in (drive, day) order)"
+                )
+            # Ages must be non-decreasing within each run …
+            inner_ok = (ids[1:] != ids[:-1]) | (age[1:] >= age[:-1])
+            if not bool(np.all(inner_ok)):
+                raise OutOfOrderError(
+                    "chunk rows are not age-sorted within a drive run"
+                )
+            slots = np.fromiter(
+                (self._slot(int(d)) for d in run_ids),
+                dtype=np.int64,
+                count=len(run_ids),
+            )
+            # … and start at or after the state already absorbed.
+            stale = age[starts] < self._last_age[slots]
+            if bool(np.any(stale)):
+                bad = int(run_ids[np.flatnonzero(stale)[0]])
+                raise OutOfOrderError(
+                    f"drive {bad}: chunk rewinds to an age older than the "
+                    "already-absorbed state"
+                )
+            # Chunk-local per-run prefix sums (same trick as
+            # DriveDayDataset.grouped_cumsum), shifted by each run's
+            # carried-in cumulative baseline.
+            total = np.cumsum(daily, axis=0)
+            base_local = np.where(
+                (starts > 0)[:, None], total[np.maximum(starts - 1, 0)], 0.0
+            )
+            lengths = ends - starts
+            baseline = self._cum[slots] - base_local
+            cum = total + np.repeat(baseline, lengths, axis=0)
+            # Carry the run totals into the store state.
+            self._cum[slots] = cum[ends - 1]
+            self._last_age[slots] = age[ends - 1]
+            self._rows[slots] += lengths
+            self.events_total += m
+            bad_blocks = np.asarray(cols["factory_bad_blocks"]).astype(
+                np.float64
+            ) + np.asarray(cols["grown_bad_blocks"]).astype(np.float64)
+            return assemble_features(
+                daily,
+                cum,
+                age_days=np.asarray(cols["age_days"]),
+                pe_cycles=np.asarray(cols["pe_cycles"]),
+                bad_blocks=bad_blocks,
+                status_read_only=np.asarray(cols["status_read_only"]),
+                status_dead=np.asarray(cols["status_dead"]),
+            )
+
+    # ------------------------------------------------------------------ persistence
+    def snapshot(self, path: str | Path) -> Path:
+        """Atomically persist the store state; returns the path.
+
+        The snapshot is deterministic: drives are sorted by id and the
+        NPZ writer pins zip timestamps, so equal states produce equal
+        bytes (the chaos drill compares snapshot digests directly).
+        """
+        from ..reliability.runner import atomic_save_npz
+
+        path = Path(path)
+        with self._lock:
+            ids = np.fromiter(
+                self._index.keys(), dtype=np.int64, count=len(self._index)
+            )
+            slots = np.fromiter(
+                self._index.values(), dtype=np.int64, count=len(self._index)
+            )
+            order = np.argsort(ids, kind="stable")
+            ids, slots = ids[order], slots[order]
+            atomic_save_npz(
+                path,
+                schema_hash=np.frombuffer(
+                    self.schema_hash.encode(), dtype=np.uint8
+                ),
+                drive_id=ids,
+                cumulative=self._cum[slots],
+                last_age_days=self._last_age[slots],
+                n_records=self._rows[slots],
+                events_total=np.array([self.events_total], dtype=np.int64),
+            )
+        return path
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "FeatureStore":
+        """Rebuild a store from a snapshot; schema-hash checked."""
+        path = Path(path)
+        try:
+            with np.load(path) as payload:
+                arrays = {k: payload[k] for k in payload.files}
+        except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+            raise FeatureStoreError(
+                f"feature-store snapshot {path} is unreadable ({exc})"
+            ) from None
+        required = {
+            "schema_hash",
+            "drive_id",
+            "cumulative",
+            "last_age_days",
+            "n_records",
+            "events_total",
+        }
+        missing = required - set(arrays)
+        if missing:
+            raise FeatureStoreError(
+                f"snapshot {path} is missing arrays: {sorted(missing)}"
+            )
+        persisted = arrays["schema_hash"].tobytes().decode()
+        store = cls(capacity=max(len(arrays["drive_id"]), 1))
+        if persisted != store.schema_hash:
+            raise SchemaMismatchError(
+                f"snapshot {path} was written for feature schema "
+                f"{persisted[:12]}…, this build produces "
+                f"{store.schema_hash[:12]}…; retrain/re-ingest instead of "
+                "restoring"
+            )
+        ids = arrays["drive_id"]
+        store._index = {int(d): i for i, d in enumerate(ids)}
+        n = len(ids)
+        store._cum[:n] = arrays["cumulative"]
+        store._last_age[:n] = arrays["last_age_days"]
+        store._rows[:n] = arrays["n_records"]
+        store.events_total = int(arrays["events_total"][0])
+        return store

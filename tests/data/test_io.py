@@ -158,3 +158,82 @@ class TestIntegrityErrors:
         save_swaplog_npz(small_trace.swaps, tmp_path / "swaps.npz")
         names = sorted(p.name for p in tmp_path.iterdir())
         assert names == ["drives.npz", "records.npz", "swaps.npz"]
+
+
+class TestStreamingIterators:
+    """`iter_drive_days` / `iter_drive_day_chunks` vs the eager loader."""
+
+    def test_iter_drive_days_matches_eager_loader(self, small_trace, tmp_path):
+        from repro.data import iter_drive_days
+
+        path = tmp_path / "records.npz"
+        save_dataset_npz(small_trace.records, path)
+        eager = load_dataset_npz(path)
+        names = eager.column_names
+        count = 0
+        for i, record in enumerate(iter_drive_days(path)):
+            assert set(record) == set(names)
+            for name in names:
+                eager_value = eager[name][i]
+                assert record[name] == eager_value
+                assert record[name].dtype == np.asarray(eager[name]).dtype
+            count += 1
+        assert count == len(eager)
+
+    def test_iter_drive_days_from_dataset(self, small_trace):
+        from repro.data import iter_drive_days
+
+        ds = small_trace.records
+        ids = [rec["drive_id"] for rec in iter_drive_days(ds)]
+        assert np.array_equal(np.array(ids), np.asarray(ds["drive_id"]))
+
+    def test_chunks_from_path_match_dataset(self, small_trace, tmp_path):
+        from repro.data import iter_drive_day_chunks
+
+        path = tmp_path / "records.npz"
+        save_dataset_npz(small_trace.records, path)
+        for name in small_trace.records.column_names:
+            streamed = np.concatenate(
+                [c[name] for c in iter_drive_day_chunks(path, chunk_rows=97)]
+            )
+            column = np.asarray(small_trace.records[name])
+            assert streamed.dtype == column.dtype
+            assert np.array_equal(streamed, column, equal_nan=np.issubdtype(
+                column.dtype, np.floating
+            ))
+
+    def test_chunk_boundaries(self, small_trace):
+        from repro.data import iter_drive_day_chunks
+
+        n = len(small_trace.records)
+        chunk_rows = 100
+        sizes = [
+            len(c["drive_id"])
+            for c in iter_drive_day_chunks(small_trace.records, chunk_rows=chunk_rows)
+        ]
+        assert sum(sizes) == n
+        assert all(s == chunk_rows for s in sizes[:-1])
+        assert 0 < sizes[-1] <= chunk_rows
+
+    def test_bad_chunk_rows_rejected(self, small_trace):
+        from repro.data import iter_drive_day_chunks
+
+        with pytest.raises(ValueError, match="chunk_rows"):
+            next(iter_drive_day_chunks(small_trace.records, chunk_rows=0))
+
+    def test_missing_file_actionable(self, tmp_path):
+        from repro.data import TraceIntegrityError, iter_drive_day_chunks
+
+        with pytest.raises(TraceIntegrityError, match="does not exist"):
+            next(iter_drive_day_chunks(tmp_path / "absent.npz"))
+
+    def test_truncated_file_detected(self, small_trace, tmp_path):
+        from repro.data import TraceIntegrityError, iter_drive_day_chunks
+        from repro.reliability import truncate_file
+
+        path = tmp_path / "records.npz"
+        save_dataset_npz(small_trace.records, path)
+        truncate_file(path, keep_fraction=0.3)
+        with pytest.raises(TraceIntegrityError):
+            for _ in iter_drive_day_chunks(path, chunk_rows=64):
+                pass

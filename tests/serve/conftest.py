@@ -1,0 +1,37 @@
+"""Shared fixtures for the serving tests: one fleet, one fitted model.
+
+Session-scoped so the (comparatively slow) simulate + fit runs once for
+the whole ``tests/serve`` directory; every test that mutates state
+builds its own :class:`FeatureStore`/:class:`ScoringEngine` on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FailurePredictor
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+@pytest.fixture(scope="session")
+def serve_trace():
+    """~30 drives over ~10 months: big enough for multi-chunk replays."""
+    return simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=10,
+            horizon_days=300,
+            deploy_spread_days=150,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def predictor(serve_trace):
+    return FailurePredictor(lookahead=7, seed=3).fit(serve_trace)
+
+
+@pytest.fixture(scope="session")
+def offline_probs(serve_trace, predictor):
+    """The batch pipeline's scores — the parity baseline everywhere."""
+    return predictor.predict_proba_records(serve_trace.records)

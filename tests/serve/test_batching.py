@@ -1,0 +1,81 @@
+"""Micro-batcher: flush bounds, ordering, policy validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import BatchPolicy, MicroBatcher
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestBatchPolicy:
+    def test_defaults(self):
+        policy = BatchPolicy()
+        assert policy.max_batch_size == 256
+        assert policy.max_wait_seconds == 0.005
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"max_batch_size": 0}, {"max_wait_seconds": -1.0}]
+    )
+    def test_rejects_bad_bounds(self, kwargs):
+        with pytest.raises(ValueError):
+            BatchPolicy(**kwargs)
+
+
+class TestMicroBatcher:
+    def test_size_bound_flushes(self):
+        clock = FakeClock()
+        mb = MicroBatcher(BatchPolicy(max_batch_size=3, max_wait_seconds=60), clock)
+        assert mb.add("a") is None
+        assert mb.add("b") is None
+        assert mb.add("c") == ["a", "b", "c"]
+        assert len(mb) == 0
+
+    def test_wait_bound_flushes_on_add(self):
+        clock = FakeClock()
+        mb = MicroBatcher(BatchPolicy(max_batch_size=100, max_wait_seconds=1.0), clock)
+        assert mb.add("a") is None
+        clock.advance(2.0)
+        assert mb.add("b") == ["a", "b"]
+
+    def test_poll_flushes_by_wait_only(self):
+        clock = FakeClock()
+        mb = MicroBatcher(BatchPolicy(max_batch_size=100, max_wait_seconds=1.0), clock)
+        mb.add("a")
+        assert mb.poll() is None
+        clock.advance(1.0)
+        assert mb.poll() == ["a"]
+        assert mb.poll() is None
+
+    def test_zero_wait_disables_batching(self):
+        clock = FakeClock()
+        mb = MicroBatcher(BatchPolicy(max_batch_size=100, max_wait_seconds=0.0), clock)
+        assert mb.add("a") == ["a"]
+        assert mb.add("b") == ["b"]
+
+    def test_flush_preserves_arrival_order(self):
+        clock = FakeClock()
+        mb = MicroBatcher(BatchPolicy(max_batch_size=100, max_wait_seconds=60), clock)
+        for item in range(5):
+            mb.add(item)
+        assert mb.flush() == [0, 1, 2, 3, 4]
+        assert mb.flush() == []
+
+    def test_oldest_wait_tracks_head(self):
+        clock = FakeClock()
+        mb = MicroBatcher(BatchPolicy(max_batch_size=100, max_wait_seconds=60), clock)
+        assert mb.oldest_wait == 0.0
+        mb.add("a")
+        clock.advance(3.0)
+        mb.add("b")
+        assert mb.oldest_wait == 3.0

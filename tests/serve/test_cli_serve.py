@@ -1,0 +1,386 @@
+"""End-to-end tests of the ``serve`` CLI family."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import load_manifest, validate_manifest
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """simulate -> train -> publish: the fixture every command needs."""
+    root = tmp_path_factory.mktemp("served")
+    fleet = root / "fleet"
+    model = root / "model.pkl"
+    registry = root / "registry"
+    assert (
+        main(
+            [
+                "simulate",
+                "--out",
+                str(fleet),
+                "--drives",
+                "8",
+                "--days",
+                "200",
+                "--deploy-spread",
+                "100",
+                "--seed",
+                "5",
+                "--quiet",
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "train",
+                "--trace",
+                str(fleet),
+                "--model",
+                str(model),
+                "--lookahead",
+                "7",
+                "--seed",
+                "3",
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "serve",
+                "publish",
+                "--model",
+                str(model),
+                "--registry",
+                str(registry),
+                "--training-manifest",
+                str(model) + ".manifest.json",
+                "--activate",
+            ]
+        )
+        == 0
+    )
+    return {"fleet": fleet, "model": model, "registry": registry}
+
+
+class TestParser:
+    def test_serve_subcommands_registered(self):
+        parser = build_parser()
+        argvs = {
+            "replay": ["serve", "replay", "--trace", "x", "--model", "m"],
+            "publish": ["serve", "publish", "--model", "m", "--registry", "r"],
+            "bench": ["serve", "bench"],
+            "run": ["serve", "run", "--model", "m"],
+        }
+        for subcommand, argv in argvs.items():
+            assert parser.parse_args(argv).serve_command == subcommand
+
+    def test_model_and_registry_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", "replay", "--trace", "x", "--model", "m", "--registry", "r"]
+            )
+
+    def test_execution_flags_shared_across_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["simulate", "--out", "x"],
+            ["train", "--trace", "t", "--model", "m"],
+            ["score", "--trace", "t", "--model", "m"],
+            ["serve", "replay", "--trace", "t", "--model", "m"],
+            ["serve", "bench"],
+        ):
+            args = parser.parse_args(argv + ["-j", "2", "--max-retries", "5"])
+            assert args.workers == 2
+            assert args.max_retries == 5
+            assert args.on_poison == "fail"
+
+
+class TestPublish:
+    def test_registry_layout(self, served):
+        registry = served["registry"]
+        assert (registry / "registry.json").exists()
+        meta = json.loads(
+            (registry / "versions" / "v0001" / "meta.json").read_text()
+        )
+        assert "training_manifest_digest" in meta
+        assert (registry / "publish_manifest.json").exists()
+
+    def test_publish_manifest_validates(self, served):
+        data = load_manifest(served["registry"] / "publish_manifest.json")
+        assert validate_manifest(data) == []
+        assert data["command"] == "serve.publish"
+
+
+class TestReplay:
+    def test_replay_from_registry_verifies_parity(
+        self, served, tmp_path, capsys
+    ):
+        out = tmp_path / "scores.jsonl"
+        code = main(
+            [
+                "serve",
+                "replay",
+                "--trace",
+                str(served["fleet"]),
+                "--registry",
+                str(served["registry"]),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "bit-for-bit" in capsys.readouterr().out
+        lines = [json.loads(s) for s in out.read_text().splitlines()]
+        assert lines and set(lines[0]) == {
+            "drive_id",
+            "age_days",
+            "probability",
+        }
+
+    def test_replay_from_model_with_workers(self, served, capsys):
+        code = main(
+            [
+                "serve",
+                "replay",
+                "--trace",
+                str(served["fleet"]),
+                "--model",
+                str(served["model"]),
+                "-j",
+                "2",
+            ]
+        )
+        assert code == 0
+
+    def test_replay_manifest_validates(self, served):
+        main(
+            [
+                "serve",
+                "replay",
+                "--trace",
+                str(served["fleet"]),
+                "--registry",
+                str(served["registry"]),
+            ]
+        )
+        data = load_manifest(served["fleet"] / "serve_replay_manifest.json")
+        assert validate_manifest(data) == []
+        assert data["command"] == "serve.replay"
+        assert data["results"]["diverged"] == 0
+        assert data["results"]["events_per_second"] > 0
+
+    def test_divergence_exits_one(self, served, monkeypatch, capsys):
+        # Fabricate a divergence: perturb one online score after replay.
+        from repro import cli as cli_mod
+        from repro.serve import ScoringEngine
+
+        original = ScoringEngine.replay
+
+        def skewed(self, *args, **kwargs):
+            result = original(self, *args, **kwargs)
+            result.probability[0] += 0.5
+            return result
+
+        monkeypatch.setattr(cli_mod.ScoringEngine, "replay", skewed)
+        code = main(
+            [
+                "serve",
+                "replay",
+                "--trace",
+                str(served["fleet"]),
+                "--registry",
+                str(served["registry"]),
+                "--no-manifest",
+            ]
+        )
+        assert code == 1
+        assert "DIVERGED" in capsys.readouterr().err
+
+    def test_snapshot_then_resume(self, served, tmp_path, capsys):
+        snap = tmp_path / "store.npz"
+        assert (
+            main(
+                [
+                    "serve",
+                    "replay",
+                    "--trace",
+                    str(served["fleet"]),
+                    "--registry",
+                    str(served["registry"]),
+                    "--snapshot",
+                    str(snap),
+                    "--snapshot-every",
+                    "500",
+                    "--no-manifest",
+                ]
+            )
+            == 0
+        )
+        assert snap.exists()
+        code = main(
+            [
+                "serve",
+                "replay",
+                "--trace",
+                str(served["fleet"]),
+                "--registry",
+                str(served["registry"]),
+                "--restore",
+                str(snap),
+                "--no-manifest",
+            ]
+        )
+        assert code == 0
+        assert "resumed past" in capsys.readouterr().out
+
+    def test_missing_trace_dir_exits_two(self, served, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "replay",
+                "--trace",
+                str(tmp_path / "absent"),
+                "--model",
+                str(served["model"]),
+            ]
+        )
+        assert code == 2
+
+    def test_tampered_registry_exits_two(self, served, tmp_path, capsys):
+        meta_path = (
+            served["registry"] / "versions" / "v0001" / "meta.json"
+        )
+        original = meta_path.read_text()
+        meta = json.loads(original)
+        meta["model_digest"] = "0" * 64
+        meta_path.write_text(json.dumps(meta))
+        try:
+            code = main(
+                [
+                    "serve",
+                    "replay",
+                    "--trace",
+                    str(served["fleet"]),
+                    "--registry",
+                    str(served["registry"]),
+                ]
+            )
+        finally:
+            meta_path.write_text(original)
+        assert code == 2
+        assert "corrupt" in capsys.readouterr().err
+
+
+class TestRun:
+    def _events(self, fleet, n=400):
+        import itertools
+
+        from repro.data.io import iter_drive_days, load_dataset_npz
+
+        ds = load_dataset_npz(fleet / "records.npz")
+        return [
+            {k: v.item() for k, v in record.items()}
+            for record in itertools.islice(iter_drive_days(ds), n)
+        ]
+
+    def test_stdin_stdout_jsonl_roundtrip(self, served, monkeypatch, capsys):
+        events = self._events(served["fleet"])
+        payload = "\n".join(json.dumps(e) for e in events) + "\n\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        code = main(["serve", "run", "--registry", str(served["registry"])])
+        captured = capsys.readouterr()
+        assert code == 0
+        scored = [json.loads(s) for s in captured.out.splitlines()]
+        assert len(scored) == len(events)
+        # Online transport order matches arrival order.
+        assert [s["drive_id"] for s in scored] == [
+            e["drive_id"] for e in events
+        ]
+        # And the scores equal the offline pipeline over the same rows.
+        import pickle
+
+        from repro.data.io import load_dataset_npz
+
+        with open(served["model"], "rb") as fh:
+            predictor = pickle.load(fh)
+        ds = load_dataset_npz(served["fleet"] / "records.npz")
+        offline = predictor.predict_proba_records(ds)[: len(events)]
+        assert np.array_equal(
+            np.array([s["probability"] for s in scored]), offline
+        )
+
+    def test_snapshot_on_stream_end(self, served, monkeypatch, tmp_path, capsys):
+        events = self._events(served["fleet"], n=50)
+        payload = "\n".join(json.dumps(e) for e in events)
+        snap = tmp_path / "run_store.npz"
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        code = main(
+            [
+                "serve",
+                "run",
+                "--registry",
+                str(served["registry"]),
+                "--snapshot",
+                str(snap),
+            ]
+        )
+        assert code == 0
+        from repro.serve import FeatureStore
+
+        assert FeatureStore.restore(snap).events_total == len(events)
+
+    def test_bad_json_exits_two(self, served, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO("{not json}\n"))
+        code = main(["serve", "run", "--registry", str(served["registry"])])
+        assert code == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_missing_field_exits_two(self, served, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO('{"drive_id": 1, "age_days": 3}\n')
+        )
+        code = main(["serve", "run", "--registry", str(served["registry"])])
+        assert code == 2
+        assert "missing field" in capsys.readouterr().err
+
+
+class TestBench:
+    def test_bench_writes_artifact_and_verifies_parity(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "BENCH_serve.json"
+        code = main(
+            [
+                "serve",
+                "bench",
+                "--drives",
+                "8",
+                "--days",
+                "200",
+                "--seed",
+                "5",
+                "--latency-events",
+                "64",
+                "--json-out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["parity"] is True
+        assert payload["events_per_second"] > 0
+        assert payload["latency_p50_us"] <= payload["latency_p99_us"]
+        data = load_manifest(str(out) + ".manifest.json")
+        assert validate_manifest(data) == []
+        assert data["command"] == "serve.bench"

@@ -1,0 +1,310 @@
+"""Feature store: online/offline parity, ordering, persistence.
+
+The cornerstone invariant (DESIGN.md §13): for any split of the event
+stream — whole-trace, per-chunk, per-day, or one record at a time — the
+store produces exactly the rows :func:`repro.core.features.build_features`
+computes in batch.  All cumulated counters are integer-valued, so the
+float64 running sums are exact and the comparison is ``==``, not
+``allclose``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.features import build_features, feature_names
+from repro.data.io import iter_drive_day_chunks, iter_drive_days
+from repro.reliability import atomic_save_npz, truncate_file
+from repro.serve import (
+    FeatureStore,
+    FeatureStoreError,
+    OutOfOrderError,
+    SchemaMismatchError,
+)
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+def _all_columns(ds):
+    return {name: ds[name] for name in ds.column_names}
+
+
+class TestIngestParity:
+    def test_whole_trace_column_ingest_matches_batch(self, serve_trace):
+        ds = serve_trace.records
+        store = FeatureStore()
+        X = store.ingest_columns(_all_columns(ds))
+        ff = build_features(ds)
+        assert X.shape == ff.X.shape
+        assert np.array_equal(X, ff.X)
+        assert store.events_total == len(ds)
+
+    def test_rowwise_ingest_matches_batch(self, serve_trace):
+        ds = serve_trace.records
+        store = FeatureStore()
+        rows = [store.ingest(rec) for rec in iter_drive_days(ds)]
+        assert np.array_equal(np.vstack(rows), build_features(ds).X)
+
+    @pytest.mark.parametrize("chunk_rows", [7, 256, 4096])
+    def test_chunked_ingest_matches_batch(self, serve_trace, chunk_rows):
+        ds = serve_trace.records
+        store = FeatureStore()
+        parts = [
+            store.ingest_columns(chunk)
+            for chunk in iter_drive_day_chunks(ds, chunk_rows=chunk_rows)
+        ]
+        assert np.array_equal(np.vstack(parts), build_features(ds).X)
+
+    def test_calendar_day_order_matches_batch(self, serve_trace):
+        # Cross-drive arrival order must not matter: stream the fleet
+        # day by day (all drives' records for age a, then age a+1, ...)
+        # and scatter the rows back to their original positions.
+        ds = serve_trace.records
+        ids = np.asarray(ds["drive_id"])
+        ages = np.asarray(ds["age_days"])
+        cols = _all_columns(ds)
+        store = FeatureStore()
+        out = np.empty((len(ds), len(feature_names())))
+        for a in np.unique(ages):
+            idx = np.flatnonzero(ages == a)
+            idx = idx[np.argsort(ids[idx], kind="stable")]
+            chunk = {k: v[idx] for k, v in cols.items()}
+            out[idx] = store.ingest_columns(chunk)
+        assert np.array_equal(out, build_features(ds).X)
+
+    def test_mixed_single_and_column_ingest(self, serve_trace):
+        # Switch ingestion shape mid-stream; state must not care.
+        ds = serve_trace.records
+        ff = build_features(ds)
+        cut = len(ds) // 3
+        store = FeatureStore()
+        head = [
+            store.ingest(rec)
+            for _, rec in zip(range(cut), iter_drive_days(ds))
+        ]
+        tail = store.ingest_columns(
+            {k: v[cut:] for k, v in _all_columns(ds).items()}
+        )
+        assert np.array_equal(np.vstack([np.vstack(head), tail]), ff.X)
+
+
+class TestFoldLeftProperty:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_batch_equals_fold_left_over_every_drive(self, seed):
+        # Property: for a randomly-seeded fleet, batch build_features is
+        # the fold-left of the per-row kernel over each drive's stream.
+        trace = simulate_fleet(
+            FleetConfig(
+                n_drives_per_model=3,
+                horizon_days=90,
+                deploy_spread_days=40,
+                seed=seed,
+            )
+        )
+        ds = trace.records
+        store = FeatureStore()
+        rows = [store.ingest(rec) for rec in iter_drive_days(ds)]
+        assert np.array_equal(np.vstack(rows), build_features(ds).X)
+
+
+class TestOrdering:
+    def _record(self, ds, i):
+        return {k: v[i] for k, v in _all_columns(ds).items()}
+
+    def test_rewinding_single_ingest_rejected(self, serve_trace):
+        ds = serve_trace.records
+        store = FeatureStore()
+        ids = np.asarray(ds["drive_id"])
+        last = np.flatnonzero(ids == ids[0])[-1]
+        store.ingest(self._record(ds, int(last)))
+        with pytest.raises(OutOfOrderError, match="arrived after"):
+            store.ingest(self._record(ds, 0))
+
+    def test_same_age_reingest_allowed(self, serve_trace):
+        # Ages are checked with <, not <=: a same-day correction/duplicate
+        # is the stream's business, the store folds it like the batch
+        # pipeline would.
+        ds = serve_trace.records
+        store = FeatureStore()
+        store.ingest(self._record(ds, 0))
+        store.ingest(self._record(ds, 0))
+        assert store.events_total == 2
+
+    def test_interleaved_chunk_rejected(self, serve_trace):
+        ds = serve_trace.records
+        first_two = np.flatnonzero(
+            np.asarray(ds["drive_id"]) == ds["drive_id"][0]
+        )[:2]
+        pick = np.array([first_two[0], first_two[1], first_two[0]])
+        chunk = {k: v[pick] for k, v in _all_columns(ds).items()}
+        chunk["drive_id"] = np.array([5, 6, 5], dtype=np.int64)
+        with pytest.raises(OutOfOrderError, match="interleaves"):
+            FeatureStore().ingest_columns(chunk)
+
+    def test_unsorted_run_rejected(self, serve_trace):
+        ds = serve_trace.records
+        rows = np.flatnonzero(
+            np.asarray(ds["drive_id"]) == ds["drive_id"][0]
+        )[:3]
+        pick = rows[::-1]
+        chunk = {k: v[pick] for k, v in _all_columns(ds).items()}
+        with pytest.raises(OutOfOrderError, match="age-sorted"):
+            FeatureStore().ingest_columns(chunk)
+
+    def test_chunk_rewinding_past_state_rejected(self, serve_trace):
+        ds = serve_trace.records
+        store = FeatureStore()
+        store.ingest_columns(_all_columns(ds))
+        head = {k: v[:4] for k, v in _all_columns(ds).items()}
+        with pytest.raises(OutOfOrderError, match="rewinds"):
+            store.ingest_columns(head)
+
+    def test_empty_chunk_is_noop(self):
+        store = FeatureStore()
+        out = store.ingest_columns(
+            {"drive_id": np.empty(0, dtype=np.int64), "age_days": np.empty(0)}
+        )
+        assert out.shape == (0, len(feature_names()))
+        assert store.events_total == 0
+
+
+class TestState:
+    def test_drive_state_matches_manual_sums(self, serve_trace):
+        ds = serve_trace.records
+        store = FeatureStore()
+        store.ingest_columns(_all_columns(ds))
+        ids = np.asarray(ds["drive_id"])
+        drive = int(ids[0])
+        mask = ids == drive
+        state = store.drive_state(drive)
+        assert state["n_records"] == int(mask.sum())
+        assert state["last_age_days"] == int(
+            np.asarray(ds["age_days"])[mask].max()
+        )
+        assert state["cumulative"]["read_count"] == float(
+            np.asarray(ds["read_count"])[mask].sum()
+        )
+
+    def test_unknown_drive_state_is_none(self):
+        assert FeatureStore().drive_state(404) is None
+
+    def test_capacity_growth(self, serve_trace):
+        ds = serve_trace.records
+        tiny = FeatureStore(capacity=1)
+        big = FeatureStore()
+        a = tiny.ingest_columns(_all_columns(ds))
+        b = big.ingest_columns(_all_columns(ds))
+        assert np.array_equal(a, b)
+        assert tiny.n_drives == big.n_drives == len(tiny)
+
+
+class TestSnapshot:
+    def _full_store(self, ds):
+        store = FeatureStore()
+        store.ingest_columns(_all_columns(ds))
+        return store
+
+    def test_roundtrip_is_bit_identical(self, serve_trace, tmp_path):
+        store = self._full_store(serve_trace.records)
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        store.snapshot(a)
+        FeatureStore.restore(a).snapshot(b)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_restore_resumes_with_identical_features(
+        self, serve_trace, tmp_path
+    ):
+        ds = serve_trace.records
+        ff = build_features(ds)
+        cut = len(ds) // 2
+        cols = _all_columns(ds)
+        store = FeatureStore()
+        store.ingest_columns({k: v[:cut] for k, v in cols.items()})
+        store.snapshot(tmp_path / "mid.npz")
+        restored = FeatureStore.restore(tmp_path / "mid.npz")
+        assert restored.events_total == cut
+        tail = restored.ingest_columns({k: v[cut:] for k, v in cols.items()})
+        assert np.array_equal(tail, ff.X[cut:])
+
+    def test_schema_mismatch_refused(self, serve_trace, tmp_path):
+        store = self._full_store(serve_trace.records)
+        path = tmp_path / "snap.npz"
+        store.snapshot(path)
+        with np.load(path) as payload:
+            arrays = {k: payload[k] for k in payload.files}
+        arrays["schema_hash"] = np.frombuffer(
+            (b"0" * 64), dtype=np.uint8
+        ).copy()
+        atomic_save_npz(path, **arrays)
+        with pytest.raises(SchemaMismatchError, match="feature schema"):
+            FeatureStore.restore(path)
+
+    def test_missing_arrays_detected(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        atomic_save_npz(path, drive_id=np.arange(3, dtype=np.int64))
+        with pytest.raises(FeatureStoreError, match="missing arrays"):
+            FeatureStore.restore(path)
+
+    def test_truncated_snapshot_detected(self, serve_trace, tmp_path):
+        store = self._full_store(serve_trace.records)
+        path = tmp_path / "snap.npz"
+        store.snapshot(path)
+        truncate_file(path, keep_fraction=0.4)
+        with pytest.raises(FeatureStoreError, match="unreadable"):
+            FeatureStore.restore(path)
+
+    def test_garbage_file_detected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_text("not a zip archive")
+        with pytest.raises(FeatureStoreError, match="unreadable"):
+            FeatureStore.restore(path)
+
+
+class TestConcurrentSnapshot:
+    def test_snapshots_during_ingest_are_consistent(
+        self, serve_trace, tmp_path
+    ):
+        # An ingesting thread races a snapshotting thread; the lock must
+        # make every snapshot a consistent prefix of the event stream —
+        # loadable, schema-clean, with events_total matching the number
+        # of absorbed rows at some chunk boundary.
+        ds = serve_trace.records
+        store = FeatureStore()
+        chunk_edges = {0}
+        done = threading.Event()
+
+        def ingest():
+            seen = 0
+            for chunk in iter_drive_day_chunks(ds, chunk_rows=128):
+                store.ingest_columns(chunk)
+                seen += len(chunk["drive_id"])
+                chunk_edges.add(seen)
+            done.set()
+
+        worker = threading.Thread(target=ingest)
+        worker.start()
+        snapshots = []
+        i = 0
+        while not done.is_set() or not snapshots:
+            path = tmp_path / f"snap_{i}.npz"
+            store.snapshot(path)
+            snapshots.append(path)
+            i += 1
+        worker.join()
+        final = tmp_path / "final.npz"
+        store.snapshot(final)
+        for path in snapshots:
+            restored = FeatureStore.restore(path)
+            assert restored.events_total in chunk_edges
+        # The final snapshot equals a clean single-pass store's, byte
+        # for byte.
+        clean = FeatureStore()
+        clean.ingest_columns(_all_columns(ds))
+        clean_path = tmp_path / "clean.npz"
+        clean.snapshot(clean_path)
+        assert final.read_bytes() == clean_path.read_bytes()

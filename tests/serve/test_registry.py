@@ -1,0 +1,171 @@
+"""Model registry: versioning, activation gating, corruption recovery."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FailurePredictor
+from repro.core.features import feature_schema_hash
+from repro.obs.manifest import file_digest
+from repro.reliability import truncate_file
+from repro.serve import ModelRegistry, RegistryError
+from repro.serve.registry import SchemaMismatchError
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+def _tamper_meta(registry, version, **updates):
+    path = registry.versions_dir / version / "meta.json"
+    meta = json.loads(path.read_text())
+    meta.update(updates)
+    path.write_text(json.dumps(meta))
+
+
+class TestPublish:
+    def test_versions_are_sequential(self, registry, predictor):
+        assert registry.versions() == []
+        assert registry.publish(predictor) == "v0001"
+        assert registry.publish(predictor) == "v0002"
+        assert registry.versions() == ["v0001", "v0002"]
+        assert registry.active_version() is None
+
+    def test_meta_records_provenance(self, registry, predictor, tmp_path):
+        manifest = tmp_path / "train_manifest.json"
+        manifest.write_text("{}")
+        version = registry.publish(predictor, training_manifest=manifest)
+        meta = registry.meta(version)
+        assert meta["feature_schema_hash"] == feature_schema_hash()
+        assert meta["feature_names"] == list(predictor.feature_names)
+        assert meta["model_digest"] == file_digest(
+            registry.versions_dir / version / "model.pkl"
+        )
+        assert meta["config"]["lookahead"] == predictor.lookahead
+        assert meta["training_manifest_digest"] == file_digest(manifest)
+        assert len(meta["config_digest"]) == 64
+
+    def test_unfitted_predictor_refused(self, registry):
+        with pytest.raises(RegistryError, match="unfitted"):
+            registry.publish(FailurePredictor())
+
+    def test_publish_with_activate(self, registry, predictor):
+        version = registry.publish(predictor, activate=True)
+        assert registry.active_version() == version
+
+
+class TestActivate:
+    def test_missing_version_refused(self, registry, predictor):
+        registry.publish(predictor)
+        with pytest.raises(RegistryError, match="no version 'v9999'"):
+            registry.activate("v9999")
+
+    def test_empty_registry_refused(self, registry):
+        with pytest.raises(RegistryError, match="no version"):
+            registry.activate("v0001")
+
+    def test_schema_hash_mismatch_refused(self, registry, predictor):
+        version = registry.publish(predictor)
+        _tamper_meta(registry, version, feature_schema_hash="0" * 64)
+        with pytest.raises(SchemaMismatchError, match="refusing to activate"):
+            registry.activate(version)
+        assert registry.active_version() is None
+
+
+class TestLoad:
+    def test_roundtrip_scores_identically(
+        self, registry, predictor, serve_trace, offline_probs
+    ):
+        registry.publish(predictor, activate=True)
+        loaded = registry.load()
+        assert np.array_equal(
+            loaded.predict_proba_records(serve_trace.records), offline_probs
+        )
+
+    def test_explicit_version(self, registry, predictor):
+        registry.publish(predictor)
+        assert registry.load("v0001").lookahead == predictor.lookahead
+
+    def test_no_active_version(self, registry, predictor):
+        registry.publish(predictor)
+        with pytest.raises(RegistryError, match="no active version"):
+            registry.load()
+
+    def test_corrupt_artifact_detected_before_unpickle(
+        self, registry, predictor
+    ):
+        version = registry.publish(predictor, activate=True)
+        truncate_file(
+            registry.versions_dir / version / "model.pkl", keep_fraction=0.5
+        )
+        with pytest.raises(RegistryError, match="corrupt"):
+            registry.load()
+
+    def test_missing_artifact_detected(self, registry, predictor):
+        version = registry.publish(predictor, activate=True)
+        (registry.versions_dir / version / "model.pkl").unlink()
+        with pytest.raises(RegistryError, match="missing"):
+            registry.load()
+
+
+class TestRollback:
+    def test_rollback_after_corrupt_artifact(
+        self, registry, predictor, serve_trace, offline_probs
+    ):
+        # The operational story: v2 goes live, its artifact corrupts on
+        # disk, load() refuses, rollback() restores v1 and serving
+        # continues with identical scores.
+        registry.publish(predictor, activate=True)
+        v2 = registry.publish(predictor, activate=True)
+        truncate_file(
+            registry.versions_dir / v2 / "model.pkl", keep_fraction=0.3
+        )
+        with pytest.raises(RegistryError, match="roll back"):
+            registry.load()
+        assert registry.rollback() == "v0001"
+        assert registry.active_version() == "v0001"
+        loaded = registry.load()
+        assert np.array_equal(
+            loaded.predict_proba_records(serve_trace.records), offline_probs
+        )
+
+    def test_rollback_needs_history(self, registry, predictor):
+        with pytest.raises(RegistryError, match="nothing to roll back"):
+            registry.rollback()
+        registry.publish(predictor, activate=True)
+        with pytest.raises(RegistryError, match="nothing to roll back"):
+            registry.rollback()
+
+    def test_consecutive_rollbacks_walk_the_stack(self, registry, predictor):
+        for _ in range(3):
+            registry.publish(predictor, activate=True)
+        assert registry.active_version() == "v0003"
+        assert registry.rollback() == "v0002"
+        assert registry.rollback() == "v0001"
+        with pytest.raises(RegistryError, match="nothing to roll back"):
+            registry.rollback()
+
+    def test_rollback_rechecks_schema(self, registry, predictor):
+        registry.publish(predictor, activate=True)
+        registry.publish(predictor, activate=True)
+        _tamper_meta(registry, "v0001", feature_schema_hash="f" * 64)
+        with pytest.raises(SchemaMismatchError, match="refusing rollback"):
+            registry.rollback()
+        # The failed rollback must not have changed the active version.
+        assert registry.active_version() == "v0002"
+
+
+class TestStateFile:
+    def test_unreadable_state_is_clean_error(self, registry, predictor):
+        registry.publish(predictor, activate=True)
+        (registry.root / "registry.json").write_text("{not json")
+        with pytest.raises(RegistryError, match="unreadable"):
+            registry.active_version()
+
+    def test_fresh_registry_state(self, registry):
+        assert registry.versions() == []
+        assert registry.active_version() is None
