@@ -15,7 +15,8 @@ Wraps the library's main workflows for shell use::
     repro-ssd serve publish --model model.pkl --registry reg/ --activate
     repro-ssd serve replay  --trace fleet/ --registry reg/   # parity gate
     repro-ssd serve bench   --drives 40 --days 365 --json-out BENCH_serve.json
-    repro-ssd serve run     --registry reg/ < events.jsonl   # JSONL transport
+    repro-ssd serve run     --registry reg/ --dlq dlq.jsonl < events.jsonl
+    repro-ssd serve heal    --registry reg/ --journal j.jsonl --dlq dlq.jsonl
 
 A "trace directory" holds the three NPZ files written by ``simulate``:
 ``records.npz``, ``drives.npz``, ``swaps.npz``.
@@ -93,15 +94,27 @@ from .resilience import (
     ShutdownRequested,
     SupervisionLog,
     SupervisorPolicy,
+    chaos_telemetry_events,
     graceful_shutdown,
+    telemetry_spec_from_env,
 )
 from .serve import (
+    AdmissionGuard,
     BatchPolicy,
+    DeadLetterError,
+    DeadLetterQueue,
+    EventJournal,
     FeatureStore,
     FeatureStoreError,
     ModelRegistry,
+    QueuePolicy,
     RegistryError,
+    ReplayResult,
     ScoringEngine,
+    ServeBreaker,
+    StalenessPolicy,
+    build_heal_plan,
+    canonical_event,
 )
 from .simulator import FleetConfig, FleetTrace, default_models, simulate_fleet
 
@@ -649,13 +662,32 @@ def _add_model_source(parser: argparse.ArgumentParser) -> None:
 
 
 def _score_jsonl_line(event) -> str:
-    return json.dumps(
-        {
-            "drive_id": event.drive_id,
-            "age_days": event.age_days,
-            "probability": event.probability,
-        }
-    )
+    body = {
+        "drive_id": event.drive_id,
+        "age_days": event.age_days,
+        "probability": event.probability,
+    }
+    if getattr(event, "stale", False):
+        body["stale"] = True
+        body["staleness_days"] = event.staleness_days
+    return json.dumps(body)
+
+
+def _serve_summary(engine: ScoringEngine, dlq_path, journal_path) -> dict:
+    """The manifest ``serve`` section for a guarded engine."""
+    guard = engine.guard
+    body = {
+        "health": engine.health_state,
+        **guard.stats.to_dict(),
+        "stale_scores": engine.stale_scores,
+    }
+    if guard.breaker is not None:
+        body["breaker"] = guard.breaker.to_dict()
+    if dlq_path:
+        body["dlq_path"] = str(dlq_path)
+    if journal_path:
+        body["journal_path"] = str(journal_path)
+    return body
 
 
 def _cmd_serve_publish(args: argparse.Namespace) -> int:
@@ -711,6 +743,11 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     metrics_registry = obs_metrics.MetricsRegistry()
     policy = _policy_arg(args)
     supervision = SupervisionLog()
+    telem_spec, chaos_seed = telemetry_spec_from_env()
+    dlq = DeadLetterQueue(args.dlq) if args.dlq else None
+    journal = EventJournal(args.journal) if args.journal else None
+    guarded = bool(dlq or journal or telem_spec)
+    scored_events = None
     with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
         store = (
             FeatureStore.restore(args.restore)
@@ -718,56 +755,127 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             else FeatureStore()
         )
         start_row = store.events_total
+        guard = (
+            AdmissionGuard(
+                store, dlq=dlq, journal=journal, breaker=ServeBreaker()
+            )
+            if guarded
+            else None
+        )
         engine = ScoringEngine(
             predictor,
             store=store,
             workers=workers,
             policy=policy,
             supervision=supervision,
+            guard=guard,
         )
-        result = engine.replay(
-            records_path,
-            chunk_rows=args.chunk_rows,
-            start_row=start_row,
-            snapshot_every=args.snapshot_every,
-            snapshot_path=args.snapshot,
-        )
+        if telem_spec:
+            # Chaos drill: perturb the event stream (pure function of
+            # the chaos seed) and route every arrival through the
+            # admission guard one at a time.
+            if start_row:
+                raise CLIError(
+                    "--restore cannot be combined with telemetry chaos "
+                    "(the fault plan is indexed from event 0)"
+                )
+            print(
+                "serve replay: telemetry chaos active "
+                f"({', '.join(f'{m}={r}' for m, r in telem_spec)}, "
+                f"seed {chaos_seed}) — event-wise guarded replay",
+                file=sys.stderr,
+            )
+            events = chaos_telemetry_events(
+                iter_drive_days(records_path, chunk_rows=args.chunk_rows),
+                telem_spec,
+                chaos_seed,
+            )
+            t0 = time.perf_counter()
+            scored_events = list(engine.score_stream(events))
+            stats = guard.stats
+            result = ReplayResult(
+                probability=np.asarray(
+                    [ev.probability for ev in scored_events]
+                ),
+                n_events=stats.admitted,
+                n_batches=engine.batches_total,
+                elapsed_seconds=time.perf_counter() - t0,
+                n_diverted=stats.dead_lettered,
+                n_duplicates=stats.duplicates_dropped,
+            )
+            if args.snapshot:
+                store.snapshot(args.snapshot)
+        else:
+            result = engine.replay(
+                records_path,
+                chunk_rows=args.chunk_rows,
+                start_row=start_row,
+                snapshot_every=args.snapshot_every,
+                snapshot_path=args.snapshot,
+            )
         # The parity gate: the offline batch pipeline over the same
         # records must reproduce the streamed scores bit-for-bit.
         records = load_dataset_npz(records_path)
-        offline = predictor.predict_proba_records(
-            records, workers=workers, policy=policy, supervision=supervision
-        )[start_row:]
-    diverged = int(
-        np.count_nonzero(result.probability != offline)
-        if len(result.probability) == len(offline)
-        else max(len(result.probability), len(offline))
-    )
+        check_parity = (
+            not args.no_parity
+            and not telem_spec
+            and result.n_diverted == 0
+            and result.n_duplicates == 0
+        )
+        if check_parity:
+            offline = predictor.predict_proba_records(
+                records, workers=workers, policy=policy, supervision=supervision
+            )[start_row:]
+            diverged = int(
+                np.count_nonzero(result.probability != offline)
+                if len(result.probability) == len(offline)
+                else max(len(result.probability), len(offline))
+            )
+        else:
+            offline = None
+            diverged = 0
+    if dlq is not None:
+        dlq.close()
+    if journal is not None:
+        journal.close()
     if args.out:
-        ids = np.asarray(records["drive_id"])[start_row:]
-        ages = np.asarray(records["age_days"])[start_row:]
         with atomic_write(args.out, "w") as fh:
-            for did, age, p in zip(ids, ages, result.probability):
-                fh.write(
-                    json.dumps(
-                        {
-                            "drive_id": int(did),
-                            "age_days": int(age),
-                            "probability": float(p),
-                        }
+            if scored_events is not None:
+                for ev in scored_events:
+                    fh.write(_score_jsonl_line(ev) + "\n")
+            else:
+                ids = np.asarray(records["drive_id"])[start_row:]
+                ages = np.asarray(records["age_days"])[start_row:]
+                for did, age, p in zip(ids, ages, result.probability):
+                    fh.write(
+                        json.dumps(
+                            {
+                                "drive_id": int(did),
+                                "age_days": int(age),
+                                "probability": float(p),
+                            }
+                        )
+                        + "\n"
                     )
-                    + "\n"
-                )
         manifest.add_output(args.out)
     manifest.counts = {
         "events": result.n_events,
         "batches": result.n_batches,
         "drives": store.n_drives,
         "skipped": start_row,
+        "diverted": result.n_diverted,
+        "duplicates": result.n_duplicates,
     }
     manifest.results["workers"] = workers
     manifest.results["events_per_second"] = round(result.events_per_second, 1)
     manifest.results["diverged"] = diverged
+    manifest.results["parity_checked"] = check_parity
+    if guarded:
+        manifest.record_serve(_serve_summary(engine, args.dlq, args.journal))
+        if args.dlq and Path(args.dlq).exists():
+            manifest.add_output(args.dlq)
+        if args.journal and Path(args.journal).exists():
+            manifest.add_output(args.journal)
     _record_supervision(manifest, supervision)
     manifest_path = _finish_obs(
         args,
@@ -785,6 +893,19 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if not check_parity:
+        faults = (
+            f", {result.n_diverted} diverted / {result.n_duplicates} "
+            "duplicate(s)"
+            if guarded
+            else ""
+        )
+        print(
+            f"serve replay: {result.n_events} event(s) scored{faults}, "
+            f"{result.events_per_second:,.0f} ev/s, {store.n_drives} drives "
+            f"({model_desc}; parity not checked){suffix}"
+        )
+        return 0
     print(
         f"serve replay ok: {result.n_events} events{resumed} scored online "
         f"match offline bit-for-bit, {result.events_per_second:,.0f} ev/s, "
@@ -868,51 +989,266 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve_run(args: argparse.Namespace) -> int:
-    predictor, _, model_desc = _serve_predictor(args)
+    predictor, model_path, model_desc = _serve_predictor(args)
     try:
         batch_policy = BatchPolicy(
             max_batch_size=args.batch_size, max_wait_seconds=args.max_wait
         )
+        queue_policy = QueuePolicy(
+            max_depth=args.max_queue, on_full=args.overflow
+        )
+        staleness = (
+            StalenessPolicy(max_lag_days=args.max_stale_days)
+            if args.max_stale_days is not None
+            else None
+        )
+        breaker = ServeBreaker(fault_threshold=args.fault_threshold)
     except ValueError as exc:
         raise CLIError(str(exc)) from None
     store = (
         FeatureStore.restore(args.restore) if args.restore else FeatureStore()
     )
-    engine = ScoringEngine(predictor, store=store, batch_policy=batch_policy)
+    dlq = DeadLetterQueue(args.dlq) if args.dlq else None
+    journal = EventJournal(args.journal) if args.journal else None
+    guard = AdmissionGuard(store, dlq=dlq, journal=journal, breaker=breaker)
+    manifest = RunManifest(
+        command="serve.run",
+        config={
+            "batch_size": args.batch_size,
+            "max_wait": args.max_wait,
+            "max_queue": args.max_queue,
+            "overflow": args.overflow,
+            "max_stale_days": args.max_stale_days,
+            "lookahead": predictor.lookahead,
+        },
+        seeds={"seed": predictor.seed},
+    )
+    manifest.add_input(model_path)
+    tracer = obs_tracing.Tracer()
+    metrics_registry = obs_metrics.MetricsRegistry()
     print(f"serve run: scoring stdin JSONL with {model_desc}", file=sys.stderr)
     n_lines = 0
-    for line in sys.stdin:
-        line = line.strip()
-        if not line:
-            continue
-        n_lines += 1
-        try:
-            record = json.loads(line)
-        except ValueError as exc:
-            raise CLIError(
-                f"stdin line {n_lines} is not valid JSON: {exc}"
-            ) from None
-        try:
-            flushed = engine.submit(record)
-        except KeyError as exc:
-            raise CLIError(
-                f"stdin line {n_lines} is missing field {exc}"
-            ) from None
-        for event in flushed:
-            print(_score_jsonl_line(event))
+    health = guard.breaker.state
+
+    def emit(line: str) -> None:
+        print(line)
         sys.stdout.flush()
-    for event in engine.drain():
-        print(_score_jsonl_line(event))
-    sys.stdout.flush()
+
+    def emit_health() -> None:
+        # Status records ride the same stdout transport as scores; their
+        # "type" key distinguishes them (score records never carry one).
+        nonlocal health
+        if guard.breaker.state != health:
+            health = guard.breaker.state
+            emit(json.dumps({"type": "status", "health": health, "line": n_lines}))
+
+    with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
+        engine = ScoringEngine(
+            predictor,
+            store=store,
+            batch_policy=batch_policy,
+            guard=guard,
+            queue_policy=queue_policy,
+            staleness=staleness,
+        )
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            n_lines += 1
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                guard.divert_raw(line, f"not valid JSON: {exc}")
+                emit(
+                    json.dumps(
+                        {
+                            "type": "error",
+                            "line": n_lines,
+                            "fault": "malformed",
+                            "reason": f"not valid JSON: {exc}",
+                        }
+                    )
+                )
+                emit_health()
+                continue
+            flushed = engine.submit(record)
+            # Dead-lettered events get a structured error record on the
+            # same transport; exact duplicates are dropped silently
+            # (idempotent re-delivery is not an error).
+            outcome = guard.last_outcome
+            if outcome is not None and outcome.fault is not None:
+                body = {
+                    "type": "error",
+                    "line": n_lines,
+                    "fault": outcome.fault,
+                    "status": outcome.status,
+                    "reason": outcome.reason,
+                }
+                if outcome.drive_id is not None:
+                    body["drive_id"] = outcome.drive_id
+                if outcome.age_days is not None:
+                    body["age_days"] = outcome.age_days
+                if outcome.watermark is not None:
+                    body["watermark"] = outcome.watermark
+                emit(json.dumps(body))
+            for event in flushed:
+                emit(_score_jsonl_line(event))
+            emit_health()
+        for event in engine.drain():
+            emit(_score_jsonl_line(event))
+        emit_health()
+    if dlq is not None:
+        dlq.close()
+    if journal is not None:
+        journal.close()
     if args.snapshot:
         store.snapshot(args.snapshot)
         print(f"serve run: store snapshot -> {args.snapshot}", file=sys.stderr)
+    stats = guard.stats
+    manifest.counts = {
+        "lines": n_lines,
+        "scored": engine.requests_total,
+        "drives": store.n_drives,
+    }
+    manifest.record_serve(_serve_summary(engine, args.dlq, args.journal))
+    if args.dlq:
+        p = Path(args.dlq)
+        if p.exists():
+            manifest.add_output(p)
+    if args.journal:
+        p = Path(args.journal)
+        if p.exists():
+            manifest.add_output(p)
+    if not args.manifest_out:
+        args.no_manifest = True
+    _finish_obs(
+        args, manifest, tracer, metrics_registry, Path("serve_run_manifest.json")
+    )
+    diverted = stats.dead_lettered
     print(
         f"serve run: scored {engine.requests_total} event(s) across "
-        f"{store.n_drives} drive(s)",
+        f"{store.n_drives} drive(s); {stats.duplicates_dropped} duplicate(s) "
+        f"dropped, {diverted} diverted"
+        + (f" (DLQ {args.dlq})" if args.dlq and diverted else "")
+        + f"; health {engine.health_state}",
         file=sys.stderr,
     )
-    return 0
+    # Exit contract: 0 every event scored (duplicates are benign), 1 some
+    # events were diverted (replayable via `serve heal` when --dlq was
+    # given), 2 config/usage errors (argparse/CLIError path).
+    return 1 if diverted else 0
+
+
+def _cmd_serve_heal(args: argparse.Namespace) -> int:
+    predictor, model_path, model_desc = _serve_predictor(args)
+    journal_events = EventJournal.read(args.journal)
+    entries = DeadLetterQueue.read(args.dlq) if args.dlq else []
+    refetch = None
+    if args.refetch:
+        trace_dir = _require_trace_dir(Path(args.refetch))
+        refetch = {
+            (int(rec["drive_id"]), int(rec["age_days"])): rec
+            for rec in iter_drive_days(trace_dir / "records.npz")
+        }
+    manifest = RunManifest(
+        command="serve.heal",
+        config={
+            "refetch": bool(args.refetch),
+            "lookahead": predictor.lookahead,
+        },
+        seeds={"seed": predictor.seed},
+    )
+    manifest.add_input(args.journal)
+    if args.dlq:
+        manifest.add_input(args.dlq)
+    manifest.add_input(model_path)
+    tracer = obs_tracing.Tracer()
+    metrics_registry = obs_metrics.MetricsRegistry()
+    with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
+        plan = build_heal_plan(journal_events, entries, refetch=refetch)
+        # Rebuild a fresh store from the healed stream.  Every planned
+        # event must admit cleanly — the plan is already deduplicated
+        # and sorted into canonical trace order.
+        store = FeatureStore()
+        guard = AdmissionGuard(store, breaker=ServeBreaker())
+        engine = ScoringEngine(predictor, store=store, guard=guard)
+        scored = list(engine.score_stream(plan.events))
+    rejected = guard.stats.dead_lettered + guard.stats.duplicates_dropped
+    if args.out:
+        with atomic_write(args.out, "w") as fh:
+            for ev in scored:
+                fh.write(_score_jsonl_line(ev) + "\n")
+        manifest.add_output(args.out)
+    if args.snapshot:
+        store.snapshot(args.snapshot)
+        manifest.add_output(args.snapshot)
+    parity_ok = None
+    if args.expect:
+        if not args.out:
+            raise CLIError("--expect requires --out (the files are compared)")
+        parity_ok = Path(args.out).read_bytes() == Path(args.expect).read_bytes()
+        manifest.results["parity"] = parity_ok
+    manifest.counts = {
+        "journal_events": len(journal_events),
+        "dead_letters": len(entries),
+        "healed": plan.n_healed,
+        "events": len(plan.events),
+        "duplicates_dropped": plan.duplicates_dropped,
+        "conflicts_resolved": plan.conflicts_resolved,
+        "unhealable": len(plan.unhealable),
+        "drives": store.n_drives,
+    }
+    manifest.results["healed_by_fault"] = dict(
+        sorted(plan.healed_by_fault.items())
+    )
+    manifest.record_serve(_serve_summary(engine, None, None))
+    if not args.manifest_out:
+        args.no_manifest = True
+    _finish_obs(
+        args, manifest, tracer, metrics_registry, Path("serve_heal_manifest.json")
+    )
+    healed = ", ".join(
+        f"{k}={v}" for k, v in sorted(plan.healed_by_fault.items())
+    )
+    print(
+        f"serve heal: {len(plan.events)} event(s) rebuilt from "
+        f"{len(journal_events)} journaled + {plan.n_healed} healed"
+        + (f" ({healed})" if healed else "")
+        + f", {plan.duplicates_dropped} duplicate(s) dropped, "
+        f"{plan.conflicts_resolved} conflict(s) resolved, "
+        f"{len(plan.unhealable)} unhealable ({model_desc})",
+        file=sys.stderr,
+    )
+    for entry in plan.unhealable[:10]:
+        print(
+            f"  unhealable [{entry.fault}] seq {entry.seq}: {entry.reason}",
+            file=sys.stderr,
+        )
+    if rejected:
+        print(
+            f"serve heal: {rejected} planned event(s) failed re-admission "
+            "(journal/DLQ inconsistent with a clean stream)",
+            file=sys.stderr,
+        )
+        return 1
+    if parity_ok is False:
+        print(
+            f"serve heal DIVERGED: {args.out} does not match {args.expect} "
+            "byte-for-byte",
+            file=sys.stderr,
+        )
+        return 1
+    if parity_ok:
+        print(
+            f"serve heal: parity ok — {args.out} matches {args.expect} "
+            "byte-for-byte",
+            file=sys.stderr,
+        )
+    # Exit contract: 0 fully healed (and parity held when --expect was
+    # given); 1 unhealable events remain or the healed scores diverged;
+    # 2 missing/corrupt journal, DLQ, trace, or model.
+    return 1 if plan.unhealable else 0
 
 
 def _cmd_inject(args: argparse.Namespace) -> int:
@@ -1069,7 +1405,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.set_defaults(func=_cmd_score)
 
     p_srv = sub.add_parser(
-        "serve", help="online scoring service (publish, replay, bench, run)"
+        "serve",
+        help="online scoring service (publish, replay, bench, run, heal)",
     )
     srv_sub = p_srv.add_subparsers(dest="serve_command", required=True)
 
@@ -1134,6 +1471,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="restore the feature store from a snapshot and resume the "
         "replay after the events it already absorbed",
+    )
+    p_rpl.add_argument(
+        "--dlq",
+        default=None,
+        metavar="PATH",
+        help="divert bad events to this dead-letter JSONL instead of "
+        "failing (enables the admission guard)",
+    )
+    p_rpl.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal accepted events to this JSONL (input for "
+        "`serve heal`; enables the admission guard)",
+    )
+    p_rpl.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the offline-parity gate (parity is also skipped "
+        "automatically under telemetry chaos or when events diverted)",
     )
     add_execution_args(p_rpl)
     add_obs_args(p_rpl)
@@ -1204,7 +1561,103 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="persist the feature store here when the stream ends",
     )
+    p_run.add_argument(
+        "--dlq",
+        default=None,
+        metavar="PATH",
+        help="divert malformed/late/conflicting events to this "
+        "dead-letter JSONL (replayable via `serve heal`)",
+    )
+    p_run.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="journal accepted events to this JSONL (input for "
+        "`serve heal`)",
+    )
+    p_run.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the submit queue at N pending requests "
+        "(default: unbounded)",
+    )
+    p_run.add_argument(
+        "--overflow",
+        choices=("block", "shed"),
+        default="block",
+        help="at --max-queue: 'block' scores the pending batch "
+        "synchronously, 'shed' dead-letters the incoming event "
+        "(default: block)",
+    )
+    p_run.add_argument(
+        "--max-stale-days",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tag scores whose calendar day lags the fleet watermark "
+        "by more than N days as stale (default: no tagging)",
+    )
+    p_run.add_argument(
+        "--fault-threshold",
+        type=int,
+        default=8,
+        metavar="N",
+        help="consecutive diverted events that trip the health state "
+        "ready -> degraded (default: 8)",
+    )
+    add_obs_args(p_run)
     p_run.set_defaults(func=_cmd_serve_run)
+
+    p_heal = srv_sub.add_parser(
+        "heal",
+        help="rebuild a byte-identical feature store and score stream "
+        "from an accepted-event journal plus a dead-letter queue",
+    )
+    _add_model_source(p_heal)
+    p_heal.add_argument(
+        "--journal",
+        required=True,
+        metavar="PATH",
+        help="accepted-event journal from a guarded run/replay",
+    )
+    p_heal.add_argument(
+        "--dlq",
+        default=None,
+        metavar="PATH",
+        help="dead-letter queue to heal from (omit to rebuild from the "
+        "journal alone)",
+    )
+    p_heal.add_argument(
+        "--refetch",
+        default=None,
+        metavar="TRACE_DIR",
+        help="trace directory treated as the upstream source of truth "
+        "for schema/conflict faults (their payloads are re-read by "
+        "drive-day key)",
+    )
+    p_heal.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the healed scores as JSONL",
+    )
+    p_heal.add_argument(
+        "--expect",
+        default=None,
+        metavar="PATH",
+        help="compare --out byte-for-byte against this fault-free score "
+        "file; exit 1 on mismatch (the heal-to-bit-identity gate)",
+    )
+    p_heal.add_argument(
+        "--snapshot",
+        default=None,
+        metavar="PATH",
+        help="persist the healed feature store here",
+    )
+    add_obs_args(p_heal)
+    p_heal.set_defaults(func=_cmd_serve_heal)
 
     p_obs = sub.add_parser(
         "obs", help="inspect and compare run manifests (observability)"
@@ -1249,6 +1702,7 @@ def main(argv: list[str] | None = None) -> int:
         ManifestError,
         FeatureStoreError,
         RegistryError,
+        DeadLetterError,
     ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -166,6 +166,7 @@ MANIFEST_SCHEMA: dict[str, Any] = {
                 "serve.bench",
                 "serve.run",
                 "serve.publish",
+                "serve.heal",
             ],
         },
         "argv": {"type": "array", "items": {"type": "string"}},
@@ -208,6 +209,32 @@ MANIFEST_SCHEMA: dict[str, Any] = {
                     "type": "array",
                     "items": FAILURE_REPORT_SCHEMA,
                 },
+            },
+        },
+        "serve": {
+            "type": "object",
+            "required": [
+                "health",
+                "admitted",
+                "duplicates_dropped",
+                "dead_lettered",
+                "shed",
+                "by_fault",
+            ],
+            "properties": {
+                "health": {
+                    "type": "string",
+                    "enum": ["ready", "degraded", "draining"],
+                },
+                "admitted": {"type": "integer"},
+                "duplicates_dropped": {"type": "integer"},
+                "dead_lettered": {"type": "integer"},
+                "shed": {"type": "integer"},
+                "stale_scores": {"type": "integer"},
+                "by_fault": {"type": "object"},
+                "breaker": {"type": "object"},
+                "dlq_path": {"type": "string"},
+                "journal_path": {"type": "string"},
             },
         },
     },
@@ -298,6 +325,7 @@ class RunManifest:
     metrics: dict[str, Any] = field(default_factory=dict)
     results: dict[str, Any] = field(default_factory=dict)
     resilience: dict[str, Any] | None = None
+    serve: dict[str, Any] | None = None
     created_unix: float = field(default_factory=time.time)
     elapsed_seconds: float = 0.0
     schema_version: int = MANIFEST_VERSION
@@ -345,6 +373,19 @@ class RunManifest:
             )
         self.resilience = data
 
+    def record_serve(self, data: dict[str, Any]) -> None:
+        """Attach serving health + admission tallies (guard/breaker dicts).
+
+        Same plain-dict contract as :meth:`record_resilience`:
+        :mod:`repro.obs` stays independent of :mod:`repro.serve`.
+        """
+        errors = validate_manifest(
+            data, MANIFEST_SCHEMA["properties"]["serve"], "$.serve"
+        )
+        if errors:
+            raise ManifestError(f"invalid serve record: {'; '.join(errors)}")
+        self.serve = data
+
     def finish(
         self,
         tracer: "_tracing.Tracer | None" = None,
@@ -387,6 +428,8 @@ class RunManifest:
             out["spans"] = list(self.spans)
         if self.resilience is not None:
             out["resilience"] = dict(self.resilience)
+        if self.serve is not None:
+            out["serve"] = dict(self.serve)
         return out
 
     def write(self, path: str | Path) -> Path:

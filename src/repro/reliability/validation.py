@@ -33,6 +33,7 @@ __all__ = [
     "ValidationReport",
     "CUMULATIVE_FIELDS",
     "COUNT_FIELDS",
+    "REQUIRED_COLUMNS",
     "SENTINEL_CEILING",
     "dataset_columns",
     "check_schema",

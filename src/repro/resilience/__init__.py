@@ -10,9 +10,14 @@ from .chaos import (
     ENV_CHAOS,
     ENV_CHAOS_HANG,
     ENV_CHAOS_SEED,
+    GARBLE_FIELDS,
+    TELEMETRY_MODES,
     ChaosError,
+    chaos_telemetry_events,
+    garble_event,
     parse_chaos_spec,
     planned_fault,
+    telemetry_spec_from_env,
 )
 from .shutdown import EXIT_INTERRUPTED, ShutdownRequested, graceful_shutdown
 from .supervisor import (
@@ -44,6 +49,11 @@ __all__ = [
     "parse_chaos_spec",
     "planned_fault",
     "CHAOS_MODES",
+    "TELEMETRY_MODES",
+    "GARBLE_FIELDS",
+    "chaos_telemetry_events",
+    "garble_event",
+    "telemetry_spec_from_env",
     "ENV_CHAOS",
     "ENV_CHAOS_SEED",
     "ENV_CHAOS_HANG",

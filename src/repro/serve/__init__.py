@@ -2,24 +2,46 @@
 
 The batch pipeline (simulate → train → score) answers "how well would
 the paper's models have predicted failures"; this package answers "how
-would those models run in production".  Four pieces:
+would those models run in production".  Seven pieces:
 
 - :mod:`repro.serve.feature_store` — per-drive incremental state that
   reproduces the batch feature rows bit-for-bit, one event at a time;
 - :mod:`repro.serve.registry` — versioned model artifacts with
   publish/activate/rollback and schema-hash compatibility gating;
 - :mod:`repro.serve.batching` — size/wait-bounded micro-batching of
-  scoring requests;
+  scoring requests with backpressure bounds;
+- :mod:`repro.serve.guard` — the admission guard classifying every
+  event (accept / drop-duplicate / dead-letter) against validation
+  bounds and per-drive watermarks;
+- :mod:`repro.serve.dlq` — the append-only dead-letter queue, the
+  accepted-event journal, and the ``serve heal`` rebuild planner;
+- :mod:`repro.serve.health` — circuit breaker, health states, and the
+  staleness policy behind degraded scoring;
 - :mod:`repro.serve.engine` — the request loop tying them together,
   with replay/backfill over recorded traces.
 
 The cornerstone invariant is *online/offline parity*: for any trace,
 streaming it through the engine yields exactly the probabilities the
 offline ``score`` pipeline computes (``serve replay`` verifies this
-bit-for-bit; see DESIGN.md §13).
+bit-for-bit; see DESIGN.md §13).  The robustness layer extends it to
+sick inputs: a chaos-perturbed stream plus ``serve heal`` converges
+back to the byte-identical clean scores (DESIGN.md §14).
 """
 
-from .batching import BatchPolicy, MicroBatcher
+from .batching import BatchPolicy, MicroBatcher, QueuePolicy
+from .dlq import (
+    FAULT_CLASSES,
+    HEALABLE_FAULTS,
+    REFETCHABLE_FAULTS,
+    DeadLetterEntry,
+    DeadLetterError,
+    DeadLetterQueue,
+    EventJournal,
+    HealPlan,
+    build_heal_plan,
+    canonical_event,
+    event_digest,
+)
 from .engine import ReplayResult, ScoredEvent, ScoringEngine
 from .feature_store import (
     FeatureStore,
@@ -27,11 +49,22 @@ from .feature_store import (
     OutOfOrderError,
     SchemaMismatchError,
 )
+from .guard import (
+    ACCEPTED,
+    DEAD_LETTERED,
+    DUPLICATE,
+    AdmissionGuard,
+    AdmissionOutcome,
+    ChunkAdmission,
+    GuardStats,
+)
+from .health import HealthState, ServeBreaker, StalenessPolicy
 from .registry import ModelRegistry, RegistryError
 
 __all__ = [
     "BatchPolicy",
     "MicroBatcher",
+    "QueuePolicy",
     "ScoredEvent",
     "ReplayResult",
     "ScoringEngine",
@@ -41,4 +74,25 @@ __all__ = [
     "SchemaMismatchError",
     "ModelRegistry",
     "RegistryError",
+    "ACCEPTED",
+    "DUPLICATE",
+    "DEAD_LETTERED",
+    "AdmissionGuard",
+    "AdmissionOutcome",
+    "ChunkAdmission",
+    "GuardStats",
+    "FAULT_CLASSES",
+    "HEALABLE_FAULTS",
+    "REFETCHABLE_FAULTS",
+    "DeadLetterEntry",
+    "DeadLetterError",
+    "DeadLetterQueue",
+    "EventJournal",
+    "HealPlan",
+    "build_heal_plan",
+    "canonical_event",
+    "event_digest",
+    "HealthState",
+    "ServeBreaker",
+    "StalenessPolicy",
 ]

@@ -23,7 +23,7 @@ from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 
-__all__ = ["BatchPolicy", "MicroBatcher"]
+__all__ = ["BatchPolicy", "QueuePolicy", "MicroBatcher"]
 
 
 @dataclass(frozen=True)
@@ -38,6 +38,34 @@ class BatchPolicy:
             raise ValueError("max_batch_size must be >= 1")
         if self.max_wait_seconds < 0:
             raise ValueError("max_wait_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Backpressure bounds on the engine's submit queue.
+
+    ``max_depth`` caps how many scoring requests may be pending when a
+    new submission arrives; at the cap, ``on_full`` decides:
+
+    - ``"block"`` — flush (score) the pending batch synchronously before
+      admitting the new request: every event is scored, callers absorb
+      the scoring latency (classic backpressure);
+    - ``"shed"`` — divert the incoming event to the dead-letter queue
+      (fault class ``shed``) without ingesting it: submit latency stays
+      flat and nothing is silently lost — ``serve heal`` re-admits shed
+      events later.
+
+    ``max_depth=None`` disables the bound (the PR-5 behavior).
+    """
+
+    max_depth: int | None = None
+    on_full: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1 (or None)")
+        if self.on_full not in ("block", "shed"):
+            raise ValueError("on_full must be 'block' or 'shed'")
 
 
 class MicroBatcher:

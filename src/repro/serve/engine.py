@@ -31,8 +31,10 @@ from ..core.predictor import FailurePredictor
 from ..data.io import iter_drive_day_chunks
 from ..data.dataset import DriveDayDataset
 from ..obs import metrics, tracing
-from .batching import BatchPolicy, MicroBatcher
+from .batching import BatchPolicy, MicroBatcher, QueuePolicy
 from .feature_store import FeatureStore, SchemaMismatchError
+from .guard import DUPLICATE, AdmissionGuard
+from .health import HealthState, StalenessPolicy
 
 __all__ = ["ScoredEvent", "ReplayResult", "ScoringEngine"]
 
@@ -44,21 +46,37 @@ BACKFILL_MIN_ROWS = 2048
 
 @dataclass(frozen=True)
 class ScoredEvent:
-    """One scored drive-day."""
+    """One scored drive-day.
+
+    ``staleness_days``/``stale`` carry the degraded-scoring metadata:
+    how far the event's calendar day lagged the fleet watermark at
+    scoring time, and whether that lag crossed the engine's
+    :class:`~repro.serve.health.StalenessPolicy` bound.  Both stay at
+    their zero defaults when no staleness policy is configured.
+    """
 
     drive_id: int
     age_days: int
     probability: float
+    staleness_days: int = 0
+    stale: bool = False
 
 
 @dataclass(frozen=True)
 class ReplayResult:
-    """Outcome of streaming a trace through the engine."""
+    """Outcome of streaming a trace through the engine.
+
+    ``n_diverted``/``n_duplicates`` are nonzero only on guarded replays:
+    events the admission guard dead-lettered or dropped as exact
+    duplicates (``probability`` covers accepted events only).
+    """
 
     probability: np.ndarray
     n_events: int
     n_batches: int
     elapsed_seconds: float
+    n_diverted: int = 0
+    n_duplicates: int = 0
 
     @property
     def events_per_second(self) -> float:
@@ -83,6 +101,17 @@ class ScoringEngine:
         Execution controls applied to large flushed batches (see
         :data:`BACKFILL_MIN_ROWS`): worker processes for sharded predict
         plus an optional resilience supervision policy.
+    guard:
+        Optional :class:`AdmissionGuard` bound to ``store``.  With a
+        guard, bad events divert to the dead-letter queue instead of
+        raising, and the engine exposes breaker-driven health states.
+        Without one, behavior is exactly the PR-5 engine.
+    queue_policy:
+        Backpressure bounds (guarded engines only): bounded submit
+        queue with a block-or-shed overflow policy.
+    staleness:
+        :class:`StalenessPolicy` enabling degraded scoring: scores for
+        events lagging the fleet watermark are tagged, never withheld.
     clock:
         Injectable monotonic clock (tests, deterministic replays).
     """
@@ -95,6 +124,9 @@ class ScoringEngine:
         workers: int | None = None,
         policy: Any | None = None,
         supervision: Any | None = None,
+        guard: AdmissionGuard | None = None,
+        queue_policy: QueuePolicy | None = None,
+        staleness: StalenessPolicy | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         names = predictor.feature_names
@@ -109,6 +141,13 @@ class ScoringEngine:
         self.predictor = predictor
         # Not `store or ...`: an empty store is falsy via __len__.
         self.store = store if store is not None else FeatureStore()
+        if guard is not None and guard.store is not self.store:
+            raise ValueError(
+                "guard must wrap the same FeatureStore as the engine"
+            )
+        self.guard = guard
+        self.queue_policy = queue_policy or QueuePolicy()
+        self.staleness = staleness
         self.clock = clock
         self.batcher = MicroBatcher(batch_policy, clock=clock)
         self.workers = workers
@@ -116,6 +155,17 @@ class ScoringEngine:
         self.supervision = supervision
         self.requests_total = 0
         self.batches_total = 0
+        self.stale_scores = 0
+        #: Newest calendar day absorbed — the fleet watermark staleness
+        #: is measured against (-1 until an event carries one).
+        self._fleet_day = -1
+
+    @property
+    def health_state(self) -> str:
+        """Current serving health (``ready`` without a breaker)."""
+        if self.guard is not None and self.guard.breaker is not None:
+            return self.guard.breaker.state
+        return HealthState.READY
 
     # ------------------------------------------------------------------ ingest
     def ingest(self, record: Mapping[str, Any]) -> np.ndarray:
@@ -133,18 +183,59 @@ class ScoringEngine:
 
         Returns the scored events flushed by this submission — usually
         empty until a batch bound trips, then the whole batch at once.
+        On a guarded engine, dead-lettered/duplicate events produce no
+        request (the guard accounts for them); under a full queue the
+        :class:`QueuePolicy` decides between a synchronous flush
+        (``block``) and shedding the incoming event (``shed``).
         """
-        row = self.ingest(record)
-        request = (int(record["drive_id"]), int(record["age_days"]), row)
+        pre: list[ScoredEvent] = []
+        max_depth = self.queue_policy.max_depth
+        if max_depth is not None and len(self.batcher) >= max_depth:
+            if self.queue_policy.on_full == "shed" and self.guard is not None:
+                self.guard.shed(
+                    record,
+                    f"submit queue at max_depth={max_depth}",
+                )
+                return []
+            # Backpressure: score the pending batch before admitting.
+            batch = self.batcher.flush()
+            if batch:
+                pre = self._score_batch(batch)
+        if self.guard is not None:
+            outcome = self.guard.admit(record)
+            if not outcome.accepted:
+                return pre
+            row = outcome.row
+            drive_id, age = outcome.drive_id, outcome.age_days
+            metrics.inc(
+                "repro_serve_events_total",
+                help="Telemetry events absorbed by the serving feature store",
+            )
+        else:
+            row = self.ingest(record)
+            drive_id = int(record["drive_id"])
+            age = int(record["age_days"])
+        try:
+            cal = int(record["calendar_day"])
+        except (KeyError, TypeError, ValueError):
+            cal = -1
+        if cal > self._fleet_day:
+            self._fleet_day = cal
+        request = (drive_id, age, cal, row)
         self.requests_total += 1
         metrics.inc(
             "repro_serve_requests_total",
             help="Scoring requests accepted by the engine",
         )
         batch = self.batcher.add(request)
+        metrics.set_gauge(
+            "repro_serve_queue_depth",
+            float(len(self.batcher)),
+            help="Scoring requests pending in the submit queue",
+        )
         if batch is None:
-            return []
-        return self._score_batch(batch)
+            return pre
+        return pre + self._score_batch(batch)
 
     def poll(self) -> list[ScoredEvent]:
         """Flush by wait-bound only (idle tick of the request loop)."""
@@ -154,7 +245,13 @@ class ScoringEngine:
         return self._score_batch(batch)
 
     def drain(self) -> list[ScoredEvent]:
-        """Score everything still pending (stream end / shutdown)."""
+        """Score everything still pending (stream end / shutdown).
+
+        On a guarded engine with a breaker this enters the terminal
+        ``draining`` health state — no new events should be admitted.
+        """
+        if self.guard is not None and self.guard.breaker is not None:
+            self.guard.breaker.begin_drain()
         batch = self.batcher.flush()
         if not batch:
             return []
@@ -171,11 +268,27 @@ class ScoringEngine:
             supervision=self.supervision,
         )
 
+    def _staleness(self, cal: int) -> tuple[int, bool]:
+        """Lag of one scored event behind the fleet watermark."""
+        if self.staleness is None or cal < 0 or self._fleet_day < 0:
+            return 0, False
+        lag = max(0, self._fleet_day - cal)
+        stale = lag > self.staleness.max_lag_days
+        if stale:
+            self.stale_scores += 1
+            metrics.inc(
+                "repro_serve_stale_scores_total",
+                help="Scores tagged stale (calendar lag past the policy bound)",
+            )
+            if self.staleness.count_as_fault and self.guard is not None:
+                self.guard._signal(ok=False)
+        return lag, stale
+
     def _score_batch(self, batch: list[tuple]) -> list[ScoredEvent]:
         t0 = self.clock()
         with tracing.span("repro.serve.score_batch", rows_in=len(batch)) as sp:
-            X = np.stack([row for _, _, row in batch])
-            ages = np.asarray([age for _, age, _ in batch], dtype=np.int64)
+            X = np.stack([row for _, _, _, row in batch])
+            ages = np.asarray([age for _, age, _, _ in batch], dtype=np.int64)
             probs = self._score_rows(X, ages)
             sp.set(rows_out=len(batch))
         self.batches_total += 1
@@ -193,10 +306,19 @@ class ScoringEngine:
             self.clock() - t0,
             help="Wall time of one vectorized scoring call",
         )
-        return [
-            ScoredEvent(drive_id=d, age_days=a, probability=float(p))
-            for (d, a, _), p in zip(batch, probs)
-        ]
+        out: list[ScoredEvent] = []
+        for (d, a, c, _), p in zip(batch, probs):
+            lag, stale = self._staleness(c)
+            out.append(
+                ScoredEvent(
+                    drive_id=d,
+                    age_days=a,
+                    probability=float(p),
+                    staleness_days=lag,
+                    stale=stale,
+                )
+            )
+        return out
 
     # ------------------------------------------------------------------ replay
     def replay(
@@ -231,6 +353,8 @@ class ScoringEngine:
         t0 = self.clock()
         parts: list[np.ndarray] = []
         n_events = 0
+        n_diverted = 0
+        n_duplicates = 0
         batches_before = self.batches_total
         since_snapshot = 0
         to_skip = int(start_row)
@@ -243,14 +367,35 @@ class ScoringEngine:
                         continue
                     chunk = {k: v[to_skip:] for k, v in chunk.items()}
                     to_skip = 0
-                X = self.store.ingest_columns(chunk)
+                if self.guard is not None:
+                    adm = self.guard.admit_columns(chunk)
+                    X, ages = adm.features, adm.ages
+                    n_diverted += adm.n_diverted
+                    n_duplicates += adm.n_duplicates
+                    if adm.calendar_days.size:
+                        top = int(adm.calendar_days.max())
+                        if top > self._fleet_day:
+                            self._fleet_day = top
+                else:
+                    X = self.store.ingest_columns(chunk)
+                    ages = np.asarray(chunk["age_days"], dtype=np.int64)
                 m = X.shape[0]
-                ages = np.asarray(chunk["age_days"], dtype=np.int64)
-                with tracing.span(
-                    "repro.serve.score_batch", rows_in=m, rows_out=m
-                ):
-                    probs = self._score_rows(X, ages)
-                self.batches_total += 1
+                if m:
+                    with tracing.span(
+                        "repro.serve.score_batch", rows_in=m, rows_out=m
+                    ):
+                        probs = self._score_rows(X, ages)
+                    self.batches_total += 1
+                    parts.append(probs)
+                    metrics.inc(
+                        "repro_serve_batches_total",
+                        help="Micro-batches scored by the engine",
+                    )
+                    metrics.observe(
+                        "repro_serve_batch_size",
+                        float(m),
+                        help="Scoring requests per flushed micro-batch",
+                    )
                 metrics.inc(
                     "repro_serve_events_total",
                     m,
@@ -261,16 +406,6 @@ class ScoringEngine:
                     m,
                     help="Scoring requests accepted by the engine",
                 )
-                metrics.inc(
-                    "repro_serve_batches_total",
-                    help="Micro-batches scored by the engine",
-                )
-                metrics.observe(
-                    "repro_serve_batch_size",
-                    float(m),
-                    help="Scoring requests per flushed micro-batch",
-                )
-                parts.append(probs)
                 n_events += m
                 since_snapshot += m
                 if (
@@ -296,6 +431,43 @@ class ScoringEngine:
             n_events=n_events,
             n_batches=self.batches_total - batches_before,
             elapsed_seconds=elapsed,
+            n_diverted=n_diverted,
+            n_duplicates=n_duplicates,
+        )
+
+    def replay_events(
+        self, events: Iterable[Mapping[str, Any]]
+    ) -> ReplayResult:
+        """Stream individual events through the guarded request loop.
+
+        The event-wise sibling of :meth:`replay` for sources that are
+        not ordered column chunks — chiefly chaos-perturbed telemetry
+        streams (:func:`repro.resilience.chaos_telemetry_events`), where
+        reordered/duplicated/garbled arrivals must route through the
+        admission guard one at a time.  Scores cover accepted events in
+        admission order; diverted and duplicate counts land on the
+        result.
+        """
+        t0 = self.clock()
+        before_requests = self.requests_total
+        batches_before = self.batches_total
+        scored: list[ScoredEvent] = []
+        stats = self.guard.stats if self.guard is not None else None
+        div0 = stats.dead_lettered if stats is not None else 0
+        dup0 = stats.duplicates_dropped if stats is not None else 0
+        with tracing.span("repro.serve.replay_events") as sp:
+            for record in events:
+                scored.extend(self.submit(record))
+            scored.extend(self.drain())
+            sp.set(rows_in=self.requests_total - before_requests)
+        probs = np.asarray([ev.probability for ev in scored], dtype=np.float64)
+        return ReplayResult(
+            probability=probs,
+            n_events=self.requests_total - before_requests,
+            n_batches=self.batches_total - batches_before,
+            elapsed_seconds=self.clock() - t0,
+            n_diverted=(stats.dead_lettered - div0) if stats else 0,
+            n_duplicates=(stats.duplicates_dropped - dup0) if stats else 0,
         )
 
     # ------------------------------------------------------------------ misc

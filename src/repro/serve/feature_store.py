@@ -65,7 +65,26 @@ class OutOfOrderError(FeatureStoreError):
 
     Cumulative features fold left over age; replaying the past into a
     live store would silently double-count, so the store refuses.
+
+    Carries the triage context as attributes (``None`` when unknown):
+    ``drive_id`` (which drive rewound), ``age_days`` (the offending
+    record's age), and ``watermark`` (the age the store had already
+    absorbed for that drive) — so field triage can answer "which drive,
+    how late, against what state" straight from the exception.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        drive_id: int | None = None,
+        age_days: int | None = None,
+        watermark: int | None = None,
+    ):
+        super().__init__(message)
+        self.drive_id = drive_id
+        self.age_days = age_days
+        self.watermark = watermark
 
 
 class FeatureStore:
@@ -114,6 +133,26 @@ class FeatureStore:
             self._index[drive_id] = slot
         return slot
 
+    def watermark(self, drive_id: int) -> int:
+        """Last absorbed ``age_days`` for one drive (``-1`` if unseen)."""
+        with self._lock:
+            slot = self._index.get(int(drive_id))
+            return -1 if slot is None else int(self._last_age[slot])
+
+    def watermarks(self, drive_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`watermark` lookup (``-1`` for unseen drives).
+
+        Does *not* allocate slots for unseen drives — the admission
+        guard classifies against this without mutating the store.
+        """
+        with self._lock:
+            out = np.full(len(drive_ids), -1, dtype=np.int64)
+            for i, d in enumerate(drive_ids):
+                slot = self._index.get(int(d))
+                if slot is not None:
+                    out[i] = self._last_age[slot]
+            return out
+
     def drive_state(self, drive_id: int) -> dict[str, Any] | None:
         """Cumulative counters + bookkeeping for one drive (copy)."""
         with self._lock:
@@ -140,9 +179,14 @@ class FeatureStore:
             age = int(record["age_days"])
             slot = self._slot(drive_id)
             if age < self._last_age[slot]:
+                watermark = int(self._last_age[slot])
                 raise OutOfOrderError(
-                    f"drive {drive_id}: record for age {age}d arrived after "
-                    f"state already at {int(self._last_age[slot])}d"
+                    f"drive {drive_id}: record for age {age}d arrived "
+                    f"{watermark - age}d late (state already at watermark "
+                    f"{watermark}d)",
+                    drive_id=drive_id,
+                    age_days=age,
+                    watermark=watermark,
                 )
             daily = np.empty((1, _N_SOURCES), dtype=np.float64)
             for j, src in enumerate(DAILY_FEATURE_SOURCES):
@@ -195,8 +239,14 @@ class FeatureStore:
             # Ages must be non-decreasing within each run …
             inner_ok = (ids[1:] != ids[:-1]) | (age[1:] >= age[:-1])
             if not bool(np.all(inner_ok)):
+                row = int(np.flatnonzero(~inner_ok)[0]) + 1
                 raise OutOfOrderError(
-                    "chunk rows are not age-sorted within a drive run"
+                    f"drive {int(ids[row])}: chunk rows are not age-sorted "
+                    f"within a drive run (age {int(age[row])}d follows "
+                    f"{int(age[row - 1])}d)",
+                    drive_id=int(ids[row]),
+                    age_days=int(age[row]),
+                    watermark=int(age[row - 1]),
                 )
             slots = np.fromiter(
                 (self._slot(int(d)) for d in run_ids),
@@ -206,10 +256,17 @@ class FeatureStore:
             # … and start at or after the state already absorbed.
             stale = age[starts] < self._last_age[slots]
             if bool(np.any(stale)):
-                bad = int(run_ids[np.flatnonzero(stale)[0]])
+                k = int(np.flatnonzero(stale)[0])
+                bad = int(run_ids[k])
+                bad_age = int(age[starts[k]])
+                watermark = int(self._last_age[slots[k]])
                 raise OutOfOrderError(
-                    f"drive {bad}: chunk rewinds to an age older than the "
-                    "already-absorbed state"
+                    f"drive {bad}: chunk rewinds to age {bad_age}d, "
+                    f"{watermark - bad_age}d older than the already-absorbed "
+                    f"watermark {watermark}d",
+                    drive_id=bad,
+                    age_days=bad_age,
+                    watermark=watermark,
                 )
             # Chunk-local per-run prefix sums (same trick as
             # DriveDayDataset.grouped_cumsum), shifted by each run's

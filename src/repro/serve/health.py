@@ -1,0 +1,122 @@
+"""Serving health: circuit breaker, degraded state, staleness tagging.
+
+The engine's health is a three-state machine, reusing the PR-4 circuit-
+breaker pattern (count consecutive faults, trip, recover on sustained
+success) at the serving layer:
+
+``ready``
+    The steady state: events admit and score normally.
+``degraded``
+    The breaker tripped — a streak of dead-lettered/shed events (or
+    stale scores) crossed the threshold.  The engine *keeps scoring*
+    (degraded, not down: a hyperscale scorer must survive a misbehaving
+    telemetry pipeline), but the state is exported via status records,
+    metrics, and the run manifest so operators see the input is sick.
+``draining``
+    Terminal: shutdown has begun, pending requests are being flushed,
+    no new events are admitted.  Entered explicitly, never left.
+
+Staleness is a separate, per-score concern: when a scored event's
+calendar day lags the fleet watermark (the newest calendar day the
+engine has seen) by more than :class:`StalenessPolicy.max_lag_days`,
+the score is still produced but tagged ``stale`` with the lag attached —
+downstream consumers decide whether a stale risk estimate is actionable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HealthState", "StalenessPolicy", "ServeBreaker"]
+
+
+class HealthState:
+    """The serving health states (plain strings, JSON-friendly)."""
+
+    READY = "ready"
+    DEGRADED = "degraded"
+    DRAINING = "draining"
+
+    #: Legal transition order for rendering/asserts.
+    ORDER = (READY, DEGRADED, DRAINING)
+
+
+@dataclass(frozen=True)
+class StalenessPolicy:
+    """Watermark-lag bound past which a score is tagged stale.
+
+    ``max_lag_days`` compares a scored event's ``calendar_day`` against
+    the fleet watermark (newest calendar day seen by the engine) at
+    flush time.  ``count_as_fault`` feeds stale scores into the circuit
+    breaker, so a fleet scoring mostly-stale drives degrades visibly.
+    """
+
+    max_lag_days: int = 7
+    count_as_fault: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_lag_days < 0:
+            raise ValueError("max_lag_days must be >= 0")
+
+
+class ServeBreaker:
+    """Consecutive-fault circuit breaker over the admission stream.
+
+    ``fault_threshold`` consecutive faults (dead letters, sheds, and —
+    under ``StalenessPolicy(count_as_fault=True)`` — stale scores) trip
+    ``ready`` → ``degraded``; ``recovery_threshold`` consecutive healthy
+    admissions close the breaker again.  ``begin_drain()`` moves to the
+    terminal ``draining`` state from anywhere.
+    """
+
+    def __init__(
+        self, fault_threshold: int = 8, recovery_threshold: int = 32
+    ):
+        if fault_threshold < 1:
+            raise ValueError("fault_threshold must be >= 1")
+        if recovery_threshold < 1:
+            raise ValueError("recovery_threshold must be >= 1")
+        self.fault_threshold = fault_threshold
+        self.recovery_threshold = recovery_threshold
+        self.state = HealthState.READY
+        self.consecutive_faults = 0
+        self.consecutive_oks = 0
+        self.trips = 0
+        self.recoveries = 0
+
+    def record_ok(self) -> str:
+        """One healthy admission; may close a tripped breaker."""
+        self.consecutive_faults = 0
+        if self.state == HealthState.DEGRADED:
+            self.consecutive_oks += 1
+            if self.consecutive_oks >= self.recovery_threshold:
+                self.state = HealthState.READY
+                self.recoveries += 1
+                self.consecutive_oks = 0
+        return self.state
+
+    def record_fault(self) -> str:
+        """One diverted/stale event; may trip the breaker."""
+        self.consecutive_oks = 0
+        self.consecutive_faults += 1
+        if (
+            self.state == HealthState.READY
+            and self.consecutive_faults >= self.fault_threshold
+        ):
+            self.state = HealthState.DEGRADED
+            self.trips += 1
+        return self.state
+
+    def begin_drain(self) -> str:
+        """Enter the terminal draining state (shutdown has begun)."""
+        self.state = HealthState.DRAINING
+        return self.state
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "trips": self.trips,
+            "recoveries": self.recoveries,
+            "fault_threshold": self.fault_threshold,
+            "recovery_threshold": self.recovery_threshold,
+        }

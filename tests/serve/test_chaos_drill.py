@@ -1,0 +1,214 @@
+"""The serving chaos drill: telemetry faults, then heal to bit-identity.
+
+Tentpole acceptance (ISSUE 6): replaying a trace under ``REPRO_CHAOS``
+telemetry faults — reorder, duplicate, late, garble — must leave a
+guarded engine with (a) every diverted event accounted for in the DLQ
+and (b) a heal path whose re-scored output is **byte-identical** (``==``
+on every float) to a run that never saw the faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.resilience.chaos import (
+    GARBLE_FIELDS,
+    TELEMETRY_MODES,
+    ChaosError,
+    chaos_telemetry_events,
+    garble_event,
+    parse_chaos_spec,
+    planned_fault,
+    telemetry_spec_from_env,
+)
+from repro.serve import (
+    AdmissionGuard,
+    DeadLetterQueue,
+    EventJournal,
+    FeatureStore,
+    ScoringEngine,
+    build_heal_plan,
+    canonical_event,
+)
+
+from .test_guard import make_stream
+
+SPEC = {"reorder": 0.08, "duplicate": 0.08, "late": 0.04, "garble": 0.04}
+
+
+class TestTelemetryChaos:
+    def test_stream_is_deterministic(self):
+        events = make_stream(n_drives=3, n_ages=20)
+        a = list(chaos_telemetry_events(iter(events), SPEC, seed=7))
+        b = list(chaos_telemetry_events(iter(events), SPEC, seed=7))
+        assert a == b
+
+    def test_seed_changes_the_plan(self):
+        events = make_stream(n_drives=3, n_ages=20)
+        a = list(chaos_telemetry_events(iter(events), SPEC, seed=7))
+        b = list(chaos_telemetry_events(iter(events), SPEC, seed=8))
+        assert a != b
+
+    def test_empty_spec_is_identity(self):
+        events = make_stream()
+        assert list(chaos_telemetry_events(iter(events), [], seed=7)) == events
+
+    def test_no_event_is_lost_only_duplicated(self):
+        events = make_stream(n_drives=4, n_ages=25)
+        out = list(chaos_telemetry_events(iter(events), SPEC, seed=42))
+        def key(e):
+            return (e["drive_id"], e["age_days"])
+        in_keys = {key(e) for e in events}
+        out_keys = [key(e) for e in out]
+        assert set(out_keys) == in_keys       # nothing dropped
+        assert len(out) >= len(events)        # duplicates only add
+        dupes = sum(
+            1 for m in (planned_fault(i, list(SPEC.items()), 42)
+                        for i in range(len(events)))
+            if m == "duplicate"
+        )
+        assert len(out) == len(events) + dupes
+
+    def test_duplicate_mode_emits_back_to_back(self):
+        spec = [("duplicate", 1.0)]
+        events = make_stream(n_drives=1, n_ages=3)
+        out = list(chaos_telemetry_events(iter(events), spec, seed=0))
+        assert out == [e for ev in events for e in (ev, ev)]
+
+    def test_garble_corrupts_one_non_key_field(self):
+        events = make_stream(n_drives=1, n_ages=1)
+        garbled = garble_event(events[0], 0, seed=3)
+        diff = {k for k in events[0] if garbled[k] != events[0][k]
+                and not (isinstance(garbled[k], float) and np.isnan(garbled[k]))}
+        nan_diff = {k for k in events[0]
+                    if isinstance(garbled[k], float) and np.isnan(garbled[k])}
+        changed = diff | nan_diff
+        assert len(changed) == 1
+        assert changed < set(GARBLE_FIELDS)
+        assert garbled["drive_id"] == events[0]["drive_id"]
+        assert garbled["age_days"] == events[0]["age_days"]
+
+    def test_garble_is_pure(self):
+        ev = make_stream(n_drives=1, n_ages=1)[0]
+        a, b = garble_event(ev, 5, seed=9), garble_event(ev, 5, seed=9)
+        assert canonical_event(a) == canonical_event(b)
+
+    def test_spec_from_env_filters_worker_modes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "crash=0.2,duplicate=0.1,late=0.05")
+        monkeypatch.setenv("REPRO_CHAOS_SEED", "17")
+        spec, seed = telemetry_spec_from_env()
+        assert spec == [("duplicate", 0.1), ("late", 0.05)]
+        assert seed == 17
+
+    def test_spec_from_env_empty_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert telemetry_spec_from_env() == ([], 0)
+
+    def test_parse_rejects_unknown_mode_and_bad_rates(self):
+        with pytest.raises(ChaosError, match="unknown chaos mode"):
+            parse_chaos_spec("scramble=0.1")
+        with pytest.raises(ChaosError, match=r"in \[0, 1\]"):
+            parse_chaos_spec("late=1.5")
+        with pytest.raises(ChaosError, match="sum"):
+            parse_chaos_spec("late=0.7,garble=0.6")
+
+    def test_telemetry_modes_all_reachable(self):
+        spec = [(m, 0.25) for m in TELEMETRY_MODES]
+        seen = {
+            planned_fault(i, spec, seed=1) for i in range(400)
+        }
+        assert set(TELEMETRY_MODES) <= seen
+
+
+class TestChaosDrill:
+    """End-to-end: chaos replay diverts, heal restores bit-identity."""
+
+    @pytest.fixture()
+    def drill(self, predictor, tmp_path):
+        events = make_stream(n_drives=5, n_ages=40)
+
+        # Clean run: the ground truth no chaos replay may drift from.
+        clean_store = FeatureStore()
+        clean_engine = ScoringEngine(
+            predictor, store=clean_store, guard=AdmissionGuard(clean_store)
+        )
+        clean = list(clean_engine.score_stream(iter(events)))
+
+        # Chaos run: guarded, journaled, dead-lettered.
+        dlq_path = tmp_path / "dlq.jsonl"
+        journal_path = tmp_path / "journal.jsonl"
+        store = FeatureStore()
+        with DeadLetterQueue(dlq_path) as dlq, \
+                EventJournal(journal_path) as journal:
+            guard = AdmissionGuard(store, dlq=dlq, journal=journal)
+            engine = ScoringEngine(predictor, store=store, guard=guard)
+            chaotic = list(
+                engine.score_stream(
+                    chaos_telemetry_events(iter(events), SPEC, seed=42)
+                )
+            )
+        return {
+            "events": events,
+            "clean": clean,
+            "chaotic": chaotic,
+            "guard": guard,
+            "dlq_path": dlq_path,
+            "journal_path": journal_path,
+        }
+
+    def test_chaos_actually_bites(self, drill):
+        stats = drill["guard"].stats
+        assert stats.dead_lettered > 0
+        assert stats.duplicates_dropped > 0
+        assert stats.by_fault.keys() <= {"late", "schema", "conflict"}
+
+    def test_every_diverted_event_is_accounted(self, drill):
+        stats = drill["guard"].stats
+        entries = DeadLetterQueue.read(drill["dlq_path"])
+        assert len(entries) == stats.dead_lettered
+        by_fault = {}
+        for e in entries:
+            by_fault[e.fault] = by_fault.get(e.fault, 0) + 1
+        assert by_fault == stats.by_fault
+        # admitted + duplicates + dead letters covers the whole chaotic
+        # arrival sequence (duplicate mode only ever adds events).
+        n_arrivals = (
+            stats.admitted + stats.duplicates_dropped + stats.dead_lettered
+        )
+        assert n_arrivals >= len(drill["events"])
+        assert len(EventJournal.read(drill["journal_path"])) == stats.admitted
+
+    def test_heal_restores_bit_identical_scores(self, drill, predictor):
+        refetch = {
+            (e["drive_id"], e["age_days"]): e for e in drill["events"]
+        }
+        plan = build_heal_plan(
+            EventJournal.read(drill["journal_path"]),
+            DeadLetterQueue.read(drill["dlq_path"]),
+            refetch=refetch,
+        )
+        assert not plan.unhealable
+        assert plan.n_healed == drill["guard"].stats.dead_lettered
+
+        store = FeatureStore()
+        engine = ScoringEngine(
+            predictor, store=store, guard=AdmissionGuard(store)
+        )
+        healed = list(engine.score_stream(iter(plan.events)))
+
+        clean = drill["clean"]
+        assert len(healed) == len(clean)
+        for h, c in zip(healed, clean):
+            assert (h.drive_id, h.age_days) == (c.drive_id, c.age_days)
+            assert h.probability == c.probability  # bit-identical, no tol
+
+    def test_heal_without_refetch_leaves_schema_faults_dead(self, drill):
+        entries = DeadLetterQueue.read(drill["dlq_path"])
+        plan = build_heal_plan(
+            EventJournal.read(drill["journal_path"]), entries
+        )
+        refetch_needed = [
+            e for e in entries if e.fault in ("schema", "conflict")
+        ]
+        assert plan.unhealable == refetch_needed

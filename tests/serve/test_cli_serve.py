@@ -81,6 +81,7 @@ class TestParser:
             "publish": ["serve", "publish", "--model", "m", "--registry", "r"],
             "bench": ["serve", "bench"],
             "run": ["serve", "run", "--model", "m"],
+            "heal": ["serve", "heal", "--model", "m", "--journal", "j"],
         }
         for subcommand, argv in argvs.items():
             assert parser.parse_args(argv).serve_command == subcommand
@@ -301,8 +302,13 @@ class TestRun:
         code = main(["serve", "run", "--registry", str(served["registry"])])
         captured = capsys.readouterr()
         assert code == 0
-        scored = [json.loads(s) for s in captured.out.splitlines()]
+        records = [json.loads(s) for s in captured.out.splitlines()]
+        # Score records carry no "type" key; status/error records do.
+        scored = [r for r in records if "type" not in r]
+        statuses = [r for r in records if r.get("type") == "status"]
         assert len(scored) == len(events)
+        # The drain at stream end is announced as a status record.
+        assert statuses and statuses[-1]["health"] == "draining"
         # Online transport order matches arrival order.
         assert [s["drive_id"] for s in scored] == [
             e["drive_id"] for e in events
@@ -340,19 +346,282 @@ class TestRun:
 
         assert FeatureStore.restore(snap).events_total == len(events)
 
-    def test_bad_json_exits_two(self, served, monkeypatch, capsys):
-        monkeypatch.setattr("sys.stdin", io.StringIO("{not json}\n"))
-        code = main(["serve", "run", "--registry", str(served["registry"])])
-        assert code == 2
-        assert "not valid JSON" in capsys.readouterr().err
+    def test_bad_json_dead_letters_and_exits_one(
+        self, served, monkeypatch, tmp_path, capsys
+    ):
+        # Malformed transport lines no longer kill the service: they are
+        # reported as structured error records (and dead-lettered when a
+        # DLQ is configured), and the run exits 1 to flag the diversion.
+        events = self._events(served["fleet"], n=3)
+        dlq = tmp_path / "dlq.jsonl"
+        payload = (
+            json.dumps(events[0])
+            + "\n{not json}\n"
+            + "\n".join(json.dumps(e) for e in events[1:])
+            + "\n"
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        code = main(
+            [
+                "serve",
+                "run",
+                "--registry",
+                str(served["registry"]),
+                "--dlq",
+                str(dlq),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        records = [json.loads(s) for s in captured.out.splitlines()]
+        errors = [r for r in records if r.get("type") == "error"]
+        scored = [r for r in records if "type" not in r]
+        assert len(scored) == len(events)  # every good event still scored
+        assert len(errors) == 1
+        assert errors[0]["fault"] == "malformed"
+        assert errors[0]["line"] == 2
+        assert "not valid JSON" in errors[0]["reason"]
+        from repro.serve import DeadLetterQueue
 
-    def test_missing_field_exits_two(self, served, monkeypatch, capsys):
+        entries = DeadLetterQueue.read(dlq)
+        assert len(entries) == 1
+        assert entries[0].fault == "malformed"
+        assert entries[0].raw == "{not json}"
+        assert entries[0].source == "transport"
+
+    def test_missing_field_dead_letters_and_exits_one(
+        self, served, monkeypatch, capsys
+    ):
         monkeypatch.setattr(
             "sys.stdin", io.StringIO('{"drive_id": 1, "age_days": 3}\n')
         )
         code = main(["serve", "run", "--registry", str(served["registry"])])
+        captured = capsys.readouterr()
+        assert code == 1
+        records = [json.loads(s) for s in captured.out.splitlines()]
+        errors = [r for r in records if r.get("type") == "error"]
+        assert len(errors) == 1
+        assert errors[0]["fault"] == "malformed"
+        assert "missing field" in errors[0]["reason"]
+
+    def test_late_event_diverted_not_fatal(
+        self, served, monkeypatch, tmp_path, capsys
+    ):
+        events = self._events(served["fleet"], n=5)
+        dlq = tmp_path / "dlq.jsonl"
+        stream = events + [events[1]]  # re-deliver an old drive-day
+        payload = "\n".join(json.dumps(e) for e in stream) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        code = main(
+            [
+                "serve",
+                "run",
+                "--registry",
+                str(served["registry"]),
+                "--dlq",
+                str(dlq),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        errors = [
+            json.loads(s)
+            for s in captured.out.splitlines()
+            if json.loads(s).get("type") == "error"
+        ]
+        assert len(errors) == 1
+        assert errors[0]["fault"] == "late"
+        assert errors[0]["drive_id"] == events[1]["drive_id"]
+        assert errors[0]["watermark"] == events[-1]["age_days"]
+
+    def test_duplicate_redelivery_is_benign(self, served, monkeypatch, capsys):
+        events = self._events(served["fleet"], n=4)
+        stream = events + [dict(events[-1])]  # exact duplicate of the tail
+        payload = "\n".join(json.dumps(e) for e in stream) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        code = main(["serve", "run", "--registry", str(served["registry"])])
+        captured = capsys.readouterr()
+        assert code == 0  # idempotent re-delivery is not an error
+        records = [json.loads(s) for s in captured.out.splitlines()]
+        assert not [r for r in records if r.get("type") == "error"]
+        assert len([r for r in records if "type" not in r]) == len(events)
+        assert "1 duplicate(s) dropped" in captured.err
+
+    def test_shed_overflow_dead_letters(
+        self, served, monkeypatch, tmp_path, capsys
+    ):
+        events = self._events(served["fleet"], n=12)
+        dlq = tmp_path / "dlq.jsonl"
+        payload = "\n".join(json.dumps(e) for e in events) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(payload))
+        code = main(
+            [
+                "serve",
+                "run",
+                "--registry",
+                str(served["registry"]),
+                "--max-queue",
+                "4",
+                "--overflow",
+                "shed",
+                "--batch-size",
+                "64",
+                "--max-wait",
+                "100",
+                "--dlq",
+                str(dlq),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        from repro.serve import DeadLetterQueue
+
+        entries = DeadLetterQueue.read(dlq)
+        assert len(entries) == 8  # 12 submitted, queue bound 4
+        assert all(e.fault == "shed" for e in entries)
+        scored = [
+            json.loads(s)
+            for s in captured.out.splitlines()
+            if "type" not in json.loads(s)
+        ]
+        assert len(scored) == 4  # the queued events still score at drain
+
+
+class TestHeal:
+    def test_heal_rebuilds_bit_identical_scores(self, served, tmp_path, capsys):
+        clean = tmp_path / "clean.jsonl"
+        assert (
+            main(
+                [
+                    "serve",
+                    "replay",
+                    "--trace",
+                    str(served["fleet"]),
+                    "--registry",
+                    str(served["registry"]),
+                    "--out",
+                    str(clean),
+                    "--no-manifest",
+                ]
+            )
+            == 0
+        )
+        journal = tmp_path / "journal.jsonl"
+        dlq = tmp_path / "dlq.jsonl"
+        healed = tmp_path / "healed.jsonl"
+        # A guarded replay over the clean trace journals every event and
+        # diverts none.
+        assert (
+            main(
+                [
+                    "serve",
+                    "replay",
+                    "--trace",
+                    str(served["fleet"]),
+                    "--registry",
+                    str(served["registry"]),
+                    "--journal",
+                    str(journal),
+                    "--dlq",
+                    str(dlq),
+                    "--no-manifest",
+                ]
+            )
+            == 0
+        )
+        assert not dlq.exists()  # lazy appender: no faults, no file
+        code = main(
+            [
+                "serve",
+                "heal",
+                "--registry",
+                str(served["registry"]),
+                "--journal",
+                str(journal),
+                "--out",
+                str(healed),
+                "--expect",
+                str(clean),
+            ]
+        )
+        assert code == 0
+        assert healed.read_bytes() == clean.read_bytes()
+        assert "parity ok" in capsys.readouterr().err
+
+    def test_heal_missing_journal_exits_two(self, served, tmp_path, capsys):
+        code = main(
+            [
+                "serve",
+                "heal",
+                "--registry",
+                str(served["registry"]),
+                "--journal",
+                str(tmp_path / "nope.jsonl"),
+            ]
+        )
         assert code == 2
-        assert "missing field" in capsys.readouterr().err
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_heal_unhealable_without_refetch_exits_one(
+        self, served, tmp_path, capsys
+    ):
+        import itertools
+
+        from repro.data.io import iter_drive_days
+
+        events = [
+            {k: v.item() for k, v in record.items()}
+            for record in itertools.islice(
+                iter_drive_days(served["fleet"] / "records.npz"), 6
+            )
+        ]
+        bad = dict(events[3], read_count=-5)  # schema fault: negative count
+        journal = tmp_path / "journal.jsonl"
+        dlq = tmp_path / "dlq.jsonl"
+        from repro.serve import (
+            AdmissionGuard,
+            DeadLetterQueue,
+            EventJournal,
+            FeatureStore,
+        )
+
+        with DeadLetterQueue(dlq) as d, EventJournal(journal) as j:
+            guard = AdmissionGuard(FeatureStore(), dlq=d, journal=j)
+            for ev in events[:3] + [bad] + events[4:]:
+                guard.admit(ev)
+        code = main(
+            [
+                "serve",
+                "heal",
+                "--registry",
+                str(served["registry"]),
+                "--journal",
+                str(journal),
+                "--dlq",
+                str(dlq),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 1  # schema faults need --refetch to heal
+        assert "1 unhealable" in captured.err
+
+        # With --refetch the upstream payload heals it: exit 0.
+        code = main(
+            [
+                "serve",
+                "heal",
+                "--registry",
+                str(served["registry"]),
+                "--journal",
+                str(journal),
+                "--dlq",
+                str(dlq),
+                "--refetch",
+                str(served["fleet"]),
+            ]
+        )
+        assert code == 0
+        assert "0 unhealable" in capsys.readouterr().err
 
 
 class TestBench:

@@ -1,0 +1,235 @@
+"""Dead-letter queue, journal, canonical events, and the heal planner."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    HEALABLE_FAULTS,
+    REFETCHABLE_FAULTS,
+    DeadLetterEntry,
+    DeadLetterError,
+    DeadLetterQueue,
+    EventJournal,
+    build_heal_plan,
+    canonical_event,
+    event_digest,
+)
+
+from .test_guard import make_event
+
+
+class TestCanonicalEvent:
+    def test_numpy_scalars_become_python_scalars(self):
+        ev = make_event(1, 2)
+        ev["correctable_error"] = np.int64(14)
+        ev["pe_cycles"] = np.float64(2.0)
+        out = canonical_event(ev)
+        assert type(out["correctable_error"]) is int
+        assert type(out["pe_cycles"]) is float
+
+    def test_round_trip_through_json_is_exact(self):
+        ev = canonical_event(make_event(3, 7, pe_cycles=0.1 + 0.2))
+        back = json.loads(json.dumps(ev))
+        assert canonical_event(back) == ev
+
+    def test_unknown_keys_preserved_after_registry_fields(self):
+        ev = make_event(1, 0)
+        ev["site"] = "dc-7"
+        out = canonical_event(ev)
+        assert out["site"] == "dc-7"
+        assert list(out)[-1] == "site"
+
+    def test_nan_in_integer_field_kept_verbatim(self):
+        out = canonical_event(make_event(1, 0, correctable_error=float("nan")))
+        assert isinstance(out["correctable_error"], float)
+        assert np.isnan(out["correctable_error"])
+
+    def test_fractional_value_in_integer_field_not_truncated(self):
+        out = canonical_event(make_event(1, 0, correctable_error=7.5))
+        assert out["correctable_error"] == 7.5
+
+    def test_string_in_numeric_field_kept_verbatim(self):
+        out = canonical_event(make_event(1, 0, read_count="sick"))
+        assert out["read_count"] == "sick"
+
+
+class TestEventDigest:
+    def test_equal_payloads_equal_digests(self):
+        a = make_event(2, 9)
+        b = {k: np.int64(v) if isinstance(v, int) else v for k, v in a.items()}
+        assert event_digest(a) == event_digest(b)
+
+    def test_any_field_change_changes_digest(self):
+        base = make_event(2, 9)
+        assert event_digest(base) != event_digest(
+            dict(base, write_count=base["write_count"] + 1)
+        )
+
+    def test_key_order_irrelevant(self):
+        ev = make_event(5, 1)
+        reordered = dict(reversed(list(ev.items())))
+        assert event_digest(ev) == event_digest(reordered)
+
+
+class TestQueueAndJournal:
+    def test_divert_read_round_trip(self, tmp_path):
+        path = tmp_path / "dlq.jsonl"
+        with DeadLetterQueue(path) as dlq:
+            dlq.divert(
+                "late",
+                "3d behind",
+                event=make_event(1, 4),
+                drive_id=1,
+                age_days=4,
+                watermark=7,
+            )
+            dlq.divert("malformed", "not json", raw="{broken")
+        entries = DeadLetterQueue.read(path)
+        assert [e.seq for e in entries] == [0, 1]
+        first, second = entries
+        assert (first.fault, first.drive_id, first.watermark) == ("late", 1, 7)
+        assert first.event == canonical_event(make_event(1, 4))
+        assert second.raw == "{broken"
+        assert second.event is None
+        assert dlq.by_fault == {"late": 1, "malformed": 1}
+
+    def test_unknown_fault_class_rejected(self, tmp_path):
+        with DeadLetterQueue(tmp_path / "d.jsonl") as dlq:
+            with pytest.raises(DeadLetterError, match="unknown fault class"):
+                dlq.divert("mystery", "?")
+
+    def test_lazy_open_no_file_until_first_append(self, tmp_path):
+        path = tmp_path / "never.jsonl"
+        with DeadLetterQueue(path):
+            pass
+        assert not path.exists()
+
+    def test_read_missing_file_raises(self, tmp_path):
+        with pytest.raises(DeadLetterError, match="does not exist"):
+            DeadLetterQueue.read(tmp_path / "gone.jsonl")
+        with pytest.raises(DeadLetterError, match="does not exist"):
+            EventJournal.read(tmp_path / "gone.jsonl")
+
+    def test_read_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "dlq.jsonl"
+        path.write_text('{"seq": 0, "fault": "late", "reason": ""}\n{oops\n')
+        with pytest.raises(DeadLetterError, match="line 2"):
+            DeadLetterQueue.read(path)
+
+    def test_journal_round_trip_preserves_order(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        events = [make_event(d, a) for d in (3, 1) for a in (0, 1)]
+        with EventJournal(path) as journal:
+            for ev in events:
+                journal.record(ev)
+        rows = EventJournal.read(path)
+        assert [r["seq"] for r in rows] == [0, 1, 2, 3]
+        assert [r["event"] for r in rows] == [canonical_event(e) for e in events]
+
+    def test_fault_class_partition(self):
+        # heal semantics rely on the two sets being disjoint
+        assert not HEALABLE_FAULTS & REFETCHABLE_FAULTS
+        assert "malformed" not in HEALABLE_FAULTS | REFETCHABLE_FAULTS
+
+
+class TestBuildHealPlan:
+    def _journal(self, events):
+        return [{"seq": i, "event": canonical_event(e)} for i, e in enumerate(events)]
+
+    def test_late_entry_restored_in_drive_order(self):
+        accepted = [make_event(1, 0), make_event(1, 2), make_event(2, 0)]
+        late = DeadLetterEntry(
+            seq=0,
+            fault="late",
+            reason="",
+            drive_id=1,
+            age_days=1,
+            watermark=2,
+            event=canonical_event(make_event(1, 1)),
+        )
+        plan = build_heal_plan(self._journal(accepted), [late])
+        assert plan.healed_by_fault == {"late": 1}
+        assert not plan.unhealable
+        ages = [(e["drive_id"], e["age_days"]) for e in plan.events]
+        assert ages == [(1, 0), (1, 1), (1, 2), (2, 0)]
+
+    def test_exact_duplicates_collapse_to_earliest(self):
+        ev = make_event(4, 3)
+        dup = DeadLetterEntry(
+            seq=0, fault="shed", reason="", drive_id=4, age_days=3,
+            event=canonical_event(ev),
+        )
+        plan = build_heal_plan(self._journal([ev]), [dup])
+        assert plan.duplicates_dropped == 1
+        assert len(plan.events) == 1
+        # still accounted as healed: the drive-day needs no further action
+        assert plan.healed_by_fault == {"shed": 1}
+
+    def test_schema_fault_without_refetch_is_unhealable(self):
+        entry = DeadLetterEntry(
+            seq=0, fault="schema", reason="negative", drive_id=2, age_days=5,
+            event=canonical_event(make_event(2, 5, read_count=-1)),
+        )
+        plan = build_heal_plan([], [entry])
+        assert plan.unhealable == [entry]
+        assert plan.n_healed == 0
+
+    def test_schema_fault_heals_from_refetch(self):
+        entry = DeadLetterEntry(
+            seq=0, fault="schema", reason="negative", drive_id=2, age_days=5,
+        )
+        truth = make_event(2, 5)
+        plan = build_heal_plan([], [entry], refetch={(2, 5): truth})
+        assert plan.healed_by_fault == {"schema": 1}
+        assert plan.events == [canonical_event(truth)]
+
+    def test_conflict_prefers_refetched_truth(self):
+        garbled = make_event(7, 1, read_count=999999)
+        truth = make_event(7, 1)
+        entry = DeadLetterEntry(
+            seq=0, fault="conflict", reason="", drive_id=7, age_days=1,
+            event=canonical_event(truth),
+        )
+        plan = build_heal_plan(
+            self._journal([garbled]), [entry], refetch={(7, 1): truth}
+        )
+        assert plan.conflicts_resolved == 1
+        assert plan.events == [canonical_event(truth)]
+
+    def test_conflict_without_refetch_keeps_journal_side(self):
+        journal_ev = make_event(7, 1)
+        other = make_event(7, 1, write_count=42)
+        entry = DeadLetterEntry(
+            seq=0, fault="late", reason="", drive_id=7, age_days=1,
+            event=canonical_event(other),
+        )
+        plan = build_heal_plan(self._journal([journal_ev]), [entry])
+        assert plan.conflicts_resolved == 1
+        assert plan.events == [canonical_event(journal_ev)]
+
+    def test_malformed_always_unhealable(self):
+        entry = DeadLetterEntry(seq=0, fault="malformed", reason="", raw="{x")
+        plan = build_heal_plan([], [entry], refetch={})
+        assert plan.unhealable == [entry]
+
+    def test_refetch_with_nonfinite_truth_stays_dead(self):
+        entry = DeadLetterEntry(
+            seq=0, fault="schema", reason="", drive_id=1, age_days=1,
+        )
+        sick = make_event(1, 1, pe_cycles=float("nan"))
+        plan = build_heal_plan([], [entry], refetch={(1, 1): sick})
+        assert plan.unhealable == [entry]
+
+    def test_plan_order_is_trace_order(self):
+        # journal in arrival order, interleaved across drives
+        events = [
+            make_event(2, 0), make_event(1, 0), make_event(2, 1),
+            make_event(1, 1),
+        ]
+        plan = build_heal_plan(self._journal(events), [])
+        keys = [(e["drive_id"], e["age_days"]) for e in plan.events]
+        assert keys == [(1, 0), (1, 1), (2, 0), (2, 1)]

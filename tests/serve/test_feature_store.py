@@ -122,8 +122,49 @@ class TestOrdering:
         ids = np.asarray(ds["drive_id"])
         last = np.flatnonzero(ids == ids[0])[-1]
         store.ingest(self._record(ds, int(last)))
-        with pytest.raises(OutOfOrderError, match="arrived after"):
+        with pytest.raises(OutOfOrderError, match="d late"):
             store.ingest(self._record(ds, 0))
+
+    def test_out_of_order_error_carries_context(self, serve_trace):
+        # The error is actionable on its own: drive, offending age, the
+        # absorbed watermark, and the lateness in the message.
+        ds = serve_trace.records
+        store = FeatureStore()
+        ids = np.asarray(ds["drive_id"])
+        last = int(np.flatnonzero(ids == ids[0])[-1])
+        store.ingest(self._record(ds, last))
+        with pytest.raises(OutOfOrderError) as exc_info:
+            store.ingest(self._record(ds, 0))
+        err = exc_info.value
+        assert err.drive_id == int(ds["drive_id"][0])
+        assert err.age_days == int(ds["age_days"][0])
+        assert err.watermark == int(ds["age_days"][last])
+        lateness = err.watermark - err.age_days
+        assert f"{lateness}d late" in str(err)
+
+    def test_chunk_rewind_error_carries_context(self, serve_trace):
+        ds = serve_trace.records
+        store = FeatureStore()
+        store.ingest_columns(_all_columns(ds))
+        head = {k: v[:4] for k, v in _all_columns(ds).items()}
+        with pytest.raises(OutOfOrderError) as exc_info:
+            store.ingest_columns(head)
+        err = exc_info.value
+        assert err.drive_id == int(ds["drive_id"][0])
+        assert err.age_days == int(ds["age_days"][0])
+        assert err.watermark is not None and err.watermark > err.age_days
+
+    def test_watermark_lookup(self, serve_trace):
+        ds = serve_trace.records
+        store = FeatureStore()
+        assert store.watermark(12345) == -1
+        store.ingest(self._record(ds, 0))
+        did = int(ds["drive_id"][0])
+        assert store.watermark(did) == int(ds["age_days"][0])
+        marks = store.watermarks(np.array([did, 999_999]))
+        assert marks.tolist() == [int(ds["age_days"][0]), -1]
+        # Lookup never allocates slots for unseen drives.
+        assert store.n_drives == 1
 
     def test_same_age_reingest_allowed(self, serve_trace):
         # Ages are checked with <, not <=: a same-day correction/duplicate

@@ -1,0 +1,308 @@
+"""Admission guard: classification, diversion, dedup, chunk fast path.
+
+The guard's contract is the serving robustness core (DESIGN.md §14):
+no input — malformed, late, conflicting, garbled — makes it raise; every
+event is accepted, dropped as an exact duplicate, or dead-lettered with
+its fault class and watermark context.  The store only ever absorbs
+accepted events, which is what makes duplicate re-delivery idempotent
+byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.fields import FIELD_DTYPES
+from repro.reliability.validation import SENTINEL_CEILING
+from repro.serve import (
+    ACCEPTED,
+    DEAD_LETTERED,
+    DUPLICATE,
+    AdmissionGuard,
+    DeadLetterQueue,
+    EventJournal,
+    FeatureStore,
+    ServeBreaker,
+)
+
+
+def make_event(drive_id: int, age: int, **overrides) -> dict:
+    ev = {name: 0 for name in FIELD_DTYPES}
+    ev.update(
+        drive_id=drive_id,
+        model=drive_id % 3,
+        age_days=age,
+        calendar_day=100 + age,
+        read_count=7 * age,
+        write_count=3 * age,
+        erase_count=age,
+        pe_cycles=float(age),
+    )
+    ev.update(overrides)
+    return ev
+
+
+def make_stream(n_drives: int = 3, n_ages: int = 6) -> list[dict]:
+    """Canonical drive-major stream (the order a clean trace is stored in)."""
+    return [
+        make_event(d, a) for d in range(n_drives) for a in range(n_ages)
+    ]
+
+
+class TestClassify:
+    def setup_method(self):
+        self.guard = AdmissionGuard(FeatureStore())
+
+    def test_fresh_event_accepted(self):
+        out = self.guard.classify(make_event(1, 0))
+        assert out.status == ACCEPTED
+        assert out.watermark == -1
+
+    def test_non_mapping_is_malformed(self):
+        out = self.guard.classify([1, 2, 3])
+        assert (out.status, out.fault) == (DEAD_LETTERED, "malformed")
+
+    def test_missing_fields_malformed(self):
+        out = self.guard.classify({"drive_id": 1, "age_days": 2})
+        assert out.fault == "malformed"
+        assert "missing field" in out.reason
+
+    def test_non_integer_keys_malformed(self):
+        ev = make_event(1, 0)
+        ev["drive_id"] = "not-a-number"
+        assert self.guard.classify(ev).fault == "malformed"
+
+    def test_non_numeric_counter_malformed(self):
+        ev = make_event(1, 0, read_count="high")
+        out = self.guard.classify(ev)
+        assert out.fault == "malformed"
+        assert "read_count" in out.reason
+
+    @pytest.mark.parametrize(
+        "value, label",
+        [
+            (float("nan"), "not finite"),
+            (float("inf"), "not finite"),
+            (-3, "negative"),
+            (SENTINEL_CEILING * 10, "sentinel"),
+        ],
+    )
+    def test_schema_violations(self, value, label):
+        out = self.guard.classify(make_event(1, 0, read_count=value))
+        assert out.fault == "schema"
+        assert label in out.reason
+
+    def test_negative_age_schema_fault(self):
+        assert self.guard.classify(make_event(1, -1)).fault == "schema"
+
+    def test_late_event_carries_watermark(self):
+        self.guard.admit(make_event(1, 5))
+        out = self.guard.classify(make_event(1, 3))
+        assert out.fault == "late"
+        assert (out.drive_id, out.age_days, out.watermark) == (1, 3, 5)
+        assert "2d behind" in out.reason
+
+    def test_exact_redelivery_is_duplicate(self):
+        ev = make_event(1, 5)
+        self.guard.admit(ev)
+        assert self.guard.classify(dict(ev)).status == DUPLICATE
+
+    def test_same_age_different_payload_is_conflict(self):
+        self.guard.admit(make_event(1, 5))
+        out = self.guard.classify(make_event(1, 5, read_count=999))
+        assert out.fault == "conflict"
+
+    def test_classify_never_mutates(self):
+        self.guard.classify(make_event(1, 0))
+        assert self.guard.store.events_total == 0
+        assert self.guard.stats.admitted == 0
+
+
+class TestAdmit:
+    def test_accept_returns_feature_row(self):
+        guard = AdmissionGuard(FeatureStore())
+        out = guard.admit(make_event(1, 0))
+        assert out.accepted and out.row is not None
+        assert guard.stats.admitted == 1
+
+    def test_bad_events_never_raise_or_ingest(self):
+        guard = AdmissionGuard(FeatureStore())
+        for bad in (
+            None,
+            "text",
+            {"drive_id": 1},
+            make_event(1, -4),
+            make_event(1, 0, erase_count=float("nan")),
+        ):
+            out = guard.admit(bad)
+            assert out.status == DEAD_LETTERED
+        assert guard.store.events_total == 0
+        assert guard.stats.dead_lettered == 5
+
+    def test_divert_writes_dlq_and_journal_skips(self, tmp_path):
+        dlq_path = tmp_path / "dlq.jsonl"
+        j_path = tmp_path / "journal.jsonl"
+        with DeadLetterQueue(dlq_path) as dlq, EventJournal(j_path) as journal:
+            guard = AdmissionGuard(FeatureStore(), dlq=dlq, journal=journal)
+            guard.admit(make_event(1, 3))
+            guard.admit(make_event(1, 1))  # late
+        entries = DeadLetterQueue.read(dlq_path)
+        assert [e.fault for e in entries] == ["late"]
+        assert entries[0].event["age_days"] == 1
+        assert entries[0].watermark == 3
+        journal_events = EventJournal.read(j_path)
+        assert len(journal_events) == 1  # only the accepted event
+
+    def test_shed_is_replayable(self, tmp_path):
+        dlq_path = tmp_path / "dlq.jsonl"
+        with DeadLetterQueue(dlq_path) as dlq:
+            guard = AdmissionGuard(FeatureStore(), dlq=dlq)
+            guard.shed(make_event(4, 9), "queue full")
+        (entry,) = DeadLetterQueue.read(dlq_path)
+        assert entry.fault == "shed"
+        assert entry.source == "backpressure"
+        assert entry.event["drive_id"] == 4  # intact payload for heal
+        assert guard.stats.shed == 1
+
+    def test_breaker_trips_and_recovers(self):
+        guard = AdmissionGuard(
+            FeatureStore(),
+            breaker=ServeBreaker(fault_threshold=3, recovery_threshold=2),
+        )
+        for age in (10, 11, 12):
+            guard.admit(make_event(1, age))
+        assert guard.breaker.state == "ready"
+        for _ in range(3):
+            guard.admit(make_event(1, 2))  # late streak
+        assert guard.breaker.state == "degraded"
+        guard.admit(make_event(1, 13))
+        guard.admit(make_event(1, 14))
+        assert guard.breaker.state == "ready"
+        assert guard.breaker.trips == 1
+        assert guard.breaker.recoveries == 1
+
+
+class TestAdmitColumns:
+    def _columns(self, events):
+        return {
+            name: np.asarray([ev[name] for ev in events])
+            for name in FIELD_DTYPES
+        }
+
+    def test_clean_chunk_matches_per_event_path(self):
+        events = make_stream()
+        a = AdmissionGuard(FeatureStore())
+        adm = a.admit_columns(self._columns(events))
+        b = AdmissionGuard(FeatureStore())
+        rows = [b.admit(ev).row for ev in events]
+        assert np.array_equal(adm.features, np.vstack(rows))
+        assert adm.n_diverted == 0
+        assert a.stats.admitted == len(events)
+
+    def test_schema_bad_rows_diverted_rest_ingested(self, tmp_path):
+        events = make_stream(n_drives=2)
+        events[3] = dict(events[3], read_count=-1)
+        with DeadLetterQueue(tmp_path / "d.jsonl") as dlq:
+            guard = AdmissionGuard(FeatureStore(), dlq=dlq)
+            adm = guard.admit_columns(self._columns(events))
+        assert adm.n_diverted == 1
+        assert adm.features.shape[0] == len(events) - 1
+        (entry,) = DeadLetterQueue.read(tmp_path / "d.jsonl")
+        assert entry.fault == "schema"
+        assert entry.drive_id == events[3]["drive_id"]
+
+    def test_unordered_chunk_falls_back_and_diverts(self):
+        events = make_stream(n_drives=1, n_ages=4)
+        shuffled = [events[0], events[2], events[1], events[3]]
+        guard = AdmissionGuard(FeatureStore())
+        adm = guard.admit_columns(self._columns(shuffled))
+        # events[1] arrives behind the watermark set by events[2].
+        assert adm.n_diverted == 1
+        assert guard.stats.by_fault == {"late": 1}
+        assert adm.features.shape[0] == 3
+
+    def test_duplicate_run_in_chunk_deduped(self):
+        events = make_stream(n_drives=1, n_ages=3)
+        guard = AdmissionGuard(FeatureStore())
+        guard.admit_columns(self._columns(events))
+        adm = guard.admit_columns(self._columns([events[-1]]))
+        assert adm.n_duplicates == 1
+        assert guard.store.events_total == len(events)
+
+    def test_missing_column_raises(self):
+        cols = self._columns(make_stream(n_drives=1, n_ages=2))
+        del cols["read_count"]
+        with pytest.raises(KeyError, match="read_count"):
+            AdmissionGuard(FeatureStore()).admit_columns(cols)
+
+
+class TestDuplicateIdempotency:
+    """The satellite property: duplicated-chunk re-ingest is idempotent.
+
+    For ANY interleaving of duplicated chunks (each duplicate arriving at
+    or after its original), the guarded store ends byte-identical to one
+    fed the deduplicated stream: immediate re-deliveries drop as exact
+    duplicates, stale ones divert as late — neither ever touches the
+    store.
+    """
+
+    @staticmethod
+    def _snapshot_bytes(store: FeatureStore) -> bytes:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "store.npz"
+            store.snapshot(path)
+            return path.read_bytes()
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_interleaved_duplicate_chunks_byte_identical(self, data):
+        events = make_stream(n_drives=3, n_ages=5)
+        # Cut the canonical stream into chunks of drawn sizes.
+        chunks: list[list[dict]] = []
+        i = 0
+        while i < len(events):
+            size = data.draw(
+                st.integers(1, 5), label=f"chunk_size@{i}"
+            )
+            chunks.append(events[i : i + size])
+            i += size
+        # Baseline: each chunk exactly once, in order.
+        baseline = FeatureStore()
+        guard = AdmissionGuard(baseline)
+        for chunk in chunks:
+            for ev in chunk:
+                assert guard.admit(ev).accepted
+        expected = self._snapshot_bytes(baseline)
+
+        # Duplicated interleaving: first occurrences keep their order,
+        # duplicates are inserted anywhere at or after them.
+        seq = list(range(len(chunks)))
+        n_dups = data.draw(st.integers(0, 6), label="n_dups")
+        for _ in range(n_dups):
+            which = data.draw(st.integers(0, len(chunks) - 1), label="dup")
+            pos = data.draw(
+                st.integers(seq.index(which) + 1, len(seq)), label="pos"
+            )
+            seq.insert(pos, which)
+
+        store = FeatureStore()
+        dup_guard = AdmissionGuard(store)
+        for ci in seq:
+            for ev in chunks[ci]:
+                out = dup_guard.admit(ev)
+                assert out.status in (ACCEPTED, DUPLICATE, DEAD_LETTERED)
+        assert self._snapshot_bytes(store) == expected
+        assert dup_guard.stats.admitted == len(events)
+        # Every non-first delivery was dropped or diverted, never folded.
+        extras = sum(len(chunks[ci]) for ci in seq) - len(events)
+        assert (
+            dup_guard.stats.duplicates_dropped
+            + dup_guard.stats.dead_lettered
+            == extras
+        )

@@ -1,0 +1,152 @@
+"""Circuit breaker, health states, and staleness tagging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    AdmissionGuard,
+    FeatureStore,
+    HealthState,
+    ScoringEngine,
+    ServeBreaker,
+    StalenessPolicy,
+)
+from repro.serve.batching import BatchPolicy
+
+from .test_guard import make_event, make_stream
+
+
+class TestServeBreaker:
+    def test_initial_state_ready(self):
+        assert ServeBreaker().state == HealthState.READY
+
+    def test_trips_after_threshold_consecutive_faults(self):
+        b = ServeBreaker(fault_threshold=3, recovery_threshold=2)
+        assert b.record_fault() == HealthState.READY
+        assert b.record_fault() == HealthState.READY
+        assert b.record_fault() == HealthState.DEGRADED
+        assert b.trips == 1
+
+    def test_ok_resets_fault_streak(self):
+        b = ServeBreaker(fault_threshold=3)
+        b.record_fault()
+        b.record_fault()
+        b.record_ok()
+        b.record_fault()
+        b.record_fault()
+        assert b.state == HealthState.READY  # never 3 in a row
+
+    def test_recovers_after_sustained_success(self):
+        b = ServeBreaker(fault_threshold=1, recovery_threshold=3)
+        b.record_fault()
+        assert b.state == HealthState.DEGRADED
+        b.record_ok()
+        b.record_ok()
+        assert b.state == HealthState.DEGRADED
+        b.record_ok()
+        assert b.state == HealthState.READY
+        assert b.recoveries == 1
+
+    def test_fault_during_recovery_resets_ok_streak(self):
+        b = ServeBreaker(fault_threshold=1, recovery_threshold=2)
+        b.record_fault()
+        b.record_ok()
+        b.record_fault()
+        b.record_ok()
+        assert b.state == HealthState.DEGRADED
+
+    def test_draining_is_terminal(self):
+        b = ServeBreaker(fault_threshold=1)
+        assert b.begin_drain() == HealthState.DRAINING
+        b.record_ok()
+        b.record_fault()
+        assert b.state == HealthState.DRAINING
+
+    @pytest.mark.parametrize("kwargs", [
+        {"fault_threshold": 0},
+        {"recovery_threshold": 0},
+        {"fault_threshold": -2},
+    ])
+    def test_thresholds_validated(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeBreaker(**kwargs)
+
+    def test_to_dict_is_manifest_shaped(self):
+        b = ServeBreaker(fault_threshold=2, recovery_threshold=5)
+        b.record_fault()
+        b.record_fault()
+        d = b.to_dict()
+        assert d == {
+            "state": "degraded",
+            "trips": 1,
+            "recoveries": 0,
+            "fault_threshold": 2,
+            "recovery_threshold": 5,
+        }
+
+
+class TestStalenessPolicy:
+    def test_negative_lag_rejected(self):
+        with pytest.raises(ValueError, match="max_lag_days"):
+            StalenessPolicy(max_lag_days=-1)
+
+    def test_engine_tags_scores_past_watermark_lag(self, predictor):
+        store = FeatureStore()
+        engine = ScoringEngine(
+            predictor,
+            store=store,
+            batch_policy=BatchPolicy(max_batch_size=1),
+            guard=AdmissionGuard(store),
+            staleness=StalenessPolicy(max_lag_days=3),
+        )
+        # Advance the fleet watermark to calendar day 120 with one drive,
+        # then score another drive whose telemetry stopped at day 105.
+        out = []
+        out += engine.submit(make_event(1, 20))          # calendar 120
+        out += engine.submit(make_event(2, 5))           # calendar 105
+        out += engine.drain()
+        fresh, stale = out
+        assert not fresh.stale
+        assert stale.stale
+        assert stale.staleness_days == 15
+        assert engine.stale_scores == 1
+
+    def test_stale_scores_can_trip_breaker(self, predictor):
+        store = FeatureStore()
+        breaker = ServeBreaker(fault_threshold=2, recovery_threshold=4)
+        engine = ScoringEngine(
+            predictor,
+            store=store,
+            batch_policy=BatchPolicy(max_batch_size=4),
+            guard=AdmissionGuard(store, breaker=breaker),
+            staleness=StalenessPolicy(max_lag_days=2, count_as_fault=True),
+        )
+        engine.submit(make_event(1, 50))                 # watermark 150
+        engine.submit(make_event(2, 5))                  # 45d stale
+        engine.submit(make_event(2, 6))                  # 44d stale
+        flushed = engine.submit(make_event(1, 51))       # fills the batch
+        assert len(flushed) == 4
+        # Two consecutive stale scores inside the flush trip the breaker.
+        assert engine.health_state == HealthState.DEGRADED
+        assert breaker.trips == 1
+        assert engine.stale_scores == 2
+
+    def test_health_state_without_breaker_is_ready(self, predictor):
+        store = FeatureStore()
+        engine = ScoringEngine(
+            predictor, store=store, guard=AdmissionGuard(store)
+        )
+        assert engine.health_state == HealthState.READY
+
+    def test_drain_moves_breaker_to_draining(self, predictor):
+        store = FeatureStore()
+        engine = ScoringEngine(
+            predictor,
+            store=store,
+            guard=AdmissionGuard(store, breaker=ServeBreaker()),
+        )
+        for ev in make_stream(n_drives=2, n_ages=2):
+            engine.submit(ev)
+        engine.drain()
+        assert engine.health_state == HealthState.DRAINING
