@@ -846,7 +846,15 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             else:
                 ids = np.asarray(records["drive_id"])[start_row:]
                 ages = np.asarray(records["age_days"])[start_row:]
-                for did, age, p in zip(ids, ages, result.probability):
+                if result.accepted_index is not None:
+                    # Guarded replay: the guard may have diverted or
+                    # deduped rows, so probabilities cover accepted
+                    # events only — select their source rows.
+                    ids = ids[result.accepted_index]
+                    ages = ages[result.accepted_index]
+                for did, age, p in zip(
+                    ids, ages, result.probability, strict=True
+                ):
                     fh.write(
                         json.dumps(
                             {

@@ -181,12 +181,20 @@ class _JsonlAppender:
     Each ``append`` writes one complete line and flushes, so a crashed
     process leaves at most a prefix of whole lines — readers skip
     nothing and ``heal`` sees every fault recorded before the crash.
+
+    Opening an existing non-empty file resumes ``seq`` numbering from
+    its line count, so appends from a resumed run never collide with
+    the sequence numbers already on disk — the ``(drive_id, age_days,
+    seq)`` heal ordering stays a total order across restarts.
     """
 
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._fh = None
         self.appended = 0
+        if self.path.exists():
+            with open(self.path) as fh:
+                self.appended = sum(1 for line in fh if line.strip())
 
     def append(self, body: Mapping[str, Any]) -> None:
         if self._fh is None:
@@ -230,9 +238,10 @@ def _read_jsonl(path: str | Path, what: str) -> list[dict[str, Any]]:
 class DeadLetterQueue(_JsonlAppender):
     """Append-only JSONL sink for diverted events.
 
-    ``seq`` numbers are assigned monotonically per queue instance and
-    recorded in every entry, so the heal ordering ``(drive_id, age_days,
-    seq)`` is deterministic even across equal drive-days.
+    ``seq`` numbers are assigned monotonically (resuming from the line
+    count of an existing file) and recorded in every entry, so the heal
+    ordering ``(drive_id, age_days, seq)`` is deterministic even across
+    equal drive-days and restarts.
     """
 
     def __init__(self, path: str | Path):

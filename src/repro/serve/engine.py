@@ -68,7 +68,12 @@ class ReplayResult:
 
     ``n_diverted``/``n_duplicates`` are nonzero only on guarded replays:
     events the admission guard dead-lettered or dropped as exact
-    duplicates (``probability`` covers accepted events only).
+    duplicates (``probability`` covers accepted events only).  On
+    guarded replays ``accepted_index`` maps each probability back to its
+    source row: position ``i`` of ``probability`` scored row
+    ``accepted_index[i]`` of the replayed stream (0 = the first
+    post-``start_row`` row).  ``None`` on unguarded replays, where
+    probabilities align 1:1 with the stream.
     """
 
     probability: np.ndarray
@@ -77,6 +82,7 @@ class ReplayResult:
     elapsed_seconds: float
     n_diverted: int = 0
     n_duplicates: int = 0
+    accepted_index: np.ndarray | None = None
 
     @property
     def events_per_second(self) -> float:
@@ -147,6 +153,11 @@ class ScoringEngine:
             )
         self.guard = guard
         self.queue_policy = queue_policy or QueuePolicy()
+        if self.queue_policy.on_full == "shed" and guard is None:
+            raise ValueError(
+                "QueuePolicy(on_full='shed') requires an AdmissionGuard: "
+                "shed events are dead-lettered, never silently dropped"
+            )
         self.staleness = staleness
         self.clock = clock
         self.batcher = MicroBatcher(batch_policy, clock=clock)
@@ -339,7 +350,10 @@ class ScoringEngine:
         probabilities align with the source's row order, so they compare
         elementwise against the offline
         :meth:`FailurePredictor.predict_proba_records` output — the
-        online/offline parity gate.
+        online/offline parity gate.  On a guarded engine the admission
+        guard may divert or dedup rows, so probabilities cover accepted
+        events only; the result's ``accepted_index`` records which
+        stream rows they came from.
 
         ``start_row`` skips that many leading rows *without ingesting
         them* — for resuming a killed replay from a restored store whose
@@ -352,12 +366,15 @@ class ScoringEngine:
         """
         t0 = self.clock()
         parts: list[np.ndarray] = []
+        index_parts: list[np.ndarray] = []
         n_events = 0
         n_diverted = 0
         n_duplicates = 0
         batches_before = self.batches_total
         since_snapshot = 0
         to_skip = int(start_row)
+        #: Stream row offset of the current chunk's first row (post-skip).
+        pos = 0
         with tracing.span("repro.serve.replay") as sp:
             for chunk in iter_drive_day_chunks(source, chunk_rows=chunk_rows):
                 if to_skip > 0:
@@ -372,6 +389,7 @@ class ScoringEngine:
                     X, ages = adm.features, adm.ages
                     n_diverted += adm.n_diverted
                     n_duplicates += adm.n_duplicates
+                    index_parts.append(pos + adm.accepted_index)
                     if adm.calendar_days.size:
                         top = int(adm.calendar_days.max())
                         if top > self._fleet_day:
@@ -406,6 +424,7 @@ class ScoringEngine:
                     m,
                     help="Scoring requests accepted by the engine",
                 )
+                pos += len(chunk["drive_id"])
                 n_events += m
                 since_snapshot += m
                 if (
@@ -433,6 +452,13 @@ class ScoringEngine:
             elapsed_seconds=elapsed,
             n_diverted=n_diverted,
             n_duplicates=n_duplicates,
+            accepted_index=(
+                np.concatenate(index_parts)
+                if index_parts
+                else np.empty(0, dtype=np.int64)
+            )
+            if self.guard is not None
+            else None,
         )
 
     def replay_events(

@@ -103,6 +103,13 @@ class FeatureStore:
         self._last_age = np.full(max(capacity, 1), -1, dtype=np.int64)
         self._rows = np.zeros(max(capacity, 1), dtype=np.int64)
         self.events_total = 0
+        #: drive_id -> digest of the last absorbed event, written by the
+        #: admission guard on accept (never by plain ingest).  Lives on
+        #: the store so snapshots persist it: duplicate detection at the
+        #: watermark boundary survives ``snapshot``/``restore`` — an
+        #: idempotent re-delivery after a restart still classifies as
+        #: ``duplicate``, not ``conflict``.
+        self.boundary_digests: dict[int, str] = {}
 
     # ------------------------------------------------------------------ state
     def __len__(self) -> int:
@@ -316,6 +323,10 @@ class FeatureStore:
             )
             order = np.argsort(ids, kind="stable")
             ids, slots = ids[order], slots[order]
+            digests = np.array(
+                [self.boundary_digests.get(int(d), "") for d in ids],
+                dtype="U64",
+            )
             atomic_save_npz(
                 path,
                 schema_hash=np.frombuffer(
@@ -326,6 +337,7 @@ class FeatureStore:
                 last_age_days=self._last_age[slots],
                 n_records=self._rows[slots],
                 events_total=np.array([self.events_total], dtype=np.int64),
+                boundary_digest=digests,
             )
         return path
 
@@ -369,4 +381,12 @@ class FeatureStore:
         store._last_age[:n] = arrays["last_age_days"]
         store._rows[:n] = arrays["n_records"]
         store.events_total = int(arrays["events_total"][0])
+        # Optional for snapshots written before boundary digests were
+        # persisted — those restore with duplicate detection cold.
+        if "boundary_digest" in arrays:
+            store.boundary_digests = {
+                int(d): str(s)
+                for d, s in zip(ids, arrays["boundary_digest"])
+                if s
+            }
         return store

@@ -145,8 +145,12 @@ class AdmissionGuard:
         #: through the engine produced no score.
         self.last_outcome: AdmissionOutcome | None = None
         #: drive_id -> digest of the last absorbed event, for idempotent
-        #: duplicate detection at the watermark boundary.
-        self._last_digest: dict[int, str] = {}
+        #: duplicate detection at the watermark boundary.  Shared with
+        #: (and persisted by) the store: a restored store remembers its
+        #: boundary digests, so re-delivery of the last pre-restart
+        #: event still drops as a duplicate instead of dead-lettering
+        #: as a conflict.
+        self._last_digest = store.boundary_digests
 
     # ------------------------------------------------------------------ classify
     def classify(self, record: Any) -> AdmissionOutcome:

@@ -245,6 +245,52 @@ class TestReplay:
         assert code == 0
         assert "resumed past" in capsys.readouterr().out
 
+    def test_guarded_replay_out_aligns_accepted_rows(
+        self, served, tmp_path, capsys
+    ):
+        # A guarded replay over a sick trace diverts rows; --out must
+        # attribute each score to its accepted source row, not zip the
+        # shortened probability array against the full trace.
+        from repro.data.dataset import DriveDayDataset
+        from repro.data.io import load_dataset_npz, save_dataset_npz
+        from repro.serve import DeadLetterQueue
+
+        records = load_dataset_npz(served["fleet"] / "records.npz")
+        cols = {k: np.array(v, copy=True) for k, v in records.items()}
+        n = len(cols["drive_id"])
+        rng = np.random.default_rng(7)
+        bad = np.sort(rng.choice(n, size=9, replace=False))
+        cols["write_count"][bad] = -1  # schema fault: diverted
+        corrupted = tmp_path / "corrupted"
+        corrupted.mkdir()
+        save_dataset_npz(DriveDayDataset(cols), corrupted / "records.npz")
+
+        dlq = tmp_path / "dlq.jsonl"
+        out = tmp_path / "scores.jsonl"
+        code = main(
+            [
+                "serve",
+                "replay",
+                "--trace",
+                str(corrupted),
+                "--model",
+                str(served["model"]),
+                "--dlq",
+                str(dlq),
+                "--out",
+                str(out),
+                "--no-manifest",
+            ]
+        )
+        assert code == 0
+        assert "9 diverted" in capsys.readouterr().out
+        assert len(DeadLetterQueue.read(dlq)) == 9
+        lines = [json.loads(s) for s in out.read_text().splitlines()]
+        good = np.setdiff1d(np.arange(n), bad)
+        assert len(lines) == len(good)
+        assert [l["drive_id"] for l in lines] == cols["drive_id"][good].tolist()
+        assert [l["age_days"] for l in lines] == cols["age_days"][good].tolist()
+
     def test_missing_trace_dir_exits_two(self, served, tmp_path, capsys):
         code = main(
             [

@@ -108,6 +108,26 @@ class TestQueueAndJournal:
             pass
         assert not path.exists()
 
+    def test_reopened_dlq_resumes_seq(self, tmp_path):
+        # A second run over the same path must not restart seq at 0 —
+        # colliding seqs would make the heal ordering (drive, age, seq)
+        # arbitrary across the merged runs.
+        path = tmp_path / "dlq.jsonl"
+        with DeadLetterQueue(path) as dlq:
+            dlq.divert("late", "a", drive_id=1, age_days=1)
+            dlq.divert("late", "b", drive_id=1, age_days=2)
+        with DeadLetterQueue(path) as dlq:
+            dlq.divert("shed", "c", drive_id=2, age_days=1)
+        assert [e.seq for e in DeadLetterQueue.read(path)] == [0, 1, 2]
+
+    def test_reopened_journal_resumes_seq(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with EventJournal(path) as journal:
+            journal.record(make_event(1, 0))
+        with EventJournal(path) as journal:
+            journal.record(make_event(1, 1))
+        assert [r["seq"] for r in EventJournal.read(path)] == [0, 1]
+
     def test_read_missing_file_raises(self, tmp_path):
         with pytest.raises(DeadLetterError, match="does not exist"):
             DeadLetterQueue.read(tmp_path / "gone.jsonl")

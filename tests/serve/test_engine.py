@@ -27,9 +27,12 @@ from repro.data.io import iter_drive_days, save_dataset_npz
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracing as obs_tracing
 from repro.resilience import ENV_CHAOS, ENV_CHAOS_SEED, SupervisionLog, SupervisorPolicy
+from repro.data.dataset import DriveDayDataset
 from repro.serve import (
+    AdmissionGuard,
     BatchPolicy,
     FeatureStore,
+    QueuePolicy,
     ScoringEngine,
     SchemaMismatchError,
 )
@@ -76,6 +79,58 @@ class TestReplayParity:
         save_dataset_npz(serve_trace.records, path)
         result = ScoringEngine(predictor).replay(path, chunk_rows=777)
         assert np.array_equal(result.probability, offline_probs)
+        assert result.accepted_index is None  # unguarded: 1:1 with rows
+
+
+class TestGuardedReplay:
+    """Guarded replays report which source rows their scores cover."""
+
+    def test_accepted_index_maps_scores_to_source_rows(
+        self, serve_trace, predictor
+    ):
+        cols = {
+            k: np.array(v, copy=True) for k, v in serve_trace.records.items()
+        }
+        n = len(cols["drive_id"])
+        rng = np.random.default_rng(0)
+        bad = np.sort(rng.choice(n, size=25, replace=False))
+        cols["write_count"][bad] = -1  # schema fault: the guard diverts
+        store = FeatureStore()
+        engine = ScoringEngine(
+            predictor, store=store, guard=AdmissionGuard(store)
+        )
+        result = engine.replay(DriveDayDataset(cols), chunk_rows=512)
+
+        good = np.setdiff1d(np.arange(n), bad)
+        assert result.n_diverted == len(bad)
+        assert np.array_equal(result.accepted_index, good)
+        # Each probability is the score of *its* source row: the whole
+        # result matches an unguarded replay of the accepted subset.
+        subset = DriveDayDataset(
+            {k: np.asarray(v)[good] for k, v in serve_trace.records.items()}
+        )
+        offline = ScoringEngine(predictor).replay(subset)
+        assert np.array_equal(result.probability, offline.probability)
+
+    def test_clean_guarded_replay_indexes_every_row(
+        self, serve_trace, predictor, offline_probs
+    ):
+        store = FeatureStore()
+        engine = ScoringEngine(
+            predictor, store=store, guard=AdmissionGuard(store)
+        )
+        result = engine.replay(serve_trace.records, chunk_rows=777)
+        assert np.array_equal(
+            result.accepted_index, np.arange(result.n_events)
+        )
+        assert np.array_equal(result.probability, offline_probs)
+
+    def test_shed_policy_requires_guard(self, predictor):
+        with pytest.raises(ValueError, match="shed"):
+            ScoringEngine(
+                predictor,
+                queue_policy=QueuePolicy(max_depth=4, on_full="shed"),
+            )
 
 
 class TestRequestPath:
