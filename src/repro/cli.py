@@ -17,6 +17,10 @@ Wraps the library's main workflows for shell use::
     repro-ssd serve bench   --drives 40 --days 365 --json-out BENCH_serve.json
     repro-ssd serve run     --registry reg/ --dlq dlq.jsonl < events.jsonl
     repro-ssd serve heal    --registry reg/ --journal j.jsonl --dlq dlq.jsonl
+    repro-ssd serve status  status.json               # exit 0/1/2 health gate
+    repro-ssd obs tail events.jsonl --level warn      # structured event log
+    repro-ssd obs slo --spec slo.json --timeline tl.jsonl   # SLO CI gate
+    repro-ssd obs bench-diff BENCH_base.json BENCH_new.json
 
 A "trace directory" holds the three NPZ files written by ``simulate``:
 ``records.npz``, ``drives.npz``, ``swaps.npz``.
@@ -42,6 +46,7 @@ DESIGN.md §12 for the full table.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import itertools
 import json
 import pickle
@@ -73,9 +78,13 @@ from .obs import (
     render_manifest,
     validate_manifest,
 )
+from .obs import eventlog as obs_eventlog
 from .obs import metrics as obs_metrics
+from .obs import slo as obs_slo
+from .obs import timeline as obs_timeline
 from .obs import tracing as obs_tracing
 from .obs.manifest import _atomic_write_text
+from .obs.reportobs import diff_bench
 from .parallel import ENV_WORKERS, WorkerConfigError, WorkerCrash, resolve_workers
 from .reliability import (
     DEFAULT_RATES,
@@ -113,8 +122,12 @@ from .serve import (
     ScoringEngine,
     ServeBreaker,
     StalenessPolicy,
+    TelemetryConfig,
     build_heal_plan,
     canonical_event,
+    load_status,
+    render_status,
+    status_exit_code,
 )
 from .simulator import FleetConfig, FleetTrace, default_models, simulate_fleet
 
@@ -207,6 +220,141 @@ def add_obs_args(
         action="store_true",
         help="skip writing the run manifest",
     )
+
+
+def add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """The live-telemetry flag group shared by ``serve replay``/``run``.
+
+    Any of these flags turns the telemetry plane on; without them the
+    serving path runs exactly as before (no timeline, no heartbeats).
+    """
+    group = parser.add_argument_group("telemetry")
+    group.add_argument(
+        "--status-out",
+        metavar="PATH",
+        default=None,
+        help="heartbeat a status.json here every --status-every events "
+        "(read by `serve status`)",
+    )
+    group.add_argument(
+        "--status-every",
+        type=int,
+        default=5000,
+        metavar="EVENTS",
+        help="heartbeat cadence in events seen (default: 5000)",
+    )
+    group.add_argument(
+        "--timeline-out",
+        metavar="PATH",
+        default=None,
+        help="export the windowed timeline as JSONL at stream end "
+        "(input for `obs slo`)",
+    )
+    group.add_argument(
+        "--tick-every",
+        type=int,
+        default=1024,
+        metavar="EVENTS",
+        help="timeline window width in events (default: 1024; windows "
+        "also close on watermark advances)",
+    )
+    group.add_argument(
+        "--eventlog",
+        metavar="PATH",
+        default=None,
+        help="append structured events (guard diversions, health "
+        "transitions, heartbeats) to this JSONL (read by `obs tail`)",
+    )
+    group.add_argument(
+        "--slo-spec",
+        metavar="PATH",
+        default=None,
+        help="evaluate this SLO spec over the timeline; the verdict "
+        "lands in status.json and the run manifest",
+    )
+
+
+def _telemetry_setup(
+    args: argparse.Namespace,
+) -> tuple[
+    TelemetryConfig | None,
+    "obs_timeline.Timeline | None",
+    "obs_eventlog.EventLog | None",
+]:
+    """Build the telemetry pieces from the flag group (all-or-nothing).
+
+    Returns ``(config, timeline, event_log)`` — all ``None`` when no
+    telemetry flag was given, so the serving path stays untouched.
+    """
+    enabled = bool(
+        args.status_out or args.timeline_out or args.eventlog or args.slo_spec
+    )
+    if not enabled:
+        return None, None, None
+    spec = None
+    if args.slo_spec:
+        try:
+            spec = obs_slo.load_slo_spec(args.slo_spec)
+        except (OSError, ValueError) as exc:
+            raise CLIError(f"bad SLO spec: {exc}") from None
+    try:
+        policy = obs_timeline.TickPolicy(every_events=args.tick_every)
+        config = TelemetryConfig(
+            status_path=args.status_out,
+            heartbeat_every=args.status_every,
+            slo_spec=spec,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    timeline = obs_timeline.Timeline(policy)
+    event_log = obs_eventlog.EventLog(args.eventlog) if args.eventlog else None
+    return config, timeline, event_log
+
+
+@contextlib.contextmanager
+def _activate_telemetry(timeline, event_log):
+    """Activate the optional timeline/event-log pair for the block."""
+    with contextlib.ExitStack() as stack:
+        if timeline is not None:
+            stack.enter_context(obs_timeline.activate(timeline))
+        if event_log is not None:
+            stack.enter_context(obs_eventlog.activate(event_log))
+        yield
+
+
+def _finish_telemetry(
+    args: argparse.Namespace,
+    manifest: RunManifest,
+    engine: ScoringEngine,
+    timeline,
+    event_log,
+) -> "obs_slo.SloReport | None":
+    """Flush/export the telemetry plane and record the SLO verdict.
+
+    Runs after the stream ends but before the manifest is finalized:
+    flushes the partial timeline window, rewrites the final heartbeat so
+    ``status.json`` reflects the flushed state, exports the timeline
+    JSONL, evaluates the SLO spec, and closes the event log.
+    """
+    if timeline is None:
+        return None
+    timeline.flush()
+    report = None
+    spec = engine.telemetry.slo_spec if engine.telemetry else None
+    if spec is not None:
+        report = obs_slo.evaluate_slos(spec, timeline.windows())
+        manifest.record_slo(report.to_dict())
+    if engine.telemetry is not None and engine.telemetry.status_path:
+        engine.heartbeat()
+        manifest.add_output(engine.telemetry.status_path)
+    if args.timeline_out:
+        timeline.export_jsonl(args.timeline_out)
+        manifest.add_output(args.timeline_out)
+    if event_log is not None:
+        event_log.close()
+        if event_log.path.exists():
+            manifest.add_output(event_log.path)
+    return report
 
 
 def _workers_arg(args: argparse.Namespace) -> int:
@@ -747,8 +895,13 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     dlq = DeadLetterQueue(args.dlq) if args.dlq else None
     journal = EventJournal(args.journal) if args.journal else None
     guarded = bool(dlq or journal or telem_spec)
+    telemetry, timeline, event_log = _telemetry_setup(args)
     scored_events = None
-    with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
+    with (
+        obs_tracing.activate(tracer),
+        obs_metrics.activate(metrics_registry),
+        _activate_telemetry(timeline, event_log),
+    ):
         store = (
             FeatureStore.restore(args.restore)
             if args.restore
@@ -769,6 +922,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
             policy=policy,
             supervision=supervision,
             guard=guard,
+            telemetry=telemetry,
         )
         if telem_spec:
             # Chaos drill: perturb the event stream (pure function of
@@ -834,6 +988,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         else:
             offline = None
             diverged = 0
+        slo_report = _finish_telemetry(args, manifest, engine, timeline, event_log)
     if dlq is not None:
         dlq.close()
     if journal is not None:
@@ -894,6 +1049,13 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     )
     suffix = f", manifest {manifest_path}" if manifest_path else ""
     resumed = f" (resumed past {start_row})" if start_row else ""
+    if slo_report is not None:
+        bad = sum(1 for r in slo_report.objectives if r.state != "ok")
+        print(
+            f"serve replay: slo {slo_report.state} "
+            f"({len(slo_report.objectives)} objective(s), {bad} violating)",
+            file=sys.stderr,
+        )
     if diverged:
         print(
             f"serve replay DIVERGED: {diverged}/{len(offline)} event(s) "
@@ -1034,6 +1196,7 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
     manifest.add_input(model_path)
     tracer = obs_tracing.Tracer()
     metrics_registry = obs_metrics.MetricsRegistry()
+    telemetry, timeline, event_log = _telemetry_setup(args)
     print(f"serve run: scoring stdin JSONL with {model_desc}", file=sys.stderr)
     n_lines = 0
     health = guard.breaker.state
@@ -1050,7 +1213,11 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             health = guard.breaker.state
             emit(json.dumps({"type": "status", "health": health, "line": n_lines}))
 
-    with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
+    with (
+        obs_tracing.activate(tracer),
+        obs_metrics.activate(metrics_registry),
+        _activate_telemetry(timeline, event_log),
+    ):
         engine = ScoringEngine(
             predictor,
             store=store,
@@ -1058,6 +1225,7 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
             guard=guard,
             queue_policy=queue_policy,
             staleness=staleness,
+            telemetry=telemetry,
         )
         for line in sys.stdin:
             line = line.strip()
@@ -1106,6 +1274,9 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         for event in engine.drain():
             emit(_score_jsonl_line(event))
         emit_health()
+        slo_report = _finish_telemetry(
+            args, manifest, engine, timeline, event_log
+        )
     if dlq is not None:
         dlq.close()
     if journal is not None:
@@ -1134,12 +1305,13 @@ def _cmd_serve_run(args: argparse.Namespace) -> int:
         args, manifest, tracer, metrics_registry, Path("serve_run_manifest.json")
     )
     diverted = stats.dead_lettered
+    slo_suffix = f"; slo {slo_report.state}" if slo_report is not None else ""
     print(
         f"serve run: scored {engine.requests_total} event(s) across "
         f"{store.n_drives} drive(s); {stats.duplicates_dropped} duplicate(s) "
         f"dropped, {diverted} diverted"
         + (f" (DLQ {args.dlq})" if args.dlq and diverted else "")
-        + f"; health {engine.health_state}",
+        + f"; health {engine.health_state}{slo_suffix}",
         file=sys.stderr,
     )
     # Exit contract: 0 every event scored (duplicates are benign), 1 some
@@ -1259,6 +1431,20 @@ def _cmd_serve_heal(args: argparse.Namespace) -> int:
     return 1 if plan.unhealable else 0
 
 
+def _cmd_serve_status(args: argparse.Namespace) -> int:
+    try:
+        status = load_status(args.status_file)
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(render_status(status))
+    # Exit contract: 0 healthy, 1 degraded or SLO warning, 2 SLO breach
+    # — CI can gate a chaos drill on `serve status` directly.
+    return status_exit_code(status)
+
+
 def _cmd_inject(args: argparse.Namespace) -> int:
     trace_dir = _require_trace_dir(Path(args.trace))
     classes = [c.strip() for c in args.faults.split(",") if c.strip()]
@@ -1299,6 +1485,95 @@ def _cmd_obs_diff(args: argparse.Namespace) -> int:
     a = _load_manifest_or_die(args.a)
     b = _load_manifest_or_die(args.b)
     diff = diff_manifests(a, b, time_regression=args.time_regression)
+    print(diff.render())
+    return 0 if diff.ok else 1
+
+
+def _format_event(record: dict) -> str:
+    envelope = {"seq", "ts", "level", "kind", "msg", "span"}
+    extras = " ".join(
+        f"{k}={record[k]}" for k in sorted(record) if k not in envelope
+    )
+    msg = record.get("msg") or ""
+    span = record.get("span")
+    parts = [
+        f"#{record.get('seq', '?'):>5}",
+        f"{record.get('level', '?'):<5}",
+        str(record.get("kind", "?")),
+    ]
+    if span is not None:
+        parts.append(f"[span {span}]")
+    if msg:
+        parts.append(str(msg))
+    if extras:
+        parts.append(extras)
+    return " ".join(parts)
+
+
+def _cmd_obs_tail(args: argparse.Namespace) -> int:
+    try:
+        events = obs_eventlog.load_events(
+            args.eventlog, min_level=args.level, kind_prefix=args.kind
+        )
+    except FileNotFoundError:
+        raise CLIError(f"event log {args.eventlog} does not exist") from None
+    except (OSError, ValueError) as exc:
+        raise CLIError(str(exc)) from None
+    if args.last:
+        events = events[-args.last :]
+    for record in events:
+        print(_format_event(record))
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    try:
+        spec = obs_slo.load_slo_spec(args.spec)
+    except FileNotFoundError:
+        raise CLIError(f"SLO spec {args.spec} does not exist") from None
+    except (OSError, ValueError) as exc:
+        raise CLIError(f"bad SLO spec: {exc}") from None
+    try:
+        windows = obs_timeline.load_timeline_jsonl(args.timeline)
+    except FileNotFoundError:
+        raise CLIError(
+            f"timeline {args.timeline} does not exist (serve replay/run "
+            "export it via --timeline-out)"
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise CLIError(str(exc)) from None
+    report = obs_slo.evaluate_slos(spec, windows)
+    print(
+        f"slo {report.state}: {len(report.objectives)} objective(s) over "
+        f"{len(windows)} window(s)"
+    )
+    for r in report.objectives:
+        last = "n/a" if r.last_value is None else f"{r.last_value:g}"
+        print(
+            f"  {r.state:<7s}{r.name}: {r.metric} {r.op} {r.threshold:g} "
+            f"— {r.violations}/{r.windows_evaluated} window(s) violating, "
+            f"burn short {r.short_fraction:.0%} / long {r.long_fraction:.0%}, "
+            f"last {last}"
+        )
+    # Exit contract: 0 ok / 1 warn / 2 breach — `obs slo` is the CI gate.
+    return report.exit_code
+
+
+def _cmd_obs_bench_diff(args: argparse.Namespace) -> int:
+    payloads = []
+    for path in (args.a, args.b):
+        try:
+            body = json.loads(Path(path).read_text())
+        except FileNotFoundError:
+            raise CLIError(f"bench file {path} does not exist") from None
+        except (OSError, ValueError) as exc:
+            raise CLIError(f"bench file {path} is unreadable: {exc}") from None
+        if not isinstance(body, dict) or "events_per_second" not in body:
+            raise CLIError(
+                f"bench file {path} is not a `serve bench --json-out` payload"
+            )
+        payloads.append(body)
+    diff = diff_bench(payloads[0], payloads[1], max_regression=args.max_regression)
     print(diff.render())
     return 0 if diff.ok else 1
 
@@ -1502,6 +1777,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_execution_args(p_rpl)
     add_obs_args(p_rpl)
+    add_telemetry_args(p_rpl)
     p_rpl.set_defaults(func=_cmd_serve_replay)
 
     p_bch = srv_sub.add_parser(
@@ -1616,6 +1892,7 @@ def build_parser() -> argparse.ArgumentParser:
         "ready -> degraded (default: 8)",
     )
     add_obs_args(p_run)
+    add_telemetry_args(p_run)
     p_run.set_defaults(func=_cmd_serve_run)
 
     p_heal = srv_sub.add_parser(
@@ -1667,6 +1944,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_args(p_heal)
     p_heal.set_defaults(func=_cmd_serve_heal)
 
+    p_sts = srv_sub.add_parser(
+        "status",
+        help="read a status.json heartbeat; exit 0 healthy / 1 degraded "
+        "or SLO warning / 2 SLO breach",
+    )
+    p_sts.add_argument(
+        "status_file",
+        help="status.json written by `serve replay/run --status-out`",
+    )
+    p_sts.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw heartbeat JSON instead of the summary",
+    )
+    p_sts.set_defaults(func=_cmd_serve_status)
+
     p_obs = sub.add_parser(
         "obs", help="inspect and compare run manifests (observability)"
     )
@@ -1690,6 +1983,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="stage-time slowdown reported as a warning (default: 0.25)",
     )
     p_diff.set_defaults(func=_cmd_obs_diff)
+    p_tail = obs_sub.add_parser(
+        "tail",
+        help="print a structured event log (guard diversions, health "
+        "transitions, heartbeats)",
+    )
+    p_tail.add_argument(
+        "eventlog", help="event-log JSONL from `serve ... --eventlog`"
+    )
+    p_tail.add_argument(
+        "--level",
+        choices=tuple(sorted(obs_eventlog.LEVELS, key=obs_eventlog.LEVELS.get)),
+        default="debug",
+        help="minimum level to show (default: debug)",
+    )
+    p_tail.add_argument(
+        "--kind",
+        default=None,
+        metavar="PREFIX",
+        help="only events whose kind starts with PREFIX "
+        "(e.g. serve.health)",
+    )
+    p_tail.add_argument(
+        "--last",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the last N matching events",
+    )
+    p_tail.set_defaults(func=_cmd_obs_tail)
+    p_slo = obs_sub.add_parser(
+        "slo",
+        help="evaluate an SLO spec over an exported timeline; exit "
+        "0 ok / 1 warn / 2 breach (CI gate)",
+    )
+    p_slo.add_argument(
+        "--spec",
+        required=True,
+        metavar="PATH",
+        help="JSON spec with an 'objectives' list",
+    )
+    p_slo.add_argument(
+        "--timeline",
+        required=True,
+        metavar="PATH",
+        help="timeline JSONL from `serve ... --timeline-out`",
+    )
+    p_slo.set_defaults(func=_cmd_obs_slo)
+    p_bdiff = obs_sub.add_parser(
+        "bench-diff",
+        help="compare two `serve bench --json-out` payloads; exit 1 on "
+        "regression past the threshold",
+    )
+    p_bdiff.add_argument("a", help="baseline BENCH json")
+    p_bdiff.add_argument("b", help="candidate BENCH json")
+    p_bdiff.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.2,
+        metavar="FRAC",
+        help="allowed fractional regression per metric (default: 0.2)",
+    )
+    p_bdiff.set_defaults(func=_cmd_obs_bench_diff)
     return parser
 
 

@@ -1,25 +1,35 @@
-"""Observability subsystem: tracing, metrics, run manifests (DESIGN.md §10).
+"""Observability subsystem: tracing, metrics, manifests, live telemetry.
 
-Four zero-dependency pieces, imported by every other layer but importing
-none of them (so instrumentation can never create an import cycle):
+Zero-dependency pieces, imported by every other layer but importing none
+of them (so instrumentation can never create an import cycle):
 
 - :mod:`repro.obs.tracing` — nested spans with monotonic timings and
   per-span row accounting, collected by a thread-safe in-process
   :class:`~repro.obs.tracing.Tracer`;
 - :mod:`repro.obs.metrics` — counters/gauges/histograms with labeled
   series and Prometheus-text/JSON exporters;
+- :mod:`repro.obs.timeline` — deterministic windowed time-series over
+  the metrics registry, ticking on event-count/watermark boundaries
+  (DESIGN.md §15);
+- :mod:`repro.obs.slo` — declarative objectives over timeline windows
+  with multi-window burn-rate classification (ok/warn/breach);
+- :mod:`repro.obs.eventlog` — structured JSONL event log with levels
+  and span correlation (guard/DLQ/health transitions);
 - :mod:`repro.obs.manifest` — the per-run manifest (config hash, seeds,
   file digests, stage timings, validation tallies) written atomically
   next to every artifact;
-- :mod:`repro.obs.reportobs` — human-readable summaries and
-  ``obs diff`` drift detection between two manifests.
+- :mod:`repro.obs.reportobs` — human-readable summaries, ``obs diff``
+  drift detection between two manifests and ``obs bench-diff``
+  benchmark-regression classification.
 
 Instrumented code calls :func:`repro.obs.tracing.span` /
-:func:`repro.obs.metrics.inc`, which no-op unless the CLI (or a test)
+:func:`repro.obs.metrics.inc` / :func:`repro.obs.timeline.record` /
+:func:`repro.obs.eventlog.emit`, which no-op unless the CLI (or a test)
 activates a collector — the hot paths pay one global read when
 observability is off (measured <5 % in ``benchmarks/test_obs_overhead``).
 """
 
+from .eventlog import LEVELS, EventLog, iter_events, load_events
 from .manifest import (
     MANIFEST_SCHEMA,
     MANIFEST_VERSION,
@@ -30,8 +40,32 @@ from .manifest import (
     load_manifest,
     validate_manifest,
 )
-from .metrics import DEFAULT_BUCKETS, MetricsRegistry
-from .reportobs import DiffEntry, ManifestDiff, diff_manifests, render_manifest
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry, bucket_quantile
+from .reportobs import (
+    BENCH_METRICS,
+    BenchDiff,
+    DiffEntry,
+    ManifestDiff,
+    diff_bench,
+    diff_manifests,
+    render_manifest,
+)
+from .slo import (
+    Objective,
+    ObjectiveResult,
+    SloReport,
+    SloSpec,
+    evaluate_objective,
+    evaluate_slos,
+    load_slo_spec,
+    slo_exit_code,
+)
+from .timeline import (
+    TickPolicy,
+    Timeline,
+    TimelineWindow,
+    load_timeline_jsonl,
+)
 from .tracing import Span, Tracer, traced
 
 __all__ = [
@@ -45,10 +79,30 @@ __all__ = [
     "validate_manifest",
     "DEFAULT_BUCKETS",
     "MetricsRegistry",
+    "bucket_quantile",
+    "BENCH_METRICS",
+    "BenchDiff",
     "DiffEntry",
     "ManifestDiff",
+    "diff_bench",
     "diff_manifests",
     "render_manifest",
+    "LEVELS",
+    "EventLog",
+    "iter_events",
+    "load_events",
+    "Objective",
+    "ObjectiveResult",
+    "SloReport",
+    "SloSpec",
+    "evaluate_objective",
+    "evaluate_slos",
+    "load_slo_spec",
+    "slo_exit_code",
+    "TickPolicy",
+    "Timeline",
+    "TimelineWindow",
+    "load_timeline_jsonl",
     "Span",
     "Tracer",
     "traced",

@@ -74,6 +74,23 @@ def config_digest(payload: Mapping[str, Any]) -> str:
     ).hexdigest()
 
 
+def _created_now() -> float:
+    """Wall clock, unless ``REPRO_EPOCH`` pins it.
+
+    Golden-manifest tests and ``obs diff`` comparisons set
+    ``REPRO_EPOCH=<unix seconds>`` so otherwise-identical runs don't
+    diff dirty on their creation timestamp.  An unparsable override is
+    ignored (falls back to the real clock) rather than failing the run.
+    """
+    epoch = os.environ.get("REPRO_EPOCH")
+    if epoch is not None:
+        try:
+            return float(epoch)
+        except ValueError:
+            pass
+    return time.time()
+
+
 def _atomic_write_text(path: Path, text: str) -> None:
     """Local tmp+fsync+replace writer (keeps :mod:`repro.obs` zero-dep)."""
     tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
@@ -237,6 +254,34 @@ MANIFEST_SCHEMA: dict[str, Any] = {
                 "journal_path": {"type": "string"},
             },
         },
+        "slo": {
+            "type": "object",
+            "required": ["state", "objectives"],
+            "properties": {
+                "state": {"type": "string", "enum": ["ok", "warn", "breach"]},
+                "objectives": {
+                    "type": "array",
+                    "items": {
+                        "type": "object",
+                        "required": ["name", "metric", "state"],
+                        "properties": {
+                            "name": {"type": "string"},
+                            "metric": {"type": "string"},
+                            "state": {
+                                "type": "string",
+                                "enum": ["ok", "warn", "breach"],
+                            },
+                            "threshold": {"type": "number"},
+                            "op": {"type": "string", "enum": ["<=", ">="]},
+                            "windows_evaluated": {"type": "integer"},
+                            "violations": {"type": "integer"},
+                            "short_fraction": {"type": "number"},
+                            "long_fraction": {"type": "number"},
+                        },
+                    },
+                },
+            },
+        },
     },
 }
 
@@ -326,7 +371,8 @@ class RunManifest:
     results: dict[str, Any] = field(default_factory=dict)
     resilience: dict[str, Any] | None = None
     serve: dict[str, Any] | None = None
-    created_unix: float = field(default_factory=time.time)
+    slo: dict[str, Any] | None = None
+    created_unix: float = field(default_factory=_created_now)
     elapsed_seconds: float = 0.0
     schema_version: int = MANIFEST_VERSION
     _t0: float = field(default_factory=time.perf_counter, repr=False)
@@ -386,6 +432,19 @@ class RunManifest:
             raise ManifestError(f"invalid serve record: {'; '.join(errors)}")
         self.serve = data
 
+    def record_slo(self, data: dict[str, Any]) -> None:
+        """Attach an SLO evaluation (an ``SloReport.to_dict()``).
+
+        Plain-dict contract like :meth:`record_resilience`; callers build
+        the report with :func:`repro.obs.slo.evaluate_slos`.
+        """
+        errors = validate_manifest(
+            data, MANIFEST_SCHEMA["properties"]["slo"], "$.slo"
+        )
+        if errors:
+            raise ManifestError(f"invalid slo record: {'; '.join(errors)}")
+        self.slo = data
+
     def finish(
         self,
         tracer: "_tracing.Tracer | None" = None,
@@ -430,6 +489,8 @@ class RunManifest:
             out["resilience"] = dict(self.resilience)
         if self.serve is not None:
             out["serve"] = dict(self.serve)
+        if self.slo is not None:
+            out["slo"] = dict(self.slo)
         return out
 
     def write(self, path: str | Path) -> Path:

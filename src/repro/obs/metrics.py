@@ -37,6 +37,7 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "activate",
+    "bucket_quantile",
     "current",
     "set_active",
     "inc",
@@ -73,6 +74,40 @@ def _format_value(v: float) -> str:
 
 def _escape_label(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def bucket_quantile(
+    upper_bounds: Sequence[float],
+    bucket_counts: Sequence[int],
+    inf_count: int,
+    q: float,
+) -> tuple[float, bool]:
+    """Quantile estimate over raw (non-cumulative) histogram buckets.
+
+    Returns ``(value, clamped)``: the linearly interpolated estimate and
+    whether the target rank fell in the implicit ``+Inf`` bucket, in
+    which case the value is *clamped* to the highest finite bound — a
+    silent lie unless the caller surfaces the flag.  ``(nan, False)``
+    with no observations.  Shared by :meth:`Histogram.quantile_info` and
+    the per-window quantiles of :mod:`repro.obs.timeline`.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = sum(bucket_counts) + inf_count
+    if total == 0:
+        return float("nan"), False
+    rank = q * total
+    prev_bound, running = 0.0, 0
+    for bound, n in zip(upper_bounds, bucket_counts):
+        prev = running
+        running += n
+        if running >= rank:
+            if running == prev:  # pragma: no cover - defensive
+                return float(bound), False
+            frac = (rank - prev) / (running - prev)
+            return prev_bound + frac * (float(bound) - prev_bound), False
+        prev_bound = float(bound)
+    return float(upper_bounds[-1]), True
 
 
 class Counter:
@@ -154,32 +189,29 @@ class Histogram:
             out.append((float("inf"), running + self.inf_count))
         return out
 
+    def quantile_info(self, q: float) -> tuple[float, bool]:
+        """Quantile estimate plus a *clamped* flag.
+
+        The flag is ``True`` when the target rank falls in the implicit
+        ``+Inf`` bucket: the returned value is pinned to the highest
+        finite bound and understates the true quantile — a p99 "holding
+        steady" at the top bucket bound may actually be unbounded.
+        """
+        with self._lock:
+            counts = list(self.bucket_counts)
+            inf_count = self.inf_count
+        return bucket_quantile(self.upper_bounds, counts, inf_count, q)
+
     def quantile(self, q: float) -> float:
         """Estimated quantile via linear interpolation inside the bucket.
 
         The same estimate a Prometheus ``histogram_quantile`` query
         produces; exact only up to bucket resolution.  Returns ``nan``
         with no observations; the highest finite bound when the target
-        rank falls in the ``+Inf`` bucket.
+        rank falls in the ``+Inf`` bucket (see :meth:`quantile_info`
+        for the overflow flag).
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        cum = self.cumulative()
-        total = cum[-1][1]
-        if total == 0:
-            return float("nan")
-        rank = q * total
-        prev_bound, prev_count = 0.0, 0
-        for bound, count in cum:
-            if count >= rank:
-                if bound == float("inf"):
-                    return self.upper_bounds[-1]
-                if count == prev_count:  # pragma: no cover - defensive
-                    return bound
-                frac = (rank - prev_count) / (count - prev_count)
-                return prev_bound + frac * (bound - prev_bound)
-            prev_bound, prev_count = bound, count
-        return self.upper_bounds[-1]  # pragma: no cover - unreachable
+        return self.quantile_info(q)[0]
 
 
 _KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
@@ -420,6 +452,7 @@ class MetricsRegistry:
                     ]
                     entry["sum"] = series.sum
                     entry["count"] = series.count
+                    entry["overflow"] = series.inf_count
                 else:
                     entry["value"] = series.value
                 series_out.append(entry)

@@ -1,0 +1,358 @@
+"""Declarative service-level objectives over timeline windows.
+
+An :class:`Objective` names one window-level signal — a latency
+quantile, a dead-letter rate, a staleness gauge — a comparison against a
+threshold, and two lookbacks.  Evaluation classifies each objective as
+``ok`` / ``warn`` / ``breach`` using a simplified multi-window burn-rate
+rule (Google SRE workbook, ch. 5): the fraction of *violating* windows
+is computed over a short lookback (is it bad **now**?) and a long
+lookback (has it been bad for a **while**?), and
+
+- **breach** — short fraction ≥ ``breach_burn`` *and* long fraction ≥
+  ``warn_burn``: sustained violation, page-worthy;
+- **warn** — short fraction ≥ ``warn_burn`` *or* long fraction ≥
+  ``breach_burn``: a fresh spike, or a slow burn that never clears;
+- **ok** — otherwise (including "no data": an objective whose signal
+  never appears evaluates ok with ``windows_evaluated = 0``; gate on
+  that field if absence itself is a failure).
+
+Because timeline windows are deterministic (event/watermark ticks, see
+:mod:`repro.obs.timeline`), a replayed stream produces the same
+classification every run — SLO evaluation is CI-gateable, not flaky.
+
+Metric addressing uses dotted paths into the window dict:
+
+- ``counters.<key>`` — window counter delta; a bare family name sums
+  every labeled series of that family (``repro_serve_dlq_total`` counts
+  all fault classes); ``per_event: true`` divides by the window's event
+  span, turning the delta into a rate.
+- ``gauges.<key>`` — gauge level at the window boundary (window skipped
+  when the gauge is absent).
+- ``quantiles.<family>.<p50|p90|p99>`` — per-window quantile estimate
+  (window skipped when the family saw no observations; a *clamped*
+  estimate counts as violating for ``<=`` objectives — an overflowed
+  histogram cannot prove the objective was met).
+- ``window.events`` / ``window.watermark`` — the window's own fields.
+
+The spec file is JSON: ``{"objectives": [{...}, ...]}`` with each entry
+mirroring :class:`Objective` fields (see README "Live telemetry &
+SLOs").
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from .timeline import TimelineWindow
+
+__all__ = [
+    "STATE_ORDER",
+    "Objective",
+    "ObjectiveResult",
+    "SloSpec",
+    "SloReport",
+    "evaluate_objective",
+    "evaluate_slos",
+    "load_slo_spec",
+    "slo_exit_code",
+]
+
+#: Classification severity order; ``max`` of states is the overall state.
+STATE_ORDER: dict[str, int] = {"ok": 0, "warn": 1, "breach": 2}
+
+_OPS = {"<=", ">="}
+_SECTIONS = {"counters", "gauges", "quantiles", "window"}
+
+
+def slo_exit_code(state: str) -> int:
+    """The documented exit-code contract: 0 ok / 1 warn / 2 breach."""
+    return STATE_ORDER[state]
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative objective (see module docstring for semantics)."""
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = "<="
+    per_event: bool = False
+    short_windows: int = 5
+    long_windows: int = 20
+    warn_burn: float = 0.5
+    breach_burn: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("objective needs a name")
+        if self.op not in _OPS:
+            raise ValueError(f"objective {self.name!r}: op must be one of {_OPS}")
+        section = self.metric.partition(".")[0]
+        if section not in _SECTIONS:
+            raise ValueError(
+                f"objective {self.name!r}: metric must start with one of "
+                f"{sorted(_SECTIONS)}, got {self.metric!r}"
+            )
+        if self.short_windows < 1 or self.long_windows < self.short_windows:
+            raise ValueError(
+                f"objective {self.name!r}: need 1 <= short_windows <= long_windows"
+            )
+        if not (0.0 < self.warn_burn <= self.breach_burn <= 1.0):
+            raise ValueError(
+                f"objective {self.name!r}: need 0 < warn_burn <= breach_burn <= 1"
+            )
+        if self.per_event and not self.metric.startswith("counters."):
+            raise ValueError(
+                f"objective {self.name!r}: per_event only applies to counters"
+            )
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Objective":
+        known = {
+            "name", "metric", "threshold", "op", "per_event",
+            "short_windows", "long_windows", "warn_burn", "breach_burn",
+        }
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(
+                f"objective {d.get('name', '?')!r}: unknown keys {sorted(unknown)}"
+            )
+        try:
+            return cls(
+                name=str(d["name"]),
+                metric=str(d["metric"]),
+                threshold=float(d["threshold"]),
+                op=str(d.get("op", "<=")),
+                per_event=bool(d.get("per_event", False)),
+                short_windows=int(d.get("short_windows", 5)),
+                long_windows=int(d.get("long_windows", 20)),
+                warn_burn=float(d.get("warn_burn", 0.5)),
+                breach_burn=float(d.get("breach_burn", 0.9)),
+            )
+        except KeyError as exc:
+            raise ValueError(f"objective missing required key {exc}") from exc
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "threshold": self.threshold,
+            "op": self.op,
+            "per_event": self.per_event,
+            "short_windows": self.short_windows,
+            "long_windows": self.long_windows,
+            "warn_burn": self.warn_burn,
+            "breach_burn": self.breach_burn,
+        }
+
+
+@dataclass
+class ObjectiveResult:
+    """Classification of one objective over the evaluated windows."""
+
+    name: str
+    metric: str
+    state: str
+    threshold: float
+    op: str
+    windows_evaluated: int
+    violations: int
+    short_fraction: float
+    long_fraction: float
+    last_value: float | None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "state": self.state,
+            "threshold": self.threshold,
+            "op": self.op,
+            "windows_evaluated": self.windows_evaluated,
+            "violations": self.violations,
+            "short_fraction": self.short_fraction,
+            "long_fraction": self.long_fraction,
+            "last_value": self.last_value,
+        }
+
+
+@dataclass
+class SloReport:
+    """Overall state (worst objective) plus per-objective results."""
+
+    state: str
+    objectives: list[ObjectiveResult]
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state,
+            "objectives": [r.to_dict() for r in self.objectives],
+        }
+
+    @property
+    def exit_code(self) -> int:
+        return slo_exit_code(self.state)
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """A named bundle of objectives (one spec file)."""
+
+    objectives: tuple[Objective, ...]
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "SloSpec":
+        objectives = d.get("objectives")
+        if not isinstance(objectives, Sequence) or isinstance(objectives, str):
+            raise ValueError('SLO spec needs an "objectives" list')
+        parsed = tuple(Objective.from_dict(o) for o in objectives)
+        names = [o.name for o in parsed]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate objective names in SLO spec")
+        return cls(objectives=parsed)
+
+    def to_dict(self) -> dict:
+        return {"objectives": [o.to_dict() for o in self.objectives]}
+
+
+def load_slo_spec(path: str | Path) -> SloSpec:
+    """Parse a JSON spec file into an :class:`SloSpec`."""
+    with open(path, encoding="utf-8") as fh:
+        try:
+            raw = json.load(fh)
+        except ValueError as exc:
+            raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(raw, Mapping):
+        raise ValueError(f"{path}: SLO spec must be a JSON object")
+    return SloSpec.from_dict(raw)
+
+
+# --------------------------------------------------------------------------
+# evaluation
+# --------------------------------------------------------------------------
+
+def _counter_value(window: TimelineWindow, key: str) -> float:
+    """Exact counter key, or the sum of its labeled series (``key{...}``)."""
+    if key in window.counters:
+        return float(window.counters[key])
+    prefix = key + "{"
+    return float(
+        sum(v for k, v in window.counters.items() if k.startswith(prefix))
+    )
+
+
+def _window_value(
+    objective: Objective, window: TimelineWindow
+) -> tuple[float | None, bool]:
+    """``(value, clamped)`` for one window; ``(None, False)`` = skip."""
+    section, _, rest = objective.metric.partition(".")
+    if section == "counters":
+        value = _counter_value(window, rest)
+        if objective.per_event:
+            value /= max(window.events, 1)
+        return value, False
+    if section == "gauges":
+        raw = window.gauges.get(rest)
+        return (float(raw), False) if raw is not None else (None, False)
+    if section == "quantiles":
+        family, _, q = rest.rpartition(".")
+        if not family:
+            raise ValueError(
+                f"objective {objective.name!r}: quantile metrics are "
+                "quantiles.<family>.<p50|p90|p99>"
+            )
+        entry = window.quantiles.get(family)
+        if entry is None or q not in entry:
+            return None, False
+        return float(entry[q]), bool(entry.get("clamped", False))
+    if section == "window":
+        if rest == "events":
+            return float(window.events), False
+        if rest == "watermark":
+            return float(window.watermark), False
+        raise ValueError(
+            f"objective {objective.name!r}: unknown window field {rest!r}"
+        )
+    raise ValueError(  # pragma: no cover - blocked by Objective validation
+        f"objective {objective.name!r}: unknown metric section {section!r}"
+    )
+
+
+def _violates(objective: Objective, value: float, clamped: bool) -> bool:
+    if objective.op == "<=":
+        # A clamped quantile understates the truth; it cannot *prove*
+        # the objective was met, so it counts against the budget.
+        return clamped or value > objective.threshold
+    return value < objective.threshold
+
+
+def evaluate_objective(
+    objective: Objective, windows: Sequence[TimelineWindow]
+) -> ObjectiveResult:
+    """Classify one objective over the (oldest-first) window sequence."""
+    flags: list[bool] = []
+    last_value: float | None = None
+    for window in windows[-objective.long_windows:]:
+        value, clamped = _window_value(objective, window)
+        if value is None:
+            continue
+        last_value = value
+        flags.append(_violates(objective, value, clamped))
+    evaluated = len(flags)
+    violations = sum(flags)
+    if evaluated == 0:
+        return ObjectiveResult(
+            name=objective.name,
+            metric=objective.metric,
+            state="ok",
+            threshold=objective.threshold,
+            op=objective.op,
+            windows_evaluated=0,
+            violations=0,
+            short_fraction=0.0,
+            long_fraction=0.0,
+            last_value=None,
+        )
+    short = flags[-objective.short_windows:]
+    short_fraction = sum(short) / len(short)
+    long_fraction = violations / evaluated
+    if (
+        short_fraction >= objective.breach_burn
+        and long_fraction >= objective.warn_burn
+    ):
+        state = "breach"
+    elif (
+        short_fraction >= objective.warn_burn
+        or long_fraction >= objective.breach_burn
+    ):
+        state = "warn"
+    else:
+        state = "ok"
+    return ObjectiveResult(
+        name=objective.name,
+        metric=objective.metric,
+        state=state,
+        threshold=objective.threshold,
+        op=objective.op,
+        windows_evaluated=evaluated,
+        violations=violations,
+        short_fraction=short_fraction,
+        long_fraction=long_fraction,
+        last_value=last_value,
+    )
+
+
+def evaluate_slos(
+    spec: SloSpec, windows: Sequence[TimelineWindow]
+) -> SloReport:
+    """Evaluate every objective; overall state is the worst one."""
+    results = [evaluate_objective(o, windows) for o in spec.objectives]
+    state = "ok"
+    for r in results:
+        if STATE_ORDER[r.state] > STATE_ORDER[state]:
+            state = r.state
+    return SloReport(state=state, objectives=results)

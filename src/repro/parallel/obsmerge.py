@@ -27,7 +27,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
-from ..obs import metrics, tracing
+from ..obs import metrics, timeline as obs_timeline, tracing
 
 __all__ = ["ObsDelta", "capture_obs", "merge_obs"]
 
@@ -38,10 +38,11 @@ class ObsDelta:
 
     spans: list[dict[str, Any]] = field(default_factory=list)
     metrics: list[dict[str, Any]] = field(default_factory=list)
+    timeline: dict[str, Any] | None = None
     elapsed: float = 0.0
 
     def __bool__(self) -> bool:
-        return bool(self.spans or self.metrics)
+        return bool(self.spans or self.metrics or self.timeline)
 
 
 @contextmanager
@@ -58,12 +59,22 @@ def capture_obs(enabled: bool = True) -> Iterator[ObsDelta]:
         return
     tracer = tracing.Tracer()
     registry = metrics.MetricsRegistry()
+    timeline = obs_timeline.Timeline(registry=registry)
     t0 = time.perf_counter()
-    with tracing.activate(tracer), metrics.activate(registry):
+    with (
+        tracing.activate(tracer),
+        metrics.activate(registry),
+        obs_timeline.activate(timeline),
+    ):
         yield delta
     delta.elapsed = time.perf_counter() - t0
     delta.spans = tracer.to_dicts()
     delta.metrics = registry.snapshot()
+    tl_delta = timeline.delta()
+    # Ship the timeline only when the task actually recorded events —
+    # most worker tasks (simulate shards, predict shards) never do.
+    if tl_delta["events_total"] or tl_delta["windows"]:
+        delta.timeline = tl_delta
 
 
 def merge_obs(
@@ -102,3 +113,6 @@ def merge_obs(
     registry = metrics.current()
     if registry is not None and delta.metrics:
         registry.merge_snapshot(delta.metrics)
+    timeline = obs_timeline.current()
+    if timeline is not None and delta.timeline:
+        timeline.absorb(delta.timeline)

@@ -42,7 +42,7 @@ from .dlq import (
     canonical_event,
     event_digest,
 )
-from .engine import ReplayResult, ScoredEvent, ScoringEngine
+from .engine import ReplayResult, ScoredEvent, ScoringEngine, TelemetryConfig
 from .feature_store import (
     FeatureStore,
     FeatureStoreError,
@@ -58,7 +58,14 @@ from .guard import (
     ChunkAdmission,
     GuardStats,
 )
-from .health import HealthState, ServeBreaker, StalenessPolicy
+from .health import (
+    HealthState,
+    ServeBreaker,
+    StalenessPolicy,
+    load_status,
+    render_status,
+    status_exit_code,
+)
 from .registry import ModelRegistry, RegistryError
 
 __all__ = [
@@ -68,6 +75,7 @@ __all__ = [
     "ScoredEvent",
     "ReplayResult",
     "ScoringEngine",
+    "TelemetryConfig",
     "FeatureStore",
     "FeatureStoreError",
     "OutOfOrderError",
@@ -95,4 +103,7 @@ __all__ = [
     "HealthState",
     "ServeBreaker",
     "StalenessPolicy",
+    "load_status",
+    "render_status",
+    "status_exit_code",
 ]

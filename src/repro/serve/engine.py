@@ -18,6 +18,7 @@ like every other stage.
 
 from __future__ import annotations
 
+import json
 import time
 from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass
@@ -30,18 +31,43 @@ from ..core.features import feature_names, feature_schema_hash
 from ..core.predictor import FailurePredictor
 from ..data.io import iter_drive_day_chunks
 from ..data.dataset import DriveDayDataset
-from ..obs import metrics, tracing
+from ..obs import eventlog, metrics, tracing
+from ..obs import timeline as obs_timeline
+from ..obs.manifest import _atomic_write_text, _created_now
+from ..obs.slo import SloSpec, evaluate_slos
 from .batching import BatchPolicy, MicroBatcher, QueuePolicy
 from .feature_store import FeatureStore, SchemaMismatchError
 from .guard import DUPLICATE, AdmissionGuard
-from .health import HealthState, StalenessPolicy
+from .health import STATUS_SCHEMA_VERSION, HealthState, StalenessPolicy
 
-__all__ = ["ScoredEvent", "ReplayResult", "ScoringEngine"]
+__all__ = ["ScoredEvent", "ReplayResult", "ScoringEngine", "TelemetryConfig"]
 
 #: Flushed batches at least this large fan out across workers (when the
 #: engine was given ``workers > 1``); smaller batches stay in-process —
 #: pool dispatch overhead would dominate.
 BACKFILL_MIN_ROWS = 2048
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Live-telemetry knobs for the engine (heartbeats + SLO summary).
+
+    ``status_path`` names the ``status.json`` file the engine atomically
+    rewrites every ``heartbeat_every`` *seen* events (arrivals, counting
+    diverted/shed events — a sick stream must still heartbeat).  With an
+    ``slo_spec`` each heartbeat embeds a fresh evaluation of the active
+    timeline, which is what ``serve status`` grades.  Heartbeats are
+    event-count driven (never wall clock) and write only the status
+    file — scores are untouched, so replay parity survives telemetry.
+    """
+
+    status_path: str | Path | None = None
+    heartbeat_every: int = 5000
+    slo_spec: SloSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_every < 1:
+            raise ValueError("heartbeat_every must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -118,6 +144,11 @@ class ScoringEngine:
     staleness:
         :class:`StalenessPolicy` enabling degraded scoring: scores for
         events lagging the fleet watermark are tagged, never withheld.
+    telemetry:
+        :class:`TelemetryConfig` enabling ``status.json`` heartbeats and
+        per-heartbeat SLO evaluation; ``None`` (default) writes nothing.
+        The windowed timeline itself rides the ambient
+        :func:`repro.obs.timeline.record` hook, active or not.
     clock:
         Injectable monotonic clock (tests, deterministic replays).
     """
@@ -133,6 +164,7 @@ class ScoringEngine:
         guard: AdmissionGuard | None = None,
         queue_policy: QueuePolicy | None = None,
         staleness: StalenessPolicy | None = None,
+        telemetry: TelemetryConfig | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         names = predictor.feature_names
@@ -159,6 +191,7 @@ class ScoringEngine:
                 "shed events are dead-lettered, never silently dropped"
             )
         self.staleness = staleness
+        self.telemetry = telemetry
         self.clock = clock
         self.batcher = MicroBatcher(batch_policy, clock=clock)
         self.workers = workers
@@ -167,6 +200,11 @@ class ScoringEngine:
         self.requests_total = 0
         self.batches_total = 0
         self.stale_scores = 0
+        #: Every arrival observed, including diverted/shed/duplicate
+        #: events that never became scoring requests.
+        self.events_seen = 0
+        self.heartbeats_written = 0
+        self._since_heartbeat = 0
         #: Newest calendar day absorbed — the fleet watermark staleness
         #: is measured against (-1 until an event carries one).
         self._fleet_day = -1
@@ -177,6 +215,75 @@ class ScoringEngine:
         if self.guard is not None and self.guard.breaker is not None:
             return self.guard.breaker.state
         return HealthState.READY
+
+    # ------------------------------------------------------------------ telemetry
+    def _observe_events(self, n: int, watermark: int | None = None) -> None:
+        """Count ``n`` arrivals into the timeline and the heartbeat budget.
+
+        Called once per arrival (or per chunk on replay), *including*
+        events the guard diverted or shed — live telemetry must keep
+        reporting on a stream that has gone entirely bad.
+        """
+        self.events_seen += n
+        obs_timeline.record(n, watermark=watermark)
+        tm = self.telemetry
+        if tm is not None and tm.status_path is not None:
+            self._since_heartbeat += n
+            if self._since_heartbeat >= tm.heartbeat_every:
+                self.heartbeat()
+
+    def status(self) -> dict[str, Any]:
+        """The current heartbeat payload (what ``status.json`` holds)."""
+        out: dict[str, Any] = {
+            "schema_version": STATUS_SCHEMA_VERSION,
+            "ts": _created_now(),
+            "health": self.health_state,
+            "events_seen": self.events_seen,
+            "requests_total": self.requests_total,
+            "batches_total": self.batches_total,
+            "stale_scores": self.stale_scores,
+            "queue_depth": len(self.batcher),
+            "watermark": self._fleet_day,
+            "heartbeats": self.heartbeats_written,
+        }
+        if self.guard is not None:
+            out["guard"] = self.guard.stats.to_dict()
+            if self.guard.breaker is not None:
+                out["breaker"] = self.guard.breaker.to_dict()
+        timeline = obs_timeline.current()
+        if timeline is not None:
+            out["timeline"] = timeline.summary()
+            tm = self.telemetry
+            if tm is not None and tm.slo_spec is not None:
+                report = evaluate_slos(tm.slo_spec, timeline.windows())
+                out["slo"] = report.to_dict()
+        return out
+
+    def heartbeat(self) -> dict[str, Any]:
+        """Atomically rewrite ``status.json`` (when configured) now.
+
+        Returns the payload either way, so transports can forward it
+        even without a status file.  Resets the event budget; the next
+        automatic heartbeat lands ``heartbeat_every`` events later.
+        """
+        payload = self.status()
+        self._since_heartbeat = 0
+        tm = self.telemetry
+        if tm is not None and tm.status_path is not None:
+            self.heartbeats_written += 1
+            payload["heartbeats"] = self.heartbeats_written
+            _atomic_write_text(
+                Path(tm.status_path),
+                json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            )
+            eventlog.emit(
+                "serve.engine.heartbeat",
+                level="debug",
+                events_seen=self.events_seen,
+                health=payload["health"],
+                slo=(payload.get("slo") or {}).get("state"),
+            )
+        return payload
 
     # ------------------------------------------------------------------ ingest
     def ingest(self, record: Mapping[str, Any]) -> np.ndarray:
@@ -207,6 +314,7 @@ class ScoringEngine:
                     record,
                     f"submit queue at max_depth={max_depth}",
                 )
+                self._observe_events(1)
                 return []
             # Backpressure: score the pending batch before admitting.
             batch = self.batcher.flush()
@@ -215,6 +323,7 @@ class ScoringEngine:
         if self.guard is not None:
             outcome = self.guard.admit(record)
             if not outcome.accepted:
+                self._observe_events(1)
                 return pre
             row = outcome.row
             drive_id, age = outcome.drive_id, outcome.age_days
@@ -232,6 +341,9 @@ class ScoringEngine:
             cal = -1
         if cal > self._fleet_day:
             self._fleet_day = cal
+        self._observe_events(
+            1, watermark=self._fleet_day if self._fleet_day >= 0 else None
+        )
         request = (drive_id, age, cal, row)
         self.requests_total += 1
         metrics.inc(
@@ -264,9 +376,10 @@ class ScoringEngine:
         if self.guard is not None and self.guard.breaker is not None:
             self.guard.breaker.begin_drain()
         batch = self.batcher.flush()
-        if not batch:
-            return []
-        return self._score_batch(batch)
+        scored = self._score_batch(batch) if batch else []
+        if self.telemetry is not None and self.telemetry.status_path is not None:
+            self.heartbeat()
+        return scored
 
     def _score_rows(self, X: np.ndarray, ages: np.ndarray) -> np.ndarray:
         """Vectorized predict; fans out only for backfill-sized batches."""
@@ -284,6 +397,11 @@ class ScoringEngine:
         if self.staleness is None or cal < 0 or self._fleet_day < 0:
             return 0, False
         lag = max(0, self._fleet_day - cal)
+        metrics.set_gauge(
+            "repro_serve_staleness_days",
+            float(lag),
+            help="Calendar lag of the most recently scored event vs the watermark",
+        )
         stale = lag > self.staleness.max_lag_days
         if stale:
             self.stale_scores += 1
@@ -397,6 +515,11 @@ class ScoringEngine:
                 else:
                     X = self.store.ingest_columns(chunk)
                     ages = np.asarray(chunk["age_days"], dtype=np.int64)
+                    cals = chunk.get("calendar_day")
+                    if cals is not None and len(cals):
+                        top = int(np.max(cals))
+                        if top > self._fleet_day:
+                            self._fleet_day = top
                 m = X.shape[0]
                 if m:
                     with tracing.span(
@@ -426,6 +549,10 @@ class ScoringEngine:
                 )
                 pos += len(chunk["drive_id"])
                 n_events += m
+                self._observe_events(
+                    len(chunk["drive_id"]),
+                    watermark=self._fleet_day if self._fleet_day >= 0 else None,
+                )
                 since_snapshot += m
                 if (
                     snapshot_every is not None
@@ -439,6 +566,8 @@ class ScoringEngine:
             sp.set(rows_in=n_events, rows_out=n_events)
         if snapshot_every is not None and snapshot_path is not None:
             self.store.snapshot(snapshot_path)
+        if self.telemetry is not None and self.telemetry.status_path is not None:
+            self.heartbeat()
         elapsed = self.clock() - t0
         metrics.set_gauge(
             "repro_serve_store_drives",

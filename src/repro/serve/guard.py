@@ -40,7 +40,7 @@ from typing import Any
 
 import numpy as np
 
-from ..obs import metrics
+from ..obs import eventlog, metrics
 from ..reliability.validation import (
     COUNT_FIELDS,
     REQUIRED_COLUMNS,
@@ -291,6 +291,13 @@ class AdmissionGuard:
                 "repro_serve_duplicate_total",
                 help="Exact duplicate events dropped (idempotent re-ingest)",
             )
+            eventlog.emit(
+                "serve.guard.duplicate",
+                "exact re-delivery dropped",
+                level="debug",
+                drive_id=outcome.drive_id,
+                age_days=outcome.age_days,
+            )
         else:
             self._divert(
                 outcome, record if isinstance(record, Mapping) else None
@@ -362,6 +369,16 @@ class AdmissionGuard:
             "repro_serve_dead_letter_total",
             help="Events diverted to the dead-letter queue",
             fault=outcome.fault,
+        )
+        eventlog.emit(
+            "serve.guard.dead_letter",
+            outcome.reason,
+            level="warn",
+            fault=outcome.fault,
+            drive_id=outcome.drive_id,
+            age_days=outcome.age_days,
+            watermark=outcome.watermark,
+            source=source,
         )
 
     def _signal(self, ok: bool) -> None:

@@ -25,9 +25,26 @@ downstream consumers decide whether a stale risk estimate is actionable.
 
 from __future__ import annotations
 
+import json
+from collections.abc import Mapping
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
-__all__ = ["HealthState", "StalenessPolicy", "ServeBreaker"]
+from ..obs import eventlog
+
+__all__ = [
+    "STATUS_SCHEMA_VERSION",
+    "HealthState",
+    "StalenessPolicy",
+    "ServeBreaker",
+    "load_status",
+    "render_status",
+    "status_exit_code",
+]
+
+#: Bumped whenever the ``status.json`` layout changes incompatibly.
+STATUS_SCHEMA_VERSION = 1
 
 
 class HealthState:
@@ -84,15 +101,27 @@ class ServeBreaker:
         self.trips = 0
         self.recoveries = 0
 
+    def _transition(self, new_state: str, level: str) -> None:
+        old = self.state
+        self.state = new_state
+        eventlog.emit(
+            "serve.health.transition",
+            f"{old} -> {new_state}",
+            level=level,
+            previous=old,
+            state=new_state,
+            trips=self.trips,
+        )
+
     def record_ok(self) -> str:
         """One healthy admission; may close a tripped breaker."""
         self.consecutive_faults = 0
         if self.state == HealthState.DEGRADED:
             self.consecutive_oks += 1
             if self.consecutive_oks >= self.recovery_threshold:
-                self.state = HealthState.READY
                 self.recoveries += 1
                 self.consecutive_oks = 0
+                self._transition(HealthState.READY, "info")
         return self.state
 
     def record_fault(self) -> str:
@@ -103,13 +132,14 @@ class ServeBreaker:
             self.state == HealthState.READY
             and self.consecutive_faults >= self.fault_threshold
         ):
-            self.state = HealthState.DEGRADED
             self.trips += 1
+            self._transition(HealthState.DEGRADED, "warn")
         return self.state
 
     def begin_drain(self) -> str:
         """Enter the terminal draining state (shutdown has begun)."""
-        self.state = HealthState.DRAINING
+        if self.state != HealthState.DRAINING:
+            self._transition(HealthState.DRAINING, "info")
         return self.state
 
     def to_dict(self) -> dict:
@@ -120,3 +150,101 @@ class ServeBreaker:
             "fault_threshold": self.fault_threshold,
             "recovery_threshold": self.recovery_threshold,
         }
+
+
+# --------------------------------------------------------------------------
+# status.json (heartbeat file written by ScoringEngine, read by
+# `serve status`)
+# --------------------------------------------------------------------------
+
+def load_status(path: str | Path) -> dict[str, Any]:
+    """Read a ``status.json`` heartbeat; raises ``ValueError`` on problems.
+
+    The file is rewritten atomically by the engine, so a reader never
+    sees a torn write — a parse failure means the path is wrong or the
+    file is not a status heartbeat at all.
+    """
+    path = Path(path)
+    try:
+        body = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ValueError(
+            f"status file {path} does not exist (serve replay/run write it "
+            "via --status-out)"
+        ) from None
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"status file {path} is unreadable: {exc}") from None
+    if not isinstance(body, dict) or "health" not in body:
+        raise ValueError(f"status file {path} is not a serve status heartbeat")
+    return body
+
+
+def status_exit_code(status: Mapping[str, Any]) -> int:
+    """The ``serve status`` exit contract: 0 ok / 1 degraded-or-warn / 2 breach.
+
+    An SLO breach in the embedded evaluation dominates; a ``degraded``
+    health state or an SLO warning exits 1; ``ready`` and ``draining``
+    (a clean shutdown in progress) are healthy.
+    """
+    slo_state = (status.get("slo") or {}).get("state", "ok")
+    if slo_state == "breach":
+        return 2
+    if status.get("health") == HealthState.DEGRADED or slo_state == "warn":
+        return 1
+    return 0
+
+
+def render_status(status: Mapping[str, Any]) -> str:
+    """One-screen human-readable summary of a status heartbeat."""
+    lines = [
+        f"serve status: {status.get('health', '?')} "
+        f"(schema v{status.get('schema_version', '?')})",
+        f"  events seen:   {status.get('events_seen', 0)}",
+        f"  requests:      {status.get('requests_total', 0)} scored in "
+        f"{status.get('batches_total', 0)} batch(es)",
+        f"  queue depth:   {status.get('queue_depth', 0)}",
+        f"  watermark:     day {status.get('watermark', -1)}",
+    ]
+    if status.get("stale_scores"):
+        lines.append(f"  stale scores:  {status['stale_scores']}")
+    guard = status.get("guard") or {}
+    if guard:
+        by_fault = guard.get("by_fault") or {}
+        faults = (
+            ", ".join(f"{k}={v}" for k, v in sorted(by_fault.items()))
+            or "none"
+        )
+        lines.append(
+            f"  guard:         {guard.get('admitted', 0)} admitted, "
+            f"{guard.get('duplicates_dropped', 0)} duplicate(s), "
+            f"{guard.get('dead_lettered', 0)} dead-lettered "
+            f"({faults}), {guard.get('shed', 0)} shed"
+        )
+    breaker = status.get("breaker") or {}
+    if breaker:
+        lines.append(
+            f"  breaker:       {breaker.get('trips', 0)} trip(s), "
+            f"{breaker.get('recoveries', 0)} recovery(ies)"
+        )
+    timeline = status.get("timeline") or {}
+    if timeline:
+        lines.append(
+            f"  timeline:      {timeline.get('windows_emitted', 0)} window(s) "
+            f"({timeline.get('windows_dropped', 0)} dropped from the ring)"
+        )
+    slo = status.get("slo") or {}
+    if slo:
+        lines.append(
+            f"  slo:           {slo.get('state', '?')} "
+            f"({len(slo.get('objectives') or [])} objective(s))"
+        )
+        for obj in slo.get("objectives") or []:
+            if obj.get("state", "ok") != "ok":
+                lines.append(
+                    f"    {obj.get('state', '?'):<7s}"
+                    f"{obj.get('name', '?')}: {obj.get('metric', '?')} "
+                    f"{obj.get('op', '?')} {obj.get('threshold', '?')} "
+                    f"violated {obj.get('violations', 0)}/"
+                    f"{obj.get('windows_evaluated', 0)} window(s)"
+                )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Structured event log: envelope, levels, seq resume, span correlation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import eventlog, tracing
+from repro.obs.eventlog import EventLog, iter_events, load_events
+
+
+def _lines(path):
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestEmit:
+    def test_envelope_fields(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("serve.guard.dead_letter", "late event", level="warn", fault="late")
+        (rec,) = _lines(path)
+        assert rec["seq"] == 0
+        assert rec["level"] == "warn"
+        assert rec["kind"] == "serve.guard.dead_letter"
+        assert rec["msg"] == "late event"
+        assert rec["fault"] == "late"
+        assert rec["span"] is None
+        assert isinstance(rec["ts"], float)
+
+    def test_reserved_extras_prefixed_not_clobbered(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("k", "message", level="info", seq=99, span="shadow")
+        (rec,) = _lines(path)
+        assert rec["msg"] == "message"
+        assert rec["seq"] == 0
+        assert rec["x_seq"] == 99
+        assert rec["span"] is None
+        assert rec["x_span"] == "shadow"
+
+    def test_min_level_drops_below_threshold(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, min_level="warn") as log:
+            log.emit("a", level="debug")
+            log.emit("b", level="info")
+            log.emit("c", level="warn")
+            log.emit("d", level="error")
+        assert [r["kind"] for r in _lines(path)] == ["c", "d"]
+
+    def test_unknown_level_rejected(self, tmp_path):
+        with EventLog(tmp_path / "events.jsonl") as log:
+            with pytest.raises(ValueError, match="unknown event level"):
+                log.emit("k", level="fatal")
+
+    def test_seq_resumes_from_existing_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("a")
+            log.emit("b")
+        with EventLog(path) as log:
+            log.emit("c")
+        assert [r["seq"] for r in _lines(path)] == [0, 1, 2]
+
+    def test_span_correlation_with_active_tracer(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer), EventLog(path) as log:
+            with tracer.span("repro.test.outer"):
+                log.emit("inside")
+            log.emit("outside")
+        inside, outside = _lines(path)
+        assert inside["span"] is not None
+        assert outside["span"] is None
+
+    def test_repro_epoch_pins_ts(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCH", "1733000000.0")
+        with EventLog(tmp_path / "e.jsonl") as log:
+            log.emit("k")
+        (rec,) = _lines(tmp_path / "e.jsonl")
+        assert rec["ts"] == 1733000000.0
+
+    def test_counts_per_level(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl") as log:
+            log.emit("a", level="warn")
+            log.emit("b", level="warn")
+            log.emit("c", level="info")
+            counts = log.counts()
+        assert counts["warn"] == 2 and counts["info"] == 1
+
+    def test_emit_after_close_is_noop(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog(path)
+        log.emit("a")
+        log.close()
+        log.emit("b")
+        assert len(_lines(path)) == 1
+
+
+class TestReaders:
+    def _write(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            log.emit("serve.guard.dead_letter", level="warn")
+            log.emit("serve.health.transition", level="info")
+            log.emit("serve.engine.heartbeat", level="debug")
+        return path
+
+    def test_level_filter(self, tmp_path):
+        path = self._write(tmp_path)
+        kinds = [r["kind"] for r in iter_events(path, min_level="info")]
+        assert kinds == ["serve.guard.dead_letter", "serve.health.transition"]
+
+    def test_kind_prefix_filter(self, tmp_path):
+        path = self._write(tmp_path)
+        events = load_events(path, kind_prefix="serve.health")
+        assert [r["kind"] for r in events] == ["serve.health.transition"]
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"seq": 0, "kind": "a", "level": "info"}\n[1, 2]\n')
+        with pytest.raises(ValueError, match=":2:"):
+            load_events(path)
+
+
+class TestModuleHelpers:
+    def test_emit_noops_when_inactive(self):
+        assert eventlog.current() is None
+        eventlog.emit("k", "no sink")  # must not raise
+
+    def test_activate_installs_and_restores(self, tmp_path):
+        with EventLog(tmp_path / "e.jsonl") as log:
+            with eventlog.activate(log):
+                assert eventlog.current() is log
+                eventlog.emit("k", level="warn")
+            assert eventlog.current() is None
+        assert len(_lines(tmp_path / "e.jsonl")) == 1

@@ -156,3 +156,62 @@ class TestLoadErrors:
         path.write_text(json.dumps([1, 2]))
         with pytest.raises(ManifestError, match="not a JSON object"):
             load_manifest(path)
+
+
+class TestReproEpoch:
+    def test_created_unix_honors_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCH", "1733000000.5")
+        manifest = RunManifest(command="test", config={}, seeds={})
+        assert manifest.created_unix == 1733000000.5
+
+    def test_unparsable_epoch_falls_back_to_wall_clock(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EPOCH", "not-a-number")
+        manifest = RunManifest(command="test", config={}, seeds={})
+        assert manifest.created_unix > 1.6e9  # real clock, no crash
+
+
+class TestRecordSlo:
+    def _report(self):
+        return {
+            "state": "warn",
+            "objectives": [
+                {
+                    "name": "dlq",
+                    "metric": "counters.repro_dlq_total",
+                    "state": "warn",
+                    "threshold": 1.0,
+                    "op": "<=",
+                    "windows_evaluated": 4,
+                    "violations": 2,
+                    "short_fraction": 0.5,
+                    "long_fraction": 0.5,
+                    "last_value": 3.0,
+                }
+            ],
+        }
+
+    def test_valid_report_lands_in_manifest(self, tmp_path):
+        manifest = RunManifest(command="serve.run", config={}, seeds={})
+        manifest.record_slo(self._report())
+        body = manifest.to_dict()
+        assert body["slo"]["state"] == "warn"
+        assert validate_manifest(body) == []
+
+    def test_invalid_state_rejected(self):
+        manifest = RunManifest(command="test", config={}, seeds={})
+        bad = self._report()
+        bad["state"] = "on-fire"
+        with pytest.raises(ManifestError, match="invalid slo record"):
+            manifest.record_slo(bad)
+
+    def test_missing_objective_fields_rejected(self):
+        manifest = RunManifest(command="test", config={}, seeds={})
+        with pytest.raises(ManifestError, match="invalid slo record"):
+            manifest.record_slo({"state": "ok", "objectives": [{"name": "x"}]})
+
+    def test_null_last_value_allowed(self, tmp_path):
+        manifest = RunManifest(command="serve.run", config={}, seeds={})
+        report = self._report()
+        report["objectives"][0]["last_value"] = None
+        manifest.record_slo(report)
+        assert validate_manifest(manifest.to_dict()) == []

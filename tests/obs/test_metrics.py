@@ -176,3 +176,79 @@ class TestModuleHelpers:
         assert snap["x_total"]["series"][0]["value"] == 2.0
         assert snap["y"]["series"][0]["value"] == 5.0
         assert snap["z_seconds"]["series"][0]["count"] == 1
+
+
+class TestQuantileInfo:
+    def test_clamped_flag_surfaces_overflow(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(100.0)
+        value, clamped = h.quantile_info(0.99)
+        assert value == 2.0 and clamped is True
+
+    def test_unclamped_when_within_bounds(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(0.5)
+        value, clamped = h.quantile_info(0.5)
+        assert value <= 1.0 and clamped is False
+
+    def test_bucket_quantile_standalone_matches_histogram(self):
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        expected = h.quantile_info(0.9)
+        got = metrics.bucket_quantile(
+            h.upper_bounds, list(h.bucket_counts), h.inf_count, 0.9
+        )
+        assert got == expected
+
+    def test_to_dict_exposes_overflow_count(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h_seconds", help="h", buckets=(1.0,)).labels()
+        h.observe(0.5)
+        h.observe(99.0)
+        entry = reg.to_dict()["h_seconds"]["series"][0]
+        assert entry["overflow"] == 1
+        assert entry["count"] == 2
+
+
+class TestMergeSnapshot:
+    def test_mismatched_bucket_layout_rejected(self):
+        a = MetricsRegistry()
+        a.histogram("h_seconds", help="h", buckets=(0.1, 1.0)).labels().observe(0.2)
+        b = MetricsRegistry()
+        b.histogram("h_seconds", help="h", buckets=(0.5, 2.0)).labels().observe(0.2)
+        with pytest.raises(ValueError, match="bucket layout mismatch"):
+            a.merge_snapshot(b.snapshot())
+
+    def test_mismatched_labelnames_rejected(self):
+        a = MetricsRegistry()
+        a.counter("jobs_total", help="j", labelnames=("stage",)).labels(
+            stage="sim"
+        ).inc()
+        b = MetricsRegistry()
+        b.counter("jobs_total", help="j", labelnames=("worker",)).labels(
+            worker="w0"
+        ).inc()
+        with pytest.raises(ValueError, match="label"):
+            a.merge_snapshot(b.snapshot())
+
+    def test_disjoint_label_values_create_new_series(self):
+        a = MetricsRegistry()
+        a.counter("jobs_total", help="j", labelnames=("stage",)).labels(
+            stage="sim"
+        ).inc(2)
+        b = MetricsRegistry()
+        b.counter("jobs_total", help="j", labelnames=("stage",)).labels(
+            stage="fit"
+        ).inc(3)
+        a.merge_snapshot(b.snapshot())
+        rendered = a.render_prometheus()
+        assert 'jobs_total{stage="sim"} 2' in rendered
+        assert 'jobs_total{stage="fit"} 3' in rendered
+
+    def test_unseen_family_created_on_merge(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        b.gauge("depth", help="queue depth").labels().set(4)
+        a.merge_snapshot(b.snapshot())
+        assert a.to_dict()["depth"]["series"][0]["value"] == 4.0

@@ -1,0 +1,249 @@
+"""SLO objectives: validation, burn-rate classification, spec loading."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.slo import (
+    Objective,
+    SloSpec,
+    evaluate_objective,
+    evaluate_slos,
+    load_slo_spec,
+    slo_exit_code,
+)
+from repro.obs.timeline import TimelineWindow
+
+
+def _window(i, counters=None, gauges=None, quantiles=None, events=10, watermark=-1):
+    return TimelineWindow(
+        index=i,
+        start_events=i * events,
+        end_events=(i + 1) * events,
+        watermark=watermark,
+        counters=counters or {},
+        gauges=gauges or {},
+        quantiles=quantiles or {},
+    )
+
+
+def _dlq_objective(**over):
+    kwargs = dict(
+        name="dlq",
+        metric="counters.repro_dlq_total",
+        threshold=1.0,
+        short_windows=2,
+        long_windows=4,
+        warn_burn=0.5,
+        breach_burn=1.0,
+    )
+    kwargs.update(over)
+    return Objective(**kwargs)
+
+
+class TestObjectiveValidation:
+    @pytest.mark.parametrize(
+        "over",
+        [
+            {"name": ""},
+            {"op": "<"},
+            {"metric": "nope.foo"},
+            {"short_windows": 0},
+            {"short_windows": 5, "long_windows": 3},
+            {"warn_burn": 0.0},
+            {"warn_burn": 0.9, "breach_burn": 0.5},
+            {"breach_burn": 1.5},
+            {"metric": "gauges.depth", "per_event": True},
+        ],
+    )
+    def test_rejects_bad_fields(self, over):
+        with pytest.raises(ValueError):
+            _dlq_objective(**over)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            Objective.from_dict(
+                {"name": "x", "metric": "window.events", "threshold": 1, "oops": 2}
+            )
+
+    def test_from_dict_missing_required(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            Objective.from_dict({"name": "x"})
+
+    def test_roundtrip(self):
+        obj = _dlq_objective(per_event=True)
+        assert Objective.from_dict(obj.to_dict()) == obj
+
+
+class TestClassification:
+    def test_all_clean_is_ok(self):
+        windows = [_window(i) for i in range(6)]
+        result = evaluate_objective(_dlq_objective(), windows)
+        assert result.state == "ok"
+        assert result.windows_evaluated == 4  # long lookback caps it
+        assert result.violations == 0
+
+    def test_sustained_violation_breaches(self):
+        windows = [
+            _window(i, counters={"repro_dlq_total": 5.0}) for i in range(6)
+        ]
+        result = evaluate_objective(_dlq_objective(), windows)
+        assert result.state == "breach"
+        assert result.short_fraction == 1.0
+        assert result.long_fraction == 1.0
+        assert result.last_value == 5.0
+
+    def test_fresh_spike_warns(self):
+        windows = [_window(i) for i in range(3)] + [
+            _window(3, counters={"repro_dlq_total": 5.0})
+        ]
+        result = evaluate_objective(_dlq_objective(), windows)
+        # Short fraction 1/2 hits warn_burn but long fraction 1/4 stays
+        # under breach territory: a spike, not a sustained burn.
+        assert result.state == "warn"
+
+    def test_no_data_is_ok_with_zero_windows(self):
+        result = evaluate_objective(
+            Objective(name="g", metric="gauges.absent", threshold=1.0), []
+        )
+        assert result.state == "ok"
+        assert result.windows_evaluated == 0
+        assert result.last_value is None
+
+    def test_per_event_divides_by_window_span(self):
+        obj = _dlq_objective(per_event=True, threshold=0.3)
+        windows = [
+            _window(i, counters={"repro_dlq_total": 2.0}, events=10)
+            for i in range(4)
+        ]
+        result = evaluate_objective(obj, windows)
+        assert result.last_value == pytest.approx(0.2)
+        assert result.state == "ok"
+
+    def test_bare_counter_name_sums_labeled_series(self):
+        obj = _dlq_objective(threshold=3.0)
+        windows = [
+            _window(
+                i,
+                counters={
+                    'repro_dlq_total{fault="late"}': 2.0,
+                    'repro_dlq_total{fault="malformed"}': 3.0,
+                },
+            )
+            for i in range(4)
+        ]
+        result = evaluate_objective(obj, windows)
+        assert result.last_value == 5.0
+        assert result.state == "breach"
+
+    def test_clamped_quantile_counts_against_le_objective(self):
+        obj = Objective(
+            name="lat",
+            metric="quantiles.repro_lat_seconds.p99",
+            threshold=10.0,
+            short_windows=1,
+            long_windows=2,
+            warn_burn=0.5,
+            breach_burn=1.0,
+        )
+        windows = [
+            _window(
+                i,
+                quantiles={
+                    "repro_lat_seconds": {"count": 4, "p99": 1.0, "clamped": True}
+                },
+            )
+            for i in range(2)
+        ]
+        result = evaluate_objective(obj, windows)
+        # p99 estimate 1.0 <= 10.0, but the clamp means the histogram
+        # overflowed — the objective cannot be proven met.
+        assert result.state == "breach"
+
+    def test_ge_objective_on_window_events(self):
+        obj = Objective(
+            name="throughput",
+            metric="window.events",
+            threshold=5.0,
+            op=">=",
+            short_windows=1,
+            long_windows=2,
+            warn_burn=0.5,
+            breach_burn=1.0,
+        )
+        ok = evaluate_objective(obj, [_window(0, events=10)])
+        bad = evaluate_objective(obj, [_window(0, events=2)])
+        assert ok.state == "ok" and bad.state == "breach"
+
+    def test_unknown_window_field_raises(self):
+        obj = Objective(name="w", metric="window.nope", threshold=1.0)
+        with pytest.raises(ValueError, match="unknown window field"):
+            evaluate_objective(obj, [_window(0)])
+
+
+class TestSpecAndReport:
+    def test_overall_state_is_worst_objective(self):
+        spec = SloSpec(
+            objectives=(
+                _dlq_objective(),
+                Objective(
+                    name="throughput",
+                    metric="window.events",
+                    threshold=100.0,
+                    op=">=",
+                    short_windows=1,
+                    long_windows=1,
+                    warn_burn=0.5,
+                    breach_burn=1.0,
+                ),
+            )
+        )
+        report = evaluate_slos(spec, [_window(0, events=10)])
+        assert report.state == "breach"
+        assert report.exit_code == 2
+        assert {r.name: r.state for r in report.objectives} == {
+            "dlq": "ok",
+            "throughput": "breach",
+        }
+
+    def test_exit_codes(self):
+        assert slo_exit_code("ok") == 0
+        assert slo_exit_code("warn") == 1
+        assert slo_exit_code("breach") == 2
+
+    def test_spec_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SloSpec.from_dict(
+                {
+                    "objectives": [
+                        {"name": "a", "metric": "window.events", "threshold": 1},
+                        {"name": "a", "metric": "window.events", "threshold": 2},
+                    ]
+                }
+            )
+
+    def test_spec_requires_objectives_list(self):
+        with pytest.raises(ValueError, match="objectives"):
+            SloSpec.from_dict({})
+
+    def test_load_slo_spec_roundtrip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "objectives": [
+                        {"name": "dlq", "metric": "counters.x", "threshold": 1}
+                    ]
+                }
+            )
+        )
+        spec = load_slo_spec(path)
+        assert spec.objectives[0].name == "dlq"
+
+    def test_load_slo_spec_bad_json(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_slo_spec(path)

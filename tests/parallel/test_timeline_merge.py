@@ -1,0 +1,97 @@
+"""Timeline deltas across the pool: capture in workers, absorb in order.
+
+The worker functions live at module level so they can cross the process
+boundary by reference (same layout as test_pool.py).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.obs import metrics, timeline
+from repro.parallel import capture_obs, merge_obs, run_tasks
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def _record_timeline(n):
+    metrics.inc("tl_events_total", n, help="timeline events")
+    timeline.record(n, watermark=n)
+    return n
+
+
+class TestCaptureObs:
+    def test_delta_ships_timeline_when_recorded(self):
+        with capture_obs() as delta:
+            metrics.inc("tl_events_total", 3, help="t")
+            timeline.record(3, watermark=9)
+        assert delta.timeline is not None
+        assert delta.timeline["events_total"] == 3
+        assert delta.timeline["watermark"] == 9
+        # flush on delta() closed the partial window
+        assert delta.timeline["windows"][0]["reason"] == "flush"
+
+    def test_delta_omits_timeline_when_untouched(self):
+        with capture_obs() as delta:
+            metrics.inc("tl_events_total", help="t")
+        assert delta.timeline is None
+
+    def test_merge_absorbs_into_active_timeline(self):
+        with capture_obs() as delta:
+            metrics.inc("tl_events_total", 4, help="t")
+            timeline.record(4, watermark=2)
+        with metrics.activate(), timeline.activate() as parent:
+            merge_obs(delta)
+        summary = parent.summary()
+        assert summary["events_total"] == 4
+        assert summary["watermark"] == 2
+        assert summary["counter_totals"] == {"tl_events_total": 4.0}
+
+    def test_merge_without_active_timeline_is_noop(self):
+        with capture_obs() as delta:
+            timeline.record(4)
+        assert timeline.current() is None
+        merge_obs(delta)  # must not raise
+
+
+class TestPoolDeterminism:
+    TASKS = [5, 3, 7, 2, 6]
+
+    def _run(self, workers):
+        with metrics.activate() as registry, timeline.activate() as parent:
+            results = run_tasks(
+                _record_timeline, self.TASKS, workers=workers
+            )
+            parent.flush()
+            return (
+                results,
+                parent.summary(),
+                [w.to_dict() for w in parent.windows()],
+                registry.to_dict()["tl_events_total"]["series"][0]["value"],
+            )
+
+    def test_serial_totals(self):
+        results, summary, _, counter = self._run(workers=1)
+        assert results == self.TASKS
+        assert summary["events_total"] == sum(self.TASKS)
+        assert summary["watermark"] == max(self.TASKS)
+        assert counter == float(sum(self.TASKS))
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_totals_identical_one_vs_two_workers(self):
+        _, s1, _, c1 = self._run(workers=1)
+        _, s2, _, c2 = self._run(workers=2)
+        # The determinism bar matches spans: totals are identical across
+        # worker counts; only the window layout reveals the fan-out.
+        assert s2["events_total"] == s1["events_total"]
+        assert s2["watermark"] == s1["watermark"]
+        assert s2["counter_totals"] == s1["counter_totals"]
+        assert c2 == c1
+
+    @pytest.mark.skipif(not HAVE_FORK, reason="needs fork start method")
+    def test_parallel_runs_are_byte_identical(self):
+        run_a = self._run(workers=2)
+        run_b = self._run(workers=2)
+        assert run_a == run_b

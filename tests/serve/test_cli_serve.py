@@ -670,6 +670,144 @@ class TestHeal:
         assert "0 unhealable" in capsys.readouterr().err
 
 
+class TestStatus:
+    def _write_status(self, tmp_path, **over):
+        body = {
+            "schema_version": 1,
+            "health": "ready",
+            "events_seen": 100,
+            "requests_total": 100,
+            "batches_total": 2,
+            "stale_scores": 0,
+            "queue_depth": 0,
+            "watermark": 42,
+            "heartbeats": 3,
+        }
+        body.update(over)
+        path = tmp_path / "status.json"
+        path.write_text(json.dumps(body))
+        return path
+
+    def test_healthy_exits_zero(self, tmp_path, capsys):
+        path = self._write_status(tmp_path)
+        assert main(["serve", "status", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ready" in out
+
+    def test_degraded_exits_one(self, tmp_path, capsys):
+        path = self._write_status(tmp_path, health="degraded")
+        assert main(["serve", "status", str(path)]) == 1
+        assert "degraded" in capsys.readouterr().out
+
+    def test_slo_breach_exits_two_even_when_healthy(self, tmp_path, capsys):
+        path = self._write_status(
+            tmp_path, slo={"state": "breach", "objectives": []}
+        )
+        assert main(["serve", "status", str(path)]) == 2
+        assert "breach" in capsys.readouterr().out
+
+    def test_missing_status_file_exits_two(self, tmp_path, capsys):
+        assert main(["serve", "status", str(tmp_path / "nope.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_json_flag_echoes_raw_payload(self, tmp_path, capsys):
+        path = self._write_status(tmp_path)
+        assert main(["serve", "status", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["events_seen"] == 100
+
+
+class TestReplayTelemetry:
+    def test_replay_emits_full_telemetry_plane(
+        self, served, tmp_path, capsys
+    ):
+        status = tmp_path / "status.json"
+        timeline = tmp_path / "timeline.jsonl"
+        events = tmp_path / "events.jsonl"
+        spec = tmp_path / "slo.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "objectives": [
+                        {
+                            "name": "throughput",
+                            "metric": "window.events",
+                            "threshold": 1,
+                            "op": ">=",
+                        }
+                    ]
+                }
+            )
+        )
+        code = main(
+            [
+                "serve",
+                "replay",
+                "--trace",
+                str(served["fleet"]),
+                "--registry",
+                str(served["registry"]),
+                "--status-out",
+                str(status),
+                "--status-every",
+                "400",
+                "--timeline-out",
+                str(timeline),
+                "--tick-every",
+                "256",
+                "--eventlog",
+                str(events),
+                "--slo-spec",
+                str(spec),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # Parity still holds with every telemetry sink attached.
+        assert "bit-for-bit" in captured.out
+        assert "slo ok" in captured.err
+        # Each downstream command accepts the artifacts it produced.
+        assert main(["serve", "status", str(status)]) == 0
+        assert (
+            main(
+                [
+                    "obs",
+                    "slo",
+                    "--spec",
+                    str(spec),
+                    "--timeline",
+                    str(timeline),
+                ]
+            )
+            == 0
+        )
+        assert main(["obs", "tail", str(events), "--last", "3"]) == 0
+        # The manifest records the SLO verdict and the new artifacts.
+        data = load_manifest(served["fleet"] / "serve_replay_manifest.json")
+        assert validate_manifest(data) == []
+        assert data["slo"]["state"] == "ok"
+        assert "status.json" in data["outputs"]
+        assert "timeline.jsonl" in data["outputs"]
+
+    def test_bad_slo_spec_exits_two(self, served, tmp_path, capsys):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"objectives": "nope"}))
+        code = main(
+            [
+                "serve",
+                "replay",
+                "--trace",
+                str(served["fleet"]),
+                "--registry",
+                str(served["registry"]),
+                "--slo-spec",
+                str(spec),
+            ]
+        )
+        assert code == 2
+        assert "bad SLO spec" in capsys.readouterr().err
+
+
 class TestBench:
     def test_bench_writes_artifact_and_verifies_parity(
         self, tmp_path, capsys

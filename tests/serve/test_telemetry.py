@@ -1,0 +1,227 @@
+"""Engine telemetry: heartbeats, status.json, parity with telemetry on."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs import eventlog, timeline
+from repro.obs.eventlog import EventLog
+from repro.obs.slo import SloSpec
+from repro.obs.timeline import TickPolicy, Timeline
+from repro.serve import (
+    AdmissionGuard,
+    FeatureStore,
+    ScoringEngine,
+    TelemetryConfig,
+    load_status,
+    render_status,
+    status_exit_code,
+)
+
+
+class TestTelemetryConfig:
+    def test_defaults(self):
+        cfg = TelemetryConfig()
+        assert cfg.status_path is None
+        assert cfg.heartbeat_every == 5000
+        assert cfg.slo_spec is None
+
+    def test_rejects_bad_cadence(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(heartbeat_every=0)
+
+
+class TestHeartbeats:
+    def test_heartbeat_cadence_and_final_flush(
+        self, serve_trace, predictor, tmp_path
+    ):
+        status_path = tmp_path / "status.json"
+        engine = ScoringEngine(
+            predictor,
+            telemetry=TelemetryConfig(
+                status_path=str(status_path), heartbeat_every=500
+            ),
+        )
+        result = engine.replay(serve_trace.records, chunk_rows=256)
+        assert status_path.exists()
+        status = load_status(status_path)
+        assert status["events_seen"] == result.n_events
+        assert status["schema_version"] == 1
+        assert status["health"] == "ready"
+        # cadence heartbeats plus the final one at replay end
+        assert status["heartbeats"] >= result.n_events // 500
+
+    def test_status_payload_without_status_file(self, serve_trace, predictor):
+        engine = ScoringEngine(predictor)
+        engine.replay(serve_trace.records, chunk_rows=512)
+        payload = engine.status()
+        assert payload["events_seen"] > 0
+        assert payload["watermark"] >= 0
+        assert "guard" not in payload  # unguarded engine
+        assert "timeline" not in payload  # no timeline active
+
+    def test_heartbeat_counts_diverted_events(self, predictor):
+        # A stream the guard rejects wholesale must still drive
+        # events_seen forward — a fully sick input cannot silence the
+        # telemetry plane.
+        store = FeatureStore()
+        guard = AdmissionGuard(store)
+        engine = ScoringEngine(
+            predictor,
+            store=store,
+            guard=guard,
+            telemetry=TelemetryConfig(heartbeat_every=10),
+        )
+        for day in range(5):
+            engine.submit({"drive_id": 1, "age_days": day})  # malformed
+        assert engine.events_seen == 5
+        assert guard.stats.dead_lettered == 5
+
+    def test_replay_parity_with_telemetry_enabled(
+        self, serve_trace, predictor, offline_probs, tmp_path
+    ):
+        spec = SloSpec.from_dict(
+            {
+                "objectives": [
+                    {
+                        "name": "throughput",
+                        "metric": "window.events",
+                        "threshold": 1,
+                        "op": ">=",
+                    }
+                ]
+            }
+        )
+        engine = ScoringEngine(
+            predictor,
+            telemetry=TelemetryConfig(
+                status_path=str(tmp_path / "status.json"),
+                heartbeat_every=400,
+                slo_spec=spec,
+            ),
+        )
+        with (
+            timeline.activate(Timeline(TickPolicy(every_events=256))),
+            eventlog.activate(EventLog(tmp_path / "events.jsonl")),
+        ):
+            result = engine.replay(serve_trace.records, chunk_rows=512)
+        # The cornerstone: the full telemetry plane never perturbs scores.
+        assert np.array_equal(result.probability, offline_probs)
+        status = load_status(tmp_path / "status.json")
+        assert status["timeline"]["windows_emitted"] > 0
+        assert status["slo"]["state"] == "ok"
+        assert status_exit_code(status) == 0
+
+    def test_timeline_windows_track_watermark(self, serve_trace, predictor):
+        engine = ScoringEngine(predictor)
+        with timeline.activate(
+            Timeline(TickPolicy(every_events=10**9))
+        ) as tl:
+            engine.replay(serve_trace.records, chunk_rows=512)
+        # Watermark advances close windows even though the event tick
+        # (10**9) never fires.
+        assert tl.windows_emitted > 0
+        assert tl.watermark >= 0
+        reasons = {w.reason for w in tl.windows()}
+        assert reasons == {"watermark"}
+
+
+class TestStatusContract:
+    def _status(self, **over):
+        body = {
+            "schema_version": 1,
+            "health": "ready",
+            "events_seen": 100,
+            "requests_total": 100,
+            "batches_total": 2,
+            "stale_scores": 0,
+            "queue_depth": 0,
+            "watermark": 42,
+            "heartbeats": 3,
+        }
+        body.update(over)
+        return body
+
+    def test_exit_codes(self):
+        assert status_exit_code(self._status()) == 0
+        assert status_exit_code(self._status(health="draining")) == 0
+        assert status_exit_code(self._status(health="degraded")) == 1
+        assert (
+            status_exit_code(self._status(slo={"state": "warn", "objectives": []}))
+            == 1
+        )
+        assert (
+            status_exit_code(
+                self._status(slo={"state": "breach", "objectives": []})
+            )
+            == 2
+        )
+        # breach dominates even over degraded health
+        assert (
+            status_exit_code(
+                self._status(
+                    health="degraded",
+                    slo={"state": "breach", "objectives": []},
+                )
+            )
+            == 2
+        )
+
+    def test_load_status_errors(self, tmp_path):
+        with pytest.raises(ValueError, match="does not exist"):
+            load_status(tmp_path / "nope.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn")
+        with pytest.raises(ValueError, match="unreadable"):
+            load_status(bad)
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps({"events": 3}))
+        with pytest.raises(ValueError, match="not a serve status"):
+            load_status(wrong)
+
+    def test_render_status_mentions_key_facts(self):
+        text = render_status(
+            self._status(
+                health="degraded",
+                guard={
+                    "admitted": 90,
+                    "duplicates_dropped": 2,
+                    "dead_lettered": 8,
+                    "shed": 0,
+                    "by_fault": {"late": 8},
+                },
+                slo={
+                    "state": "warn",
+                    "objectives": [
+                        {
+                            "name": "dlq",
+                            "metric": "counters.x",
+                            "state": "warn",
+                            "op": "<=",
+                            "threshold": 1.0,
+                            "violations": 2,
+                            "windows_evaluated": 4,
+                        }
+                    ],
+                },
+            )
+        )
+        assert "degraded" in text
+        assert "late=8" in text
+        assert "warn" in text and "dlq" in text
+
+    def test_heartbeat_emits_eventlog_record(self, predictor, tmp_path):
+        engine = ScoringEngine(
+            predictor,
+            telemetry=TelemetryConfig(status_path=str(tmp_path / "s.json")),
+        )
+        log_path = tmp_path / "events.jsonl"
+        with eventlog.activate(EventLog(log_path)):
+            engine.heartbeat()
+        records = [
+            json.loads(line) for line in log_path.read_text().splitlines()
+        ]
+        assert [r["kind"] for r in records] == ["serve.engine.heartbeat"]
