@@ -67,6 +67,7 @@ from .data import (
     load_drivetable_npz,
     load_swaplog_npz,
     save_dataset_npz,
+    save_dataset_store,
     save_drivetable_npz,
     save_swaplog_npz,
 )
@@ -411,6 +412,20 @@ def _require_trace_dir(path: Path) -> Path:
     return path
 
 
+def _records_path(trace_dir: Path) -> Path:
+    """The preferred records artifact of a trace directory.
+
+    A packed columnar store (``records.cst``, written by ``repro-ssd
+    pack``) wins over ``records.npz`` when both exist: replay streams it
+    zero-copy instead of inflating zip entries.  Both hold bit-identical
+    logical columns, so every consumer is free to take either.
+    """
+    cst = trace_dir / "records.cst"
+    if cst.exists():
+        return cst
+    return trace_dir / "records.npz"
+
+
 def _load_trace(
     path: Path, policy: str | None = None
 ) -> tuple[FleetTrace, RepairResult | None]:
@@ -584,6 +599,67 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"{manifest.counts['days']} days, {manifest.counts['swaps']} swaps, "
         f"{manifest.elapsed_seconds:.1f}s elapsed"
         + (f", manifest {manifest_path}" if manifest_path else "")
+    )
+    return 0
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    trace_dir = _require_trace_dir(Path(args.trace))
+    npz_path = trace_dir / "records.npz"
+    if not npz_path.exists():
+        raise CLIError(f"{npz_path} does not exist; nothing to pack")
+    cst_path = trace_dir / "records.cst"
+    records = load_dataset_npz(npz_path)
+    save_dataset_store(records, cst_path)
+    # Prove the pack before advertising it: the store must read back
+    # bit-identical to the NPZ it came from.
+    verify = load_dataset_npz(cst_path)
+    for name in records.column_names:
+        a, b = records[name], verify[name]
+        if a.dtype != b.dtype or not np.array_equal(a, b):
+            cst_path.unlink()
+            raise CLIError(f"pack verification failed on column {name!r}")
+    npz_mb = npz_path.stat().st_size / 1e6
+    cst_mb = cst_path.stat().st_size / 1e6
+    print(
+        f"pack ok: {cst_path} ({cst_mb:.1f} MB, mmap) from {npz_path} "
+        f"({npz_mb:.1f} MB, zip); replay now streams the store zero-copy"
+    )
+    return 0
+
+
+def _cmd_bench_sim(args: argparse.Namespace) -> int:
+    workers = _workers_arg(args)
+    config = FleetConfig(
+        n_drives_per_model=args.drives,
+        horizon_days=args.days,
+        deploy_spread_days=max(min(args.days // 2, 700), 1),
+        seed=args.seed,
+    )
+    # Warm runs pay the one-time costs (imports, allocator growth) so the
+    # timed run measures steady-state throughput like the pytest benches.
+    for _ in range(max(args.warmups, 0)):
+        simulate_fleet(config, workers=workers)
+    t0 = time.perf_counter()
+    trace = simulate_fleet(config, workers=workers)
+    elapsed = time.perf_counter() - t0
+    n_events = len(trace.records)
+    payload = {
+        "n_events": n_events,
+        "n_drives": int(trace.records.n_drives()),
+        "elapsed_seconds": round(elapsed, 4),
+        "events_per_second": round(n_events / elapsed, 1),
+        "workers": workers,
+        "drives": args.drives,
+        "days": args.days,
+        "seed": args.seed,
+    }
+    if args.json_out:
+        _atomic_write_text(Path(args.json_out), json.dumps(payload, indent=2) + "\n")
+    print(
+        f"bench sim: {payload['events_per_second']:,.0f} drive-day events/s "
+        f"over {n_events} events ({payload['n_drives']} drives, "
+        f"workers={workers}, {elapsed:.3f}s)"
     )
     return 0
 
@@ -876,7 +952,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     workers = _workers_arg(args)
     predictor, model_path, model_desc = _serve_predictor(args)
     trace_dir = _require_trace_dir(Path(args.trace))
-    records_path = trace_dir / "records.npz"
+    records_path = _records_path(trace_dir)
     manifest = RunManifest(
         command="serve.replay",
         config={
@@ -1621,6 +1697,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_obs_args(p_sim, "--trace")
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_pack = sub.add_parser(
+        "pack",
+        help="pack records.npz into a mmap columnar store (records.cst)",
+    )
+    p_pack.add_argument("--trace", required=True, help="trace directory")
+    p_pack.set_defaults(func=_cmd_pack)
+
+    p_bench = sub.add_parser("bench", help="substrate performance benchmarks")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bsim = bench_sub.add_parser(
+        "sim", help="fleet-simulation throughput (drive-day events/s)"
+    )
+    p_bsim.add_argument("--drives", type=int, default=60, help="drives per model")
+    p_bsim.add_argument("--days", type=int, default=730, help="trace horizon")
+    p_bsim.add_argument("--seed", type=int, default=3)
+    p_bsim.add_argument(
+        "--warmups",
+        type=int,
+        default=1,
+        metavar="N",
+        help="untimed warm runs before the measured one (default: 1)",
+    )
+    p_bsim.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="write the bench numbers as JSON (CI artifact)",
+    )
+    add_execution_args(p_bsim)
+    p_bsim.set_defaults(func=_cmd_bench_sim)
 
     p_rep = sub.add_parser("report", help="characterization report of a trace")
     p_rep.add_argument("--trace", required=True, help="trace directory")

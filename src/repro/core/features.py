@@ -38,6 +38,7 @@ __all__ = [
     "FeatureFrame",
     "DAILY_FEATURE_SOURCES",
     "assemble_features",
+    "fused_feature_matrix",
     "daily_matrix",
     "build_features",
     "feature_names",
@@ -178,6 +179,88 @@ def assemble_features(
     return X
 
 
+def fused_feature_matrix(
+    cols: "DriveDayDataset | dict[str, np.ndarray]",
+    starts: np.ndarray,
+    ends: np.ndarray,
+    carry_in: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-pass batched feature kernel over per-drive runs.
+
+    Fuses what used to be three passes — :func:`daily_matrix` (copy),
+    per-source ``grouped_cumsum`` (one pass per counter) and
+    :func:`assemble_features` (another copy) — into a single kernel that
+    writes every block of the feature matrix in place.  Both the batch
+    path (:func:`build_features`) and the online path
+    (``FeatureStore.ingest_columns``) call this, so batch/online parity
+    is structural rather than tested-for.
+
+    Parameters
+    ----------
+    cols:
+        Column accessor holding the full daily schema for ``n`` rows
+        grouped into per-drive runs with ages sorted inside each run.
+    starts, ends:
+        Run boundaries: run ``i`` is ``rows[starts[i]:ends[i]]``.
+    carry_in:
+        ``(n_runs, len(DAILY_FEATURE_SOURCES))`` cumulative counters
+        already absorbed for each run's drive (the online store state),
+        or ``None`` when every run starts from zero (the batch path).
+
+    Returns
+    -------
+    X:
+        The ``(n, len(feature_names()))`` float64 feature matrix —
+        bit-identical to the unfused three-pass composition: the daily
+        block is the same cast, the cumulative block is the same
+        sequential ``cumsum`` corrected by the same repeated per-run
+        baseline, and the derived columns are computed from the same
+        float64 inputs in the same order.
+    run_totals:
+        ``(n_runs, k)`` cumulative counters at each run's last row — the
+        state the online store carries into the next chunk.
+    """
+    n = np.asarray(cols[DAILY_FEATURE_SOURCES[0]]).shape[0]
+    k = len(DAILY_FEATURE_SOURCES)
+    names = feature_names()
+    X = np.empty((n, len(names)), dtype=np.float64)
+    daily = X[:, :k]
+    for j, src in enumerate(DAILY_FEATURE_SOURCES):
+        daily[:, j] = cols[src]
+    cum = X[:, k : 2 * k]
+    np.cumsum(daily, axis=0, out=cum)
+    starts = np.asarray(starts, dtype=np.int64)
+    ends = np.asarray(ends, dtype=np.int64)
+    lengths = ends - starts
+    # Running total just before each run start (0 for a run at row 0),
+    # gathered before the in-place baseline correction below clobbers it.
+    base = np.where(
+        (starts > 0)[:, None], cum[np.maximum(starts - 1, 0)], 0.0
+    )
+    if carry_in is None:
+        np.subtract(cum, np.repeat(base, lengths, axis=0), out=cum)
+    else:
+        np.add(cum, np.repeat(carry_in - base, lengths, axis=0), out=cum)
+    run_totals = cum[ends - 1] if n else np.zeros((0, k))
+    col = 2 * k
+    X[:, col] = cols["age_days"]
+    col += 1
+    X[:, col] = cols["pe_cycles"]
+    col += 1
+    X[:, col] = np.asarray(cols["factory_bad_blocks"]).astype(
+        np.float64
+    ) + np.asarray(cols["grown_bad_blocks"]).astype(np.float64)
+    col += 1
+    X[:, col] = cols["status_read_only"]
+    col += 1
+    X[:, col] = cols["status_dead"]
+    col += 1
+    X[:, col] = daily[:, _CORR_IDX] / (daily[:, _READ_IDX] + 1.0)
+    col += 1
+    assert col == len(names)
+    return X, run_totals
+
+
 def daily_matrix(records: DriveDayDataset | "dict[str, np.ndarray]") -> np.ndarray:
     """Stack the :data:`DAILY_FEATURE_SOURCES` columns as float64."""
     first = records[DAILY_FEATURE_SOURCES[0]]
@@ -195,22 +278,8 @@ def build_features(records: DriveDayDataset) -> FeatureFrame:
     and the IO loaders guarantee this — so lifetime-cumulative counters are
     exact per-drive prefix sums.
     """
-    daily = daily_matrix(records)
-    cum = np.empty_like(daily)
-    for j, src in enumerate(DAILY_FEATURE_SOURCES):
-        cum[:, j] = records.grouped_cumsum(src)
-    bad_blocks = records["factory_bad_blocks"].astype(np.float64) + records[
-        "grown_bad_blocks"
-    ].astype(np.float64)
-    X = assemble_features(
-        daily,
-        cum,
-        age_days=records["age_days"],
-        pe_cycles=records["pe_cycles"],
-        bad_blocks=bad_blocks,
-        status_read_only=records["status_read_only"],
-        status_dead=records["status_dead"],
-    )
+    _, offsets = records.drive_groups()
+    X, _ = fused_feature_matrix(records, offsets[:-1], offsets[1:])
     return FeatureFrame(
         X=X,
         names=feature_names(),

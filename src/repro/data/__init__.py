@@ -7,7 +7,8 @@ This package is the substrate every other layer builds on:
 - :mod:`repro.data.tables` — drive metadata and the swap/repair event log;
 - :mod:`repro.data.split` — drive-grouped cross-validation splits;
 - :mod:`repro.data.sampling` — majority-class downsampling;
-- :mod:`repro.data.io` — NPZ/CSV persistence.
+- :mod:`repro.data.io` — NPZ/CSV persistence;
+- :mod:`repro.data.store` — mmap-backed columnar store (zero-copy replay).
 """
 
 from .dataset import DriveDayDataset, concat_datasets
@@ -37,6 +38,14 @@ from .io import (
 from .sampling import class_balance, downsample_majority
 from .smart import SMART_COLUMNS, export_smart_csv, to_smart_table
 from .split import GroupKFold, grouped_train_test_split
+from .store import (
+    STORE_MAGIC,
+    STORE_SUFFIX,
+    is_store_file,
+    load_dataset_store,
+    open_store_columns,
+    save_dataset_store,
+)
 from .tables import MODEL_NAMES, DriveTable, SwapLog, model_index
 
 __all__ = [
@@ -61,6 +70,12 @@ __all__ = [
     "export_smart_csv",
     "to_smart_table",
     "TraceIntegrityError",
+    "STORE_MAGIC",
+    "STORE_SUFFIX",
+    "is_store_file",
+    "save_dataset_store",
+    "load_dataset_store",
+    "open_store_columns",
     "save_dataset_npz",
     "load_dataset_npz",
     "load_dataset_checked",

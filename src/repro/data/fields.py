@@ -24,6 +24,7 @@ __all__ = [
     "NON_TRANSPARENT_ERRORS",
     "WORKLOAD_FIELDS",
     "FIELD_DTYPES",
+    "STORAGE_DTYPES",
     "FIELD_DOC",
     "index_fields",
 ]
@@ -44,12 +45,19 @@ class Field:
     cumulative:
         ``True`` if the column is a lifetime-cumulative counter (e.g. P/E
         cycles), ``False`` if it is a daily quantity.
+    storage_dtype:
+        Narrower dtype the column may be *persisted* as in the columnar
+        trace store (``repro.data.store``) when every value round-trips
+        losslessly; ``None`` means "store as ``dtype``".  Computation
+        always widens back to float64, so storage width never affects
+        results.
     """
 
     name: str
     dtype: np.dtype
     doc: str
     cumulative: bool = False
+    storage_dtype: np.dtype | None = None
 
 
 #: The ten error types reported by the drive firmware, in the order used
@@ -90,14 +98,19 @@ WORKLOAD_FIELDS: tuple[str, ...] = ("read_count", "write_count", "erase_count")
 
 
 def _fields() -> tuple[Field, ...]:
+    # Workload counters are float64 in the schema but integer-valued by
+    # construction (daily counts), so they usually pack losslessly into
+    # uint32; the store verifies the round-trip per column and falls back
+    # to the wide dtype whenever a value does not fit exactly.
+    u32 = np.dtype(np.uint32)
     f: list[Field] = [
         Field("drive_id", np.dtype(np.int32), "Unique drive identifier."),
         Field("model", np.dtype(np.int8), "Drive model index (0=MLC-A, 1=MLC-B, 2=MLC-D)."),
         Field("age_days", np.dtype(np.int32), "Drive age in days at report time."),
         Field("calendar_day", np.dtype(np.int32), "Data-center calendar day of the report."),
-        Field("read_count", np.dtype(np.float64), "Read operations performed this day."),
-        Field("write_count", np.dtype(np.float64), "Write operations performed this day."),
-        Field("erase_count", np.dtype(np.float64), "Erase operations performed this day."),
+        Field("read_count", np.dtype(np.float64), "Read operations performed this day.", storage_dtype=u32),
+        Field("write_count", np.dtype(np.float64), "Write operations performed this day.", storage_dtype=u32),
+        Field("erase_count", np.dtype(np.float64), "Erase operations performed this day.", storage_dtype=u32),
         Field(
             "pe_cycles",
             np.dtype(np.float64),
@@ -125,6 +138,7 @@ def _fields() -> tuple[Field, ...]:
                 err,
                 np.dtype(np.int64),
                 f"Count of '{err.replace('_', ' ')}' events this day.",
+                storage_dtype=np.dtype(np.int32),
             )
         )
     return tuple(f)
@@ -135,6 +149,13 @@ DAILY_FIELDS: tuple[Field, ...] = _fields()
 
 #: Mapping ``name -> dtype`` for every column.
 FIELD_DTYPES: dict[str, np.dtype] = {f.name: f.dtype for f in DAILY_FIELDS}
+
+#: Mapping ``name -> candidate storage dtype`` for the columnar store
+#: (falls back to ``FIELD_DTYPES[name]`` when no narrowing is declared).
+STORAGE_DTYPES: dict[str, np.dtype] = {
+    f.name: f.storage_dtype if f.storage_dtype is not None else f.dtype
+    for f in DAILY_FIELDS
+}
 
 #: Mapping ``name -> docstring`` for every column.
 FIELD_DOC: dict[str, str] = {f.name: f.doc for f in DAILY_FIELDS}

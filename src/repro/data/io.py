@@ -22,6 +22,7 @@ from typing import Any
 import numpy as np
 
 from ..obs import metrics, tracing
+from . import store
 from .dataset import DriveDayDataset
 from .tables import DriveTable, SwapLog
 
@@ -41,6 +42,20 @@ __all__ = [
 ]
 
 
+def _readonly_view(arr: np.ndarray) -> np.ndarray:
+    """A read-only view of ``arr`` (the backing buffer is shared).
+
+    Chunk iteration yields views into live storage — dataset columns or
+    memory-mapped store sections — so consumers must never write through
+    them.  Marking every yielded chunk read-only makes that contract
+    enforced instead of conventional, and uniform across sources (the
+    file-backed paths were already read-only; in-memory slices were not).
+    """
+    view = arr[:]
+    view.flags.writeable = False
+    return view
+
+
 class TraceIntegrityError(OSError):
     """An NPZ artifact is missing, truncated, or otherwise unreadable."""
 
@@ -53,14 +68,21 @@ def _atomic_savez(path: Path, **arrays: np.ndarray) -> None:
 
 
 def _load_npz(path: str | Path) -> dict[str, np.ndarray]:
-    """Read every array of an NPZ, mapping low-level failures to
-    :class:`TraceIntegrityError` with an actionable message."""
+    """Read every array of an NPZ or columnar store file.
+
+    Low-level failures map to :class:`TraceIntegrityError` with an
+    actionable message.  Store files (sniffed by magic) come back at
+    their *logical* dtypes, so every loader built on this helper accepts
+    either format transparently.
+    """
     path = Path(path)
     if not path.exists():
         raise TraceIntegrityError(
             f"trace file {path} does not exist (run `repro-ssd simulate` "
             "or check the --trace path)"
         )
+    if store.is_store_file(path):
+        return store.open_store_columns(path, widen=True)
     try:
         with np.load(path) as payload:
             return {k: payload[k] for k in payload.files}
@@ -173,11 +195,18 @@ def iter_drive_day_chunks(
     """Stream a telemetry dataset as column-dict chunks in row order.
 
     Rows arrive in the stored ``(drive_id, age_days)`` order, at most
-    ``chunk_rows`` per chunk.  Given a path, the NPZ entries are
+    ``chunk_rows`` per chunk.  Given an NPZ path, the entries are
     decompressed incrementally — peak memory is ``O(chunk_rows ×
     n_columns)``, not the full trace — which is what lets ``serve
     replay`` stream fleet-scale traces through the online feature store.
-    Given an in-memory dataset, chunks are zero-copy column slices.
+    Given a columnar store path (``repro.data.store``), chunks are
+    zero-copy slices of the memory-mapped sections at their storage
+    dtypes — no decompression and no buffer copies at all.  Given an
+    in-memory dataset, chunks are zero-copy column slices.
+
+    All yielded arrays are read-only, whatever the source: they are
+    views into live storage, and a consumer writing through them would
+    corrupt the trace (or crash on a mapped file).
     """
     if chunk_rows < 1:
         raise ValueError("chunk_rows must be >= 1")
@@ -185,7 +214,7 @@ def iter_drive_day_chunks(
         n = len(source)
         for lo in range(0, n, chunk_rows):
             hi = min(lo + chunk_rows, n)
-            yield {k: v[lo:hi] for k, v in source.items()}
+            yield {k: _readonly_view(v[lo:hi]) for k, v in source.items()}
         return
     path = Path(source)
     if not path.exists():
@@ -193,6 +222,13 @@ def iter_drive_day_chunks(
             f"trace file {path} does not exist (run `repro-ssd simulate` "
             "or check the --trace path)"
         )
+    if store.is_store_file(path):
+        cols = store.open_store_columns(path, widen=False)
+        n = int(next(iter(cols.values())).shape[0]) if cols else 0
+        for lo in range(0, n, chunk_rows):
+            hi = min(lo + chunk_rows, n)
+            yield {k: v[lo:hi] for k, v in cols.items()}
+        return
     try:
         with zipfile.ZipFile(path) as zf:
             streams = [

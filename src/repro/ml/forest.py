@@ -8,12 +8,166 @@ importances are the mean of per-tree impurity importances (Section 5.4).
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 from .base import BinaryClassifier, check_X, check_Xy
 from .tree import DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
+
+#: Rows evaluated per batched pass; bounds peak memory to a handful of
+#: ``n_trees x chunk`` temporaries instead of ``n_trees x n_rows``, and
+#: keeps the traversal working set inside the cache hierarchy (larger
+#: chunks measurably thrash).
+_PREDICT_CHUNK_ROWS = 2048
+
+
+class _FlatForest:
+    """All trees of an ensemble packed into flat structure-of-arrays.
+
+    Nodes are renumbered breadth-first with each internal node's children
+    adjacent (``right == left + 1``), so one traversal step for every
+    (row, tree) pair is ``idx = child[idx] + (x > threshold[idx])``.
+    Leaves self-loop: their threshold is ``+inf`` (the comparison is always
+    False) and their child slot points back at themselves, so finished rows
+    idle in place while deeper rows keep stepping.
+
+    Threshold and child index are packed into one complex128 record
+    (real = threshold, imag = child index, exact for any node count below
+    2**53) so each step costs one 16-byte node gather instead of two.
+
+    The traversal state is laid out ``(n_trees, chunk_rows)`` with trees
+    sorted deepest-first: a tree of depth ``k`` has every row on a leaf
+    after ``k`` steps, so step ``s`` only touches the contiguous prefix of
+    trees whose depth exceeds ``s``.  Shallow trees drop out of the hot
+    loop early instead of self-looping to the ensemble's maximum depth.
+    """
+
+    __slots__ = (
+        "feature",
+        "nodes",
+        "value",
+        "roots",
+        "depth",
+        "active_per_step",
+        "accum_order",
+    )
+
+    def __init__(self, trees: list[DecisionTreeClassifier]):
+        depths = np.asarray([t.max_depth_ for t in trees], dtype=np.int64)
+        order = np.argsort(-depths, kind="stable")
+        sorted_depths = depths[order]
+
+        feats, thrs, childs, vals, roots = [], [], [], [], []
+        base = 0
+        for tree_pos in order:
+            tree = trees[tree_pos]
+            f, left, right = tree.feature_, tree.left_, tree.right_
+            n = f.shape[0]
+            # Breadth-first renumbering with sibling-adjacent children.
+            bfs = np.empty(n, dtype=np.int64)
+            bfs[0] = 0
+            count = 1
+            pos = 0
+            while pos < count:
+                old = bfs[pos]
+                if f[old] >= 0:
+                    bfs[count] = left[old]
+                    bfs[count + 1] = right[old]
+                    count += 2
+                pos += 1
+            new_id = np.empty(n, dtype=np.int64)
+            new_id[bfs] = np.arange(n)
+
+            nf = f[bfs]
+            leaf = nf < 0
+            nt = tree.threshold_[bfs].copy()
+            nt[leaf] = np.inf
+            # new_id[-1] for leaves is junk but masked out by ``where``.
+            nc = np.where(leaf, np.arange(n), new_id[left[bfs]]) + base
+            feats.append(np.where(leaf, 0, nf))
+            thrs.append(nt)
+            childs.append(nc)
+            vals.append(tree.value_[bfs])
+            roots.append(base)
+            base += n
+        self.feature = np.concatenate(feats).astype(np.int32)
+        self.nodes = np.empty(base, dtype=np.complex128)
+        self.nodes.real = np.concatenate(thrs)
+        self.nodes.imag = np.concatenate(childs)
+        self.value = np.concatenate(vals)
+        self.roots = np.asarray(roots, dtype=np.int32)
+        self.depth = int(sorted_depths[0]) if len(trees) else 0
+        #: Trees still traversing at step s: prefix length of the
+        #: deepest-first ordering whose depth exceeds s.
+        self.active_per_step = tuple(
+            int(np.count_nonzero(sorted_depths > s)) for s in range(self.depth)
+        )
+        #: Sorted-row position of each original tree: accumulation must
+        #: visit trees in *fit* order to keep the float64 sum bit-identical
+        #: to the original sequential ``acc += tree.predict_proba(X)`` loop.
+        accum = np.empty(len(trees), dtype=np.int64)
+        accum[order] = np.arange(len(trees))
+        self.accum_order = accum
+
+    def predict_mean(self, X: np.ndarray) -> np.ndarray:
+        """Mean leaf frequency across trees, one value per row of ``X``.
+
+        Bit-identical to averaging per-tree ``predict_proba`` calls: the
+        traversal is exact integer index arithmetic, leaf values are the
+        same float64 entries, and accumulation is per-tree sequential in
+        the original fit order (``np.sum`` along the tree axis would
+        pairwise-sum and differ in the last ulp).
+        """
+        n, d = X.shape
+        n_trees = self.roots.shape[0]
+        Xc = np.ascontiguousarray(X)
+        out = np.zeros(n)
+        m = min(_PREDICT_CHUNK_ROWS, n)
+        # One set of reused traversal buffers per call; ``np.take(...,
+        # out=...)`` keeps the hot loop allocation-free.
+        idx = np.empty((n_trees, m), dtype=np.int32)
+        z = np.empty((n_trees, m), dtype=np.complex128)
+        fidx = np.empty((n_trees, m), dtype=np.int32)
+        xv = np.empty((n_trees, m), dtype=np.float64)
+        cmp_ = np.empty((n_trees, m), dtype=np.bool_)
+        vbuf = np.empty(m, dtype=np.float64)
+        row_base = np.arange(m, dtype=np.int32) * d
+        for lo in range(0, n, _PREDICT_CHUNK_ROWS):
+            hi = min(lo + _PREDICT_CHUNK_ROWS, n)
+            k = hi - lo
+            x_flat = Xc[lo:hi].ravel()
+            rb = row_base[:k]
+            idx[:, :k] = self.roots[:, None]
+            for a in self.active_per_step:
+                ik = idx[:a, :k]
+                zk = z[:a, :k]
+                fk = fidx[:a, :k]
+                xk = xv[:a, :k]
+                ck = cmp_[:a, :k]
+                np.take(self.nodes, ik, out=zk, mode="clip")
+                np.take(self.feature, ik, out=fk, mode="clip")
+                np.add(fk, rb, out=fk)
+                np.take(x_flat, fk, out=xk, mode="clip")
+                np.greater(xk, zk.real, out=ck)
+                np.add(zk.imag, ck, out=ik, casting="unsafe")
+            acc = out[lo:hi]
+            vk = vbuf[:k]
+            for ti in range(n_trees):
+                np.take(self.value, idx[self.accum_order[ti], :k], out=vk, mode="clip")
+                acc += vk
+        out /= max(n_trees, 1)
+        return out
+
+
+#: Packed-forest cache keyed by ensemble instance.  Kept outside the
+#: instances so pickles (model registry digests, snapshots) are unchanged;
+#: each process rebuilds the pack lazily on first predict.
+_FLAT_CACHE: "weakref.WeakKeyDictionary[RandomForestClassifier, _FlatForest]" = (
+    weakref.WeakKeyDictionary()
+)
 
 
 class RandomForestClassifier(BinaryClassifier):
@@ -89,13 +243,17 @@ class RandomForestClassifier(BinaryClassifier):
         importance /= self.n_estimators
         total = importance.sum()
         self.feature_importances_ = importance / total if total > 0 else importance
+        _FLAT_CACHE.pop(self, None)  # refit invalidates the packed form
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         if not self.trees_:
             raise RuntimeError("RandomForestClassifier used before fit")
         X = check_X(X)
-        acc = np.zeros(X.shape[0])
-        for tree in self.trees_:
-            acc += tree.predict_proba(X)
-        return acc / len(self.trees_)
+        if X.shape[1] != self.n_features_:
+            raise ValueError("feature-count mismatch with fitted tree")
+        flat = _FLAT_CACHE.get(self)
+        if flat is None:
+            flat = _FlatForest(self.trees_)
+            _FLAT_CACHE[self] = flat
+        return flat.predict_mean(X)

@@ -37,9 +37,9 @@ import numpy as np
 from ..core.features import (
     DAILY_FEATURE_SOURCES,
     assemble_features,
-    daily_matrix,
     feature_names,
     feature_schema_hash,
+    fused_feature_matrix,
 )
 
 __all__ = [
@@ -231,7 +231,6 @@ class FeatureStore:
         if m == 0:
             return np.empty((0, len(feature_names())))
         age = np.asarray(cols["age_days"]).astype(np.int64, copy=False)
-        daily = daily_matrix(cols)
         with self._lock:
             # Segment boundaries of the per-drive runs inside this chunk.
             change = np.flatnonzero(ids[1:] != ids[:-1]) + 1
@@ -275,33 +274,19 @@ class FeatureStore:
                     age_days=bad_age,
                     watermark=watermark,
                 )
-            # Chunk-local per-run prefix sums (same trick as
-            # DriveDayDataset.grouped_cumsum), shifted by each run's
-            # carried-in cumulative baseline.
-            total = np.cumsum(daily, axis=0)
-            base_local = np.where(
-                (starts > 0)[:, None], total[np.maximum(starts - 1, 0)], 0.0
+            # Chunk-local per-run prefix sums shifted by each run's
+            # carried-in baseline, fused with matrix assembly — the same
+            # kernel the batch path calls (see
+            # :func:`repro.core.features.fused_feature_matrix`).
+            X, run_totals = fused_feature_matrix(
+                cols, starts, ends, carry_in=self._cum[slots]
             )
-            lengths = ends - starts
-            baseline = self._cum[slots] - base_local
-            cum = total + np.repeat(baseline, lengths, axis=0)
             # Carry the run totals into the store state.
-            self._cum[slots] = cum[ends - 1]
+            self._cum[slots] = run_totals
             self._last_age[slots] = age[ends - 1]
-            self._rows[slots] += lengths
+            self._rows[slots] += ends - starts
             self.events_total += m
-            bad_blocks = np.asarray(cols["factory_bad_blocks"]).astype(
-                np.float64
-            ) + np.asarray(cols["grown_bad_blocks"]).astype(np.float64)
-            return assemble_features(
-                daily,
-                cum,
-                age_days=np.asarray(cols["age_days"]),
-                pe_cycles=np.asarray(cols["pe_cycles"]),
-                bad_blocks=bad_blocks,
-                status_read_only=np.asarray(cols["status_read_only"]),
-                status_dead=np.asarray(cols["status_dead"]),
-            )
+            return X
 
     # ------------------------------------------------------------------ persistence
     def snapshot(self, path: str | Path) -> Path:

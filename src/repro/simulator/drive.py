@@ -75,9 +75,38 @@ _RECORD_COLUMNS = (
     "write_error",
 )
 
+#: Native dtype of each record column as produced by the generators
+#: (the dataset constructor later casts to the registry storage dtypes).
+_RECORD_DTYPES: dict[str, np.dtype] = {
+    "age_days": np.dtype(np.int64),
+    "read_count": np.dtype(np.float64),
+    "write_count": np.dtype(np.float64),
+    "erase_count": np.dtype(np.float64),
+    "pe_cycles": np.dtype(np.float64),
+    "status_dead": np.dtype(np.int8),
+    "status_read_only": np.dtype(np.int8),
+    "factory_bad_blocks": np.dtype(np.int64),
+    "grown_bad_blocks": np.dtype(np.int64),
+}
+for _err in _RECORD_COLUMNS[9:]:
+    _RECORD_DTYPES[_err] = np.dtype(np.int64)
 
-def _empty_records() -> dict[str, list[np.ndarray]]:
-    return {name: [] for name in _RECORD_COLUMNS}
+#: Error-counter columns in record order, paired with their PeriodErrors
+#: attribute (identical names).
+_ERROR_COLUMNS = _RECORD_COLUMNS[9:]
+
+
+def _alloc_buffers(capacity: int) -> dict[str, np.ndarray]:
+    """Per-drive columnar record buffers, written in place with a cursor.
+
+    A drive files at most one record per age day, so ``capacity =
+    max_age`` bounds the row count for its whole life — periods, limbo
+    stretches and re-entries included — and emission never reallocates.
+    """
+    return {
+        name: np.empty(capacity, dtype=_RECORD_DTYPES[name])
+        for name in _RECORD_COLUMNS
+    }
 
 
 def simulate_drive(
@@ -114,7 +143,8 @@ def simulate_drive(
         rng.beta(spec.observation.record_prob_alpha, spec.observation.record_prob_beta)
     )
 
-    buffers = _empty_records()
+    buffers = _alloc_buffers(max_age)
+    cursor = 0
     swaps: list[SwapEvent] = []
     pe_state = 0.0
     bb_state = 0
@@ -171,37 +201,43 @@ def simulate_drive(
         )
         grown_bb = bb_state + np.cumsum(errors.grown_bad_block_increment)
 
-        status_ro = np.zeros(n, dtype=np.int8)
-        if plan.read_only_from_offset is not None:
-            status_ro[max(n - 1 - plan.read_only_from_offset, 0) :] = 1
-        # The dead flag only ever shows up on post-failure limbo reports
-        # (emitted below); operational rows — including the failure day —
-        # never carry it, so it cannot leak the label.
-        status_dead = np.zeros(n, dtype=np.int8)
-
         # Bernoulli record thinning; the failure day is anchored separately.
         recorded = rng.random(n) < record_prob
         if draw.age is not None:
             recorded[-1] = rng.random() < spec.observation.record_failure_day_prob
 
-        if np.any(recorded):
-            err_cols = errors.as_dict()
-            period_cols = {
-                "age_days": ages,
-                "read_count": workload.read_count,
-                "write_count": workload.write_count,
-                "erase_count": workload.erase_count,
-                "pe_cycles": pe,
-                "status_dead": status_dead,
-                "status_read_only": status_ro,
-                "factory_bad_blocks": np.full(
-                    n, err_latents.factory_bad_blocks, dtype=np.int64
-                ),
-                "grown_bad_blocks": grown_bb,
-                **err_cols,
-            }
-            for name in _RECORD_COLUMNS:
-                buffers[name].append(period_cols[name][recorded])
+        k = int(np.count_nonzero(recorded))
+        if k:
+            sl = slice(cursor, cursor + k)
+            full = k == n
+            ridx = None if full else np.flatnonzero(recorded)
+            for name, col in (
+                ("age_days", ages),
+                ("read_count", workload.read_count),
+                ("write_count", workload.write_count),
+                ("erase_count", workload.erase_count),
+                ("pe_cycles", pe),
+                ("grown_bad_blocks", grown_bb),
+            ):
+                buffers[name][sl] = col if full else col[ridx]
+            for name in _ERROR_COLUMNS:
+                col = getattr(errors, name)
+                buffers[name][sl] = col if full else col[ridx]
+            buffers["factory_bad_blocks"][sl] = err_latents.factory_bad_blocks
+            # The dead flag only ever shows up on post-failure limbo
+            # reports (emitted below); operational rows — including the
+            # failure day — never carry it, so it cannot leak the label.
+            buffers["status_dead"][sl] = 0
+            if plan.read_only_from_offset is None:
+                buffers["status_read_only"][sl] = 0
+            else:
+                ro_start = max(n - 1 - plan.read_only_from_offset, 0)
+                if full:
+                    buffers["status_read_only"][cursor : cursor + ro_start] = 0
+                    buffers["status_read_only"][cursor + ro_start : cursor + k] = 1
+                else:
+                    buffers["status_read_only"][sl] = ridx >= ro_start
+            cursor += k
 
         pe_state = float(pe[-1])
         bb_state = int(grown_bb[-1])
@@ -223,14 +259,16 @@ def simulate_drive(
             spec.repair, rng, max_days=swap_age - failure_age - 1
         )
         if inactive_len > 0:
-            _emit_inactive_records(
+            cursor = _emit_inactive_records(
                 buffers,
+                cursor,
                 err_latents.factory_bad_blocks,
                 bb_state,
                 pe_state,
                 status_ro_on=plan.read_only_from_offset is not None,
                 dead_on=plan.dead_flag,
-                ages=np.arange(failure_age + 1, failure_age + 1 + inactive_len),
+                first_age=failure_age + 1,
+                n_days=inactive_len,
                 record_prob=record_prob,
                 rng=rng,
             )
@@ -257,14 +295,7 @@ def simulate_drive(
         start_age = int(reentry)
         post_repair = True
 
-    records = {
-        name: (
-            np.concatenate(chunks)
-            if chunks
-            else np.empty(0, dtype=np.int64 if name != "pe_cycles" else np.float64)
-        )
-        for name, chunks in buffers.items()
-    }
+    records = {name: buffers[name][:cursor] for name in _RECORD_COLUMNS}
     return DriveResult(
         drive_id=drive_id,
         model=model_index,
@@ -276,48 +307,43 @@ def simulate_drive(
 
 
 def _emit_inactive_records(
-    buffers: dict[str, list[np.ndarray]],
+    buffers: dict[str, np.ndarray],
+    cursor: int,
     factory_bb: int,
     grown_bb: int,
     pe_state: float,
     *,
     status_ro_on: bool,
     dead_on: bool,
-    ages: np.ndarray,
+    first_age: int,
+    n_days: int,
     record_prob: float,
     rng: np.random.Generator,
-) -> None:
-    """Zero-activity post-failure reports (the "soft removal" stretch)."""
-    n = ages.shape[0]
+) -> int:
+    """Zero-activity post-failure reports (the "soft removal" stretch).
+
+    Writes the surviving rows straight into the drive's columnar buffers
+    and returns the advanced cursor.
+    """
     # One Bernoulli draw per inactive day regardless of how many land —
     # keeps the drive's RNG stream identical to earlier versions that
     # built full-length columns and masked them afterwards.
-    recorded = rng.random(n) < record_prob
+    recorded = rng.random(n_days) < record_prob
     k = int(np.count_nonzero(recorded))
     if k == 0:
-        return
-    zeros_f = np.zeros(k, dtype=np.float64)
-    zeros_i = np.zeros(k, dtype=np.int64)
-    cols = {
-        "age_days": ages[recorded].astype(np.int64),
-        "read_count": zeros_f,
-        "write_count": zeros_f,
-        "erase_count": zeros_f,
-        "pe_cycles": np.full(k, pe_state),
-        "status_dead": np.full(k, 1 if dead_on else 0, dtype=np.int8),
-        "status_read_only": np.full(k, 1 if status_ro_on else 0, dtype=np.int8),
-        "factory_bad_blocks": np.full(k, factory_bb, dtype=np.int64),
-        "grown_bad_blocks": np.full(k, grown_bb, dtype=np.int64),
-        "correctable_error": zeros_i,
-        "erase_error": zeros_i,
-        "final_read_error": zeros_i,
-        "final_write_error": zeros_i,
-        "meta_error": zeros_i,
-        "read_error": zeros_i,
-        "response_error": zeros_i,
-        "timeout_error": zeros_i,
-        "uncorrectable_error": zeros_i,
-        "write_error": zeros_i,
-    }
-    for name in _RECORD_COLUMNS:
-        buffers[name].append(cols[name])
+        return cursor
+    sl = slice(cursor, cursor + k)
+    if k == n_days:
+        buffers["age_days"][sl] = np.arange(first_age, first_age + n_days)
+    else:
+        buffers["age_days"][sl] = np.flatnonzero(recorded) + first_age
+    for name in ("read_count", "write_count", "erase_count"):
+        buffers[name][sl] = 0.0
+    buffers["pe_cycles"][sl] = pe_state
+    buffers["status_dead"][sl] = 1 if dead_on else 0
+    buffers["status_read_only"][sl] = 1 if status_ro_on else 0
+    buffers["factory_bad_blocks"][sl] = factory_bb
+    buffers["grown_bad_blocks"][sl] = grown_bb
+    for name in _ERROR_COLUMNS:
+        buffers[name][sl] = 0
+    return cursor + k

@@ -159,14 +159,21 @@ def generate_errors(
         prone = max(latents.error_proneness, 0.5) * plan.lifelong_boost
     else:
         prone = latents.error_proneness
-    wear = np.clip(pe_cycles / pe_limit, 0.0, 4.0)
+    # In-place ops below reuse buffers but keep the exact op sequences (and
+    # therefore bit-identical results) of the allocating originals.
+    wear = pe_cycles / pe_limit
+    np.maximum(wear, 0.0, out=wear)
+    np.minimum(wear, 4.0, out=wear)
 
     # --- uncorrectable + final read (shared events) ---------------------
-    age_factor = params.ue_age_floor + (1.0 - params.ue_age_floor) * np.minimum(
-        np.asarray(ages, dtype=np.float64) / 2190.0, 1.5
-    )
-    p_ue = np.minimum(params.ue_daily_prob * prone * age_factor, 0.6)
-    ue_day = (rng.random(n) < p_ue) & active
+    p_ue = ages / 2190.0
+    np.minimum(p_ue, 1.5, out=p_ue)
+    np.multiply(p_ue, 1.0 - params.ue_age_floor, out=p_ue)
+    np.add(p_ue, params.ue_age_floor, out=p_ue)
+    np.multiply(p_ue, params.ue_daily_prob * prone, out=p_ue)
+    np.minimum(p_ue, 0.6, out=p_ue)
+    ue_day = rng.random(n) < p_ue
+    ue_day &= active
     ue = _count_where(ue_day, params.ue_count_mu, params.ue_count_sigma, rng)
 
     # Burst days injected by the symptom plan (offsets count back from the
@@ -192,56 +199,74 @@ def generate_errors(
 
     final_read = rng.binomial(np.minimum(ue, 10_000), params.final_read_given_ue)
     # Rare final reads without a same-day UE (distinct root causes exist).
-    stray_fr = (rng.random(n) < 6.0e-5 * (1.0 + prone)) & active
-    final_read = final_read + stray_fr.astype(np.int64)
+    stray_fr = rng.random(n) < 6.0e-5 * (1.0 + prone)
+    stray_fr &= active
+    np.add(final_read, stray_fr, out=final_read)
 
     # --- other non-transparent errors -----------------------------------
-    fw_day = (rng.random(n) < params.final_write_daily_prob * np.minimum(prone, 5.0)) & active
+    fw_day = rng.random(n) < params.final_write_daily_prob * min(prone, 5.0)
+    fw_day &= active
     final_write = _count_where(fw_day, 0.2, 0.8, rng)
 
-    meta_day = (rng.random(n) < params.meta_daily_prob * np.minimum(prone, 5.0)) & active
+    meta_day = rng.random(n) < params.meta_daily_prob * min(prone, 5.0)
+    meta_day &= active
     meta = _count_where(meta_day, 0.1, 0.7, rng)
 
-    glitch_day = rng.random(n) < np.minimum(
+    glitch_day = rng.random(n) < min(
         params.glitch_daily_prob * latents.glitch_factor * (1.0 + 0.5 * prone), 0.05
     )
-    timeout_day = glitch_day & (rng.random(n) < params.timeout_given_glitch)
-    response_day = glitch_day & (rng.random(n) < params.response_given_glitch)
+    timeout_day = rng.random(n) < params.timeout_given_glitch
+    timeout_day &= glitch_day
+    response_day = rng.random(n) < params.response_given_glitch
+    response_day &= glitch_day
     timeout = _count_where(timeout_day, 0.2, 0.7, rng)
     response = _count_where(response_day, 0.1, 0.6, rng)
 
     # --- transparent errors ----------------------------------------------
     p_read_err = params.read_error_base_prob + params.read_error_prone_boost * prone
-    read_day = (rng.random(n) < np.minimum(p_read_err, 0.3)) & active
+    read_day = rng.random(n) < min(p_read_err, 0.3)
+    read_day &= active
     read_err = _count_where(read_day, 0.4, 0.9, rng)
 
-    p_write_err = (
-        params.write_error_base_prob
-        + params.write_error_prone_boost * prone
-        + params.write_error_wear_coef * wear
+    p_write = wear * params.write_error_wear_coef
+    np.add(
+        p_write,
+        params.write_error_base_prob + params.write_error_prone_boost * prone,
+        out=p_write,
     )
-    write_day = (rng.random(n) < np.minimum(p_write_err, 0.3)) & active
+    np.minimum(p_write, 0.3, out=p_write)
+    write_day = rng.random(n) < p_write
+    write_day &= active
     write_err = _count_where(write_day, 0.4, 0.9, rng)
 
-    p_erase = (
-        params.erase_error_base_prob
-        + params.erase_error_wear_coef * wear * (1.0 + 0.3 * prone)
-    )
-    erase_day = (rng.random(n) < np.minimum(p_erase, 0.3)) & (erases > 0)
+    p_erase = wear * params.erase_error_wear_coef
+    np.multiply(p_erase, 1.0 + 0.3 * prone, out=p_erase)
+    np.add(p_erase, params.erase_error_base_prob, out=p_erase)
+    np.minimum(p_erase, 0.3, out=p_erase)
+    erase_day = rng.random(n) < p_erase
+    erase_day &= erases > 0
     erase_err = _count_where(erase_day, 0.3, 0.8, rng)
 
     # --- correctable errors (bits corrected during reads) ----------------
-    lam = reads * params.correctable_rate_per_read * latents.correctable_factor
-    jitter = np.exp(rng.normal(0.0, params.correctable_daily_sigma, size=n))
-    correctable = np.rint(lam * jitter).astype(np.int64)
+    lam = reads * params.correctable_rate_per_read
+    np.multiply(lam, latents.correctable_factor, out=lam)
+    jitter = rng.normal(0.0, params.correctable_daily_sigma, size=n)
+    np.exp(jitter, out=jitter)
+    np.multiply(lam, jitter, out=lam)
+    np.rint(lam, out=lam)
+    correctable = lam.astype(np.int64)
     zero_day = rng.random(n) < params.correctable_zero_prob
-    correctable[zero_day | ~active] = 0
+    zero_day |= ~active
+    correctable[zero_day] = 0
 
     # --- bad-block growth -------------------------------------------------
-    bb_from_ue = rng.binomial(np.minimum(ue, _UE_BB_CAP), params.bad_block_per_ue_event)
+    grown = rng.binomial(np.minimum(ue, _UE_BB_CAP), params.bad_block_per_ue_event)
     bb_from_erase = rng.binomial(erase_err, params.bad_block_per_erase_error)
-    bb_wear = rng.poisson(params.bad_block_wear_rate * np.clip(wear, 0.0, 2.0), size=n)
-    grown = (bb_from_ue + bb_from_erase + bb_wear).astype(np.int64)
+    bb_rate = np.minimum(wear, 2.0)
+    np.multiply(bb_rate, params.bad_block_wear_rate, out=bb_rate)
+    bb_wear = rng.poisson(bb_rate, size=n)
+    np.add(grown, bb_from_erase, out=grown)
+    np.add(grown, bb_wear, out=grown)
     if plan.bad_block_offsets.size:
         idx = n - 1 - plan.bad_block_offsets
         idx = idx[idx >= 0]
@@ -259,7 +284,7 @@ def generate_errors(
     return PeriodErrors(
         correctable_error=correctable,
         erase_error=erase_err,
-        final_read_error=final_read.astype(np.int64),
+        final_read_error=final_read,
         final_write_error=final_write,
         meta_error=meta,
         read_error=read_err,

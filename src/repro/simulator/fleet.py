@@ -22,10 +22,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..data import DriveDayDataset, DriveTable, SwapLog, concat_datasets
+from ..data.fields import FIELD_DTYPES
 from ..obs import metrics, tracing
 from ..parallel import iter_tasks, resolve_workers, shard_ranges
 from .config import DriveModelSpec, FleetConfig, default_models
-from .drive import DriveResult, simulate_drive
+from .drive import _RECORD_COLUMNS, DriveResult, simulate_drive
 
 __all__ = ["FleetTrace", "simulate_fleet", "concat_traces"]
 
@@ -251,30 +252,32 @@ def _assemble(results: list[DriveResult], config: FleetConfig) -> FleetTrace:
 
 def _assemble_inner(results: list[DriveResult], config: FleetConfig) -> FleetTrace:
     # --- telemetry records ------------------------------------------------
-    col_chunks: dict[str, list[np.ndarray]] = {}
-    id_chunks: list[np.ndarray] = []
-    model_chunks: list[np.ndarray] = []
-    calendar_chunks: list[np.ndarray] = []
-    for res in results:
-        n = res.records["age_days"].shape[0]
-        if n == 0:
-            continue
-        id_chunks.append(np.full(n, res.drive_id, dtype=np.int32))
-        model_chunks.append(np.full(n, res.model, dtype=np.int8))
-        calendar_chunks.append(
-            (res.records["age_days"] + res.deploy_day).astype(np.int32)
-        )
-        for name, arr in res.records.items():
-            col_chunks.setdefault(name, []).append(arr)
-
-    if id_chunks:
+    # Columns are preallocated at their registry storage dtypes and filled
+    # one drive-slice at a time — no per-drive intermediate arrays and no
+    # post-hoc casting pass in the dataset constructor.
+    sizes = [res.records["age_days"].shape[0] for res in results]
+    n_total = sum(sizes)
+    if n_total:
         columns: dict[str, np.ndarray] = {
-            "drive_id": np.concatenate(id_chunks),
-            "model": np.concatenate(model_chunks),
-            "calendar_day": np.concatenate(calendar_chunks),
+            "drive_id": np.empty(n_total, dtype=np.int32),
+            "model": np.empty(n_total, dtype=np.int8),
+            "calendar_day": np.empty(n_total, dtype=np.int32),
         }
-        for name, chunks in col_chunks.items():
-            columns[name] = np.concatenate(chunks)
+        for name in _RECORD_COLUMNS:
+            columns[name] = np.empty(n_total, dtype=FIELD_DTYPES[name])
+        pos = 0
+        for res, n in zip(results, sizes):
+            if n == 0:
+                continue
+            end = pos + n
+            columns["drive_id"][pos:end] = res.drive_id
+            columns["model"][pos:end] = res.model
+            columns["calendar_day"][pos:end] = (
+                res.records["age_days"] + res.deploy_day
+            )
+            for name in _RECORD_COLUMNS:
+                columns[name][pos:end] = res.records[name]
+            pos = end
         records = DriveDayDataset(columns, check_sorted=False)
     else:
         records = DriveDayDataset.empty()

@@ -68,15 +68,22 @@ def intensity_profile(params: WorkloadParams, ages: np.ndarray) -> np.ndarray:
     then decays linearly toward ``decay_floor`` at six years.
     """
     ages = np.asarray(ages, dtype=np.float64)
-    ramp = params.ramp_floor + (1.0 - params.ramp_floor) * np.minimum(
-        ages / max(params.ramp_days, 1), 1.0
-    )
+    # In-place sequences below mirror the allocating expressions op for op
+    # (commutative reorderings only), so results stay bit-identical.
+    ramp = ages / max(params.ramp_days, 1)
+    np.minimum(ramp, 1.0, out=ramp)
+    np.multiply(ramp, 1.0 - params.ramp_floor, out=ramp)
+    np.add(ramp, params.ramp_floor, out=ramp)
     six_years = 2190.0
     decay_span = max(six_years - params.decay_start_days, 1.0)
-    decay = 1.0 - (1.0 - params.decay_floor) * np.clip(
-        (ages - params.decay_start_days) / decay_span, 0.0, None
-    )
-    return ramp * np.minimum(decay, 1.0)
+    decay = ages - params.decay_start_days
+    np.divide(decay, decay_span, out=decay)
+    np.maximum(decay, 0.0, out=decay)
+    np.multiply(decay, 1.0 - params.decay_floor, out=decay)
+    np.subtract(1.0, decay, out=decay)
+    np.minimum(decay, 1.0, out=decay)
+    np.multiply(ramp, decay, out=ramp)
+    return ramp
 
 
 def generate_workload(
@@ -92,21 +99,34 @@ def generate_workload(
     """
     ages = np.asarray(ages, dtype=np.float64)
     n = ages.shape[0]
-    profile = intensity_profile(params, ages)
-    base = params.base_writes_per_day * latents.activity_scale * profile
-    jitter = np.exp(rng.normal(0.0, params.daily_sigma, size=n))
-    writes = base * jitter
-    read_jitter = np.exp(rng.normal(0.0, params.daily_sigma, size=n))
-    reads = writes * latents.read_ratio * read_jitter / np.maximum(jitter, 1e-12)
+    # The in-place sequences mirror the original allocating expressions op
+    # for op (commutative reorderings only): results are bit-identical.
+    writes = intensity_profile(params, ages)
+    np.multiply(
+        writes,
+        params.base_writes_per_day * latents.activity_scale,
+        out=writes,
+    )
+    jitter = rng.normal(0.0, params.daily_sigma, size=n)
+    np.exp(jitter, out=jitter)
+    np.multiply(writes, jitter, out=writes)
+    read_jitter = rng.normal(0.0, params.daily_sigma, size=n)
+    np.exp(read_jitter, out=read_jitter)
+    reads = writes * latents.read_ratio
+    np.multiply(reads, read_jitter, out=reads)
+    np.maximum(jitter, 1e-12, out=jitter)
+    np.divide(reads, jitter, out=reads)
     # Spontaneous idle days: the drive is powered but unprovisioned.
     idle = rng.random(n) < params.idle_day_prob
     writes[idle] = 0.0
     reads[idle] = 0.0
     erases = writes / params.pages_per_block
     pe_inc = erases / params.blocks_per_drive
+    np.round(reads, out=reads)
+    np.round(writes, out=writes)
     return DailyWorkload(
-        read_count=np.round(reads),
-        write_count=np.round(writes),
+        read_count=reads,
+        write_count=writes,
         erase_count=np.round(erases),
         pe_increment=pe_inc,
     )

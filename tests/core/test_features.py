@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import build_features, feature_names
 from repro.data import DriveDayDataset
@@ -105,3 +107,81 @@ class TestBuildFeatures:
         ids = frame.drive_id
         same = ids[1:] == ids[:-1]
         assert (cum[1:][same] >= cum[:-1][same]).all()
+
+
+class TestFusedKernelProperty:
+    """The fused batched kernel is the per-row ``assemble_features`` fold.
+
+    DESIGN.md §16: counters are integer-valued floats, so every float64
+    running sum is exact and the fused cumsum-with-baseline-correction
+    produces bit-identical results to folding one row at a time — the
+    comparison is ``==``, not ``allclose``.
+    """
+
+    @staticmethod
+    def _random_records(seed: int) -> DriveDayDataset:
+        from repro.data.fields import ERROR_TYPES
+
+        rng = np.random.default_rng(seed)
+        n_drives = int(rng.integers(1, 6))
+        lengths = rng.integers(1, 20, size=n_drives)
+        n = int(lengths.sum())
+        drive_id = np.repeat(np.arange(n_drives, dtype=np.int32), lengths)
+        age = np.concatenate([np.arange(m, dtype=np.int32) for m in lengths])
+        cols = {
+            "drive_id": drive_id,
+            "model": rng.integers(0, 3, size=n).astype(np.int8),
+            "age_days": age,
+            "calendar_day": age + 100,
+            # Integer-valued float64 counters, including values far above
+            # uint32 range: sums stay below 2**53 so float64 is exact.
+            "read_count": rng.integers(0, 2**40, size=n).astype(np.float64),
+            "write_count": rng.integers(0, 2**40, size=n).astype(np.float64),
+            "erase_count": rng.integers(0, 10**6, size=n).astype(np.float64),
+            "pe_cycles": rng.random(n),  # passthrough, fractional is fine
+            "status_dead": rng.integers(0, 2, size=n).astype(np.int8),
+            "status_read_only": rng.integers(0, 2, size=n).astype(np.int8),
+            "factory_bad_blocks": rng.integers(0, 50, size=n).astype(np.int32),
+            "grown_bad_blocks": rng.integers(0, 50, size=n).astype(np.int32),
+        }
+        for err in ERROR_TYPES:
+            cols[err] = rng.integers(0, 100, size=n).astype(np.int64)
+        return DriveDayDataset(cols)
+
+    @staticmethod
+    def _per_row_fold(ds: DriveDayDataset) -> np.ndarray:
+        from repro.core.features import assemble_features, daily_matrix
+
+        daily = daily_matrix(ds)
+        ids = np.asarray(ds["drive_id"])
+        bad = np.asarray(ds["factory_bad_blocks"]).astype(np.float64) + np.asarray(
+            ds["grown_bad_blocks"]
+        ).astype(np.float64)
+        age = np.asarray(ds["age_days"], dtype=np.float64)
+        pe = np.asarray(ds["pe_cycles"], dtype=np.float64)
+        ro = np.asarray(ds["status_read_only"], dtype=np.float64)
+        dead = np.asarray(ds["status_dead"], dtype=np.float64)
+        carried: dict[int, np.ndarray] = {}
+        rows = []
+        for i in range(len(ds)):
+            d = daily[i : i + 1]
+            c = carried.get(int(ids[i]), np.zeros((1, d.shape[1]))) + d
+            carried[int(ids[i])] = c
+            rows.append(
+                assemble_features(
+                    d,
+                    c,
+                    age[i : i + 1],
+                    pe[i : i + 1],
+                    bad[i : i + 1],
+                    ro[i : i + 1],
+                    dead[i : i + 1],
+                )
+            )
+        return np.vstack(rows)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_fused_batch_equals_per_row_fold(self, seed):
+        ds = self._random_records(seed)
+        assert np.array_equal(build_features(ds).X, self._per_row_fold(ds))

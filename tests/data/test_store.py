@@ -1,0 +1,180 @@
+"""Columnar store: round-trips, dtype narrowing, zero-copy streaming.
+
+The store's contract (DESIGN.md §16): whatever storage dtype a column is
+persisted at, loading widens it back to the logical schema bit-for-bit,
+so a ``.cst`` file is interchangeable with the ``.npz`` it was packed
+from.  Streaming reads are read-only memmap views — no decompression, no
+copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    TraceIntegrityError,
+    is_store_file,
+    iter_drive_day_chunks,
+    load_dataset_npz,
+    load_dataset_store,
+    open_store_columns,
+    save_dataset_npz,
+    save_dataset_store,
+)
+from repro.data.fields import WORKLOAD_FIELDS
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+@pytest.fixture()
+def store_pair(small_trace, tmp_path):
+    """(npz_path, cst_path) holding the same records."""
+    npz = tmp_path / "records.npz"
+    cst = tmp_path / "records.cst"
+    save_dataset_npz(small_trace.records, npz)
+    save_dataset_store(small_trace.records, cst)
+    return npz, cst
+
+
+class TestRoundTrip:
+    def test_store_matches_npz_loader_bit_for_bit(self, store_pair):
+        npz, cst = store_pair
+        a = load_dataset_npz(npz)
+        b = load_dataset_store(cst)
+        assert set(a.column_names) == set(b.column_names)
+        for name in a.column_names:
+            assert b[name].dtype == a[name].dtype, name
+            assert np.array_equal(b[name], a[name]), name
+
+    def test_load_dataset_npz_sniffs_store_files(self, store_pair):
+        # The NPZ loaders are store-aware: a .cst path loads transparently.
+        npz, cst = store_pair
+        a = load_dataset_npz(npz)
+        b = load_dataset_npz(cst)
+        for name in a.column_names:
+            assert b[name].dtype == a[name].dtype
+            assert np.array_equal(b[name], a[name])
+
+    def test_is_store_file(self, store_pair):
+        npz, cst = store_pair
+        assert is_store_file(cst)
+        assert not is_store_file(npz)
+        assert not is_store_file(cst.parent / "missing.cst")
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_round_trip_property(self, seed, tmp_path_factory):
+        # Property: for any simulated fleet, pack -> load is the identity
+        # on every column (values and dtypes), narrowing notwithstanding.
+        trace = simulate_fleet(
+            FleetConfig(
+                n_drives_per_model=2,
+                horizon_days=60,
+                deploy_spread_days=30,
+                seed=seed,
+            )
+        )
+        path = tmp_path_factory.mktemp("store") / "records.cst"
+        save_dataset_store(trace.records, path)
+        loaded = load_dataset_store(path)
+        for name in trace.records.column_names:
+            src = np.asarray(trace.records[name])
+            assert loaded[name].dtype == src.dtype, name
+            assert np.array_equal(loaded[name], src), name
+
+
+class TestNarrowing:
+    def test_declared_candidates_applied(self, store_pair):
+        _, cst = store_pair
+        raw = open_store_columns(cst, widen=False)
+        for name in WORKLOAD_FIELDS:
+            assert raw[name].dtype == np.uint32, name
+        assert raw["uncorrectable_error"].dtype == np.int32
+        # Columns without a candidate stay at their logical dtype.
+        assert raw["pe_cycles"].dtype == np.float64
+        assert raw["drive_id"].dtype == np.int32
+
+    def test_fractional_value_falls_back_wide(self, small_trace, tmp_path):
+        cols = {k: np.asarray(v).copy() for k, v in small_trace.records.items()}
+        cols["read_count"][0] += 0.5  # not representable as uint32
+        path = tmp_path / "frac.cst"
+        save_dataset_store(cols, path)
+        raw = open_store_columns(path, widen=False)
+        assert raw["read_count"].dtype == np.float64
+        assert np.array_equal(raw["read_count"], cols["read_count"])
+
+    def test_overflow_falls_back_wide(self, small_trace, tmp_path):
+        cols = {k: np.asarray(v).copy() for k, v in small_trace.records.items()}
+        cols["write_count"][0] = float(2**40)  # exceeds uint32
+        path = tmp_path / "wide.cst"
+        save_dataset_store(cols, path)
+        raw = open_store_columns(path, widen=False)
+        assert raw["write_count"].dtype == np.float64
+        assert np.array_equal(raw["write_count"], cols["write_count"])
+
+    def test_widened_columns_are_read_only(self, store_pair):
+        _, cst = store_pair
+        cols = open_store_columns(cst, widen=True)
+        for name, arr in cols.items():
+            assert not arr.flags.writeable, name
+
+
+class TestChunkStreaming:
+    def test_store_chunks_match_npz_chunks(self, store_pair):
+        npz, cst = store_pair
+        eager = load_dataset_npz(npz)
+        for name in eager.column_names:
+            streamed = np.concatenate(
+                [c[name] for c in iter_drive_day_chunks(cst, chunk_rows=97)]
+            ).astype(np.asarray(eager[name]).dtype)
+            assert np.array_equal(streamed, eager[name]), name
+
+    def test_store_chunks_are_zero_copy_views(self, store_pair):
+        _, cst = store_pair
+        for chunk in iter_drive_day_chunks(cst, chunk_rows=64):
+            for name, arr in chunk.items():
+                assert not arr.flags.owndata, name
+                assert not arr.flags.writeable, name
+
+    def test_in_memory_chunks_are_read_only(self, small_trace):
+        # Regression: chunk views over an in-memory dataset must not let a
+        # consumer scribble on the source columns.
+        for chunk in iter_drive_day_chunks(small_trace.records, chunk_rows=64):
+            for name, arr in chunk.items():
+                assert not arr.flags.writeable, name
+            with pytest.raises(ValueError):
+                chunk["read_count"][0] = 0.0
+            break
+        # The source dataset stays writable for its owner.
+        assert np.asarray(small_trace.records["read_count"]).flags.writeable
+
+
+class TestIntegrity:
+    def test_truncated_store_rejected(self, store_pair):
+        _, cst = store_pair
+        data = cst.read_bytes()
+        cst.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceIntegrityError, match="truncated"):
+            open_store_columns(cst)
+
+    def test_corrupt_header_rejected(self, store_pair):
+        _, cst = store_pair
+        data = bytearray(cst.read_bytes())
+        data[16] = ord("!")  # first header byte: breaks the JSON parse
+        cst.write_bytes(bytes(data))
+        with pytest.raises(TraceIntegrityError, match="corrupt header"):
+            open_store_columns(cst)
+
+    def test_bad_magic_rejected(self, store_pair):
+        _, cst = store_pair
+        data = bytearray(cst.read_bytes())
+        data[:8] = b"NOTASTOR"
+        cst.write_bytes(bytes(data))
+        with pytest.raises(TraceIntegrityError, match="bad magic"):
+            open_store_columns(cst)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceIntegrityError, match="does not exist"):
+            open_store_columns(tmp_path / "nope.cst")
