@@ -105,3 +105,49 @@ def test_workers4_throughput_floor(bench_fixture):
         f"below the {MIN_EVENTS_PER_SECOND_W4:,} floor "
         f"({result.n_events} events in {elapsed:.2f}s)"
     )
+
+
+#: Acceptance floor for the sharded *plane* (ISSUE 9): four scorer-shard
+#: processes over the hash partition must sustain at least this
+#: aggregate rate.  Same per-core budget as the workers=4 fan-out — the
+#: partition adds one vectorized hash per chunk, which is noise.
+MIN_EVENTS_PER_SECOND_SHARDED4 = 250_000
+
+
+def test_sharded_replay_parity_at_bench_scale(bench_fixture, tmp_path):
+    from repro.serve import run_sharded_replay
+
+    trace, predictor, offline = bench_fixture
+    result = run_sharded_replay(
+        predictor, trace.records, 4, tmp_path / "plane", chunk_rows=8192
+    )
+    assert result.n_events == len(trace.records)
+    assert np.array_equal(result.probability, offline)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4, reason="throughput floor needs a quiet 4-core box"
+)
+def test_sharded_plane_throughput_floor(bench_fixture, tmp_path):
+    from repro.serve import run_sharded_replay
+
+    trace, predictor, offline = bench_fixture
+    # Warm once (separate plane) so pool spawn and page faults don't
+    # skew the timed run.
+    run_sharded_replay(
+        predictor, trace.records, 4, tmp_path / "warm", chunk_rows=8192
+    )
+
+    t0 = time.perf_counter()
+    result = run_sharded_replay(
+        predictor, trace.records, 4, tmp_path / "plane", chunk_rows=8192
+    )
+    elapsed = time.perf_counter() - t0
+
+    assert np.array_equal(result.probability, offline)
+    rate = result.n_events / elapsed
+    assert rate >= MIN_EVENTS_PER_SECOND_SHARDED4, (
+        f"sharded plane sustained {rate:,.0f} events/s at 4 shards, below "
+        f"the {MIN_EVENTS_PER_SECOND_SHARDED4:,} floor "
+        f"({result.n_events} events in {elapsed:.2f}s)"
+    )

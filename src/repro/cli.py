@@ -51,6 +51,7 @@ import itertools
 import json
 import pickle
 import sys
+import tempfile
 import time
 from dataclasses import asdict
 from pathlib import Path
@@ -113,21 +114,31 @@ from .serve import (
     BatchPolicy,
     DeadLetterError,
     DeadLetterQueue,
+    Distribution,
     EventJournal,
     FeatureStore,
     FeatureStoreError,
+    LoadProfile,
     ModelRegistry,
     QueuePolicy,
     RegistryError,
     ReplayResult,
+    RVConfig,
     ScoringEngine,
     ServeBreaker,
+    ShardError,
     StalenessPolicy,
     TelemetryConfig,
     build_heal_plan,
     canonical_event,
+    latest_snapshot,
     load_status,
+    plane_scores,
+    plane_status,
+    render_sharded_status,
     render_status,
+    reshard_plane,
+    run_sharded_replay,
     status_exit_code,
 )
 from .simulator import FleetConfig, FleetTrace, default_models, simulate_fleet
@@ -978,11 +989,13 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
         obs_metrics.activate(metrics_registry),
         _activate_telemetry(timeline, event_log),
     ):
-        store = (
-            FeatureStore.restore(args.restore)
-            if args.restore
-            else FeatureStore()
-        )
+        if args.restore:
+            # A rotated snapshot base (--snapshot-keep) resolves to its
+            # newest on-disk generation; an exact file wins as before.
+            resolved = latest_snapshot(Path(args.restore)) or args.restore
+            store = FeatureStore.restore(resolved)
+        else:
+            store = FeatureStore()
         start_row = store.events_total
         guard = (
             AdmissionGuard(
@@ -1042,6 +1055,7 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
                 start_row=start_row,
                 snapshot_every=args.snapshot_every,
                 snapshot_path=args.snapshot,
+                snapshot_keep=args.snapshot_keep,
             )
         # The parity gate: the offline batch pipeline over the same
         # records must reproduce the streamed scores bit-for-bit.
@@ -1160,6 +1174,175 @@ def _cmd_serve_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_profile_arg(args: argparse.Namespace) -> LoadProfile:
+    """Build the seeded arrival process from the bench flag group."""
+    try:
+        return LoadProfile(
+            RVConfig(
+                mean=args.arrival_mean,
+                distribution=Distribution(args.arrival),
+                variance=args.arrival_variance,
+            ),
+            seed=args.seed if args.arrival_seed is None else args.arrival_seed,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from None
+
+
+def _cmd_serve_shard(args: argparse.Namespace) -> int:
+    workers = _workers_arg(args)
+    if args.shards < 1:
+        raise CLIError("--shards must be >= 1")
+    if args.reshard_from is None and args.trace is None:
+        raise CLIError("serve shard needs --trace (or --reshard-from PLANE)")
+    if args.reshard_from is not None and args.out is not None:
+        raise CLIError(
+            "--out is only available with --trace (a reshard's source rows "
+            "live in the old plane's journals, not a trace directory)"
+        )
+    predictor, model_path, model_desc = _serve_predictor(args)
+    plane = Path(args.plane)
+    manifest = RunManifest(
+        command="serve.shard",
+        config={
+            "shards": args.shards,
+            "chunk_rows": args.chunk_rows,
+            "checkpoint_every": args.checkpoint_every,
+            "checkpoint_keep": args.checkpoint_keep,
+            "reshard_from": args.reshard_from,
+            "lookahead": predictor.lookahead,
+        },
+        seeds={"seed": predictor.seed},
+    )
+    manifest.add_input(model_path)
+    tracer = obs_tracing.Tracer()
+    metrics_registry = obs_metrics.MetricsRegistry()
+    policy = _policy_arg(args)
+    supervision = SupervisionLog()
+    common = dict(
+        chunk_rows=args.chunk_rows,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
+        workers=workers,
+        policy=policy,
+        supervision=supervision,
+    )
+    records = None
+    with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
+        if args.reshard_from is not None:
+            old_plane = Path(args.reshard_from)
+            # Baseline first: the old plane's merged scores, read back
+            # from its final checkpoints — the reshard identity gate.
+            baseline = (
+                None if args.no_parity else plane_scores(old_plane)[0]
+            )
+            result = reshard_plane(
+                old_plane, plane, predictor, args.shards, **common
+            )
+            baseline_desc = f"the source plane {old_plane}"
+        else:
+            trace_dir = _require_trace_dir(Path(args.trace))
+            records_path = _records_path(trace_dir)
+            manifest.add_input(records_path)
+            result = run_sharded_replay(
+                predictor, records_path, args.shards, plane, **common
+            )
+            baseline = None
+            if (
+                not args.no_parity
+                and result.n_diverted == 0
+                and result.n_duplicates == 0
+            ):
+                # The offline pipeline over the same records — the
+                # shard-count analogue of the `serve replay` parity gate.
+                records = load_dataset_npz(records_path)
+                baseline = predictor.predict_proba_records(
+                    records,
+                    workers=workers,
+                    policy=policy,
+                    supervision=supervision,
+                )
+            baseline_desc = f"the offline pipeline ({model_desc})"
+        if baseline is not None:
+            diverged = int(
+                np.count_nonzero(result.probability != baseline)
+                if len(result.probability) == len(baseline)
+                else max(len(result.probability), len(baseline))
+            )
+        else:
+            diverged = 0
+    if args.out:
+        ids = np.asarray(records["drive_id"])[result.accepted_index]
+        ages = np.asarray(records["age_days"])[result.accepted_index]
+        with atomic_write(args.out, "w") as fh:
+            for did, age, p in zip(
+                ids, ages, result.probability, strict=True
+            ):
+                fh.write(
+                    json.dumps(
+                        {
+                            "drive_id": int(did),
+                            "age_days": int(age),
+                            "probability": float(p),
+                        }
+                    )
+                    + "\n"
+                )
+        manifest.add_output(args.out)
+    manifest.counts = {
+        "events": result.n_events,
+        "rows": result.n_rows,
+        "shards": result.n_shards,
+        "diverted": result.n_diverted,
+        "duplicates": result.n_duplicates,
+        "restored": result.n_restored,
+    }
+    manifest.results["workers"] = workers
+    manifest.results["events_per_second"] = round(result.events_per_second, 1)
+    manifest.results["diverged"] = diverged
+    manifest.results["parity_checked"] = baseline is not None
+    manifest.results["shards"] = result.shards
+    _record_supervision(manifest, supervision)
+    manifest_path = _finish_obs(
+        args,
+        manifest,
+        tracer,
+        metrics_registry,
+        plane / "serve_shard_manifest.json",
+    )
+    suffix = f", manifest {manifest_path}" if manifest_path else ""
+    healed = (
+        f", {result.n_restored} shard(s) restored from checkpoint"
+        if result.n_restored
+        else ""
+    )
+    if diverged:
+        print(
+            f"serve shard DIVERGED: {diverged}/{len(baseline)} event(s) "
+            f"differ from {baseline_desc}{suffix}",
+            file=sys.stderr,
+        )
+        return 1
+    if baseline is None:
+        faults = (
+            f", {result.n_diverted} diverted / {result.n_duplicates} "
+            "duplicate(s)"
+        )
+        print(
+            f"serve shard: {result.n_events} event(s) scored across "
+            f"{result.n_shards} shard(s){faults}{healed}, "
+            f"{result.events_per_second:,.0f} ev/s "
+            f"({model_desc}; parity not checked){suffix}"
+        )
+        return 0
+    print(
+        f"serve shard ok: {result.n_events} events across "
+        f"{result.n_shards} shard(s) match {baseline_desc} bit-for-bit"
+        f"{healed}, {result.events_per_second:,.0f} ev/s{suffix}"
+    )
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     workers = _workers_arg(args)
     config = FleetConfig(
@@ -1175,12 +1358,30 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     tracer = obs_tracing.Tracer()
     metrics_registry = obs_metrics.MetricsRegistry()
+    profile = _load_profile_arg(args) if args.shards else None
     with obs_tracing.activate(tracer), obs_metrics.activate(metrics_registry):
         trace = simulate_fleet(config)
         predictor = FailurePredictor(lookahead=7, seed=args.seed).fit(trace)
-        # Throughput: chunked ingest+score over the whole trace.
-        engine = ScoringEngine(predictor, workers=workers)
-        result = engine.replay(trace.records, chunk_rows=args.chunk_rows)
+        if args.shards:
+            # Sharded throughput: the seeded arrival process re-chunks
+            # the trace into bursts and the plane absorbs them across
+            # --shards supervised scorer shards.
+            with tempfile.TemporaryDirectory(
+                prefix="repro-serve-bench-"
+            ) as tmp:
+                result = run_sharded_replay(
+                    predictor,
+                    trace.records,
+                    args.shards,
+                    Path(tmp) / "plane",
+                    chunk_rows=args.chunk_rows,
+                    workers=workers,
+                    load_profile=profile,
+                )
+        else:
+            # Throughput: chunked ingest+score over the whole trace.
+            engine = ScoringEngine(predictor, workers=workers)
+            result = engine.replay(trace.records, chunk_rows=args.chunk_rows)
         offline = predictor.predict_proba_records(trace.records)
         parity = bool(np.array_equal(result.probability, offline))
         # Latency: unbatched single-event round trips on a fresh store.
@@ -1209,6 +1410,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "latency_p95_us": round(float(np.quantile(lat, 0.95)) * 1e6, 1),
         "latency_p99_us": round(float(np.quantile(lat, 0.99)) * 1e6, 1),
     }
+    if args.shards:
+        payload["shards"] = args.shards
+        payload["arrival"] = profile.to_dict()
     if args.json_out:
         _atomic_write_text(
             Path(args.json_out), json.dumps(payload, indent=2) + "\n"
@@ -1224,9 +1428,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         args.no_manifest = True
         default_manifest = Path("serve_bench_manifest.json")
     _finish_obs(args, manifest, tracer, metrics_registry, default_manifest)
+    topology = (
+        f"{args.shards} shard(s), {workers} worker(s), "
+        f"{profile.arrival.distribution.value} arrivals"
+        if args.shards
+        else f"{workers} worker(s)"
+    )
     print(
         f"serve bench: {payload['events_per_second']:,.0f} ev/s over "
-        f"{payload['n_events']} events ({workers} worker(s)), latency "
+        f"{payload['n_events']} events ({topology}), latency "
         f"p50 {payload['latency_p50_us']:.0f}us / "
         f"p99 {payload['latency_p99_us']:.0f}us, parity "
         f"{'ok' if parity else 'DIVERGED'}"
@@ -1509,11 +1719,18 @@ def _cmd_serve_heal(args: argparse.Namespace) -> int:
 
 def _cmd_serve_status(args: argparse.Namespace) -> int:
     try:
-        status = load_status(args.status_file)
+        if args.sharded:
+            # A plane directory: roll every shard's heartbeat into one
+            # verdict (worst shard wins the exit code).
+            status = plane_status(args.status_file)
+        else:
+            status = load_status(args.status_file)
     except ValueError as exc:
         raise CLIError(str(exc)) from None
     if args.json:
         print(json.dumps(status, indent=2, sort_keys=True))
+    elif args.sharded:
+        print(render_sharded_status(status))
     else:
         print(render_status(status))
     # Exit contract: 0 healthy, 1 degraded or SLO warning, 2 SLO breach
@@ -1856,6 +2073,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot cadence when --snapshot is given (default: 100000)",
     )
     p_rpl.add_argument(
+        "--snapshot-keep",
+        type=int,
+        default=None,
+        metavar="K",
+        help="rotate snapshots as numbered generations and keep the "
+        "newest K; older generations are pruned only after the new one "
+        "is durable (default: a single in-place snapshot file)",
+    )
+    p_rpl.add_argument(
         "--restore",
         default=None,
         metavar="PATH",
@@ -1887,6 +2113,82 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry_args(p_rpl)
     p_rpl.set_defaults(func=_cmd_serve_replay)
 
+    p_shd = srv_sub.add_parser(
+        "shard",
+        help="replay a trace through N supervised scorer shards "
+        "(partitioned by drive-ID hash) and verify the merged scores "
+        "match the offline pipeline bit-for-bit; --reshard-from "
+        "rebalances an existing plane through its journals",
+    )
+    p_shd.add_argument(
+        "--trace",
+        default=None,
+        help="trace directory (omit only with --reshard-from)",
+    )
+    _add_model_source(p_shd)
+    p_shd.add_argument(
+        "--shards",
+        type=int,
+        required=True,
+        metavar="N",
+        help="scorer shard count (scores are byte-identical for any N)",
+    )
+    p_shd.add_argument(
+        "--plane",
+        required=True,
+        metavar="DIR",
+        help="plane directory: per-shard checkpoints, journals, DLQs, "
+        "and status heartbeats (read by `serve status --sharded`)",
+    )
+    p_shd.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="streaming chunk size (scores are identical for any value)",
+    )
+    p_shd.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="EVENTS",
+        help="per-shard checkpoint cadence in accepted events (default: "
+        "a single checkpoint at stream end); a killed shard restores "
+        "its newest checkpoint and replays its journal tail",
+    )
+    p_shd.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=2,
+        metavar="K",
+        help="rotated checkpoint generations to keep per shard "
+        "(default: 2; pruned only after the newer one is durable)",
+    )
+    p_shd.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the merged scores as JSONL (byte-comparable against "
+        "`serve replay --out`)",
+    )
+    p_shd.add_argument(
+        "--reshard-from",
+        default=None,
+        metavar="PLANE",
+        help="rebalance this existing plane's journaled events onto "
+        "--shards new shards instead of replaying --trace; the merged "
+        "scores must match the source plane bit-for-bit",
+    )
+    p_shd.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the byte-identity gate (also skipped automatically "
+        "when events were diverted or deduplicated)",
+    )
+    add_execution_args(p_shd)
+    add_obs_args(p_shd)
+    p_shd.set_defaults(func=_cmd_serve_shard)
+
     p_bch = srv_sub.add_parser(
         "bench",
         help="ingest+score throughput and latency of the serving path "
@@ -1914,6 +2216,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write the bench numbers as JSON (CI artifact)",
+    )
+    p_bch.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="bench the sharded plane at N scorer shards under the "
+        "synthetic arrival process (default: 0 = single-engine bench)",
+    )
+    p_bch.add_argument(
+        "--arrival",
+        choices=[d.value for d in Distribution],
+        default=Distribution.POISSON.value,
+        help="arrival-size distribution for the load generator "
+        "(default: poisson; only used with --shards)",
+    )
+    p_bch.add_argument(
+        "--arrival-mean",
+        type=float,
+        default=4096.0,
+        metavar="EVENTS",
+        help="mean burst size in events (default: 4096)",
+    )
+    p_bch.add_argument(
+        "--arrival-variance",
+        type=float,
+        default=None,
+        metavar="V",
+        help="burst-size variance (normal/log_normal arrivals only)",
+    )
+    p_bch.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="load-generator seed (default: --seed)",
     )
     add_execution_args(p_bch)
     add_obs_args(p_bch)
@@ -2058,7 +2396,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sts.add_argument(
         "status_file",
-        help="status.json written by `serve replay/run --status-out`",
+        help="status.json written by `serve replay/run --status-out`, or "
+        "a plane directory with --sharded",
+    )
+    p_sts.add_argument(
+        "--sharded",
+        action="store_true",
+        help="treat the argument as a `serve shard --plane` directory and "
+        "roll every shard's status.json into one verdict (worst shard "
+        "wins the exit code)",
     )
     p_sts.add_argument(
         "--json",
@@ -2173,6 +2519,7 @@ def main(argv: list[str] | None = None) -> int:
         FeatureStoreError,
         RegistryError,
         DeadLetterError,
+        ShardError,
     ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

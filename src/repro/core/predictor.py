@@ -82,20 +82,57 @@ def _set_score_state(
     _score_state = (models, age_partitioned, infancy_days, X, age_days)
 
 
+def _score_block(
+    models: dict[str, BinaryClassifier],
+    age_partitioned: bool,
+    infancy_days: int,
+    X: np.ndarray,
+    age_days: np.ndarray,
+) -> np.ndarray:
+    """Score one block of rows — the kernel both pool task shapes share."""
+    if not age_partitioned:
+        return models["all"].predict_proba(X)
+    out = np.empty(X.shape[0])
+    young = age_days <= infancy_days
+    if np.any(young):
+        out[young] = models["young"].predict_proba(X[young])
+    if np.any(~young):
+        out[~young] = models["old"].predict_proba(X[~young])
+    return out
+
+
 def _score_shard(task: tuple) -> np.ndarray:
     """Pool task: score one contiguous row range of the installed matrix."""
     lo, hi = task
     assert _score_state is not None, "score state not installed"
     models, age_partitioned, infancy_days, X, age_days = _score_state
-    if not age_partitioned:
-        return models["all"].predict_proba(X[lo:hi])
-    out = np.empty(hi - lo)
-    young = age_days[lo:hi] <= infancy_days
-    if np.any(young):
-        out[young] = models["young"].predict_proba(X[lo:hi][young])
-    if np.any(~young):
-        out[~young] = models["old"].predict_proba(X[lo:hi][~young])
-    return out
+    return _score_block(
+        models, age_partitioned, infancy_days, X[lo:hi], age_days[lo:hi]
+    )
+
+
+#: Fitted models only — the warm-pool analogue of :data:`_score_state`.
+#: Installed once per persistent-pool worker; each call then ships just
+#: the row slices, never the model bundle (see
+#: :class:`repro.parallel.PersistentPool`).
+_model_state: tuple | None = None
+
+
+def _set_model_state(
+    models: dict[str, BinaryClassifier],
+    age_partitioned: bool,
+    infancy_days: int,
+) -> None:
+    global _model_state
+    _model_state = (models, age_partitioned, infancy_days)
+
+
+def _score_rows_task(task: tuple) -> np.ndarray:
+    """Warm-pool task: score a shipped ``(X_rows, age_days)`` slice."""
+    X, age_days = task
+    assert _model_state is not None, "model state not installed"
+    models, age_partitioned, infancy_days = _model_state
+    return _score_block(models, age_partitioned, infancy_days, X, age_days)
 
 
 class FailurePredictor:
@@ -231,6 +268,25 @@ class FailurePredictor:
                 supervision=supervision,
             )
 
+    def scoring_pool(self, workers: int | None = None) -> "PersistentPool":
+        """A warm worker pool with this predictor's models pre-installed.
+
+        The returned :class:`repro.parallel.PersistentPool` pickles the
+        model bundle into each worker exactly once; pass it to
+        :meth:`predict_proba_matrix` (``pool=``) so repeated scoring
+        calls — the per-chunk loop of ``serve replay`` — ship only row
+        slices.  Caller owns the pool's lifetime (``close()``).
+        """
+        from ..parallel.persistent import PersistentPool
+
+        self._require_fitted()
+        return PersistentPool(
+            workers=workers,
+            initializer=_set_model_state,
+            initargs=(self._models, self.age_partitioned, self.infancy_days),
+            label="repro.core.predict",
+        )
+
     def predict_proba_matrix(
         self,
         X: np.ndarray,
@@ -238,6 +294,7 @@ class FailurePredictor:
         workers: int | None = None,
         policy: object | None = None,
         supervision: object | None = None,
+        pool: "PersistentPool | None" = None,
     ) -> np.ndarray:
         """Failure probability for every row of a raw feature matrix.
 
@@ -246,9 +303,23 @@ class FailurePredictor:
         it with a full :class:`PredictionDataset` matrix.  Scoring is
         per-row (trees traverse each row independently), so the output is
         bit-identical for any batch split and any ``workers`` count.
+
+        ``pool`` routes the fan-out through a warm
+        :meth:`scoring_pool` instead of building a fresh process pool
+        per call; row sharding matches the per-call path exactly, so
+        bytes are identical either way.  Ignored when a supervisor
+        ``policy`` is given (retries need the supervised pool).
         """
         self._require_fitted()
         n = X.shape[0]
+        if pool is not None and policy is None:
+            age = np.asarray(age_days)
+            tasks = [
+                (X[lo:hi], age[lo:hi])
+                for lo, hi in shard_ranges(n, pool.workers)
+            ]
+            parts = pool.run(_score_rows_task, tasks)
+            return np.concatenate(parts) if parts else np.empty(0)
         state = (
             self._models,
             self.age_partitioned,

@@ -184,6 +184,7 @@ MANIFEST_SCHEMA: dict[str, Any] = {
                 "serve.run",
                 "serve.publish",
                 "serve.heal",
+                "serve.shard",
             ],
         },
         "argv": {"type": "array", "items": {"type": "string"}},

@@ -19,6 +19,7 @@ See DESIGN.md §11 for the sharding/seed-stream scheme.
 """
 
 from .obsmerge import ObsDelta, capture_obs, merge_obs
+from .persistent import PersistentPool
 from .pool import (
     ENV_WORKERS,
     WorkerConfigError,
@@ -32,6 +33,7 @@ from .pool import (
 __all__ = [
     "ENV_WORKERS",
     "ObsDelta",
+    "PersistentPool",
     "WorkerConfigError",
     "WorkerCrash",
     "capture_obs",

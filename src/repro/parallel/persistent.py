@@ -1,0 +1,181 @@
+"""A long-lived worker pool with install-once state.
+
+:func:`repro.parallel.iter_tasks` builds a fresh process pool per call
+and ships the initializer arguments every time.  That is the right
+shape for one-shot stages (simulate, grid-search), but the serving
+replay loop calls the scorer once per chunk — hundreds of calls per
+replay — and re-pickling the model bundle and feature matrix into a new
+pool each time dominates the fan-out win (the "remaining headroom" note
+in ROADMAP's columnar item).
+
+:class:`PersistentPool` keeps the workers warm: the initializer (e.g.
+installing the trained forests) runs **once per worker process**, and
+each subsequent :meth:`run` ships only the per-call task payloads (row
+slices).  Everything else matches ``iter_tasks`` semantics:
+
+- results come back strictly in task order;
+- worker obs deltas are merged into the parent's collectors in task
+  order (deterministic);
+- the serial fallback (1 worker, unpicklable state, pool spawn failure,
+  or a mid-run pool crash) runs the same task functions in-process, so
+  output bytes never depend on whether the pool is alive.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections.abc import Callable
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+import multiprocessing
+
+from .obsmerge import ObsDelta, merge_obs
+from .pool import (
+    _START_METHOD,
+    _call_task,
+    _mark_worker,
+    WorkerCrash,
+    resolve_workers,
+)
+from ..obs import metrics, tracing
+
+__all__ = ["PersistentPool"]
+
+
+class PersistentPool:
+    """Reusable fan-out executor; falls back to serial transparently.
+
+    Parameters mirror the per-call knobs of ``iter_tasks``: a worker
+    count, an optional per-worker ``initializer(*initargs)`` (run once
+    per process, and once in-process before any serial fallback), and a
+    ``label`` for error messages.  The pool is lazy — processes spawn on
+    the first :meth:`run` — and must be :meth:`close`\\ d (or used as a
+    context manager) to reap them.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
+        label: str = "repro.parallel",
+    ):
+        self.workers = resolve_workers(workers)
+        self._initializer = initializer
+        self._initargs = initargs
+        self._label = label
+        self._executor: ProcessPoolExecutor | None = None
+        self._serial_ready = False
+        self._dead = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ state
+    @property
+    def parallel(self) -> bool:
+        """Whether :meth:`run` currently fans out to live workers."""
+        return self._executor is not None and not self._dead
+
+    def _install_serial(self) -> None:
+        if not self._serial_ready:
+            if self._initializer is not None:
+                self._initializer(*self._initargs)
+            self._serial_ready = True
+
+    def _ensure_executor(self) -> ProcessPoolExecutor | None:
+        if self._closed:
+            raise WorkerCrash(f"{self._label}: pool used after close()")
+        if self._dead or self.workers <= 1:
+            return None
+        if self._executor is not None:
+            return self._executor
+        try:
+            pickle.dumps((self._initializer, self._initargs))
+        except Exception:
+            self._dead = True
+            return None
+        ctx = multiprocessing.get_context(_START_METHOD)
+        try:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_mark_worker,
+                initargs=(self._initializer, self._initargs),
+            )
+        except (OSError, ValueError):
+            self._dead = True
+            return None
+        return self._executor
+
+    # ------------------------------------------------------------------ run
+    def _run_serial(self, fn: Callable[[Any], Any], tasks: list) -> list:
+        self._install_serial()
+        return [fn(task) for task in tasks]
+
+    def run(self, fn: Callable[[Any], Any], tasks: list) -> list:
+        """Map ``fn`` over ``tasks``; results in task order.
+
+        ``fn`` must be module-level (picklable) for the parallel path.
+        A task that raises surfaces as :class:`WorkerCrash`; a pool that
+        dies mid-run is torn down and the *whole* call re-runs serially
+        — tasks are pure, so the retry cannot change bytes.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        executor = self._ensure_executor()
+        if executor is None:
+            return self._run_serial(fn, tasks)
+        want_obs = (
+            tracing.current() is not None or metrics.current() is not None
+        )
+        try:
+            payloads = [(fn, task, want_obs) for task in tasks]
+            pickle.dumps(payloads[0])
+        except Exception:
+            return self._run_serial(fn, tasks)
+        try:
+            futures = [executor.submit(_call_task, p) for p in payloads]
+            out: list = []
+            for i, future in enumerate(futures):
+                status, value, tb_text, delta = future.result()
+                if isinstance(delta, ObsDelta):
+                    merge_obs(delta)
+                if status == "error":
+                    raise WorkerCrash(
+                        f"{self._label}: task {i} failed in worker: {value}",
+                        task_index=i,
+                        worker_traceback=tb_text,
+                    )
+                out.append(value)
+            return out
+        except BrokenProcessPool:
+            # A worker died under us (OOM killer, SIGKILL chaos).  The
+            # pool is unusable; retire it and redo the call in-process.
+            self._teardown()
+            self._dead = True
+            return self._run_serial(fn, tasks)
+
+    # ------------------------------------------------------------------ lifecycle
+    def _teardown(self) -> None:
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        for proc in list(getattr(executor, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # pragma: no cover
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        """Reap the worker processes; the pool cannot be reused."""
+        self._teardown()
+        self._closed = True
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

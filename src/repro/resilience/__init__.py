@@ -11,12 +11,15 @@ from .chaos import (
     ENV_CHAOS_HANG,
     ENV_CHAOS_SEED,
     GARBLE_FIELDS,
+    SHARD_MODES,
     TELEMETRY_MODES,
     ChaosError,
     chaos_telemetry_events,
     garble_event,
     parse_chaos_spec,
     planned_fault,
+    planned_shard_kill,
+    shard_spec_from_env,
     telemetry_spec_from_env,
 )
 from .shutdown import EXIT_INTERRUPTED, ShutdownRequested, graceful_shutdown
@@ -50,10 +53,13 @@ __all__ = [
     "planned_fault",
     "CHAOS_MODES",
     "TELEMETRY_MODES",
+    "SHARD_MODES",
     "GARBLE_FIELDS",
     "chaos_telemetry_events",
     "garble_event",
     "telemetry_spec_from_env",
+    "shard_spec_from_env",
+    "planned_shard_kill",
     "ENV_CHAOS",
     "ENV_CHAOS_SEED",
     "ENV_CHAOS_HANG",

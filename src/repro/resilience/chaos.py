@@ -47,12 +47,15 @@ __all__ = [
     "ENV_CHAOS_HANG",
     "CHAOS_MODES",
     "TELEMETRY_MODES",
+    "SHARD_MODES",
     "GARBLE_FIELDS",
     "ChaosError",
     "parse_chaos_spec",
     "planned_fault",
     "maybe_inject",
     "telemetry_spec_from_env",
+    "shard_spec_from_env",
+    "planned_shard_kill",
     "garble_event",
     "chaos_telemetry_events",
 ]
@@ -74,6 +77,15 @@ CHAOS_MODES = ("error", "crash", "kill", "hang", "error_always")
 #: ``garble``    corrupt one non-key counter field (NaN / negative /
 #:               collector sentinel), keys left intact.
 TELEMETRY_MODES = ("reorder", "duplicate", "late", "garble")
+
+#: Shard-plane fault modes applied by the sharded serving tier (see
+#: :mod:`repro.serve.shard`).  ``shard_kill`` SIGKILLs a scorer shard
+#: mid-replay on its first attempt — the planned victim is a pure
+#: function of ``(seed, shard_index)``, and the shard supervisor's
+#: retry must heal it via checkpoint restore + journal-tail replay.
+#: Kept in its own domain tuple so neither the worker injection site
+#: (:func:`maybe_inject`) nor the telemetry site picks it up.
+SHARD_MODES = ("shard_kill",)
 
 #: Non-key numeric fields eligible for ``garble`` corruption.  Keys
 #: (``drive_id``/``age_days``) are never touched: a garbled event stays
@@ -112,7 +124,11 @@ def parse_chaos_spec(
     (:data:`TELEMETRY_MODES`) modes parse, since one ``$REPRO_CHAOS``
     value may mix them — each injection site filters to its own domain.
     """
-    allowed = modes if modes is not None else CHAOS_MODES + TELEMETRY_MODES
+    allowed = (
+        modes
+        if modes is not None
+        else CHAOS_MODES + TELEMETRY_MODES + SHARD_MODES
+    )
     out: list[tuple[str, float]] = []
     total = 0.0
     for item in spec.split(","):
@@ -217,6 +233,44 @@ def telemetry_spec_from_env() -> tuple[list[tuple[str, float]], int]:
         if mode in TELEMETRY_MODES
     ]
     return spec, seed
+
+
+def shard_spec_from_env() -> tuple[list[tuple[str, float]], int]:
+    """The shard-plane slice of ``$REPRO_CHAOS`` plus the chaos seed.
+
+    Returns ``([], seed)`` when no shard mode is configured.
+    """
+    raw = os.environ.get(ENV_CHAOS, "").strip()
+    seed = int(os.environ.get(ENV_CHAOS_SEED, "0") or 0)
+    if not raw:
+        return [], seed
+    spec = [
+        (mode, rate)
+        for mode, rate in parse_chaos_spec(raw)
+        if mode in SHARD_MODES
+    ]
+    return spec, seed
+
+
+def planned_shard_kill(
+    shard_index: int, spec: list[tuple[str, float]], seed: int = 0
+) -> float | None:
+    """The kill point planned for one shard, or ``None`` — pure function.
+
+    Returns the fraction of the shard's sub-stream (in ``[0.25, 0.75]``)
+    after which the shard SIGKILLs itself.  Drawn from
+    ``SeedSequence([seed, shard_index, 2])`` — disjoint from both the
+    worker-fault and telemetry variate streams, so enabling shard chaos
+    never shifts the other plans.
+    """
+    if planned_fault(shard_index, spec, seed) != "shard_kill":
+        return None
+    u = float(
+        np.random.default_rng(
+            np.random.SeedSequence([seed, shard_index, 2])
+        ).random()
+    )
+    return 0.25 + 0.5 * u
 
 
 def _event_variates(event_index: int, seed: int) -> "np.ndarray":

@@ -18,14 +18,26 @@ would those models run in production".  Seven pieces:
 - :mod:`repro.serve.health` — circuit breaker, health states, and the
   staleness policy behind degraded scoring;
 - :mod:`repro.serve.engine` — the request loop tying them together,
-  with replay/backfill over recorded traces.
+  with replay/backfill over recorded traces;
+- :mod:`repro.serve.partition` — the versioned drive-ID hash partition
+  splitting the fleet across scorer shards;
+- :mod:`repro.serve.shard` — the sharded serving plane: supervised
+  shard processes, checkpoint/journal failover, resharding, and the
+  live :class:`~repro.serve.shard.ShardRouter`;
+- :mod:`repro.serve.snapshots` — rotated keep-last-K snapshot
+  generations under atomic writes;
+- :mod:`repro.serve.loadgen` — the seeded synthetic arrival-process
+  generator behind ``serve bench``.
 
 The cornerstone invariant is *online/offline parity*: for any trace,
 streaming it through the engine yields exactly the probabilities the
 offline ``score`` pipeline computes (``serve replay`` verifies this
 bit-for-bit; see DESIGN.md §13).  The robustness layer extends it to
 sick inputs: a chaos-perturbed stream plus ``serve heal`` converges
-back to the byte-identical clean scores (DESIGN.md §14).
+back to the byte-identical clean scores (DESIGN.md §14), and the
+sharded plane extends it across topology: any shard count, an N→M
+reshard, and a SIGKILLed-and-healed shard all produce the same bytes
+(DESIGN.md §17).
 """
 
 from .batching import BatchPolicy, MicroBatcher, QueuePolicy
@@ -62,11 +74,37 @@ from .health import (
     HealthState,
     ServeBreaker,
     StalenessPolicy,
+    aggregate_statuses,
     load_status,
+    render_sharded_status,
     render_status,
     status_exit_code,
 )
+from .loadgen import (
+    Distribution,
+    LoadProfile,
+    RVConfig,
+    arrival_sizes,
+    burst_chunks,
+    burst_slices,
+)
+from .partition import PARTITION_VERSION, PartitionMap, drive_shard, drive_shards, split_chunk
 from .registry import ModelRegistry, RegistryError
+from .shard import (
+    SHARD_SCHEMA_VERSION,
+    ShardCheckpoint,
+    ShardError,
+    ShardPaths,
+    ShardRouter,
+    ShardedReplayResult,
+    merged_plane_events,
+    plane_scores,
+    plane_status,
+    read_plane_manifest,
+    reshard_plane,
+    run_sharded_replay,
+)
+from .snapshots import latest_snapshot, list_generations, prune_generations, write_rotated
 
 __all__ = [
     "BatchPolicy",
@@ -103,7 +141,36 @@ __all__ = [
     "HealthState",
     "ServeBreaker",
     "StalenessPolicy",
+    "aggregate_statuses",
     "load_status",
+    "render_sharded_status",
     "render_status",
     "status_exit_code",
+    "PARTITION_VERSION",
+    "PartitionMap",
+    "drive_shard",
+    "drive_shards",
+    "split_chunk",
+    "SHARD_SCHEMA_VERSION",
+    "ShardCheckpoint",
+    "ShardError",
+    "ShardPaths",
+    "ShardRouter",
+    "ShardedReplayResult",
+    "merged_plane_events",
+    "plane_scores",
+    "plane_status",
+    "read_plane_manifest",
+    "reshard_plane",
+    "run_sharded_replay",
+    "Distribution",
+    "LoadProfile",
+    "RVConfig",
+    "arrival_sizes",
+    "burst_chunks",
+    "burst_slices",
+    "latest_snapshot",
+    "list_generations",
+    "prune_generations",
+    "write_rotated",
 ]

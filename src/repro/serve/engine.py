@@ -200,6 +200,11 @@ class ScoringEngine:
         self.requests_total = 0
         self.batches_total = 0
         self.stale_scores = 0
+        #: Warm scoring pool (satellite of the sharded-serving PR): the
+        #: model bundle pickles into each worker once, then every
+        #: backfill-sized batch ships only row slices.  ``None`` until
+        #: first use, ``False`` when fan-out is configured off.
+        self._scoring_pool: Any = None
         #: Every arrival observed, including diverted/shed/duplicate
         #: events that never became scoring requests.
         self.events_seen = 0
@@ -381,9 +386,50 @@ class ScoringEngine:
             self.heartbeat()
         return scored
 
+    def _ensure_scoring_pool(self) -> Any:
+        """The warm pool, spawned on first backfill-sized batch.
+
+        ``None`` when fan-out is off (resolved worker count of 1) or a
+        supervision policy is configured — supervised scoring needs the
+        retrying pool, so it keeps the per-call path.
+        """
+        if self.policy is not None:
+            return None
+        if self._scoring_pool is None:
+            from ..parallel import resolve_workers
+
+            if resolve_workers(self.workers) <= 1:
+                self._scoring_pool = False
+            else:
+                self._scoring_pool = self.predictor.scoring_pool(self.workers)
+        return self._scoring_pool or None
+
+    def close(self) -> None:
+        """Reap the warm scoring pool (idempotent)."""
+        pool, self._scoring_pool = self._scoring_pool, None
+        if pool:
+            pool.close()
+
+    def __enter__(self) -> "ScoringEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _score_rows(self, X: np.ndarray, ages: np.ndarray) -> np.ndarray:
-        """Vectorized predict; fans out only for backfill-sized batches."""
-        workers = self.workers if X.shape[0] >= BACKFILL_MIN_ROWS else 1
+        """Vectorized predict; fans out only for backfill-sized batches.
+
+        Fan-out goes through the warm :meth:`_ensure_scoring_pool` when
+        no supervision policy is set — row sharding matches the per-call
+        pool exactly, so the bytes are identical either way.
+        """
+        if X.shape[0] >= BACKFILL_MIN_ROWS:
+            pool = self._ensure_scoring_pool()
+            if pool is not None:
+                return self.predictor.predict_proba_matrix(X, ages, pool=pool)
+            workers = self.workers
+        else:
+            workers = 1
         return self.predictor.predict_proba_matrix(
             X,
             ages,
@@ -450,6 +496,16 @@ class ScoringEngine:
         return out
 
     # ------------------------------------------------------------------ replay
+    def _write_snapshot(
+        self, path: str | Path, keep: int | None
+    ) -> Path:
+        """One snapshot write: in-place without ``keep``, rotated with."""
+        if keep is None:
+            return self.store.snapshot(path)
+        from .snapshots import write_rotated
+
+        return write_rotated(Path(path), self.store.snapshot, keep=keep)
+
     def replay(
         self,
         source: DriveDayDataset | str | Path,
@@ -457,6 +513,7 @@ class ScoringEngine:
         start_row: int = 0,
         snapshot_every: int | None = None,
         snapshot_path: str | Path | None = None,
+        snapshot_keep: int | None = None,
         progress: Callable[[int], None] | None = None,
     ) -> ReplayResult:
         """Stream a trace through the online path, scoring every event.
@@ -480,7 +537,13 @@ class ScoringEngine:
 
         ``snapshot_every``/``snapshot_path`` persist the store every N
         events (crash-safe serving: a killed replay restores the last
-        snapshot and resumes with identical subsequent scores).
+        snapshot and resumes with identical subsequent scores).  With
+        ``snapshot_keep`` each write rotates a new generation
+        (``store-g000001.npz``, …) and prunes all but the newest K —
+        strictly after the new generation is durable, so retention can
+        never delete the only good copy (see
+        :mod:`repro.serve.snapshots`).  Without it the single path is
+        overwritten in place, the pre-PR-9 behavior.
         """
         t0 = self.clock()
         parts: list[np.ndarray] = []
@@ -559,13 +622,13 @@ class ScoringEngine:
                     and snapshot_path is not None
                     and since_snapshot >= snapshot_every
                 ):
-                    self.store.snapshot(snapshot_path)
+                    self._write_snapshot(snapshot_path, snapshot_keep)
                     since_snapshot = 0
                 if progress is not None:
                     progress(n_events)
             sp.set(rows_in=n_events, rows_out=n_events)
         if snapshot_every is not None and snapshot_path is not None:
-            self.store.snapshot(snapshot_path)
+            self._write_snapshot(snapshot_path, snapshot_keep)
         if self.telemetry is not None and self.telemetry.status_path is not None:
             self.heartbeat()
         elapsed = self.clock() - t0

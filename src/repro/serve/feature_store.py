@@ -289,16 +289,28 @@ class FeatureStore:
             return X
 
     # ------------------------------------------------------------------ persistence
-    def snapshot(self, path: str | Path) -> Path:
-        """Atomically persist the store state; returns the path.
+    #: Arrays every store snapshot must carry (extra arrays — e.g. the
+    #: shard-checkpoint score prefix — are allowed and ignored here).
+    REQUIRED_ARRAYS = frozenset(
+        {
+            "schema_hash",
+            "drive_id",
+            "cumulative",
+            "last_age_days",
+            "n_records",
+            "events_total",
+        }
+    )
 
-        The snapshot is deterministic: drives are sorted by id and the
-        NPZ writer pins zip timestamps, so equal states produce equal
-        bytes (the chaos drill compares snapshot digests directly).
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """The store state as deterministic named arrays (copies).
+
+        Drives are sorted by id, so equal states produce equal arrays.
+        This is the single serialization schema: :meth:`snapshot` writes
+        exactly these arrays, and the shard checkpoint embeds them next
+        to its own (score prefix, watermarks) so one atomic NPZ captures
+        a consistent cut of the whole shard.
         """
-        from ..reliability.runner import atomic_save_npz
-
-        path = Path(path)
         with self._lock:
             ids = np.fromiter(
                 self._index.keys(), dtype=np.int64, count=len(self._index)
@@ -312,49 +324,50 @@ class FeatureStore:
                 [self.boundary_digests.get(int(d), "") for d in ids],
                 dtype="U64",
             )
-            atomic_save_npz(
-                path,
-                schema_hash=np.frombuffer(
+            return {
+                "schema_hash": np.frombuffer(
                     self.schema_hash.encode(), dtype=np.uint8
                 ),
-                drive_id=ids,
-                cumulative=self._cum[slots],
-                last_age_days=self._last_age[slots],
-                n_records=self._rows[slots],
-                events_total=np.array([self.events_total], dtype=np.int64),
-                boundary_digest=digests,
-            )
+                "drive_id": ids,
+                "cumulative": self._cum[slots].copy(),
+                "last_age_days": self._last_age[slots].copy(),
+                "n_records": self._rows[slots].copy(),
+                "events_total": np.array([self.events_total], dtype=np.int64),
+                "boundary_digest": digests,
+            }
+
+    def snapshot(self, path: str | Path) -> Path:
+        """Atomically persist the store state; returns the path.
+
+        The snapshot is deterministic: drives are sorted by id and the
+        NPZ writer pins zip timestamps, so equal states produce equal
+        bytes (the chaos drill compares snapshot digests directly).
+        """
+        from ..reliability.runner import atomic_save_npz
+
+        path = Path(path)
+        atomic_save_npz(path, **self.state_arrays())
         return path
 
     @classmethod
-    def restore(cls, path: str | Path) -> "FeatureStore":
-        """Rebuild a store from a snapshot; schema-hash checked."""
-        path = Path(path)
-        try:
-            with np.load(path) as payload:
-                arrays = {k: payload[k] for k in payload.files}
-        except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
-            raise FeatureStoreError(
-                f"feature-store snapshot {path} is unreadable ({exc})"
-            ) from None
-        required = {
-            "schema_hash",
-            "drive_id",
-            "cumulative",
-            "last_age_days",
-            "n_records",
-            "events_total",
-        }
-        missing = required - set(arrays)
+    def from_arrays(
+        cls, arrays: Mapping[str, np.ndarray], source: str = "snapshot"
+    ) -> "FeatureStore":
+        """Rebuild a store from :meth:`state_arrays` output.
+
+        ``source`` names the container in error messages (a standalone
+        snapshot file or a shard checkpoint).  Schema-hash checked.
+        """
+        missing = cls.REQUIRED_ARRAYS - set(arrays)
         if missing:
             raise FeatureStoreError(
-                f"snapshot {path} is missing arrays: {sorted(missing)}"
+                f"{source} is missing arrays: {sorted(missing)}"
             )
-        persisted = arrays["schema_hash"].tobytes().decode()
+        persisted = np.asarray(arrays["schema_hash"]).tobytes().decode()
         store = cls(capacity=max(len(arrays["drive_id"]), 1))
         if persisted != store.schema_hash:
             raise SchemaMismatchError(
-                f"snapshot {path} was written for feature schema "
+                f"{source} was written for feature schema "
                 f"{persisted[:12]}…, this build produces "
                 f"{store.schema_hash[:12]}…; retrain/re-ingest instead of "
                 "restoring"
@@ -375,3 +388,16 @@ class FeatureStore:
                 if s
             }
         return store
+
+    @classmethod
+    def restore(cls, path: str | Path) -> "FeatureStore":
+        """Rebuild a store from a snapshot file; schema-hash checked."""
+        path = Path(path)
+        try:
+            with np.load(path) as payload:
+                arrays = {k: payload[k] for k in payload.files}
+        except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+            raise FeatureStoreError(
+                f"feature-store snapshot {path} is unreadable ({exc})"
+            ) from None
+        return cls.from_arrays(arrays, source=f"snapshot {path}")

@@ -38,7 +38,9 @@ __all__ = [
     "HealthState",
     "StalenessPolicy",
     "ServeBreaker",
+    "aggregate_statuses",
     "load_status",
+    "render_sharded_status",
     "render_status",
     "status_exit_code",
 ]
@@ -192,6 +194,137 @@ def status_exit_code(status: Mapping[str, Any]) -> int:
     if status.get("health") == HealthState.DEGRADED or slo_state == "warn":
         return 1
     return 0
+
+
+#: Severity order for rolling up many shards into one verdict: a single
+#: degraded shard degrades the plane; draining beats ready (a rollout in
+#: progress is worth surfacing) but both are healthy per the exit code.
+_HEALTH_RANK = {
+    HealthState.READY: 0,
+    HealthState.DRAINING: 1,
+    HealthState.DEGRADED: 2,
+}
+_SLO_RANK = {"ok": 0, "warn": 1, "breach": 2}
+
+
+def aggregate_statuses(
+    statuses: Mapping[str, Mapping[str, Any]]
+) -> dict[str, Any]:
+    """Roll many per-shard status heartbeats into one plane verdict.
+
+    The rollup mimics a single heartbeat — worst ``health`` across
+    shards, worst embedded ``slo`` state, summed counters, merged guard
+    stats, newest watermark — so :func:`status_exit_code` applies to it
+    unchanged: the plane's exit code equals the worst shard's.  The
+    full per-shard detail rides along under ``"shards"``.
+    """
+    if not statuses:
+        raise ValueError("aggregate_statuses needs at least one status")
+    worst_health = HealthState.READY
+    worst_slo: str | None = None
+    sums = {
+        "events_seen": 0,
+        "requests_total": 0,
+        "batches_total": 0,
+        "stale_scores": 0,
+        "queue_depth": 0,
+    }
+    watermark = -1
+    guard_totals: dict[str, Any] = {}
+    by_fault: dict[str, int] = {}
+    shards: dict[str, dict[str, Any]] = {}
+    for name in sorted(statuses):
+        status = statuses[name]
+        health = status.get("health", HealthState.READY)
+        if _HEALTH_RANK.get(health, 0) > _HEALTH_RANK[worst_health]:
+            worst_health = health
+        slo = status.get("slo")
+        if slo is not None:
+            state = slo.get("state", "ok")
+            if worst_slo is None or _SLO_RANK.get(state, 0) > _SLO_RANK.get(
+                worst_slo, 0
+            ):
+                worst_slo = state
+        for key in sums:
+            sums[key] += int(status.get(key, 0) or 0)
+        watermark = max(watermark, int(status.get("watermark", -1)))
+        guard = status.get("guard") or {}
+        for key, value in guard.items():
+            if key == "by_fault":
+                for fault, count in (value or {}).items():
+                    by_fault[fault] = by_fault.get(fault, 0) + int(count)
+            elif isinstance(value, (int, float)):
+                guard_totals[key] = guard_totals.get(key, 0) + value
+        shards[name] = {
+            "health": health,
+            "exit_code": status_exit_code(status),
+            "events_seen": int(status.get("events_seen", 0) or 0),
+            "requests_total": int(status.get("requests_total", 0) or 0),
+            "watermark": int(status.get("watermark", -1)),
+        }
+        if slo is not None:
+            shards[name]["slo"] = slo.get("state", "ok")
+        if "shard" in status:
+            shards[name]["shard"] = status["shard"]
+    rollup: dict[str, Any] = {
+        "schema_version": STATUS_SCHEMA_VERSION,
+        "sharded": True,
+        "n_shards": len(shards),
+        "health": worst_health,
+        "watermark": watermark,
+        **sums,
+        "shards": shards,
+    }
+    if guard_totals or by_fault:
+        guard_totals["by_fault"] = by_fault
+        rollup["guard"] = guard_totals
+    if worst_slo is not None:
+        rollup["slo"] = {"state": worst_slo}
+    return rollup
+
+
+def render_sharded_status(rollup: Mapping[str, Any]) -> str:
+    """One-screen summary of a plane rollup: verdict, totals, shard table."""
+    lines = [
+        f"serve status (sharded): {rollup.get('health', '?')} across "
+        f"{rollup.get('n_shards', 0)} shard(s)",
+        f"  events seen:   {rollup.get('events_seen', 0)}",
+        f"  requests:      {rollup.get('requests_total', 0)} scored in "
+        f"{rollup.get('batches_total', 0)} batch(es)",
+        f"  watermark:     day {rollup.get('watermark', -1)}",
+    ]
+    guard = rollup.get("guard") or {}
+    if guard:
+        lines.append(
+            f"  guard:         {guard.get('admitted', 0)} admitted, "
+            f"{guard.get('duplicates_dropped', 0)} duplicate(s), "
+            f"{guard.get('dead_lettered', 0)} dead-lettered, "
+            f"{guard.get('shed', 0)} shed"
+        )
+    slo = rollup.get("slo") or {}
+    if slo:
+        lines.append(f"  slo:           {slo.get('state', '?')} (worst shard)")
+    plane = rollup.get("plane") or {}
+    if plane:
+        lines.append(
+            f"  plane:         {plane.get('n_shards', '?')} shard(s) over "
+            f"{plane.get('n_rows', '?')} stream row(s)"
+        )
+    for name, shard in sorted((rollup.get("shards") or {}).items()):
+        marker = " " if shard.get("exit_code", 0) == 0 else "!"
+        detail = shard.get("shard") or {}
+        extra = ""
+        if detail.get("restored"):
+            extra = (
+                f", restored (+{detail.get('tail_replayed', 0)} tail "
+                "event(s))"
+            )
+        lines.append(
+            f"  {marker} {name}: {shard.get('health', '?')}, "
+            f"{shard.get('events_seen', 0)} seen, "
+            f"{shard.get('requests_total', 0)} scored{extra}"
+        )
+    return "\n".join(lines)
 
 
 def render_status(status: Mapping[str, Any]) -> str:

@@ -1,0 +1,214 @@
+"""Seeded synthetic-traffic generator for serving benchmarks.
+
+"Heavy traffic" is only a claim until it is a reproducible benchmark.
+This module follows the AsyncFlow request-generator contract (see
+SNIPPETS.md, Snippet 3): a closed set of distribution names, a validated
+random-variable config, and a seeded arrival process — so a benchmark
+run is fully determined by ``(trace, LoadProfile)`` and two runs with
+the same profile replay the exact same burst schedule.
+
+The generator does not fabricate telemetry.  It re-chunks an existing
+(drive, age)-sorted trace into *arrival bursts* whose sizes are drawn
+from the configured distribution: each burst models the batch of events
+one collector flush delivers to the scoring tier.  Scores are per-row,
+so burst boundaries never change output bytes — only the batching
+pattern the engine has to absorb, which is exactly what a throughput
+benchmark should vary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+import numpy as np
+
+__all__ = [
+    "Distribution",
+    "RVConfig",
+    "LoadProfile",
+    "arrival_sizes",
+    "burst_chunks",
+    "burst_slices",
+]
+
+
+class Distribution(str, Enum):
+    """Canonical names of the supported arrival-size distributions."""
+
+    CONSTANT = "constant"
+    POISSON = "poisson"
+    NORMAL = "normal"
+    LOG_NORMAL = "log_normal"
+    EXPONENTIAL = "exponential"
+
+
+@dataclass(frozen=True)
+class RVConfig:
+    """A validated random-variable configuration.
+
+    ``mean`` is the expected burst size in events.  ``variance``
+    defaults to ``mean`` for the two-parameter distributions (normal,
+    log-normal) and must be omitted for the one-parameter ones — a typo
+    like ``distribution="Poisson"`` raises instead of silently falling
+    back.
+    """
+
+    mean: float
+    distribution: Distribution = Distribution.POISSON
+    variance: float | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.mean, bool) or not isinstance(self.mean, (int, float)):
+            raise ValueError("mean must be a number (int or float)")
+        object.__setattr__(self, "mean", float(self.mean))
+        if not np.isfinite(self.mean) or self.mean <= 0:
+            raise ValueError("mean must be a positive finite number")
+        dist = Distribution(self.distribution)
+        object.__setattr__(self, "distribution", dist)
+        two_param = dist in (Distribution.NORMAL, Distribution.LOG_NORMAL)
+        if self.variance is None:
+            if two_param:
+                object.__setattr__(self, "variance", self.mean)
+        else:
+            if not two_param:
+                raise ValueError(
+                    f"variance is not a parameter of {dist.value!r} arrivals"
+                )
+            v = float(self.variance)
+            if not np.isfinite(v) or v < 0:
+                raise ValueError("variance must be a non-negative finite number")
+            object.__setattr__(self, "variance", v)
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` burst sizes (``int64``, each >= 1)."""
+        d = self.distribution
+        if d is Distribution.CONSTANT:
+            draws = np.full(n, self.mean)
+        elif d is Distribution.POISSON:
+            draws = rng.poisson(self.mean, size=n)
+        elif d is Distribution.EXPONENTIAL:
+            draws = rng.exponential(self.mean, size=n)
+        elif d is Distribution.NORMAL:
+            draws = rng.normal(self.mean, np.sqrt(self.variance or 0.0), size=n)
+        else:  # log-normal: solve (mu, sigma) from the arithmetic moments
+            var = self.variance or 0.0
+            sigma2 = np.log1p(var / (self.mean**2))
+            mu = np.log(self.mean) - sigma2 / 2.0
+            draws = rng.lognormal(mu, np.sqrt(sigma2), size=n)
+        return np.maximum(np.rint(draws), 1).astype(np.int64)
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """A fully seeded traffic profile: arrival process + RNG seed."""
+
+    arrival: RVConfig
+    seed: int = 0
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "mean": self.arrival.mean,
+            "distribution": self.arrival.distribution.value,
+            "seed": int(self.seed),
+        }
+        if self.arrival.variance is not None:
+            payload["variance"] = self.arrival.variance
+        return payload
+
+    @classmethod
+    def from_dict(cls, body: Mapping) -> "LoadProfile":
+        """Inverse of :meth:`to_dict` (profiles ride plan dicts and JSON)."""
+        dist = Distribution(body["distribution"])
+        kwargs: dict = {"mean": body["mean"], "distribution": dist}
+        if dist in (Distribution.NORMAL, Distribution.LOG_NORMAL):
+            kwargs["variance"] = body.get("variance")
+        return cls(RVConfig(**kwargs), seed=int(body.get("seed", 0)))
+
+
+def arrival_sizes(n_events: int, profile: LoadProfile) -> np.ndarray:
+    """Burst sizes covering exactly ``n_events`` events.
+
+    Sizes are drawn in blocks from a ``default_rng(seed)`` stream until
+    the running total covers the trace; the final burst is truncated so
+    the sizes sum to ``n_events`` exactly.  Deterministic in
+    ``(n_events, profile)``.
+    """
+    if n_events < 0:
+        raise ValueError("n_events must be >= 0")
+    if n_events == 0:
+        return np.zeros(0, dtype=np.int64)
+    rng = np.random.default_rng(profile.seed)
+    block = max(int(np.ceil(n_events / max(profile.arrival.mean, 1.0))) + 16, 64)
+    sizes: list[np.ndarray] = []
+    total = 0
+    while total < n_events:
+        draw = profile.arrival.sample(rng, block)
+        sizes.append(draw)
+        total += int(draw.sum())
+    flat = np.concatenate(sizes)
+    cum = np.cumsum(flat)
+    stop = int(np.searchsorted(cum, n_events))
+    flat = flat[: stop + 1].copy()
+    flat[-1] -= int(cum[stop]) - n_events
+    return flat[flat > 0]
+
+
+def burst_slices(n_events: int, profile: LoadProfile) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` row slices, one per arrival burst."""
+    pos = 0
+    for size in arrival_sizes(n_events, profile):
+        yield pos, pos + int(size)
+        pos += int(size)
+
+
+def burst_chunks(
+    chunks: Iterable[Mapping[str, np.ndarray]],
+    n_events: int,
+    profile: LoadProfile,
+) -> Iterator[dict[str, np.ndarray]]:
+    """Re-slice a column-chunk stream into arrival-burst-sized chunks.
+
+    Feeds a fixed-size chunk iterator (e.g.
+    :func:`repro.data.io.iter_drive_day_chunks`) through the profile's
+    burst schedule: each yielded chunk holds exactly one burst's rows,
+    preserving stream order.  Raises if the stream runs short of
+    ``n_events`` — a load profile sized for a different trace is a
+    configuration error, not a quiet truncation.
+    """
+    it = iter(chunks)
+    buf: list[dict[str, np.ndarray]] = []
+    buffered = 0
+    for size in arrival_sizes(n_events, profile):
+        size = int(size)
+        while buffered < size:
+            try:
+                chunk = next(it)
+            except StopIteration:
+                raise ValueError(
+                    f"burst schedule expects {n_events} event(s) but the "
+                    f"stream ended {size - buffered} short"
+                ) from None
+            chunk = {k: np.asarray(v) for k, v in chunk.items()}
+            buf.append(chunk)
+            buffered += len(chunk["drive_id"])
+        parts: dict[str, list[np.ndarray]] = {k: [] for k in buf[0]}
+        need = size
+        while need:
+            head = buf[0]
+            have = len(head["drive_id"])
+            take = min(need, have)
+            for key, col in head.items():
+                parts[key].append(col[:take])
+            if take == have:
+                buf.pop(0)
+            else:
+                buf[0] = {k: v[take:] for k, v in head.items()}
+            need -= take
+            buffered -= take
+        yield {
+            k: (np.concatenate(v) if len(v) > 1 else v[0])
+            for k, v in parts.items()
+        }

@@ -1,0 +1,159 @@
+"""The warm pool (repro.parallel.persistent) and its scoring integration.
+
+The pool exists to amortize per-chunk model pickling in the serve replay
+loop, so the tests pin the two things that matter: reuse (one install,
+many runs) and byte-identity with the per-call path (pooled scoring can
+never change the scores).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.parallel import WorkerCrash
+from repro.parallel.persistent import PersistentPool
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+fork_only = pytest.mark.skipif(
+    not HAVE_FORK, reason="warm pool workers ride the fork start method"
+)
+
+
+# ---------------------------------------------------------------- worker fns
+
+_installed = {"token": None}
+
+
+def _install(token):
+    _installed["token"] = token
+
+
+def _echo_token(x):
+    return (_installed["token"], x)
+
+
+def _double(x):
+    return 2 * x
+
+
+def _boom(x):
+    raise ValueError(f"bad task {x}")
+
+
+# ---------------------------------------------------------------- pool tests
+
+
+class TestPersistentPool:
+    def test_results_in_task_order(self):
+        with PersistentPool(workers=2) as pool:
+            assert pool.run(_double, list(range(10))) == [
+                2 * x for x in range(10)
+            ]
+
+    def test_initializer_state_reused_across_runs(self):
+        with PersistentPool(
+            workers=2, initializer=_install, initargs=("warm",)
+        ) as pool:
+            first = pool.run(_echo_token, [1, 2, 3, 4])
+            second = pool.run(_echo_token, [5, 6])
+        # Every task saw the installed state, on both calls — the state
+        # survived between run() calls without re-shipping.
+        assert first == [("warm", x) for x in (1, 2, 3, 4)]
+        assert second == [("warm", x) for x in (5, 6)]
+
+    def test_serial_fallback_matches(self):
+        with PersistentPool(
+            workers=1, initializer=_install, initargs=("solo",)
+        ) as pool:
+            assert not pool.parallel
+            assert pool.run(_echo_token, [7]) == [("solo", 7)]
+
+    def test_unpicklable_initializer_falls_back_serial(self):
+        token = lambda: None  # unpicklable initargs force the serial path
+
+        with PersistentPool(
+            workers=2, initializer=_install, initargs=(token,)
+        ) as pool:
+            out = pool.run(_echo_token, [1])
+            assert not pool.parallel
+        assert out == [(token, 1)]
+
+    def test_task_error_surfaces_as_worker_crash(self):
+        with PersistentPool(workers=2) as pool:
+            with pytest.raises(WorkerCrash, match="bad task"):
+                pool.run(_boom, [0])
+
+    def test_use_after_close_raises(self):
+        pool = PersistentPool(workers=2)
+        pool.close()
+        with pytest.raises(WorkerCrash, match="close"):
+            pool.run(_double, [1])
+
+    def test_close_is_idempotent(self):
+        pool = PersistentPool(workers=2)
+        pool.run(_double, [1])
+        pool.close()
+        pool.close()
+
+    def test_empty_task_list(self):
+        with PersistentPool(workers=2) as pool:
+            assert pool.run(_double, []) == []
+
+
+# ------------------------------------------------------- scoring integration
+
+
+class TestScoringPool:
+    def test_pooled_scoring_is_byte_identical(self, serve_predictor, bench_xy):
+        X, ages = bench_xy
+        baseline = serve_predictor.predict_proba_matrix(X, ages, workers=1)
+        with serve_predictor.scoring_pool(workers=2) as pool:
+            pooled_a = serve_predictor.predict_proba_matrix(X, ages, pool=pool)
+            pooled_b = serve_predictor.predict_proba_matrix(X, ages, pool=pool)
+        assert np.array_equal(pooled_a, baseline)
+        assert np.array_equal(pooled_b, baseline)
+
+    def test_engine_replay_with_warm_pool_matches(self, serve_predictor, bench_trace):
+        from repro.serve import ScoringEngine
+
+        offline = serve_predictor.predict_proba_records(bench_trace.records)
+        engine = ScoringEngine(serve_predictor, workers=2)
+        try:
+            result = engine.replay(bench_trace.records, chunk_rows=512)
+        finally:
+            engine.close()
+        assert engine._scoring_pool is None  # close() reaped it
+        assert np.array_equal(result.probability, offline)
+
+
+@pytest.fixture(scope="module")
+def bench_trace():
+    from repro.simulator import FleetConfig, simulate_fleet
+
+    return simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=8,
+            horizon_days=200,
+            deploy_spread_days=100,
+            seed=21,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def serve_predictor(bench_trace):
+    from repro.core import FailurePredictor
+
+    return FailurePredictor(lookahead=7, seed=3).fit(bench_trace)
+
+
+@pytest.fixture(scope="module")
+def bench_xy(bench_trace, serve_predictor):
+    from repro.core import build_prediction_dataset
+
+    dataset = build_prediction_dataset(bench_trace, lookahead=7)
+    return dataset.X, dataset.age_days

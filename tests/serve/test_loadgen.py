@@ -1,0 +1,123 @@
+"""The synthetic-traffic generator: validation, determinism, coverage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve.loadgen import (
+    Distribution,
+    LoadProfile,
+    RVConfig,
+    arrival_sizes,
+    burst_chunks,
+    burst_slices,
+)
+
+
+class TestRVConfig:
+    def test_rejects_non_numeric_mean(self):
+        with pytest.raises(ValueError, match="number"):
+            RVConfig(mean="many")
+
+    def test_rejects_bool_mean(self):
+        # bool is an int subclass; a config of mean=True is a bug.
+        with pytest.raises(ValueError, match="number"):
+            RVConfig(mean=True)
+
+    @pytest.mark.parametrize("mean", [0, -3, float("inf"), float("nan")])
+    def test_rejects_non_positive_mean(self, mean):
+        with pytest.raises(ValueError, match="positive"):
+            RVConfig(mean=mean)
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            RVConfig(mean=8, distribution="Poisson")  # case-sensitive
+
+    def test_variance_rejected_for_one_param_distributions(self):
+        with pytest.raises(ValueError, match="variance"):
+            RVConfig(mean=8, distribution=Distribution.POISSON, variance=2.0)
+
+    def test_variance_defaults_to_mean_for_two_param(self):
+        cfg = RVConfig(mean=8, distribution=Distribution.LOG_NORMAL)
+        assert cfg.variance == 8.0
+
+    @pytest.mark.parametrize("d", list(Distribution))
+    def test_samples_are_positive_ints(self, d):
+        variance = 4.0 if d in (Distribution.NORMAL, Distribution.LOG_NORMAL) else None
+        cfg = RVConfig(mean=5, distribution=d, variance=variance)
+        draws = cfg.sample(np.random.default_rng(0), 500)
+        assert draws.dtype == np.int64
+        assert draws.min() >= 1
+
+    def test_log_normal_hits_requested_mean(self):
+        cfg = RVConfig(mean=100, distribution=Distribution.LOG_NORMAL, variance=900)
+        draws = cfg.sample(np.random.default_rng(1), 20_000)
+        assert abs(draws.mean() - 100) < 5
+
+
+class TestLoadProfile:
+    def test_dict_round_trip(self):
+        profile = LoadProfile(
+            RVConfig(mean=64, distribution=Distribution.LOG_NORMAL, variance=100),
+            seed=7,
+        )
+        assert LoadProfile.from_dict(profile.to_dict()) == profile
+
+    def test_dict_round_trip_one_param(self):
+        profile = LoadProfile(RVConfig(mean=32), seed=3)
+        assert LoadProfile.from_dict(profile.to_dict()) == profile
+
+
+class TestArrivalSizes:
+    def test_sizes_cover_exactly(self):
+        profile = LoadProfile(RVConfig(mean=37), seed=5)
+        sizes = arrival_sizes(10_000, profile)
+        assert int(sizes.sum()) == 10_000
+        assert sizes.min() >= 1
+
+    def test_deterministic_in_profile(self):
+        profile = LoadProfile(RVConfig(mean=37), seed=5)
+        np.testing.assert_array_equal(
+            arrival_sizes(5000, profile), arrival_sizes(5000, profile)
+        )
+
+    def test_seed_changes_schedule(self):
+        a = arrival_sizes(5000, LoadProfile(RVConfig(mean=37), seed=5))
+        b = arrival_sizes(5000, LoadProfile(RVConfig(mean=37), seed=6))
+        assert not np.array_equal(a, b)
+
+    def test_zero_events(self):
+        assert len(arrival_sizes(0, LoadProfile(RVConfig(mean=8)))) == 0
+
+    def test_slices_tile_the_stream(self):
+        profile = LoadProfile(RVConfig(mean=11), seed=2)
+        slices = list(burst_slices(1000, profile))
+        assert slices[0][0] == 0
+        assert slices[-1][1] == 1000
+        for (_, stop), (start, _) in zip(slices, slices[1:]):
+            assert stop == start
+
+
+class TestBurstChunks:
+    def _chunks(self, n, size):
+        ids = np.arange(n, dtype=np.int64)
+        for lo in range(0, n, size):
+            yield {"drive_id": ids[lo : lo + size], "x": ids[lo : lo + size] * 2}
+
+    def test_rechunks_preserving_order(self):
+        profile = LoadProfile(RVConfig(mean=13), seed=4)
+        out = list(burst_chunks(self._chunks(1000, 128), 1000, profile))
+        sizes = arrival_sizes(1000, profile)
+        assert [len(c["drive_id"]) for c in out] == sizes.tolist()
+        np.testing.assert_array_equal(
+            np.concatenate([c["drive_id"] for c in out]), np.arange(1000)
+        )
+        np.testing.assert_array_equal(
+            np.concatenate([c["x"] for c in out]), np.arange(1000) * 2
+        )
+
+    def test_short_stream_raises(self):
+        profile = LoadProfile(RVConfig(mean=13), seed=4)
+        with pytest.raises(ValueError, match="short"):
+            list(burst_chunks(self._chunks(500, 128), 1000, profile))
