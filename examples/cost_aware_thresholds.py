@@ -10,7 +10,10 @@ spare drive plus a technician visit).  This example:
 1. cross-validates the forest to obtain honest out-of-fold scores;
 2. sweeps several miss/false-alarm cost ratios and picks the
    cost-minimizing threshold for each (`repro.core.select_threshold`);
-3. shows the same choice under a hard false-positive-rate budget.
+3. lifts each chosen operating point into a fleet policy
+   (`ThresholdPolicy.from_choice`) and prices it on an unseen fleet with
+   `repro.fleet.run_whatif` — closing the loop from validation-set
+   threshold selection to fleet-level cost accounting.
 
 Run:  python examples/cost_aware_thresholds.py
 """
@@ -18,36 +21,44 @@ Run:  python examples/cost_aware_thresholds.py
 from __future__ import annotations
 
 from repro.core import (
+    FailurePredictor,
     build_prediction_dataset,
     default_model_zoo,
     evaluate_model,
     select_threshold,
 )
+from repro.fleet import ActionCosts, ThresholdPolicy, run_whatif
 from repro.simulator import FleetConfig, simulate_fleet
 
 COST_RATIOS = (5.0, 50.0, 500.0)  # missed-failure cost / false-alarm cost
+LOOKAHEAD = 3
+
+
+def simulate(seed: int):
+    return simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=150,
+            horizon_days=1095,
+            deploy_spread_days=500,
+            seed=seed,
+        )
+    )
 
 
 def main() -> None:
     print("Simulating fleet ...")
-    trace = simulate_fleet(
-        FleetConfig(
-            n_drives_per_model=300,
-            horizon_days=1460,
-            deploy_spread_days=700,
-            seed=99,
-        )
-    )
+    trace = simulate(seed=99)
     print(" ", trace.summary())
 
-    print("\nCross-validating the forest (N = 3 days) for honest scores ...")
-    dataset = build_prediction_dataset(trace, lookahead=3)
+    print(f"\nCross-validating the forest (N = {LOOKAHEAD} days) for honest scores ...")
+    dataset = build_prediction_dataset(trace, lookahead=LOOKAHEAD)
     spec = default_model_zoo(seed=0)[-1]
     result = evaluate_model(dataset, spec, n_splits=4, seed=0)
     print(f"  out-of-fold AUC: {result.mean_auc:.3f} ± {result.std_auc:.3f}")
 
     print("\nCost-minimizing thresholds per cost ratio:")
     print(f"  {'miss:false':>12s} {'threshold':>10s} {'TPR':>6s} {'FPR':>9s}")
+    choices = []
     for ratio in COST_RATIOS:
         choice = select_threshold(
             result.oof_true,
@@ -55,25 +66,54 @@ def main() -> None:
             miss_cost=ratio,
             false_alarm_cost=1.0,
         )
+        choices.append((ratio, choice))
         print(
             f"  {ratio:>10.0f}:1 {choice.threshold:>10.3f} "
             f"{choice.tpr:>6.2f} {choice.fpr:>9.5f}"
         )
 
     print("\nWith a hard FPR budget of 0.1% (replacement quota):")
-    choice = select_threshold(
+    budgeted = select_threshold(
         result.oof_true,
         result.oof_score,
         miss_cost=500.0,
         false_alarm_cost=1.0,
         max_fpr=0.001,
     )
-    print(f"  {choice}")
+    print(f"  {budgeted}")
+
+    # --- Close the loop: lift each operating point into a fleet policy
+    # and price it on a fleet the threshold was not selected on.
+    print("\nPricing each operating point on an unseen fleet (what-if replay):")
+    field = simulate(seed=77)
+    predictor = FailurePredictor(lookahead=LOOKAHEAD, seed=0).fit(trace)
+    probs = predictor.predict_proba_records(field.records)
+
+    header = (
+        f"  {'miss:false':>12s} {'replace_at':>11s} {'caught':>7s} "
+        f"{'missed':>7s} {'false':>6s} {'cost':>9s} {'savings':>9s}"
+    )
+    print(header)
+    for ratio, choice in choices:
+        # Price the fleet in the same units the threshold was chosen in:
+        # one false alarm = one replacement, a miss costs `ratio` of that.
+        policy = ThresholdPolicy.from_choice(
+            choice,
+            costs=ActionCosts(replace=1.0, quarantine=0.2, miss=ratio),
+        )
+        report, _ = run_whatif(field, policy, probs=probs)
+        print(
+            f"  {ratio:>10.0f}:1 {policy.replace_at:>11.3f} "
+            f"{report.caught:>7d} {report.missed:>7d} "
+            f"{report.false_replacements:>6d} {report.total_cost:>9.1f} "
+            f"{report.savings:>9.1f}"
+        )
 
     print(
         "\nReading: cheap spares push the threshold down (catch everything);"
         "\nexpensive field service pushes it toward the paper's conservative"
-        "\nalpha ~ 0.9+ regime."
+        "\nalpha ~ 0.9+ regime.  The what-if rows show the same economics at"
+        "\nfleet granularity, priced by the audit-journaled decision loop."
     )
 
 

@@ -19,6 +19,27 @@ from ..ml import roc_curve
 __all__ = ["ThresholdChoice", "select_threshold", "expected_cost_curve"]
 
 
+def _check_scores(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate the labels/scores pair before the ROC sweep.
+
+    Raises a plain-language :class:`ValueError` instead of letting the
+    length mismatch or an empty sweep surface as an opaque numpy
+    broadcasting error deep inside :func:`repro.ml.roc_curve`.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_score = np.asarray(y_score, dtype=np.float64).ravel()
+    if y_true.size == 0:
+        raise ValueError("y_true/y_score must be non-empty")
+    if y_true.size != y_score.size:
+        raise ValueError(
+            f"y_true has {y_true.size} samples but y_score has "
+            f"{y_score.size}; they must align elementwise"
+        )
+    return y_true, y_score
+
+
 @dataclass(frozen=True)
 class ThresholdChoice:
     """A selected operating point on the ROC curve."""
@@ -50,7 +71,7 @@ def expected_cost_curve(
     """
     if miss_cost <= 0 or false_alarm_cost <= 0:
         raise ValueError("costs must be positive")
-    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_true, y_score = _check_scores(y_true, y_score)
     fpr, tpr, thresholds = roc_curve(y_true, y_score)
     pi = y_true.mean()  # positive prevalence
     costs = miss_cost * pi * (1.0 - tpr) + false_alarm_cost * (1.0 - pi) * fpr
@@ -79,6 +100,7 @@ def select_threshold(
         Optional hard cap on the false positive rate (operators often have
         a replacement budget regardless of cost ratios).
     """
+    y_true, y_score = _check_scores(y_true, y_score)
     fpr, tpr, thresholds = roc_curve(y_true, y_score)
     _, costs = expected_cost_curve(y_true, y_score, miss_cost, false_alarm_cost)
     feasible = np.ones_like(costs, dtype=bool)

@@ -1,0 +1,438 @@
+"""What-if policy replay: run a policy against a trace, price the outcome.
+
+Pinciroli et al. (PAPERS.md) show decision quality degrades silently as
+fleets drift — so a policy must be priced against recorded history
+*before* it is activated.  This module is that harness, and it is also
+the production decision loop: ``fleet run`` and ``fleet whatif`` both
+drive a :class:`PolicyRunner`, so the journal a what-if produces is
+byte-for-byte the journal the live run would have produced on the same
+admitted telemetry.
+
+Determinism is structural, not incidental:
+
+- scored events are buffered and **sorted by (day, drive_id, age)**
+  before any decision — arrival order (worker count, batch split, chunk
+  size, chaos reordering) never changes what the policy sees, only
+  *admission* does (the chaos story: a diverted event is genuinely
+  missing information, and the report prices the consequences);
+- the decision clock is **logical**: journal entries carry
+  ``ts = float(day)``, so two runs of the same policy on the same trace
+  are byte-identical with no environment pinning at all;
+- scores come from :meth:`FailurePredictor.predict_proba_records`,
+  which is byte-identical at any worker count.
+
+The cost model mirrors :func:`repro.core.expected_cost_curve` at fleet
+granularity: every applied action is priced at decision time
+(:class:`~repro.fleet.policy.ActionCosts`), every failure the policy
+failed to remove in time is priced at the miss cost, and the baseline
+is the do-nothing fleet (every failure a miss) — ``savings`` is what
+the policy is worth against that baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..obs import metrics, tracing
+from ..obs import timeline as obs_timeline
+from .actions import Actuator, FleetState
+from .audit import AuditEntry, AuditJournal
+from .health import FleetHealth, RiskPolicy
+from .policy import BasePolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simulator.fleet import FleetTrace
+
+__all__ = [
+    "PolicyRunner",
+    "RunOutcome",
+    "GroundTruth",
+    "ground_truth",
+    "WhatIfReport",
+    "evaluate_outcome",
+    "run_whatif",
+]
+
+#: Days before a failure during which an in-service drive counts as
+#: exposure (``drive_days_at_risk``) — two weeks, the paper's Section 5
+#: lead-time horizon.
+DEFAULT_AT_RISK_WINDOW = 14
+
+
+@dataclass
+class RunOutcome:
+    """Everything one policy run produced (state + audit trail)."""
+
+    state: FleetState
+    health: FleetHealth
+    entries: list[AuditEntry]
+    n_events: int = 0
+    n_days: int = 0
+    n_actions: int = 0
+    n_rejected: int = 0
+    #: Hash-chain head of the journal (GENESIS when nothing was applied).
+    chain: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_events": self.n_events,
+            "n_days": self.n_days,
+            "n_actions": self.n_actions,
+            "n_rejected": self.n_rejected,
+            "chain": self.chain,
+            "state_digest": self.state.digest(),
+            "health_digest": self.health.state_digest(),
+        }
+
+
+class PolicyRunner:
+    """Buffer scored events, then decide day by day in canonical order.
+
+    ``feed``/``feed_event`` accept scored telemetry in *any* order;
+    :meth:`finalize` sorts by ``(day, drive_id, age)``, folds each day
+    into the :class:`~repro.fleet.health.FleetHealth` registry, asks the
+    policy for that day's actions against the day's
+    :class:`~repro.fleet.health.FleetView`, and applies them through a
+    non-strict :class:`~repro.fleet.actions.Actuator` (a policy deciding
+    from a view may re-propose an action a prior day made moot).  Every
+    applied action lands in the journal with the *decision day* as its
+    timestamp — logical time, so journals are byte-deterministic.
+    """
+
+    def __init__(
+        self,
+        policy: BasePolicy,
+        journal: AuditJournal | None = None,
+        risk: RiskPolicy | None = None,
+    ):
+        self.policy = policy
+        self.journal = journal
+        self.health = FleetHealth(risk)
+        self.actuator = Actuator(journal=journal, strict=False)
+        self._events: list[tuple[int, int, int, float]] = []
+
+    def feed_event(
+        self, drive_id: int, age_days: int, day: int, probability: float
+    ) -> None:
+        """Buffer one scored event for the decision pass."""
+        self._events.append(
+            (int(day), int(drive_id), int(age_days), float(probability))
+        )
+
+    def feed(
+        self,
+        drive_ids: np.ndarray,
+        ages: np.ndarray,
+        days: np.ndarray,
+        probs: np.ndarray,
+    ) -> None:
+        """Buffer one scored column chunk (the serving tap's shape)."""
+        n = len(drive_ids)
+        if not (len(ages) == len(days) == len(probs) == n):
+            raise ValueError("feed needs same-length columns")
+        for i in range(n):
+            self._events.append(
+                (
+                    int(days[i]),
+                    int(drive_ids[i]),
+                    int(ages[i]),
+                    float(probs[i]),
+                )
+            )
+
+    def finalize(self) -> RunOutcome:
+        """Run the buffered events through the policy, day by day."""
+        events = sorted(self._events)
+        self._events = []
+        entries: list[AuditEntry] = []
+        n_days = 0
+        i = 0
+        n = len(events)
+        with tracing.span("repro.fleet.decide", rows_in=n) as sp:
+            while i < n:
+                day = events[i][0]
+                j = i
+                while j < n and events[j][0] == day:
+                    d, drive, age, p = events[j]
+                    self.health.observe(drive, age, p, d)
+                    j += 1
+                view = self.health.view(day)
+                actions = self.policy.decide(view, self.actuator.state, day)
+                for action in actions:
+                    entry = self.actuator.apply(action, ts=float(day))
+                    if entry is not None:
+                        entries.append(entry)
+                n_days += 1
+                metrics.inc(
+                    "repro_fleet_decision_days_total",
+                    help="Decision days the policy runner evaluated",
+                )
+                # Advance the timeline watermark without inflating event
+                # counts (the scoring plane already counted arrivals);
+                # window closes capture the repro_fleet_* counter deltas.
+                obs_timeline.record(0, watermark=day)
+                i = j
+            sp.set(rows_out=len(entries))
+        state = self.actuator.state
+        metrics.set_gauge(
+            "repro_fleet_drives_quarantined",
+            float(state.count("quarantined")),
+            help="Drives currently quarantined by the fleet autopilot",
+        )
+        metrics.set_gauge(
+            "repro_fleet_cost_total",
+            float(state.cost_total),
+            help="Cumulative attributed cost of applied fleet actions",
+        )
+        return RunOutcome(
+            state=state,
+            health=self.health,
+            entries=entries,
+            n_events=n,
+            n_days=n_days,
+            n_actions=len(entries),
+            n_rejected=self.actuator.rejected_total,
+            chain=self.journal.chain if self.journal is not None else "",
+        )
+
+
+# --------------------------------------------------------------------------
+# ground truth & the cost report
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """What actually happened to each drive, from the simulator tables."""
+
+    #: drive_id -> calendar day of the drive's *first* failure.
+    fail_day: dict[int, int]
+    #: drive_id -> deployment day.
+    deploy_day: dict[int, int]
+    #: drive_id -> last observed calendar day.
+    end_day: dict[int, int]
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.fail_day)
+
+
+def ground_truth(trace: "FleetTrace") -> GroundTruth:
+    """Derive per-drive failure days from the drive and swap tables.
+
+    A drive's failure day is its deployment day plus the age of its
+    first failure — the same arithmetic the labeling pipeline uses, so
+    what-if reports and training labels agree on what a miss is.
+    """
+    drives = trace.drives
+    deploy = {
+        int(drives.drive_id[i]): int(drives.deploy_day[i])
+        for i in range(len(drives.drive_id))
+    }
+    end = {
+        int(drives.drive_id[i]): int(drives.deploy_day[i])
+        + int(drives.end_of_observation_age[i])
+        for i in range(len(drives.drive_id))
+    }
+    swaps = trace.swaps
+    fail: dict[int, int] = {}
+    for i in range(len(swaps.drive_id)):
+        drive = int(swaps.drive_id[i])
+        day = deploy[drive] + int(swaps.failure_age[i])
+        if drive not in fail or day < fail[drive]:
+            fail[drive] = day
+    return GroundTruth(fail_day=fail, deploy_day=deploy, end_day=end)
+
+
+@dataclass
+class WhatIfReport:
+    """Cost/availability deltas of one policy over one trace.
+
+    ``caught`` failures are drives out of service (quarantined or
+    replaced) strictly before their failure day; everything else is a
+    ``missed`` failure priced at the miss cost.  ``false_replacements``
+    are spares burned on drives that never fail in the observation
+    window.  ``drive_days_at_risk`` counts in-service days of failing
+    drives within the final ``at_risk_window`` days before failure —
+    the exposure a faster policy would have removed.  The baseline is
+    the do-nothing fleet: every failure a miss, zero action cost.
+    """
+
+    policy: dict[str, Any] = field(default_factory=dict)
+    n_drives: int = 0
+    n_failures: int = 0
+    caught: int = 0
+    missed: int = 0
+    false_replacements: int = 0
+    spares_used: int = 0
+    drive_days_at_risk: int = 0
+    quarantine_drive_days: int = 0
+    at_risk_window: int = DEFAULT_AT_RISK_WINDOW
+    by_action: dict[str, int] = field(default_factory=dict)
+    action_cost: float = 0.0
+    miss_cost: float = 0.0
+    total_cost: float = 0.0
+    baseline_cost: float = 0.0
+    savings: float = 0.0
+    outcome: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "policy": self.policy,
+            "n_drives": self.n_drives,
+            "n_failures": self.n_failures,
+            "caught": self.caught,
+            "missed": self.missed,
+            "false_replacements": self.false_replacements,
+            "spares_used": self.spares_used,
+            "drive_days_at_risk": self.drive_days_at_risk,
+            "quarantine_drive_days": self.quarantine_drive_days,
+            "at_risk_window": self.at_risk_window,
+            "by_action": dict(sorted(self.by_action.items())),
+            "action_cost": self.action_cost,
+            "miss_cost": self.miss_cost,
+            "total_cost": self.total_cost,
+            "baseline_cost": self.baseline_cost,
+            "savings": self.savings,
+            "outcome": self.outcome,
+        }
+
+
+#: Statuses that count as "out of service" for miss/exposure accounting.
+_REMOVED = frozenset({"quarantined", "replaced"})
+
+
+def _status_timeline(
+    entries: list[AuditEntry],
+) -> dict[int, list[tuple[int, str]]]:
+    """Per-drive ``(day, status)`` transitions, in applied order."""
+    out: dict[int, list[tuple[int, str]]] = {}
+    for entry in entries:
+        out.setdefault(int(entry.drive_id), []).append(
+            (int(entry.day), entry.new_status)
+        )
+    return out
+
+
+def _status_on(timeline: list[tuple[int, str]], day: int) -> str:
+    """Status at the end of ``day`` (``active`` before any action)."""
+    status = "active"
+    for d, s in timeline:
+        if d > day:
+            break
+        status = s
+    return status
+
+
+def evaluate_outcome(
+    outcome: RunOutcome,
+    truth: GroundTruth,
+    policy: BasePolicy,
+    at_risk_window: int = DEFAULT_AT_RISK_WINDOW,
+) -> WhatIfReport:
+    """Price one run outcome against the ground truth (pure function)."""
+    if at_risk_window < 1:
+        raise ValueError("at_risk_window must be >= 1")
+    timelines = _status_timeline(outcome.entries)
+    costs = policy.costs
+    report = WhatIfReport(
+        policy=policy.spec(),
+        n_drives=len(truth.deploy_day),
+        n_failures=truth.n_failures,
+        at_risk_window=at_risk_window,
+        by_action=dict(sorted(outcome.state.by_action.items())),
+        spares_used=outcome.state.spares_used,
+        action_cost=float(outcome.state.cost_total),
+        outcome=outcome.to_dict(),
+    )
+    for drive, fail_day in sorted(truth.fail_day.items()):
+        tl = timelines.get(drive, [])
+        # Out of service by the end of the day before the failure day?
+        if _status_on(tl, fail_day - 1) in _REMOVED:
+            report.caught += 1
+        else:
+            report.missed += 1
+        lo = max(truth.deploy_day[drive], fail_day - at_risk_window)
+        for day in range(lo, fail_day):
+            if _status_on(tl, day) not in _REMOVED:
+                report.drive_days_at_risk += 1
+    replaced = {
+        d for d, s in outcome.state.status.items() if s == "replaced"
+    }
+    report.false_replacements = sum(
+        1 for d in replaced if d not in truth.fail_day
+    )
+    for drive, tl in sorted(timelines.items()):
+        end = min(
+            truth.end_day.get(drive, tl[-1][0]),
+            truth.fail_day.get(drive, truth.end_day.get(drive, tl[-1][0])),
+        )
+        since: int | None = None
+        for day, status in tl:
+            if status == "quarantined" and since is None:
+                since = day
+            elif status != "quarantined" and since is not None:
+                report.quarantine_drive_days += max(0, day - since)
+                since = None
+        if since is not None:
+            report.quarantine_drive_days += max(0, end - since)
+    report.miss_cost = report.missed * costs.miss
+    report.total_cost = report.action_cost + report.miss_cost
+    report.baseline_cost = report.n_failures * costs.miss
+    report.savings = report.baseline_cost - report.total_cost
+    metrics.set_gauge(
+        "repro_fleet_missed_failures",
+        float(report.missed),
+        help="Failures the evaluated policy did not remove in time",
+    )
+    return report
+
+
+def run_whatif(
+    trace: "FleetTrace",
+    policy: BasePolicy,
+    predictor: Any = None,
+    *,
+    probs: np.ndarray | None = None,
+    workers: int | None = None,
+    journal_path: Any = None,
+    risk: RiskPolicy | None = None,
+    at_risk_window: int = DEFAULT_AT_RISK_WINDOW,
+) -> tuple[WhatIfReport, RunOutcome]:
+    """Replay ``policy`` against a trace and price the outcome.
+
+    Scores come from ``probs`` when given (so a multi-policy comparison
+    scores the trace once) or from
+    ``predictor.predict_proba_records(trace.records, workers=...)`` —
+    byte-identical at any worker count, which is what makes the journal
+    at ``journal_path`` byte-deterministic.
+    """
+    records = trace.records
+    if probs is None:
+        if predictor is None:
+            raise ValueError("run_whatif needs a predictor or probs")
+        probs = predictor.predict_proba_records(records, workers=workers)
+    n_rows = len(records["drive_id"])
+    if len(probs) != n_rows:
+        raise ValueError(
+            f"probs has {len(probs)} rows, trace has {n_rows}"
+        )
+    journal = AuditJournal(journal_path) if journal_path else None
+    try:
+        runner = PolicyRunner(policy, journal=journal, risk=risk)
+        runner.feed(
+            records["drive_id"],
+            records["age_days"],
+            records["calendar_day"],
+            probs,
+        )
+        outcome = runner.finalize()
+    finally:
+        if journal is not None:
+            journal.close()
+    report = evaluate_outcome(
+        outcome, ground_truth(trace), policy, at_risk_window=at_risk_window
+    )
+    return report, outcome

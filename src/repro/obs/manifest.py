@@ -185,6 +185,10 @@ MANIFEST_SCHEMA: dict[str, Any] = {
                 "serve.publish",
                 "serve.heal",
                 "serve.shard",
+                "fleet.run",
+                "fleet.whatif",
+                "fleet.decide",
+                "fleet.audit",
             ],
         },
         "argv": {"type": "array", "items": {"type": "string"}},
@@ -253,6 +257,39 @@ MANIFEST_SCHEMA: dict[str, Any] = {
                 "breaker": {"type": "object"},
                 "dlq_path": {"type": "string"},
                 "journal_path": {"type": "string"},
+            },
+        },
+        "fleet": {
+            "type": "object",
+            "required": [
+                "policy_kind",
+                "n_events",
+                "n_days",
+                "n_actions",
+                "by_action",
+                "spares_used",
+                "cost_total",
+                "chain",
+                "state_digest",
+            ],
+            "properties": {
+                "policy_kind": {"type": "string"},
+                "n_events": {"type": "integer"},
+                "n_days": {"type": "integer"},
+                "n_actions": {"type": "integer"},
+                "n_rejected": {"type": "integer"},
+                "reverts": {"type": "integer"},
+                "by_action": {"type": "object"},
+                "spares_used": {"type": "integer"},
+                "cost_total": {"type": "number"},
+                "chain": {"type": "string"},
+                "state_digest": {"type": "string"},
+                "health_digest": {"type": "string"},
+                "journal_path": {"type": "string"},
+                "caught": {"type": "integer"},
+                "missed": {"type": "integer"},
+                "false_replacements": {"type": "integer"},
+                "savings": {"type": "number"},
             },
         },
         "slo": {
@@ -372,6 +409,7 @@ class RunManifest:
     results: dict[str, Any] = field(default_factory=dict)
     resilience: dict[str, Any] | None = None
     serve: dict[str, Any] | None = None
+    fleet: dict[str, Any] | None = None
     slo: dict[str, Any] | None = None
     created_unix: float = field(default_factory=_created_now)
     elapsed_seconds: float = 0.0
@@ -433,6 +471,19 @@ class RunManifest:
             raise ManifestError(f"invalid serve record: {'; '.join(errors)}")
         self.serve = data
 
+    def record_fleet(self, data: dict[str, Any]) -> None:
+        """Attach a fleet-autopilot decision summary.
+
+        Plain-dict contract like :meth:`record_serve`: :mod:`repro.obs`
+        stays independent of :mod:`repro.fleet`.
+        """
+        errors = validate_manifest(
+            data, MANIFEST_SCHEMA["properties"]["fleet"], "$.fleet"
+        )
+        if errors:
+            raise ManifestError(f"invalid fleet record: {'; '.join(errors)}")
+        self.fleet = data
+
     def record_slo(self, data: dict[str, Any]) -> None:
         """Attach an SLO evaluation (an ``SloReport.to_dict()``).
 
@@ -490,6 +541,8 @@ class RunManifest:
             out["resilience"] = dict(self.resilience)
         if self.serve is not None:
             out["serve"] = dict(self.serve)
+        if self.fleet is not None:
+            out["fleet"] = dict(self.fleet)
         if self.slo is not None:
             out["slo"] = dict(self.slo)
         return out

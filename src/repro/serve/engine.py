@@ -86,6 +86,9 @@ class ScoredEvent:
     probability: float
     staleness_days: int = 0
     stale: bool = False
+    #: Calendar day the event carried (-1 when the record had none) —
+    #: the decision clock downstream consumers (``repro.fleet``) key on.
+    calendar_day: int = -1
 
 
 @dataclass(frozen=True)
@@ -149,6 +152,13 @@ class ScoringEngine:
         per-heartbeat SLO evaluation; ``None`` (default) writes nothing.
         The windowed timeline itself rides the ambient
         :func:`repro.obs.timeline.record` hook, active or not.
+    on_scored:
+        Optional scored-event tap: called after every scored batch with
+        four parallel arrays ``(drive_ids, ages, calendar_days,
+        probabilities)`` covering exactly the *accepted* events of that
+        batch, in scoring order.  This is how the fleet autopilot
+        (:mod:`repro.fleet`) rides the serving plane without the engine
+        knowing it exists.  The tap must not mutate the arrays.
     clock:
         Injectable monotonic clock (tests, deterministic replays).
     """
@@ -165,6 +175,10 @@ class ScoringEngine:
         queue_policy: QueuePolicy | None = None,
         staleness: StalenessPolicy | None = None,
         telemetry: TelemetryConfig | None = None,
+        on_scored: Callable[
+            [np.ndarray, np.ndarray, np.ndarray, np.ndarray], None
+        ]
+        | None = None,
         clock: Callable[[], float] = time.monotonic,
     ):
         names = predictor.feature_names
@@ -192,6 +206,7 @@ class ScoringEngine:
             )
         self.staleness = staleness
         self.telemetry = telemetry
+        self.on_scored = on_scored
         self.clock = clock
         self.batcher = MicroBatcher(batch_policy, clock=clock)
         self.workers = workers
@@ -481,6 +496,13 @@ class ScoringEngine:
             self.clock() - t0,
             help="Wall time of one vectorized scoring call",
         )
+        if self.on_scored is not None:
+            self.on_scored(
+                np.asarray([d for d, _, _, _ in batch], dtype=np.int64),
+                ages,
+                np.asarray([c for _, _, c, _ in batch], dtype=np.int64),
+                probs,
+            )
         out: list[ScoredEvent] = []
         for (d, a, c, _), p in zip(batch, probs):
             lag, stale = self._staleness(c)
@@ -491,6 +513,7 @@ class ScoringEngine:
                     probability=float(p),
                     staleness_days=lag,
                     stale=stale,
+                    calendar_day=c,
                 )
             )
         return out
@@ -571,6 +594,10 @@ class ScoringEngine:
                     n_diverted += adm.n_diverted
                     n_duplicates += adm.n_duplicates
                     index_parts.append(pos + adm.accepted_index)
+                    ids = np.asarray(
+                        chunk["drive_id"], dtype=np.int64
+                    )[adm.accepted_index]
+                    cals = adm.calendar_days
                     if adm.calendar_days.size:
                         top = int(adm.calendar_days.max())
                         if top > self._fleet_day:
@@ -578,8 +605,13 @@ class ScoringEngine:
                 else:
                     X = self.store.ingest_columns(chunk)
                     ages = np.asarray(chunk["age_days"], dtype=np.int64)
+                    ids = np.asarray(chunk["drive_id"], dtype=np.int64)
                     cals = chunk.get("calendar_day")
-                    if cals is not None and len(cals):
+                    if cals is None:
+                        cals = np.full(len(ids), -1, dtype=np.int64)
+                    else:
+                        cals = np.asarray(cals, dtype=np.int64)
+                    if len(cals):
                         top = int(np.max(cals))
                         if top > self._fleet_day:
                             self._fleet_day = top
@@ -591,6 +623,8 @@ class ScoringEngine:
                         probs = self._score_rows(X, ages)
                     self.batches_total += 1
                     parts.append(probs)
+                    if self.on_scored is not None:
+                        self.on_scored(ids, ages, cals, probs)
                     metrics.inc(
                         "repro_serve_batches_total",
                         help="Micro-batches scored by the engine",

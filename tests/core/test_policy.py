@@ -73,3 +73,46 @@ class TestSelectThreshold:
         choice = select_threshold(y, s, miss_cost=1e-6, false_alarm_cost=1.0)
         assert np.isfinite(choice.threshold)
         assert (s >= choice.threshold).mean() <= 0.01
+
+
+class TestInputValidation:
+    """Degenerate inputs must raise plain-language ValueErrors, not
+    opaque numpy broadcasting/reduction errors (PR-10 satellite)."""
+
+    @pytest.mark.parametrize("fn", [expected_cost_curve, select_threshold])
+    def test_length_mismatch(self, fn):
+        with pytest.raises(ValueError, match="align elementwise"):
+            fn(np.ones(3), np.linspace(0.1, 0.9, 4), 10.0, 1.0)
+
+    @pytest.mark.parametrize("fn", [expected_cost_curve, select_threshold])
+    def test_empty(self, fn):
+        with pytest.raises(ValueError, match="non-empty"):
+            fn(np.empty(0), np.empty(0), 10.0, 1.0)
+
+    @pytest.mark.parametrize("fn", [expected_cost_curve, select_threshold])
+    def test_all_positive(self, fn):
+        y = np.ones(8)
+        s = np.linspace(0.1, 0.9, 8)
+        with pytest.raises(ValueError, match="both classes"):
+            fn(y, s, 10.0, 1.0)
+
+    @pytest.mark.parametrize("fn", [expected_cost_curve, select_threshold])
+    def test_all_negative(self, fn):
+        y = np.zeros(8)
+        s = np.linspace(0.1, 0.9, 8)
+        with pytest.raises(ValueError, match="both classes"):
+            fn(y, s, 10.0, 1.0)
+
+    @pytest.mark.parametrize("fn", [expected_cost_curve, select_threshold])
+    def test_single_sample(self, fn):
+        # One sample is necessarily single-class: a clean error, not a
+        # numpy index error from a degenerate sweep.
+        with pytest.raises(ValueError):
+            fn(np.array([1.0]), np.array([0.7]), 10.0, 1.0)
+
+    def test_list_inputs_accepted(self):
+        # The validators coerce sequences, so plain lists keep working.
+        thr, costs = expected_cost_curve(
+            [0, 1, 0, 1], [0.1, 0.9, 0.2, 0.8], 10.0, 1.0
+        )
+        assert len(thr) == len(costs)

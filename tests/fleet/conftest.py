@@ -1,0 +1,37 @@
+"""Shared fixtures for the fleet-autopilot tests: one fleet, one model.
+
+Session-scoped like ``tests/serve/conftest.py`` so the simulate + fit
+cost is paid once; tests that mutate state build their own
+:class:`FleetHealth`/:class:`Actuator`/:class:`PolicyRunner` on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FailurePredictor
+from repro.simulator import FleetConfig, simulate_fleet
+
+
+@pytest.fixture(scope="session")
+def fleet_trace():
+    """~30 drives over ~10 months, same shape as the serving fixtures."""
+    return simulate_fleet(
+        FleetConfig(
+            n_drives_per_model=10,
+            horizon_days=300,
+            deploy_spread_days=150,
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def fleet_predictor(fleet_trace):
+    return FailurePredictor(lookahead=7, seed=3).fit(fleet_trace)
+
+
+@pytest.fixture(scope="session")
+def fleet_probs(fleet_trace, fleet_predictor):
+    """The batch scores every policy replay shares."""
+    return fleet_predictor.predict_proba_records(fleet_trace.records)

@@ -1,0 +1,145 @@
+"""Actuator semantics: typed transitions, reverts, exact reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import (
+    Actuator,
+    AuditJournal,
+    FleetAction,
+    FleetActionError,
+    FleetState,
+    replay_journal,
+)
+
+
+def act(action: str, drive: int, day: int = 10, cost: float = 1.0) -> FleetAction:
+    return FleetAction(
+        action=action, drive_id=drive, day=day, risk=0.9,
+        reason="test", cost=cost,
+    )
+
+
+class TestTransitions:
+    def test_full_escalation_ladder(self):
+        actuator = Actuator()
+        for action, status in (
+            ("watch", "watched"),
+            ("quarantine", "quarantined"),
+            ("replace", "replaced"),
+        ):
+            actuator.apply(act(action, 1))
+            assert actuator.state.status_of(1) == status
+        assert actuator.state.spares_used == 1
+        assert actuator.state.actions_total == 3
+
+    def test_clear_returns_to_active(self):
+        actuator = Actuator()
+        actuator.apply(act("quarantine", 1))
+        actuator.apply(act("clear", 1))
+        assert actuator.state.status_of(1) == "active"
+        # The drive still carries history (count() sees it).
+        assert actuator.state.count("active") == 1
+
+    def test_strict_illegal_transition_raises(self):
+        actuator = Actuator()
+        with pytest.raises(FleetActionError, match="cannot clear"):
+            actuator.apply(act("clear", 1))  # active drives can't clear
+
+    def test_nonstrict_counts_rejections(self):
+        actuator = Actuator(strict=False)
+        actuator.apply(act("replace", 1))
+        assert actuator.apply(act("watch", 1)) is None
+        assert actuator.rejected_total == 1
+        assert actuator.state.actions_total == 1
+
+    def test_cost_attribution(self):
+        actuator = Actuator()
+        actuator.apply(act("watch", 1, cost=0.5))
+        actuator.apply(act("quarantine", 2, cost=5.0))
+        assert actuator.state.cost_total == pytest.approx(5.5)
+        assert actuator.state.by_action == {"watch": 1, "quarantine": 1}
+
+
+class TestRevert:
+    def test_revert_restores_previous_status_and_spare(self):
+        actuator = Actuator()
+        actuator.apply(act("watch", 1, day=5))
+        entry = actuator.apply(act("replace", 1, day=7))
+        assert actuator.state.spares_used == 1
+        assert actuator.state.replacements_since(7) == 1
+        revert = actuator.revert(entry.seq, reason="mistake")
+        assert revert.kind == "revert"
+        assert revert.day == 7  # the original action's day
+        assert actuator.state.status_of(1) == "watched"
+        assert actuator.state.spares_used == 0
+        assert actuator.state.replacements_since(0) == 0
+        assert actuator.state.reverts_total == 1
+
+    def test_revert_unknown_seq(self):
+        with pytest.raises(FleetActionError, match="no applied action"):
+            Actuator().revert(3)
+
+    def test_revert_refused_after_drive_moved_on(self):
+        actuator = Actuator()
+        entry = actuator.apply(act("watch", 1))
+        actuator.apply(act("quarantine", 1))
+        with pytest.raises(FleetActionError, match="moved"):
+            actuator.revert(entry.seq)
+
+    def test_revert_not_revertable_twice(self):
+        actuator = Actuator()
+        entry = actuator.apply(act("quarantine", 1))
+        actuator.revert(entry.seq)
+        with pytest.raises(FleetActionError, match="no applied action"):
+            actuator.revert(entry.seq)
+
+
+class TestFleetState:
+    def test_status_of_defaults_active(self):
+        assert FleetState().status_of(123) == "active"
+
+    def test_count_rejects_unknown_status(self):
+        with pytest.raises(FleetActionError, match="unknown status"):
+            FleetState().count("exploded")
+
+    def test_replacements_since_window(self):
+        state = FleetState(replace_days=[3, 5, 5, 9])
+        assert state.replacements_since(0) == 4
+        assert state.replacements_since(5) == 3
+        assert state.replacements_since(10) == 0
+
+    def test_digest_is_order_insensitive(self):
+        a = FleetState(status={1: "watched", 2: "quarantined"})
+        b = FleetState(status={2: "quarantined", 1: "watched"})
+        assert a.digest() == b.digest()
+
+
+class TestReconstruction:
+    def test_journal_replay_matches_live_state(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditJournal(path) as journal:
+            actuator = Actuator(journal=journal)
+            actuator.apply(act("watch", 1, day=3), ts=3.0)
+            actuator.apply(act("quarantine", 1, day=4), ts=4.0)
+            entry = actuator.apply(act("replace", 2, day=5), ts=5.0)
+            actuator.revert(entry.seq, ts=6.0)
+            actuator.apply(act("replace", 1, day=8), ts=8.0)
+            live = actuator.state
+        replayed = replay_journal(path)
+        assert replayed.digest() == live.digest()
+        assert replayed.to_dict() == live.to_dict()
+
+    def test_replay_rejects_reordered_history(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditJournal(path) as journal:
+            actuator = Actuator(journal=journal)
+            actuator.apply(act("watch", 1), ts=1.0)
+            actuator.apply(act("quarantine", 1), ts=2.0)
+        lines = path.read_text().splitlines()
+        (tmp_path / "reordered.jsonl").write_text(
+            "\n".join(reversed(lines)) + "\n"
+        )
+        with pytest.raises(FleetActionError, match="expects drive"):
+            replay_journal(tmp_path / "reordered.jsonl")

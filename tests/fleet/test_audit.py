@@ -1,0 +1,234 @@
+"""Audit journal: hash chain, tamper evidence, crash-safe appends."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.fleet import (
+    AuditEntry,
+    AuditError,
+    AuditJournal,
+    FleetState,
+    apply_entry,
+    journal_summary,
+    read_journal,
+    replay_journal,
+    verify_journal,
+)
+from repro.fleet.audit import GENESIS, chain_digest
+
+
+def drill_entry(i: int) -> AuditEntry:
+    """Deterministic legal entry i (each touches its own drive)."""
+    return AuditEntry(
+        seq=i,
+        ts=float(i),
+        day=i,
+        kind="action",
+        action="watch",
+        drive_id=i,
+        prev_status="active",
+        new_status="watched",
+        risk=0.5,
+        reason="drill",
+        cost=0.5,
+    )
+
+
+def write_reference(path, n: int) -> None:
+    with AuditJournal(path) as journal:
+        for i in range(n):
+            journal.append(drill_entry(i))
+
+
+class TestChain:
+    def test_chain_links_entries(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        write_reference(path, 3)
+        entries = read_journal(path)
+        prev = GENESIS
+        for entry in entries:
+            assert entry.chain == chain_digest(prev, entry.body())
+            prev = entry.chain
+
+    def test_verify_ok(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        write_reference(path, 5)
+        report = verify_journal(path)
+        assert report.ok
+        assert report.n_entries == 5
+        assert report.state is not None
+        assert report.state.count("watched") == 5
+
+    def test_edited_entry_detected(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        write_reference(path, 4)
+        lines = path.read_text().splitlines()
+        body = json.loads(lines[2])
+        body["cost"] = 0.0  # cook the books
+        lines[2] = json.dumps(body, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        report = verify_journal(path)
+        assert not report.ok
+        assert any("chain mismatch" in p for p in report.problems)
+        assert report.state is None
+
+    def test_removed_line_detected(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        write_reference(path, 4)
+        lines = path.read_text().splitlines()
+        del lines[1]
+        path.write_text("\n".join(lines) + "\n")
+        report = verify_journal(path)
+        assert not report.ok
+        assert any("seq" in p for p in report.problems)
+
+    def test_reordered_lines_detected(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        write_reference(path, 4)
+        lines = path.read_text().splitlines()
+        lines[1], lines[2] = lines[2], lines[1]
+        path.write_text("\n".join(lines) + "\n")
+        assert not verify_journal(path).ok
+
+
+class TestResume:
+    def test_seq_and_chain_resume(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        ref = tmp_path / "ref.jsonl"
+        write_reference(ref, 6)
+        with AuditJournal(path) as journal:
+            for i in range(3):
+                journal.append(drill_entry(i))
+        journal = AuditJournal(path)
+        assert journal.next_seq == 3
+        with journal:
+            for i in range(3, 6):
+                journal.append(drill_entry(i))
+        assert path.read_bytes() == ref.read_bytes()
+        assert verify_journal(path).ok
+
+    def test_resume_refuses_corrupt_tail(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        write_reference(path, 2)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+        with pytest.raises(AuditError, match="cannot resume"):
+            AuditJournal(path)
+
+
+class TestReaders:
+    def test_read_missing_journal(self, tmp_path):
+        with pytest.raises(AuditError, match="does not exist"):
+            read_journal(tmp_path / "missing.jsonl")
+
+    def test_read_bad_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{}\n")
+        with pytest.raises(AuditError, match="malformed"):
+            read_journal(path)
+
+    def test_entry_roundtrip_with_ref(self):
+        entry = AuditEntry(
+            seq=1, ts=2.0, day=3, kind="revert", action="replace",
+            drive_id=4, prev_status="replaced", new_status="active",
+            risk=0.9, reason="undo", cost=0.0, ref=0, chain="ab",
+        )
+        assert AuditEntry.from_dict(entry.to_dict()) == entry
+
+    def test_summary(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        write_reference(path, 4)
+        summary = journal_summary(read_journal(path))
+        assert summary["n_entries"] == 4
+        assert summary["by_action"] == {"watch": 4}
+        assert summary["drives_touched"] == 4
+        assert (summary["first_day"], summary["last_day"]) == (0, 3)
+        assert summary["cost_total"] == pytest.approx(2.0)
+
+
+#: The drill child: append entries slowly so the parent can SIGKILL
+#: mid-run.  Prints READY after the journal is open.
+_DRILL_CHILD = """
+import sys, time
+from repro.fleet import AuditJournal
+from tests.fleet.test_audit import drill_entry
+
+path, n = sys.argv[1], int(sys.argv[2])
+journal = AuditJournal(path)
+print("READY", flush=True)
+for i in range(n):
+    journal.append(drill_entry(i))
+    time.sleep(0.05)
+"""
+
+
+class TestSigkillDrill:
+    N = 40
+
+    def test_killed_run_leaves_exact_byte_prefix(self, tmp_path):
+        """SIGKILL mid-run: the journal on disk is a whole-line byte
+        prefix of the uninterrupted run, replays exactly, and a resumed
+        run reproduces the uninterrupted journal byte-for-byte."""
+        partial = tmp_path / "partial.jsonl"
+        ref = tmp_path / "ref.jsonl"
+        write_reference(ref, self.N)
+        env = dict(os.environ)
+        repo_root = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(repo_root, "src"),
+                repo_root,
+                env.get("PYTHONPATH", ""),
+            ) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _DRILL_CHILD, str(partial), str(self.N)],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            assert proc.stdout is not None
+            assert proc.stdout.readline().strip() == "READY"
+            # Let a few entries land, then kill without warning.
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                if partial.exists() and partial.read_text().count("\n") >= 3:
+                    break
+                time.sleep(0.01)
+            proc.send_signal(signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+
+        partial_bytes = partial.read_bytes()
+        assert partial_bytes  # at least one entry landed
+        assert partial_bytes.endswith(b"\n")  # no torn trailing line
+        assert ref.read_bytes().startswith(partial_bytes)
+
+        # The partial journal replays to exactly the fold of its prefix.
+        entries = read_journal(partial)
+        n_landed = len(entries)
+        assert 3 <= n_landed < self.N  # killed mid-run, not after
+        expected = FleetState()
+        for chained in read_journal(ref)[:n_landed]:
+            apply_entry(expected, chained)
+        assert replay_journal(partial).digest() == expected.digest()
+        assert verify_journal(partial).ok
+
+        # Recovery: resume the journal and append what was lost — the
+        # result is byte-identical to the run that never crashed.
+        with AuditJournal(partial) as journal:
+            assert journal.next_seq == n_landed
+            for i in range(n_landed, self.N):
+                journal.append(drill_entry(i))
+        assert partial.read_bytes() == ref.read_bytes()

@@ -1,0 +1,124 @@
+"""FleetHealth: EWMA folding, views, deterministic snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fleet import FleetHealth, HealthError, RiskPolicy
+
+
+class TestRiskPolicy:
+    def test_alpha_range(self):
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            RiskPolicy(ewma_alpha=0.0)
+        with pytest.raises(ValueError, match="ewma_alpha"):
+            RiskPolicy(ewma_alpha=1.1)
+        RiskPolicy(ewma_alpha=1.0)  # "latest score wins" is legal
+
+    def test_stale_after_nonnegative(self):
+        with pytest.raises(ValueError, match="stale_after_days"):
+            RiskPolicy(stale_after_days=-1)
+
+
+class TestObserve:
+    def test_first_score_seeds_ewma(self):
+        health = FleetHealth(RiskPolicy(ewma_alpha=0.3))
+        assert health.observe(1, 10, 0.8, day=5) == pytest.approx(0.8)
+
+    def test_ewma_fold(self):
+        alpha = 0.3
+        health = FleetHealth(RiskPolicy(ewma_alpha=alpha))
+        health.observe(1, 10, 0.8, day=5)
+        risk = health.observe(1, 11, 0.2, day=6)
+        assert risk == pytest.approx(alpha * 0.2 + (1 - alpha) * 0.8)
+
+    def test_peak_and_last_probability(self):
+        health = FleetHealth()
+        health.observe(1, 10, 0.9, day=5)
+        health.observe(1, 11, 0.1, day=6)
+        view = health.view(6)
+        assert view.peak[0] == pytest.approx(0.9)
+        assert view.last_probability[0] == pytest.approx(0.1)
+
+    def test_last_age_and_day_only_advance(self):
+        health = FleetHealth()
+        health.observe(1, 20, 0.5, day=8)
+        health.observe(1, 15, 0.5, day=6)  # late arrival
+        view = health.view(8)
+        assert view.last_age[0] == 20
+        assert view.last_day[0] == 8
+
+    def test_observe_columns_length_check(self):
+        health = FleetHealth()
+        with pytest.raises(ValueError, match="same-length"):
+            health.observe_columns(
+                np.array([1, 2]), np.array([1]), np.array([1, 2]),
+                np.array([0.5, 0.5]),
+            )
+
+
+class TestView:
+    def test_sorted_by_drive_id(self):
+        health = FleetHealth()
+        for drive in (9, 3, 7):
+            health.observe(drive, 10, 0.5, day=5)
+        assert health.view(5).drive_id.tolist() == [3, 7, 9]
+
+    def test_staleness_and_stale_flag(self):
+        health = FleetHealth(RiskPolicy(stale_after_days=3))
+        health.observe(1, 10, 0.5, day=10)
+        health.observe(2, 10, 0.5, day=2)
+        view = health.view(10)
+        assert view.staleness_days.tolist() == [0, 8]
+        assert view.stale.tolist() == [False, True]
+
+    def test_default_day_is_watermark(self):
+        health = FleetHealth()
+        health.observe(1, 10, 0.5, day=42)
+        assert health.view().day == 42
+
+
+class TestSnapshots:
+    def fill(self, health: FleetHealth) -> None:
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            health.observe(
+                int(rng.integers(0, 20)),
+                int(rng.integers(0, 400)),
+                float(rng.random()),
+                day=int(rng.integers(0, 300)),
+            )
+
+    def test_restore_is_exact(self, tmp_path):
+        health = FleetHealth(RiskPolicy(ewma_alpha=0.4, stale_after_days=5))
+        self.fill(health)
+        path = health.snapshot(tmp_path / "health.npz")
+        restored = FleetHealth.restore(path)
+        assert restored.state_digest() == health.state_digest()
+        assert restored.events_total == health.events_total
+        assert restored.watermark == health.watermark
+        assert restored.policy == health.policy
+
+    def test_identical_streams_identical_bytes(self, tmp_path):
+        a, b = FleetHealth(), FleetHealth()
+        self.fill(a)
+        self.fill(b)
+        pa = a.snapshot(tmp_path / "a.npz")
+        pb = b.snapshot(tmp_path / "b.npz")
+        assert pa.read_bytes() == pb.read_bytes()
+
+    def test_restore_missing_file(self, tmp_path):
+        with pytest.raises(HealthError, match="health snapshot"):
+            FleetHealth.restore(tmp_path / "missing.npz")
+
+    def test_restore_rejects_future_version(self, tmp_path):
+        health = FleetHealth()
+        self.fill(health)
+        path = health.snapshot(tmp_path / "health.npz")
+        with np.load(path) as npz:
+            data = dict(npz)
+        data["meta"] = np.array([99, 0, 0], dtype=np.int64)
+        np.savez(tmp_path / "future.npz", **data)
+        with pytest.raises(HealthError, match="version 99"):
+            FleetHealth.restore(tmp_path / "future.npz")

@@ -1,0 +1,229 @@
+"""Policy semantics: escalation ladder, hysteresis, budgets, specs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.policy import ThresholdChoice
+from repro.fleet import (
+    ActionCosts,
+    Actuator,
+    FleetHealth,
+    FleetState,
+    PolicyError,
+    ThresholdPolicy,
+    TopKPolicy,
+    load_policy,
+    policy_from_spec,
+)
+
+
+def make_view(risks: dict[int, float], day: int = 10, score_day: int | None = None):
+    """A one-observation-per-drive view: EWMA seeds, so risk == score."""
+    health = FleetHealth()
+    for drive, risk in risks.items():
+        health.observe(drive, age_days=100, probability=risk, day=score_day or day)
+    return health.view(day)
+
+
+class TestActionCosts:
+    def test_defaults_ordered(self):
+        c = ActionCosts()
+        assert c.miss > c.replace > c.quarantine > c.watch >= c.clear
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(PolicyError, match="finite"):
+            ActionCosts(replace=-1.0)
+
+    def test_zero_miss_rejected(self):
+        with pytest.raises(PolicyError, match="miss"):
+            ActionCosts(miss=0.0)
+
+    def test_of_unknown_action(self):
+        with pytest.raises(PolicyError, match="unknown action"):
+            ActionCosts().of("explode")
+
+    def test_roundtrip(self):
+        c = ActionCosts(replace=9.0, miss=90.0)
+        assert ActionCosts.from_dict(c.to_dict()) == c
+
+    def test_from_dict_rejects_unknown_field(self):
+        with pytest.raises(PolicyError, match="unknown cost"):
+            ActionCosts.from_dict({"replace": 1.0, "upgrade": 2.0})
+
+
+class TestThresholdPolicy:
+    def test_replace_when_risk_crosses(self):
+        policy = ThresholdPolicy(replace_at=0.9)
+        view = make_view({1: 0.95, 2: 0.5})
+        actions = policy.decide(view, FleetState(), 10)
+        assert [(a.action, a.drive_id) for a in actions] == [("replace", 1)]
+        assert actions[0].cost == policy.costs.replace
+        assert actions[0].risk == pytest.approx(0.95)
+
+    def test_ladder_escalates_to_highest_crossed_rung(self):
+        policy = ThresholdPolicy(
+            watch_at=0.3, quarantine_at=0.6, replace_at=0.9
+        )
+        view = make_view({1: 0.45, 2: 0.7, 3: 0.95, 4: 0.1})
+        actions = policy.decide(view, FleetState(), 10)
+        assert {(a.drive_id, a.action) for a in actions} == {
+            (1, "watch"),
+            (2, "quarantine"),
+            (3, "replace"),
+        }
+
+    def test_only_escalates_upward(self):
+        policy = ThresholdPolicy(quarantine_at=0.6, replace_at=0.9)
+        state = FleetState(status={1: "quarantined"})
+        view = make_view({1: 0.7})
+        # Risk clears quarantine_at but the drive is already there.
+        assert policy.decide(view, state, 10) == []
+
+    def test_replaced_drives_never_reconsidered(self):
+        policy = ThresholdPolicy(replace_at=0.5)
+        state = FleetState(status={1: "replaced"})
+        assert policy.decide(make_view({1: 0.99}), state, 10) == []
+
+    def test_clear_deescalates_below_hysteresis_band(self):
+        policy = ThresholdPolicy(
+            watch_at=0.5, replace_at=0.9, clear_below=0.2
+        )
+        state = FleetState(status={1: "watched", 2: "quarantined"})
+        view = make_view({1: 0.1, 2: 0.3})
+        actions = policy.decide(view, state, 10)
+        # Drive 2's risk (0.3) sits inside the band: neither clear nor act.
+        assert [(a.action, a.drive_id) for a in actions] == [("clear", 1)]
+
+    def test_cooldown_suppresses_escalation(self):
+        policy = ThresholdPolicy(replace_at=0.9, cooldown_days=5)
+        state = FleetState(status={1: "watched"}, last_action_day={1: 8})
+        view = make_view({1: 0.99})
+        assert policy.decide(view, state, 10) == []
+        assert len(policy.decide(view, state, 13)) == 1
+
+    def test_staleness_gates_both_directions(self):
+        policy = ThresholdPolicy(
+            replace_at=0.9, clear_below=0.2, max_staleness_days=3
+        )
+        # Scores are from day 10; deciding on day 20 they are 10d stale.
+        view = make_view({1: 0.99, 2: 0.05}, day=20, score_day=10)
+        state = FleetState(status={2: "watched"})
+        assert policy.decide(view, state, 20) == []
+
+    def test_needs_at_least_one_threshold(self):
+        with pytest.raises(PolicyError, match="at least one"):
+            ThresholdPolicy(replace_at=None)  # type: ignore[arg-type]
+
+    def test_thresholds_must_be_monotone(self):
+        with pytest.raises(PolicyError, match="ordered"):
+            ThresholdPolicy(watch_at=0.8, quarantine_at=0.5, replace_at=0.9)
+
+    def test_threshold_range_checked(self):
+        with pytest.raises(PolicyError, match=r"\[0, 1\]"):
+            ThresholdPolicy(replace_at=1.5)
+
+    def test_clear_below_must_undercut_lowest_rung(self):
+        with pytest.raises(PolicyError, match="hysteresis"):
+            ThresholdPolicy(watch_at=0.5, replace_at=0.9, clear_below=0.5)
+
+    def test_from_choice_lifts_threshold(self):
+        choice = ThresholdChoice(
+            threshold=0.87, tpr=0.5, fpr=0.01, expected_cost_per_unit=0.1
+        )
+        policy = ThresholdPolicy.from_choice(choice, cooldown_days=3)
+        assert policy.replace_at == pytest.approx(0.87)
+        assert policy.cooldown_days == 3
+
+    def test_from_choice_clamps_flag_nothing_end(self):
+        # The ROC sweep's "flag nothing" point sits above every score.
+        choice = ThresholdChoice(
+            threshold=1.99, tpr=0.0, fpr=0.0, expected_cost_per_unit=0.0
+        )
+        assert ThresholdPolicy.from_choice(choice).replace_at == 1.0
+
+
+class TestTopKPolicy:
+    def test_ranks_by_risk_then_drive_id(self):
+        policy = TopKPolicy(budget=2, window_days=30, min_risk=0.5)
+        view = make_view({1: 0.8, 2: 0.9, 3: 0.8, 4: 0.4})
+        actions = policy.decide(view, FleetState(), 10)
+        # Highest risk first; equal risks tie-break on drive_id.
+        assert [a.drive_id for a in actions] == [2, 1]
+        assert all(a.action == "replace" for a in actions)
+
+    def test_min_risk_filters_candidates(self):
+        policy = TopKPolicy(budget=5, min_risk=0.7)
+        actions = policy.decide(make_view({1: 0.69, 2: 0.71}), FleetState(), 10)
+        assert [a.drive_id for a in actions] == [2]
+
+    def test_rolling_window_budget(self):
+        policy = TopKPolicy(budget=2, window_days=10, min_risk=0.5)
+        actuator = Actuator()
+        view = make_view({1: 0.9, 2: 0.9, 3: 0.9})
+        for action in policy.decide(view, actuator.state, 10):
+            actuator.apply(action)
+        assert actuator.state.spares_used == 2
+        # Same window: budget exhausted.
+        assert policy.decide(view, actuator.state, 15) == []
+        # Window rolled past day 10: budget replenishes.
+        later = policy.decide(view, actuator.state, 20)
+        assert [a.drive_id for a in later] == [3]
+
+    def test_validation(self):
+        with pytest.raises(PolicyError, match="budget"):
+            TopKPolicy(budget=0)
+        with pytest.raises(PolicyError, match="window_days"):
+            TopKPolicy(window_days=0)
+        with pytest.raises(PolicyError, match="min_risk"):
+            TopKPolicy(min_risk=1.5)
+
+
+class TestSpecs:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            ThresholdPolicy(
+                watch_at=0.3,
+                quarantine_at=0.6,
+                replace_at=0.9,
+                clear_below=0.1,
+                cooldown_days=2,
+                max_staleness_days=5,
+                costs=ActionCosts(replace=9.0, miss=99.0),
+            ),
+            TopKPolicy(budget=3, window_days=14, min_risk=0.6),
+        ],
+    )
+    def test_spec_roundtrip(self, policy):
+        assert policy_from_spec(policy.spec()) == policy
+
+    def test_unknown_kind(self):
+        with pytest.raises(PolicyError, match="unknown policy kind"):
+            policy_from_spec({"kind": "oracle"})
+
+    def test_unknown_field(self):
+        with pytest.raises(PolicyError, match="unknown field"):
+            policy_from_spec({"kind": "topk", "budget": 2, "frobnicate": 1})
+
+    def test_load_policy_kind_name(self):
+        assert load_policy("threshold") == ThresholdPolicy()
+        assert load_policy("topk") == TopKPolicy()
+
+    def test_load_policy_inline_json(self):
+        policy = load_policy('{"kind": "threshold", "replace_at": 0.8}')
+        assert isinstance(policy, ThresholdPolicy)
+        assert policy.replace_at == 0.8
+
+    def test_load_policy_file(self, tmp_path):
+        spec = tmp_path / "policy.json"
+        spec.write_text(json.dumps(TopKPolicy(budget=7).spec()))
+        assert load_policy(str(spec)) == TopKPolicy(budget=7)
+
+    def test_load_policy_bad_source(self, tmp_path):
+        with pytest.raises(PolicyError, match="neither"):
+            load_policy(str(tmp_path / "missing.json"))
+        with pytest.raises(PolicyError, match="not JSON"):
+            load_policy("{broken")

@@ -1,0 +1,195 @@
+"""What-if replay: byte-determinism, ground truth, cost arithmetic."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.fleet import (
+    Actuator,
+    FleetAction,
+    GroundTruth,
+    PolicyRunner,
+    ThresholdPolicy,
+    TopKPolicy,
+    evaluate_outcome,
+    ground_truth,
+    run_whatif,
+)
+
+POLICY = ThresholdPolicy(
+    watch_at=0.5, quarantine_at=0.8, replace_at=0.95, clear_below=0.2
+)
+
+
+class TestDeterminism:
+    def test_repeated_runs_byte_identical(self, tmp_path, fleet_trace, fleet_probs):
+        paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+        digests = []
+        for path in paths:
+            report, outcome = run_whatif(
+                fleet_trace, POLICY, probs=fleet_probs, journal_path=path
+            )
+            digests.append(outcome.state.digest())
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+        assert digests[0] == digests[1]
+
+    def test_worker_count_never_changes_the_journal(
+        self, tmp_path, fleet_trace, fleet_predictor
+    ):
+        paths = [tmp_path / "w1.jsonl", tmp_path / "w2.jsonl"]
+        for path, workers in zip(paths, (1, 2)):
+            run_whatif(
+                fleet_trace,
+                POLICY,
+                fleet_predictor,
+                workers=workers,
+                journal_path=path,
+            )
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_feed_order_never_changes_decisions(self, fleet_trace, fleet_probs):
+        records = fleet_trace.records
+        events = list(
+            zip(
+                records["drive_id"].tolist(),
+                records["age_days"].tolist(),
+                records["calendar_day"].tolist(),
+                fleet_probs.tolist(),
+            )
+        )
+        outcomes = []
+        for seed in (None, 1, 2):
+            if seed is not None:
+                random.Random(seed).shuffle(events)
+            runner = PolicyRunner(POLICY)
+            for drive, age, day, p in events:
+                runner.feed_event(drive, age, day, p)
+            outcomes.append(runner.finalize())
+        base = outcomes[0]
+        for other in outcomes[1:]:
+            assert other.state.digest() == base.state.digest()
+            assert other.health.state_digest() == base.health.state_digest()
+            assert [e.to_dict() for e in other.entries] == [
+                e.to_dict() for e in base.entries
+            ]
+
+    def test_journal_entries_use_logical_time(self, tmp_path, fleet_trace, fleet_probs):
+        _, outcome = run_whatif(fleet_trace, POLICY, probs=fleet_probs)
+        assert outcome.entries  # the fixture fleet does trigger actions
+        assert all(e.ts == float(e.day) for e in outcome.entries)
+
+
+class TestGroundTruth:
+    def test_fail_days_match_swap_log(self, fleet_trace):
+        truth = ground_truth(fleet_trace)
+        drives = fleet_trace.drives
+        deploy = {
+            int(drives.drive_id[i]): int(drives.deploy_day[i])
+            for i in range(len(drives.drive_id))
+        }
+        swaps = fleet_trace.swaps
+        assert truth.n_failures == len(set(swaps.drive_id.tolist()))
+        for i in range(len(swaps.drive_id)):
+            drive = int(swaps.drive_id[i])
+            day = deploy[drive] + int(swaps.failure_age[i])
+            assert truth.fail_day[drive] <= day
+        assert set(truth.deploy_day) >= set(truth.fail_day)
+
+
+def outcome_from_actions(actions: list[FleetAction]):
+    """Apply a scripted action list and wrap it as a RunOutcome."""
+    from repro.fleet import FleetHealth, RunOutcome
+
+    actuator = Actuator()
+    entries = [actuator.apply(a, ts=float(a.day)) for a in actions]
+    return RunOutcome(
+        state=actuator.state,
+        health=FleetHealth(),
+        entries=entries,
+        n_actions=len(entries),
+    )
+
+
+class TestEvaluateOutcome:
+    TRUTH = GroundTruth(
+        fail_day={1: 10, 2: 20},
+        deploy_day={1: 0, 2: 0, 3: 0},
+        end_day={1: 10, 2: 20, 3: 30},
+    )
+
+    def act(self, action, drive, day):
+        return FleetAction(
+            action=action, drive_id=drive, day=day, risk=0.9,
+            reason="scripted", cost=POLICY.costs.of(action),
+        )
+
+    def test_cost_arithmetic(self):
+        outcome = outcome_from_actions(
+            [
+                self.act("replace", 1, 5),   # caught (out of service by day 9)
+                self.act("replace", 3, 7),   # false: drive 3 never fails
+            ]
+        )
+        report = evaluate_outcome(outcome, self.TRUTH, POLICY)
+        assert (report.caught, report.missed) == (1, 1)
+        assert report.false_replacements == 1
+        assert report.spares_used == 2
+        costs = POLICY.costs
+        assert report.action_cost == pytest.approx(2 * costs.replace)
+        assert report.miss_cost == pytest.approx(costs.miss)
+        assert report.baseline_cost == pytest.approx(2 * costs.miss)
+        assert report.savings == pytest.approx(
+            report.baseline_cost - report.total_cost
+        )
+        # Drive 1 was in service days 0..4 of its 0..9 pre-failure window;
+        # drive 2 (missed) was in service for all 14 days of 6..19.
+        assert report.drive_days_at_risk == 5 + 14
+
+    def test_quarantine_counts_as_caught_and_accrues_days(self):
+        outcome = outcome_from_actions([self.act("quarantine", 1, 4)])
+        report = evaluate_outcome(outcome, self.TRUTH, POLICY)
+        assert report.caught == 1
+        # Quarantined from day 4 until the failure ends observation at 10.
+        assert report.quarantine_drive_days == 6
+
+    def test_same_day_replacement_is_too_late(self):
+        outcome = outcome_from_actions([self.act("replace", 1, 10)])
+        report = evaluate_outcome(outcome, self.TRUTH, POLICY)
+        assert report.caught == 0
+        assert report.missed == 2
+
+    def test_at_risk_window_validation(self):
+        outcome = outcome_from_actions([])
+        with pytest.raises(ValueError, match="at_risk_window"):
+            evaluate_outcome(outcome, self.TRUTH, POLICY, at_risk_window=0)
+
+
+class TestRunWhatif:
+    def test_report_is_consistent(self, fleet_trace, fleet_probs):
+        report, outcome = run_whatif(fleet_trace, POLICY, probs=fleet_probs)
+        assert report.caught + report.missed == report.n_failures
+        assert report.total_cost == pytest.approx(
+            report.action_cost + report.miss_cost
+        )
+        assert report.baseline_cost == pytest.approx(
+            report.n_failures * POLICY.costs.miss
+        )
+        assert report.spares_used == outcome.state.spares_used
+        assert report.by_action == dict(outcome.state.by_action)
+        assert outcome.n_events == len(fleet_probs)
+        assert outcome.chain == ""  # no journal requested
+
+    def test_topk_respects_budget(self, fleet_trace, fleet_probs):
+        policy = TopKPolicy(budget=1, window_days=10_000, min_risk=0.2)
+        report, _ = run_whatif(fleet_trace, policy, probs=fleet_probs)
+        assert report.spares_used <= 1
+
+    def test_probs_length_checked(self, fleet_trace, fleet_probs):
+        with pytest.raises(ValueError, match="probs"):
+            run_whatif(fleet_trace, POLICY, probs=fleet_probs[:-1])
+
+    def test_needs_scores(self, fleet_trace):
+        with pytest.raises(ValueError, match="predictor or probs"):
+            run_whatif(fleet_trace, POLICY)

@@ -1,0 +1,99 @@
+"""The scored-event tap (``on_scored``): the fleet autopilot's feed.
+
+The tap must see exactly the events the engine scored — same order,
+same probabilities as the offline batch pipeline — in both the chunked
+replay path and the event-wise guarded path, or the decision plane
+would act on different numbers than the serving plane reported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import iter_drive_days
+from repro.serve import AdmissionGuard, FeatureStore, ScoringEngine
+
+
+class Tap:
+    def __init__(self):
+        self.ids: list[np.ndarray] = []
+        self.ages: list[np.ndarray] = []
+        self.cals: list[np.ndarray] = []
+        self.probs: list[np.ndarray] = []
+
+    def __call__(self, ids, ages, cals, probs):
+        assert len(ids) == len(ages) == len(cals) == len(probs)
+        self.ids.append(np.asarray(ids))
+        self.ages.append(np.asarray(ages))
+        self.cals.append(np.asarray(cals))
+        self.probs.append(np.asarray(probs))
+
+    def concat(self, parts):
+        return np.concatenate(parts) if parts else np.empty(0)
+
+
+class TestReplayTap:
+    def test_unguarded_replay_tap_matches_offline(
+        self, serve_trace, predictor, offline_probs
+    ):
+        tap = Tap()
+        engine = ScoringEngine(predictor, on_scored=tap)
+        result = engine.replay(serve_trace.records, chunk_rows=512)
+        records = serve_trace.records
+        np.testing.assert_array_equal(
+            tap.concat(tap.probs), result.probability
+        )
+        np.testing.assert_array_equal(tap.concat(tap.probs), offline_probs)
+        np.testing.assert_array_equal(
+            tap.concat(tap.ids), np.asarray(records["drive_id"])
+        )
+        np.testing.assert_array_equal(
+            tap.concat(tap.cals), np.asarray(records["calendar_day"])
+        )
+
+    def test_guarded_replay_tap_covers_accepted_rows(
+        self, serve_trace, predictor, offline_probs
+    ):
+        tap = Tap()
+        store = FeatureStore()
+        engine = ScoringEngine(
+            predictor,
+            store=store,
+            guard=AdmissionGuard(store),
+            on_scored=tap,
+        )
+        result = engine.replay(serve_trace.records, chunk_rows=512)
+        assert result.accepted_index is not None
+        np.testing.assert_array_equal(
+            tap.concat(tap.probs), offline_probs[result.accepted_index]
+        )
+        np.testing.assert_array_equal(
+            tap.concat(tap.ids),
+            np.asarray(serve_trace.records["drive_id"])[result.accepted_index],
+        )
+
+
+class TestEventTap:
+    def test_score_stream_feeds_tap_and_stamps_calendar_day(
+        self, serve_trace, predictor
+    ):
+        tap = Tap()
+        store = FeatureStore()
+        engine = ScoringEngine(
+            predictor,
+            store=store,
+            guard=AdmissionGuard(store),
+            on_scored=tap,
+        )
+        events = list(iter_drive_days(serve_trace.records, chunk_rows=256))
+        scored = list(engine.score_stream(events[:500]))
+        assert scored
+        assert all(ev.calendar_day >= 0 for ev in scored)
+        np.testing.assert_array_equal(
+            tap.concat(tap.probs),
+            np.asarray([ev.probability for ev in scored]),
+        )
+        np.testing.assert_array_equal(
+            tap.concat(tap.cals),
+            np.asarray([ev.calendar_day for ev in scored]),
+        )
